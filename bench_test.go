@@ -1,0 +1,370 @@
+// Package pimkd_test holds the testing.B benchmark harness: one benchmark
+// per paper table row / figure (see DESIGN.md §4 for the experiment index).
+// Each benchmark measures wall time for the simulated operation and reports
+// the PIM-Model metrics (off-chip words per operation, balance ratios) via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// model-level numbers alongside throughput.
+package pimkd_test
+
+import (
+	"testing"
+
+	"pimkd/internal/cluster"
+	"pimkd/internal/core"
+	"pimkd/internal/counter"
+	"pimkd/internal/geom"
+	"pimkd/internal/logtree"
+	"pimkd/internal/pim"
+	"pimkd/internal/pimsort"
+	"pimkd/internal/pkdtree"
+	"pimkd/internal/workload"
+
+	"math/rand"
+)
+
+const (
+	benchN   = 1 << 15
+	benchP   = 64
+	benchDim = 2
+)
+
+func benchItems(pts []geom.Point) []core.Item {
+	items := make([]core.Item, len(pts))
+	for i, p := range pts {
+		items[i] = core.Item{P: p, ID: int32(i)}
+	}
+	return items
+}
+
+func benchTree(b *testing.B) (*core.Tree, *pim.Machine, []geom.Point) {
+	b.Helper()
+	mach := pim.NewMachine(benchP, 1<<22)
+	tree := core.New(core.Config{Dim: benchDim, Seed: 1}, mach)
+	pts := workload.Uniform(benchN, benchDim, 1)
+	tree.Build(benchItems(pts))
+	return tree, mach, pts
+}
+
+// BenchmarkConstruction — Table 1 "Construction" / Theorem 3.5 (E1).
+func BenchmarkConstruction(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	items := benchItems(pts)
+	var comm int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := pim.NewMachine(benchP, 1<<22)
+		tree := core.New(core.Config{Dim: benchDim, Seed: int64(i)}, mach)
+		tree.Build(items)
+		comm = mach.Stats().Communication
+	}
+	b.ReportMetric(float64(comm)/float64(benchN), "words/point")
+}
+
+// BenchmarkConstructionPKD — Table 1 "Construction" shared-memory baseline.
+func BenchmarkConstructionPKD(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	items := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkdtree.New(pkdtree.Config{Dim: benchDim, Seed: int64(i)}, items)
+	}
+}
+
+// BenchmarkLeafSearch — Table 1 "LeafSearch" / Theorem 4.1 (E2).
+func BenchmarkLeafSearch(b *testing.B) {
+	tree, mach, pts := benchTree(b)
+	qs := workload.Sample(pts, 1<<12, 0.001, 2)
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.LeafSearch(qs)
+	}
+	b.StopTimer()
+	d := mach.Stats()
+	b.ReportMetric(float64(d.Communication)/float64(int64(len(qs))*int64(b.N)), "words/query")
+}
+
+// BenchmarkLeafSearchPKD — the shared-memory comparison row.
+func BenchmarkLeafSearchPKD(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	items := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	tree := pkdtree.New(pkdtree.Config{Dim: benchDim, Seed: 1}, items)
+	qs := workload.Sample(pts, 1<<12, 0.001, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			tree.LeafSearch(q)
+		}
+	}
+}
+
+// BenchmarkLeafSearchLogTree — the logarithmic-method comparison row.
+func BenchmarkLeafSearchLogTree(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	f := logtree.New(pkdtree.Config{Dim: benchDim, Seed: 1})
+	for _, chunk := range workload.Split(pts, benchN/63+1) {
+		items := make([]pkdtree.Item, len(chunk))
+		for i, p := range chunk {
+			items[i] = pkdtree.Item{P: p, ID: int32(i)}
+		}
+		f.BatchInsert(items)
+	}
+	qs := workload.Sample(pts, 1<<12, 0.001, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			f.LeafSearch(q)
+		}
+	}
+}
+
+// BenchmarkInsert — Table 1 "Insert" / Theorem 4.3 (E3).
+func BenchmarkInsert(b *testing.B) {
+	tree, mach, _ := benchTree(b)
+	next := int32(benchN)
+	mach.ResetStats()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		batch := benchItems(workload.Uniform(1<<11, benchDim, int64(i)+100))
+		for j := range batch {
+			batch[j].ID = next
+			next++
+		}
+		tree.BatchInsert(batch)
+		total += len(batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(total), "words/op")
+}
+
+// BenchmarkDelete — Table 1 "Delete" / Theorem 4.4 (E3).
+func BenchmarkDelete(b *testing.B) {
+	tree, mach, _ := benchTree(b)
+	next := int32(benchN)
+	var batches [][]core.Item
+	for i := 0; i < b.N; i++ {
+		batch := benchItems(workload.Uniform(1<<11, benchDim, int64(i)+500))
+		for j := range batch {
+			batch[j].ID = next
+			next++
+		}
+		tree.BatchInsert(batch)
+		batches = append(batches, batch)
+	}
+	mach.ResetStats()
+	b.ResetTimer()
+	total := 0
+	for _, batch := range batches {
+		tree.BatchDelete(batch)
+		total += len(batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(total), "words/op")
+}
+
+// BenchmarkKNN — Table 1 "kNN" / Theorem 4.5 (E4).
+func BenchmarkKNN(b *testing.B) {
+	tree, mach, pts := benchTree(b)
+	qs := workload.Sample(pts, 1<<10, 0.002, 3)
+	const k = 8
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNN(qs, k)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(int64(len(qs))*int64(b.N)*k), "words/(q·k)")
+}
+
+// BenchmarkKNNPKD — the shared-memory kNN comparison row.
+func BenchmarkKNNPKD(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	items := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	tree := pkdtree.New(pkdtree.Config{Dim: benchDim, Seed: 1}, items)
+	qs := workload.Sample(pts, 1<<10, 0.002, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			tree.KNN(q, 8)
+		}
+	}
+}
+
+// BenchmarkANN — Table 1 "(1+ε)-ANN" / Theorem 4.6 (E5).
+func BenchmarkANN(b *testing.B) {
+	tree, mach, pts := benchTree(b)
+	qs := workload.Sample(pts, 1<<10, 0.002, 3)
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.ANN(qs, 8, 0.5)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(int64(len(qs))*int64(b.N)), "words/query")
+}
+
+// BenchmarkRange — Lemma 4.7 orthogonal range queries (E6).
+func BenchmarkRange(b *testing.B) {
+	tree, mach, _ := benchTree(b)
+	centers := workload.Uniform(256, benchDim, 9)
+	boxes := make([]geom.Box, len(centers))
+	for i, c := range centers {
+		boxes[i] = geom.NewBox(
+			geom.Point{c[0] - 0.02, c[1] - 0.02},
+			geom.Point{c[0] + 0.02, c[1] + 0.02})
+	}
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeCount(boxes)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(int64(len(boxes))*int64(b.N)), "words/query")
+}
+
+// BenchmarkTradeoffG1 — Theorem 3.3 / §5 space-optimized variant (E7).
+func BenchmarkTradeoffG1(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	items := benchItems(pts)
+	b.ResetTimer()
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		mach := pim.NewMachine(benchP, 1<<22)
+		tree := core.New(core.Config{Dim: benchDim, Seed: 1, Groups: 1, LeafSize: 1}, mach)
+		tree.Build(items)
+		factor = float64(tree.TotalCopies()) / float64(benchN)
+	}
+	b.ReportMetric(factor, "space-factor")
+}
+
+// BenchmarkCounter — Lemma 3.6 approximate counters (E8).
+func BenchmarkCounter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := counter.NewApprox(1 << 16)
+	fires := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fired, _ := c.Inc(rng, 1<<20, 1.0); fired {
+			fires++
+		}
+	}
+	b.ReportMetric(float64(fires)/float64(b.N), "fires/op")
+}
+
+// BenchmarkSkewHotspot — Definition 1 / Lemma 3.8 skew resistance (E12).
+func BenchmarkSkewHotspot(b *testing.B) {
+	tree, mach, _ := benchTree(b)
+	qs := workload.Hotspot(1<<12, benchDim, 1e-4, 7)
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.LeafSearch(qs)
+	}
+	b.StopTimer()
+	_, comm := mach.ModuleLoads()
+	b.ReportMetric(pim.MaxLoadRatio(comm), "comm-max/mean")
+}
+
+// BenchmarkSkewPartitioned — the §3 straw man under the same hotspot.
+func BenchmarkSkewPartitioned(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	mach := pim.NewMachine(benchP, 1<<22)
+	pt := core.NewPartitioned(benchDim, 8, mach, benchItems(pts))
+	qs := workload.Hotspot(1<<12, benchDim, 1e-4, 7)
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.LeafSearch(qs)
+	}
+	b.StopTimer()
+	_, comm := mach.ModuleLoads()
+	b.ReportMetric(pim.MaxLoadRatio(comm), "comm-max/mean")
+}
+
+// BenchmarkChunkedSearch — §5 batch-size trade-off via fanout C (E13).
+func BenchmarkChunkedSearch(b *testing.B) {
+	pts := workload.Uniform(benchN, benchDim, 1)
+	mach := pim.NewMachine(benchP, 1<<22)
+	tree := core.New(core.Config{Dim: benchDim, Seed: 1, ChunkSize: 8}, mach)
+	tree.Build(benchItems(pts))
+	qs := workload.Sample(pts, 1<<12, 0.001, 2)
+	mach.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.LeafSearch(qs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mach.Stats().Communication)/float64(int64(len(qs))*int64(b.N)), "words/query")
+}
+
+// BenchmarkDPC — Table 1 "DPC" / Theorem 6.1 (E14).
+func BenchmarkDPC(b *testing.B) {
+	pts := workload.GaussianClusters(1<<13, 2, 8, 0.05, 3)
+	par := cluster.DPCParams{DCut: 0.01, Eps: 0.2}
+	var comm int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := pim.NewMachine(benchP, 1<<22)
+		cluster.DPCPIM(mach, pts, par, int64(i))
+		comm = mach.Stats().Communication
+	}
+	b.ReportMetric(float64(comm)/float64(len(pts)), "words/point")
+}
+
+// BenchmarkDPCShared — the ParGeo-style shared-memory DPC row.
+func BenchmarkDPCShared(b *testing.B) {
+	pts := workload.GaussianClusters(1<<13, 2, 8, 0.05, 3)
+	par := cluster.DPCParams{DCut: 0.01, Eps: 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.DPCShared(pts, par, int64(i))
+	}
+}
+
+// BenchmarkDBSCAN — Table 1 "2d-DBSCAN" / Theorem 6.3 (E15).
+func BenchmarkDBSCAN(b *testing.B) {
+	pts := workload.GaussianClusters(1<<14, 2, 6, 0.02, 5)
+	var comm int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := pim.NewMachine(benchP, 1<<22)
+		cluster.DBSCANPIM(mach, pts, 0.02, 16)
+		comm = mach.Stats().Communication
+	}
+	b.ReportMetric(float64(comm)/float64(len(pts)), "words/point")
+}
+
+// BenchmarkPIMSort — Lemma 6.2 sorting (E16).
+func BenchmarkPIMSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]float64, 1<<15)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	keys := make([]float64, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		mach := pim.NewMachine(benchP, 1<<22)
+		pimsort.Sort(mach, keys, 1<<18, uint64(i))
+	}
+}
+
+// BenchmarkDecomposition — Figure 1 structure computation (E10/E11).
+func BenchmarkDecomposition(b *testing.B) {
+	tree, _, _ := benchTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.DecompositionStats()
+	}
+}

@@ -1,0 +1,52 @@
+// Command pimkd-bench regenerates the paper's tables, figures, and
+// theorem-shaped claims (experiments E1–E17 of DESIGN.md). Run with no
+// arguments to execute every experiment, or select with -exp.
+//
+//	pimkd-bench -list
+//	pimkd-bench -exp leafsearch,skew
+//	pimkd-bench -quick            # shrunken sizes, seconds instead of minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"pimkd/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		listFlag = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "shrunken problem sizes")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n               %s\n", e.ID, e.Artifact, e.Summary)
+		}
+		return
+	}
+	var ids []string
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("pimkd-bench %s mode (%s %s/%s, GOMAXPROCS=%d) — PIM-Model metrics from the cost-metered simulator\n",
+		mode, runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	if err := bench.RunAll(os.Stdout, ids, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Geospatial index: the motivating low-dimensional workload from the
+// paper's introduction — a point-of-interest index serving viewport range
+// queries and nearest-POI lookups, under a daily stream of openings and
+// closures, including a flash-crowd (adversarially skewed) query burst that
+// would melt a space-partitioned index.
+//
+//	go run ./examples/geospatial
+package main
+
+import (
+	"fmt"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func main() {
+	const (
+		nPOI = 150_000
+		P    = 64
+	)
+	// POIs cluster in "cities" with Zipf-skewed popularity (a big capital,
+	// many small towns).
+	pois := workload.ZipfClusters(nPOI, 2, 40, 0.01, 1.2, 7)
+	mach := pim.NewMachine(P, 1<<22)
+	idx := core.New(core.Config{Dim: 2, Seed: 11}, mach)
+	items := make([]core.Item, len(pois))
+	for i, p := range pois {
+		items[i] = core.Item{P: p, ID: int32(i)}
+	}
+	idx.Build(items)
+	fmt.Printf("POI index: %d points over %d PIM modules, height %d\n\n", idx.Size(), P, idx.Height())
+
+	// Viewport queries: map tiles of various zoom levels.
+	var viewports []geom.Box
+	centers := workload.Sample(pois, 2000, 0.02, 13)
+	for i, c := range centers {
+		side := []float64{0.001, 0.003, 0.01}[i%3]
+		viewports = append(viewports, geom.NewBox(
+			geom.Point{c[0] - side, c[1] - side},
+			geom.Point{c[0] + side, c[1] + side}))
+	}
+	pre := mach.Stats()
+	results := idx.RangeReport(viewports)
+	d := mach.Stats().Sub(pre)
+	var shown int
+	for _, r := range results {
+		shown += len(r)
+	}
+	fmt.Printf("viewport queries: %d tiles, %.1f POIs/tile, %.1f words/query off-chip\n",
+		len(viewports), float64(shown)/float64(len(viewports)),
+		float64(d.Communication)/float64(len(viewports)))
+
+	// "Nearest coffee": 5-NN around sampled user locations.
+	users := workload.Sample(pois, 4096, 0.005, 17)
+	pre = mach.Stats()
+	nn := idx.KNN(users, 5)
+	d = mach.Stats().Sub(pre)
+	fmt.Printf("nearest-POI (5-NN) for %d users: %.1f words/query; user 0's closest POI: %d\n\n",
+		len(users), float64(d.Communication)/float64(len(users)), nn[0][0].ID)
+
+	// Daily churn: 2%% of POIs close, 2%% open, in batches.
+	closures := make([]core.Item, 0, nPOI/50)
+	for i := 0; i < nPOI/50; i++ {
+		closures = append(closures, items[i*37%len(items)])
+	}
+	openings := make([]core.Item, len(closures))
+	newPois := workload.ZipfClusters(len(closures), 2, 40, 0.01, 1.2, 19)
+	for i, p := range newPois {
+		openings[i] = core.Item{P: p, ID: int32(nPOI + i)}
+	}
+	pre = mach.Stats()
+	idx.BatchDelete(closures)
+	idx.BatchInsert(openings)
+	d = mach.Stats().Sub(pre)
+	fmt.Printf("daily churn (%d closures + %d openings): %.1f words/op amortized, height still %d\n\n",
+		len(closures), len(openings), float64(d.Communication)/float64(2*len(closures)), idx.Height())
+
+	// Flash crowd: everyone searches the same block at once.
+	burst := workload.Hotspot(8192, 2, 0.0005, 23)
+	mach.ResetStats()
+	idx.LeafSearch(burst)
+	_, comm := mach.ModuleLoads()
+	fmt.Printf("flash-crowd burst of %d queries on one city block: per-module comm max/mean = %.2f\n",
+		len(burst), pim.MaxLoadRatio(comm))
+	fmt.Println("(randomized placement + push-pull keep the burst spread across the machine —")
+	fmt.Println(" a space-partitioned index would put all of it on one module)")
+}

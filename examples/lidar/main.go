@@ -1,0 +1,96 @@
+// Streaming LiDAR map: the robotics workload the kd-tree literature
+// motivates (ikd-tree-style) — a rolling 3-D point-cloud map that absorbs a
+// new scan every frame, evicts points that left the sensing window, and
+// answers nearest-neighbor collision probes, all in batches on the PIM
+// machine.
+//
+//	go run ./examples/lidar
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+)
+
+const (
+	scanPoints = 4096 // points per LiDAR frame
+	frames     = 30
+	window     = 8 // frames kept in the rolling map
+	probes     = 1024
+	P          = 64
+)
+
+func main() {
+	mach := pim.NewMachine(P, 1<<22)
+	tree := core.New(core.Config{Dim: 3, Seed: 3}, mach)
+	rng := rand.New(rand.NewSource(12))
+
+	var frameItems [][]core.Item
+	nextID := int32(0)
+	var vehicleX float64
+
+	for f := 0; f < frames; f++ {
+		vehicleX += 0.05 // the vehicle drives along +x
+
+		// A scan: a disc of points around the vehicle (walls, ground).
+		scan := make([]core.Item, scanPoints)
+		for i := range scan {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 0.05 + rng.Float64()*0.2
+			scan[i] = core.Item{
+				P: geom.Point{
+					vehicleX + r*math.Cos(ang),
+					0.5 + r*math.Sin(ang),
+					rng.Float64() * 0.05,
+				},
+				ID: nextID,
+			}
+			nextID++
+		}
+		tree.BatchInsert(scan)
+		frameItems = append(frameItems, scan)
+
+		// Evict the frame that left the window.
+		if len(frameItems) > window {
+			tree.BatchDelete(frameItems[0])
+			frameItems = frameItems[1:]
+		}
+
+		// Collision probes: nearest map point for candidate trajectory
+		// samples ahead of the vehicle.
+		qs := make([]geom.Point, probes)
+		for i := range qs {
+			qs[i] = geom.Point{
+				vehicleX + 0.1 + rng.Float64()*0.1,
+				0.45 + rng.Float64()*0.1,
+				rng.Float64() * 0.05,
+			}
+		}
+		pre := mach.Stats()
+		nn := tree.KNN(qs, 1)
+		d := mach.Stats().Sub(pre)
+
+		if f%6 == 5 {
+			minD := math.Inf(1)
+			for _, r := range nn {
+				if len(r) > 0 && r[0].Dist2 < minD {
+					minD = r[0].Dist2
+				}
+			}
+			fmt.Printf("frame %2d: map=%6d pts  height=%2d  closest obstacle %.3f  kNN %.1f words/probe\n",
+				f, tree.Size(), tree.Height(), math.Sqrt(minD),
+				float64(d.Communication)/float64(probes))
+		}
+	}
+
+	work, comm := mach.ModuleLoads()
+	fmt.Printf("\nafter %d frames: %d live points, session balance max/mean work %.2f comm %.2f\n",
+		frames, tree.Size(), pim.MaxLoadRatio(work), pim.MaxLoadRatio(comm))
+	fmt.Println("the rolling window keeps the tree α-balanced through pure batch inserts/deletes —")
+	fmt.Println("no global rebuilds, per the paper's amortized partial-reconstruction scheme.")
+}

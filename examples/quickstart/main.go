@@ -1,0 +1,82 @@
+// Quickstart: build a PIM-kd-tree over a million-ish random points, run the
+// core operations (LeafSearch, kNN, range query, batch insert/delete), and
+// print the PIM-Model cost of each step.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func main() {
+	const (
+		n   = 200_000
+		dim = 3
+		P   = 64 // PIM modules
+	)
+
+	// A machine with P PIM modules and a 4M-word CPU cache.
+	mach := pim.NewMachine(P, 1<<22)
+	tree := core.New(core.Config{Dim: dim, Seed: 42}, mach)
+
+	// Bulk-load uniform points.
+	pts := workload.Uniform(n, dim, 1)
+	items := make([]core.Item, n)
+	for i, p := range pts {
+		items[i] = core.Item{P: p, ID: int32(i)}
+	}
+	tree.Build(items)
+	fmt.Printf("built PIM-kd-tree: n=%d, height=%d, space factor %.2f (log*P=%d)\n",
+		tree.Size(), tree.Height(),
+		float64(tree.TotalCopies())/float64(tree.NodeCount()), tree.LogStarP())
+	fmt.Printf("construction cost: %v\n\n", mach.Stats())
+
+	// Batched point search.
+	qs := workload.Sample(pts, 8192, 0.001, 2)
+	pre := mach.Stats()
+	leaves := tree.LeafSearch(qs)
+	d := mach.Stats().Sub(pre)
+	fmt.Printf("LeafSearch of %d queries: %.1f words/query off-chip (vs log n = %d tree levels)\n",
+		len(qs), float64(d.Communication)/float64(len(qs)), tree.Height())
+	fmt.Printf("first query landed in a leaf with %d points\n\n", len(tree.LeafItems(leaves[0])))
+
+	// Batched kNN.
+	pre = mach.Stats()
+	nn := tree.KNN(qs[:1024], 8)
+	d = mach.Stats().Sub(pre)
+	fmt.Printf("8-NN of 1024 queries: %.1f words/query; nearest neighbor of query 0 is point %d\n\n",
+		float64(d.Communication)/1024, nn[0][0].ID)
+
+	// Orthogonal range query.
+	box := geom.NewBox(geom.Point{0.4, 0.4, 0.4}, geom.Point{0.6, 0.6, 0.6})
+	cnt := tree.RangeCount([]geom.Box{box})
+	fmt.Printf("range count in [0.4,0.6]^3: %d points (expected ≈ %.0f)\n\n", cnt[0], float64(n)*0.008)
+
+	// Batch-dynamic updates.
+	extra := workload.Uniform(10_000, dim, 3)
+	batch := make([]core.Item, len(extra))
+	for i, p := range extra {
+		batch[i] = core.Item{P: p, ID: int32(n + i)}
+	}
+	pre = mach.Stats()
+	tree.BatchInsert(batch)
+	d = mach.Stats().Sub(pre)
+	fmt.Printf("inserted %d points: %.1f words/op amortized, tree now %d points, height %d\n",
+		len(batch), float64(d.Communication)/float64(len(batch)), tree.Size(), tree.Height())
+	pre = mach.Stats()
+	tree.BatchDelete(batch)
+	d = mach.Stats().Sub(pre)
+	fmt.Printf("deleted them again: %.1f words/op, tree back to %d points\n\n",
+		float64(d.Communication)/float64(len(batch)), tree.Size())
+
+	// Load balance across the whole session.
+	work, comm := mach.ModuleLoads()
+	fmt.Printf("session load balance (max/mean over %d modules): work %.2f, comm %.2f\n",
+		P, pim.MaxLoadRatio(work), pim.MaxLoadRatio(comm))
+}

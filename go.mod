@@ -1,0 +1,3 @@
+module pimkd
+
+go 1.22

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/pkdtree"
+	"pimkd/internal/workload"
+)
+
+// defaultCache is the modeled CPU cache size in words used by experiments.
+const defaultCache = 1 << 22
+
+// makeItems tags points with sequential ids.
+func makeItems(pts []geom.Point) []core.Item {
+	items := make([]core.Item, len(pts))
+	for i, p := range pts {
+		items[i] = core.Item{P: p, ID: int32(i)}
+	}
+	return items
+}
+
+func makePKDItems(pts []geom.Point) []pkdtree.Item {
+	items := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	return items
+}
+
+// buildPIMTree constructs a fresh machine + PIM-kd-tree over uniform data.
+func buildPIMTree(n, dim, p int, seed int64) (*core.Tree, *pim.Machine, []geom.Point) {
+	mach := pim.NewMachine(p, defaultCache)
+	tree := core.New(core.Config{Dim: dim, Seed: seed}, mach)
+	pts := workload.Uniform(n, dim, seed)
+	tree.Build(makeItems(pts))
+	return tree, mach, pts
+}
+
+// buildFineTree builds a PIM-kd-tree with single-point leaves, the
+// configuration that exposes the full log-star group structure (with the
+// default bucket size, the deepest groups collapse into the leaf buckets).
+func buildFineTree(n, dim, p int, seed int64) *core.Tree {
+	mach := pim.NewMachine(p, defaultCache)
+	tree := core.New(core.Config{Dim: dim, Seed: seed, LeafSize: 1}, mach)
+	tree.Build(makeItems(workload.Uniform(n, dim, seed)))
+	return tree
+}
+
+// newTreeOn creates an empty PIM-kd-tree bound to an existing machine.
+func newTreeOn(mach *pim.Machine, dim int, seed int64) *core.Tree {
+	return core.New(core.Config{Dim: dim, Seed: seed}, mach)
+}
+
+// pimNewMachine creates a machine with the default cache size.
+func pimNewMachine(p int) *pim.Machine { return pim.NewMachine(p, defaultCache) }
+
+// perQuery divides a stat total by the batch size.
+func perQuery(total int64, s int) float64 { return float64(total) / float64(s) }

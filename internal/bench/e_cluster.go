@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pimkd/internal/cluster"
+	"pimkd/internal/core"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+	"pimkd/internal/pimsort"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "dpc",
+		Artifact: "Table 1 row DPC + Theorem 6.1 (E14)",
+		Summary: "Density peak clustering on PIM: communication O(n(1+ρ)·log*P) and PIM-balanced, versus the " +
+			"ParGeo-style shared-memory O(n(1+ρ)·log n) node visits.",
+		Run: runDPC,
+	})
+	register(Experiment{
+		ID:       "dbscan",
+		Artifact: "Table 1 row 2d-DBSCAN + Theorem 6.3 (E15)",
+		Summary: "2-D DBSCAN on PIM: O(n) communication, total work O(n(k+log n)), CPU work O(n log P); the " +
+			"1-module run is the shared-memory baseline.",
+		Run: runDBSCAN,
+	})
+	register(Experiment{
+		ID:       "sort",
+		Artifact: "Lemma 6.2 PIM sorting (E16)",
+		Summary:  "The three sorting regimes: tiny batches on one module, cache-resident batches merged on the CPU, large batches via splitter scattering — all with O(m) communication and balance.",
+		Run:      runSort,
+	})
+}
+
+func runDPC(w io.Writer, quick bool) {
+	ns := []int{1 << 12, 1 << 13, 1 << 14}
+	if quick {
+		ns = []int{1 << 10, 1 << 11}
+	}
+	const p = 64
+	logStarP := float64(mathx.LogStar(p))
+	tb := NewTable(
+		fmt.Sprintf("DPC scaling (P=%d, Gaussian clusters; d_cut ∝ 1/√n holds ρ≈8 across rows)."+
+			" Paper: PIM comm/n(1+ρ) ≈ c·log*P, flat in n; shared words/n(1+ρ) grows with log n.", p),
+		"n", "ρ (avg density)", "pim comm/n", "comm/(n(1+ρ)log*P)", "commTime·P/comm", "shared words/n", "shared/pim")
+	for _, n := range ns {
+		pts := workload.GaussianClusters(n, 2, 8, 0.05, int64(n))
+		par := cluster.DPCParams{DCut: 0.01 * math.Sqrt(4096/float64(n)), Eps: 0.2}
+		mach := pim.NewMachine(p, defaultCache)
+		res := cluster.DPCPIM(mach, pts, par, 5)
+		d := mach.Stats()
+		var rho float64
+		for _, dens := range res.Density {
+			rho += float64(dens)
+		}
+		rho /= float64(n)
+		_, meter := cluster.DPCShared(pts, par, 5)
+		pimPerN := float64(d.Communication) / float64(n)
+		sharedPerN := float64(meter.NodeVisits*core.NodeWords(2)) / float64(n)
+		tb.Row(n, rho, pimPerN,
+			pimPerN/((1+rho)*logStarP),
+			float64(d.CommTime)*float64(p)/float64(d.Communication),
+			sharedPerN, sharedPerN/pimPerN)
+	}
+	tb.Fprint(w)
+}
+
+func runDBSCAN(w io.Writer, quick bool) {
+	ns := []int{1 << 13, 1 << 14, 1 << 15}
+	if quick {
+		ns = []int{1 << 10, 1 << 11}
+	}
+	const p = 64
+	minPts := 16
+	tb := NewTable(
+		fmt.Sprintf("2d-DBSCAN scaling (P=%d, minPts=%d). Paper: comm/n = O(1), total work/n ≈ c(k+log n),"+
+			" CPU work/n ≈ c·log P, PIM-balanced.", p, minPts),
+		"n", "clusters", "comm/n", "work/(n(k+lg n))", "cpuWork/(n·lg P)", "commTime·P/comm", "work max/mean")
+	for _, n := range ns {
+		pts := workload.GaussianClusters(n, 2, 6, 0.02, int64(n)+1)
+		pts = append(pts, workload.Uniform(n/8, 2, int64(n)+2)...)
+		eps := 0.02
+		mach := pim.NewMachine(p, defaultCache)
+		res := cluster.DBSCANPIM(mach, pts, eps, minPts)
+		d := mach.Stats()
+		workL, _ := mach.ModuleLoads()
+		nn := float64(len(pts))
+		lgn := mathx.Log2(nn)
+		tb.Row(len(pts), res.NumClusters,
+			float64(d.Communication)/nn,
+			float64(d.TotalWork())/(nn*(float64(minPts)+lgn)),
+			float64(d.CPUWork)/(nn*mathx.Log2(p)),
+			float64(d.CommTime)*float64(p)/float64(d.Communication),
+			pim.MaxLoadRatio(workL))
+	}
+	tb.Fprint(w)
+}
+
+func runSort(w io.Writer, quick bool) {
+	ambient := 1 << 18
+	ms := []int{1 << 6, 1 << 10, 1 << 14, 1 << 17}
+	if quick {
+		ambient = 1 << 14
+		ms = []int{1 << 5, 1 << 8, 1 << 12}
+	}
+	const p = 64
+	tb := NewTable(
+		fmt.Sprintf("PIM sorting regimes (ambient n=%d, P=%d). Lemma 6.2: comm O(m), balanced; work O(m log)…", ambient, p),
+		"m", "regime", "comm", "comm/m", "pimWork/(m·lg m)", "cpuWork/(m·lg P)", "commTime·P/comm")
+	logP := mathx.MaxInt(1, mathx.CeilLog2(p))
+	for _, m := range ms {
+		keys := make([]float64, m)
+		pts := workload.Uniform(m, 1, int64(m))
+		for i := range keys {
+			keys[i] = pts[i][0]
+		}
+		mach := pim.NewMachine(p, defaultCache)
+		pimsort.Sort(mach, keys, ambient, uint64(m))
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] > keys[i] {
+				fmt.Fprintf(w, "SORT BUG: unsorted output at %d\n", i)
+			}
+		}
+		d := mach.Stats()
+		regime := "(iii) cache-merge"
+		if m <= ambient/(p*logP) {
+			regime = "(i) single module"
+		} else if m >= p*logP*logP {
+			regime = "(ii) splitter scatter"
+		}
+		lgm := mathx.Log2(float64(m))
+		tb.Row(m, regime, d.Communication,
+			float64(d.Communication)/float64(m),
+			float64(d.PIMWork)/(float64(m)*lgm),
+			float64(d.CPUWork)/(float64(m)*mathx.Log2(p)),
+			float64(d.CommTime)*float64(p)/float64(d.Communication))
+	}
+	tb.Fprint(w)
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"pimkd/internal/core"
+	"pimkd/internal/counter"
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "counter",
+		Artifact: "Lemma 3.6 approximate counter accuracy + Algorithm 3 (E8)",
+		Summary: "Morris-variant counters with p = log n/(βV): relative estimation error is o(1) for " +
+			"ΔV = Ω(βV), while the write (replica fan-out) rate collapses as V grows.",
+		Run: runCounter,
+	})
+	register(Experiment{
+		ID:       "height",
+		Artifact: "Lemma 3.7 tree height under approximate counters (E9)",
+		Summary:  "Churning batches of inserts+deletes: height stays ≤ c·log₂ n although all balance decisions read approximate counters.",
+		Run:      runHeight,
+	})
+}
+
+func runCounter(w io.Writer, quick bool) {
+	trials := 400
+	if quick {
+		trials = 100
+	}
+	nAmbient := float64(1 << 20)
+	beta := 1.0
+	rng := rand.New(rand.NewSource(6))
+
+	tb := NewTable(
+		fmt.Sprintf("Counter accuracy over %d trials (n=%g, β=%g). Paper: error → 0 for ΔV ≥ βV; write rate ≈ log n/(βV).",
+			trials, nAmbient, beta),
+		"V0", "ΔV", "mean |err|", "p95 |err|", "writes/op", "predicted writes/op")
+	for _, v0 := range []float64{256, 4096, 65536} {
+		for _, frac := range []float64{0.5, 1, 2} {
+			dv := v0 * frac
+			var errs []float64
+			var writes int64
+			for t := 0; t < trials; t++ {
+				c := counter.NewApprox(v0)
+				for i := 0; i < int(dv); i++ {
+					fired, _ := c.Inc(rng, nAmbient, beta)
+					if fired {
+						writes++
+					}
+				}
+				errs = append(errs, math.Abs((c.Value()-v0)-dv)/dv)
+			}
+			mean, p95 := summarize(errs)
+			tb.Row(int(v0), int(dv), mean, p95,
+				float64(writes)/(float64(trials)*dv),
+				counter.ExpectedUpdateRate(v0+dv/2, nAmbient, beta))
+		}
+	}
+	tb.Fprint(w)
+
+	// The whp-in-n claim: at fixed V₀ = ΔV, relative error falls like
+	// 1/sqrt(log n) as the ambient structure size grows.
+	tb2 := NewTable(
+		"Error versus ambient n (V₀ = ΔV = 4096, β = 1). Lemma 3.6: error = o(1) whp in n.",
+		"log₂ n", "mean |err|", "p95 |err|", "err·sqrt(lg n)")
+	for _, lg := range []float64{8, 16, 32, 64, 128} {
+		nA := math.Pow(2, lg)
+		var errs []float64
+		for tr := 0; tr < trials; tr++ {
+			c := counter.NewApprox(4096)
+			for i := 0; i < 4096; i++ {
+				c.Inc(rng, nA, beta)
+			}
+			errs = append(errs, math.Abs((c.Value()-4096)-4096)/4096)
+		}
+		mean, p95 := summarize(errs)
+		tb2.Row(int(lg), mean, p95, mean*math.Sqrt(lg))
+	}
+	tb2.Fprint(w)
+	fmt.Fprintln(w, "shape check: err·sqrt(lg n) stays ~constant — the error vanishes as Θ(1/sqrt(log n)),")
+	fmt.Fprintln(w, "matching the Chernoff exponent of Lemma 3.6.")
+}
+
+func summarize(xs []float64) (mean, p95 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	cp := append([]float64(nil), xs...)
+	for _, x := range cp {
+		mean += x
+	}
+	mean /= float64(len(cp))
+	// Selection for the 95th percentile.
+	k := int(0.95 * float64(len(cp)))
+	if k >= len(cp) {
+		k = len(cp) - 1
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return mean, cp[k]
+}
+
+func runHeight(w io.Writer, quick bool) {
+	n0, rounds, s := 1<<14, 12, 1<<11
+	if quick {
+		n0, rounds, s = 1<<12, 6, 1<<9
+	}
+	const p, dim = 64, 2
+	runHeightMode(w, "semi-balanced (α=1)", core.Config{Dim: dim, Seed: 55}, n0, rounds, s, p, dim)
+	runHeightMode(w, "strictly-balanced (α=O(1)/log n, Lemma 3.7(ii))",
+		core.Config{Dim: dim, Seed: 55, Alpha: core.StrictAlpha(n0)}, n0, rounds, s, p, dim)
+}
+
+func runHeightMode(w io.Writer, mode string, cfg core.Config, n0, rounds, s, p, dim int) {
+	mach := pimNewMachine(p)
+	tree := core.New(cfg, mach)
+	tree.Build(makeItems(workload.Uniform(n0, dim, 55)))
+	tb := NewTable(
+		fmt.Sprintf("Height under churn, %s (n₀=%d, S=%d per round, P=%d). Paper: height = O(log n) whp;"+
+			" log n + O(1) in the strict regime.", mode, n0, s, p),
+		"round", "n", "height", "height/log₂n", "rebuilt pts/op")
+	nextID := int32(n0)
+	var live []int32
+	for i := int32(0); i < int32(n0); i++ {
+		live = append(live, i)
+	}
+	liveSet := map[int32]geom.Point{}
+	for _, it := range tree.Items() {
+		liveSet[it.ID] = it.P
+	}
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < rounds; round++ {
+		ins := workload.Uniform(s, dim, int64(round)+900)
+		items := makeItems(ins)
+		for i := range items {
+			items[i].ID = nextID
+			liveSet[nextID] = items[i].P
+			live = append(live, nextID)
+			nextID++
+		}
+		preOps := tree.OpStats
+		tree.BatchInsert(items)
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		del := live[:s]
+		live = live[s:]
+		delBatch := make([]core.Item, 0, len(del))
+		for _, id := range del {
+			delBatch = append(delBatch, core.Item{P: liveSet[id], ID: id})
+			delete(liveSet, id)
+		}
+		tree.BatchDelete(delBatch)
+		lg := mathx.Log2(float64(tree.Size()))
+		tb.Row(round, tree.Size(), tree.Height(), float64(tree.Height())/lg,
+			float64(tree.OpStats.RebuiltPoints-preOps.RebuiltPoints)/float64(2*s))
+	}
+	tb.Fprint(w)
+}

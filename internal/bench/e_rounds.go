@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimkd/internal/mathx"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "rounds",
+		Artifact: "§7 round complexity (E18)",
+		Summary: "Bulk-synchronous rounds per batched search: Θ(c/M + s) with communication span s = " +
+			"O(log P) — rounds stay flat as n and S grow, and shrink as caching collapses the span.",
+		Run: runRounds,
+	})
+}
+
+func runRounds(w io.Writer, quick bool) {
+	const p, dim = 64, 2
+	ns := []int{1 << 14, 1 << 16, 1 << 18}
+	ss := []int{1 << 10, 1 << 12, 1 << 14}
+	if quick {
+		ns = []int{1 << 12, 1 << 13}
+		ss = []int{1 << 9, 1 << 10}
+	}
+	lsp := mathx.LogStar(p)
+
+	tb := NewTable(
+		fmt.Sprintf("Rounds per LeafSearch batch (P=%d, log*P=%d). §7: the off-chip search span is O(log P) "+
+			"after caching (vs O(log n) shared-memory); rounds are flat in n and S.", p, lsp),
+		"n", "S", "rounds/batch", "rounds/(log*P+2)", "tree height (log n levels)")
+	for _, n := range ns {
+		tree, mach, pts := buildPIMTree(n, dim, p, int64(n)+13)
+		for _, s := range ss {
+			qs := workload.Sample(pts, s, 0.001, int64(s))
+			pre := mach.Stats()
+			tree.LeafSearch(qs)
+			d := mach.Stats().Sub(pre)
+			tb.Row(n, s, d.Rounds,
+				float64(d.Rounds)/float64(lsp+2),
+				tree.Height())
+		}
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "shape check: rounds track the number of groups (plus pull waves bounded by the Group-1")
+	fmt.Fprintln(w, "component height), not the Θ(log n) level count a shared-memory BSP search would need.")
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimkd/internal/core"
+	"pimkd/internal/logtree"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pkdtree"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "leafsearch",
+		Artifact: "Table 1 row LeafSearch + Theorem 4.1 (E2)",
+		Summary: "Batched point search: PIM communication O(S·min{log*P, log(n/S)}) — flat in n — versus " +
+			"the shared-memory PKD-tree O(S·log(n/S)) and the log-tree O(S·log²(n/S)).",
+		Run: runLeafSearch,
+	})
+}
+
+func runLeafSearch(w io.Writer, quick bool) {
+	ns := []int{1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18}
+	s := 1 << 13
+	if quick {
+		ns = []int{1 << 12, 1 << 13}
+		s = 1 << 10
+	}
+	const p, dim = 64, 2
+	logStarP := float64(mathx.LogStar(p))
+
+	tb := NewTable(
+		fmt.Sprintf("LeafSearch, batch S=%d, P=%d. Paper: PIM comm/query ≈ c·log*P (=%.0f), flat as n grows;"+
+			" baselines grow with log n.", s, p, logStarP),
+		"n", "pim words/q", "words/(q·log*P)", "commTime·P/comm", "pkd words/q", "logtree words/q",
+		"pkd/pim", "logtree/pim")
+	for _, n := range ns {
+		tree, mach, pts := buildPIMTree(n, dim, p, int64(n)+3)
+		qs := workload.Sample(pts, s, 0.001, 17)
+		pre := mach.Stats()
+		tree.LeafSearch(qs)
+		d := mach.Stats().Sub(pre)
+		pimPerQ := perQuery(d.Communication, s)
+
+		// Shared-memory PKD baseline.
+		pk := pkdtree.New(pkdtree.Config{Dim: dim, Seed: 4}, makePKDItems(pts))
+		pk.Meter.Reset()
+		for _, q := range qs {
+			pk.LeafSearch(q)
+		}
+		pkPerQ := perQuery(pk.Meter.NodeVisits*core.NodeWords(dim), s)
+
+		// Log-tree baseline: insert in 63 batches so the forest ends with
+		// ~6 live levels (the logarithmic method's multi-tree state).
+		lf := logtree.New(pkdtree.Config{Dim: dim, Seed: 4})
+		for _, chunk := range workload.Split(pts, mathx.MaxInt(1, mathx.CeilDiv(n, 63))) {
+			lf.BatchInsert(makePKDItems(chunk))
+		}
+		base := lf.NodeVisits()
+		for _, q := range qs {
+			lf.LeafSearch(q)
+		}
+		ltPerQ := perQuery((lf.NodeVisits()-base)*core.NodeWords(dim), s)
+
+		tb.Row(n, pimPerQ, pimPerQ/logStarP,
+			float64(d.CommTime)*float64(p)/float64(d.Communication),
+			pkPerQ, ltPerQ, pkPerQ/pimPerQ, ltPerQ/pimPerQ)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "shape check: the pim comm/q column stays flat while both baselines grow with n;")
+	fmt.Fprintln(w, "the baseline/pim ratio columns are the paper's predicted log(n/S)/log*P and log²(n/S)/log*P factors.")
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "skew",
+		Artifact: "Definition 1 PIM-balance + Lemma 3.8 push-pull + §3 straw man (E12)",
+		Summary: "Adversarial batches confined to a vanishing subspace: the PIM-kd-tree stays PIM-balanced " +
+			"(max/mean per-module load O(1)) while the space-partitioned straw man concentrates the whole " +
+			"batch on one module. Includes the push-only / pull-only ablation.",
+		Run: runSkew,
+	})
+	register(Experiment{
+		ID:       "delayed",
+		Artifact: "§3.4 delayed Group-1 construction + Lemma 3.9 (E17)",
+		Summary: "Growing the tree through many small batches: delayed construction defers Group-1 caching " +
+			"without hurting communication time (Lemma 3.9), versus eager caching on every rebuild.",
+		Run: runDelayed,
+	})
+}
+
+func runSkew(w io.Writer, quick bool) {
+	n, s := 1<<16, 1<<12
+	if quick {
+		n, s = 1<<13, 1<<10
+	}
+	const p, dim = 64, 2
+	pts := workload.Uniform(n, dim, 71)
+	batches := map[string][]workloadBatch{
+		"uniform": {{name: "uniform", qs: workload.Sample(pts, s, 0.001, 73)}},
+		"hotspot": {
+			{name: "hotspot 1e-2", qs: workload.Hotspot(s, dim, 1e-2, 75)},
+			{name: "hotspot 1e-4", qs: workload.Hotspot(s, dim, 1e-4, 76)},
+		},
+	}
+
+	tb := NewTable(
+		fmt.Sprintf("LeafSearch skew resistance (n=%d, S=%d, P=%d): per-module communication max/mean."+
+			" Paper: PIM-kd-tree O(1) whp even adversarially; straw man unbounded.", n, s, p),
+		"batch", "design", "comm max/mean", "work max/mean", "comm/q", "pulls", "pushes")
+	run := func(name string, variant string, factor int, qs []geom.Point) {
+		mach := pim.NewMachine(p, defaultCache)
+		tree := core.New(core.Config{Dim: dim, Seed: 81, PushPullFactor: factor}, mach)
+		tree.Build(makeItems(pts))
+		mach.ResetStats()
+		preOps := tree.OpStats
+		tree.LeafSearch(qs)
+		d := mach.Stats()
+		workL, commL := mach.ModuleLoads()
+		tb.Row(name, variant,
+			pim.MaxLoadRatio(commL), pim.MaxLoadRatio(workL),
+			perQuery(d.Communication, len(qs)),
+			tree.OpStats.Pulls-preOps.Pulls, tree.OpStats.Pushes-preOps.Pushes)
+	}
+	for _, group := range []string{"uniform", "hotspot"} {
+		for _, b := range batches[group] {
+			run(b.name, "push-pull", 0, b.qs)
+			run(b.name, "push-only", 1<<30, b.qs)
+			run(b.name, "pull-only", -1, b.qs)
+			// Straw man partitioned tree.
+			mach := pim.NewMachine(p, defaultCache)
+			pt := core.NewPartitioned(dim, 8, mach, makeItems(pts))
+			mach.ResetStats()
+			pt.LeafSearch(b.qs)
+			d := mach.Stats()
+			workL, commL := mach.ModuleLoads()
+			tb.Row(b.name, "partitioned (straw man)",
+				pim.MaxLoadRatio(commL), pim.MaxLoadRatio(workL),
+				perQuery(d.Communication, len(b.qs)), "-", "-")
+		}
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "shape check: push-pull keeps max/mean near 1 on hotspots where push-only degrades toward the")
+	fmt.Fprintln(w, "straw man's P-fold concentration; pull-only balances but forfeits offloading (all routing on CPU).")
+
+	// kNN under the same adversarial batches: backtracking walks are
+	// irregular, so skew defense relies on batch-level contention pulls.
+	tb2 := NewTable(
+		fmt.Sprintf("kNN skew resistance (n=%d, S=%d, k=8, P=%d): straggler module work (the PIM-time driver).", n, s, p),
+		"batch", "max module work", "mean module work", "cpu work", "comm/q")
+	tree2, mach2, pts2 := buildPIMTree(n, dim, p, 91)
+	runKNN := func(name string, qs []geom.Point) {
+		mach2.ResetStats()
+		tree2.KNN(qs, 8)
+		d := mach2.Stats()
+		workL, _ := mach2.ModuleLoads()
+		var max, sum int64
+		for _, v := range workL {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		tb2.Row(name, max, sum/int64(p), d.CPUWork, perQuery(d.Communication, len(qs)))
+	}
+	runKNN("uniform", workload.Sample(pts2, s, 0.001, 93))
+	runKNN("hotspot 1e-2", workload.Hotspot(s, dim, 1e-2, 95))
+	runKNN("hotspot 1e-4", workload.Hotspot(s, dim, 1e-4, 97))
+	tb2.Fprint(w)
+	fmt.Fprintln(w, "shape check: the hotspot batch's straggler (max module work) stays within a small factor of the")
+	fmt.Fprintln(w, "uniform batch's, because contended nodes are pulled to the CPU (push-pull applied per node).")
+}
+
+type workloadBatch struct {
+	name string
+	qs   []geom.Point
+}
+
+func runDelayed(w io.Writer, quick bool) {
+	n0, batches, s := 1<<14, 24, 1<<11
+	if quick {
+		n0, batches, s = 1<<12, 8, 1<<9
+	}
+	const p, dim = 64, 2
+
+	tb := NewTable(
+		fmt.Sprintf("Delayed Group-1 construction during %d insert batches of S=%d (n₀=%d, P=%d)."+
+			" Lemma 3.9: same communication-time shape, fewer replica writes up front.", batches, s, n0, p),
+		"mode", "comm total", "commTime total", "commTime·P/comm", "unfinished", "search comm/q", "comm/q after flush")
+	for _, mode := range []string{"delayed", "eager"} {
+		mach := pim.NewMachine(p, defaultCache)
+		cfg := core.Config{Dim: dim, Seed: 83, NoDelayedGroup1: mode == "eager"}
+		tree := core.New(cfg, mach)
+		pts := workload.Uniform(n0, dim, 85)
+		tree.Build(makeItems(pts))
+		mach.ResetStats()
+		next := int32(n0)
+		for b := 0; b < batches; b++ {
+			ins := makeItems(workload.Uniform(s, dim, int64(9000+b)))
+			for i := range ins {
+				ins[i].ID = next
+				next++
+			}
+			tree.BatchInsert(ins)
+		}
+		d := mach.Stats()
+		qs := workload.Uniform(s, dim, 87)
+		pre := mach.Stats()
+		tree.LeafSearch(qs)
+		dq := mach.Stats().Sub(pre)
+		unfinished := 0
+		for _, st := range tree.DecompositionStats() {
+			unfinished += st.Unfinished
+		}
+		tree.FlushDelayed()
+		pre = mach.Stats()
+		tree.LeafSearch(qs)
+		dq2 := mach.Stats().Sub(pre)
+		tb.Row(mode, d.Communication, d.CommTime,
+			float64(d.CommTime)*float64(p)/float64(d.Communication),
+			unfinished,
+			perQuery(dq.Communication, s),
+			perQuery(dq2.Communication, s))
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "Lemma 3.9: total communication time matches eager construction whp; the per-query overhead of")
+	fmt.Fprintln(w, "unfinished components disappears once the flush phase builds their caches.")
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimkd/internal/mathx"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "decomposition",
+		Artifact: "Figure 1 + Lemmas 3.1/3.2 (E10)",
+		Summary: "Log-star decomposition structure: Group j holds O(n/log^{(j)}P) nodes in components of " +
+			"height O(log^{(j)}P).",
+		Run: runDecomposition,
+	})
+	register(Experiment{
+		ID:       "caching",
+		Artifact: "Figure 2 + Theorem 3.3 (E11)",
+		Summary: "Dual-way caching layout: per-group replica volume O(n) and total space factor O(log* P); " +
+			"copies per node bounded by twice the component height.",
+		Run: runCaching,
+	})
+}
+
+func runDecomposition(w io.Writer, quick bool) {
+	n := 1 << 17
+	if quick {
+		n = 1 << 13
+	}
+	const p, dim = 256, 2
+	tree := buildFineTree(n, dim, p, 61)
+	lsp := tree.LogStarP()
+
+	tb := NewTable(
+		fmt.Sprintf("Log-star decomposition (n=%d, P=%d, log*P=%d). Lemma 3.1: nodes(j) ≤ c·n/H_j;"+
+			" Lemma 3.2: height(j) ≤ c·log H_{j-1}.", n, p, lsp),
+		"group", "H_j", "nodes", "nodes·H_j/n", "components", "max comp height", "height/limit")
+	stats := tree.DecompositionStats()
+	prevH := float64(p) * 4
+	for _, st := range stats {
+		limit := mathx.Log2(prevH) + 2
+		hRatio := float64(st.MaxHeight) / limit
+		tb.Row(st.Group, F(st.Threshold), st.Nodes,
+			float64(st.Nodes)*st.Threshold/float64(n),
+			st.Components, st.MaxHeight, hRatio)
+		prevH = st.Threshold
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "shape check: nodes·H_j/n stays O(1) per group (Lemma 3.1) and each group's component height")
+	fmt.Fprintln(w, "stays within a small factor of log H_{j-1} (Lemma 3.2).")
+}
+
+func runCaching(w io.Writer, quick bool) {
+	ns := []int{1 << 14, 1 << 16}
+	if quick {
+		ns = []int{1 << 12, 1 << 13}
+	}
+	const p, dim = 256, 2
+	for _, n := range ns {
+		tree := buildFineTree(n, dim, p, 67)
+		stats := tree.DecompositionStats()
+		tb := NewTable(
+			fmt.Sprintf("Dual-way caching volume (n=%d, P=%d). Theorem 3.3: copies(j) = O(n) per group, total O(n·log*P).", n, p),
+			"group", "nodes", "copies", "copies/node", "copies/n")
+		var total int64
+		for _, st := range stats {
+			if st.Nodes == 0 {
+				continue
+			}
+			total += st.Copies
+			tb.Row(st.Group, st.Nodes, st.Copies,
+				float64(st.Copies)/float64(st.Nodes),
+				float64(st.Copies)/float64(n))
+		}
+		tb.Fprint(w)
+		fmt.Fprintf(w, "total copies per point = %.2f vs bound O(log*P+1) = O(%d); model space %d words (%.2f words/point)\n\n",
+			float64(total)/float64(n), tree.LogStarP()+1, tree.SpaceWords(),
+			float64(tree.SpaceWords())/float64(n))
+	}
+}

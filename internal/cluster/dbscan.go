@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"pimkd/internal/conncomp"
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+)
+
+// DBSCANResult is the output of (eps, minPts)-DBSCAN.
+type DBSCANResult struct {
+	// Labels[i] is the cluster id of point i in [0, NumClusters), or -1
+	// for noise. Border points belonging to several clusters get one of
+	// them (deterministically, by scan order).
+	Labels []int32
+	// Core marks the core points.
+	Core []bool
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// DBSCANPIM runs 2-dimensional (eps, minPts)-DBSCAN on the PIM machine
+// following §6.2's four phases: (i) grid computation with cells of side
+// eps/√2 hash-distributed over modules, (ii) core marking with push-pull
+// collocation of neighboring cells, (iii) cell-graph construction via the
+// sorted-sweep USEC check, and (iv) connected components over the cell
+// graph. Points must be 2-dimensional.
+//
+// Running it on a 1-module machine yields the shared-memory baseline: the
+// same O(n(k + log n)) total work with all of it on the single "module".
+func DBSCANPIM(mach *pim.Machine, pts []geom.Point, eps float64, minPts int) DBSCANResult {
+	n := len(pts)
+	res := DBSCANResult{Labels: make([]int32, n), Core: make([]bool, n)}
+	for i := range res.Labels {
+		res.Labels[i] = -1
+	}
+	if n == 0 {
+		return res
+	}
+	if len(pts[0]) != 2 {
+		panic("cluster: DBSCANPIM requires 2-dimensional points")
+	}
+	side := eps / math.Sqrt2
+	eps2 := eps * eps
+
+	type cellT struct {
+		cx, cy int32
+		// mods are the modules holding this cell. Cells exceeding the
+		// n/(P log P) point cap are recursively divided into sub-cells on
+		// additional random modules (§6.2's grid refinement), which keeps
+		// every phase PIM-balanced even when the data piles into one cell.
+		mods []int
+		pts  []int32
+		core []int32 // core point indices, sorted by x then index
+	}
+	keyOf := func(cx, cy int32) uint64 {
+		return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+	}
+	coord := func(v float64) int32 { return int32(math.Floor(v / side)) }
+
+	// Phase (i): grid computation with sub-cell division.
+	cellIdx := map[uint64]int32{}
+	var cells []*cellT
+	pointCell := make([]int32, n)
+	subCap := mathx.MaxInt(1, n/(mach.P()*mathx.MaxInt(1, mathx.CeilLog2(mach.P()))))
+	mach.RunRound(func(r *pim.Round) {
+		for i, p := range pts {
+			cx, cy := coord(p[0]), coord(p[1])
+			k := keyOf(cx, cy)
+			ci, ok := cellIdx[k]
+			if !ok {
+				ci = int32(len(cells))
+				cellIdx[k] = ci
+				cells = append(cells, &cellT{cx: cx, cy: cy,
+					mods: []int{mach.Hash(k ^ 0xd6e8feb8)}})
+			}
+			c := cells[ci]
+			c.pts = append(c.pts, int32(i))
+			pointCell[i] = ci
+			if len(c.pts) > subCap*len(c.mods) {
+				// Divide: a fresh sub-cell on another random module.
+				c.mods = append(c.mods, mach.Hash(k^uint64(len(c.mods))*0x9e3779b97f4a7c15))
+			}
+			m := c.mods[len(c.pts)%len(c.mods)]
+			r.Transfer(m, 2)
+			r.ModuleWork(m, 1)
+		}
+		r.CPUWork(int64(n))
+		r.CPUSpan(int64(mathx.CeilLog2(n) + 1))
+	})
+	// modOf spreads a cell's i-th unit of work over its sub-cell modules.
+	modOf := func(c *cellT, i int) int { return c.mods[i%len(c.mods)] }
+
+	// neighborCells lists the grid neighbors of cell c whose minimum
+	// cell-to-cell distance is at most eps, in deterministic order.
+	neighborCells := func(c *cellT) []int32 {
+		var out []int32
+		for dx := int32(-2); dx <= 2; dx++ {
+			for dy := int32(-2); dy <= 2; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				gapX := float64(mathx.MaxInt(0, int(absI32(dx))-1)) * side
+				gapY := float64(mathx.MaxInt(0, int(absI32(dy))-1)) * side
+				if gapX*gapX+gapY*gapY > eps2 {
+					continue
+				}
+				if ci, ok := cellIdx[keyOf(c.cx+dx, c.cy+dy)]; ok {
+					out = append(out, ci)
+				}
+			}
+		}
+		return out
+	}
+
+	// Phase (ii): core marking. Cells with >= minPts points are entirely
+	// core; the rest collocate with neighbors under push-pull (the smaller
+	// side's points travel).
+	mach.RunRound(func(r *pim.Round) {
+		for _, c := range cells {
+			if len(c.pts) >= minPts {
+				for i := range c.pts {
+					r.ModuleWork(modOf(c, i), 1)
+				}
+				for _, pi := range c.pts {
+					res.Core[pi] = true
+				}
+				continue
+			}
+			neigh := neighborCells(c)
+			counts := make([]int, len(c.pts))
+			// Self-cell pairs first (all within eps by construction of the
+			// grid side).
+			for i := range c.pts {
+				counts[i] = len(c.pts)
+			}
+			r.ModuleWork(modOf(c, 0), int64(len(c.pts)))
+			for _, ni := range neigh {
+				nb := cells[ni]
+				// Push-pull collocation: the smaller point set travels to
+				// the (sub-cell-divided) modules holding the larger one.
+				host := c
+				if len(nb.pts) > len(c.pts) {
+					host = nb
+				}
+				moved := mathx.MinInt(len(c.pts), len(nb.pts))
+				for j := 0; j < moved; j++ {
+					r.Transfer(modOf(host, j), 2)
+				}
+				var comparisons int
+				for i, pi := range c.pts {
+					if counts[i] >= minPts {
+						continue
+					}
+					for _, qi := range nb.pts {
+						comparisons++
+						if geom.Dist2(pts[pi], pts[qi]) <= eps2 {
+							counts[i]++
+							if counts[i] >= minPts {
+								break
+							}
+						}
+					}
+				}
+				for j := 0; j < comparisons; j++ {
+					r.ModuleWork(modOf(host, j), 1)
+				}
+			}
+			for i, pi := range c.pts {
+				if counts[i] >= minPts {
+					res.Core[pi] = true
+				}
+			}
+		}
+	})
+
+	// Phase (iii): cell graph over cells that contain core points. Core
+	// points are sorted by x per cell (the USEC sorting step), then each
+	// neighboring pair is checked for a core-core distance <= eps with a
+	// sorted sweep.
+	mach.RunRound(func(r *pim.Round) {
+		for _, c := range cells {
+			for _, pi := range c.pts {
+				if res.Core[pi] {
+					c.core = append(c.core, pi)
+				}
+			}
+			if len(c.core) > 1 {
+				sort.Slice(c.core, func(a, b int) bool {
+					if pts[c.core[a]][0] != pts[c.core[b]][0] {
+						return pts[c.core[a]][0] < pts[c.core[b]][0]
+					}
+					return c.core[a] < c.core[b]
+				})
+				m := len(c.core)
+				lg := mathx.CeilLog2(m) + 1
+				for j := 0; j < m; j++ {
+					r.ModuleWork(modOf(c, j), int64(lg))
+				}
+			}
+		}
+	})
+	var edges []conncomp.Edge
+	mach.RunRound(func(r *pim.Round) {
+		for ci, c := range cells {
+			if len(c.core) == 0 {
+				continue
+			}
+			for _, ni := range neighborCells(c) {
+				if int32(ci) >= ni {
+					continue // each unordered pair once
+				}
+				nb := cells[ni]
+				if len(nb.core) == 0 {
+					continue
+				}
+				host := c
+				if len(nb.core) > len(c.core) {
+					host = nb
+				}
+				for j := 0; j < 2*mathx.MinInt(len(c.core), len(nb.core)); j++ {
+					r.Transfer(modOf(host, j), 1)
+				}
+				var comparisons int64
+				connected := false
+				for _, a := range c.core {
+					ax := pts[a][0]
+					// Sweep the x-window [ax-eps, ax+eps] in nb.core.
+					lo := sort.Search(len(nb.core), func(j int) bool {
+						return pts[nb.core[j]][0] >= ax-eps
+					})
+					for j := lo; j < len(nb.core) && pts[nb.core[j]][0] <= ax+eps; j++ {
+						comparisons++
+						if geom.Dist2(pts[a], pts[nb.core[j]]) <= eps2 {
+							connected = true
+							break
+						}
+					}
+					if connected {
+						break
+					}
+				}
+				for j := int64(0); j <= comparisons; j++ {
+					r.ModuleWork(modOf(host, int(j)), 1)
+				}
+				if connected {
+					edges = append(edges, conncomp.Edge{U: int32(ci), V: ni})
+				}
+			}
+		}
+	})
+
+	// Phase (iv): connected components over the cell graph, then point
+	// labeling (border points attach to any in-range core neighbor).
+	cellLabels := conncomp.Components(mach, len(cells), edges)
+	remap := map[int32]int32{}
+	labelOfCell := func(ci int32) int32 {
+		root := cellLabels[ci]
+		if l, ok := remap[root]; ok {
+			return l
+		}
+		l := int32(len(remap))
+		remap[root] = l
+		return l
+	}
+	mach.RunRound(func(r *pim.Round) {
+		for i := range pts {
+			c := cells[pointCell[i]]
+			if res.Core[i] {
+				res.Labels[i] = labelOfCell(pointCell[i])
+				r.ModuleWork(modOf(c, i), 1)
+				continue
+			}
+			// Border or noise: find a core point within eps in this or a
+			// neighboring cell.
+			var comparisons int64
+			assign := func(cands []int32, ci int32) bool {
+				for _, qi := range cands {
+					comparisons++
+					if res.Core[qi] && geom.Dist2(pts[i], pts[qi]) <= eps2 {
+						res.Labels[i] = labelOfCell(ci)
+						return true
+					}
+				}
+				return false
+			}
+			done := assign(c.pts, pointCell[i])
+			if !done {
+				for _, ni := range neighborCells(c) {
+					if assign(cells[ni].pts, ni) {
+						break
+					}
+				}
+			}
+			for j := int64(0); j < comparisons; j++ {
+				r.ModuleWork(modOf(c, int(j)), 1)
+			}
+		}
+	})
+	res.NumClusters = len(remap)
+	return res
+}
+
+func absI32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DBSCANBrute is the quadratic reference: BFS cluster expansion from core
+// points. Used to validate the grid algorithm on small inputs.
+func DBSCANBrute(pts []geom.Point, eps float64, minPts int) DBSCANResult {
+	n := len(pts)
+	res := DBSCANResult{Labels: make([]int32, n), Core: make([]bool, n)}
+	for i := range res.Labels {
+		res.Labels[i] = -1
+	}
+	eps2 := eps * eps
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if geom.Dist2(pts[i], pts[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if len(neighbors(i)) >= minPts {
+			res.Core[i] = true
+		}
+	}
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		if !res.Core[i] || res.Labels[i] >= 0 {
+			continue
+		}
+		label := next
+		next++
+		queue := []int{i}
+		res.Labels[i] = label
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if !res.Core[u] {
+				continue
+			}
+			for _, v := range neighbors(u) {
+				if res.Labels[v] < 0 {
+					res.Labels[v] = label
+					if res.Core[v] {
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+	}
+	res.NumClusters = int(next)
+	return res
+}

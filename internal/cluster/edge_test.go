@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func TestDBSCANEmptyAndSingle(t *testing.T) {
+	mach := pim.NewMachine(4, 1<<16)
+	res := DBSCANPIM(mach, nil, 0.1, 3)
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Fatal("empty input produced clusters")
+	}
+	res = DBSCANPIM(mach, []geom.Point{{0.5, 0.5}}, 0.1, 2)
+	if res.NumClusters != 0 || res.Labels[0] != -1 || res.Core[0] {
+		t.Fatalf("single point should be noise: %+v", res)
+	}
+	res = DBSCANPIM(mach, []geom.Point{{0.5, 0.5}}, 0.1, 1)
+	if res.NumClusters != 1 || !res.Core[0] {
+		t.Fatalf("minPts=1 single point should be a core cluster: %+v", res)
+	}
+}
+
+func TestDBSCANHugeEps(t *testing.T) {
+	pts := workload.Uniform(300, 2, 1)
+	mach := pim.NewMachine(8, 1<<16)
+	res := DBSCANPIM(mach, pts, 10, 3)
+	if res.NumClusters != 1 {
+		t.Fatalf("eps covering everything should give 1 cluster, got %d", res.NumClusters)
+	}
+	for i := range pts {
+		if !res.Core[i] || res.Labels[i] != res.Labels[0] {
+			t.Fatalf("point %d not in the single cluster", i)
+		}
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Points far apart relative to eps.
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{float64(i), 0})
+	}
+	mach := pim.NewMachine(8, 1<<16)
+	res := DBSCANPIM(mach, pts, 0.1, 2)
+	if res.NumClusters != 0 {
+		t.Fatalf("isolated points produced %d clusters", res.NumClusters)
+	}
+}
+
+func TestDBSCANDuplicatePoints(t *testing.T) {
+	// 100 copies of one point: all core, one cluster.
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Point{0.25, 0.25}
+	}
+	mach := pim.NewMachine(8, 1<<16)
+	res := DBSCANPIM(mach, pts, 0.01, 10)
+	if res.NumClusters != 1 {
+		t.Fatalf("duplicates gave %d clusters", res.NumClusters)
+	}
+}
+
+func TestDBSCANRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := workload.GaussianClusters(150, 2, 3, 0.03, seed)
+		pts = append(pts, workload.Uniform(30, 2, seed+1)...)
+		mach := pim.NewMachine(8, 1<<16)
+		got := DBSCANPIM(mach, pts, 0.05, 5)
+		want := DBSCANBrute(pts, 0.05, 5)
+		if got.NumClusters != want.NumClusters {
+			return false
+		}
+		for i := range pts {
+			if got.Core[i] != want.Core[i] {
+				return false
+			}
+		}
+		// Core-core relation equality.
+		for i := range pts {
+			if !got.Core[i] {
+				continue
+			}
+			for j := i + 1; j < len(pts); j++ {
+				if !got.Core[j] {
+					continue
+				}
+				if (got.Labels[i] == got.Labels[j]) != (want.Labels[i] == want.Labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPCEmptyAndSingle(t *testing.T) {
+	mach := pim.NewMachine(4, 1<<16)
+	res := DPCPIM(mach, nil, DPCParams{DCut: 0.1, Eps: 0.1}, 1)
+	if res.NumClusters != 0 {
+		t.Fatal("empty DPC produced clusters")
+	}
+	res = DPCPIM(mach, []geom.Point{{0.5, 0.5}}, DPCParams{DCut: 0.1, Eps: 0.1}, 1)
+	if res.NumClusters != 1 || res.DependentID[0] != -1 || !math.IsInf(res.DependentDist[0], 1) {
+		t.Fatalf("single-point DPC wrong: %+v", res)
+	}
+	if res.Density[0] != 1 {
+		t.Fatalf("self-density %d", res.Density[0])
+	}
+}
+
+func TestDPCDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{0.5, 0.5}
+	}
+	mach := pim.NewMachine(4, 1<<16)
+	res := DPCPIM(mach, pts, DPCParams{DCut: 0.01, Eps: 0.01}, 1)
+	// All identical: densities equal, dependents chain by id order at
+	// distance zero, one cluster.
+	if res.NumClusters != 1 {
+		t.Fatalf("%d clusters for identical points", res.NumClusters)
+	}
+	for i := 0; i < 49; i++ {
+		if res.DependentDist[i] != 0 {
+			t.Fatalf("dependent dist %g for duplicate %d", res.DependentDist[i], i)
+		}
+	}
+	if res.DependentID[49] != -1 {
+		t.Fatalf("highest-id duplicate should be the peak, has dependent %d", res.DependentID[49])
+	}
+}
+
+func TestDPCEpsCutsEverything(t *testing.T) {
+	pts := workload.Uniform(200, 2, 3)
+	mach := pim.NewMachine(4, 1<<16)
+	res := DPCPIM(mach, pts, DPCParams{DCut: 0.05, Eps: 0}, 1)
+	// Eps = 0 cuts all (positive-length) edges: every distinct point its
+	// own cluster.
+	if res.NumClusters != 200 {
+		t.Fatalf("eps=0 gave %d clusters", res.NumClusters)
+	}
+}

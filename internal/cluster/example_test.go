@@ -1,0 +1,49 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"pimkd/internal/cluster"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+)
+
+// ExampleDBSCANPIM clusters two tight blobs with a far-away noise point.
+func ExampleDBSCANPIM() {
+	var pts []geom.Point
+	for i := 0; i < 10; i++ {
+		f := float64(i) * 0.001
+		pts = append(pts, geom.Point{0.1 + f, 0.1})
+		pts = append(pts, geom.Point{0.9 + f, 0.9})
+	}
+	pts = append(pts, geom.Point{0.5, 0.5}) // isolated noise
+
+	mach := pim.NewMachine(4, 1<<16)
+	res := cluster.DBSCANPIM(mach, pts, 0.05, 5)
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("noise point labeled:", res.Labels[len(pts)-1])
+	fmt.Println("blob points share a cluster:", res.Labels[0] == res.Labels[2])
+	// Output:
+	// clusters: 2
+	// noise point labeled: -1
+	// blob points share a cluster: true
+}
+
+// ExampleDPCPIM runs density peak clustering on the same two blobs.
+func ExampleDPCPIM() {
+	var pts []geom.Point
+	for i := 0; i < 10; i++ {
+		f := float64(i) * 0.001
+		pts = append(pts, geom.Point{0.1 + f, 0.1})
+		pts = append(pts, geom.Point{0.9 + f, 0.9})
+	}
+	mach := pim.NewMachine(4, 1<<16)
+	res := cluster.DPCPIM(mach, pts, cluster.DPCParams{DCut: 0.02, Eps: 0.1}, 1)
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("same blob, same cluster:", res.Labels[0] == res.Labels[2])
+	fmt.Println("different blobs split:", res.Labels[0] != res.Labels[1])
+	// Output:
+	// clusters: 2
+	// same blob, same cluster: true
+	// different blobs split: true
+}

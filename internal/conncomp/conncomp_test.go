@@ -1,0 +1,126 @@
+package conncomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/pim"
+)
+
+// refComponents is a simple union-find reference.
+func refComponents(n int, edges []Edge) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e.U), find(e.V)
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = find(int32(i))
+	}
+	return out
+}
+
+func TestSimpleGraph(t *testing.T) {
+	mach := pim.NewMachine(4, 1<<16)
+	labels := Components(mach, 6, []Edge{{0, 1}, {1, 2}, {4, 5}})
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("chain not connected")
+	}
+	if labels[3] == labels[0] || labels[4] != labels[5] || labels[4] == labels[0] {
+		t.Fatalf("labels %v", labels)
+	}
+	if Count(labels) != 3 {
+		t.Fatalf("count %d", Count(labels))
+	}
+}
+
+func TestMinLabelConvention(t *testing.T) {
+	mach := pim.NewMachine(4, 1<<16)
+	labels := Components(mach, 5, []Edge{{4, 3}, {3, 2}, {2, 1}, {1, 0}})
+	for i, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d label %d want 0", i, l)
+		}
+	}
+}
+
+func TestSelfLoopsAndDuplicates(t *testing.T) {
+	mach := pim.NewMachine(2, 1<<16)
+	labels := Components(mach, 3, []Edge{{0, 0}, {1, 2}, {2, 1}, {1, 2}})
+	if labels[1] != labels[2] || labels[0] == labels[1] {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestRandomGraphsMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		m := rng.Intn(400)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		mach := pim.NewMachine(8, 1<<16)
+		got := Components(mach, n, edges)
+		want := refComponents(n, edges)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	mach := pim.NewMachine(2, 1<<16)
+	labels := Components(mach, 0, nil)
+	if len(labels) != 0 {
+		t.Fatal("nonempty labels")
+	}
+	labels = Components(mach, 4, nil)
+	if Count(labels) != 4 {
+		t.Fatal("isolated vertices miscounted")
+	}
+}
+
+func TestBigComponentBalanced(t *testing.T) {
+	// A long path through hash-distributed edges: the work should spread.
+	mach := pim.NewMachine(16, 1<<16)
+	n := 20000
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{int32(i), int32(i + 1)}
+	}
+	labels := Components(mach, n, edges)
+	if Count(labels) != 1 {
+		t.Fatal("path not fully connected")
+	}
+	work, _ := mach.ModuleLoads()
+	if r := pim.MaxLoadRatio(work); r > 2 {
+		t.Fatalf("edge work imbalanced: %.2f", r)
+	}
+}

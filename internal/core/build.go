@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"pimkd/internal/geom"
+)
+
+// bnode is a lightweight build-time tree node. Module programs build
+// bnode trees privately (safe to run concurrently) and the CPU phase grafts
+// them into the shared arena afterwards.
+type bnode struct {
+	axis  int32
+	split float64
+	l, r  *bnode
+	box   geom.Box
+	pts   []Item
+	size  int
+	// maxPri/maxPriID track the maximum (Priority, ID) pair in the subtree
+	// for the priority-search augmentation.
+	maxPri   float64
+	maxPriID int32
+}
+
+// buildExactB deterministically builds an α-respecting kd-tree over items
+// using object-median splits on the widest non-degenerate axis. It
+// guarantees progress on any input (identical points collapse into one
+// oversized leaf). ops accumulates point-granularity work. Ownership of
+// items passes to the tree.
+func buildExactB(items []Item, leafSize int, ops *int64) *bnode {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	*ops += int64(n)
+	box := itemsBox(items)
+	if n <= leafSize {
+		return leafB(items, box)
+	}
+	axis, split, ok := exactSplit(items, box)
+	if !ok {
+		return leafB(items, box)
+	}
+	i, j := 0, n-1
+	for i <= j {
+		if items[i].P[axis] < split {
+			i++
+		} else {
+			items[i], items[j] = items[j], items[i]
+			j--
+		}
+	}
+	l := buildExactB(items[:i], leafSize, ops)
+	r := buildExactB(items[i:], leafSize, ops)
+	b := &bnode{
+		axis:  int32(axis),
+		split: split,
+		l:     l,
+		r:     r,
+		box:   unionBox(l.box, r.box),
+		size:  n,
+	}
+	b.maxPri, b.maxPriID = l.maxPri, l.maxPriID
+	if priLess(b.maxPri, b.maxPriID, r.maxPri, r.maxPriID) {
+		b.maxPri, b.maxPriID = r.maxPri, r.maxPriID
+	}
+	return b
+}
+
+func leafB(items []Item, box geom.Box) *bnode {
+	b := &bnode{box: box, pts: ownItems(items), size: len(items)}
+	b.maxPri, b.maxPriID = items[0].Priority, items[0].ID
+	for _, it := range items[1:] {
+		if priLess(b.maxPri, b.maxPriID, it.Priority, it.ID) {
+			b.maxPri, b.maxPriID = it.Priority, it.ID
+		}
+	}
+	return b
+}
+
+// priLess orders (priority, id) pairs lexicographically — the tie-break
+// order used by density peak clustering.
+func priLess(p1 float64, id1 int32, p2 float64, id2 int32) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return id1 < id2
+}
+
+// ownItems copies a partition sub-slice into owned storage so that later
+// appends to one leaf's bucket can never scribble over a sibling's points.
+func ownItems(items []Item) []Item {
+	out := make([]Item, len(items))
+	copy(out, items)
+	return out
+}
+
+func itemsBox(items []Item) geom.Box {
+	lo := items[0].P.Clone()
+	hi := items[0].P.Clone()
+	for _, it := range items[1:] {
+		for d := range it.P {
+			if it.P[d] < lo[d] {
+				lo[d] = it.P[d]
+			}
+			if it.P[d] > hi[d] {
+				hi[d] = it.P[d]
+			}
+		}
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func unionBox(a, b geom.Box) geom.Box {
+	u := a.Clone()
+	for d := range u.Lo {
+		if b.Lo[d] < u.Lo[d] {
+			u.Lo[d] = b.Lo[d]
+		}
+		if b.Hi[d] > u.Hi[d] {
+			u.Hi[d] = b.Hi[d]
+		}
+	}
+	return u
+}
+
+// exactSplit finds the object-median split value, guaranteeing both sides
+// of a (v < split) partition are non-empty. Axes are tried widest-first;
+// when duplicate coordinates make one axis's median split lopsided, the
+// axis with the most even partition wins. ok is false when all points are
+// identical.
+func exactSplit(items []Item, box geom.Box) (axis int, split float64, ok bool) {
+	type axisWidth struct {
+		axis  int
+		width float64
+	}
+	dims := make([]axisWidth, len(box.Lo))
+	for d := range box.Lo {
+		dims[d] = axisWidth{d, box.Hi[d] - box.Lo[d]}
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i].width > dims[j].width })
+	n := len(items)
+	coords := make([]float64, n)
+	bestSkew := n + 1
+	for _, aw := range dims {
+		if aw.width <= 0 {
+			break
+		}
+		a := aw.axis
+		for i, it := range items {
+			coords[i] = it.P[a]
+		}
+		v := quickMedian(coords)
+		// Two candidate cuts bracket the ideal n/2: the median value and
+		// the next distinct value above it. With duplicates, the balanced
+		// cut can be either (any value between two consecutive distinct
+		// coordinates induces the same partition).
+		next := box.Hi[a] + 1
+		hasNext := false
+		for _, c := range coords {
+			if c > v && c < next {
+				next, hasNext = c, true
+			}
+		}
+		cands := []float64{v}
+		if hasNext {
+			cands = append(cands, next)
+		}
+		for _, cand := range cands {
+			left := 0
+			for _, c := range coords {
+				if c < cand {
+					left++
+				}
+			}
+			if left < 1 || left > n-1 {
+				continue
+			}
+			skew := left - n/2
+			if skew < 0 {
+				skew = -skew
+			}
+			if skew < bestSkew {
+				bestSkew, axis, split, ok = skew, a, cand, true
+			}
+		}
+		if ok && bestSkew <= n/16 {
+			break
+		}
+	}
+	return axis, split, ok
+}
+
+// quickMedian returns the element of rank len/2 using in-place quickselect
+// (deterministic median-of-three pivoting). It permutes coords.
+func quickMedian(coords []float64) float64 {
+	k := len(coords) / 2
+	lo, hi := 0, len(coords)-1
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if coords[mid] < coords[lo] {
+			coords[mid], coords[lo] = coords[lo], coords[mid]
+		}
+		if coords[hi] < coords[lo] {
+			coords[hi], coords[lo] = coords[lo], coords[hi]
+		}
+		if coords[hi] < coords[mid] {
+			coords[hi], coords[mid] = coords[mid], coords[hi]
+		}
+		pivot := coords[mid]
+		i, j := lo, hi
+		for i <= j {
+			for coords[i] < pivot {
+				i++
+			}
+			for coords[j] > pivot {
+				j--
+			}
+			if i <= j {
+				coords[i], coords[j] = coords[j], coords[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return coords[k]
+}
+
+// graft converts a bnode tree into arena nodes under the given parent,
+// setting exact shadow sizes and exact counter values. Arena nodes carry
+// *cell* boxes (the region delimited by ancestor splits, cut down to the
+// given cell) rather than tight bounding boxes: cells are invariant under
+// later insertions, so dynamic updates never need to propagate box changes
+// to replicas — which is what keeps the paper's update communication bound.
+// Groups, masters, and caching are assigned afterwards by decorate.
+func (t *Tree) graft(b *bnode, parent NodeID, cell geom.Box) NodeID {
+	if b == nil {
+		return Nil
+	}
+	id := t.alloc()
+	nd := t.nd(id)
+	nd.parent = parent
+	nd.axis = b.axis
+	nd.split = b.split
+	nd.box = cell
+	nd.exact = int32(b.size)
+	nd.count.Set(float64(b.size))
+	nd.maxPri, nd.maxPriID = b.maxPri, b.maxPriID
+	if b.pts != nil {
+		nd.leaf = true
+		nd.pts = b.pts
+		t.chargePointSpace(int64(len(b.pts)))
+		return id
+	}
+	lc, rc := geom.SplitBox(cell, int(b.axis), b.split)
+	l := t.graft(b.l, id, lc)
+	r := t.graft(b.r, id, rc)
+	nd = t.nd(id) // re-fetch: grafting children may grow the arena
+	nd.left, nd.right = l, r
+	return id
+}

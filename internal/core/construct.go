@@ -1,0 +1,192 @@
+package core
+
+import (
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+)
+
+// Build bulk-loads items into an empty tree using the paper's Algorithm 2:
+// the CPU builds a cache-resident sketch from a sample and scatters the
+// points into P buckets; each PIM module builds its bucket's subtree
+// locally and in parallel; the CPU stitches the results, runs the log-star
+// decomposition, and scatters the replicas of the dual-way caching onto
+// hash-random modules. Build panics on a non-empty tree (use BatchInsert).
+func (t *Tree) Build(items []Item) {
+	if t.root != Nil {
+		panic("core: Build on a non-empty tree; use BatchInsert")
+	}
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	own := make([]Item, n)
+	copy(own, items)
+	t.size = n
+	p := t.mach.P()
+
+	small := 4 * p * t.cfg.LeafSize
+	if small < 1024 {
+		small = 1024
+	}
+	if n <= small {
+		// The whole input fits the CPU cache: build on-chip (Algorithm 1's
+		// shared-memory path), then place and replicate.
+		var ops int64
+		b := buildExactB(own, t.cfg.LeafSize, &ops)
+		t.mach.CPUPhase(ops, int64(mathx.CeilLog2(n)*mathx.CeilLog2(n)))
+		t.root = t.graft(b, Nil, geom.UniverseBox(t.cfg.Dim))
+		t.mach.RunRound(func(r *pim.Round) {
+			t.decorate(t.root, r, n)
+		})
+		return
+	}
+
+	// Phase A (CPU, in cache): sample a sketch and route every point to a
+	// bucket ≈ one module's share. The sketch must fit the CPU cache (the
+	// M = Ω(P log³ n) assumption of Theorem 3.5), so σ is capped by M.
+	sigma := mathx.MaxInt(32, mathx.CeilLog2(n))
+	if cap := t.mach.CacheM() / (4 * mathx.MaxInt(1, t.cfg.Dim) * p); cap > 0 && sigma > cap {
+		sigma = mathx.MaxInt(1, cap)
+	}
+	sampleSize := mathx.MinInt(n, p*sigma)
+	sample := make([]Item, sampleSize)
+	for i := range sample {
+		sample[i] = own[t.rng.Intn(n)]
+	}
+	var sketchOps int64
+	sk, buckets := buildSketch(sample, p, &sketchOps)
+	parts := make([][]Item, buckets)
+	depth := mathx.CeilLog2(buckets) + 1
+	for _, it := range own {
+		b := sk.route(it.P)
+		parts[b] = append(parts[b], it)
+	}
+	t.mach.CPUPhase(sketchOps+int64(n*depth),
+		int64(mathx.CeilLog2(p)*mathx.CeilLog2(p)+mathx.CeilLog2(n)))
+
+	// Phase B (one BSP round): ship each bucket to its module, build the
+	// subtree there, and ship the structure back.
+	subs := make([]*bnode, buckets)
+	t.mach.RunRound(func(r *pim.Round) {
+		for m := 0; m < buckets; m++ {
+			r.Transfer(m%p, int64(len(parts[m]))*pointWords(t.cfg.Dim))
+		}
+		r.OnModules(func(ctx *pim.ModuleCtx) {
+			for m := ctx.ID(); m < buckets; m += p {
+				if len(parts[m]) == 0 {
+					continue
+				}
+				var ops int64
+				subs[m] = buildExactB(parts[m], t.cfg.LeafSize, &ops)
+				ctx.Work(ops)
+				ctx.Transfer(int64(countB(subs[m])) * nodeWords(t.cfg.Dim))
+			}
+		})
+	})
+
+	// Phase C (CPU): stitch sketch + module subtrees, decompose, replicate.
+	whole := stitchSketch(sk, subs)
+	t.mach.CPUPhase(int64(countB(whole)), int64(mathx.CeilLog2(n)))
+	t.root = t.graft(whole, Nil, geom.UniverseBox(t.cfg.Dim))
+	t.mach.RunRound(func(r *pim.Round) {
+		t.decorate(t.root, r, n)
+	})
+}
+
+// sketchNode is a node of the in-cache construction sketch; bucket leaves
+// (l == nil) name the module bucket their subspace maps to.
+type sketchNode struct {
+	axis   int32
+	split  float64
+	l, r   *sketchNode
+	bucket int
+}
+
+func (s *sketchNode) route(p []float64) int {
+	for s.l != nil {
+		if p[s.axis] < s.split {
+			s = s.l
+		} else {
+			s = s.r
+		}
+	}
+	return s.bucket
+}
+
+// buildSketch builds a sketch with up to `slots` bucket leaves over the
+// sample, splitting object-medians on the widest axis. It returns the
+// sketch and the number of buckets actually created (degenerate samples
+// create fewer).
+func buildSketch(sample []Item, slots int, ops *int64) (*sketchNode, int) {
+	next := 0
+	var rec func(items []Item, slots int) *sketchNode
+	rec = func(items []Item, slots int) *sketchNode {
+		*ops += int64(len(items))
+		if slots == 1 || len(items) < 2 {
+			b := &sketchNode{bucket: next}
+			next++
+			return b
+		}
+		box := itemsBox(items)
+		axis, split, ok := exactSplit(items, box)
+		if !ok {
+			b := &sketchNode{bucket: next}
+			next++
+			return b
+		}
+		i, j := 0, len(items)-1
+		for i <= j {
+			if items[i].P[axis] < split {
+				i++
+			} else {
+				items[i], items[j] = items[j], items[i]
+				j--
+			}
+		}
+		return &sketchNode{
+			axis:  int32(axis),
+			split: split,
+			l:     rec(items[:i], slots/2),
+			r:     rec(items[i:], slots-slots/2),
+		}
+	}
+	root := rec(sample, slots)
+	return root, next
+}
+
+// stitchSketch replaces the sketch's bucket leaves with the module-built
+// subtrees, collapsing empty sides and recomputing sizes and boxes.
+func stitchSketch(s *sketchNode, parts []*bnode) *bnode {
+	if s.l == nil {
+		return parts[s.bucket]
+	}
+	l := stitchSketch(s.l, parts)
+	r := stitchSketch(s.r, parts)
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	b := &bnode{
+		axis:  s.axis,
+		split: s.split,
+		l:     l,
+		r:     r,
+		box:   unionBox(l.box, r.box),
+		size:  l.size + r.size,
+	}
+	b.maxPri, b.maxPriID = l.maxPri, l.maxPriID
+	if priLess(b.maxPri, b.maxPriID, r.maxPri, r.maxPriID) {
+		b.maxPri, b.maxPriID = r.maxPri, r.maxPriID
+	}
+	return b
+}
+
+func countB(b *bnode) int {
+	if b == nil {
+		return 0
+	}
+	return 1 + countB(b.l) + countB(b.r)
+}

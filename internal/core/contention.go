@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pimkd/internal/pim"
+)
+
+// cpuResident marks a walker whose query state currently lives in the CPU
+// cache rather than on a module.
+const cpuResident int32 = -2
+
+// contention applies the push-pull rule to irregular traversals (kNN,
+// priority search, range queries): it counts, per batch, how many queries
+// touch each node; once a node's count passes the group's τ threshold the
+// node is pulled to the CPU once and every further visit is processed
+// there. This is what keeps adversarial batches — thousands of queries
+// backtracking through the same few nodes — from turning one module into a
+// straggler (Lemma 3.8 applied beyond LeafSearch).
+type contention struct {
+	t      *Tree
+	counts []atomic.Int32
+	// Pulls counts nodes moved to the CPU this batch.
+	Pulls atomic.Int64
+}
+
+// newContention sizes the tracker for the tree's arena.
+func (t *Tree) newContention() *contention {
+	return &contention{t: t, counts: make([]atomic.Int32, len(t.nodes))}
+}
+
+// visit processes one node touch for a walker currently on *mod, metering
+// work and transfers into r, and returns true when the visit executed on
+// the CPU. extraPullWords is charged once when the node is first pulled
+// (e.g. a leaf's bucket). home is the walker's evenly assigned module: a
+// walker returning from the CPU to the fully replicated Group 0 resumes
+// there, since Group 0 is local on every module — resuming on a fixed
+// per-node module would re-concentrate adversarial batches.
+func (c *contention) visit(r *pim.Round, id NodeID, mod *int32, home int32, qw, extraPullWords int64) (onCPU, hopped bool) {
+	t := c.t
+	nd := t.nd(id)
+	if nd.group != 0 {
+		tau := t.tau[nd.group]
+		cnt := int(c.counts[id].Add(1))
+		if cnt > tau {
+			if cnt == tau+1 {
+				// Pull: fetch the node (and payload) to the CPU once.
+				r.Transfer(int(nd.module), nodeWords(t.cfg.Dim)+extraPullWords)
+				c.Pulls.Add(1)
+			}
+			r.CPUWork(1)
+			*mod = cpuResident
+			return true, false
+		}
+	}
+	if *mod == cpuResident || !t.isLocal(id, *mod) {
+		target := nd.module
+		if nd.group == 0 {
+			if *mod != cpuResident {
+				// Group 0 is local on the walker's current module.
+				r.ModuleWork(int(*mod), 1)
+				return false, false
+			}
+			target = home
+		}
+		*mod = target
+		r.Transfer(int(*mod), qw)
+		hopped = true
+	}
+	r.ModuleWork(int(*mod), 1)
+	return false, hopped
+}

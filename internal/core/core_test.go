@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func testTree(t *testing.T, n, dim, p int, seed int64) (*Tree, []Item) {
+	t.Helper()
+	mach := pim.NewMachine(p, 1<<20)
+	tree := New(Config{Dim: dim, Seed: seed}, mach)
+	pts := workload.Uniform(n, dim, seed)
+	items := make([]Item, n)
+	for i, pt := range pts {
+		items[i] = Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	return tree, items
+}
+
+// seqLeaf routes a point sequentially through the arena, the ground truth
+// for LeafSearch.
+func seqLeaf(tr *Tree, q geom.Point) NodeID {
+	id := tr.Root()
+	for {
+		nd := tr.nd(id)
+		if nd.leaf {
+			return id
+		}
+		if q[nd.axis] < nd.split {
+			id = nd.left
+		} else {
+			id = nd.right
+		}
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 5000, 60000} {
+		tree, _ := testTree(t, n, 3, 16, 42)
+		if tree.Size() != n {
+			t.Fatalf("n=%d: size %d", n, tree.Size())
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestLeafSearchMatchesSequentialRouting(t *testing.T) {
+	tree, _ := testTree(t, 20000, 2, 16, 7)
+	qs := workload.Uniform(500, 2, 99)
+	got := tree.LeafSearch(qs)
+	for i, q := range qs {
+		if want := seqLeaf(tree, q); got[i] != want {
+			t.Fatalf("query %d: got leaf %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestLeafSearchSkewedBatch(t *testing.T) {
+	tree, _ := testTree(t, 30000, 2, 32, 3)
+	qs := workload.Hotspot(2000, 2, 1e-4, 5)
+	got := tree.LeafSearch(qs)
+	for i, q := range qs {
+		if want := seqLeaf(tree, q); got[i] != want {
+			t.Fatalf("skewed query %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestBatchInsertAndDelete(t *testing.T) {
+	tree, items := testTree(t, 5000, 2, 16, 11)
+	extra := workload.Uniform(3000, 2, 123)
+	batch := make([]Item, len(extra))
+	for i, p := range extra {
+		batch[i] = Item{P: p, ID: int32(5000 + i)}
+	}
+	for _, chunk := range splitItems(batch, 500) {
+		tree.BatchInsert(chunk)
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after insert: %v", err)
+		}
+	}
+	if tree.Size() != 8000 {
+		t.Fatalf("size %d after inserts", tree.Size())
+	}
+	// Delete the original 5000 in batches.
+	for _, chunk := range splitItems(items, 750) {
+		tree.BatchDelete(chunk)
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after delete: %v", err)
+		}
+	}
+	if tree.Size() != 3000 {
+		t.Fatalf("size %d after deletes", tree.Size())
+	}
+	// The survivors must be exactly the inserted batch.
+	got := tree.Items()
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	if len(got) != len(batch) {
+		t.Fatalf("got %d items want %d", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i].ID != batch[i].ID {
+			t.Fatalf("item %d: id %d want %d", i, got[i].ID, batch[i].ID)
+		}
+	}
+}
+
+func TestHeightStaysLogarithmic(t *testing.T) {
+	tree, _ := testTree(t, 4000, 2, 16, 17)
+	rng := rand.New(rand.NewSource(5))
+	nextID := int32(100000)
+	live := tree.Items()
+	for round := 0; round < 8; round++ {
+		var ins []Item
+		for i := 0; i < 800; i++ {
+			p := geom.Point{rng.Float64(), rng.Float64()}
+			ins = append(ins, Item{P: p, ID: nextID})
+			nextID++
+		}
+		tree.BatchInsert(ins)
+		live = append(live, ins...)
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		del := live[:600]
+		live = live[600:]
+		tree.BatchDelete(del)
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	h := tree.Height()
+	bound := int(6*mathx.Log2(float64(tree.Size()))) + 8
+	if h > bound {
+		t.Fatalf("height %d exceeds %d for n=%d", h, bound, tree.Size())
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	tree, items := testTree(t, 3000, 3, 16, 23)
+	qs := workload.Uniform(60, 3, 55)
+	k := 10
+	res := tree.KNN(qs, k)
+	for i, q := range qs {
+		want := bruteKNN(items, q, k)
+		if len(res[i]) != k {
+			t.Fatalf("query %d: %d results", i, len(res[i]))
+		}
+		for j := 0; j < k; j++ {
+			if math.Abs(res[i][j].Dist2-want[j]) > 1e-12 {
+				t.Fatalf("query %d rank %d: dist2 %g want %g", i, j, res[i][j].Dist2, want[j])
+			}
+		}
+	}
+}
+
+func TestANNWithinFactor(t *testing.T) {
+	tree, items := testTree(t, 3000, 2, 16, 29)
+	qs := workload.Uniform(80, 2, 60)
+	k, eps := 5, 0.5
+	res := tree.ANN(qs, k, eps)
+	for i, q := range qs {
+		want := bruteKNN(items, q, k)
+		trueK := math.Sqrt(want[k-1])
+		gotK := math.Sqrt(res[i][len(res[i])-1].Dist2)
+		if gotK > (1+eps)*trueK+1e-12 {
+			t.Fatalf("query %d: ann dist %g exceeds (1+eps)*%g", i, gotK, trueK)
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	tree, items := testTree(t, 4000, 2, 16, 31)
+	rng := rand.New(rand.NewSource(77))
+	var boxes []geom.Box
+	for i := 0; i < 50; i++ {
+		lo := geom.Point{rng.Float64() * 0.8, rng.Float64() * 0.8}
+		hi := geom.Point{lo[0] + 0.2*rng.Float64(), lo[1] + 0.2*rng.Float64()}
+		boxes = append(boxes, geom.NewBox(lo, hi))
+	}
+	rep := tree.RangeReport(boxes)
+	cnt := tree.RangeCount(boxes)
+	for i, box := range boxes {
+		want := 0
+		for _, it := range items {
+			if box.Contains(it.P) {
+				want++
+			}
+		}
+		if len(rep[i]) != want {
+			t.Fatalf("box %d: report %d want %d", i, len(rep[i]), want)
+		}
+		if cnt[i] != want {
+			t.Fatalf("box %d: count %d want %d", i, cnt[i], want)
+		}
+	}
+}
+
+func TestRadiusCountMatchesBruteForce(t *testing.T) {
+	tree, items := testTree(t, 3000, 2, 16, 37)
+	qs := workload.Uniform(50, 2, 83)
+	r := 0.07
+	got := tree.RadiusCount(qs, r)
+	for i, q := range qs {
+		want := 0
+		for _, it := range items {
+			if geom.Dist2(q, it.P) <= r*r {
+				want++
+			}
+		}
+		if got[i] != want {
+			t.Fatalf("center %d: count %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestSpaceFactorBounded(t *testing.T) {
+	tree, _ := testTree(t, 60000, 2, 64, 41)
+	copies := tree.TotalCopies()
+	factor := float64(copies) / float64(tree.Size())
+	limit := float64(3 * (tree.LogStarP() + 1))
+	if factor > limit {
+		t.Fatalf("space factor %.2f copies/point exceeds %g (log*P=%d)", factor, limit, tree.LogStarP())
+	}
+}
+
+func bruteKNN(items []Item, q geom.Point, k int) []float64 {
+	d := make([]float64, len(items))
+	for i, it := range items {
+		d[i] = geom.Dist2(q, it.P)
+	}
+	sort.Float64s(d)
+	return d[:k]
+}
+
+func splitItems(items []Item, size int) [][]Item {
+	var out [][]Item
+	for lo := 0; lo < len(items); lo += size {
+		hi := lo + size
+		if hi > len(items) {
+			hi = len(items)
+		}
+		out = append(out, items[lo:hi])
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/pkdtree"
+	"pimkd/internal/workload"
+)
+
+// TestCrossCheckAgainstPKDTree verifies that the PIM tree and the
+// shared-memory baseline, holding identical data, return identical exact
+// answers for kNN, range, and radius queries — the two implementations are
+// independent, so agreement is strong evidence for both.
+func TestCrossCheckAgainstPKDTree(t *testing.T) {
+	pts := workload.GaussianClusters(4000, 3, 5, 0.05, 17)
+	items := makeTestItems(pts, 0)
+	pkItems := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		pkItems[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	mach := pim.NewMachine(32, 1<<20)
+	pimTree := New(Config{Dim: 3, Seed: 19}, mach)
+	pimTree.Build(items)
+	pk := pkdtree.New(pkdtree.Config{Dim: 3, Seed: 23}, pkItems)
+
+	qs := workload.Sample(pts, 120, 0.01, 29)
+
+	// kNN distances must agree to the bit.
+	const k = 6
+	pimNN := pimTree.KNN(qs, k)
+	for i, q := range qs {
+		pkNN := pk.KNN(q, k)
+		for j := 0; j < k; j++ {
+			if pimNN[i][j].Dist2 != pkNN[j].Dist2 {
+				t.Fatalf("kNN query %d rank %d: %g vs %g", i, j, pimNN[i][j].Dist2, pkNN[j].Dist2)
+			}
+		}
+	}
+
+	// Range counts.
+	var boxes []geom.Box
+	for _, q := range qs[:40] {
+		lo := q.Clone()
+		hi := q.Clone()
+		for d := range lo {
+			lo[d] -= 0.1
+			hi[d] += 0.1
+		}
+		boxes = append(boxes, geom.NewBox(lo, hi))
+	}
+	pimCnt := pimTree.RangeCount(boxes)
+	for i, box := range boxes {
+		if got, want := pimCnt[i], pk.RangeCount(box); got != want {
+			t.Fatalf("range %d: %d vs %d", i, got, want)
+		}
+	}
+
+	// Radius counts.
+	r := 0.12
+	pimRad := pimTree.RadiusCount(qs[:40], r)
+	for i, q := range qs[:40] {
+		if got, want := pimRad[i], pk.RadiusCount(q, r); got != want {
+			t.Fatalf("radius %d: %d vs %d", i, got, want)
+		}
+	}
+
+	// ANN of both respects the same bound for the same eps.
+	eps := 0.5
+	pimANN := pimTree.ANN(qs, k, eps)
+	for i, q := range qs {
+		exact := pk.KNN(q, k)
+		bound := (1 + eps) * math.Sqrt(exact[k-1].Dist2)
+		if math.Sqrt(pimANN[i][len(pimANN[i])-1].Dist2) > bound+1e-12 {
+			t.Fatalf("ANN query %d exceeded bound", i)
+		}
+	}
+}
+
+// TestCrossCheckAfterChurn repeats the equivalence after both structures
+// absorb the same batch updates through their own mechanisms.
+func TestCrossCheckAfterChurn(t *testing.T) {
+	pts := workload.Uniform(3000, 2, 31)
+	items := makeTestItems(pts, 0)
+	pkItems := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		pkItems[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	mach := pim.NewMachine(16, 1<<20)
+	pimTree := New(Config{Dim: 2, Seed: 37}, mach)
+	pimTree.Build(items)
+	pk := pkdtree.New(pkdtree.Config{Dim: 2, Seed: 41}, pkItems)
+
+	ins := makeTestItems(workload.Uniform(1500, 2, 43), 10000)
+	pkIns := make([]pkdtree.Item, len(ins))
+	for i, it := range ins {
+		pkIns[i] = pkdtree.Item{P: it.P, ID: it.ID}
+	}
+	pimTree.BatchInsert(ins)
+	pk.BatchInsert(pkIns)
+	pimTree.BatchDelete(items[:1000])
+	pk.BatchDelete(pkItems[:1000])
+
+	if pimTree.Size() != pk.Size() {
+		t.Fatalf("sizes diverged: %d vs %d", pimTree.Size(), pk.Size())
+	}
+	qs := workload.Uniform(80, 2, 47)
+	pimNN := pimTree.KNN(qs, 4)
+	for i, q := range qs {
+		pkNN := pk.KNN(q, 4)
+		for j := range pkNN {
+			if pimNN[i][j].Dist2 != pkNN[j].Dist2 {
+				t.Fatalf("post-churn kNN query %d rank %d differs", i, j)
+			}
+		}
+	}
+}

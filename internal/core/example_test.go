@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// Example shows the full lifecycle: build a PIM-kd-tree, run a batched
+// search, a kNN batch, and a dynamic update, and read the machine's
+// PIM-Model cost meters.
+func Example() {
+	mach := pim.NewMachine(16, 1<<20)
+	tree := core.New(core.Config{Dim: 2, Seed: 1}, mach)
+
+	pts := workload.Uniform(10000, 2, 1)
+	items := make([]core.Item, len(pts))
+	for i, p := range pts {
+		items[i] = core.Item{P: p, ID: int32(i)}
+	}
+	tree.Build(items)
+	fmt.Println("size:", tree.Size())
+
+	// Batched LeafSearch: one leaf id per query point.
+	leaves := tree.LeafSearch(pts[:4])
+	fmt.Println("queries resolved:", len(leaves))
+
+	// Batched 3-nearest-neighbors; each query's own point is its nearest.
+	nn := tree.KNN(pts[:2], 3)
+	fmt.Println("self is nearest:", nn[0][0].ID == 0 && nn[1][0].ID == 1)
+
+	// Batch-dynamic update.
+	tree.BatchDelete(items[:1000])
+	fmt.Println("after delete:", tree.Size())
+	fmt.Println("off-chip words moved > 0:", mach.Stats().Communication > 0)
+	// Output:
+	// size: 10000
+	// queries resolved: 4
+	// self is nearest: true
+	// after delete: 9000
+	// off-chip words moved > 0: true
+}
+
+// ExampleTree_RangeCount counts points in axis-aligned boxes in one batch.
+func ExampleTree_RangeCount() {
+	mach := pim.NewMachine(8, 1<<20)
+	tree := core.New(core.Config{Dim: 2, Seed: 2}, mach)
+	items := []core.Item{
+		{P: geom.Point{0.1, 0.1}, ID: 0},
+		{P: geom.Point{0.2, 0.2}, ID: 1},
+		{P: geom.Point{0.9, 0.9}, ID: 2},
+	}
+	tree.Build(items)
+	counts := tree.RangeCount([]geom.Box{
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 0.5}),
+		geom.NewBox(geom.Point{0.8, 0.8}, geom.Point{1, 1}),
+	})
+	fmt.Println(counts)
+	// Output:
+	// [2 1]
+}
+
+// ExampleTree_DependentPoints is the density-peak-clustering primitive: for
+// each item, the nearest item with strictly higher (Priority, ID).
+func ExampleTree_DependentPoints() {
+	mach := pim.NewMachine(8, 1<<20)
+	tree := core.New(core.Config{Dim: 2, Seed: 3}, mach)
+	items := []core.Item{
+		{P: geom.Point{0.1, 0.1}, ID: 0, Priority: 5},
+		{P: geom.Point{0.2, 0.1}, ID: 1, Priority: 9}, // the global peak
+		{P: geom.Point{0.9, 0.9}, ID: 2, Priority: 1},
+	}
+	tree.Build(items)
+	deps := tree.DependentPoints(items)
+	fmt.Println(deps[0].ID, deps[1].ID, deps[2].ID)
+	// Output:
+	// 1 -1 1
+}

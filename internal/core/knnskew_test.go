@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// TestKNNSkewBalance: an adversarial kNN burst must not leave a module
+// straggler — the batch-contention push-pull moves hot-node work to the
+// CPU, so the max per-module work of a hotspot batch stays within a small
+// factor of a uniform batch's.
+func TestKNNSkewBalance(t *testing.T) {
+	mach := pim.NewMachine(64, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 1}, mach)
+	tree.Build(makeTestItems(workload.Uniform(30000, 2, 3), 0))
+	maxWork := func(qs []geom.Point) int64 {
+		mach.ResetStats()
+		tree.KNN(qs, 8)
+		w, _ := mach.ModuleLoads()
+		var max int64
+		for _, v := range w {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	hot := maxWork(workload.Hotspot(4096, 2, 1e-4, 5))
+	uni := maxWork(workload.Sample(workload.Uniform(30000, 2, 3), 4096, 0.001, 7))
+	if hot > 4*uni {
+		t.Fatalf("hotspot straggler %d exceeds 4x uniform max %d", hot, uni)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/parallel"
+	"pimkd/internal/pim"
+)
+
+// Dependent is the result of one nearest-higher-priority query: the ID of
+// the closest stored item whose (Priority, ID) pair exceeds the query's,
+// and the distance to it. ID is -1 when no higher-priority item exists
+// (the query point is a global peak).
+type Dependent struct {
+	ID    int32
+	Dist  float64
+	Hops  int64
+	Nodes int64
+}
+
+// DependentPoints answers a batch of nearest-higher-priority queries — the
+// dependent-point step of density peak clustering (§6.1). For each query
+// (point, priority, id) it returns the nearest stored item strictly greater
+// in (Priority, ID) order. The traversal is a 1NN priority search that only
+// descends subtrees whose maximum (Priority, ID) augmentation exceeds the
+// query's, with the usual cell-distance pruning; the dual-way caching keeps
+// it group-local like kNN.
+func (t *Tree) DependentPoints(qs []Item) []Dependent {
+	res := make([]Dependent, len(qs))
+	for i := range res {
+		res[i] = Dependent{ID: -1, Dist: math.Inf(1)}
+	}
+	if t.root == Nil || len(qs) == 0 {
+		return res
+	}
+	pts := make([]geom.Point, len(qs))
+	for i := range qs {
+		pts[i] = qs[i].P
+	}
+	leaves := t.LeafSearch(pts)
+	qw := queryWords(t.cfg.Dim)
+	cont := t.newContention()
+
+	t.mach.RunRound(func(r *pim.Round) {
+		parallel.For(len(qs), func(i int) {
+			w := &priWalker{
+				t: t, r: r, q: qs[i],
+				bestD2: math.Inf(1),
+				bestID: -1,
+				mod:    t.nd(leaves[i]).module,
+				home:   t.startModule(i),
+				qw:     qw,
+				cont:   cont,
+			}
+			// Backtrack from the query's own leaf like kNN: the nearest
+			// higher-priority point tends to be nearby, so most of the walk
+			// stays inside the leaf's group.
+			w.scanLeaf(leaves[i])
+			for cur := leaves[i]; ; {
+				p := t.nd(cur).parent
+				if p == Nil {
+					break
+				}
+				w.visit(p)
+				pn := t.nd(p)
+				sib := pn.left
+				if sib == cur {
+					sib = pn.right
+				}
+				w.descend(sib)
+				cur = p
+			}
+			if w.bestID >= 0 {
+				res[i] = Dependent{ID: w.bestID, Dist: math.Sqrt(w.bestD2), Hops: w.hops, Nodes: w.nodes}
+			} else {
+				res[i] = Dependent{ID: -1, Dist: math.Inf(1), Hops: w.hops, Nodes: w.nodes}
+			}
+		})
+	})
+	return res
+}
+
+type priWalker struct {
+	t      *Tree
+	r      *pim.Round
+	q      Item
+	bestD2 float64
+	bestID int32
+	mod    int32
+	home   int32
+	qw     int64
+	cont   *contention
+
+	hops, nodes int64
+}
+
+func (w *priWalker) visit(id NodeID) {
+	w.nodes++
+	_, hopped := w.cont.visit(w.r, id, &w.mod, w.home, w.qw, 0)
+	if hopped {
+		w.hops++
+	}
+}
+
+func (w *priWalker) scanLeaf(id NodeID) {
+	nd := w.t.nd(id)
+	w.nodes++
+	onCPU, hopped := w.cont.visit(w.r, id, &w.mod, w.home, w.qw, int64(len(nd.pts))*pointWords(w.t.cfg.Dim))
+	if hopped {
+		w.hops++
+	}
+	if onCPU {
+		w.r.CPUWork(int64(len(nd.pts)))
+	} else {
+		w.r.ModuleWork(int(w.mod), int64(len(nd.pts)))
+	}
+	for _, it := range nd.pts {
+		if !priLess(w.q.Priority, w.q.ID, it.Priority, it.ID) {
+			continue
+		}
+		if d2 := geom.Dist2(w.q.P, it.P); d2 < w.bestD2 {
+			w.bestD2, w.bestID = d2, it.ID
+		}
+	}
+}
+
+func (w *priWalker) descend(id NodeID) {
+	nd := w.t.nd(id)
+	// Priority pruning: skip subtrees with no higher-priority point.
+	if !priLess(w.q.Priority, w.q.ID, nd.maxPri, nd.maxPriID) {
+		return
+	}
+	if nd.box.Dist2ToPoint(w.q.P) >= w.bestD2 {
+		return
+	}
+	if nd.leaf {
+		w.scanLeaf(id)
+		return
+	}
+	w.visit(id)
+	near, far := nd.left, nd.right
+	if w.q.P[nd.axis] >= nd.split {
+		near, far = far, near
+	}
+	w.descend(near)
+	w.descend(far)
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// TestRandomOpsProperty drives random batch insert/delete/search sequences
+// against a reference map and checks, after every batch, the full set of
+// structural invariants plus search correctness.
+func TestRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mach := pim.NewMachine(8+rng.Intn(24), 1<<20)
+		tree := New(Config{Dim: 2, Seed: seed}, mach)
+		reference := map[int32]geom.Point{}
+		nextID := int32(0)
+
+		for step := 0; step < 10; step++ {
+			switch {
+			case rng.Intn(3) != 0 || len(reference) == 0:
+				batch := make([]Item, rng.Intn(200)+1)
+				for i := range batch {
+					p := geom.Point{rng.Float64(), rng.Float64()}
+					batch[i] = Item{P: p, ID: nextID}
+					reference[nextID] = p
+					nextID++
+				}
+				tree.BatchInsert(batch)
+			default:
+				var batch []Item
+				for id, p := range reference {
+					batch = append(batch, Item{P: p, ID: id})
+					if len(batch) >= rng.Intn(100)+1 {
+						break
+					}
+				}
+				for _, it := range batch {
+					delete(reference, it.ID)
+				}
+				tree.BatchDelete(batch)
+			}
+			if tree.Size() != len(reference) {
+				t.Logf("seed %d: size %d want %d", seed, tree.Size(), len(reference))
+				return false
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		// Every live item must be findable by LeafSearch.
+		var qs []geom.Point
+		var ids []int32
+		for id, p := range reference {
+			qs = append(qs, p)
+			ids = append(ids, id)
+			if len(qs) == 50 {
+				break
+			}
+		}
+		leaves := tree.LeafSearch(qs)
+		for i, leaf := range leaves {
+			found := false
+			for _, it := range tree.LeafItems(leaf) {
+				if it.ID == ids[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("seed %d: item %d not in its leaf", seed, ids[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigVariants runs the same correctness battery across the design
+// variants: space-optimized G, chunked fanout, push-only, pull-only, eager
+// Group-1, strict alpha.
+func TestConfigVariants(t *testing.T) {
+	pts := workload.Uniform(12000, 2, 3)
+	qs := workload.Sample(pts, 400, 0.001, 5)
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{Dim: 2, Seed: 1}},
+		{"G1", Config{Dim: 2, Seed: 1, Groups: 1, LeafSize: 1}},
+		{"G2", Config{Dim: 2, Seed: 1, Groups: 2, LeafSize: 2}},
+		{"chunk4", Config{Dim: 2, Seed: 1, ChunkSize: 4}},
+		{"chunk16", Config{Dim: 2, Seed: 1, ChunkSize: 16}},
+		{"push-only", Config{Dim: 2, Seed: 1, PushPullFactor: 1 << 30}},
+		{"pull-only", Config{Dim: 2, Seed: 1, PushPullFactor: -1}},
+		{"eager", Config{Dim: 2, Seed: 1, NoDelayedGroup1: true}},
+		{"strict", Config{Dim: 2, Seed: 1, Alpha: StrictAlpha(12000)}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			mach := pim.NewMachine(32, 1<<20)
+			tree := New(v.cfg, mach)
+			items := make([]Item, len(pts))
+			for i, p := range pts {
+				items[i] = Item{P: p, ID: int32(i)}
+			}
+			tree.Build(items)
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			leaves := tree.LeafSearch(qs)
+			for i, q := range qs {
+				if want := seqLeaf(tree, q); leaves[i] != want {
+					t.Fatalf("query %d: got %d want %d", i, leaves[i], want)
+				}
+			}
+			// A quick update round.
+			extra := make([]Item, 500)
+			for i := range extra {
+				extra[i] = Item{P: workload.Uniform(1, 2, int64(i)+99)[0], ID: int32(100000 + i)}
+			}
+			tree.BatchInsert(extra)
+			tree.BatchDelete(items[:500])
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("after updates: %v", err)
+			}
+			if tree.Size() != 12000 {
+				t.Fatalf("size %d", tree.Size())
+			}
+		})
+	}
+}
+
+// TestDuplicatePoints: identical points must collapse into one oversized
+// leaf and remain searchable and deletable.
+func TestDuplicatePoints(t *testing.T) {
+	mach := pim.NewMachine(8, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 1}, mach)
+	p := geom.Point{0.25, 0.75}
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = Item{P: p.Clone(), ID: int32(i)}
+	}
+	tree.Build(items)
+	if tree.Size() != 200 {
+		t.Fatalf("size %d", tree.Size())
+	}
+	leaves := tree.LeafSearch([]geom.Point{p})
+	if got := len(tree.LeafItems(leaves[0])); got != 200 {
+		t.Fatalf("leaf holds %d", got)
+	}
+	tree.BatchDelete(items[:150])
+	if tree.Size() != 50 {
+		t.Fatalf("size %d after deletes", tree.Size())
+	}
+}
+
+// TestQuantizedGridChurn drives batches of heavily duplicated (grid-
+// quantized) points, the regime the fuzzer used to break α-balance: the
+// best-cut split selection plus the forced-imbalance exemption must keep
+// invariants intact, and stuck nodes must not be rebuilt on every batch.
+func TestQuantizedGridChurn(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 3}, mach)
+	rng := rand.New(rand.NewSource(5))
+	ref := map[int32]geom.Point{}
+	next := int32(0)
+	for b := 0; b < 12; b++ {
+		if b%3 != 2 || len(ref) == 0 {
+			batch := make([]Item, 150)
+			for i := range batch {
+				p := geom.Point{float64(rng.Intn(8)) / 8, float64(rng.Intn(8)) / 8}
+				batch[i] = Item{P: p, ID: next}
+				ref[next] = p
+				next++
+			}
+			tree.BatchInsert(batch)
+		} else {
+			var del []Item
+			for id, p := range ref {
+				del = append(del, Item{P: p, ID: id})
+				if len(del) >= 100 {
+					break
+				}
+			}
+			for _, it := range del {
+				delete(ref, it.ID)
+			}
+			tree.BatchDelete(del)
+		}
+		if tree.Size() != len(ref) {
+			t.Fatalf("batch %d: size %d want %d", b, tree.Size(), len(ref))
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	// Rebuild volume must stay a bounded multiple of the op volume even on
+	// this adversarially duplicated stream (no per-batch re-rebuild churn
+	// of stuck nodes).
+	ops := int64(12 * 150)
+	if tree.OpStats.RebuiltPoints > 60*ops {
+		t.Fatalf("rebuild churn: %d rebuilt points for %d ops", tree.OpStats.RebuiltPoints, ops)
+	}
+}
+
+// TestHeavyDuplicateCoordinate: half the points share one x value; the
+// balanced-axis fallback must keep the tree legal.
+func TestHeavyDuplicateCoordinate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]Item, 4000)
+	for i := range items {
+		x := 0.5
+		if i%2 == 0 {
+			x = rng.Float64()
+		}
+		items[i] = Item{P: geom.Point{x, rng.Float64()}, ID: int32(i)}
+	}
+	mach := pim.NewMachine(16, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 9}, mach)
+	tree.Build(items)
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedTreeRouting checks the straw-man baseline routes queries
+// to real leaves and shows the skew concentration the experiments rely on.
+func TestPartitionedTreeRouting(t *testing.T) {
+	pts := workload.Uniform(8000, 2, 7)
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{P: p, ID: int32(i)}
+	}
+	mach := pim.NewMachine(16, 1<<20)
+	pt := NewPartitioned(2, 8, mach, items)
+	depths := pt.LeafSearch(workload.Sample(pts, 200, 0.001, 9))
+	for i, d := range depths {
+		if d <= 0 {
+			t.Fatalf("query %d depth %d", i, d)
+		}
+	}
+	// Adversarial burst: everything should land on very few modules.
+	mach.ResetStats()
+	pt.LeafSearch(workload.Hotspot(1000, 2, 1e-5, 11))
+	work, _ := mach.ModuleLoads()
+	if r := pim.MaxLoadRatio(work); r < 8 {
+		t.Fatalf("partitioned tree unexpectedly balanced under hotspot: %.1f", r)
+	}
+}
+
+// TestDelayedFlush accumulates unfinished Group-1 components through small
+// insert batches, then forces the §3.4 flush phase and verifies the
+// caching ends up complete and consistent.
+func TestDelayedFlush(t *testing.T) {
+	mach := pim.NewMachine(64, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 13}, mach)
+	tree.Build(makeTestItems(workload.Uniform(20000, 2, 15), 0))
+	next := int32(100000)
+	for b := 0; b < 60; b++ {
+		batch := makeTestItems(workload.Uniform(256, 2, int64(b)+50), next)
+		next += 256
+		tree.BatchInsert(batch)
+	}
+	if tree.unfinishedComps == 0 {
+		t.Fatal("churn produced no delayed components; the mechanism is not exercised")
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err) // checkCaching skips unfinished components
+	}
+	pre := mach.Stats()
+	tree.FlushDelayed()
+	d := mach.Stats().Sub(pre)
+	if tree.unfinishedComps != 0 {
+		t.Fatalf("%d components still unfinished after flush", tree.unfinishedComps)
+	}
+	if d.Communication == 0 {
+		t.Fatal("flush moved no data")
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("after flush: %v", err)
+	}
+	// Idempotent.
+	tree.FlushDelayed()
+}
+
+// TestSpaceAccountingConsistent: the incremental space meter must agree
+// with a from-scratch recount after heavy churn.
+func TestSpaceAccountingConsistent(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 17}, mach)
+	items := makeTestItems(workload.Uniform(5000, 2, 19), 0)
+	tree.Build(items)
+	for b := 0; b < 5; b++ {
+		tree.BatchInsert(makeTestItems(workload.Uniform(500, 2, int64(b)+70), int32(10000+b*500)))
+		tree.BatchDelete(items[b*500 : (b+1)*500])
+	}
+	// Recount from structure.
+	var recount int64
+	for _, st := range tree.DecompositionStats() {
+		recount += st.Copies * NodeWords(2)
+	}
+	recount += int64(tree.Size()) * 2 // point words
+	if tree.SpaceWords() != recount {
+		t.Fatalf("space meter %d != recount %d", tree.SpaceWords(), recount)
+	}
+}
+
+// TestGroupMonotonicity: groups never decrease along any root-to-leaf path
+// (checked independently of CheckInvariants for the churned tree).
+func TestGroupMonotonicity(t *testing.T) {
+	mach := pim.NewMachine(64, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 23, LeafSize: 2}, mach)
+	items := makeTestItems(workload.Uniform(20000, 2, 29), 0)
+	tree.Build(items)
+	tree.BatchDelete(items[:10000])
+	var rec func(id NodeID, g int16)
+	rec = func(id NodeID, g int16) {
+		nd := tree.nd(id)
+		if nd.group < g {
+			t.Fatalf("node %d group %d under parent group %d", id, nd.group, g)
+		}
+		if !nd.leaf {
+			rec(nd.left, nd.group)
+			rec(nd.right, nd.group)
+		}
+	}
+	rec(tree.Root(), 0)
+}
+
+func makeTestItems(pts []geom.Point, base int32) []Item {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{P: p, ID: base + int32(i)}
+	}
+	return items
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// TestSoakLongChurn drives a hundred mixed batches through one tree —
+// inserts, deletes, searches, kNN — validating the full invariant suite
+// periodically and exact contents at the end. It is the long-horizon
+// stability check for the amortized machinery (rebuilds, regrouping,
+// delayed construction, freelist reuse).
+func TestSoakLongChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	mach := pim.NewMachine(64, 1<<20)
+	tree := New(Config{Dim: 2, Seed: 101}, mach)
+	rng := rand.New(rand.NewSource(103))
+
+	reference := map[int32]geom.Point{}
+	var liveIDs []int32
+	nextID := int32(0)
+
+	insert := func(n int) {
+		batch := make([]Item, n)
+		for i := range batch {
+			p := geom.Point{rng.Float64(), rng.Float64()}
+			batch[i] = Item{P: p, ID: nextID}
+			reference[nextID] = p
+			liveIDs = append(liveIDs, nextID)
+			nextID++
+		}
+		tree.BatchInsert(batch)
+	}
+	remove := func(n int) {
+		if n > len(liveIDs) {
+			n = len(liveIDs)
+		}
+		rng.Shuffle(len(liveIDs), func(i, j int) { liveIDs[i], liveIDs[j] = liveIDs[j], liveIDs[i] })
+		batch := make([]Item, n)
+		for i := 0; i < n; i++ {
+			id := liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+			batch[i] = Item{P: reference[id], ID: id}
+			delete(reference, id)
+		}
+		tree.BatchDelete(batch)
+	}
+
+	insert(20000)
+	for batch := 0; batch < 100; batch++ {
+		switch batch % 4 {
+		case 0:
+			insert(rng.Intn(2000) + 200)
+		case 1:
+			remove(rng.Intn(1500) + 200)
+		case 2:
+			qs := workload.Uniform(512, 2, int64(batch))
+			leaves := tree.LeafSearch(qs)
+			for i, q := range qs {
+				if want := seqLeaf(tree, q); leaves[i] != want {
+					t.Fatalf("batch %d: search diverged", batch)
+				}
+			}
+		case 3:
+			qs := workload.Uniform(128, 2, int64(batch)+7)
+			tree.KNN(qs, 4)
+		}
+		if tree.Size() != len(reference) {
+			t.Fatalf("batch %d: size %d want %d", batch, tree.Size(), len(reference))
+		}
+		if batch%10 == 9 {
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("batch %d: %v", batch, err)
+			}
+		}
+	}
+	// Exact final contents.
+	got := tree.Items()
+	if len(got) != len(reference) {
+		t.Fatalf("final items %d want %d", len(got), len(reference))
+	}
+	for _, it := range got {
+		if p, ok := reference[it.ID]; !ok || !p.Equal(it.P) {
+			t.Fatalf("item %d corrupted", it.ID)
+		}
+	}
+	// The machine's meters must have stayed coherent: totals non-negative,
+	// round maxima never exceed totals.
+	st := mach.Stats()
+	if st.CommTime > st.Communication || st.PIMTime > st.PIMWork {
+		t.Fatalf("incoherent meters: %+v", st)
+	}
+	if tree.SpaceWords() <= 0 {
+		t.Fatal("space meter drifted non-positive")
+	}
+}

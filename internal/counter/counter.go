@@ -1,0 +1,105 @@
+// Package counter implements the paper's approximate probabilistic counter
+// (Algorithm 3): a Morris-family counter tuned so that the update
+// probability couples the current value V with the total structure size n.
+// An increment fires with probability p = min(1, log2(n)/(β·V)) and, when it
+// fires, adds 1/p to the stored value, keeping the estimate unbiased while
+// making writes — and therefore replica fan-out in the PIM tree — rare on
+// large subtrees.
+//
+// Lemma 3.6 of the paper shows the estimate after ΔV operations is
+// ΔV·(1 ± o(1)) whp in n when ΔV = Ω(βV) and ΔV = O(V); the package tests
+// validate that empirically.
+package counter
+
+import (
+	"math/rand"
+
+	"pimkd/internal/mathx"
+)
+
+// Approx is an approximate subtree-size counter. The zero value is a counter
+// reading zero. Approx is not safe for concurrent mutation; callers
+// serialize updates per counter (in the PIM tree, a node's counter is only
+// updated by the module or CPU phase that owns it in a given round).
+type Approx struct {
+	value float64
+}
+
+// NewApprox returns a counter initialized to the exact value v (counters
+// start exact after (re)construction and drift only through probabilistic
+// updates).
+func NewApprox(v float64) Approx { return Approx{value: v} }
+
+// Value returns the current estimate.
+func (c *Approx) Value() float64 { return c.value }
+
+// Set overwrites the estimate with an exact value (used after subtree
+// reconstruction).
+func (c *Approx) Set(v float64) { c.value = v }
+
+// prob returns the firing probability for the current value given structure
+// size n and parameter beta.
+func (c *Approx) prob(n float64, beta float64) float64 {
+	v := c.value
+	if v < 1 {
+		return 1
+	}
+	p := mathx.Log2(n) / (beta * v)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Inc performs one probabilistic increment. It returns fired=true when the
+// stored value actually changed (in the PIM tree a fired update must be
+// propagated to every replica, so the return value drives communication
+// accounting) and the step that was added.
+func (c *Approx) Inc(rng *rand.Rand, n float64, beta float64) (fired bool, step float64) {
+	return c.IncU(rng.Float64(), n, beta)
+}
+
+// IncU is Inc with an externally supplied uniform variate u in [0,1),
+// letting callers use race-free hashed randomness.
+func (c *Approx) IncU(u float64, n float64, beta float64) (fired bool, step float64) {
+	p := c.prob(n, beta)
+	if p >= 1 || u < p {
+		step = 1 / p
+		c.value += step
+		return true, step
+	}
+	return false, 0
+}
+
+// Dec performs one probabilistic decrement, symmetric to Inc. The value is
+// clamped at zero.
+func (c *Approx) Dec(rng *rand.Rand, n float64, beta float64) (fired bool, step float64) {
+	return c.DecU(rng.Float64(), n, beta)
+}
+
+// DecU is Dec with an externally supplied uniform variate u in [0,1).
+func (c *Approx) DecU(u float64, n float64, beta float64) (fired bool, step float64) {
+	p := c.prob(n, beta)
+	if p >= 1 || u < p {
+		step = 1 / p
+		c.value -= step
+		if c.value < 0 {
+			c.value = 0
+		}
+		return true, step
+	}
+	return false, 0
+}
+
+// ExpectedUpdateRate returns the firing probability the counter would use at
+// value v: the fraction of increments that cause a (replicated) write.
+func ExpectedUpdateRate(v, n, beta float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	p := mathx.Log2(n) / (beta * v)
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,161 @@
+package counter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExactWhenSmall(t *testing.T) {
+	// With V below log n / β the firing probability is 1: the counter is
+	// exact at small values.
+	rng := rand.New(rand.NewSource(1))
+	c := NewApprox(0)
+	for i := 0; i < 10; i++ {
+		fired, step := c.Inc(rng, 1<<20, 1.0)
+		if !fired || step != 1 {
+			t.Fatalf("small-value increment not exact: fired=%v step=%g", fired, step)
+		}
+	}
+	if c.Value() != 10 {
+		t.Fatalf("value %g want 10", c.Value())
+	}
+}
+
+func TestUnbiasedEstimate(t *testing.T) {
+	// Lemma 3.6: after ΔV increments the expected estimate change is ΔV.
+	const (
+		trials = 3000
+		v0     = 512.0
+		dv     = 512
+		n      = 1 << 20
+		beta   = 1.0
+	)
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	for i := 0; i < trials; i++ {
+		c := NewApprox(v0)
+		for j := 0; j < dv; j++ {
+			c.Inc(rng, n, beta)
+		}
+		sum += c.Value() - v0
+	}
+	mean := sum / trials
+	if math.Abs(mean-dv)/dv > 0.05 {
+		t.Fatalf("biased estimator: mean change %.1f want %d", mean, dv)
+	}
+}
+
+func TestAccuracyImprovesWithN(t *testing.T) {
+	// The whp-in-n guarantee: relative error shrinks as log n grows.
+	const (
+		trials = 800
+		v0     = 1024.0
+		dv     = 1024
+		beta   = 1.0
+	)
+	rng := rand.New(rand.NewSource(9))
+	meanErr := func(n float64) float64 {
+		var s float64
+		for i := 0; i < trials; i++ {
+			c := NewApprox(v0)
+			for j := 0; j < dv; j++ {
+				c.Inc(rng, n, beta)
+			}
+			s += math.Abs((c.Value()-v0)-dv) / dv
+		}
+		return s / trials
+	}
+	small := meanErr(1 << 8)
+	big := meanErr(1 << 30)
+	if big >= small {
+		t.Fatalf("error did not shrink with n: %g (n=2^8) vs %g (n=2^30)", small, big)
+	}
+}
+
+func TestDecClampsAtZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewApprox(1)
+	for i := 0; i < 50; i++ {
+		c.Dec(rng, 1<<20, 1.0)
+	}
+	if c.Value() < 0 {
+		t.Fatalf("counter went negative: %g", c.Value())
+	}
+}
+
+func TestDecSymmetric(t *testing.T) {
+	const (
+		trials = 2000
+		v0     = 2048.0
+		dv     = 1024
+	)
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	for i := 0; i < trials; i++ {
+		c := NewApprox(v0)
+		for j := 0; j < dv; j++ {
+			c.Dec(rng, 1<<20, 1.0)
+		}
+		sum += v0 - c.Value()
+	}
+	mean := sum / trials
+	if math.Abs(mean-dv)/dv > 0.05 {
+		t.Fatalf("biased decrement: mean change %.1f want %d", mean, dv)
+	}
+}
+
+func TestUpdateRateCollapses(t *testing.T) {
+	// The point of the design: writes per op fall like log n / (βV).
+	rng := rand.New(rand.NewSource(11))
+	fires := func(v0 float64) float64 {
+		c := NewApprox(v0)
+		count := 0
+		const ops = 20000
+		for i := 0; i < ops; i++ {
+			if fired, _ := c.Inc(rng, 1<<20, 1.0); fired {
+				count++
+			}
+		}
+		return float64(count) / ops
+	}
+	small := fires(100)
+	big := fires(100000)
+	if big > small/10 {
+		t.Fatalf("update rate did not collapse: %g vs %g", small, big)
+	}
+}
+
+func TestExpectedUpdateRate(t *testing.T) {
+	if r := ExpectedUpdateRate(0.5, 1<<20, 1); r != 1 {
+		t.Fatalf("tiny counter rate %g want 1", r)
+	}
+	r := ExpectedUpdateRate(1<<20, 1<<20, 1)
+	if math.Abs(r-20.0/(1<<20)) > 1e-9 {
+		t.Fatalf("rate %g", r)
+	}
+}
+
+func TestIncUDeterministic(t *testing.T) {
+	a := NewApprox(10000)
+	b := NewApprox(10000)
+	for i := 0; i < 100; i++ {
+		u := float64(i) / 100
+		fa, sa := a.IncU(u, 1<<20, 1)
+		fb, sb := b.IncU(u, 1<<20, 1)
+		if fa != fb || sa != sb {
+			t.Fatal("IncU not deterministic for equal inputs")
+		}
+	}
+	if a.Value() != b.Value() {
+		t.Fatal("values diverged")
+	}
+}
+
+func TestSetOverridesDrift(t *testing.T) {
+	c := NewApprox(5)
+	c.Set(123)
+	if c.Value() != 123 {
+		t.Fatal("Set failed")
+	}
+}

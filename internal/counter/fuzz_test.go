@@ -1,0 +1,34 @@
+package counter
+
+import (
+	"testing"
+)
+
+// FuzzIncDecNeverNegative checks the counter's basic safety net under
+// arbitrary interleavings of increments and decrements driven by fuzz
+// bytes: the value never goes negative and exact-regime updates stay exact.
+func FuzzIncDecNeverNegative(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0}, 100.0)
+	f.Add([]byte{0, 0, 0}, 3.0)
+	f.Fuzz(func(t *testing.T, ops []byte, v0 float64) {
+		if v0 < 0 || v0 > 1e12 || v0 != v0 {
+			t.Skip()
+		}
+		c := NewApprox(v0)
+		u := 0.0
+		for _, op := range ops {
+			u += 0.37
+			if u >= 1 {
+				u -= 1
+			}
+			if op%2 == 0 {
+				c.IncU(u, 1<<20, 1)
+			} else {
+				c.DecU(u, 1<<20, 1)
+			}
+			if c.Value() < 0 {
+				t.Fatalf("counter went negative: %g", c.Value())
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package knnfriendly implements the dataset diagnostics of the paper's
+// Appendix A (Definition 2): the four conditions under which Theorem 4.5's
+// expected O(k) leaves-per-kNN-query bound holds — constant dimension,
+// compact cells, local uniformity, and bounded expansion ratio. Analyze
+// builds a kd-tree over the dataset and measures each condition, so users
+// can predict whether the PIM-kd-tree's expected kNN bounds apply to their
+// data before deploying.
+package knnfriendly
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pkdtree"
+)
+
+// Params are the (ε₁, ε₂) slack constants of Definition 2.
+type Params struct {
+	// Eps1 bounds cell aspect ratios: small cells must have
+	// longest/shortest side <= 1+Eps1. Default 2.
+	Eps1 float64
+	// Eps2 bounds sibling expansion: the sibling of a <k-point cell must
+	// hold at most (1+Eps2)·k points. Default 2.
+	Eps2 float64
+	// K is the neighborhood size of interest. Default 16.
+	K int
+	// Samples is the number of probe points for the local-uniformity
+	// estimate. Default 200.
+	Samples int
+	// Seed drives probe sampling.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Eps1 <= 0 {
+		p.Eps1 = 2
+	}
+	if p.Eps2 <= 0 {
+		p.Eps2 = 2
+	}
+	if p.K <= 0 {
+		p.K = 16
+	}
+	if p.Samples <= 0 {
+		p.Samples = 200
+	}
+	return p
+}
+
+// Report summarizes how well a dataset satisfies Definition 2.
+type Report struct {
+	// Dim is the dimension (condition 1 wants O(1); <15 in practice).
+	Dim int
+	// SmallCells is the number of cells examined for conditions 2 and 4
+	// (those holding fewer than (1+ε₂)·k points).
+	SmallCells int
+	// CompactFraction is the fraction of small cells whose aspect ratio
+	// (longest/shortest positive side) is at most 1+ε₁ (condition 2).
+	CompactFraction float64
+	// AspectP95 is the 95th-percentile aspect ratio over small cells.
+	AspectP95 float64
+	// ExpansionFraction is the fraction of <k-point cells whose sibling
+	// holds at most (1+ε₂)·k points (condition 4).
+	ExpansionFraction float64
+	// UniformityCV is the coefficient of variation of the local density
+	// estimated over probe neighborhoods (condition 3: a locally uniform
+	// density keeps this small; heavy skew inflates it).
+	UniformityCV float64
+}
+
+// Friendly applies a pragmatic pass/fail rule: conditions 2 and 4 hold for
+// (almost) all cells and the local density dispersion is moderate.
+func (r Report) Friendly() bool {
+	return r.CompactFraction >= 0.9 && r.ExpansionFraction >= 0.9 && r.UniformityCV <= 1.0
+}
+
+// Analyze builds a kd-tree over pts and measures the Definition 2
+// conditions with the given parameters.
+func Analyze(pts []geom.Point, par Params) Report {
+	par = par.withDefaults()
+	rep := Report{}
+	if len(pts) == 0 {
+		return rep
+	}
+	rep.Dim = len(pts[0])
+	items := make([]pkdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = pkdtree.Item{P: p, ID: int32(i)}
+	}
+	tree := pkdtree.New(pkdtree.Config{Dim: rep.Dim, Seed: par.Seed}, items)
+
+	// Conditions 2 and 4: shapes and sibling sizes of small cells.
+	smallLimit := int(float64(par.K) * (1 + par.Eps2))
+	var aspects []float64
+	compact, expansionOK, expansionChecked := 0, 0, 0
+	tree.WalkCells(func(c pkdtree.CellInfo) {
+		if c.Size >= smallLimit || c.Depth == 0 {
+			return
+		}
+		rep.SmallCells++
+		if a, ok := aspect(c.Box); ok {
+			aspects = append(aspects, a)
+			if a <= 1+par.Eps1 {
+				compact++
+			}
+		} else {
+			// Degenerate (zero-width) cells count as compact: a single
+			// coordinate value has no aspect.
+			compact++
+		}
+		if c.Size < par.K {
+			expansionChecked++
+			if c.SiblingSize <= smallLimit {
+				expansionOK++
+			}
+		}
+	})
+	if rep.SmallCells > 0 {
+		rep.CompactFraction = float64(compact) / float64(rep.SmallCells)
+	}
+	if expansionChecked > 0 {
+		rep.ExpansionFraction = float64(expansionOK) / float64(expansionChecked)
+	} else {
+		rep.ExpansionFraction = 1
+	}
+	if len(aspects) > 0 {
+		sort.Float64s(aspects)
+		rep.AspectP95 = aspects[int(0.95*float64(len(aspects)-1))]
+	}
+
+	// Condition 3: local uniformity. For probe points drawn from the
+	// dataset, compare the k-NN radius–implied density across probes: on a
+	// locally uniform density, k / r_k^D is near-constant.
+	rng := rand.New(rand.NewSource(par.Seed + 1))
+	var dens []float64
+	for s := 0; s < par.Samples; s++ {
+		q := pts[rng.Intn(len(pts))]
+		nn := tree.KNN(q, par.K)
+		if len(nn) < par.K {
+			continue
+		}
+		rk := math.Sqrt(nn[len(nn)-1].Dist2)
+		if rk <= 0 {
+			continue
+		}
+		dens = append(dens, float64(par.K)/math.Pow(rk, float64(rep.Dim)))
+	}
+	if len(dens) > 1 {
+		// Coefficient of variation on the log scale is robust to the
+		// heavy right tail density estimates have; report CV of log-dens.
+		var mean float64
+		logs := make([]float64, len(dens))
+		for i, d := range dens {
+			logs[i] = math.Log(d)
+			mean += logs[i]
+		}
+		mean /= float64(len(logs))
+		var varsum float64
+		for _, l := range logs {
+			varsum += (l - mean) * (l - mean)
+		}
+		sd := math.Sqrt(varsum / float64(len(logs)))
+		rep.UniformityCV = sd / math.Ln2 / float64(rep.Dim) // per-doubling, per-dimension spread
+	}
+	return rep
+}
+
+// aspect returns the longest/shortest positive side ratio of a box; ok is
+// false when every side is zero or any side is unbounded.
+func aspect(b geom.Box) (float64, bool) {
+	longest, shortest := 0.0, math.Inf(1)
+	for d := range b.Lo {
+		w := b.Hi[d] - b.Lo[d]
+		if math.IsInf(w, 1) {
+			return 0, false
+		}
+		if w > longest {
+			longest = w
+		}
+		if w > 0 && w < shortest {
+			shortest = w
+		}
+	}
+	if longest == 0 || math.IsInf(shortest, 1) {
+		return 0, false
+	}
+	return longest / shortest, true
+}

@@ -1,0 +1,89 @@
+package knnfriendly
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/workload"
+)
+
+func TestUniformIsFriendly(t *testing.T) {
+	pts := workload.Uniform(8000, 2, 1)
+	rep := Analyze(pts, Params{})
+	if !rep.Friendly() {
+		t.Fatalf("uniform data judged unfriendly: %+v", rep)
+	}
+	if rep.Dim != 2 || rep.SmallCells == 0 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}
+
+func TestGaussianClustersAreFriendly(t *testing.T) {
+	pts := workload.GaussianClusters(8000, 2, 6, 0.05, 2)
+	rep := Analyze(pts, Params{})
+	// Smooth cluster mixtures satisfy the *local* uniformity condition even
+	// though the global density varies.
+	if rep.CompactFraction < 0.8 {
+		t.Fatalf("clusters judged non-compact: %+v", rep)
+	}
+}
+
+func TestLineDataIsUnfriendly(t *testing.T) {
+	// Points on a 1-D line embedded in 2-D: cells collapse to slivers with
+	// enormous aspect ratios — condition 2 must fail.
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 6000)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = geom.Point{x, 1e-9 * rng.Float64()}
+	}
+	rep := Analyze(pts, Params{})
+	if rep.Friendly() {
+		t.Fatalf("line data judged friendly: %+v", rep)
+	}
+	if rep.AspectP95 < 100 {
+		t.Fatalf("sliver cells not detected: p95 aspect %.1f", rep.AspectP95)
+	}
+}
+
+func TestExtremeDensitySkewDetected(t *testing.T) {
+	// 99% of the mass in a microscopic hotspot, the rest spread out: the
+	// local density estimate must show orders-of-magnitude dispersion.
+	var pts []geom.Point
+	pts = append(pts, workload.Hotspot(6000, 2, 1e-7, 5)...)
+	pts = append(pts, workload.Uniform(60, 2, 6)...)
+	rep := Analyze(pts, Params{Samples: 400})
+	if rep.UniformityCV <= 1.0 {
+		t.Fatalf("density skew not detected: CV %.2f", rep.UniformityCV)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if rep := Analyze(nil, Params{}); rep.Dim != 0 {
+		t.Fatal("empty dataset produced a report")
+	}
+	rep := Analyze(workload.Uniform(5, 3, 7), Params{})
+	if rep.Dim != 3 {
+		t.Fatalf("dim %d", rep.Dim)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.K != 16 || p.Eps1 != 2 || p.Eps2 != 2 || p.Samples != 200 {
+		t.Fatalf("defaults %+v", p)
+	}
+}
+
+func TestAspect(t *testing.T) {
+	if a, ok := aspect(geom.NewBox(geom.Point{0, 0}, geom.Point{2, 1})); !ok || a != 2 {
+		t.Fatalf("aspect %g ok=%v", a, ok)
+	}
+	if _, ok := aspect(geom.NewBox(geom.Point{0, 0}, geom.Point{0, 0})); ok {
+		t.Fatal("degenerate box has an aspect")
+	}
+	if _, ok := aspect(geom.UniverseBox(2)); ok {
+		t.Fatal("unbounded box has an aspect")
+	}
+}

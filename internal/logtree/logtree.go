@@ -1,0 +1,210 @@
+// Package logtree implements the logarithmic-method baseline (Bentley–Saxe;
+// Table 1 row "Log-tree"): a forest of O(log n) static kd-trees with
+// power-of-two sizes. Inserting a batch cascades merges of equal-size
+// trees; deleting uses tombstones with a global rebuild once half the
+// stored items are dead. Every query must consult every live tree, which is
+// exactly why LeafSearch costs O(S·log²(n/S)) here versus O(S·log(n/S)) in
+// a single balanced tree — the slowdown the PIM-kd-tree avoids.
+package logtree
+
+import (
+	"sync/atomic"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
+	"pimkd/internal/pkdtree"
+)
+
+// Forest is a logarithmic-method kd-tree forest.
+type Forest struct {
+	cfg    pkdtree.Config
+	levels []*pkdtree.Tree // levels[i] is nil or holds ~2^i·LeafSize items
+	dead   map[int32]bool  // tombstoned item IDs
+	size   int             // live item count
+	Meter  Meter
+}
+
+// Meter aggregates the forest's cost metrics (the underlying static trees'
+// meters are folded in on demand via Snapshot).
+type Meter struct {
+	// TreesTouched counts static trees consulted by queries: the
+	// multiplicative overhead of the logarithmic method.
+	TreesTouched int64
+	// MergedPoints counts points moved by merge rebuilds during updates.
+	MergedPoints int64
+	// GlobalRebuilds counts whole-forest rebuilds triggered by tombstone
+	// density.
+	GlobalRebuilds int64
+}
+
+// New creates an empty forest; cfg configures the static trees.
+func New(cfg pkdtree.Config) *Forest {
+	return &Forest{cfg: cfg, dead: make(map[int32]bool)}
+}
+
+// Size returns the number of live items.
+func (f *Forest) Size() int { return f.size }
+
+// NodeVisits returns the summed node-visit meter across all static trees,
+// the shared-memory communication proxy.
+func (f *Forest) NodeVisits() int64 {
+	var total int64
+	for _, t := range f.levels {
+		if t != nil {
+			total += atomic.LoadInt64(&t.Meter.NodeVisits)
+		}
+	}
+	return total
+}
+
+// BatchInsert inserts items, cascading merges so that level i holds either
+// nothing or a static tree of roughly 2^i · batch granularity.
+func (f *Forest) BatchInsert(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	pending := make([]pkdtree.Item, len(items))
+	for i, it := range items {
+		pending[i] = pkdtree.Item(it)
+	}
+	f.size += len(items)
+	level := 0
+	for {
+		if level == len(f.levels) {
+			f.levels = append(f.levels, nil)
+		}
+		if f.levels[level] == nil {
+			f.levels[level] = pkdtree.New(f.cfg, pending)
+			f.Meter.MergedPoints += int64(len(pending))
+			return
+		}
+		// Merge: absorb the resident tree into the pending batch and carry
+		// to the next level, Bentley–Saxe style.
+		resident := f.levels[level].Items()
+		f.levels[level] = nil
+		pending = append(pending, resident...)
+		f.Meter.MergedPoints += int64(len(resident))
+		if len(pending) < (2<<level)*maxInt(f.cfg.LeafSize, 1) {
+			// Still fits this level's capacity after the merge.
+			f.levels[level] = pkdtree.New(f.cfg, pending)
+			return
+		}
+		level++
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Item mirrors pkdtree.Item for the public API of the forest.
+type Item = pkdtree.Item
+
+// BatchDelete tombstones the given item IDs; a global rebuild compacts the
+// forest once tombstones reach half the stored items.
+func (f *Forest) BatchDelete(items []Item) {
+	for _, it := range items {
+		if !f.dead[it.ID] {
+			f.dead[it.ID] = true
+			f.size--
+		}
+	}
+	if len(f.dead) > f.size {
+		f.compact()
+	}
+}
+
+// compact rebuilds the whole forest without tombstoned items.
+func (f *Forest) compact() {
+	var live []Item
+	for _, t := range f.levels {
+		if t == nil {
+			continue
+		}
+		for _, it := range t.Items() {
+			if !f.dead[it.ID] {
+				live = append(live, it)
+			}
+		}
+	}
+	f.levels = nil
+	f.dead = make(map[int32]bool)
+	f.size = 0
+	f.Meter.GlobalRebuilds++
+	if len(live) > 0 {
+		f.BatchInsert(live)
+	}
+}
+
+// LeafSearch routes q through every live tree and returns the union of the
+// reached leaves' live items. Depth is the summed leaf depth over trees —
+// the O(log²) search-path total of the logarithmic method.
+func (f *Forest) LeafSearch(q geom.Point) (items []Item, depth int) {
+	for _, t := range f.levels {
+		if t == nil {
+			continue
+		}
+		f.Meter.TreesTouched++
+		pts, d := t.LeafSearch(q)
+		depth += d
+		for _, it := range pts {
+			if !f.dead[it.ID] {
+				items = append(items, it)
+			}
+		}
+	}
+	return items, depth
+}
+
+// Contains reports whether the item is live in the forest.
+func (f *Forest) Contains(it Item) bool {
+	if f.dead[it.ID] {
+		return false
+	}
+	for _, t := range f.levels {
+		if t != nil && t.Contains(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// KNN merges per-tree kNN results into the global k nearest live items.
+func (f *Forest) KNN(q geom.Point, k int) []heapx.Candidate {
+	best := heapx.NewKBest(k)
+	for _, t := range f.levels {
+		if t == nil {
+			continue
+		}
+		f.Meter.TreesTouched++
+		// Over-fetch by the live tombstone count so dead candidates can
+		// never crowd out a live true neighbor.
+		fetch := k + len(f.dead)
+		for _, c := range t.KNN(q, fetch) {
+			if !f.dead[c.ID] {
+				best.Offer(c.Dist2, c.ID)
+			}
+		}
+	}
+	return best.Sorted()
+}
+
+// RangeReport returns live items inside box across all trees.
+func (f *Forest) RangeReport(box geom.Box) []Item {
+	var out []Item
+	for _, t := range f.levels {
+		if t == nil {
+			continue
+		}
+		f.Meter.TreesTouched++
+		for _, it := range t.RangeReport(box) {
+			if !f.dead[it.ID] {
+				out = append(out, it)
+			}
+		}
+	}
+	return out
+}

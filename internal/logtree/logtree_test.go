@@ -1,0 +1,147 @@
+package logtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pkdtree"
+	"pimkd/internal/workload"
+)
+
+func makeItems(pts []geom.Point, base int32) []Item {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{P: p, ID: base + int32(i)}
+	}
+	return items
+}
+
+func TestInsertCascade(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2, Seed: 1})
+	total := 0
+	for b := 0; b < 20; b++ {
+		batch := makeItems(workload.Uniform(50, 2, int64(b)), int32(b*50))
+		f.BatchInsert(batch)
+		total += 50
+		if f.Size() != total {
+			t.Fatalf("size %d want %d", f.Size(), total)
+		}
+	}
+	if f.Meter.MergedPoints == 0 {
+		t.Fatal("no merges happened across 20 batches")
+	}
+}
+
+func TestContainsAndSearch(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2, Seed: 2})
+	items := makeItems(workload.Uniform(900, 2, 3), 0)
+	for lo := 0; lo < len(items); lo += 100 {
+		f.BatchInsert(items[lo : lo+100])
+	}
+	for _, it := range items[:100] {
+		if !f.Contains(it) {
+			t.Fatalf("lost %d", it.ID)
+		}
+		leafPts, depth := f.LeafSearch(it.P)
+		if depth == 0 {
+			t.Fatal("no depth accumulated")
+		}
+		found := false
+		for _, p := range leafPts {
+			if p.ID == it.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("leaf search missed %d", it.ID)
+		}
+	}
+}
+
+func TestDeleteTombstonesAndCompaction(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2, Seed: 4})
+	items := makeItems(workload.Uniform(1000, 2, 5), 0)
+	for lo := 0; lo < 1000; lo += 125 {
+		f.BatchInsert(items[lo : lo+125])
+	}
+	f.BatchDelete(items[:600])
+	if f.Size() != 400 {
+		t.Fatalf("size %d", f.Size())
+	}
+	if f.Meter.GlobalRebuilds == 0 {
+		t.Fatal("expected a compaction after deleting 60%")
+	}
+	for _, it := range items[:10] {
+		if f.Contains(it) {
+			t.Fatalf("tombstoned item %d still live", it.ID)
+		}
+	}
+	for _, it := range items[600:610] {
+		if !f.Contains(it) {
+			t.Fatalf("live item %d lost in compaction", it.ID)
+		}
+	}
+}
+
+func TestKNNWithTombstones(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2, Seed: 6})
+	items := makeItems(workload.Uniform(800, 2, 7), 0)
+	for lo := 0; lo < 800; lo += 100 {
+		f.BatchInsert(items[lo : lo+100])
+	}
+	// Tombstone 30% but stay under the compaction threshold.
+	f.BatchDelete(items[:240])
+	live := items[240:]
+	qs := workload.Uniform(30, 2, 9)
+	for _, q := range qs {
+		got := f.KNN(q, 5)
+		want := bruteKNNIDs(live, q, 5)
+		if len(got) != 5 {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist2-want[i]) > 1e-12 {
+				t.Fatalf("rank %d: %g want %g", i, got[i].Dist2, want[i])
+			}
+		}
+	}
+}
+
+func TestRangeReportSkipsDead(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2, Seed: 8})
+	items := makeItems(workload.Uniform(500, 2, 11), 0)
+	f.BatchInsert(items)
+	f.BatchDelete(items[:100])
+	box := geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1})
+	got := f.RangeReport(box)
+	if len(got) != 400 {
+		t.Fatalf("reported %d want 400", len(got))
+	}
+	for _, it := range got {
+		if it.ID < 100 {
+			t.Fatalf("dead item %d reported", it.ID)
+		}
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	f := New(pkdtree.Config{Dim: 2})
+	if f.Size() != 0 {
+		t.Fatal("fresh forest non-empty")
+	}
+	if pts, _ := f.LeafSearch(geom.Point{0.5, 0.5}); pts != nil {
+		t.Fatal("search on empty forest returned items")
+	}
+	f.BatchDelete(makeItems(workload.Uniform(5, 2, 1), 0))
+}
+
+func bruteKNNIDs(items []Item, q geom.Point, k int) []float64 {
+	ds := make([]float64, len(items))
+	for i, it := range items {
+		ds[i] = geom.Dist2(q, it.P)
+	}
+	sort.Float64s(ds)
+	return ds[:k]
+}

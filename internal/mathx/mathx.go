@@ -1,0 +1,117 @@
+// Package mathx provides the small numeric helpers shared across the
+// repository: base-2 logarithms clamped the way the paper writes them
+// (log(x) meaning max{1, log2 x}), iterated logarithms log^(j), and the
+// log-star function that drives the tree decomposition.
+package mathx
+
+import "math"
+
+// Log2 returns max(1, log2(x)) as a float64, matching the paper's
+// convention that logarithmic factors never drop below 1. Log2(x) for
+// x <= 2 is 1.
+func Log2(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// IterLog returns log^(j)(x): j-fold application of log2, clamped below at
+// 1. IterLog(0, x) returns x itself.
+func IterLog(j int, x float64) float64 {
+	v := x
+	for i := 0; i < j; i++ {
+		v = Log2(v)
+	}
+	return v
+}
+
+// LogStar returns log* x: the number of times log2 must be applied to x
+// before the value drops to <= 1 (at most, before it stops decreasing under
+// the clamped Log2). LogStar(x) is at least 1 for all x (the paper's
+// max{1, log* x} convention).
+func LogStar(x float64) int {
+	if x <= 2 {
+		return 1
+	}
+	j := 0
+	v := x
+	for v > 2 {
+		v = math.Log2(v)
+		j++
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// LogB returns max(1, log_B(x)) for base B > 1, the clamped base-B
+// logarithm the chunked-tree variant uses.
+func LogB(x, b float64) float64 {
+	if x <= b {
+		return 1
+	}
+	return math.Log(x) / math.Log(b)
+}
+
+// IterLogB returns log_B^(j)(x), clamped below at 1 per application.
+// IterLogB(0, x, b) is x.
+func IterLogB(j int, x, b float64) float64 {
+	v := x
+	for i := 0; i < j; i++ {
+		v = LogB(v, b)
+	}
+	return v
+}
+
+// LogStarB returns log*_B(x): iterations of the clamped base-B log before
+// the value reaches <= B; at least 1.
+func LogStarB(x, b float64) int {
+	if x <= b {
+		return 1
+	}
+	j := 0
+	v := x
+	for v > b {
+		v = math.Log(v) / math.Log(b)
+		j++
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	v := n - 1
+	for v > 0 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt returns the larger of a and b.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2Clamp(t *testing.T) {
+	if Log2(1) != 1 || Log2(2) != 1 || Log2(0.5) != 1 {
+		t.Fatal("Log2 must clamp at 1 below 2")
+	}
+	if math.Abs(Log2(1024)-10) > 1e-12 {
+		t.Fatalf("Log2(1024) = %g", Log2(1024))
+	}
+}
+
+func TestIterLog(t *testing.T) {
+	if IterLog(0, 256) != 256 {
+		t.Fatal("IterLog(0) should be identity")
+	}
+	if IterLog(1, 256) != 8 {
+		t.Fatalf("IterLog(1,256) = %g", IterLog(1, 256))
+	}
+	if IterLog(2, 256) != 3 {
+		t.Fatalf("IterLog(2,256) = %g", IterLog(2, 256))
+	}
+	// Clamped: never drops below 1.
+	if IterLog(10, 256) < 1 {
+		t.Fatal("IterLog dropped below 1")
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	// Convention: iterations of the clamped Log2 until the value is <= 2
+	// (the decomposition's smallest meaningful threshold).
+	cases := map[float64]int{
+		2:       1,
+		4:       1,
+		16:      2,
+		64:      3,
+		65536:   3,
+		1 << 20: 4,
+	}
+	for x, want := range cases {
+		if got := LogStar(x); got != want {
+			t.Fatalf("LogStar(%g) = %d want %d", x, got, want)
+		}
+	}
+}
+
+func TestLogStarMonotone(t *testing.T) {
+	prev := 0
+	for x := 2.0; x < 1e18; x *= 7 {
+		v := LogStar(x)
+		if v < prev {
+			t.Fatalf("LogStar not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestLogB(t *testing.T) {
+	if LogB(64, 4) != 3 {
+		t.Fatalf("LogB(64,4) = %g", LogB(64, 4))
+	}
+	if LogB(3, 4) != 1 {
+		t.Fatal("LogB must clamp at 1")
+	}
+}
+
+func TestLogStarB(t *testing.T) {
+	if LogStarB(64, 2) != LogStar(64) {
+		t.Fatal("base-2 LogStarB disagrees with LogStar")
+	}
+	if v := LogStarB(64, 16); v != 1 {
+		t.Fatalf("LogStarB(64,16) = %d want 1", v)
+	}
+	// Larger base never increases the star count.
+	for _, x := range []float64{64, 1024, 1 << 20} {
+		if LogStarB(x, 8) > LogStarB(x, 2) {
+			t.Fatalf("LogStarB base monotonicity violated at %g", x)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestCeilDivMinMax(t *testing.T) {
+	if CeilDiv(7, 3) != 3 || CeilDiv(6, 3) != 2 {
+		t.Fatal("CeilDiv wrong")
+	}
+	if MinInt(2, 3) != 2 || MaxInt(2, 3) != 3 {
+		t.Fatal("MinInt/MaxInt wrong")
+	}
+}

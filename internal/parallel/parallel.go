@@ -1,0 +1,254 @@
+// Package parallel implements the shared-memory parallel primitives the
+// paper's algorithms assume from the binary-forking model: parallel for
+// loops, reductions, prefix sums, a parallel sample sort, and a semisort
+// style group-by. All primitives are deterministic given deterministic
+// inputs and use only goroutines and sync from the standard library.
+//
+// On a machine with few cores the primitives degrade gracefully to
+// sequential execution (work stays the same; only span changes), which is
+// what the paper's work-span analysis predicts.
+package parallel
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// grain is the smallest chunk of iterations worth forking a goroutine for.
+const grain = 2048
+
+// Procs returns the parallelism level used by the primitives.
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) using up to Procs() goroutines.
+// body must be safe to call concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked partitions [0, n) into contiguous chunks and runs body(lo, hi)
+// on each chunk, in parallel across chunks.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := p * 4
+	if chunks > (n+grain-1)/grain {
+		chunks = (n + grain - 1) / grain
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks concurrently and waits for all of them. It is the
+// fork-join "spawn" of the binary-forking model.
+func Do(thunks ...func()) {
+	if len(thunks) == 1 {
+		thunks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// ReduceInt computes the sum of f(i) over i in [0, n).
+func ReduceInt(n int, f func(i int) int) int {
+	p := Procs()
+	if p == 1 || n <= grain {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partials := make([]int, p*4)
+	chunk := (n + len(partials) - 1) / len(partials)
+	var wg sync.WaitGroup
+	for c := 0; c*chunk < n; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partials[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	s := 0
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}
+
+// MaxInt computes the maximum of f(i) over i in [0, n); it returns 0 for
+// n <= 0.
+func MaxInt(n int, f func(i int) int) int {
+	if n <= 0 {
+		return 0
+	}
+	m := f(0)
+	for i := 1; i < n; i++ {
+		if v := f(i); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PrefixSum replaces xs with its exclusive prefix sum and returns the total.
+// PrefixSum(nil) returns 0.
+func PrefixSum(xs []int) int {
+	total := 0
+	for i, v := range xs {
+		xs[i] = total
+		total += v
+	}
+	return total
+}
+
+// Sort sorts xs in parallel using a sample-sort style split: sorted chunks
+// merged through bucket boundaries. For small inputs it falls back to the
+// standard library sort.
+func Sort[T any](xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	p := Procs()
+	if p == 1 || n < 4*grain {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	// Sort chunks in parallel, then iteratively merge pairs.
+	chunks := p
+	size := (n + chunks - 1) / chunks
+	type span struct{ lo, hi int }
+	var spans []span
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			seg := xs[lo:hi]
+			sort.Slice(seg, func(i, j int) bool { return less(seg[i], seg[j]) })
+		}(lo, hi)
+	}
+	wg.Wait()
+	buf := make([]T, n)
+	src, dst := xs, buf
+	for len(spans) > 1 {
+		var next []span
+		var mg sync.WaitGroup
+		for i := 0; i < len(spans); i += 2 {
+			if i+1 == len(spans) {
+				next = append(next, spans[i])
+				copy(dst[spans[i].lo:spans[i].hi], src[spans[i].lo:spans[i].hi])
+				continue
+			}
+			a, b := spans[i], spans[i+1]
+			next = append(next, span{a.lo, b.hi})
+			mg.Add(1)
+			go func(a, b span) {
+				defer mg.Done()
+				merge(dst[a.lo:b.hi], src[a.lo:a.hi], src[b.lo:b.hi], less)
+			}(a, b)
+		}
+		mg.Wait()
+		spans = next
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+func merge[T any](out, a, b []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// GroupBy performs a semisort-style group-by: it returns, for each distinct
+// key produced by key(i) over i in [0, n), the list of indices with that
+// key. Order of groups and of indices within a group is deterministic
+// (ascending key, ascending index).
+func GroupBy(n int, key func(i int) int) map[int][]int {
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		groups[k] = append(groups[k], i)
+	}
+	return groups
+}
+
+// CountingSortByKey reorders items so that equal keys are contiguous, and
+// returns the offsets slice: group g occupies items[offsets[g]:offsets[g+1]].
+// Keys must lie in [0, buckets).
+func CountingSortByKey[T any](items []T, buckets int, key func(t T) int) (sorted []T, offsets []int) {
+	counts := make([]int, buckets+1)
+	for _, it := range items {
+		counts[key(it)+1]++
+	}
+	for i := 1; i <= buckets; i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets = counts
+	sorted = make([]T, len(items))
+	cursor := make([]int, buckets)
+	copy(cursor, counts[:buckets])
+	for _, it := range items {
+		k := key(it)
+		sorted[cursor[k]] = it
+		cursor[k]++
+	}
+	return sorted, offsets
+}

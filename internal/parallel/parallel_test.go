@@ -1,0 +1,229 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// withProcs forces the parallel code paths even on single-core machines
+// (goroutines interleave rather than run simultaneously, which still
+// exercises the partitioning and merging logic under the race detector).
+func withProcs(t *testing.T, p int, body func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	body()
+}
+
+func TestForParallelPath(t *testing.T) {
+	withProcs(t, 4, func() {
+		n := grain*6 + 13
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d hit %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestReduceIntParallelPath(t *testing.T) {
+	withProcs(t, 4, func() {
+		n := grain*6 + 7
+		got := ReduceInt(n, func(i int) int { return i })
+		if want := n * (n - 1) / 2; got != want {
+			t.Fatalf("sum %d want %d", got, want)
+		}
+	})
+}
+
+func TestSortParallelPath(t *testing.T) {
+	withProcs(t, 4, func() {
+		rng := rand.New(rand.NewSource(9))
+		for _, n := range []int{4 * grain, 5*grain + 321, 16 * grain} {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			Sort(xs, func(a, b float64) bool { return a < b })
+			for i := range xs {
+				if xs[i] != want[i] {
+					t.Fatalf("n=%d mismatch at %d", n, i)
+				}
+			}
+		}
+	})
+}
+
+func TestSortParallelOddChunks(t *testing.T) {
+	// Three chunks forces the odd-span carry in the merge ladder.
+	withProcs(t, 3, func() {
+		n := 13 * grain
+		xs := make([]int, n)
+		rng := rand.New(rand.NewSource(11))
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		Sort(xs, func(a, b int) bool { return a < b })
+		if !sort.IntsAreSorted(xs) {
+			t.Fatal("unsorted")
+		}
+	})
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, grain - 1, grain, grain*3 + 5} {
+		var hits = make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	n := grain*4 + 17
+	var total atomic.Int64
+	ForChunked(n, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != int64(n) {
+		t.Fatalf("covered %d of %d", total.Load(), n)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a thunk")
+	}
+}
+
+func TestReduceInt(t *testing.T) {
+	n := grain*5 + 3
+	got := ReduceInt(n, func(i int) int { return i })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("sum %d want %d", got, want)
+	}
+	if ReduceInt(0, func(int) int { return 1 }) != 0 {
+		t.Fatal("empty reduce nonzero")
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	xs := []int{3, 9, 1, 9, 2}
+	if m := MaxInt(len(xs), func(i int) int { return xs[i] }); m != 9 {
+		t.Fatalf("max %d", m)
+	}
+	if MaxInt(0, nil) != 0 {
+		t.Fatal("empty max nonzero")
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	total := PrefixSum(xs)
+	if total != 14 {
+		t.Fatalf("total %d", total)
+	}
+	want := []int{0, 3, 4, 8, 9}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d want %d", i, xs[i], want[i])
+		}
+	}
+	if PrefixSum(nil) != 0 {
+		t.Fatal("nil prefix sum nonzero")
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 4 * grain, 4*grain + 999} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		Sort(xs, func(a, b float64) bool { return a < b })
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortStabilityOfDuplicates(t *testing.T) {
+	xs := make([]int, 5*grain)
+	for i := range xs {
+		xs[i] = i % 3
+	}
+	Sort(xs, func(a, b int) bool { return a < b })
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatal("unsorted duplicates")
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(xs []int16) bool {
+		ys := make([]int, len(xs))
+		for i, x := range xs {
+			ys[i] = int(x)
+		}
+		Sort(ys, func(a, b int) bool { return a < b })
+		return sort.IntsAreSorted(ys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	groups := GroupBy(10, func(i int) int { return i % 3 })
+	if len(groups) != 3 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	if len(groups[0]) != 4 || len(groups[1]) != 3 || len(groups[2]) != 3 {
+		t.Fatalf("group sizes %v", groups)
+	}
+	if groups[1][0] != 1 || groups[1][1] != 4 {
+		t.Fatal("indices not ascending")
+	}
+}
+
+func TestCountingSortByKey(t *testing.T) {
+	items := []string{"b", "a", "c", "a", "b", "a"}
+	key := func(s string) int { return int(s[0] - 'a') }
+	sorted, offsets := CountingSortByKey(items, 3, key)
+	if len(sorted) != len(items) {
+		t.Fatal("length changed")
+	}
+	for g := 0; g < 3; g++ {
+		for _, s := range sorted[offsets[g]:offsets[g+1]] {
+			if key(s) != g {
+				t.Fatalf("bucket %d holds %q", g, s)
+			}
+		}
+	}
+	if offsets[1]-offsets[0] != 3 {
+		t.Fatalf("bucket 'a' size %d", offsets[1]-offsets[0])
+	}
+}

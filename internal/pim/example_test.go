@@ -1,0 +1,31 @@
+package pim_test
+
+import (
+	"fmt"
+
+	"pimkd/internal/pim"
+)
+
+// Example shows the BSP-round structure: module programs run concurrently
+// inside a round, and the machine meters both totals and per-round maxima.
+func Example() {
+	m := pim.NewMachine(4, 1<<16)
+	m.RunRound(func(r *pim.Round) {
+		r.OnModules(func(ctx *pim.ModuleCtx) {
+			ctx.Work(10)                      // every module computes…
+			ctx.Transfer(int64(ctx.ID() + 1)) // …and moves a different amount
+		})
+	})
+	st := m.Stats()
+	fmt.Println("total PIM work:", st.PIMWork)
+	fmt.Println("PIM time (straggler):", st.PIMTime)
+	fmt.Println("communication:", st.Communication)
+	fmt.Println("comm time (max module):", st.CommTime)
+	fmt.Println("rounds:", st.Rounds)
+	// Output:
+	// total PIM work: 40
+	// PIM time (straggler): 10
+	// communication: 10
+	// comm time (max module): 4
+	// rounds: 1
+}

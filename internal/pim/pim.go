@@ -1,0 +1,343 @@
+// Package pim implements the Processing-In-Memory (PIM) Model of Kang et
+// al. (SPAA'21) as an executable, cost-metered machine: a host CPU with an
+// M-word cache plus P PIM modules, running programs in bulk-synchronous
+// (BSP) rounds.
+//
+// The simulator does two jobs at once:
+//
+//  1. It *executes* module programs as real goroutines, one per module per
+//     round, so the algorithms in this repository are genuinely parallel
+//     programs (not just cost formulas).
+//  2. It *meters* exactly the quantities the paper's theorems bound:
+//     CPU work, CPU span (an analytic proxy logged by phases), total PIM
+//     work, PIM time (sum over rounds of the max per-module work),
+//     total off-chip communication in words, and communication time (sum
+//     over rounds of the max words moved to/from any single module).
+//
+// The model restrictions are honored structurally: modules never touch each
+// other's state directly — all cross-module data movement flows through
+// Round.Transfer, which charges the off-chip channel of the module involved.
+package pim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats aggregates the PIM-Model cost metrics accumulated by a Machine.
+// All fields are totals since machine construction (or the last ResetStats).
+type Stats struct {
+	// CPUWork is the total number of CPU instructions (model units).
+	CPUWork int64
+	// CPUSpan is the analytic critical-path length of the CPU computation,
+	// logged phase by phase by the algorithms.
+	CPUSpan int64
+	// PIMWork is the total work executed across all PIM cores.
+	PIMWork int64
+	// PIMTime is the sum over rounds of the maximum work on any PIM core in
+	// that round (the model's per-round straggler metric).
+	PIMTime int64
+	// Communication is the total number of words moved between the CPU and
+	// the PIM modules.
+	Communication int64
+	// CommTime is the sum over rounds of the maximum number of words moved
+	// to/from any single PIM module in that round.
+	CommTime int64
+	// Rounds is the number of BSP rounds executed.
+	Rounds int64
+}
+
+// Sub returns s - o, field by field. It is used to measure the cost of an
+// individual operation as a delta between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		CPUWork:       s.CPUWork - o.CPUWork,
+		CPUSpan:       s.CPUSpan - o.CPUSpan,
+		PIMWork:       s.PIMWork - o.PIMWork,
+		PIMTime:       s.PIMTime - o.PIMTime,
+		Communication: s.Communication - o.Communication,
+		CommTime:      s.CommTime - o.CommTime,
+		Rounds:        s.Rounds - o.Rounds,
+	}
+}
+
+// Add returns s + o, field by field.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		CPUWork:       s.CPUWork + o.CPUWork,
+		CPUSpan:       s.CPUSpan + o.CPUSpan,
+		PIMWork:       s.PIMWork + o.PIMWork,
+		PIMTime:       s.PIMTime + o.PIMTime,
+		Communication: s.Communication + o.Communication,
+		CommTime:      s.CommTime + o.CommTime,
+		Rounds:        s.Rounds + o.Rounds,
+	}
+}
+
+// TotalWork returns CPU work plus PIM work, the paper's "total work" column.
+func (s Stats) TotalWork() int64 { return s.CPUWork + s.PIMWork }
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"cpuWork=%d cpuSpan=%d pimWork=%d pimTime=%d comm=%d commTime=%d rounds=%d",
+		s.CPUWork, s.CPUSpan, s.PIMWork, s.PIMTime, s.Communication, s.CommTime, s.Rounds)
+}
+
+// Machine is a PIM-Model machine with P modules and an M-word CPU cache.
+// A Machine is safe for use by a single logical algorithm at a time;
+// metering calls within a round may come from concurrent goroutines.
+type Machine struct {
+	p      int
+	cacheM int
+
+	cpuWork atomic.Int64
+	cpuSpan atomic.Int64
+	pimWork atomic.Int64
+	pimTime atomic.Int64
+	comm    atomic.Int64
+	commT   atomic.Int64
+	rounds  atomic.Int64
+
+	// Per-module cumulative meters, for load-balance inspection.
+	moduleWork []atomic.Int64
+	moduleComm []atomic.Int64
+}
+
+// NewMachine creates a machine with p PIM modules and a CPU cache of cacheM
+// words. It panics if p < 1.
+func NewMachine(p, cacheM int) *Machine {
+	if p < 1 {
+		panic("pim: machine needs at least one module")
+	}
+	return &Machine{
+		p:          p,
+		cacheM:     cacheM,
+		moduleWork: make([]atomic.Int64, p),
+		moduleComm: make([]atomic.Int64, p),
+	}
+}
+
+// P returns the number of PIM modules.
+func (m *Machine) P() int { return m.p }
+
+// CacheM returns the CPU cache size in words.
+func (m *Machine) CacheM() int { return m.cacheM }
+
+// Stats returns a snapshot of the accumulated cost metrics.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		CPUWork:       m.cpuWork.Load(),
+		CPUSpan:       m.cpuSpan.Load(),
+		PIMWork:       m.pimWork.Load(),
+		PIMTime:       m.pimTime.Load(),
+		Communication: m.comm.Load(),
+		CommTime:      m.commT.Load(),
+		Rounds:        m.rounds.Load(),
+	}
+}
+
+// ResetStats zeroes all meters (global and per-module).
+func (m *Machine) ResetStats() {
+	m.cpuWork.Store(0)
+	m.cpuSpan.Store(0)
+	m.pimWork.Store(0)
+	m.pimTime.Store(0)
+	m.comm.Store(0)
+	m.commT.Store(0)
+	m.rounds.Store(0)
+	for i := range m.moduleWork {
+		m.moduleWork[i].Store(0)
+		m.moduleComm[i].Store(0)
+	}
+}
+
+// ModuleLoads returns the cumulative per-module (work, communication)
+// vectors, for inspecting load balance across the whole run.
+func (m *Machine) ModuleLoads() (work, comm []int64) {
+	work = make([]int64, m.p)
+	comm = make([]int64, m.p)
+	for i := 0; i < m.p; i++ {
+		work[i] = m.moduleWork[i].Load()
+		comm[i] = m.moduleComm[i].Load()
+	}
+	return work, comm
+}
+
+// Round is one BSP round in flight. The CPU side may log work/span and move
+// words to/from modules; OnModules runs a program concurrently on every
+// module. Calling Finish folds the round's per-module maxima into the
+// machine totals.
+type Round struct {
+	m        *Machine
+	modWork  []atomic.Int64
+	modComm  []atomic.Int64
+	finished bool
+}
+
+// BeginRound starts a BSP round.
+func (m *Machine) BeginRound() *Round {
+	return &Round{
+		m:       m,
+		modWork: make([]atomic.Int64, m.p),
+		modComm: make([]atomic.Int64, m.p),
+	}
+}
+
+// CPUWork logs n units of CPU computation in this round.
+func (r *Round) CPUWork(n int64) { r.m.cpuWork.Add(n) }
+
+// CPUSpan logs n units of CPU critical-path length in this round.
+func (r *Round) CPUSpan(n int64) { r.m.cpuSpan.Add(n) }
+
+// Transfer logs the movement of words of data between the CPU and module
+// mod (either direction — the model charges the off-chip channel the same
+// way for reads and writes). It is safe to call concurrently.
+func (r *Round) Transfer(mod int, words int64) {
+	if words == 0 {
+		return
+	}
+	r.m.comm.Add(words)
+	r.modComm[mod].Add(words)
+	r.m.moduleComm[mod].Add(words)
+}
+
+// ModuleWork attributes n units of PIM-core work to module mod from outside
+// an OnModules program. Irregular computations (per-query walks that hop
+// between modules) use this to keep per-module attribution faithful while
+// executing on worker goroutines. Safe for concurrent use.
+func (r *Round) ModuleWork(mod int, n int64) {
+	r.m.pimWork.Add(n)
+	r.modWork[mod].Add(n)
+	r.m.moduleWork[mod].Add(n)
+}
+
+// ModuleCtx is the execution context handed to a module program for one
+// round. It meters local work for that module.
+type ModuleCtx struct {
+	r   *Round
+	mod int
+}
+
+// ID returns the module's index in [0, P).
+func (c *ModuleCtx) ID() int { return c.mod }
+
+// Round returns the enclosing round, for cross-module metering (e.g. a
+// query hopping off this module mid-walk).
+func (c *ModuleCtx) Round() *Round { return c.r }
+
+// Work logs n units of local PIM-core computation.
+func (c *ModuleCtx) Work(n int64) {
+	c.r.m.pimWork.Add(n)
+	c.r.modWork[c.mod].Add(n)
+	c.r.m.moduleWork[c.mod].Add(n)
+}
+
+// Transfer logs words moved between this module and the CPU (e.g. the module
+// writing results into a staging buffer the CPU reads).
+func (c *ModuleCtx) Transfer(words int64) { c.r.Transfer(c.mod, words) }
+
+// OnModules runs fn concurrently on every module (one goroutine each) and
+// waits for all of them. fn must touch only module-local state for its own
+// module id plus read-only shared inputs.
+func (r *Round) OnModules(fn func(ctx *ModuleCtx)) {
+	var wg sync.WaitGroup
+	wg.Add(r.m.p)
+	for i := 0; i < r.m.p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(&ModuleCtx{r: r, mod: i})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// OnModuleSubset runs fn concurrently on the given module ids only.
+func (r *Round) OnModuleSubset(mods []int, fn func(ctx *ModuleCtx)) {
+	var wg sync.WaitGroup
+	wg.Add(len(mods))
+	for _, i := range mods {
+		go func(i int) {
+			defer wg.Done()
+			fn(&ModuleCtx{r: r, mod: i})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Finish closes the round: PIM time gains the max per-module work of the
+// round, communication time gains the max per-module words, and the round
+// counter advances. A logical round that moves more data than the CPU
+// cache holds costs extra bulk-synchronous rounds to flush the buffered
+// messages — the Ω(c/M + s) round law of the model (§7 of the paper).
+// Finish is idempotent.
+func (r *Round) Finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	var maxW, maxC, totalC int64
+	for i := 0; i < r.m.p; i++ {
+		if w := r.modWork[i].Load(); w > maxW {
+			maxW = w
+		}
+		c := r.modComm[i].Load()
+		totalC += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	r.m.pimTime.Add(maxW)
+	r.m.commT.Add(maxC)
+	extra := int64(0)
+	if r.m.cacheM > 0 {
+		extra = totalC / int64(r.m.cacheM)
+	}
+	r.m.rounds.Add(1 + extra)
+}
+
+// RunRound is a convenience wrapper: begin a round, hand it to fn, finish.
+func (m *Machine) RunRound(fn func(r *Round)) {
+	r := m.BeginRound()
+	fn(r)
+	r.Finish()
+}
+
+// CPUPhase accounts a CPU-only phase (no module involvement) with the given
+// work and span, without consuming a round.
+func (m *Machine) CPUPhase(work, span int64) {
+	m.cpuWork.Add(work)
+	m.cpuSpan.Add(span)
+}
+
+// Hash maps a 64-bit key to a module id using a fixed avalanche mixer
+// (splitmix64 finalizer). It is the "random module placement" primitive used
+// for balls-into-bins load balance throughout the repository.
+func (m *Machine) Hash(key uint64) int {
+	return int(Mix64(key) % uint64(m.p))
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MaxLoadRatio summarizes a per-module load vector as max/mean; it returns 0
+// for an all-zero vector. A PIM-balanced execution keeps this ratio O(1).
+func MaxLoadRatio(loads []int64) float64 {
+	var sum, max int64
+	for _, v := range loads {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}

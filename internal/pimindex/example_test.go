@@ -1,0 +1,37 @@
+package pimindex_test
+
+import (
+	"fmt"
+
+	"pimkd/internal/pim"
+	"pimkd/internal/pimindex"
+)
+
+// Example shows the ordered-index lifecycle: bulk load, batched lookups,
+// a range scan, and a batch update.
+func Example() {
+	mach := pim.NewMachine(8, 1<<20)
+	ix := pimindex.New(mach, pimindex.Options{Seed: 1})
+	ix.Build([]pimindex.Entry{
+		{Key: 10, Value: 100},
+		{Key: 20, Value: 200},
+		{Key: 20, Value: 201}, // duplicate key
+		{Key: 30, Value: 300},
+	})
+
+	vals := ix.Lookup([]float64{20, 99})
+	fmt.Println("values under 20:", len(vals[0]), "— missing key:", vals[1] == nil)
+
+	for _, e := range ix.RangeScan(15, 30) {
+		fmt.Println(e.Key, e.Value)
+	}
+
+	ix.Delete([]pimindex.Entry{{Key: 10, Value: 100}})
+	fmt.Println("size after delete:", ix.Size())
+	// Output:
+	// values under 20: 2 — missing key: true
+	// 20 200
+	// 20 201
+	// 30 300
+	// size after delete: 3
+}

@@ -1,0 +1,215 @@
+package pimindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/pim"
+)
+
+func randEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Key: rng.Float64() * 1000, Value: int32(i)}
+	}
+	return es
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<20)
+	ix := New(mach, Options{Seed: 1})
+	es := randEntries(5000, 1)
+	ix.Build(es)
+	if ix.Size() != 5000 {
+		t.Fatalf("size %d", ix.Size())
+	}
+	keys := make([]float64, 200)
+	for i := range keys {
+		keys[i] = es[i*7].Key
+	}
+	got := ix.Lookup(keys)
+	for i, vals := range got {
+		found := false
+		for _, v := range vals {
+			if v == es[i*7].Value {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("lookup %d missed value %d", i, es[i*7].Value)
+		}
+	}
+	if vals := ix.Lookup([]float64{-5})[0]; vals != nil {
+		t.Fatalf("lookup of absent key returned %v", vals)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	mach := pim.NewMachine(8, 1<<20)
+	ix := New(mach, Options{Seed: 2})
+	var es []Entry
+	for i := 0; i < 100; i++ {
+		es = append(es, Entry{Key: 42, Value: int32(i)})
+		es = append(es, Entry{Key: float64(i), Value: int32(1000 + i)})
+	}
+	ix.Build(es)
+	vals := ix.Lookup([]float64{42})[0]
+	if len(vals) != 101 { // 100 dups + entry with key 42 from the ramp
+		t.Fatalf("got %d values for duplicated key", len(vals))
+	}
+}
+
+func TestRangeScanSortedAndComplete(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<20)
+	ix := New(mach, Options{Seed: 3})
+	es := randEntries(3000, 3)
+	ix.Build(es)
+	lo, hi := 200.0, 400.0
+	got := ix.RangeScan(lo, hi)
+	var want []Entry
+	for _, e := range es {
+		if e.Key >= lo && e.Key <= hi {
+			want = append(want, e)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Key != want[j].Key {
+			return want[i].Key < want[j].Key
+		}
+		return want[i].Value < want[j].Value
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if ix.RangeScan(5, 1) != nil {
+		t.Fatal("inverted range returned entries")
+	}
+}
+
+func TestInsertDeleteChurn(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<20)
+	ix := New(mach, Options{Seed: 4})
+	es := randEntries(2000, 5)
+	ix.Build(es)
+	extra := randEntries(1000, 7)
+	for i := range extra {
+		extra[i].Value += 100000
+	}
+	ix.Insert(extra)
+	ix.Delete(es[:1500])
+	if ix.Size() != 1500 {
+		t.Fatalf("size %d", ix.Size())
+	}
+	// Deleted keys must be gone, kept keys present.
+	if vals := ix.Lookup([]float64{es[0].Key})[0]; containsVal(vals, es[0].Value) {
+		t.Fatal("deleted entry still found")
+	}
+	if vals := ix.Lookup([]float64{extra[0].Key})[0]; !containsVal(vals, extra[0].Value) {
+		t.Fatal("inserted entry lost")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mach := pim.NewMachine(8, 1<<20)
+	ix := New(mach, Options{Seed: 8})
+	if _, ok := ix.Min(); ok {
+		t.Fatal("empty index has a min")
+	}
+	es := randEntries(500, 9)
+	ix.Build(es)
+	minWant, maxWant := es[0], es[0]
+	for _, e := range es {
+		if e.Key < minWant.Key {
+			minWant = e
+		}
+		if e.Key > maxWant.Key {
+			maxWant = e
+		}
+	}
+	if got, _ := ix.Min(); got.Key != minWant.Key {
+		t.Fatalf("min %v want %v", got, minWant)
+	}
+	if got, _ := ix.Max(); got.Key != maxWant.Key {
+		t.Fatalf("max %v want %v", got, maxWant)
+	}
+}
+
+func TestSpaceFactorBounded(t *testing.T) {
+	mach := pim.NewMachine(64, 1<<20)
+	ix := New(mach, Options{Seed: 10, LeafSize: 1})
+	ix.Build(randEntries(20000, 11))
+	if f := ix.SpaceFactor(); f > 12 {
+		t.Fatalf("space factor %.1f", f)
+	}
+}
+
+func TestOrderedSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mach := pim.NewMachine(4+rng.Intn(12), 1<<20)
+		ix := New(mach, Options{Seed: seed})
+		ref := map[Entry]bool{}
+		next := int32(0)
+		for step := 0; step < 6; step++ {
+			if rng.Intn(3) != 0 || len(ref) == 0 {
+				batch := make([]Entry, rng.Intn(80)+1)
+				for i := range batch {
+					batch[i] = Entry{Key: float64(rng.Intn(50)), Value: next}
+					ref[batch[i]] = true
+					next++
+				}
+				ix.Insert(batch)
+			} else {
+				var batch []Entry
+				for e := range ref {
+					batch = append(batch, e)
+					if len(batch) >= 40 {
+						break
+					}
+				}
+				for _, e := range batch {
+					delete(ref, e)
+				}
+				ix.Delete(batch)
+			}
+			if ix.Size() != len(ref) {
+				return false
+			}
+		}
+		got := ix.RangeScan(-1, 51)
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Key > got[i].Key {
+				return false
+			}
+		}
+		for _, e := range got {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsVal(vals []int32, v int32) bool {
+	for _, x := range vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+// Package pimsort implements the PIM sorting subroutine of Lemma 6.2, used
+// by the DBSCAN cell-graph construction (USEC sorting step). The lemma's
+// three regimes, driven by the batch size m relative to the ambient work n:
+//
+//	(i)   m = O(n/(P log P)):       ship to one module and sort locally;
+//	(ii)  m = Ω(P log² P + n/(P log P)): sample P log P splitters in the CPU
+//	      cache, scatter into P balanced ranges, sort each range on its
+//	      module;
+//	(iii) otherwise (m fits in cache): sort groups of n/(P log P) on random
+//	      modules and merge on the CPU.
+//
+// All regimes genuinely sort; the meters record the lemma's work and
+// communication shapes.
+package pimsort
+
+import (
+	"sort"
+
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+)
+
+// Sort sorts keys ascending on machine mach. ambient is the total batch
+// work n the sort is embedded in (it sets the regime thresholds); pass
+// len(keys) when standalone. salt varies module placement.
+func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
+	m := len(keys)
+	if m <= 1 {
+		return
+	}
+	p := mach.P()
+	logP := mathx.MaxInt(1, mathx.CeilLog2(p))
+	small := mathx.MaxInt(1, ambient/(p*logP))
+
+	switch {
+	case m <= small:
+		// Regime (i): one module sorts the whole batch.
+		mach.RunRound(func(r *pim.Round) {
+			mod := mach.Hash(salt)
+			r.Transfer(mod, int64(m))
+			r.ModuleWork(mod, int64(m)*int64(mathx.CeilLog2(m)+1))
+			sort.Float64s(keys)
+			r.Transfer(mod, int64(m))
+		})
+	case m >= p*logP*logP:
+		// Regime (ii): splitter-sample into P balanced ranges.
+		sampleSize := mathx.MinInt(m, p*logP)
+		step := m / sampleSize
+		sample := make([]float64, 0, sampleSize)
+		for i := 0; i < m; i += step {
+			sample = append(sample, keys[i])
+		}
+		sort.Float64s(sample)
+		mach.CPUPhase(int64(len(sample)*mathx.CeilLog2(len(sample))+m*mathx.CeilLog2(p)), int64(mathx.CeilLog2(m)))
+		splitters := make([]float64, p-1)
+		for i := range splitters {
+			splitters[i] = sample[(i+1)*len(sample)/p]
+		}
+		ranges := make([][]float64, p)
+		for _, k := range keys {
+			b := sort.SearchFloat64s(splitters, k)
+			ranges[b] = append(ranges[b], k)
+		}
+		mach.RunRound(func(r *pim.Round) {
+			r.OnModules(func(ctx *pim.ModuleCtx) {
+				b := ctx.ID()
+				ctx.Transfer(int64(len(ranges[b])))
+				sort.Float64s(ranges[b])
+				ctx.Work(int64(len(ranges[b])) * int64(mathx.CeilLog2(len(ranges[b])+1)+1))
+				ctx.Transfer(int64(len(ranges[b])))
+			})
+		})
+		out := keys[:0]
+		for _, rg := range ranges {
+			out = append(out, rg...)
+		}
+	default:
+		// Regime (iii): cache-resident — sort small groups on random
+		// modules, merge on the CPU.
+		groups := mathx.CeilDiv(m, small)
+		pieces := make([][]float64, 0, groups)
+		for lo := 0; lo < m; lo += small {
+			hi := mathx.MinInt(lo+small, m)
+			piece := make([]float64, hi-lo)
+			copy(piece, keys[lo:hi])
+			pieces = append(pieces, piece)
+		}
+		mach.RunRound(func(r *pim.Round) {
+			for i, piece := range pieces {
+				mod := mach.Hash(salt + uint64(i) + 1)
+				r.Transfer(mod, int64(len(piece)))
+				r.ModuleWork(mod, int64(len(piece))*int64(mathx.CeilLog2(len(piece))+1))
+				sort.Float64s(piece)
+				r.Transfer(mod, int64(len(piece)))
+			}
+		})
+		mach.CPUPhase(int64(m*mathx.CeilLog2(groups+1)), int64(mathx.CeilLog2(m)))
+		merged := mergeAll(pieces)
+		copy(keys, merged)
+	}
+}
+
+func mergeAll(pieces [][]float64) []float64 {
+	for len(pieces) > 1 {
+		var next [][]float64
+		for i := 0; i < len(pieces); i += 2 {
+			if i+1 == len(pieces) {
+				next = append(next, pieces[i])
+				continue
+			}
+			next = append(next, merge2(pieces[i], pieces[i+1]))
+		}
+		pieces = next
+	}
+	if len(pieces) == 0 {
+		return nil
+	}
+	return pieces[0]
+}
+
+func merge2(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,101 @@
+package pimsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/pim"
+)
+
+func sortedCopy(xs []float64) []float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c
+}
+
+func randKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestAllRegimesSort(t *testing.T) {
+	const ambient = 1 << 18
+	mach := pim.NewMachine(64, 1<<20)
+	for _, m := range []int{0, 1, 2, 10, 63, 64, 1000, 5000, 1 << 15, 1 << 17} {
+		keys := randKeys(m, int64(m)+1)
+		want := sortedCopy(keys)
+		Sort(mach, keys, ambient, uint64(m))
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("m=%d: mismatch at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	mach := pim.NewMachine(8, 1<<16)
+	f := func(xs []float64) bool {
+		keys := append([]float64(nil), xs...)
+		want := sortedCopy(keys)
+		Sort(mach, keys, 1<<14, 99)
+		for i := range keys {
+			if keys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunicationLinear(t *testing.T) {
+	// Lemma 6.2: communication is O(m) in every regime.
+	const ambient = 1 << 18
+	for _, m := range []int{100, 4096, 1 << 16} {
+		mach := pim.NewMachine(64, 1<<20)
+		keys := randKeys(m, int64(m))
+		Sort(mach, keys, ambient, 7)
+		st := mach.Stats()
+		if st.Communication > int64(4*m) {
+			t.Fatalf("m=%d: communication %d exceeds 4m", m, st.Communication)
+		}
+		if st.Communication < int64(m) {
+			t.Fatalf("m=%d: communication %d below m (keys must move)", m, st.Communication)
+		}
+	}
+}
+
+func TestLargeRegimeBalanced(t *testing.T) {
+	mach := pim.NewMachine(64, 1<<20)
+	keys := randKeys(1<<17, 3)
+	Sort(mach, keys, 1<<18, 11)
+	_, comm := mach.ModuleLoads()
+	if r := pim.MaxLoadRatio(comm); r > 3 {
+		t.Fatalf("regime (ii) imbalanced: max/mean %.2f", r)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	mach := pim.NewMachine(16, 1<<16)
+	keys := make([]float64, 10000)
+	for i := range keys {
+		keys[i] = float64(i % 7)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	want := sortedCopy(keys)
+	Sort(mach, keys, 1<<16, 5)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("duplicates mis-sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package prioritykd implements the shared-memory priority-search kd-tree
+// of §6.1: a static kd-tree whose internal nodes are augmented with the
+// maximum (priority, id) pair of their subtree, answering
+// nearest-higher-priority queries — the dependent-point primitive of
+// density peak clustering. The PIM version lives in internal/core
+// (Tree.DependentPoints); this package is the ParGeo-style baseline and the
+// reference the tests compare both against.
+package prioritykd
+
+import (
+	"math"
+
+	"pimkd/internal/geom"
+)
+
+// Item is a point with a priority and an opaque id. Queries look for the
+// nearest item strictly greater in (Priority, ID) lexicographic order.
+type Item struct {
+	P        geom.Point
+	Priority float64
+	ID       int32
+}
+
+// Meter counts the structural work of queries and construction.
+type Meter struct {
+	// NodeVisits counts tree nodes touched (the shared-memory
+	// communication proxy).
+	NodeVisits int64
+	// PointOps counts point-granularity work.
+	PointOps int64
+}
+
+// Tree is a static priority-search kd-tree.
+type Tree struct {
+	root  *node
+	items []Item
+	Meter Meter
+}
+
+type node struct {
+	axis     int
+	split    float64
+	l, r     *node
+	box      geom.Box
+	maxPri   float64
+	maxPriID int32
+	idx      []int32 // leaf: indices into items
+}
+
+// New builds a tree over items with the given leaf bucket size (default 8
+// when leafSize <= 0). The items slice is retained (not copied) and must
+// not be mutated afterwards.
+func New(items []Item, leafSize int) *Tree {
+	if leafSize <= 0 {
+		leafSize = 8
+	}
+	t := &Tree{items: items}
+	if len(items) == 0 {
+		return t
+	}
+	idx := make([]int32, len(items))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, leafSize)
+	return t
+}
+
+// Size returns the number of stored items.
+func (t *Tree) Size() int { return len(t.items) }
+
+func (t *Tree) build(idx []int32, leafSize int) *node {
+	t.Meter.PointOps += int64(len(idx))
+	box := t.indexBox(idx)
+	nd := &node{box: box, maxPri: math.Inf(-1), maxPriID: -1}
+	for _, i := range idx {
+		it := t.items[i]
+		if priLess(nd.maxPri, nd.maxPriID, it.Priority, it.ID) {
+			nd.maxPri, nd.maxPriID = it.Priority, it.ID
+		}
+	}
+	axis, width := box.LongestAxis()
+	if len(idx) <= leafSize || width <= 0 {
+		nd.idx = idx
+		return nd
+	}
+	split := medianAbove(t.coords(idx, axis))
+	var left, right []int32
+	for _, id := range idx {
+		if t.items[id].P[axis] < split {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		nd.idx = idx
+		return nd
+	}
+	nd.axis, nd.split = axis, split
+	nd.l = t.build(left, leafSize)
+	nd.r = t.build(right, leafSize)
+	return nd
+}
+
+func (t *Tree) coords(idx []int32, axis int) []float64 {
+	out := make([]float64, len(idx))
+	for i, id := range idx {
+		out[i] = t.items[id].P[axis]
+	}
+	return out
+}
+
+func (t *Tree) indexBox(idx []int32) geom.Box {
+	lo := t.items[idx[0]].P.Clone()
+	hi := t.items[idx[0]].P.Clone()
+	for _, i := range idx[1:] {
+		p := t.items[i].P
+		for d := range lo {
+			if p[d] < lo[d] {
+				lo[d] = p[d]
+			}
+			if p[d] > hi[d] {
+				hi[d] = p[d]
+			}
+		}
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+// priLess orders (priority, id) pairs lexicographically.
+func priLess(p1 float64, id1 int32, p2 float64, id2 int32) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return id1 < id2
+}
+
+// medianAbove returns the median value, bumped to the next distinct value
+// when the median equals the minimum (so a (v < split) partition always
+// makes progress); it returns the maximum when all values are equal (the
+// caller then falls back to a leaf).
+func medianAbove(coords []float64) float64 {
+	quickMedian(coords)
+	v := coords[len(coords)/2]
+	min, next := coords[0], math.Inf(1)
+	for _, x := range coords {
+		if x < min {
+			min = x
+		}
+	}
+	if v > min {
+		return v
+	}
+	for _, x := range coords {
+		if x > v && x < next {
+			next = x
+		}
+	}
+	if math.IsInf(next, 1) {
+		return v
+	}
+	return next
+}
+
+func quickMedian(c []float64) {
+	k := len(c) / 2
+	lo, hi := 0, len(c)-1
+	for lo < hi {
+		pivot := c[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for c[i] < pivot {
+				i++
+			}
+			for c[j] > pivot {
+				j--
+			}
+			if i <= j {
+				c[i], c[j] = c[j], c[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// NearestHigher returns the id of the nearest stored item with
+// (Priority, ID) strictly greater than (pri, id), and its squared distance;
+// (-1, +Inf) when none exists. The search prunes subtrees whose priority
+// augmentation cannot beat (pri, id) and whose cells cannot beat the
+// current best distance.
+func (t *Tree) NearestHigher(q geom.Point, pri float64, id int32) (int32, float64) {
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	var visit func(nd *node)
+	visit = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if !priLess(pri, id, nd.maxPri, nd.maxPriID) {
+			return
+		}
+		if nd.box.Dist2ToPoint(q) >= bestD2 {
+			return
+		}
+		t.Meter.NodeVisits++
+		if nd.idx != nil {
+			t.Meter.PointOps += int64(len(nd.idx))
+			for _, i := range nd.idx {
+				it := t.items[i]
+				if !priLess(pri, id, it.Priority, it.ID) {
+					continue
+				}
+				if d2 := geom.Dist2(q, it.P); d2 < bestD2 {
+					bestD2, best = d2, i
+				}
+			}
+			return
+		}
+		near, far := nd.l, nd.r
+		if q[nd.axis] >= nd.split {
+			near, far = far, near
+		}
+		visit(near)
+		visit(far)
+	}
+	visit(t.root)
+	if best >= 0 {
+		return t.items[best].ID, bestD2
+	}
+	return -1, bestD2
+}

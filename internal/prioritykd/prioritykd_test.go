@@ -1,0 +1,135 @@
+package prioritykd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/workload"
+)
+
+func randItems(n int, seed int64, priLevels int) []Item {
+	pts := workload.Uniform(n, 2, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	items := make([]Item, n)
+	for i, p := range pts {
+		items[i] = Item{P: p, Priority: float64(rng.Intn(priLevels)), ID: int32(i)}
+	}
+	return items
+}
+
+func bruteNearestHigher(items []Item, q geom.Point, pri float64, id int32) (int32, float64) {
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	for _, it := range items {
+		higher := it.Priority > pri || (it.Priority == pri && it.ID > id)
+		if !higher {
+			continue
+		}
+		if d2 := geom.Dist2(q, it.P); d2 < bestD2 {
+			bestD2, best = d2, it.ID
+		}
+	}
+	return best, bestD2
+}
+
+func TestNearestHigherMatchesBrute(t *testing.T) {
+	items := randItems(1500, 1, 10)
+	tree := New(items, 8)
+	for _, it := range items[:300] {
+		gotID, gotD2 := tree.NearestHigher(it.P, it.Priority, it.ID)
+		wantID, wantD2 := bruteNearestHigher(items, it.P, it.Priority, it.ID)
+		if gotID != wantID || math.Abs(gotD2-wantD2) > 1e-12 {
+			t.Fatalf("item %d: got (%d, %g) want (%d, %g)", it.ID, gotID, gotD2, wantID, wantD2)
+		}
+	}
+}
+
+func TestGlobalPeakHasNoDependent(t *testing.T) {
+	items := randItems(400, 3, 5)
+	tree := New(items, 8)
+	peak := items[0]
+	for _, it := range items {
+		if it.Priority > peak.Priority || (it.Priority == peak.Priority && it.ID > peak.ID) {
+			peak = it
+		}
+	}
+	if id, d2 := tree.NearestHigher(peak.P, peak.Priority, peak.ID); id != -1 || !math.IsInf(d2, 1) {
+		t.Fatalf("peak has dependent %d at %g", id, d2)
+	}
+}
+
+func TestTiesBrokenByID(t *testing.T) {
+	items := []Item{
+		{P: geom.Point{0, 0}, Priority: 1, ID: 0},
+		{P: geom.Point{1, 0}, Priority: 1, ID: 1},
+		{P: geom.Point{2, 0}, Priority: 1, ID: 2},
+	}
+	tree := New(items, 1)
+	// Item 0's nearest strictly-higher (same priority, bigger id) is item 1.
+	if id, _ := tree.NearestHigher(items[0].P, 1, 0); id != 1 {
+		t.Fatalf("got %d", id)
+	}
+	// Item 2 (highest id at top priority) is the peak.
+	if id, _ := tree.NearestHigher(items[2].P, 1, 2); id != -1 {
+		t.Fatalf("got %d", id)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tree := New(nil, 8)
+	if tree.Size() != 0 {
+		t.Fatal("empty size")
+	}
+	if id, _ := tree.NearestHigher(geom.Point{0, 0}, 0, -1); id != -1 {
+		t.Fatal("empty tree found a neighbor")
+	}
+	one := New([]Item{{P: geom.Point{0.5, 0.5}, Priority: 3, ID: 7}}, 8)
+	if id, _ := one.NearestHigher(geom.Point{0, 0}, 1, 0); id != 7 {
+		t.Fatalf("single-item lookup got %d", id)
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	items := make([]Item, 60)
+	for i := range items {
+		items[i] = Item{P: geom.Point{0.5, 0.5}, Priority: float64(i), ID: int32(i)}
+	}
+	tree := New(items, 4)
+	for i := 0; i < 59; i++ {
+		id, d2 := tree.NearestHigher(items[i].P, items[i].Priority, items[i].ID)
+		if d2 != 0 || id < 0 {
+			t.Fatalf("duplicate %d: got (%d, %g)", i, id, d2)
+		}
+	}
+}
+
+func TestPruningIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		items := randItems(200, seed, 4)
+		tree := New(items, 4)
+		for _, it := range items[:40] {
+			gotID, _ := tree.NearestHigher(it.P, it.Priority, it.ID)
+			wantID, _ := bruteNearestHigher(items, it.P, it.Priority, it.ID)
+			if gotID != wantID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	items := randItems(1000, 9, 8)
+	tree := New(items, 8)
+	pre := tree.Meter.NodeVisits
+	tree.NearestHigher(items[0].P, items[0].Priority, items[0].ID)
+	if tree.Meter.NodeVisits <= pre {
+		t.Fatal("no node visits metered")
+	}
+}

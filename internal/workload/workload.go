@@ -1,0 +1,206 @@
+// Package workload generates the deterministic synthetic point sets and
+// query batches used by the tests, examples, and benchmark harness. The
+// paper proves distribution-free (whp) bounds plus expected-case bounds on
+// "kNN-friendly" data, and motivates skew resistance with adversarial
+// batches concentrated in a vanishing subspace; the generators here cover
+// those regimes:
+//
+//   - Uniform:          iid uniform points in the unit cube (kNN-friendly).
+//   - GaussianClusters:  a mixture of isotropic Gaussians (clustered data
+//     for DPC/DBSCAN experiments).
+//   - ZipfClusters:      Gaussian clusters with Zipf-skewed cluster sizes
+//     (mild skew).
+//   - Hotspot:           all points inside a box of side `width` at a random
+//     location — the adversarial construction that overloads any
+//     space-partitioned (non-randomized) PIM layout.
+//
+// Every generator takes an explicit seed and is fully deterministic.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"pimkd/internal/geom"
+)
+
+// Uniform returns n iid points uniform in [0,1)^dim.
+func Uniform(n, dim int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// GaussianClusters returns n points drawn from k isotropic Gaussian clusters
+// with standard deviation sigma, centers uniform in the unit cube. Cluster
+// assignment is uniform.
+func GaussianClusters(n, dim, k int, sigma float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		c := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			c[d] = rng.Float64()
+		}
+		centers[i] = c
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = c[d] + rng.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// ZipfClusters returns n points in k Gaussian clusters whose sizes follow a
+// Zipf(s) distribution over clusters — the head cluster absorbs a constant
+// fraction of all points, producing skewed data density.
+func ZipfClusters(n, dim, k int, sigma, s float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		c := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			c[d] = rng.Float64()
+		}
+		centers[i] = c
+	}
+	// Zipf weights w_i = 1/i^s, normalized into a CDF.
+	cdf := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		u := rng.Float64() * total
+		lo, hi := 0, k-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		c := centers[lo]
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = c[d] + rng.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Hotspot returns n points uniform inside an axis-aligned box of side width
+// placed uniformly at random inside the unit cube. With a tiny width this is
+// the adversarial batch of the paper's §3 straw-man argument: every query
+// touches the same small subspace.
+func Hotspot(n, dim int, width float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	corner := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		corner[d] = rng.Float64() * (1 - width)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = corner[d] + rng.Float64()*width
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Varden returns n points with highly variable density, modeled on the
+// "varden" benchmark family used to stress kd-trees: a recursive process
+// repeatedly zooms into a random sub-box and drops an exponentially growing
+// share of the points there, producing nested density spikes spanning many
+// orders of magnitude.
+func Varden(n, dim int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := range hi {
+		hi[d] = 1
+	}
+	remaining := n
+	for remaining > 0 {
+		// Drop half the remaining points uniformly in the current box…
+		drop := remaining/2 + 1
+		if drop > remaining {
+			drop = remaining
+		}
+		for i := 0; i < drop; i++ {
+			p := make(geom.Point, dim)
+			for d := 0; d < dim; d++ {
+				p[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+			}
+			pts = append(pts, p)
+		}
+		remaining -= drop
+		// …then zoom into a random corner at 1/8 scale and repeat.
+		for d := 0; d < dim; d++ {
+			w := (hi[d] - lo[d]) / 8
+			off := rng.Float64() * (hi[d] - lo[d] - w)
+			lo[d] += off
+			hi[d] = lo[d] + w
+		}
+	}
+	return pts
+}
+
+// Sample returns m points sampled (with replacement) from pts, each
+// perturbed by iid uniform noise in [-jitter, jitter] per coordinate. It is
+// the standard way the harness derives query batches from a dataset.
+func Sample(pts []geom.Point, m int, jitter float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, m)
+	for i := range out {
+		src := pts[rng.Intn(len(pts))]
+		p := src.Clone()
+		for d := range p {
+			p[d] += (rng.Float64()*2 - 1) * jitter
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Shuffle permutes pts in place, deterministically for a given seed.
+func Shuffle(pts []geom.Point, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+}
+
+// Split partitions pts into batches of size batch (the last batch may be
+// short). The returned slices alias pts.
+func Split(pts []geom.Point, batch int) [][]geom.Point {
+	if batch <= 0 {
+		panic("workload: batch size must be positive")
+	}
+	var out [][]geom.Point
+	for lo := 0; lo < len(pts); lo += batch {
+		hi := lo + batch
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		out = append(out, pts[lo:hi])
+	}
+	return out
+}

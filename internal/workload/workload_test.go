@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"pimkd/internal/geom"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(100, 3, 42)
+	b := Uniform(100, 3, 42)
+	c := Uniform(100, 3, 43)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different points")
+		}
+	}
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformInUnitCube(t *testing.T) {
+	for _, p := range Uniform(1000, 4, 1) {
+		if len(p) != 4 {
+			t.Fatal("wrong dimension")
+		}
+		for _, x := range p {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate %g out of range", x)
+			}
+		}
+	}
+}
+
+func TestGaussianClustersShape(t *testing.T) {
+	pts := GaussianClusters(2000, 2, 4, 0.01, 5)
+	if len(pts) != 2000 {
+		t.Fatal("wrong count")
+	}
+	// Tight clusters: mean nearest-point distance should be much smaller
+	// than for uniform points (1/sqrt(n) ≈ 0.022 uniform vs clustered).
+	var clustered, uniform float64
+	upts := Uniform(2000, 2, 5)
+	for i := 0; i < 100; i++ {
+		clustered += nearestDist(pts, i*17)
+		uniform += nearestDist(upts, i*17)
+	}
+	if clustered >= uniform {
+		t.Fatalf("clusters not tighter than uniform: %g vs %g", clustered, uniform)
+	}
+}
+
+func nearestDist(pts []geom.Point, i int) float64 {
+	best := 1e18
+	for j := range pts {
+		if j == i {
+			continue
+		}
+		dx := pts[i][0] - pts[j][0]
+		dy := pts[i][1] - pts[j][1]
+		if d := dx*dx + dy*dy; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestZipfClustersSkew(t *testing.T) {
+	pts := ZipfClusters(5000, 2, 20, 0.001, 1.5, 7)
+	if len(pts) != 5000 {
+		t.Fatal("wrong count")
+	}
+}
+
+func TestHotspotConfined(t *testing.T) {
+	width := 0.01
+	pts := Hotspot(500, 3, width, 9)
+	lo := pts[0].Clone()
+	hi := pts[0].Clone()
+	for _, p := range pts {
+		for d := range p {
+			if p[d] < lo[d] {
+				lo[d] = p[d]
+			}
+			if p[d] > hi[d] {
+				hi[d] = p[d]
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if hi[d]-lo[d] > width {
+			t.Fatalf("hotspot spread %g exceeds width %g", hi[d]-lo[d], width)
+		}
+		if lo[d] < 0 || hi[d] > 1 {
+			t.Fatal("hotspot escaped unit cube")
+		}
+	}
+}
+
+func TestSampleJitter(t *testing.T) {
+	base := Uniform(100, 2, 11)
+	qs := Sample(base, 300, 0.05, 13)
+	if len(qs) != 300 {
+		t.Fatal("wrong sample size")
+	}
+	// Each sample must be within jitter of some base point.
+	for _, q := range qs {
+		ok := false
+		for _, b := range base {
+			if abs(q[0]-b[0]) <= 0.05+1e-12 && abs(q[1]-b[1]) <= 0.05+1e-12 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("sample %v too far from all base points", q)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestVardenDensitySpikes(t *testing.T) {
+	pts := Varden(4000, 2, 11)
+	if len(pts) != 4000 {
+		t.Fatalf("count %d", len(pts))
+	}
+	for _, p := range pts {
+		for _, x := range p {
+			if x < 0 || x > 1 {
+				t.Fatalf("varden point escaped unit cube: %v", p)
+			}
+		}
+	}
+	// The nested zooms must produce density spanning orders of magnitude:
+	// the closest pair among the last points (deep zoom) is far tighter
+	// than among the first points.
+	head := nearestDist(pts[:100], 0)
+	tail := nearestDist(pts[len(pts)-100:], 0)
+	if tail >= head/100 {
+		t.Fatalf("no density spike: head nn2 %g vs tail nn2 %g", head, tail)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	pts := Uniform(10, 2, 1)
+	chunks := Split(pts, 3)
+	if len(chunks) != 4 {
+		t.Fatalf("%d chunks", len(chunks))
+	}
+	if len(chunks[3]) != 1 {
+		t.Fatalf("last chunk %d", len(chunks[3]))
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 10 {
+		t.Fatalf("split covered %d", total)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := Uniform(50, 2, 3)
+	b := Uniform(50, 2, 3)
+	Shuffle(a, 7)
+	Shuffle(b, 7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("shuffle nondeterministic")
+		}
+	}
+}
