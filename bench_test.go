@@ -7,7 +7,11 @@
 package pimkd_test
 
 import (
+	"context"
+	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pimkd/internal/cluster"
 	"pimkd/internal/core"
@@ -17,6 +21,7 @@ import (
 	"pimkd/internal/pim"
 	"pimkd/internal/pimsort"
 	"pimkd/internal/pkdtree"
+	"pimkd/internal/serve"
 	"pimkd/internal/workload"
 
 	"math/rand"
@@ -366,5 +371,50 @@ func BenchmarkDecomposition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree.DecompositionStats()
+	}
+}
+
+// BenchmarkServeThroughput — serving-layer batch coalescing (E22): N
+// concurrent clients issue singleton kNN requests against the serve.Service
+// and the coalescer forms batches capped at S. Reported metrics: requests/s
+// (inverse ns/op), the mean coalesced batch size, and off-chip words per
+// request — the quantity Theorem 4.5 bounds at O(k·log* P) per query *when
+// queries arrive in batches*, here recovered from singleton traffic.
+func BenchmarkServeThroughput(b *testing.B) {
+	const k = 8
+	for _, S := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("S=%d", S), func(b *testing.B) {
+			tree, mach, pts := benchTree(b)
+			svc := serve.New(serve.Config{
+				MaxBatch:  S,
+				MaxLinger: 200 * time.Microsecond,
+				Seed:      1,
+			}, tree)
+			qs := workload.Sample(pts, 1024, 0.002, 9)
+			var next atomic.Int64
+			pre := mach.Stats()
+			// 16 client goroutines per GOMAXPROCS: the coalescer needs
+			// genuinely concurrent submitters even on small machines.
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				for pb.Next() {
+					q := qs[int(next.Add(1))%len(qs)]
+					if _, _, err := svc.KNN(ctx, q, k); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			d := mach.Stats().Sub(pre)
+			snap := svc.Metrics()
+			_ = svc.Close()
+			if snap.TotalRequests > 0 {
+				b.ReportMetric(float64(d.Communication)/float64(snap.TotalRequests), "words/req")
+				b.ReportMetric(snap.MeanBatchSize, "meanBatch")
+			}
+		})
 	}
 }

@@ -1,0 +1,107 @@
+// Command pimkd-server exposes a PIM-kd-tree over HTTP through the
+// batch-coalescing service layer (internal/serve): concurrent singleton
+// requests are admitted with backpressure, coalesced into homogeneous
+// batches of up to -max-batch requests (or after -linger), executed against
+// the cost-metered PIM machine with update batches serialized into their
+// own epochs, and answered with per-batch PIM-Model cost attribution.
+//
+//	pimkd-server -addr :8080 -n 100000 -dim 2 -p 64 -seed 1
+//
+//	curl 'localhost:8080/knn?p=0.5,0.5&k=8'
+//	curl 'localhost:8080/lookup?p=0.5,0.5'
+//	curl 'localhost:8080/range?lo=0.1,0.1&hi=0.2,0.2'
+//	curl -X POST 'localhost:8080/insert?id=123456&p=0.3,0.7'
+//	curl -X POST 'localhost:8080/delete?id=123456&p=0.3,0.7'
+//	curl 'localhost:8080/statsz'
+//
+// All randomness (dataset, tree placement salt, service-layer sampling) is
+// derived from -seed, so a replayed request trace is deterministic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/pim"
+	"pimkd/internal/serve"
+	"pimkd/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		n        = flag.Int("n", 1<<17, "initial uniform points to index")
+		dim      = flag.Int("dim", 2, "point dimension")
+		p        = flag.Int("p", 64, "PIM modules")
+		cacheM   = flag.Int("cache", 1<<22, "CPU cache size in words")
+		leaf     = flag.Int("leaf", 8, "leaf bucket capacity")
+		seed     = flag.Int64("seed", 1, "seed for dataset, tree, and service randomness")
+		maxBatch = flag.Int("max-batch", 256, "coalescing batch cap S")
+		linger   = flag.Duration("linger", 2*time.Millisecond, "max linger before a partial batch is sealed")
+		pending  = flag.Int("max-pending", 0, "admission limit (0 = 4·max-batch)")
+		verbose  = flag.Bool("v", false, "log every executed batch")
+	)
+	flag.Parse()
+
+	log.Printf("building PIM-kd-tree: n=%d dim=%d P=%d seed=%d", *n, *dim, *p, *seed)
+	mach := pim.NewMachine(*p, *cacheM)
+	tree := core.New(core.Config{Dim: *dim, Seed: *seed, LeafSize: *leaf}, mach)
+	pts := workload.Uniform(*n, *dim, *seed)
+	items := make([]core.Item, len(pts))
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	build := mach.Stats()
+	log.Printf("built: %d items, height %d, build comm %d words (%0.1f/point)",
+		tree.Size(), tree.Height(), build.Communication, float64(build.Communication)/float64(*n))
+
+	cfg := serve.Config{
+		MaxBatch:   *maxBatch,
+		MaxLinger:  *linger,
+		MaxPending: *pending,
+		Seed:       *seed,
+	}
+	if *verbose {
+		cfg.OnBatch = func(r serve.BatchRecord) {
+			log.Printf("batch epoch=%d kind=%s size=%d sealed=%s linger=%v comm=%d balance=%.2f",
+				r.Epoch, r.Kind, r.Size, r.SealedBy, r.Linger.Round(time.Microsecond),
+				r.Cost.Communication, r.CommBalance)
+		}
+	}
+	svc := serve.New(cfg, tree)
+
+	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	go func() {
+		log.Printf("serving on %s (S=%d, linger=%v)", *addr, *maxBatch, *linger)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	_ = svc.Close()
+
+	snap := svc.Metrics()
+	fmt.Printf("served %d requests in %d batches (mean batch %.1f) across %d epochs\n",
+		snap.TotalRequests, snap.TotalBatches, snap.MeanBatchSize, snap.Epochs)
+	for _, k := range snap.Kinds {
+		fmt.Printf("  %-7s req=%-7d batches=%-6d mean=%.1f comm/req=%.1f balance=%.2f\n",
+			k.Kind, k.Requests, k.Batches, k.MeanBatchSize, k.CommPerRequest, k.MeanCommBalance)
+	}
+}

@@ -67,7 +67,7 @@ func runConstruction(w io.Writer, quick bool) {
 	pts := workload.Uniform(n, dim, 99)
 	tr := newTreeOn(mach, dim, 99)
 	tr.Build(makeItems(pts))
-	_, comm := mach.ModuleLoads()
+	snap := mach.SnapshotStats()
 	fmt.Fprintf(w, "construction comm balance (max/mean over %d modules): %.2f (PIM-balanced ⇒ O(1))\n",
-		p, pim.MaxLoadRatio(comm))
+		p, pim.MaxLoadRatio(snap.ModuleComm))
 }

@@ -88,9 +88,9 @@ func runIndex(w io.Writer, quick bool) {
 	}
 	mach.ResetStats()
 	ix.Lookup(hot)
-	_, comm := mach.ModuleLoads()
+	snap := mach.SnapshotStats()
 	fmt.Fprintf(w, "hot-key batch (all %d lookups on one key): per-module comm max/mean = %.2f (skew-resistant)\n",
-		s, pim.MaxLoadRatio(comm))
+		s, pim.MaxLoadRatio(snap.ModuleComm))
 }
 
 // New1DIndex builds a pimindex over entries on mach.

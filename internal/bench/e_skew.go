@@ -54,11 +54,10 @@ func runSkew(w io.Writer, quick bool) {
 		mach.ResetStats()
 		preOps := tree.OpStats
 		tree.LeafSearch(qs)
-		d := mach.Stats()
-		workL, commL := mach.ModuleLoads()
+		snap := mach.SnapshotStats()
 		tb.Row(name, variant,
-			pim.MaxLoadRatio(commL), pim.MaxLoadRatio(workL),
-			perQuery(d.Communication, len(qs)),
+			pim.MaxLoadRatio(snap.ModuleComm), pim.MaxLoadRatio(snap.ModuleWork),
+			perQuery(snap.Stats.Communication, len(qs)),
 			tree.OpStats.Pulls-preOps.Pulls, tree.OpStats.Pushes-preOps.Pushes)
 	}
 	for _, group := range []string{"uniform", "hotspot"} {
@@ -71,11 +70,10 @@ func runSkew(w io.Writer, quick bool) {
 			pt := core.NewPartitioned(dim, 8, mach, makeItems(pts))
 			mach.ResetStats()
 			pt.LeafSearch(b.qs)
-			d := mach.Stats()
-			workL, commL := mach.ModuleLoads()
+			snap := mach.SnapshotStats()
 			tb.Row(b.name, "partitioned (straw man)",
-				pim.MaxLoadRatio(commL), pim.MaxLoadRatio(workL),
-				perQuery(d.Communication, len(b.qs)), "-", "-")
+				pim.MaxLoadRatio(snap.ModuleComm), pim.MaxLoadRatio(snap.ModuleWork),
+				perQuery(snap.Stats.Communication, len(b.qs)), "-", "-")
 		}
 	}
 	tb.Fprint(w)
@@ -91,16 +89,15 @@ func runSkew(w io.Writer, quick bool) {
 	runKNN := func(name string, qs []geom.Point) {
 		mach2.ResetStats()
 		tree2.KNN(qs, 8)
-		d := mach2.Stats()
-		workL, _ := mach2.ModuleLoads()
+		snap := mach2.SnapshotStats()
 		var max, sum int64
-		for _, v := range workL {
+		for _, v := range snap.ModuleWork {
 			sum += v
 			if v > max {
 				max = v
 			}
 		}
-		tb2.Row(name, max, sum/int64(p), d.CPUWork, perQuery(d.Communication, len(qs)))
+		tb2.Row(name, max, sum/int64(p), snap.Stats.CPUWork, perQuery(snap.Stats.Communication, len(qs)))
 	}
 	runKNN("uniform", workload.Sample(pts2, s, 0.001, 93))
 	runKNN("hotspot 1e-2", workload.Hotspot(s, dim, 1e-2, 95))

@@ -137,6 +137,51 @@ func (m *Machine) Stats() Stats {
 	}
 }
 
+// Snapshot couples the scalar Stats totals with the per-module work and
+// communication vectors, captured in one call. It is the unit consumers
+// should diff when attributing cost to an individual operation: the serving
+// layer and the benchmark harness take a Snapshot before and after a batch
+// and subtract.
+type Snapshot struct {
+	Stats Stats
+	// ModuleWork[i] is the cumulative PIM work attributed to module i.
+	ModuleWork []int64
+	// ModuleComm[i] is the cumulative off-chip words moved to/from module i.
+	ModuleComm []int64
+}
+
+// Sub returns s - o field by field, including the per-module vectors.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := Snapshot{
+		Stats:      s.Stats.Sub(o.Stats),
+		ModuleWork: make([]int64, len(s.ModuleWork)),
+		ModuleComm: make([]int64, len(s.ModuleComm)),
+	}
+	for i := range s.ModuleWork {
+		d.ModuleWork[i] = s.ModuleWork[i] - o.ModuleWork[i]
+		d.ModuleComm[i] = s.ModuleComm[i] - o.ModuleComm[i]
+	}
+	return d
+}
+
+// SnapshotStats returns a copy of every meter — the scalar totals plus the
+// per-module work/communication vectors — in a single call. Each field is
+// loaded atomically; the snapshot is fully consistent whenever no round is
+// in flight (between rounds), which is how the serving scheduler and the
+// experiment harness use it.
+func (m *Machine) SnapshotStats() Snapshot {
+	s := Snapshot{
+		Stats:      m.Stats(),
+		ModuleWork: make([]int64, m.p),
+		ModuleComm: make([]int64, m.p),
+	}
+	for i := 0; i < m.p; i++ {
+		s.ModuleWork[i] = m.moduleWork[i].Load()
+		s.ModuleComm[i] = m.moduleComm[i].Load()
+	}
+	return s
+}
+
 // ResetStats zeroes all meters (global and per-module).
 func (m *Machine) ResetStats() {
 	m.cpuWork.Store(0)

@@ -98,6 +98,36 @@ func TestResetStats(t *testing.T) {
 	}
 }
 
+func TestSnapshotStats(t *testing.T) {
+	m := NewMachine(3, 16)
+	m.RunRound(func(r *Round) {
+		r.Transfer(1, 7)
+		r.ModuleWork(2, 4)
+	})
+	pre := m.SnapshotStats()
+	if pre.Stats != m.Stats() {
+		t.Fatalf("snapshot stats %+v vs %+v", pre.Stats, m.Stats())
+	}
+	if pre.ModuleComm[1] != 7 || pre.ModuleWork[2] != 4 || pre.ModuleComm[0] != 0 {
+		t.Fatalf("snapshot vectors %v %v", pre.ModuleWork, pre.ModuleComm)
+	}
+	m.RunRound(func(r *Round) {
+		r.Transfer(1, 3)
+		r.ModuleWork(0, 5)
+	})
+	d := m.SnapshotStats().Sub(pre)
+	if d.Stats.Communication != 3 || d.Stats.Rounds != 1 {
+		t.Fatalf("delta stats %+v", d.Stats)
+	}
+	if d.ModuleComm[1] != 3 || d.ModuleWork[0] != 5 || d.ModuleWork[2] != 0 {
+		t.Fatalf("delta vectors %v %v", d.ModuleWork, d.ModuleComm)
+	}
+	// The snapshot is a copy: further metering must not alter it.
+	if pre.ModuleComm[1] != 7 {
+		t.Fatal("snapshot aliases live meters")
+	}
+}
+
 func TestHashRangeAndSpread(t *testing.T) {
 	m := NewMachine(16, 16)
 	counts := make([]int, 16)

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// submit is the single admission path: acquire a backpressure token, enqueue
+// the request into its forming batch (sealing on MaxBatch), and wait for the
+// reply. The token is released by the executor when the reply is delivered,
+// bounding admitted-but-unreplied requests at MaxPending.
+func (s *Service) submit(ctx context.Context, req *request) (reply, error) {
+	// Admission with backpressure.
+	select {
+	case s.tokens <- struct{}{}:
+	case <-s.closing:
+		return reply{}, ErrClosed
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
+	}
+
+	req.enq = time.Now()
+	req.done = make(chan reply, 1)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.tokens
+		return reply{}, ErrClosed
+	}
+	key := batchKey{kind: req.kind, k: req.k}
+	q := s.pending[key]
+	if q == nil {
+		q = &pendingQueue{}
+		s.pending[key] = q
+	}
+	q.reqs = append(q.reqs, req)
+	if len(q.reqs) == 1 {
+		q.firstEnq = req.enq
+		q.gen++
+		gen := q.gen
+		q.timer = time.AfterFunc(s.cfg.MaxLinger, func() { s.sealOnLinger(key, gen) })
+	}
+	if len(q.reqs) >= s.cfg.MaxBatch {
+		s.sealLocked(key, "full")
+	}
+	s.mu.Unlock()
+
+	// The request is committed: it will be executed and replied to exactly
+	// once even if the caller gives up waiting.
+	select {
+	case rep := <-req.done:
+		return rep, rep.err
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
+	}
+}
+
+// sealOnLinger is the MaxLinger deadline callback for one forming batch.
+// The generation check discards stale timers that fire after their queue
+// was already sealed by reaching MaxBatch.
+func (s *Service) sealOnLinger(key batchKey, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	q := s.pending[key]
+	if q == nil || q.gen != gen || len(q.reqs) == 0 {
+		return
+	}
+	s.sealLocked(key, "linger")
+}
+
+// sealLocked closes the forming batch for key and hands it to the executor.
+// Callers hold s.mu. The send cannot block: batchCh has capacity MaxPending
+// and every queued batch carries at least one admitted request.
+func (s *Service) sealLocked(key batchKey, by string) {
+	q := s.pending[key]
+	if q == nil || len(q.reqs) == 0 {
+		return
+	}
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	delete(s.pending, key)
+	s.batchCh <- &batch{
+		key:      key,
+		reqs:     q.reqs,
+		firstEnq: q.firstEnq,
+		sealed:   time.Now(),
+		sealedBy: by,
+	}
+}

@@ -1,0 +1,80 @@
+// Package serve turns concurrent singleton requests into the well-formed
+// operation batches the PIM-kd-tree is designed around.
+//
+// The paper's headline results are batch bounds: a batch of S LeafSearch,
+// kNN, range, or update operations costs O(S log* P) off-chip communication
+// and stays PIM-balanced even under adversarial skew (Table 1, Theorems
+// 4.1/4.3, Lemma 3.8). A deployed index, however, receives *individual*
+// requests from many concurrent clients. This package supplies the missing
+// layer:
+//
+//   - admission control with backpressure (a bounded number of requests may
+//     be in flight; further submitters block),
+//   - adaptive batch coalescing: requests of the same kind (and, for kNN,
+//     the same k) accumulate until the batch reaches MaxBatch = S or the
+//     oldest request has lingered MaxLinger, whichever comes first,
+//   - epoch-based read/write scheduling: batches execute in admission order
+//     on a single executor goroutine that owns the tree; consecutive read
+//     batches share an epoch, while every update batch is serialized into
+//     an epoch of its own, so no query ever observes a partially
+//     reconstructed tree,
+//   - per-request futures that fan the batch results back to their callers,
+//   - per-batch cost attribution: every executed batch is bracketed by
+//     pim.Machine.SnapshotStats calls, and the deltas (communication, PIM
+//     work/time, rounds, per-module balance) are aggregated per operation
+//     kind and exposed for a /statsz endpoint — making the paper's bounds
+//     observable under live concurrent traffic.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a Service. The zero value is usable; defaults are
+// filled in by New.
+type Config struct {
+	// MaxBatch is S, the largest batch the coalescer forms. A queue that
+	// reaches MaxBatch pending requests is sealed and dispatched
+	// immediately. Default 256.
+	MaxBatch int
+	// MaxLinger bounds how long the oldest request of a forming batch may
+	// wait before the batch is sealed regardless of size. Default 2ms.
+	MaxLinger time.Duration
+	// MaxPending is the admission limit: at most this many requests may be
+	// admitted and not yet replied to. Further submitters block (the
+	// backpressure mechanism) until capacity frees or their context is
+	// canceled. Default 4·MaxBatch.
+	MaxPending int
+	// Seed drives every randomized choice made by the service layer itself
+	// (currently the reservoir sampling of batch records kept for /statsz).
+	// Together with seeded workload generators and core.Config.Seed this
+	// makes a replayed request trace fully deterministic. Default 1.
+	// Ignored when Rng is set.
+	Seed int64
+	// Rng, when non-nil, replaces the Seed-derived generator. The Service
+	// takes ownership: the Rng must not be used concurrently elsewhere.
+	Rng *rand.Rand
+	// OnBatch, when non-nil, is invoked on the executor goroutine after
+	// every batch completes, before replies are delivered. Because it runs
+	// on the goroutine that owns the tree, it may safely inspect the tree
+	// (the concurrency tests use it to check invariants between batches);
+	// it must not submit requests, which would deadlock.
+	OnBatch func(BatchRecord)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4 * c.MaxBatch
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+)
+
+// OpKind identifies the homogeneous operation class of a request or batch.
+type OpKind int
+
+const (
+	// KindLookup routes a point to its leaf and returns the leaf's items
+	// (the paper's LeafSearch, Algorithm 4).
+	KindLookup OpKind = iota
+	// KindKNN is k-nearest-neighbor search (Theorem 4.5). Batches are
+	// homogeneous in k as well as kind.
+	KindKNN
+	// KindRange is orthogonal range reporting (Lemma 4.7).
+	KindRange
+	// KindInsert is a batched insert (§4.2).
+	KindInsert
+	// KindDelete is a batched delete (§4.2).
+	KindDelete
+	numKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KindLookup:
+		return "lookup"
+	case KindKNN:
+		return "knn"
+	case KindRange:
+		return "range"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// IsRead reports whether the kind leaves the tree unmodified. Read batches
+// may share a scheduling epoch; write batches never do.
+func (k OpKind) IsRead() bool { return k == KindLookup || k == KindKNN || k == KindRange }
+
+// Neighbor is one kNN result: the stored item's ID and its Euclidean
+// distance from the query point.
+type Neighbor struct {
+	ID   int32   `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// BatchInfo describes, to the caller of a single request, the batch its
+// request was executed in — the coalescing observability surface. Cost is
+// the whole batch's PIM-Model stats delta; dividing by Size gives the
+// caller's attributed share.
+type BatchInfo struct {
+	// Epoch is the scheduling epoch the batch executed in.
+	Epoch int64 `json:"epoch"`
+	// Kind is the batch's operation kind.
+	Kind string `json:"kind"`
+	// Size is the number of requests coalesced into the batch.
+	Size int `json:"size"`
+	// Linger is how long the batch's oldest request waited before the
+	// batch was sealed.
+	Linger time.Duration `json:"linger_ns"`
+	// Cost is the pim.Stats delta metered across the batch execution.
+	Cost pim.Stats `json:"cost"`
+}
+
+// BatchRecord is the executor's full per-batch trace entry, fed to the
+// metrics aggregator, the optional Config.OnBatch observer, and the
+// /statsz sample.
+type BatchRecord struct {
+	Epoch int64  `json:"epoch"`
+	Kind  string `json:"kind"`
+	// K is the kNN parameter for knn batches, 0 otherwise.
+	K    int `json:"k,omitempty"`
+	Size int `json:"size"`
+	// Linger is the wait of the batch's oldest request until sealing.
+	Linger time.Duration `json:"linger_ns"`
+	// SealedBy is what closed the batch: "full" (reached MaxBatch),
+	// "linger" (deadline), or "flush" (service shutdown).
+	SealedBy string `json:"sealed_by"`
+	// Cost is the PIM-Model stats delta of the batch execution.
+	Cost pim.Stats `json:"cost"`
+	// CommBalance is max/mean per-module communication within the batch
+	// (Definition 1 PIM-balance: O(1) means no straggler module).
+	CommBalance float64 `json:"comm_balance"`
+}
+
+// request is one admitted operation waiting for (or being) executed.
+type request struct {
+	kind OpKind
+	pt   geom.Point // lookup, knn
+	k    int        // knn
+	box  geom.Box   // range
+	item core.Item  // insert, delete
+	enq  time.Time
+
+	// done receives exactly one reply; it is buffered so the executor
+	// never blocks on a caller that abandoned its context.
+	done chan reply
+}
+
+// reply is the fanned-out result of one request.
+type reply struct {
+	items     []core.Item // lookup, range
+	neighbors []Neighbor  // knn
+	info      BatchInfo
+	err       error
+}
+
+// batchKey groups coalescible requests: same kind, and for kNN the same k
+// (core.KNNBatch answers a whole batch at a single k).
+type batchKey struct {
+	kind OpKind
+	k    int
+}
+
+// batch is a sealed set of homogeneous requests ready for execution.
+type batch struct {
+	key      batchKey
+	reqs     []*request
+	firstEnq time.Time
+	sealed   time.Time
+	sealedBy string
+}

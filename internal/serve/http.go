@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+)
+
+// wireItem is the JSON shape of a stored item.
+type wireItem struct {
+	ID       int32     `json:"id"`
+	P        []float64 `json:"p"`
+	Priority float64   `json:"priority,omitempty"`
+}
+
+func toWire(items []core.Item) []wireItem {
+	out := make([]wireItem, len(items))
+	for i, it := range items {
+		out[i] = wireItem{ID: it.ID, P: it.P, Priority: it.Priority}
+	}
+	return out
+}
+
+// NewHandler exposes a Service over HTTP. Read endpoints are GETs with a
+// comma-separated point parameter; update endpoints are POSTs. Every data
+// response carries the BatchInfo of the coalesced batch the request rode
+// in, so clients observe batching directly.
+//
+//	GET  /lookup?p=0.1,0.2
+//	GET  /knn?p=0.1,0.2&k=8
+//	GET  /range?lo=0.1,0.1&hi=0.3,0.4
+//	POST /insert?id=7&p=0.5,0.5[&priority=2.5]
+//	POST /delete?id=7&p=0.5,0.5
+//	GET  /statsz
+//	GET  /healthz
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Metrics())
+	})
+
+	mux.HandleFunc("/lookup", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pointParam(w, r, "p")
+		if !ok {
+			return
+		}
+		items, info, err := s.Lookup(r.Context(), p)
+		if !okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Items []wireItem `json:"items"`
+			Batch BatchInfo  `json:"batch"`
+		}{toWire(items), info})
+	})
+
+	mux.HandleFunc("/knn", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pointParam(w, r, "p")
+		if !ok {
+			return
+		}
+		k := 1
+		if ks := r.FormValue("k"); ks != "" {
+			var err error
+			if k, err = strconv.Atoi(ks); err != nil {
+				http.Error(w, "bad k: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		neighbors, info, err := s.KNN(r.Context(), p, k)
+		if !okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Neighbors []Neighbor `json:"neighbors"`
+			Batch     BatchInfo  `json:"batch"`
+		}{neighbors, info})
+	})
+
+	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
+		lo, ok := pointParam(w, r, "lo")
+		if !ok {
+			return
+		}
+		hi, ok := pointParam(w, r, "hi")
+		if !ok {
+			return
+		}
+		if len(lo) != len(hi) {
+			http.Error(w, "lo/hi dimension mismatch", http.StatusBadRequest)
+			return
+		}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				http.Error(w, fmt.Sprintf("inverted box on axis %d", d), http.StatusBadRequest)
+				return
+			}
+		}
+		items, info, err := s.Range(r.Context(), geom.NewBox(lo, hi))
+		if !okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Items []wireItem `json:"items"`
+			Batch BatchInfo  `json:"batch"`
+		}{toWire(items), info})
+	})
+
+	update := func(name string, op func(r *http.Request, it core.Item) (BatchInfo, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, name+" requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			p, ok := pointParam(w, r, "p")
+			if !ok {
+				return
+			}
+			id, err := strconv.ParseInt(r.FormValue("id"), 10, 32)
+			if err != nil {
+				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			it := core.Item{P: p, ID: int32(id)}
+			if ps := r.FormValue("priority"); ps != "" {
+				if it.Priority, err = strconv.ParseFloat(ps, 64); err != nil {
+					http.Error(w, "bad priority: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			info, err := op(r, it)
+			if !okReply(w, err) {
+				return
+			}
+			writeJSON(w, struct {
+				Batch BatchInfo `json:"batch"`
+			}{info})
+		}
+	}
+	mux.HandleFunc("/insert", update("insert", func(r *http.Request, it core.Item) (BatchInfo, error) {
+		return s.Insert(r.Context(), it)
+	}))
+	mux.HandleFunc("/delete", update("delete", func(r *http.Request, it core.Item) (BatchInfo, error) {
+		return s.Delete(r.Context(), it)
+	}))
+
+	return mux
+}
+
+// pointParam parses a comma-separated float point from query/form parameter
+// name, writing a 400 on failure.
+func pointParam(w http.ResponseWriter, r *http.Request, name string) (geom.Point, bool) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		http.Error(w, "missing parameter "+name, http.StatusBadRequest)
+		return nil, false
+	}
+	parts := strings.Split(raw, ",")
+	p := make(geom.Point, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s[%d]: %v", name, i, err), http.StatusBadRequest)
+			return nil, false
+		}
+		p[i] = v
+	}
+	return p, true
+}
+
+// okReply maps service errors to HTTP statuses; returns false when a status
+// was already written.
+func okReply(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+)
+
+// runExecutor is the scheduling loop. It is the only goroutine that touches
+// the tree, so batches — and in particular the partial reconstructions
+// performed by update batches — are serialized: a read batch either runs
+// entirely before or entirely after any rebuild, never across one.
+//
+// Epochs make that ordering observable: consecutive read batches share an
+// epoch number, while every write batch closes the current epoch and takes
+// a fresh one of its own, so two requests with the same epoch are
+// guaranteed to have seen the identical tree version.
+func (s *Service) runExecutor() {
+	defer close(s.done)
+	var (
+		epoch        int64 = 1
+		lastWasWrite bool
+	)
+	for b := range s.batchCh {
+		write := !b.key.kind.IsRead()
+		if write || lastWasWrite {
+			epoch++
+		}
+		lastWasWrite = write
+		s.execute(b, epoch)
+	}
+}
+
+// execute runs one sealed batch against the tree, brackets it with machine
+// snapshots for cost attribution, records metrics, and fans the results
+// back to the per-request futures (releasing their admission tokens).
+func (s *Service) execute(b *batch, epoch int64) {
+	mach := s.tree.Machine()
+	pre := mach.SnapshotStats()
+	results, err := s.runBatch(b)
+	delta := mach.SnapshotStats().Sub(pre)
+
+	rec := BatchRecord{
+		Epoch:       epoch,
+		Kind:        b.key.kind.String(),
+		K:           b.key.k,
+		Size:        len(b.reqs),
+		Linger:      b.sealed.Sub(b.firstEnq),
+		SealedBy:    b.sealedBy,
+		Cost:        delta.Stats,
+		CommBalance: pim.MaxLoadRatio(delta.ModuleComm),
+	}
+	s.metrics.record(rec)
+	if s.cfg.OnBatch != nil {
+		s.cfg.OnBatch(rec)
+	}
+
+	info := BatchInfo{
+		Epoch:  epoch,
+		Kind:   rec.Kind,
+		Size:   rec.Size,
+		Linger: rec.Linger,
+		Cost:   rec.Cost,
+	}
+	for i, req := range b.reqs {
+		rep := reply{info: info, err: err}
+		if err == nil && results != nil {
+			rep = results[i]
+			rep.info = info
+		}
+		req.done <- rep // buffered, never blocks
+		<-s.tokens      // release the admission token
+	}
+}
+
+// runBatch dispatches a homogeneous batch to the matching core entry point
+// and splits the batch result into per-request replies (without info, which
+// execute attaches afterwards).
+func (s *Service) runBatch(b *batch) ([]reply, error) {
+	n := len(b.reqs)
+	switch b.key.kind {
+	case KindLookup:
+		qs := make([]geom.Point, n)
+		for i, req := range b.reqs {
+			qs[i] = req.pt
+		}
+		leaves := s.tree.LeafSearch(qs)
+		out := make([]reply, n)
+		for i, leaf := range leaves {
+			// Copy: the leaf's bucket may be mutated by a later update
+			// batch while the caller still holds the reply.
+			items := s.tree.LeafItems(leaf)
+			out[i].items = append([]core.Item(nil), items...)
+		}
+		return out, nil
+
+	case KindKNN:
+		qs := make([]geom.Point, n)
+		for i, req := range b.reqs {
+			qs[i] = req.pt
+		}
+		res := s.tree.KNN(qs, b.key.k)
+		out := make([]reply, n)
+		for i, cands := range res {
+			ns := make([]Neighbor, len(cands))
+			for j, c := range cands {
+				ns[j] = Neighbor{ID: c.ID, Dist: math.Sqrt(c.Dist2)}
+			}
+			out[i].neighbors = ns
+		}
+		return out, nil
+
+	case KindRange:
+		boxes := make([]geom.Box, n)
+		for i, req := range b.reqs {
+			boxes[i] = req.box
+		}
+		res := s.tree.RangeReport(boxes)
+		out := make([]reply, n)
+		for i, items := range res {
+			out[i].items = items
+		}
+		return out, nil
+
+	case KindInsert:
+		items := make([]core.Item, n)
+		for i, req := range b.reqs {
+			items[i] = req.item
+		}
+		s.tree.BatchInsert(items)
+		return make([]reply, n), nil
+
+	case KindDelete:
+		items := make([]core.Item, n)
+		for i, req := range b.reqs {
+			items[i] = req.item
+		}
+		s.tree.BatchDelete(items)
+		return make([]reply, n), nil
+	}
+	return nil, fmt.Errorf("serve: unknown batch kind %v", b.key.kind)
+}

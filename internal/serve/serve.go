@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// Service admits concurrent singleton requests, coalesces them into
+// homogeneous batches, executes the batches against a PIM-kd-tree on its
+// shared pim.Machine, and fans results back to the callers. All exported
+// methods are safe for concurrent use; the tree itself is only ever touched
+// by the internal executor goroutine.
+type Service struct {
+	cfg  Config
+	tree *core.Tree
+
+	// tokens is the admission semaphore: a request holds one token from
+	// admission until its reply is delivered (backpressure).
+	tokens chan struct{}
+	// closing is closed by Close to release submitters blocked on tokens.
+	closing chan struct{}
+	// batchCh carries sealed batches to the executor in admission order.
+	// Capacity MaxPending: every batch holds ≥1 admitted request, so sends
+	// never block.
+	batchCh chan *batch
+	// done is closed when the executor has drained batchCh and exited.
+	done chan struct{}
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingQueue
+	closed  bool
+
+	metrics *metrics
+}
+
+// pendingQueue is a forming batch for one key.
+type pendingQueue struct {
+	reqs     []*request
+	firstEnq time.Time
+	timer    *time.Timer
+	gen      uint64 // invalidates stale linger timers
+}
+
+// New wraps tree in a Service and starts its executor. The tree (and its
+// machine) must not be used by anyone else until Close returns.
+func New(cfg Config, tree *core.Tree) *Service {
+	cfg = cfg.withDefaults()
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	s := &Service{
+		cfg:     cfg,
+		tree:    tree,
+		tokens:  make(chan struct{}, cfg.MaxPending),
+		closing: make(chan struct{}),
+		batchCh: make(chan *batch, cfg.MaxPending),
+		done:    make(chan struct{}),
+		pending: map[batchKey]*pendingQueue{},
+		metrics: newMetrics(rng),
+	}
+	go s.runExecutor()
+	return s
+}
+
+// Lookup routes p to its leaf and returns a copy of the leaf's items. The
+// BatchInfo describes the coalesced batch the request rode in.
+func (s *Service) Lookup(ctx context.Context, p geom.Point) ([]core.Item, BatchInfo, error) {
+	if err := s.checkPoint(p); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindLookup, pt: p})
+	return rep.items, rep.info, err
+}
+
+// KNN returns up to k nearest neighbors of p by ascending distance.
+func (s *Service) KNN(ctx context.Context, p geom.Point, k int) ([]Neighbor, BatchInfo, error) {
+	if err := s.checkPoint(p); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	if k < 1 {
+		return nil, BatchInfo{}, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	rep, err := s.submit(ctx, &request{kind: KindKNN, pt: p, k: k})
+	return rep.neighbors, rep.info, err
+}
+
+// Range returns the items inside box.
+func (s *Service) Range(ctx context.Context, box geom.Box) ([]core.Item, BatchInfo, error) {
+	if err := s.checkPoint(box.Lo); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	if err := s.checkPoint(box.Hi); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindRange, box: box})
+	return rep.items, rep.info, err
+}
+
+// Insert adds item to the tree as part of a coalesced update batch.
+func (s *Service) Insert(ctx context.Context, item core.Item) (BatchInfo, error) {
+	if err := s.checkPoint(item.P); err != nil {
+		return BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindInsert, item: item})
+	return rep.info, err
+}
+
+// Delete removes the item matching item's coordinates and ID; absent items
+// are silently ignored (BatchDelete semantics).
+func (s *Service) Delete(ctx context.Context, item core.Item) (BatchInfo, error) {
+	if err := s.checkPoint(item.P); err != nil {
+		return BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindDelete, item: item})
+	return rep.info, err
+}
+
+// Metrics returns the live aggregated serving metrics.
+func (s *Service) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.tree.Machine().SnapshotStats(), s.cfg)
+}
+
+// Close stops admission, flushes every forming batch, waits for the
+// executor to drain, and returns. In-flight requests all receive replies.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	for key := range s.pending {
+		s.sealLocked(key, "flush")
+	}
+	close(s.batchCh)
+	s.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+func (s *Service) checkPoint(p geom.Point) error {
+	if len(p) != s.tree.Dim() {
+		return fmt.Errorf("serve: point dimension %d, tree dimension %d", len(p), s.tree.Dim())
+	}
+	return nil
+}

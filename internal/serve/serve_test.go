@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// newTestService builds a small uniform tree and wraps it in a Service.
+func newTestService(t testing.TB, n int, cfg Config) (*Service, []geom.Point) {
+	t.Helper()
+	const dim, p = 2, 8
+	mach := pim.NewMachine(p, 1<<20)
+	tree := core.New(core.Config{Dim: dim, Seed: 11}, mach)
+	pts := workload.Uniform(n, dim, 13)
+	items := make([]core.Item, n)
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	return New(cfg, tree), pts
+}
+
+func TestFullSeal(t *testing.T) {
+	// With an effectively infinite linger, progress requires the MaxBatch
+	// seal path: 16 concurrent lookups must form two full batches of 8.
+	svc, pts := newTestService(t, 512, Config{MaxBatch: 8, MaxLinger: time.Hour})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	infos := make([]BatchInfo, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, info, err := svc.Lookup(context.Background(), pts[i])
+			if err != nil {
+				t.Errorf("lookup %d: %v", i, err)
+			}
+			infos[i] = info
+		}(i)
+	}
+	wg.Wait()
+	for i, info := range infos {
+		if info.Size != 8 {
+			t.Fatalf("request %d rode a batch of size %d, want 8", i, info.Size)
+		}
+	}
+	snap := svc.Metrics()
+	if snap.TotalBatches != 2 || snap.TotalRequests != 16 {
+		t.Fatalf("batches=%d requests=%d, want 2/16", snap.TotalBatches, snap.TotalRequests)
+	}
+	if snap.Kinds[0].SealedFull != 2 {
+		t.Fatalf("sealed_full=%d, want 2", snap.Kinds[0].SealedFull)
+	}
+}
+
+func TestLingerSeal(t *testing.T) {
+	// A lone request must not wait for MaxBatch company: the linger timer
+	// seals its singleton batch.
+	svc, pts := newTestService(t, 256, Config{MaxBatch: 1024, MaxLinger: 5 * time.Millisecond})
+	defer svc.Close()
+
+	start := time.Now()
+	items, info, err := svc.Lookup(context.Background(), pts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("singleton lookup took %v", elapsed)
+	}
+	if info.Size != 1 {
+		t.Fatalf("singleton batch size %d", info.Size)
+	}
+	found := false
+	for _, it := range items {
+		if it.ID == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lookup did not return the stored item")
+	}
+	snap := svc.Metrics()
+	if snap.Kinds[0].SealedLinger != 1 {
+		t.Fatalf("sealed_linger=%d, want 1", snap.Kinds[0].SealedLinger)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	svc, _ := newTestService(t, 256, Config{MaxBatch: 16, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	ctx := context.Background()
+
+	it := core.Item{P: geom.Point{0.123, 0.456}, ID: 9001}
+	if _, err := svc.Insert(ctx, it); err != nil {
+		t.Fatal(err)
+	}
+	items, _, err := svc.Lookup(ctx, it.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsID(items, 9001) {
+		t.Fatal("inserted item not visible to a later lookup")
+	}
+	// kNN at the exact point must report it at distance 0, sorted first.
+	ns, _, err := svc.KNN(ctx, it.P, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || ns[0].ID != 9001 || ns[0].Dist != 0 {
+		t.Fatalf("knn at stored point: %+v", ns)
+	}
+	if _, err := svc.Delete(ctx, it); err != nil {
+		t.Fatal(err)
+	}
+	items, _, err = svc.Lookup(ctx, it.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsID(items, 9001) {
+		t.Fatal("deleted item still visible")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	svc, pts := newTestService(t, 400, Config{MaxBatch: 8, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	box := geom.NewBox(geom.Point{0.2, 0.2}, geom.Point{0.6, 0.5})
+	items, _, err := svc.Range(context.Background(), box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pts {
+		if box.Contains(p) {
+			want++
+		}
+	}
+	if len(items) != want {
+		t.Fatalf("range returned %d items, brute force says %d", len(items), want)
+	}
+	for _, it := range items {
+		if !box.Contains(it.P) {
+			t.Fatalf("range reported item outside the box: %v", it.P)
+		}
+	}
+}
+
+func TestKNNBatchesHomogeneousInK(t *testing.T) {
+	// Concurrent kNN at k=2 and k=4 must never share a batch; each reply
+	// carries exactly its own k results.
+	var mu sync.Mutex
+	var recs []BatchRecord
+	svc, pts := newTestService(t, 512, Config{
+		MaxBatch: 64, MaxLinger: time.Millisecond,
+		OnBatch: func(r BatchRecord) { mu.Lock(); recs = append(recs, r); mu.Unlock() },
+	})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 2
+			if i%2 == 1 {
+				k = 4
+			}
+			ns, _, err := svc.KNN(context.Background(), pts[i], k)
+			if err != nil {
+				t.Errorf("knn: %v", err)
+				return
+			}
+			if len(ns) != k {
+				t.Errorf("knn k=%d returned %d neighbors", k, len(ns))
+			}
+			for j := 1; j < len(ns); j++ {
+				if ns[j].Dist < ns[j-1].Dist {
+					t.Errorf("knn results unsorted: %v", ns)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	svc.Close()
+	for _, r := range recs {
+		if r.Kind == "knn" && r.K != 2 && r.K != 4 {
+			t.Fatalf("knn batch with unexpected k=%d", r.K)
+		}
+	}
+}
+
+func TestCloseFlushesPending(t *testing.T) {
+	svc, pts := newTestService(t, 256, Config{MaxBatch: 1024, MaxLinger: time.Hour})
+
+	var wg sync.WaitGroup
+	infos := make([]BatchInfo, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, infos[i], errs[i] = svc.Lookup(context.Background(), pts[i])
+		}(i)
+	}
+	// Give the submitters time to enqueue, then flush via Close.
+	time.Sleep(50 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("flushed request %d errored: %v", i, errs[i])
+		}
+		if infos[i].Size != 3 {
+			t.Fatalf("flushed batch size %d, want 3", infos[i].Size)
+		}
+	}
+	snap := svc.Metrics()
+	if snap.Kinds[0].SealedFlush != 1 {
+		t.Fatalf("sealed_flush=%d, want 1", snap.Kinds[0].SealedFlush)
+	}
+	if _, _, err := svc.Lookup(context.Background(), pts[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close lookup: %v, want ErrClosed", err)
+	}
+}
+
+func TestBackpressureBlocksAdmission(t *testing.T) {
+	// Two admitted requests exhaust MaxPending; a third submitter must
+	// block at admission and honor its context deadline.
+	svc, pts := newTestService(t, 256, Config{MaxBatch: 8, MaxLinger: 300 * time.Millisecond, MaxPending: 2})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := svc.Lookup(context.Background(), pts[i]); err != nil {
+				t.Errorf("admitted lookup: %v", err)
+			}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // both admitted, batch still lingering
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := svc.Lookup(ctx, pts[2])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("overloaded submit: %v, want DeadlineExceeded", err)
+	}
+	wg.Wait()
+}
+
+func TestBadRequests(t *testing.T) {
+	svc, pts := newTestService(t, 64, Config{MaxBatch: 8, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	ctx := context.Background()
+	if _, _, err := svc.Lookup(ctx, geom.Point{1, 2, 3}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := svc.KNN(ctx, pts[0], 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := svc.Lookup(canceled, pts[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit: %v", err)
+	}
+}
+
+func containsID(items []core.Item, id int32) bool {
+	for _, it := range items {
+		if it.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// almostEqual guards the float fields surfaced through JSON round trips.
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
