@@ -22,6 +22,7 @@ import (
 	"pimkd/internal/pimsort"
 	"pimkd/internal/pkdtree"
 	"pimkd/internal/serve"
+	"pimkd/internal/trace"
 	"pimkd/internal/workload"
 
 	"math/rand"
@@ -417,4 +418,38 @@ func BenchmarkServeThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceOverhead — the internal/trace observer contract: a machine
+// with no observer must pay only one atomic nil-check per round, so tracing
+// support adds no measurable cost to the hot RunRound path; the "enabled"
+// variant prices what attaching a ring-buffer tracer actually costs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	body := func(r *pim.Round) {
+		r.Label("bench:round")
+		r.OnModules(func(ctx *pim.ModuleCtx) {
+			ctx.Work(16)
+			ctx.Transfer(4)
+		})
+	}
+	b.Run("disabled", func(b *testing.B) {
+		mach := pim.NewMachine(benchP, 1<<22)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mach.RunRound(body)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		mach := pim.NewMachine(benchP, 1<<22)
+		tracer := trace.New(1 << 10)
+		mach.SetObserver(tracer)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mach.RunRound(body)
+		}
+		b.StopTimer()
+		if tracer.Seen() != int64(b.N) {
+			b.Fatalf("tracer saw %d of %d rounds", tracer.Seen(), b.N)
+		}
+	})
 }

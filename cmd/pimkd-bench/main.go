@@ -5,6 +5,13 @@
 //	pimkd-bench -list
 //	pimkd-bench -exp leafsearch,skew
 //	pimkd-bench -quick            # shrunken sizes, seconds instead of minutes
+//	pimkd-bench -exp skew -trace out.json   # capture a per-round trace
+//
+// With -trace, every PIM machine the experiments construct reports one
+// record per BSP round to a shared tracer, and the run ends by writing a
+// Chrome/Perfetto trace-event file: open it at https://ui.perfetto.dev
+// (one track per module, stragglers are the long bars), or run
+// `pimkd-trace out.json` for the aggregate text report.
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"strings"
 
 	"pimkd/internal/bench"
+	"pimkd/internal/pim"
+	"pimkd/internal/trace"
 )
 
 func main() {
@@ -22,6 +31,8 @@ func main() {
 		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		listFlag = flag.Bool("list", false, "list experiments and exit")
 		quick    = flag.Bool("quick", false, "shrunken problem sizes")
+		traceOut = flag.String("trace", "", "write a Perfetto trace of every BSP round to this file")
+		traceCap = flag.Int("tracecap", trace.DefaultCapacity, "trace ring capacity in rounds (with -trace)")
 	)
 	flag.Parse()
 
@@ -39,6 +50,14 @@ func main() {
 			}
 		}
 	}
+
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(*traceCap)
+		pim.SetDefaultObserver(tracer)
+		defer pim.SetDefaultObserver(nil)
+	}
+
 	mode := "full"
 	if *quick {
 		mode = "quick"
@@ -48,5 +67,26 @@ func main() {
 	if err := bench.RunAll(os.Stdout, ids, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
 		os.Exit(1)
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		recs := tracer.Records()
+		if err := trace.WritePerfetto(f, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		tot := tracer.Totals()
+		fmt.Printf("\ntrace: %d rounds captured (%d dropped from the %d-round ring) -> %s\n",
+			tot.Records, tracer.Dropped(), *traceCap, *traceOut)
+		fmt.Printf("trace: open in https://ui.perfetto.dev or summarize with `pimkd-trace %s`\n", *traceOut)
 	}
 }

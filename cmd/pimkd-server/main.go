@@ -13,6 +13,8 @@
 //	curl -X POST 'localhost:8080/insert?id=123456&p=0.3,0.7'
 //	curl -X POST 'localhost:8080/delete?id=123456&p=0.3,0.7'
 //	curl 'localhost:8080/statsz'
+//	curl 'localhost:8080/tracez?k=5'          # with -trace-cap > 0
+//	curl 'localhost:8080/tracez?format=perfetto' -o trace.json
 //
 // All randomness (dataset, tree placement salt, service-layer sampling) is
 // derived from -seed, so a replayed request trace is deterministic.
@@ -46,6 +48,7 @@ func main() {
 		maxBatch = flag.Int("max-batch", 256, "coalescing batch cap S")
 		linger   = flag.Duration("linger", 2*time.Millisecond, "max linger before a partial batch is sealed")
 		pending  = flag.Int("max-pending", 0, "admission limit (0 = 4·max-batch)")
+		traceCap = flag.Int("trace-cap", 0, "round-trace ring capacity; > 0 enables /tracez")
 		verbose  = flag.Bool("v", false, "log every executed batch")
 	)
 	flag.Parse()
@@ -64,10 +67,11 @@ func main() {
 		tree.Size(), tree.Height(), build.Communication, float64(build.Communication)/float64(*n))
 
 	cfg := serve.Config{
-		MaxBatch:   *maxBatch,
-		MaxLinger:  *linger,
-		MaxPending: *pending,
-		Seed:       *seed,
+		MaxBatch:      *maxBatch,
+		MaxLinger:     *linger,
+		MaxPending:    *pending,
+		Seed:          *seed,
+		TraceCapacity: *traceCap,
 	}
 	if *verbose {
 		cfg.OnBatch = func(r serve.BatchRecord) {

@@ -1,0 +1,75 @@
+// Command pimkd-trace prints the aggregate analysis report from a saved
+// Perfetto trace (as written by `pimkd-bench -trace out.json` or downloaded
+// from a server's /tracez?format=perfetto):
+//
+//	pimkd-trace out.json
+//	pimkd-trace -top 20 out.json
+//	pimkd-trace -json out.json        # machine-readable report
+//
+// The report shows per-label round counts and critical-path share, the
+// top-K straggler rounds with the module responsible, the communication
+// imbalance histogram, and the hottest modules — plus a conservation check
+// proving the per-round accounting sums back to the machine totals.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pimkd/internal/trace"
+)
+
+func main() {
+	var (
+		topK    = flag.Int("top", 10, "number of straggler rounds to list")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON instead of text")
+		verbose = flag.Bool("v", false, "also dump every retained record as one line each")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pimkd-trace [-top K] [-json] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	recs, err := trace.ReadPerfetto(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.VerifyRecords(recs); err != nil {
+		fatal(fmt.Errorf("trace file is internally inconsistent: %w", err))
+	}
+	rep := trace.Analyze(recs, *topK)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	rep.WriteText(os.Stdout)
+	fmt.Printf("\nconservation: every record's per-module vectors sum to its totals (verified); ")
+	fmt.Printf("summed over rounds: pimTime=%d commTime=%d rounds=%d match the machine meters when the\n",
+		rep.Totals.PIMTime, rep.Totals.CommTime, rep.Totals.Rounds)
+	fmt.Printf("trace window covers the whole run (compare against the pim.Stats line of the producing tool).\n")
+	if *verbose {
+		fmt.Println()
+		for _, rec := range recs {
+			fmt.Printf("seq=%d label=%q maxWork=%d straggler=%d maxComm=%d commStraggler=%d rounds=%d wall=%s\n",
+				rec.Seq, rec.Label, rec.MaxWork, rec.StragglerWork, rec.MaxComm, rec.StragglerComm, rec.Rounds, rec.Wall)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimkd-trace:", err)
+	os.Exit(1)
+}

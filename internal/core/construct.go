@@ -37,6 +37,7 @@ func (t *Tree) Build(items []Item) {
 		t.mach.CPUPhase(ops, int64(mathx.CeilLog2(n)*mathx.CeilLog2(n)))
 		t.root = t.graft(b, Nil, geom.UniverseBox(t.cfg.Dim))
 		t.mach.RunRound(func(r *pim.Round) {
+			r.Label("core/build:decorate")
 			t.decorate(t.root, r, n)
 		})
 		return
@@ -69,6 +70,7 @@ func (t *Tree) Build(items []Item) {
 	// subtree there, and ship the structure back.
 	subs := make([]*bnode, buckets)
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/build:modules")
 		for m := 0; m < buckets; m++ {
 			r.Transfer(m%p, int64(len(parts[m]))*pointWords(t.cfg.Dim))
 		}
@@ -90,6 +92,7 @@ func (t *Tree) Build(items []Item) {
 	t.mach.CPUPhase(int64(countB(whole)), int64(mathx.CeilLog2(n)))
 	t.root = t.graft(whole, Nil, geom.UniverseBox(t.cfg.Dim))
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/build:decorate")
 		t.decorate(t.root, r, n)
 	})
 }

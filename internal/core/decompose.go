@@ -344,6 +344,7 @@ func (t *Tree) FlushDelayed() {
 		return
 	}
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/reconstruct:flush-delayed")
 		t.flushUnfinished(r, t.size)
 	})
 }

@@ -56,6 +56,7 @@ func (t *Tree) KNNBatch(qs []geom.Point, k int, eps float64) ([][]heapx.Candidat
 	cont := t.newContention()
 
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/knn:backtrack")
 		parallel.For(len(qs), func(i int) {
 			w := &knnWalker{
 				t: t, r: r, q: qs[i],

@@ -41,6 +41,7 @@ func NewPartitioned(dim, leafSize int, mach *pim.Machine, items []Item) *Partiti
 	mach.CPUPhase(ops+int64(len(own)), int64(len(own)/p+1))
 	pt.subs = make([]*bnode, buckets)
 	mach.RunRound(func(r *pim.Round) {
+		r.Label("core/partitioned:build")
 		for m := 0; m < buckets; m++ {
 			r.Transfer(m%p, int64(len(parts[m]))*pointWords(dim))
 		}
@@ -76,6 +77,7 @@ func (pt *PartitionedTree) LeafSearch(qs []geom.Point) []int {
 	pt.mach.CPUPhase(int64(len(qs)), int64(len(qs)/p+1))
 	qw := queryWords(pt.dim)
 	pt.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/partitioned:search")
 		r.OnModules(func(ctx *pim.ModuleCtx) {
 			for b := ctx.ID(); b < len(pt.subs); b += p {
 				if len(perMod[b]) == 0 || pt.subs[b] == nil {

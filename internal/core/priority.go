@@ -43,6 +43,7 @@ func (t *Tree) DependentPoints(qs []Item) []Dependent {
 	cont := t.newContention()
 
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/priority:dependent")
 		parallel.For(len(qs), func(i int) {
 			w := &priWalker{
 				t: t, r: r, q: qs[i],

@@ -27,6 +27,7 @@ func (t *Tree) RangeReport(boxes []geom.Box) [][]Item {
 	t.rangeTrace = RangeTrace{}
 	cont := t.newContention()
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/range:report")
 		parallel.For(len(boxes), func(i int) {
 			w := &rangeWalker{t: t, r: r, mod: t.startModule(i), home: t.startModule(i), qw: queryWords(t.cfg.Dim), cont: cont}
 			var out []Item
@@ -47,6 +48,7 @@ func (t *Tree) RangeCount(boxes []geom.Box) []int {
 	t.rangeTrace = RangeTrace{}
 	cont := t.newContention()
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/range:count")
 		parallel.For(len(boxes), func(i int) {
 			w := &rangeWalker{t: t, r: r, mod: t.startModule(i), home: t.startModule(i), qw: queryWords(t.cfg.Dim), cont: cont}
 			res[i] = w.count(t.root, boxes[i])
@@ -66,6 +68,7 @@ func (t *Tree) RadiusCount(centers []geom.Point, radius float64) []int {
 	t.rangeTrace = RangeTrace{}
 	cont := t.newContention()
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/range:radius-count")
 		parallel.For(len(centers), func(i int) {
 			w := &rangeWalker{t: t, r: r, mod: t.startModule(i), home: t.startModule(i), qw: queryWords(t.cfg.Dim), cont: cont}
 			res[i] = w.radiusCount(t.root, centers[i], radius, r2)
@@ -85,6 +88,7 @@ func (t *Tree) RadiusReport(centers []geom.Point, radius float64) [][]Item {
 	t.rangeTrace = RangeTrace{}
 	cont := t.newContention()
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/range:radius-report")
 		parallel.For(len(centers), func(i int) {
 			w := &rangeWalker{t: t, r: r, mod: t.startModule(i), home: t.startModule(i), qw: queryWords(t.cfg.Dim), cont: cont}
 			var out []Item

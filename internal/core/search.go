@@ -42,6 +42,7 @@ func (t *Tree) Contains(items []Item) []bool {
 	}
 	leaves := t.LeafSearch(qs)
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/contains:scan")
 		for i, leaf := range leaves {
 			nd := t.nd(leaf)
 			r.ModuleWork(int(nd.module), int64(len(nd.pts)))
@@ -81,6 +82,15 @@ func (t *Tree) leafSearchBatch(qs []geom.Point, delta int) (leaves []NodeID, fir
 	qw := queryWords(t.cfg.Dim)
 	nw := nodeWords(t.cfg.Dim)
 
+	// Trace label for the operation driving this batch: plain searches,
+	// insert stage 1, or delete stage 1.
+	op := "core/search"
+	if delta > 0 {
+		op = "core/insert"
+	} else if delta < 0 {
+		op = "core/delete"
+	}
+
 	firedSet := map[NodeID]bool{}
 	frontier := map[NodeID][]int32{}
 
@@ -88,6 +98,7 @@ func (t *Tree) leafSearchBatch(qs []geom.Point, delta int) (leaves []NodeID, fir
 	// replicated everywhere, so any module can route any query — the top of
 	// the tree is skew-proof by replication, not by luck).
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label(op + ":group0")
 		var bumps []bumpReq
 		if t.nd(t.root).group != 0 {
 			// No Group 0 (small tree): the whole batch starts at the root.
@@ -160,6 +171,7 @@ func (t *Tree) leafSearchBatch(qs []geom.Point, delta int) (leaves []NodeID, fir
 		next := map[NodeID][]int32{}
 		var bumps []bumpReq
 		t.mach.RunRound(func(r *pim.Round) {
+			r.Label(op + ":pushpull")
 			entries := make([]NodeID, 0, len(frontier))
 			for id := range frontier {
 				entries = append(entries, id)

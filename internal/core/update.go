@@ -32,6 +32,7 @@ func (t *Tree) BatchInsert(items []Item) {
 	t.size += len(items)
 
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/insert:commit")
 		// Commit every point into its leaf; oversize leaves are collected
 		// for splitting.
 		overflow := map[NodeID]bool{}
@@ -71,6 +72,7 @@ func (t *Tree) BatchDelete(items []Item) {
 	leaves, fired := t.leafSearchBatch(qs, -1)
 
 	t.mach.RunRound(func(r *pim.Round) {
+		r.Label("core/delete:commit")
 		emptied := map[NodeID]bool{}
 		for i, leafID := range leaves {
 			nd := t.nd(leafID)

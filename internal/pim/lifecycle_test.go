@@ -1,0 +1,225 @@
+package pim
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingObserver collects every emitted RoundRecord, for lifecycle tests.
+type recordingObserver struct {
+	mu   sync.Mutex
+	recs []RoundRecord
+}
+
+func (o *recordingObserver) ObserveRound(rec RoundRecord) {
+	o.mu.Lock()
+	o.recs = append(o.recs, rec)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) records() []RoundRecord {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]RoundRecord(nil), o.recs...)
+}
+
+func TestObserverRecordFields(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(4, 1024)
+	m.SetObserver(obs)
+
+	pop := m.PushLabel("test/scope")
+	m.RunRound(func(r *Round) {
+		r.Label("round:site")
+		r.CPUWork(9)
+		r.CPUSpan(3)
+		r.OnModules(func(ctx *ModuleCtx) {
+			ctx.Work(int64(ctx.ID() * 10)) // module 3 is the work straggler
+			ctx.Transfer(int64(ctx.ID() * 5))
+		})
+		r.Transfer(1, 100) // push module 1 to the comm straggler spot
+	})
+	pop()
+
+	recs := obs.records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Label != "test/scope/round:site" {
+		t.Fatalf("label %q", rec.Label)
+	}
+	if rec.CPUWork != 9 || rec.CPUSpan != 3 {
+		t.Fatalf("cpu %d/%d", rec.CPUWork, rec.CPUSpan)
+	}
+	wantWork := []int64{0, 10, 20, 30}
+	wantComm := []int64{0, 105, 10, 15}
+	for i := range wantWork {
+		if rec.ModWork[i] != wantWork[i] || rec.ModComm[i] != wantComm[i] {
+			t.Fatalf("vectors %v %v", rec.ModWork, rec.ModComm)
+		}
+	}
+	if rec.TotalWork != 60 || rec.MaxWork != 30 || rec.StragglerWork != 3 {
+		t.Fatalf("work totals %d/%d straggler %d", rec.TotalWork, rec.MaxWork, rec.StragglerWork)
+	}
+	if rec.TotalComm != 130 || rec.MaxComm != 105 || rec.StragglerComm != 1 {
+		t.Fatalf("comm totals %d/%d straggler %d", rec.TotalComm, rec.MaxComm, rec.StragglerComm)
+	}
+	if rec.Rounds != 1 {
+		t.Fatalf("rounds %d", rec.Rounds)
+	}
+	// The record must agree with the machine meters it was folded into.
+	st := m.Stats()
+	if rec.MaxWork != st.PIMTime || rec.MaxComm != st.CommTime || rec.TotalComm != st.Communication {
+		t.Fatalf("record diverges from meters: %+v vs %s", rec, st)
+	}
+}
+
+func TestObserverDoubleFinishEmitsOnce(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(2, 16)
+	m.SetObserver(obs)
+	r := m.BeginRound()
+	r.Transfer(0, 5)
+	r.Finish()
+	r.Finish()
+	if got := len(obs.records()); got != 1 {
+		t.Fatalf("double Finish emitted %d records, want 1", got)
+	}
+	if st := m.Stats(); st.Rounds != 1 || st.CommTime != 5 {
+		t.Fatalf("double Finish double-counted: %s", st)
+	}
+}
+
+func TestObserverZeroWorkRound(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(3, 16)
+	m.SetObserver(obs)
+	pre := m.Stats()
+	m.RunRound(func(r *Round) { r.Label("empty") })
+	d := m.Stats().Sub(pre)
+	// A zero-work round folds into the meters as pure round count: no PIM
+	// time, no comm time, exactly one BSP round.
+	if d.PIMTime != 0 || d.CommTime != 0 || d.PIMWork != 0 || d.Communication != 0 {
+		t.Fatalf("zero-work round charged cost: %s", d)
+	}
+	if d.Rounds != 1 {
+		t.Fatalf("rounds delta %d", d.Rounds)
+	}
+	recs := obs.records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.MaxWork != 0 || rec.MaxComm != 0 || rec.StragglerWork != -1 || rec.StragglerComm != -1 {
+		t.Fatalf("zero-work record %+v", rec)
+	}
+	if rec.WorkImbalance() != 0 || rec.CommImbalance() != 0 {
+		t.Fatalf("zero-work imbalance %g/%g", rec.WorkImbalance(), rec.CommImbalance())
+	}
+}
+
+func TestObserverRoundLawInRecord(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(2, 4)
+	m.SetObserver(obs)
+	m.RunRound(func(r *Round) {
+		r.Transfer(0, 6)
+		r.Transfer(1, 4)
+	})
+	recs := obs.records()
+	if len(recs) != 1 || recs[0].Rounds != 3 {
+		t.Fatalf("cache-overflow record %+v", recs)
+	}
+	if m.Stats().Rounds != 3 {
+		t.Fatalf("machine rounds %d", m.Stats().Rounds)
+	}
+}
+
+func TestSetObserverDetach(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(2, 16)
+	m.SetObserver(obs)
+	m.RunRound(func(r *Round) { r.Transfer(0, 1) })
+	m.SetObserver(nil)
+	if m.Observer() != nil {
+		t.Fatal("Observer() non-nil after detach")
+	}
+	m.RunRound(func(r *Round) { r.Transfer(0, 1) })
+	if got := len(obs.records()); got != 1 {
+		t.Fatalf("detached machine still emitted: %d records", got)
+	}
+}
+
+func TestSetDefaultObserver(t *testing.T) {
+	obs := &recordingObserver{}
+	SetDefaultObserver(obs)
+	defer SetDefaultObserver(nil)
+	m := NewMachine(2, 16)
+	m.RunRound(func(r *Round) { r.Label("default"); r.Transfer(1, 2) })
+	recs := obs.records()
+	if len(recs) != 1 || recs[0].Label != "default" {
+		t.Fatalf("default observer records %+v", recs)
+	}
+	SetDefaultObserver(nil)
+	m2 := NewMachine(2, 16)
+	m2.RunRound(func(r *Round) { r.Transfer(1, 2) })
+	if got := len(obs.records()); got != 1 {
+		t.Fatalf("cleared default still observed: %d records", got)
+	}
+	// Existing machines keep their observer until told otherwise.
+	m.RunRound(func(r *Round) { r.Transfer(0, 1) })
+	if got := len(obs.records()); got != 2 {
+		t.Fatalf("existing machine lost its observer: %d records", got)
+	}
+}
+
+func TestPushLabelNesting(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(2, 16)
+	m.SetObserver(obs)
+	popA := m.PushLabel("a")
+	popB := m.PushLabel("b")
+	m.RunRound(func(r *Round) { r.Transfer(0, 1) }) // prefix only, no site label
+	popB()
+	m.RunRound(func(r *Round) { r.Label("site"); r.Transfer(0, 1) })
+	popA()
+	m.RunRound(func(r *Round) { r.Transfer(0, 1) })
+	recs := obs.records()
+	want := []string{"a/b", "a/site", ""}
+	for i, rec := range recs {
+		if rec.Label != want[i] {
+			t.Fatalf("record %d label %q want %q", i, rec.Label, want[i])
+		}
+	}
+}
+
+func TestObserverRecordIsACopy(t *testing.T) {
+	obs := &recordingObserver{}
+	m := NewMachine(2, 16)
+	m.SetObserver(obs)
+	m.RunRound(func(r *Round) { r.ModuleWork(0, 7) })
+	rec := obs.records()[0]
+	rec.ModWork[0] = 999 // mutating the handed-over slice must be safe
+	m.RunRound(func(r *Round) { r.ModuleWork(0, 1) })
+	if got := obs.records()[1].ModWork[0]; got != 1 {
+		t.Fatalf("records alias shared storage: %d", got)
+	}
+}
+
+func TestHashSpreadNonPowerOfTwo(t *testing.T) {
+	// The modulo reduction must stay near-uniform for a module count that
+	// does not divide 2^64 — the balls-into-bins argument assumes it.
+	m := NewMachine(13, 16)
+	counts := make([]int, 13)
+	const n = 26000
+	for i := uint64(0); i < n; i++ {
+		counts[m.Hash(i*0x51f1)]++
+	}
+	want := n / 13
+	for i, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("module %d got %d of %d (poor spread for P=13)", i, c, n)
+		}
+	}
+}

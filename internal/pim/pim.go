@@ -21,8 +21,10 @@ package pim
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats aggregates the PIM-Model cost metrics accumulated by a Machine.
@@ -84,6 +86,85 @@ func (s Stats) String() string {
 		s.CPUWork, s.CPUSpan, s.PIMWork, s.PIMTime, s.Communication, s.CommTime, s.Rounds)
 }
 
+// RoundRecord is the per-round observation delivered to an Observer when a
+// BSP round finishes. It carries exactly the quantities the paper's bounds
+// are stated over — per-module work and communication vectors, whose maxima
+// are the round's contribution to PIMTime and CommTime — plus the label the
+// algorithm attached and the wall time the simulated round took.
+type RoundRecord struct {
+	// Seq is a 1-based sequence number assigned by the observer (the
+	// machine leaves it zero).
+	Seq int64
+	// Label identifies the round site, composed from the machine's label
+	// scope stack (Machine.PushLabel) and the round's own Round.Label,
+	// joined with "/". Empty for unlabeled rounds.
+	Label string
+	// Start is when the round began; Wall is its wall-clock duration.
+	Start time.Time
+	Wall  time.Duration
+	// CPUWork and CPUSpan are the CPU units logged during this round
+	// (CPUPhase calls outside rounds are not attributed to any record).
+	CPUWork int64
+	CPUSpan int64
+	// ModWork[i] and ModComm[i] are module i's work and off-chip words in
+	// this round. Both have length P.
+	ModWork []int64
+	ModComm []int64
+	// TotalWork and TotalComm are the vector sums (the round's contribution
+	// to Stats.PIMWork and Stats.Communication).
+	TotalWork int64
+	TotalComm int64
+	// MaxWork and MaxComm are the vector maxima — the round's contribution
+	// to Stats.PIMTime and Stats.CommTime (the straggler magnitudes).
+	MaxWork int64
+	MaxComm int64
+	// StragglerWork and StragglerComm are the module ids achieving MaxWork
+	// and MaxComm (lowest id on ties), or -1 when the respective max is 0.
+	StragglerWork int
+	StragglerComm int
+	// Rounds is the number of BSP rounds this logical round was charged:
+	// 1 plus the cache-overflow extras of the Ω(c/M + s) round law.
+	Rounds int64
+}
+
+// WorkImbalance is the round's max/mean per-module work ratio (0 for an
+// all-zero vector). A PIM-balanced round keeps this O(1).
+func (rec RoundRecord) WorkImbalance() float64 { return MaxLoadRatio(rec.ModWork) }
+
+// CommImbalance is the round's max/mean per-module communication ratio.
+// The model predicts CommTime ≈ Communication/P exactly when this is ≈ 1;
+// rounds where it diverges are the ones whose comm time exceeds comm/P.
+func (rec RoundRecord) CommImbalance() float64 { return MaxLoadRatio(rec.ModComm) }
+
+// Observer receives one RoundRecord per finished round. Implementations
+// must be safe for use from the goroutine calling Round.Finish and must not
+// retain the record's slices beyond the call only if they mutate them (the
+// machine hands over freshly allocated copies, so keeping them is fine).
+// internal/trace provides the standard ring-buffer implementation.
+type Observer interface {
+	ObserveRound(rec RoundRecord)
+}
+
+// obsHolder boxes an Observer so it can live in an atomic.Pointer (interface
+// values cannot be stored atomically without a wrapper).
+type obsHolder struct{ obs Observer }
+
+// defaultObserver, when set, is attached to every Machine created
+// afterwards. It exists for process-wide tooling (pimkd-bench -trace)
+// that must observe machines constructed deep inside experiment code.
+var defaultObserver atomic.Pointer[obsHolder]
+
+// SetDefaultObserver installs obs as the observer every subsequently
+// created Machine starts with (nil clears it). Existing machines are not
+// affected; SetObserver overrides per machine.
+func SetDefaultObserver(obs Observer) {
+	if obs == nil {
+		defaultObserver.Store(nil)
+		return
+	}
+	defaultObserver.Store(&obsHolder{obs: obs})
+}
+
 // Machine is a PIM-Model machine with P modules and an M-word CPU cache.
 // A Machine is safe for use by a single logical algorithm at a time;
 // metering calls within a round may come from concurrent goroutines.
@@ -102,6 +183,14 @@ type Machine struct {
 	// Per-module cumulative meters, for load-balance inspection.
 	moduleWork []atomic.Int64
 	moduleComm []atomic.Int64
+
+	// obs is the round observer; nil (the default) keeps rounds unobserved
+	// at the cost of a single atomic load per BeginRound.
+	obs atomic.Pointer[obsHolder]
+	// labelMu guards labels, the stack of label scopes prefixed onto every
+	// observed round's label.
+	labelMu sync.Mutex
+	labels  []string
 }
 
 // NewMachine creates a machine with p PIM modules and a CPU cache of cacheM
@@ -110,12 +199,61 @@ func NewMachine(p, cacheM int) *Machine {
 	if p < 1 {
 		panic("pim: machine needs at least one module")
 	}
-	return &Machine{
+	m := &Machine{
 		p:          p,
 		cacheM:     cacheM,
 		moduleWork: make([]atomic.Int64, p),
 		moduleComm: make([]atomic.Int64, p),
 	}
+	m.obs.Store(defaultObserver.Load())
+	return m
+}
+
+// SetObserver installs obs as the machine's round observer (nil disables
+// observation). The disabled fast path costs one atomic nil-check per
+// round; no records, copies, or timestamps are produced.
+func (m *Machine) SetObserver(obs Observer) {
+	if obs == nil {
+		m.obs.Store(nil)
+		return
+	}
+	m.obs.Store(&obsHolder{obs: obs})
+}
+
+// Observer returns the machine's current round observer, or nil.
+func (m *Machine) Observer() Observer {
+	if h := m.obs.Load(); h != nil {
+		return h.obs
+	}
+	return nil
+}
+
+// PushLabel pushes a label scope onto the machine: until the returned pop
+// function runs, every observed round's label is prefixed with s (scopes
+// joined by "/"). The serving layer brackets each coalesced batch this way
+// (e.g. "serve/knn/batch=17") so every round an operation triggers is
+// attributed to the batch that caused it. Pop in LIFO order.
+func (m *Machine) PushLabel(s string) (pop func()) {
+	m.labelMu.Lock()
+	m.labels = append(m.labels, s)
+	m.labelMu.Unlock()
+	return func() {
+		m.labelMu.Lock()
+		if n := len(m.labels); n > 0 {
+			m.labels = m.labels[:n-1]
+		}
+		m.labelMu.Unlock()
+	}
+}
+
+// labelPrefix joins the current label scopes.
+func (m *Machine) labelPrefix() string {
+	m.labelMu.Lock()
+	defer m.labelMu.Unlock()
+	if len(m.labels) == 0 {
+		return ""
+	}
+	return strings.Join(m.labels, "/")
 }
 
 // P returns the number of PIM modules.
@@ -218,22 +356,54 @@ type Round struct {
 	modWork  []atomic.Int64
 	modComm  []atomic.Int64
 	finished bool
+
+	// Observation state, populated only when the machine has an observer.
+	obs   Observer
+	start time.Time
+	label string
+	cpuW  atomic.Int64
+	cpuS  atomic.Int64
 }
 
 // BeginRound starts a BSP round.
 func (m *Machine) BeginRound() *Round {
-	return &Round{
+	r := &Round{
 		m:       m,
 		modWork: make([]atomic.Int64, m.p),
 		modComm: make([]atomic.Int64, m.p),
 	}
+	if h := m.obs.Load(); h != nil {
+		r.obs = h.obs
+		r.start = time.Now()
+	}
+	return r
+}
+
+// Label names this round for the observer (e.g. "core/search:wave"). The
+// machine's PushLabel scopes are prefixed onto it at Finish. A no-op on
+// unobserved rounds. Call it from the goroutine driving the round, not
+// from inside OnModules programs.
+func (r *Round) Label(s string) {
+	if r.obs != nil {
+		r.label = s
+	}
 }
 
 // CPUWork logs n units of CPU computation in this round.
-func (r *Round) CPUWork(n int64) { r.m.cpuWork.Add(n) }
+func (r *Round) CPUWork(n int64) {
+	r.m.cpuWork.Add(n)
+	if r.obs != nil {
+		r.cpuW.Add(n)
+	}
+}
 
 // CPUSpan logs n units of CPU critical-path length in this round.
-func (r *Round) CPUSpan(n int64) { r.m.cpuSpan.Add(n) }
+func (r *Round) CPUSpan(n int64) {
+	r.m.cpuSpan.Add(n)
+	if r.obs != nil {
+		r.cpuS.Add(n)
+	}
+}
 
 // Transfer logs the movement of words of data between the CPU and module
 // mod (either direction — the model charges the off-chip channel the same
@@ -339,6 +509,49 @@ func (r *Round) Finish() {
 		extra = totalC / int64(r.m.cacheM)
 	}
 	r.m.rounds.Add(1 + extra)
+	if r.obs != nil {
+		r.emit(1 + extra)
+	}
+}
+
+// emit builds the round's RoundRecord and delivers it to the observer. Only
+// called on observed rounds, after the meters are folded into the machine.
+func (r *Round) emit(rounds int64) {
+	p := r.m.p
+	rec := RoundRecord{
+		Label:         r.label,
+		Start:         r.start,
+		Wall:          time.Since(r.start),
+		CPUWork:       r.cpuW.Load(),
+		CPUSpan:       r.cpuS.Load(),
+		ModWork:       make([]int64, p),
+		ModComm:       make([]int64, p),
+		StragglerWork: -1,
+		StragglerComm: -1,
+		Rounds:        rounds,
+	}
+	for i := 0; i < p; i++ {
+		w := r.modWork[i].Load()
+		c := r.modComm[i].Load()
+		rec.ModWork[i] = w
+		rec.ModComm[i] = c
+		rec.TotalWork += w
+		rec.TotalComm += c
+		if w > rec.MaxWork {
+			rec.MaxWork, rec.StragglerWork = w, i
+		}
+		if c > rec.MaxComm {
+			rec.MaxComm, rec.StragglerComm = c, i
+		}
+	}
+	if prefix := r.m.labelPrefix(); prefix != "" {
+		if rec.Label == "" {
+			rec.Label = prefix
+		} else {
+			rec.Label = prefix + "/" + rec.Label
+		}
+	}
+	r.obs.ObserveRound(rec)
 }
 
 // RunRound is a convenience wrapper: begin a round, hand it to fn, finish.

@@ -36,6 +36,7 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 	case m <= small:
 		// Regime (i): one module sorts the whole batch.
 		mach.RunRound(func(r *pim.Round) {
+			r.Label("pimsort:one-module")
 			mod := mach.Hash(salt)
 			r.Transfer(mod, int64(m))
 			r.ModuleWork(mod, int64(m)*int64(mathx.CeilLog2(m)+1))
@@ -62,6 +63,7 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 			ranges[b] = append(ranges[b], k)
 		}
 		mach.RunRound(func(r *pim.Round) {
+			r.Label("pimsort:splitter-ranges")
 			r.OnModules(func(ctx *pim.ModuleCtx) {
 				b := ctx.ID()
 				ctx.Transfer(int64(len(ranges[b])))
@@ -86,6 +88,7 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 			pieces = append(pieces, piece)
 		}
 		mach.RunRound(func(r *pim.Round) {
+			r.Label("pimsort:group-merge")
 			for i, piece := range pieces {
 				mod := mach.Hash(salt + uint64(i) + 1)
 				r.Transfer(mod, int64(len(piece)))

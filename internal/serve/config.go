@@ -61,6 +61,12 @@ type Config struct {
 	// (the concurrency tests use it to check invariants between batches);
 	// it must not submit requests, which would deadlock.
 	OnBatch func(BatchRecord)
+	// TraceCapacity, when > 0, attaches a trace.Tracer retaining that many
+	// per-round records to the tree's machine. Every BSP round a batch
+	// triggers is then labeled "serve/<kind>/batch=<n>/..." and the
+	// analysis report is exposed on /tracez (JSON, or raw Perfetto with
+	// ?format=perfetto). 0 disables tracing (no per-round overhead).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {

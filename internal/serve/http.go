@@ -10,6 +10,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/trace"
 )
 
 // wireItem is the JSON shape of a stored item.
@@ -38,6 +39,7 @@ func toWire(items []core.Item) []wireItem {
 //	POST /insert?id=7&p=0.5,0.5[&priority=2.5]
 //	POST /delete?id=7&p=0.5,0.5
 //	GET  /statsz
+//	GET  /tracez[?k=10][&format=perfetto]
 //	GET  /healthz
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -48,6 +50,35 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Metrics())
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		t := s.Tracer()
+		if t == nil {
+			http.Error(w, "tracing disabled: start the service with Config.TraceCapacity > 0", http.StatusNotFound)
+			return
+		}
+		recs := t.Records()
+		if r.FormValue("format") == "perfetto" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="pimkd-trace.json"`)
+			if err := trace.WritePerfetto(w, recs); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		topK := 5
+		if ks := r.FormValue("k"); ks != "" {
+			if v, err := strconv.Atoi(ks); err == nil && v > 0 {
+				topK = v
+			}
+		}
+		writeJSON(w, struct {
+			Seen    int64         `json:"seen"`
+			Dropped int64         `json:"dropped"`
+			Totals  trace.Totals  `json:"totals"`
+			Report  *trace.Report `json:"report"`
+		}{t.Seen(), t.Dropped(), t.Totals(), trace.Analyze(recs, topK)})
 	})
 
 	mux.HandleFunc("/lookup", func(w http.ResponseWriter, r *http.Request) {

@@ -118,18 +118,18 @@ type KindStats struct {
 
 // MetricsSnapshot is the full /statsz payload.
 type MetricsSnapshot struct {
-	MaxBatch      int           `json:"max_batch"`
-	MaxLingerUS   float64       `json:"max_linger_us"`
-	MaxPending    int           `json:"max_pending"`
-	Seed          int64         `json:"seed"`
-	Epochs        int64         `json:"epochs"`
-	TotalRequests int64         `json:"total_requests"`
-	TotalBatches  int64         `json:"total_batches"`
-	MeanBatchSize float64       `json:"mean_batch_size"`
-	Kinds         []KindStats   `json:"kinds"`
-	Machine       pim.Stats     `json:"machine_totals"`
-	MachineCommBalance float64  `json:"machine_comm_balance"`
-	SampledBatches []BatchRecord `json:"sampled_batches"`
+	MaxBatch           int           `json:"max_batch"`
+	MaxLingerUS        float64       `json:"max_linger_us"`
+	MaxPending         int           `json:"max_pending"`
+	Seed               int64         `json:"seed"`
+	Epochs             int64         `json:"epochs"`
+	TotalRequests      int64         `json:"total_requests"`
+	TotalBatches       int64         `json:"total_batches"`
+	MeanBatchSize      float64       `json:"mean_batch_size"`
+	Kinds              []KindStats   `json:"kinds"`
+	Machine            pim.Stats     `json:"machine_totals"`
+	MachineCommBalance float64       `json:"machine_comm_balance"`
+	SampledBatches     []BatchRecord `json:"sampled_batches"`
 }
 
 func (m *metrics) snapshot(mach pim.Snapshot, cfg Config) MetricsSnapshot {

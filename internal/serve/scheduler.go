@@ -20,6 +20,13 @@ import (
 // guaranteed to have seen the identical tree version.
 func (s *Service) runExecutor() {
 	defer close(s.done)
+	// Detach the tracer before done is signalled so a caller regaining
+	// ownership of the tree after Close gets an unobserved machine back.
+	defer func() {
+		if s.tracer != nil {
+			s.tree.Machine().SetObserver(nil)
+		}
+	}()
 	var (
 		epoch        int64 = 1
 		lastWasWrite bool
@@ -39,9 +46,15 @@ func (s *Service) runExecutor() {
 // back to the per-request futures (releasing their admission tokens).
 func (s *Service) execute(b *batch, epoch int64) {
 	mach := s.tree.Machine()
+	s.batchSeq++
+	// Scope every round this batch triggers under a batch-identifying
+	// label, so the tracer (or any observer) attributes per-round cost —
+	// stragglers included — to the exact batch that caused it.
+	pop := mach.PushLabel(fmt.Sprintf("serve/%s/batch=%d", b.key.kind, s.batchSeq))
 	pre := mach.SnapshotStats()
 	results, err := s.runBatch(b)
 	delta := mach.SnapshotStats().Sub(pre)
+	pop()
 
 	rec := BatchRecord{
 		Epoch:       epoch,

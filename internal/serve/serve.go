@@ -10,6 +10,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/trace"
 )
 
 // ErrClosed is returned for requests submitted after Close.
@@ -41,6 +42,12 @@ type Service struct {
 	closed  bool
 
 	metrics *metrics
+	// tracer is the per-round observer attached to the tree's machine when
+	// Config.TraceCapacity > 0; nil when tracing is disabled.
+	tracer *trace.Tracer
+	// batchSeq numbers executed batches for round-label attribution; only
+	// the executor goroutine touches it.
+	batchSeq int64
 }
 
 // pendingQueue is a forming batch for one key.
@@ -69,9 +76,18 @@ func New(cfg Config, tree *core.Tree) *Service {
 		pending: map[batchKey]*pendingQueue{},
 		metrics: newMetrics(rng),
 	}
+	if cfg.TraceCapacity > 0 {
+		s.tracer = trace.New(cfg.TraceCapacity)
+		tree.Machine().SetObserver(s.tracer)
+	}
 	go s.runExecutor()
 	return s
 }
+
+// Tracer returns the per-round tracer, or nil when Config.TraceCapacity
+// was 0. Safe to call concurrently; the Tracer's own methods are
+// synchronized against the executor.
+func (s *Service) Tracer() *trace.Tracer { return s.tracer }
 
 // Lookup routes p to its leaf and returns a copy of the leaf's items. The
 // BatchInfo describes the coalesced batch the request rode in.

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pimkd/internal/trace"
+)
+
+func TestTracezEndpoint(t *testing.T) {
+	svc, pts := newTestService(t, 256, Config{
+		MaxBatch: 8, MaxLinger: time.Millisecond, TraceCapacity: 1 << 12,
+	})
+	defer svc.Close()
+	if svc.Tracer() == nil {
+		t.Fatal("TraceCapacity > 0 did not attach a tracer")
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	// Drive a few batches of different kinds through the service so the
+	// trace has serve/<kind>/batch=<n> labels to report.
+	for i := 0; i < 4; i++ {
+		q := pts[i]
+		resp, err := http.Get(fmt.Sprintf("%s/knn?p=%g,%g&k=2", ts.URL, q[0], q[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/lookup?p=%g,%g", ts.URL, pts[0][0], pts[0][1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// JSON report view.
+	resp, err = http.Get(ts.URL + "/tracez?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez: %d %s", resp.StatusCode, body)
+	}
+	var view struct {
+		Seen    int64         `json:"seen"`
+		Dropped int64         `json:"dropped"`
+		Totals  trace.Totals  `json:"totals"`
+		Report  *trace.Report `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("decode: %v in %s", err, body)
+	}
+	if view.Seen == 0 || view.Report == nil || len(view.Report.Labels) == 0 {
+		t.Fatalf("empty trace view: %s", body)
+	}
+	var sawKNN, sawLookup bool
+	for _, ls := range view.Report.Labels {
+		if strings.HasPrefix(ls.Label, "serve/knn/batch=") {
+			sawKNN = true
+		}
+		if strings.HasPrefix(ls.Label, "serve/lookup/batch=") {
+			sawLookup = true
+		}
+	}
+	if !sawKNN || !sawLookup {
+		t.Fatalf("missing per-batch labels (knn=%v lookup=%v) in %s", sawKNN, sawLookup, body)
+	}
+
+	// Perfetto download view: valid JSON that round-trips into the same
+	// number of retained records.
+	resp, err = http.Get(ts.URL + "/tracez?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez perfetto: %d", resp.StatusCode)
+	}
+	if !json.Valid([]byte(raw)) {
+		t.Fatal("perfetto export is not valid JSON")
+	}
+	recs, err := trace.ReadPerfetto(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.VerifyRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recs)) != view.Seen-view.Dropped {
+		// More rounds may have been observed between the two requests, but
+		// never fewer than the earlier report saw retained.
+		if int64(len(recs)) < view.Seen-view.Dropped {
+			t.Fatalf("perfetto export has %d records, report saw %d retained", len(recs), view.Seen-view.Dropped)
+		}
+	}
+}
+
+func TestTracezDisabled(t *testing.T) {
+	svc, _ := newTestService(t, 64, Config{MaxBatch: 4, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	if svc.Tracer() != nil {
+		t.Fatal("tracer attached without TraceCapacity")
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/tracez with tracing disabled: %d want 404", resp.StatusCode)
+	}
+}

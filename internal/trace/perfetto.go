@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pimkd/internal/pim"
+)
+
+// The Perfetto export lays rounds out on a *model-time* axis: round k
+// occupies [T, T+max(MaxWork,1)) where T is the cumulative PIM time of the
+// rounds before it, so the timeline length equals Stats.PIMTime and a
+// straggler is literally the longest bar of its round. Tracks:
+//
+//	tid 0        the CPU round track — one slice per round carrying the
+//	             label and the full round summary in its args
+//	tid i+1      module i — one slice per round it participated in, with
+//	             dur = its work and args {work, comm}
+//	counters     "comm words" (the round's total off-chip words) and
+//	             "comm max/mean" (the imbalance ratio CommTime diverges by)
+//
+// The args on the CPU slice carry every scalar of the RoundRecord, which
+// makes the file fully round-trippable: ReadPerfetto reconstructs the exact
+// record sequence, so cmd/pimkd-trace can analyze a saved trace offline.
+
+// perfettoEvent is one entry of the Chrome trace-event JSON array.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON-object trace format (the array format is also
+// legal Chrome JSON, but the object form carries metadata).
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       map[string]any  `json:"otherData,omitempty"`
+}
+
+const perfettoPid = 1
+
+// WritePerfetto serializes recs as Chrome/Perfetto trace-event JSON.
+// Records must be in observation order (Tracer.Records order).
+func WritePerfetto(w io.Writer, recs []pim.RoundRecord) error {
+	p := 0
+	for _, rec := range recs {
+		if len(rec.ModWork) > p {
+			p = len(rec.ModWork)
+		}
+	}
+	events := make([]perfettoEvent, 0, 4*len(recs)+p+2)
+	meta := func(name string, tid int, value string) {
+		events = append(events, perfettoEvent{
+			Name: name, Ph: "M", Pid: perfettoPid, Tid: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta("process_name", 0, "pim machine (model time)")
+	meta("thread_name", 0, "CPU rounds")
+	for i := 0; i < p; i++ {
+		meta("thread_name", i+1, fmt.Sprintf("module %d", i))
+	}
+
+	var ts int64
+	for _, rec := range recs {
+		name := rec.Label
+		if name == "" {
+			name = "(unlabeled)"
+		}
+		dur := rec.MaxWork
+		if dur < 1 {
+			dur = 1 // zero-work rounds still occupy one visible tick
+		}
+		events = append(events, perfettoEvent{
+			Name: name, Ph: "X", Pid: perfettoPid, Ts: ts, Dur: dur,
+			Args: map[string]any{
+				"seq":           rec.Seq,
+				"cpuWork":       rec.CPUWork,
+				"cpuSpan":       rec.CPUSpan,
+				"totalWork":     rec.TotalWork,
+				"totalComm":     rec.TotalComm,
+				"maxWork":       rec.MaxWork,
+				"maxComm":       rec.MaxComm,
+				"stragglerWork": rec.StragglerWork,
+				"stragglerComm": rec.StragglerComm,
+				"rounds":        rec.Rounds,
+				"wallNs":        rec.Wall.Nanoseconds(),
+				"workImbalance": rec.WorkImbalance(),
+				"commImbalance": rec.CommImbalance(),
+			},
+		})
+		for i := range rec.ModWork {
+			mw, mc := rec.ModWork[i], rec.ModComm[i]
+			if mw == 0 && mc == 0 {
+				continue
+			}
+			mdur := mw
+			if mdur < 1 {
+				mdur = 1
+			}
+			events = append(events, perfettoEvent{
+				Name: name, Ph: "X", Pid: perfettoPid, Tid: i + 1, Ts: ts, Dur: mdur,
+				Args: map[string]any{"work": mw, "comm": mc},
+			})
+		}
+		events = append(events,
+			perfettoEvent{Name: "comm words", Ph: "C", Pid: perfettoPid, Ts: ts,
+				Args: map[string]any{"words": rec.TotalComm}},
+			perfettoEvent{Name: "comm max/mean", Ph: "C", Pid: perfettoPid, Ts: ts,
+				Args: map[string]any{"ratio": rec.CommImbalance()}},
+		)
+		ts += dur
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"tool":    "pimkd",
+			"modules": p,
+			"records": len(recs),
+			"unit":    "model work units as microseconds",
+		},
+	})
+}
+
+// ReadPerfetto parses trace-event JSON produced by WritePerfetto back into
+// the record sequence. Start times are not serialized and come back zero;
+// everything else round-trips exactly.
+func ReadPerfetto(r io.Reader) ([]pim.RoundRecord, error) {
+	var f perfettoFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: bad perfetto JSON: %w", err)
+	}
+	p := 0
+	if v, ok := f.OtherData["modules"].(float64); ok {
+		p = int(v)
+	}
+	// Pass 1: CPU slices (tid 0) define the records, keyed by their unique
+	// model-time ts.
+	recByTs := map[int64]*pim.RoundRecord{}
+	var order []int64
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || ev.Tid != 0 {
+			continue
+		}
+		rec := &pim.RoundRecord{
+			Seq:           argInt(ev.Args, "seq"),
+			CPUWork:       argInt(ev.Args, "cpuWork"),
+			CPUSpan:       argInt(ev.Args, "cpuSpan"),
+			TotalWork:     argInt(ev.Args, "totalWork"),
+			TotalComm:     argInt(ev.Args, "totalComm"),
+			MaxWork:       argInt(ev.Args, "maxWork"),
+			MaxComm:       argInt(ev.Args, "maxComm"),
+			StragglerWork: int(argInt(ev.Args, "stragglerWork")),
+			StragglerComm: int(argInt(ev.Args, "stragglerComm")),
+			Rounds:        argInt(ev.Args, "rounds"),
+			Wall:          time.Duration(argInt(ev.Args, "wallNs")),
+			ModWork:       make([]int64, p),
+			ModComm:       make([]int64, p),
+		}
+		if ev.Name != "(unlabeled)" {
+			rec.Label = ev.Name
+		}
+		if _, dup := recByTs[ev.Ts]; dup {
+			return nil, fmt.Errorf("trace: duplicate round at ts=%d", ev.Ts)
+		}
+		recByTs[ev.Ts] = rec
+		order = append(order, ev.Ts)
+	}
+	// Pass 2: module slices fill the per-module vectors.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || ev.Tid == 0 {
+			continue
+		}
+		rec, ok := recByTs[ev.Ts]
+		if !ok {
+			return nil, fmt.Errorf("trace: module slice at ts=%d has no round", ev.Ts)
+		}
+		mod := ev.Tid - 1
+		if mod >= len(rec.ModWork) {
+			return nil, fmt.Errorf("trace: module %d out of range (modules=%d)", mod, p)
+		}
+		rec.ModWork[mod] = argInt(ev.Args, "work")
+		rec.ModComm[mod] = argInt(ev.Args, "comm")
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]pim.RoundRecord, len(order))
+	for i, ts := range order {
+		out[i] = *recByTs[ts]
+	}
+	return out, nil
+}
+
+// argInt reads a numeric arg (JSON numbers decode as float64).
+func argInt(args map[string]any, key string) int64 {
+	if v, ok := args[key].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}
+
+// VerifyRecords checks each record's internal consistency — the vector
+// sums and maxima must match the scalar summaries — so a deserialized
+// trace is known to be faithful before analysis trusts it.
+func VerifyRecords(recs []pim.RoundRecord) error {
+	for _, rec := range recs {
+		var totW, totC, maxW, maxC int64
+		for i := range rec.ModWork {
+			w, c := rec.ModWork[i], rec.ModComm[i]
+			totW += w
+			totC += c
+			if w > maxW {
+				maxW = w
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if totW != rec.TotalWork || totC != rec.TotalComm {
+			return fmt.Errorf("trace: round %d vector sums (%d,%d) != totals (%d,%d)",
+				rec.Seq, totW, totC, rec.TotalWork, rec.TotalComm)
+		}
+		if maxW != rec.MaxWork || maxC != rec.MaxComm {
+			return fmt.Errorf("trace: round %d vector maxima (%d,%d) != (%d,%d)",
+				rec.Seq, maxW, maxC, rec.MaxWork, rec.MaxComm)
+		}
+		if rec.MaxWork > 0 && (rec.StragglerWork < 0 || rec.ModWork[rec.StragglerWork] != rec.MaxWork) {
+			return fmt.Errorf("trace: round %d straggler work module %d does not achieve max %d",
+				rec.Seq, rec.StragglerWork, rec.MaxWork)
+		}
+		if rec.MaxComm > 0 && (rec.StragglerComm < 0 || rec.ModComm[rec.StragglerComm] != rec.MaxComm) {
+			return fmt.Errorf("trace: round %d straggler comm module %d does not achieve max %d",
+				rec.Seq, rec.StragglerComm, rec.MaxComm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package trace is the round-granular observability layer for the PIM
+// machine. Every bound the paper proves (Table 1) is a per-round quantity —
+// PIM time and communication time are "max over modules, summed over
+// rounds" — so when an experiment deviates from its predicted shape the
+// cumulative totals of pim.Stats cannot say *which* round or *which*
+// module blew up. This package can:
+//
+//   - Tracer is a bounded ring-buffer pim.Observer: it retains the last
+//     Capacity RoundRecords verbatim and keeps exact running totals that
+//     conserve against pim.Machine.Stats even after the ring wraps;
+//   - WritePerfetto / ReadPerfetto serialize records as Chrome/Perfetto
+//     trace-event JSON — one track per module plus a CPU round track on a
+//     model-time axis, openable in ui.perfetto.dev and fully
+//     round-trippable for offline analysis;
+//   - Analyze computes the diagnosis report: per-label aggregates with
+//     critical-path share, top-K straggler rounds, a communication
+//     imbalance histogram, and per-module cumulative loads.
+//
+// Attach with mach.SetObserver(trace.New(0)); the nil-observer fast path in
+// pim keeps disabled machines overhead-free.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pimkd/internal/pim"
+)
+
+// DefaultCapacity is the ring size used when New is given capacity <= 0.
+// At P = 64 modules one record is ~1 KiB, so the default ring tops out
+// around 64 MiB — enough for every experiment in the bench harness.
+const DefaultCapacity = 1 << 16
+
+// Totals are exact running sums over every observed round, maintained
+// independently of the ring so they conserve even after old records are
+// dropped. Each field matches the pim.Stats meter of the same name; Records
+// counts logical rounds (Finish calls) while Rounds counts charged BSP
+// rounds including the cache-overflow extras.
+type Totals struct {
+	Records  int64
+	Rounds   int64
+	PIMWork  int64
+	PIMTime  int64
+	Comm     int64
+	CommTime int64
+	CPUWork  int64
+	CPUSpan  int64
+	Wall     time.Duration
+}
+
+// add folds one record into the totals.
+func (t *Totals) add(rec pim.RoundRecord) {
+	t.Records++
+	t.Rounds += rec.Rounds
+	t.PIMWork += rec.TotalWork
+	t.PIMTime += rec.MaxWork
+	t.Comm += rec.TotalComm
+	t.CommTime += rec.MaxComm
+	t.CPUWork += rec.CPUWork
+	t.CPUSpan += rec.CPUSpan
+	t.Wall += rec.Wall
+}
+
+// CheckConservation verifies that the totals account for every unit the
+// machine metered: the round-driven meters (PIM work/time, communication,
+// comm time, rounds) must match s exactly, and the CPU meters must not
+// exceed s (CPUPhase work outside rounds is metered by the machine but
+// attributed to no round). s should be the Stats delta over exactly the
+// observed window. It returns nil when accounting is conserved.
+func (t Totals) CheckConservation(s pim.Stats) error {
+	type line struct {
+		name       string
+		have, want int64
+	}
+	for _, l := range []line{
+		{"pimWork", t.PIMWork, s.PIMWork},
+		{"pimTime", t.PIMTime, s.PIMTime},
+		{"comm", t.Comm, s.Communication},
+		{"commTime", t.CommTime, s.CommTime},
+		{"rounds", t.Rounds, s.Rounds},
+	} {
+		if l.have != l.want {
+			return fmt.Errorf("trace: %s not conserved: traced %d, machine metered %d", l.name, l.have, l.want)
+		}
+	}
+	if t.CPUWork > s.CPUWork {
+		return fmt.Errorf("trace: traced cpuWork %d exceeds machine total %d", t.CPUWork, s.CPUWork)
+	}
+	if t.CPUSpan > s.CPUSpan {
+		return fmt.Errorf("trace: traced cpuSpan %d exceeds machine total %d", t.CPUSpan, s.CPUSpan)
+	}
+	return nil
+}
+
+// Tracer is the bounded ring-buffer Observer. It is safe for concurrent
+// use (rounds finish on whichever goroutine drives the machine; readers
+// may snapshot from HTTP handlers).
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []pim.RoundRecord
+	next    int // next write slot once the ring is full
+	seq     int64
+	dropped int64
+	totals  Totals
+}
+
+// New creates a Tracer retaining the most recent capacity records
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]pim.RoundRecord, 0, capacity)}
+}
+
+// ObserveRound implements pim.Observer: it assigns the record its sequence
+// number and stores it, evicting the oldest record when the ring is full.
+func (t *Tracer) ObserveRound(rec pim.RoundRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	rec.Seq = t.seq
+	t.totals.add(rec)
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+		return
+	}
+	t.buf[t.next] = rec
+	t.next = (t.next + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Records returns the retained records in observation order (oldest first).
+func (t *Tracer) Records() []pim.RoundRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]pim.RoundRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Totals returns the exact running totals over all Seen rounds, including
+// any no longer retained by the ring.
+func (t *Tracer) Totals() Totals {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totals
+}
+
+// Seen is the number of rounds observed since construction (or Reset).
+func (t *Tracer) Seen() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped is the number of observed rounds evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len is the number of records currently retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Reset clears the ring, the totals, and the sequence counter, typically
+// paired with Machine.ResetStats so CheckConservation windows line up.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.seq = 0
+	t.dropped = 0
+	t.totals = Totals{}
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// mkRecord builds a consistent RoundRecord from per-module vectors.
+func mkRecord(label string, work, comm []int64) pim.RoundRecord {
+	rec := pim.RoundRecord{
+		Label:         label,
+		Wall:          3 * time.Microsecond,
+		ModWork:       append([]int64(nil), work...),
+		ModComm:       append([]int64(nil), comm...),
+		StragglerWork: -1,
+		StragglerComm: -1,
+		Rounds:        1,
+	}
+	for i := range work {
+		rec.TotalWork += work[i]
+		rec.TotalComm += comm[i]
+		if work[i] > rec.MaxWork {
+			rec.MaxWork, rec.StragglerWork = work[i], i
+		}
+		if comm[i] > rec.MaxComm {
+			rec.MaxComm, rec.StragglerComm = comm[i], i
+		}
+	}
+	return rec
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := int64(1); i <= 5; i++ {
+		tr.ObserveRound(mkRecord("r", []int64{i}, []int64{i * 2}))
+	}
+	if tr.Seen() != 5 || tr.Dropped() != 2 || tr.Len() != 3 {
+		t.Fatalf("seen=%d dropped=%d len=%d", tr.Seen(), tr.Dropped(), tr.Len())
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records %d", len(recs))
+	}
+	// Oldest-first, sequence numbers assigned at observation time.
+	for i, want := range []int64{3, 4, 5} {
+		if recs[i].Seq != want || recs[i].ModWork[0] != want {
+			t.Fatalf("record %d: seq=%d work=%v", i, recs[i].Seq, recs[i].ModWork)
+		}
+	}
+	// Totals cover all five rounds, including the two evicted ones.
+	tot := tr.Totals()
+	if tot.Records != 5 || tot.PIMWork != 1+2+3+4+5 || tot.Comm != 2*(1+2+3+4+5) {
+		t.Fatalf("totals %+v", tot)
+	}
+	tr.Reset()
+	if tr.Seen() != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.Totals() != (Totals{}) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestConservationOnRealWorkload drives the actual kd-tree through an
+// E13-style skewed query phase plus a batch update and checks that the
+// traced per-round accounting sums back exactly to the machine meters.
+func TestConservationOnRealWorkload(t *testing.T) {
+	const n, s, p, dim = 1 << 11, 1 << 8, 16, 2
+	pts := workload.Uniform(n, dim, 5)
+	items := make([]core.Item, n)
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+
+	tr := New(0)
+	mach := pim.NewMachine(p, 1<<20)
+	mach.SetObserver(tr)
+	tree := core.New(core.Config{Dim: dim, Seed: 7}, mach)
+	tree.Build(items[:n/2])
+	tree.LeafSearch(workload.Hotspot(s, dim, 1e-4, 11))
+	tree.BatchInsert(items[n/2:])
+	tree.BatchDelete(items[:n/4])
+	tree.LeafSearch(workload.Sample(pts, s, 0.001, 13))
+
+	if err := tr.Totals().CheckConservation(mach.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecords(tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	tot := tr.Totals()
+	if tot.Records == 0 || tot.PIMTime == 0 {
+		t.Fatalf("workload produced no observed rounds: %+v", tot)
+	}
+	// Every round site in the path above is labeled.
+	for _, rec := range tr.Records() {
+		if rec.Label == "" {
+			t.Fatalf("unlabeled round seq=%d %+v", rec.Seq, rec)
+		}
+	}
+}
+
+func TestConservationCatchesMismatch(t *testing.T) {
+	var tot Totals
+	tot.add(mkRecord("r", []int64{4, 0}, []int64{2, 2}))
+	good := pim.Stats{PIMWork: 4, PIMTime: 4, Communication: 4, CommTime: 2, Rounds: 1}
+	if err := tot.CheckConservation(good); err != nil {
+		t.Fatalf("false positive: %v", err)
+	}
+	bad := good
+	bad.PIMTime = 5
+	if err := tot.CheckConservation(bad); err == nil {
+		t.Fatal("missed pimTime mismatch")
+	}
+	cpu := good
+	tot.CPUWork = 10
+	cpu.CPUWork = 3 // traced more CPU work than the machine metered: impossible
+	if err := tot.CheckConservation(cpu); err == nil {
+		t.Fatal("missed cpuWork excess")
+	}
+}
+
+func TestPerfettoRoundTrip(t *testing.T) {
+	recs := []pim.RoundRecord{
+		mkRecord("core/search:group0", []int64{5, 0, 9}, []int64{3, 0, 1}),
+		mkRecord("", []int64{0, 0, 0}, []int64{0, 0, 0}), // zero-work unlabeled round
+		mkRecord("serve/knn/batch=2", []int64{1, 1, 1}, []int64{7, 0, 0}),
+	}
+	for i := range recs {
+		recs[i].Seq = int64(i + 1)
+		recs[i].CPUWork = int64(10 * i)
+		recs[i].CPUSpan = int64(i)
+		recs[i].Rounds = int64(1 + i%2)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exporter produced invalid JSON")
+	}
+	var f perfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ns" || len(f.TraceEvents) == 0 {
+		t.Fatalf("file shape %+v", f)
+	}
+
+	back, err := ReadPerfetto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecords(back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round-trip length %d want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		want := recs[i]
+		want.Start = time.Time{} // Start is not serialized
+		if !reflect.DeepEqual(back[i], want) {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, back[i], want)
+		}
+	}
+}
+
+func TestVerifyRecordsCatchesCorruption(t *testing.T) {
+	rec := mkRecord("r", []int64{3, 1}, []int64{0, 2})
+	if err := VerifyRecords([]pim.RoundRecord{rec}); err != nil {
+		t.Fatalf("false positive: %v", err)
+	}
+	bad := rec
+	bad.TotalWork = 99
+	if err := VerifyRecords([]pim.RoundRecord{bad}); err == nil {
+		t.Fatal("missed bad total")
+	}
+	bad = rec
+	bad.StragglerWork = 1 // module 1 has work 1, not the max 3
+	if err := VerifyRecords([]pim.RoundRecord{bad}); err == nil {
+		t.Fatal("missed bad straggler")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	recs := []pim.RoundRecord{
+		mkRecord("hot", []int64{100, 0, 0, 0}, []int64{40, 0, 0, 0}), // ratio 4 -> (2,4] bucket
+		mkRecord("hot", []int64{80, 0, 0, 0}, []int64{40, 0, 0, 0}),
+		mkRecord("cold", []int64{5, 5, 5, 5}, []int64{2, 2, 2, 2}), // ratio 1 -> first bucket
+		mkRecord("dry", []int64{1, 0, 0, 0}, []int64{0, 0, 0, 0}),  // no comm: excluded from hist
+	}
+	for i := range recs {
+		recs[i].Seq = int64(i + 1)
+		recs[i].Rounds = 1
+	}
+	rep := Analyze(recs, 2)
+	if rep.P != 4 {
+		t.Fatalf("P=%d", rep.P)
+	}
+	if len(rep.Labels) != 3 || rep.Labels[0].Label != "hot" {
+		t.Fatalf("labels %+v", rep.Labels)
+	}
+	hot := rep.Labels[0]
+	if hot.Records != 2 || hot.PIMTime != 180 || hot.CommTime != 80 {
+		t.Fatalf("hot stats %+v", hot)
+	}
+	// Shares over all labels sum to 1.
+	var share float64
+	for _, ls := range rep.Labels {
+		share += ls.Share(rep.Totals)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %g", share)
+	}
+	// Top-K stragglers by per-round max work: seq 1 (100) then seq 2 (80).
+	if len(rep.Stragglers) != 2 || rep.Stragglers[0].Seq != 1 || rep.Stragglers[1].Seq != 2 {
+		t.Fatalf("stragglers %+v", rep.Stragglers)
+	}
+	// Histogram: three comm-bearing rounds; ratio-4 rounds in the (2,4]
+	// bucket (index 3), the balanced round in the first bucket.
+	var histTotal int64
+	for _, c := range rep.CommHist.Counts {
+		histTotal += c
+	}
+	if histTotal != 3 || rep.CommHist.Counts[0] != 1 || rep.CommHist.Counts[3] != 2 {
+		t.Fatalf("hist %+v", rep.CommHist)
+	}
+	if rep.HotModuleWork != 0 || rep.ModuleWork[0] != 186 {
+		t.Fatalf("hot module %d loads %v", rep.HotModuleWork, rep.ModuleWork)
+	}
+	// The text rendering must not panic and must mention the hot label.
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("hot")) {
+		t.Fatal("report text missing hot label")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil, 0)
+	if rep.P != 0 || len(rep.Labels) != 0 || len(rep.Stragglers) != 0 {
+		t.Fatalf("empty report %+v", rep)
+	}
+	if rep.HotModuleWork != -1 || rep.HotModuleComm != -1 {
+		t.Fatalf("empty hot modules %d %d", rep.HotModuleWork, rep.HotModuleComm)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf) // must not panic
+}
