@@ -1,6 +1,8 @@
 // Command pimkd-bench regenerates the paper's tables, figures, and
-// theorem-shaped claims (experiments E1–E17 of DESIGN.md). Run with no
-// arguments to execute every experiment, or select with -exp.
+// theorem-shaped claims (the experiment index of DESIGN.md, including the
+// beyond-the-paper robustness experiment E24, `-exp fault`). Run with no
+// arguments to execute every experiment, or select with -exp; `-h` lists
+// every registered experiment.
 //
 //	pimkd-bench -list
 //	pimkd-bench -exp leafsearch,skew
@@ -34,6 +36,15 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Perfetto trace of every BSP round to this file")
 		traceCap = flag.Int("tracecap", trace.DefaultCapacity, "trace ring capacity in rounds (with -trace)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pimkd-bench [-list] [-quick] [-exp id,id,...] [-trace out.json [-tracecap N]]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nexperiments:\n")
+		for _, e := range bench.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.ID, e.Summary)
+		}
+	}
 	flag.Parse()
 
 	if *listFlag {

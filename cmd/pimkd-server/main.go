@@ -18,6 +18,16 @@
 //
 // All randomness (dataset, tree placement salt, service-layer sampling) is
 // derived from -seed, so a replayed request trace is deterministic.
+//
+// Robustness: -fault-seed > 0 arms a deterministic chaos plan (module
+// crashes, stalls, transient send failures at the -fault-crash /
+// -fault-stall / -fault-send rates) against the live machine, with a
+// fault.Supervisor rebuilding crashed modules' shards from the host-side
+// tree and retrying in place; -round-deadline converts genuine stalls into
+// typed round timeouts; -shed-highwater enables 503 + Retry-After load
+// shedding; SIGINT/SIGTERM drain gracefully (admitted requests complete).
+//
+//	pimkd-server -fault-seed 7 -fault-crash 0.001 -shed-highwater 768
 package main
 
 import (
@@ -28,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"pimkd/internal/core"
+	"pimkd/internal/fault"
 	"pimkd/internal/pim"
 	"pimkd/internal/serve"
 	"pimkd/internal/workload"
@@ -50,6 +62,15 @@ func main() {
 		pending  = flag.Int("max-pending", 0, "admission limit (0 = 4·max-batch)")
 		traceCap = flag.Int("trace-cap", 0, "round-trace ring capacity; > 0 enables /tracez")
 		verbose  = flag.Bool("v", false, "log every executed batch")
+
+		faultSeed  = flag.Int64("fault-seed", 0, "arm the deterministic chaos plan with this seed (0 = off)")
+		faultCrash = flag.Float64("fault-crash", 0.0005, "per-(round,module) crash probability (with -fault-seed)")
+		faultStall = flag.Float64("fault-stall", 0.001, "per-(round,module) stall probability (with -fault-seed)")
+		stallDelay = flag.Duration("fault-stall-delay", time.Millisecond, "injected stall duration")
+		faultSend  = flag.Float64("fault-send", 0.001, "per-(round,module) transient send-failure probability")
+		deadline   = flag.Duration("round-deadline", 0, "per-round wall deadline; stalls beyond it become typed RoundTimeouts (0 = none)")
+		shedHW     = flag.Int("shed-highwater", 0, "load-shed (503 + Retry-After) above this many held admission slots (0 = off)")
+		retryTrans = flag.Int("retry-transient", 0, "read-batch retries after a transient fault (0 = default 2, -1 = off)")
 	)
 	flag.Parse()
 
@@ -66,12 +87,42 @@ func main() {
 	log.Printf("built: %d items, height %d, build comm %d words (%0.1f/point)",
 		tree.Size(), tree.Height(), build.Communication, float64(build.Communication)/float64(*n))
 
+	// Arm fault injection only after the build: the chaos window opens at
+	// the current round sequence, so construction is never perturbed and a
+	// given (-seed, -fault-seed) pair replays the identical fault schedule.
+	var sup *fault.Supervisor
+	if *deadline > 0 {
+		mach.SetRoundDeadline(*deadline)
+	}
+	if *faultSeed > 0 {
+		plan := fault.Plan{
+			Seed:         *faultSeed,
+			CrashProb:    *faultCrash,
+			StallProb:    *faultStall,
+			StallDelay:   *stallDelay,
+			SendFailProb: *faultSend,
+			FirstRound:   mach.RoundSeq() + 1,
+		}
+		mach.SetInjector(plan.Injector())
+		sup = fault.NewSupervisor(fault.SupervisorConfig{
+			OnEvent: func(ev fault.Event) {
+				log.Printf("fault: round=%d module=%d kind=%s attempt=%d recovered=%v rebuilt=%d pts comm=%d",
+					ev.Round, ev.Module, ev.Kind, ev.Attempt, ev.Recovered, ev.RebuiltPoints, ev.Cost.Communication)
+			},
+		}, mach, tree)
+		sup.Attach()
+		log.Printf("chaos armed: seed=%d crash=%g stall=%g(%v) send=%g from round %d",
+			*faultSeed, *faultCrash, *faultStall, *stallDelay, *faultSend, plan.FirstRound)
+	}
+
 	cfg := serve.Config{
-		MaxBatch:      *maxBatch,
-		MaxLinger:     *linger,
-		MaxPending:    *pending,
-		Seed:          *seed,
-		TraceCapacity: *traceCap,
+		MaxBatch:       *maxBatch,
+		MaxLinger:      *linger,
+		MaxPending:     *pending,
+		Seed:           *seed,
+		TraceCapacity:  *traceCap,
+		ShedHighWater:  *shedHW,
+		RetryTransient: *retryTrans,
 	}
 	if *verbose {
 		cfg.OnBatch = func(r serve.BatchRecord) {
@@ -91,9 +142,9 @@ func main() {
 	}()
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down")
+	log.Print("shutting down (draining admitted requests)")
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
@@ -107,5 +158,15 @@ func main() {
 	for _, k := range snap.Kinds {
 		fmt.Printf("  %-7s req=%-7d batches=%-6d mean=%.1f comm/req=%.1f balance=%.2f\n",
 			k.Kind, k.Requests, k.Batches, k.MeanBatchSize, k.CommPerRequest, k.MeanCommBalance)
+	}
+	rb := snap.Robustness
+	if rb.Sheds+rb.CanceledRequests+rb.BatchRetries+rb.BatchFaults+rb.BatchPanics > 0 {
+		fmt.Printf("robustness: sheds=%d canceled=%d batch retries=%d faults=%d panics=%d\n",
+			rb.Sheds, rb.CanceledRequests, rb.BatchRetries, rb.BatchFaults, rb.BatchPanics)
+	}
+	if sup != nil {
+		fs := sup.Stats()
+		fmt.Printf("supervisor: crashes=%d stalls=%d recoveries=%d gave up=%d rebuilt %d nodes / %d points, recovery comm=%d words\n",
+			fs.Crashes, fs.Stalls, fs.Recoveries, fs.GaveUp, fs.RebuiltNodes, fs.RebuiltPoints, fs.RecoveryCost.Communication)
 	}
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func buildRecoverTree(t *testing.T, n, p int, seed int64) (*Tree, *pim.Machine) {
+	t.Helper()
+	mach := pim.NewMachine(p, 1<<20)
+	tree := New(Config{Dim: 2, Seed: seed}, mach)
+	pts := workload.Uniform(n, 2, seed)
+	items := make([]Item, n)
+	for i, pt := range pts {
+		items[i] = Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	return tree, mach
+}
+
+func TestRecoverModuleAccounting(t *testing.T) {
+	tree, mach := buildRecoverTree(t, 4096, 32, 11)
+	pre := mach.Stats()
+	nodes, points, cost := tree.RecoverModule(5)
+	d := mach.Stats().Sub(pre)
+
+	// With no concurrent rounds, the round's self-reported cost and the
+	// machine-stats bracket must agree exactly.
+	if cost != d {
+		t.Fatalf("Metered cost %+v != machine delta %+v", cost, d)
+	}
+
+	if nodes == 0 || points == 0 {
+		t.Fatalf("recovered nothing: nodes=%d points=%d", nodes, points)
+	}
+	// The metered transfer must equal the shard exactly: every resident
+	// node copy plus every resident leaf point.
+	want := nodes*NodeWords(2) + points*pointWords(2)
+	if d.Communication != want {
+		t.Fatalf("recovery comm = %d, want %d (nodes=%d points=%d)", d.Communication, want, nodes, points)
+	}
+	// Recovery is one module talking to the CPU: comm time equals comm.
+	if d.CommTime != want {
+		t.Fatalf("recovery commTime = %d, want %d", d.CommTime, want)
+	}
+	if d.PIMWork != nodes+points {
+		t.Fatalf("recovery pimWork = %d, want %d", d.PIMWork, nodes+points)
+	}
+	if d.Rounds < 1 {
+		t.Fatalf("recovery charged no round")
+	}
+	// The tree itself is untouched.
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants broken after recovery: %v", err)
+	}
+}
+
+func TestRecoverModuleDeterministicAndShardSized(t *testing.T) {
+	const p = 32
+	type run struct {
+		nodes, points, comm int64
+	}
+	measure := func(n int) run {
+		tree, _ := buildRecoverTree(t, n, p, 7)
+		nodes, points, cost := tree.RecoverModule(3)
+		return run{nodes, points, cost.Communication}
+	}
+	a, b := measure(2048), measure(2048)
+	if a != b {
+		t.Fatalf("recovery not deterministic: %+v vs %+v", a, b)
+	}
+	// Shard size — and with it recovery cost — grows roughly linearly in
+	// n/P: quadrupling n should much more than double the recovered points
+	// and stay well under a 16x blowup.
+	big := measure(8192)
+	if big.points < 2*a.points || big.points > 16*a.points {
+		t.Fatalf("recovered points did not scale ~n/P: n=2048 -> %d, n=8192 -> %d", a.points, big.points)
+	}
+	if big.comm <= a.comm {
+		t.Fatalf("recovery comm did not grow with n: %d -> %d", a.comm, big.comm)
+	}
+}
+
+func TestRecoverModuleCoversQueriesAfterFault(t *testing.T) {
+	// Containment end-to-end at the core level: run a query batch whose
+	// round crashes a module, recover inline, and check results match a
+	// fault-free tree exactly.
+	tree, mach := buildRecoverTree(t, 2048, 16, 21)
+	ref, _ := buildRecoverTree(t, 2048, 16, 21)
+
+	qs := workload.Hotspot(256, 2, 1e-3, 23)
+	wantRes := ref.KNN(qs, 4)
+
+	base := mach.RoundSeq()
+	mach.SetInjector(crashOnce{round: base + 1, mod: 2})
+	mach.SetRecoveryHandler(rebuildHandler{tree})
+	got := tree.KNN(qs, 4)
+	mach.SetInjector(nil)
+	mach.SetRecoveryHandler(nil)
+
+	if len(got) != len(wantRes) {
+		t.Fatalf("result count %d != %d", len(got), len(wantRes))
+	}
+	for i := range got {
+		if len(got[i]) != len(wantRes[i]) {
+			t.Fatalf("query %d: %d results != %d", i, len(got[i]), len(wantRes[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != wantRes[i][j] {
+				t.Fatalf("query %d result %d: %+v != %+v", i, j, got[i][j], wantRes[i][j])
+			}
+		}
+	}
+}
+
+// crashOnce injects a single crash at (round, mod) and nothing else.
+type crashOnce struct {
+	round int64
+	mod   int
+}
+
+func (c crashOnce) ModuleAction(round int64, mod, attempt int) pim.Action {
+	return pim.Action{Crash: round == c.round && mod == c.mod && attempt == 0}
+}
+func (c crashOnce) SendOK(int64, int, int) bool { return true }
+
+// rebuildHandler recovers by re-shipping the shard from the tree.
+type rebuildHandler struct{ tree *Tree }
+
+func (h rebuildHandler) HandleModuleFault(f *pim.ModuleFault) bool {
+	if f.Attempt > 2 {
+		return false
+	}
+	h.tree.RecoverModule(f.Module)
+	return true
+}

@@ -1,0 +1,165 @@
+// Package fault is the deterministic fault-injection and recovery layer
+// for the PIM machine.
+//
+// The paper's PIM model assumes P modules that never fail; a production
+// deployment must tolerate module crashes, stalled rounds, and transient
+// send failures. This package supplies both halves of that story:
+//
+//   - Plan is a seeded, fully deterministic fault schedule. Every decision
+//     is a pure hash of (seed, round, module, attempt), so the same plan
+//     produces the identical fault schedule — and, because injected faults
+//     never meter wall time, identical pim.Stats — on every run. Plans mix
+//     rate-based chaos (CrashProb et al.) with explicitly targeted events
+//     (Crashes/Stalls/SendFails) for surgical tests.
+//
+//   - Supervisor is the recovery protocol: detect → rebuild → retry. It
+//     registers as the machine's pim.RecoveryHandler; when a module crash
+//     is contained mid-round, it rebuilds that module's shard from the
+//     host-side authoritative state (through a Rebuilder, typically
+//     core.Tree.RecoverModule) with capped exponential backoff, metering
+//     the rebuild through the normal pim counters so recovery cost is a
+//     measured quantity, then lets the machine retry the failed module
+//     program in place. Stalls retry without a rebuild (nothing was lost).
+//
+// Rounds the Supervisor triggers are labeled "fault/recover/..." by the
+// rebuilder, so the trace layer attributes recovery cost like any other
+// round work.
+package fault
+
+import (
+	"time"
+
+	"pimkd/internal/pim"
+)
+
+// Target pins an explicit fault to one (round, module) site. Rounds are
+// numbered in pim.Machine.RoundSeq order.
+type Target struct {
+	Round  int64
+	Module int
+}
+
+// Plan is a seeded, deterministic fault schedule. The zero value injects
+// nothing. Probabilities are evaluated per (round, module) site; explicit
+// Targets fire regardless of the rates.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two injectors built from
+	// equal plans behave identically.
+	Seed int64
+
+	// CrashProb is the per-(round, module) probability of a module crash.
+	CrashProb float64
+	// StallProb is the per-(round, module) probability of a stall of
+	// StallDelay (default 1ms when a stall fires with zero delay).
+	StallProb  float64
+	StallDelay time.Duration
+	// SendFailProb is the probability that the first try of a Transfer
+	// touching a module in a round fails (the retry always succeeds, so a
+	// rate-based plan doubles some transfers' metered words but never
+	// escalates a send to a module fault).
+	SendFailProb float64
+
+	// MaxRefires bounds how many consecutive attempts of the same (round,
+	// module) site re-fire a crash or stall, so recovery always converges.
+	// Default 1: the site faults once and the first retry succeeds.
+	MaxRefires int
+
+	// FirstRound/LastRound bound the active window (inclusive); zero means
+	// unbounded on that side. Use Machine.RoundSeq() to anchor the window
+	// after setup so construction is never faulted.
+	FirstRound, LastRound int64
+
+	// Explicit events, applied on attempt 0 of their site in addition to
+	// the rates.
+	Crashes   []Target
+	Stalls    []Target
+	SendFails []Target
+}
+
+// Injector compiles the plan into a pim.Injector. The injector is
+// stateless and safe for concurrent use.
+func (p Plan) Injector() *Injector {
+	in := &Injector{plan: p}
+	in.crashes = targetSet(p.Crashes)
+	in.stalls = targetSet(p.Stalls)
+	in.sendFails = targetSet(p.SendFails)
+	if in.plan.MaxRefires <= 0 {
+		in.plan.MaxRefires = 1
+	}
+	if in.plan.StallDelay <= 0 {
+		in.plan.StallDelay = time.Millisecond
+	}
+	return in
+}
+
+func targetSet(ts []Target) map[Target]bool {
+	if len(ts) == 0 {
+		return nil
+	}
+	m := make(map[Target]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+// Injector is the compiled, deterministic pim.Injector form of a Plan.
+type Injector struct {
+	plan      Plan
+	crashes   map[Target]bool
+	stalls    map[Target]bool
+	sendFails map[Target]bool
+}
+
+// Distinct salts keep the crash, stall, and send coin streams independent.
+const (
+	saltCrash uint64 = 0x6372617368c0ffee
+	saltStall uint64 = 0x7374616c6c21a5e1
+	saltSend  uint64 = 0x73656e64fa11ed77
+)
+
+// coin returns a deterministic uniform [0,1) draw for one decision site.
+func coin(seed int64, salt uint64, round int64, mod, attempt int) float64 {
+	h := pim.Mix64(uint64(seed) ^ salt)
+	h = pim.Mix64(h ^ uint64(round))
+	h = pim.Mix64(h ^ uint64(mod)<<32 ^ uint64(attempt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// active reports whether round falls inside the plan's window.
+func (in *Injector) active(round int64) bool {
+	if in.plan.FirstRound > 0 && round < in.plan.FirstRound {
+		return false
+	}
+	if in.plan.LastRound > 0 && round > in.plan.LastRound {
+		return false
+	}
+	return true
+}
+
+// ModuleAction implements pim.Injector.
+func (in *Injector) ModuleAction(round int64, mod, attempt int) pim.Action {
+	if !in.active(round) || attempt >= in.plan.MaxRefires {
+		return pim.Action{}
+	}
+	site := Target{Round: round, Module: mod}
+	if in.crashes[site] || (in.plan.CrashProb > 0 && coin(in.plan.Seed, saltCrash, round, mod, attempt) < in.plan.CrashProb) {
+		return pim.Action{Crash: true}
+	}
+	if in.stalls[site] || (in.plan.StallProb > 0 && coin(in.plan.Seed, saltStall, round, mod, attempt) < in.plan.StallProb) {
+		return pim.Action{Stall: in.plan.StallDelay}
+	}
+	return pim.Action{}
+}
+
+// SendOK implements pim.Injector: only a transfer's first try can fail, so
+// every injected send failure is transient by construction.
+func (in *Injector) SendOK(round int64, mod, attempt int) bool {
+	if attempt > 0 || !in.active(round) {
+		return true
+	}
+	if in.sendFails[Target{Round: round, Module: mod}] {
+		return false
+	}
+	return in.plan.SendFailProb <= 0 || coin(in.plan.Seed, saltSend, round, mod, 0) >= in.plan.SendFailProb
+}

@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/serve"
+	"pimkd/internal/trace"
+	"pimkd/internal/workload"
+)
+
+// TestChaosSoak drives the full serving stack — concurrent inserts,
+// deletes, and kNN through serve.Service — under a seeded chaos plan with
+// the supervisor recovering every fault, and then checks that nothing was
+// lost: the surviving ID set is exactly built ∪ inserted − deleted, the
+// tree invariants hold, and the per-round trace still sums exactly to the
+// machine's meters (no round went missing or was double-counted during
+// recovery). Run under -race; skipped in -short (the CI PR lane); the
+// weekly chaos-soak lane runs it long.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	const (
+		dim, p    = 2, 32
+		nBuilt    = 4096
+		inserters = 4
+		insEach   = 150
+		deleters  = 2
+		delEach   = 150
+		queriers  = 3
+		qEach     = 200
+	)
+
+	mach := pim.NewMachine(p, 1<<20)
+	// Attach the tracer before Build so conservation can be checked against
+	// the machine's lifetime totals, recovery rounds included.
+	tracer := trace.New(trace.DefaultCapacity)
+	mach.SetObserver(tracer)
+	defer mach.SetObserver(nil)
+
+	tree := core.New(core.Config{Dim: dim, Seed: 401}, mach)
+	pts := workload.Uniform(nBuilt, dim, 403)
+	items := make([]core.Item, nBuilt)
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+
+	// Arm chaos after the build. The plan is fully recoverable by
+	// construction: MaxRefires 1 (every site faults at most once, so the
+	// supervisor's retry always succeeds), stalls stay under the (absent)
+	// deadline and only sleep, and injected send failures are transient.
+	// That means no operation is ever abandoned mid-round — the property
+	// that keeps the trace conservation check exact.
+	plan := Plan{
+		Seed:         409,
+		CrashProb:    0.002,
+		StallProb:    0.004,
+		StallDelay:   20 * time.Microsecond,
+		SendFailProb: 0.01,
+		FirstRound:   mach.RoundSeq() + 1,
+	}
+	mach.SetInjector(plan.Injector())
+	defer mach.SetInjector(nil)
+	sup := NewSupervisor(SupervisorConfig{BaseBackoff: time.Microsecond, MaxBackoff: 50 * time.Microsecond}, mach, tree)
+	sup.Attach()
+	defer sup.Detach()
+
+	svc := serve.New(serve.Config{MaxBatch: 32, MaxLinger: 200 * time.Microsecond, Seed: 419}, tree)
+
+	// Disjoint ID territories make the expected final set computable
+	// without any cross-worker coordination: inserter w owns new IDs
+	// 1_000_000 + w*insEach + j; deleter w removes built IDs
+	// [w*delEach, (w+1)*delEach).
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, inserters+deleters+queriers)
+
+	insPts := make([][]geom.Point, inserters)
+	for w := 0; w < inserters; w++ {
+		insPts[w] = workload.Uniform(insEach, dim, 431+int64(w))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < insEach; j++ {
+				id := int32(1_000_000 + w*insEach + j)
+				if _, err := svc.Insert(ctx, core.Item{P: insPts[w][j], ID: id}); err != nil {
+					errs <- fmt.Errorf("inserter %d op %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < deleters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < delEach; j++ {
+				id := w*delEach + j
+				if _, err := svc.Delete(ctx, core.Item{P: pts[id], ID: int32(id)}); err != nil {
+					errs <- fmt.Errorf("deleter %d op %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < queriers; w++ {
+		qs := workload.Hotspot(qEach, dim, 1e-2, 443+int64(w))
+		wg.Add(1)
+		go func(w int, qs []geom.Point) {
+			defer wg.Done()
+			for j, q := range qs {
+				var err error
+				if j%2 == 0 {
+					_, _, err = svc.KNN(ctx, q, 3)
+				} else {
+					_, _, err = svc.Lookup(ctx, q)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("querier %d op %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w, qs)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesce injection for the verification sweep so the bookkeeping
+	// below measures the soak, not fresh chaos.
+	mach.SetInjector(nil)
+
+	// No lost updates: the surviving IDs are exactly built ∪ inserted −
+	// deleted.
+	want := map[int32]bool{}
+	for i := deleters * delEach; i < nBuilt; i++ {
+		want[int32(i)] = true
+	}
+	for w := 0; w < inserters; w++ {
+		for j := 0; j < insEach; j++ {
+			want[int32(1_000_000+w*insEach+j)] = true
+		}
+	}
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = -1, 2
+	}
+	surviving := tree.RangeReport([]geom.Box{geom.NewBox(lo, hi)})[0]
+	if len(surviving) != len(want) {
+		t.Fatalf("tree holds %d items, want %d", len(surviving), len(want))
+	}
+	for _, it := range surviving {
+		if !want[it.ID] {
+			t.Fatalf("unexpected survivor ID %d", it.ID)
+		}
+		delete(want, it.ID)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d updates lost (e.g. missing IDs %v...)", len(want), firstFew(want, 5))
+	}
+
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after soak: %v", err)
+	}
+
+	// Exact conservation: every round the machine metered — recovery
+	// rounds included — was observed by the tracer exactly once.
+	if err := tracer.Totals().CheckConservation(mach.Stats()); err != nil {
+		t.Fatalf("trace conservation after soak: %v", err)
+	}
+
+	st := sup.Stats()
+	if st.Crashes == 0 {
+		t.Fatalf("chaos plan injected no crashes (stats %+v); raise CrashProb", st)
+	}
+	if st.GaveUp != 0 {
+		t.Fatalf("supervisor gave up %d times under a fully recoverable plan", st.GaveUp)
+	}
+	if st.Recoveries != st.Crashes+st.Stalls {
+		t.Fatalf("recoveries=%d, want crashes+stalls=%d", st.Recoveries, st.Crashes+st.Stalls)
+	}
+	rec := trace.SumByPrefix(tracer.Records(), "fault/")
+	if rec.Comm == 0 || rec.Comm != st.RecoveryCost.Communication {
+		t.Fatalf("trace fault/ comm %d != supervisor recovery comm %d", rec.Comm, st.RecoveryCost.Communication)
+	}
+	t.Logf("soak: %d crashes, %d stalls, %d recoveries, %d send retries, recovery comm %d words (%d trace rounds)",
+		st.Crashes, st.Stalls, st.Recoveries, mach.SendRetries(), st.RecoveryCost.Communication, rec.Rounds)
+}
+
+func firstFew(m map[int32]bool, k int) []int32 {
+	out := make([]int32, 0, k)
+	for id := range m {
+		out = append(out, id)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func buildTree(t *testing.T, n, p int, seed int64) (*core.Tree, *pim.Machine) {
+	t.Helper()
+	mach := pim.NewMachine(p, 1<<20)
+	tree := core.New(core.Config{Dim: 2, Seed: seed}, mach)
+	pts := workload.Uniform(n, 2, seed)
+	items := make([]core.Item, n)
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	return tree, mach
+}
+
+func TestPlanDeterministicSchedule(t *testing.T) {
+	plan := Plan{Seed: 42, CrashProb: 0.05, StallProb: 0.1, SendFailProb: 0.2, MaxRefires: 2}
+	a, b := plan.Injector(), plan.Injector()
+	for round := int64(1); round <= 50; round++ {
+		for mod := 0; mod < 8; mod++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				if a.ModuleAction(round, mod, attempt) != b.ModuleAction(round, mod, attempt) {
+					t.Fatalf("ModuleAction diverged at (%d,%d,%d)", round, mod, attempt)
+				}
+				if a.SendOK(round, mod, attempt) != b.SendOK(round, mod, attempt) {
+					t.Fatalf("SendOK diverged at (%d,%d,%d)", round, mod, attempt)
+				}
+			}
+		}
+	}
+	// The rates actually fire somewhere in the sweep.
+	var crashes, stalls, sendFails int
+	for round := int64(1); round <= 50; round++ {
+		for mod := 0; mod < 8; mod++ {
+			act := a.ModuleAction(round, mod, 0)
+			if act.Crash {
+				crashes++
+			}
+			if act.Stall > 0 {
+				stalls++
+			}
+			if !a.SendOK(round, mod, 0) {
+				sendFails++
+			}
+		}
+	}
+	if crashes == 0 || stalls == 0 || sendFails == 0 {
+		t.Fatalf("rates never fired: crashes=%d stalls=%d sendFails=%d", crashes, stalls, sendFails)
+	}
+	// MaxRefires bounds refires; beyond it the site is clean.
+	if act := a.ModuleAction(1, 0, 2); act.Crash || act.Stall > 0 {
+		t.Fatalf("attempt >= MaxRefires still faulted: %+v", act)
+	}
+	// A different seed produces a different schedule.
+	other := Plan{Seed: 43, CrashProb: 0.05, StallProb: 0.1, SendFailProb: 0.2, MaxRefires: 2}.Injector()
+	diverged := false
+	for round := int64(1); round <= 50 && !diverged; round++ {
+		for mod := 0; mod < 8; mod++ {
+			if a.ModuleAction(round, mod, 0) != other.ModuleAction(round, mod, 0) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestPlanWindowAndTargets(t *testing.T) {
+	in := Plan{
+		Seed:       1,
+		FirstRound: 10,
+		LastRound:  20,
+		Crashes:    []Target{{Round: 15, Module: 3}},
+		Stalls:     []Target{{Round: 16, Module: 1}},
+		SendFails:  []Target{{Round: 17, Module: 0}},
+	}.Injector()
+	if !in.ModuleAction(15, 3, 0).Crash {
+		t.Fatal("explicit crash target did not fire")
+	}
+	if in.ModuleAction(15, 3, 1).Crash {
+		t.Fatal("crash re-fired beyond MaxRefires")
+	}
+	if in.ModuleAction(16, 1, 0).Stall <= 0 {
+		t.Fatal("explicit stall target did not fire")
+	}
+	if in.SendOK(17, 0, 0) {
+		t.Fatal("explicit send-fail target did not fire")
+	}
+	if !in.SendOK(17, 0, 1) {
+		t.Fatal("send retry must succeed")
+	}
+	// Outside the window nothing fires, even explicit targets.
+	out := Plan{
+		Seed:       1,
+		FirstRound: 10,
+		LastRound:  20,
+		Crashes:    []Target{{Round: 5, Module: 3}},
+	}.Injector()
+	if out.ModuleAction(5, 3, 0).Crash {
+		t.Fatal("target outside window fired")
+	}
+}
+
+// TestSupervisorRecoversCrashEndToEnd is the tentpole integration test:
+// build a tree, install a plan that crashes a module during the query
+// phase, attach a supervisor rebuilding through core.Tree.RecoverModule,
+// and check the faulted run returns byte-identical results to a
+// fault-free run, with the recovery metered and recorded.
+func TestSupervisorRecoversCrashEndToEnd(t *testing.T) {
+	const n, p, k = 2048, 16, 4
+	tree, mach := buildTree(t, n, p, 5)
+	ref, _ := buildTree(t, n, p, 5)
+	qs := workload.Hotspot(200, 2, 1e-3, 9)
+	want := ref.KNN(qs, k)
+
+	base := mach.RoundSeq()
+	// A stall shorter than the round deadline is just a sleep; to exercise
+	// the supervisor's stall path the injected delay must blow the deadline,
+	// which escalates deterministically (without sleeping).
+	mach.SetRoundDeadline(250 * time.Millisecond)
+	defer mach.SetRoundDeadline(0)
+	plan := Plan{
+		Seed:       77,
+		Crashes:    []Target{{Round: base + 1, Module: 2}},
+		Stalls:     []Target{{Round: base + 1, Module: 4}},
+		StallDelay: time.Hour,
+	}
+	mach.SetInjector(plan.Injector())
+	defer mach.SetInjector(nil)
+
+	sup := NewSupervisor(SupervisorConfig{BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond}, mach, tree)
+	sup.Attach()
+	defer sup.Detach()
+
+	pre := mach.Stats()
+	res := tree.KNN(qs, k)
+	cost := mach.Stats().Sub(pre)
+
+	if len(res) != len(want) {
+		t.Fatalf("result count %d != %d", len(res), len(want))
+	}
+	for i := range res {
+		if len(res[i]) != len(want[i]) {
+			t.Fatalf("query %d: %d vs %d results", i, len(res[i]), len(want[i]))
+		}
+		for j := range res[i] {
+			if res[i][j] != want[i][j] {
+				t.Fatalf("query %d result %d differs: %+v vs %+v", i, j, res[i][j], want[i][j])
+			}
+		}
+	}
+
+	st := sup.Stats()
+	if st.Crashes == 0 || st.Stalls == 0 {
+		t.Fatalf("supervisor saw crashes=%d stalls=%d, want both > 0", st.Crashes, st.Stalls)
+	}
+	if st.Recoveries != st.Crashes+st.Stalls {
+		t.Fatalf("recoveries=%d, want %d (all faults recovered)", st.Recoveries, st.Crashes+st.Stalls)
+	}
+	if st.GaveUp != 0 {
+		t.Fatalf("gaveUp=%d, want 0", st.GaveUp)
+	}
+	if st.RebuiltNodes == 0 || st.RebuiltPoints == 0 {
+		t.Fatalf("rebuild shipped nothing: %+v", st)
+	}
+	if st.RecoveryCost.Communication == 0 || st.RecoveryCost.Rounds == 0 {
+		t.Fatalf("recovery cost not metered: %+v", st.RecoveryCost)
+	}
+	// The faulted run's total cost includes the recovery cost on top of
+	// normal query cost.
+	if cost.Communication <= st.RecoveryCost.Communication {
+		t.Fatalf("run comm %d not greater than recovery comm %d", cost.Communication, st.RecoveryCost.Communication)
+	}
+	evs := sup.Events()
+	if len(evs) != int(st.Recoveries) {
+		t.Fatalf("events=%d, want %d", len(evs), st.Recoveries)
+	}
+	for _, ev := range evs {
+		if !ev.Recovered {
+			t.Fatalf("unrecovered event: %+v", ev)
+		}
+		if ev.Kind == pim.FaultCrash.String() && ev.Cost.Communication == 0 {
+			t.Fatalf("crash event with unmetered rebuild: %+v", ev)
+		}
+	}
+}
+
+// TestSupervisorDeterministicRecovery: two identical faulted runs produce
+// identical machine stats and identical supervisor accounting.
+func TestSupervisorDeterministicRecovery(t *testing.T) {
+	run := func() (pim.Stats, Stats) {
+		tree, mach := buildTree(t, 1024, 8, 3)
+		base := mach.RoundSeq()
+		plan := Plan{Seed: 11, Crashes: []Target{{Round: base + 1, Module: 1}}}
+		mach.SetInjector(plan.Injector())
+		sup := NewSupervisor(SupervisorConfig{BaseBackoff: time.Microsecond}, mach, tree)
+		sup.Attach()
+		qs := workload.Uniform(64, 2, 13)
+		pre := mach.Stats()
+		tree.KNN(qs, 3)
+		return mach.Stats().Sub(pre), sup.Stats()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 {
+		t.Fatalf("machine stats diverged across identical faulted runs:\n%+v\n%+v", s1, s2)
+	}
+	if f1 != f2 {
+		t.Fatalf("supervisor stats diverged:\n%+v\n%+v", f1, f2)
+	}
+}
+
+// TestSupervisorGivesUp: when the plan re-fires a crash more times than
+// the supervisor will retry, the fault escalates and Do returns it as a
+// typed error instead of panicking.
+func TestSupervisorGivesUp(t *testing.T) {
+	tree, mach := buildTree(t, 512, 8, 1)
+	base := mach.RoundSeq()
+	plan := Plan{
+		Seed:       2,
+		Crashes:    []Target{{Round: base + 1, Module: 0}},
+		MaxRefires: 10, // out-refires the supervisor's 2 retries
+	}
+	mach.SetInjector(plan.Injector())
+	defer mach.SetInjector(nil)
+	sup := NewSupervisor(SupervisorConfig{MaxRetries: 2, BaseBackoff: time.Microsecond}, mach, tree)
+	sup.Attach()
+	defer sup.Detach()
+
+	qs := workload.Uniform(32, 2, 4)
+	err := sup.Do(func() error {
+		tree.KNN(qs, 2)
+		return nil
+	})
+	var mf *pim.ModuleFault
+	if !errors.As(err, &mf) {
+		t.Fatalf("Do returned %v, want *pim.ModuleFault", err)
+	}
+	if mf.Kind != pim.FaultCrash || mf.Module != 0 || !mf.Injected {
+		t.Fatalf("wrong escalated fault: %+v", mf)
+	}
+	if mf.Attempt != 2 {
+		t.Fatalf("escalated at attempt %d, want 2 (MaxRetries)", mf.Attempt)
+	}
+	st := sup.Stats()
+	if st.GaveUp != 1 {
+		t.Fatalf("gaveUp=%d, want 1", st.GaveUp)
+	}
+	if st.Recoveries != 2 {
+		t.Fatalf("recoveries=%d, want 2 before giving up", st.Recoveries)
+	}
+}
+
+// TestSupervisorDoPassesThroughErrors: ordinary errors and nil results
+// flow through Do untouched.
+func TestSupervisorDoPassesThroughErrors(t *testing.T) {
+	_, mach := buildTree(t, 128, 4, 1)
+	sup := NewSupervisor(SupervisorConfig{}, mach, nil)
+	if err := sup.Do(func() error { return nil }); err != nil {
+		t.Fatalf("Do(nil op) = %v", err)
+	}
+	want := errors.New("boom")
+	if err := sup.Do(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do passthrough = %v, want %v", err, want)
+	}
+}

@@ -21,6 +21,7 @@ package pim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -191,6 +192,18 @@ type Machine struct {
 	// observed round's label.
 	labelMu sync.Mutex
 	labels  []string
+
+	// Fault-model state (see fault.go). inj perturbs rounds, rec resolves
+	// contained faults, deadline bounds a round's wall time, seq numbers
+	// rounds for deterministic fault targeting, and recDepth suppresses
+	// injection inside recovery.
+	inj             atomic.Pointer[injHolder]
+	rec             atomic.Pointer[recHolder]
+	deadline        atomic.Int64
+	seq             atomic.Int64
+	recDepth        atomic.Int32
+	containedFaults atomic.Int64
+	sendRetries     atomic.Int64
 }
 
 // NewMachine creates a machine with p PIM modules and a CPU cache of cacheM
@@ -357,12 +370,23 @@ type Round struct {
 	modComm  []atomic.Int64
 	finished bool
 
-	// Observation state, populated only when the machine has an observer.
+	// seq is the round's machine-wide sequence number; inj is the fault
+	// injector captured at BeginRound (nil when injection is disabled or
+	// the round belongs to a recovery handler).
+	seq int64
+	inj Injector
+
+	// Observation state; obs/start/label are populated only when the
+	// machine has an observer, cpuW/cpuS always (Metered needs them).
 	obs   Observer
 	start time.Time
 	label string
 	cpuW  atomic.Int64
 	cpuS  atomic.Int64
+
+	// metered is this round's exact contribution to the machine meters,
+	// filled by Finish (see Metered).
+	metered Stats
 }
 
 // BeginRound starts a BSP round.
@@ -371,6 +395,12 @@ func (m *Machine) BeginRound() *Round {
 		m:       m,
 		modWork: make([]atomic.Int64, m.p),
 		modComm: make([]atomic.Int64, m.p),
+		seq:     m.seq.Add(1),
+	}
+	if m.recDepth.Load() == 0 {
+		if h := m.inj.Load(); h != nil {
+			r.inj = h.inj
+		}
 	}
 	if h := m.obs.Load(); h != nil {
 		r.obs = h.obs
@@ -378,6 +408,9 @@ func (m *Machine) BeginRound() *Round {
 	}
 	return r
 }
+
+// Seq returns the round's machine-wide sequence number.
+func (r *Round) Seq() int64 { return r.seq }
 
 // Label names this round for the observer (e.g. "core/search:wave"). The
 // machine's PushLabel scopes are prefixed onto it at Finish. A no-op on
@@ -392,25 +425,37 @@ func (r *Round) Label(s string) {
 // CPUWork logs n units of CPU computation in this round.
 func (r *Round) CPUWork(n int64) {
 	r.m.cpuWork.Add(n)
-	if r.obs != nil {
-		r.cpuW.Add(n)
-	}
+	r.cpuW.Add(n)
 }
 
 // CPUSpan logs n units of CPU critical-path length in this round.
 func (r *Round) CPUSpan(n int64) {
 	r.m.cpuSpan.Add(n)
-	if r.obs != nil {
-		r.cpuS.Add(n)
-	}
+	r.cpuS.Add(n)
 }
 
 // Transfer logs the movement of words of data between the CPU and module
 // mod (either direction — the model charges the off-chip channel the same
 // way for reads and writes). It is safe to call concurrently.
+//
+// Under fault injection a send may fail transiently: each failed try meters
+// its words again (the failed send occupied the off-chip channel) and the
+// transfer is retried; a failure persisting past maxSendAttempts escalates
+// to a contained FaultSend module fault.
 func (r *Round) Transfer(mod int, words int64) {
 	if words == 0 {
 		return
+	}
+	if r.inj != nil {
+		for attempt := 0; !r.inj.SendOK(r.seq, mod, attempt); attempt++ {
+			r.m.comm.Add(words)
+			r.modComm[mod].Add(words)
+			r.m.moduleComm[mod].Add(words)
+			r.m.sendRetries.Add(1)
+			if attempt+1 >= maxSendAttempts {
+				panic(&ModuleFault{Kind: FaultSend, Module: mod, Round: r.seq, Attempt: attempt, Injected: true})
+			}
+		}
 	}
 	r.m.comm.Add(words)
 	r.modComm[mod].Add(words)
@@ -455,29 +500,123 @@ func (c *ModuleCtx) Transfer(words int64) { c.r.Transfer(c.mod, words) }
 // OnModules runs fn concurrently on every module (one goroutine each) and
 // waits for all of them. fn must touch only module-local state for its own
 // module id plus read-only shared inputs.
+//
+// Module programs run with fault containment: a panicking program never
+// kills the process — the first unresolved fault of the round is re-raised
+// as a typed *ModuleFault (or *RoundTimeout) panic on the goroutine calling
+// OnModules, where the supervisor or the serving layer can recover it.
+// Injected crashes and stalls are first offered to the machine's recovery
+// handler, which may rebuild the module's shard and retry the program in
+// place (detect → rebuild → retry).
 func (r *Round) OnModules(fn func(ctx *ModuleCtx)) {
-	var wg sync.WaitGroup
-	wg.Add(r.m.p)
-	for i := 0; i < r.m.p; i++ {
-		go func(i int) {
-			defer wg.Done()
-			fn(&ModuleCtx{r: r, mod: i})
-		}(i)
+	mods := make([]int, r.m.p)
+	for i := range mods {
+		mods[i] = i
 	}
-	wg.Wait()
+	r.runModules(mods, fn)
 }
 
-// OnModuleSubset runs fn concurrently on the given module ids only.
+// OnModuleSubset runs fn concurrently on the given module ids only, with
+// the same fault containment as OnModules.
 func (r *Round) OnModuleSubset(mods []int, fn func(ctx *ModuleCtx)) {
+	r.runModules(mods, fn)
+}
+
+// runModules is the shared fault-containing executor behind OnModules and
+// OnModuleSubset.
+func (r *Round) runModules(mods []int, fn func(ctx *ModuleCtx)) {
+	if len(mods) == 0 {
+		return
+	}
+	faults := make([]*ModuleFault, len(mods))
+	pending := make([]atomic.Bool, len(mods))
 	var wg sync.WaitGroup
 	wg.Add(len(mods))
-	for _, i := range mods {
-		go func(i int) {
+	for idx, mod := range mods {
+		pending[idx].Store(true)
+		go func(idx, mod int) {
 			defer wg.Done()
-			fn(&ModuleCtx{r: r, mod: i})
-		}(i)
+			defer pending[idx].Store(false)
+			defer func() {
+				if p := recover(); p != nil {
+					if f, ok := p.(*ModuleFault); ok {
+						faults[idx] = f
+						return
+					}
+					faults[idx] = &ModuleFault{
+						Kind: FaultPanic, Module: mod, Round: r.seq,
+						Reason: p, Stack: debug.Stack(),
+					}
+				}
+			}()
+			faults[idx] = r.runModule(mod, fn)
+		}(idx, mod)
 	}
-	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if d := time.Duration(r.m.deadline.Load()); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			var stragglers []int
+			for idx, mod := range mods {
+				if pending[idx].Load() {
+					stragglers = append(stragglers, mod)
+				}
+			}
+			if len(stragglers) > 0 {
+				r.m.containedFaults.Add(1)
+				panic(&RoundTimeout{Round: r.seq, Deadline: d, Stragglers: stragglers})
+			}
+			// Raced with completion: every program actually finished.
+			<-done
+		}
+	} else {
+		<-done
+	}
+
+	for _, f := range faults {
+		if f != nil {
+			r.m.containedFaults.Add(1)
+			panic(f)
+		}
+	}
+}
+
+// runModule executes fn for one module, applying injected faults. Injected
+// crashes and deadline-meeting stalls are offered to the recovery handler;
+// when it resolves them (true), the program is retried — the faulted
+// attempt never ran, so retried metering stays deterministic. Unresolved
+// faults are returned for runModules to escalate; real panics from fn
+// propagate to the goroutine-level recover in runModules.
+func (r *Round) runModule(mod int, fn func(ctx *ModuleCtx)) *ModuleFault {
+	for attempt := 0; ; attempt++ {
+		if r.inj != nil {
+			act := r.inj.ModuleAction(r.seq, mod, attempt)
+			if act.Crash {
+				mf := &ModuleFault{Kind: FaultCrash, Module: mod, Round: r.seq, Attempt: attempt, Injected: true}
+				if r.m.handleFault(mf) {
+					continue
+				}
+				return mf
+			}
+			if act.Stall > 0 {
+				if d := time.Duration(r.m.deadline.Load()); d > 0 && act.Stall >= d {
+					mf := &ModuleFault{Kind: FaultStall, Module: mod, Round: r.seq, Attempt: attempt, Injected: true}
+					if r.m.handleFault(mf) {
+						continue
+					}
+					return mf
+				}
+				time.Sleep(act.Stall)
+			}
+		}
+		fn(&ModuleCtx{r: r, mod: mod})
+		return nil
+	}
 }
 
 // Finish closes the round: PIM time gains the max per-module work of the
@@ -491,9 +630,11 @@ func (r *Round) Finish() {
 		return
 	}
 	r.finished = true
-	var maxW, maxC, totalC int64
+	var maxW, maxC, totalW, totalC int64
 	for i := 0; i < r.m.p; i++ {
-		if w := r.modWork[i].Load(); w > maxW {
+		w := r.modWork[i].Load()
+		totalW += w
+		if w > maxW {
 			maxW = w
 		}
 		c := r.modComm[i].Load()
@@ -509,10 +650,25 @@ func (r *Round) Finish() {
 		extra = totalC / int64(r.m.cacheM)
 	}
 	r.m.rounds.Add(1 + extra)
+	r.metered = Stats{
+		CPUWork:       r.cpuW.Load(),
+		CPUSpan:       r.cpuS.Load(),
+		PIMWork:       totalW,
+		PIMTime:       maxW,
+		Communication: totalC,
+		CommTime:      maxC,
+		Rounds:        1 + extra,
+	}
 	if r.obs != nil {
 		r.emit(1 + extra)
 	}
 }
+
+// Metered returns exactly what this round contributed to the machine's
+// meters, valid after Finish. Unlike bracketing Machine.Stats() around the
+// round, it is immune to concurrent metering by other rounds — the recovery
+// protocol uses it to attribute rebuild cost exactly.
+func (r *Round) Metered() Stats { return r.metered }
 
 // emit builds the round's RoundRecord and delivers it to the observer. Only
 // called on observed rounds, after the meters are folded into the machine.

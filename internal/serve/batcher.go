@@ -10,6 +10,16 @@ import (
 // reply. The token is released by the executor when the reply is delivered,
 // bounding admitted-but-unreplied requests at MaxPending.
 func (s *Service) submit(ctx context.Context, req *request) (reply, error) {
+	// Load shedding: above the high-water mark, fail fast instead of
+	// queueing — a saturated service that keeps admitting work only grows
+	// its tail latency. The check is advisory (len on a channel races with
+	// concurrent admits), which is fine: shedding is a pressure valve, not
+	// an exact capacity proof.
+	if hw := s.cfg.ShedHighWater; hw > 0 && len(s.tokens) >= hw {
+		s.metrics.shed()
+		return reply{}, ErrOverloaded
+	}
+
 	// Admission with backpressure.
 	select {
 	case s.tokens <- struct{}{}:
@@ -20,6 +30,7 @@ func (s *Service) submit(ctx context.Context, req *request) (reply, error) {
 	}
 
 	req.enq = time.Now()
+	req.ctx = ctx
 	req.done = make(chan reply, 1)
 
 	s.mu.Lock()
@@ -46,14 +57,47 @@ func (s *Service) submit(ctx context.Context, req *request) (reply, error) {
 	}
 	s.mu.Unlock()
 
-	// The request is committed: it will be executed and replied to exactly
-	// once even if the caller gives up waiting.
+	// Wait for the reply. A caller whose context ends while its batch is
+	// still forming withdraws the request and releases the admission slot
+	// immediately; once the batch is sealed the executor owns the request
+	// and will release the slot when it replies (into the buffered done
+	// channel, so nothing blocks on the departed caller).
 	select {
 	case rep := <-req.done:
 		return rep, rep.err
 	case <-ctx.Done():
+		if s.abandon(key, req) {
+			<-s.tokens
+		}
 		return reply{}, ctx.Err()
 	}
+}
+
+// abandon withdraws req from its still-forming batch. It returns false when
+// the batch was already sealed (or the request already executed), in which
+// case the executor remains responsible for the admission token.
+func (s *Service) abandon(key batchKey, req *request) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.pending[key]
+	if q == nil {
+		return false
+	}
+	for i, r := range q.reqs {
+		if r != req {
+			continue
+		}
+		q.reqs = append(q.reqs[:i], q.reqs[i+1:]...)
+		if len(q.reqs) == 0 {
+			if q.timer != nil {
+				q.timer.Stop()
+			}
+			delete(s.pending, key)
+		}
+		s.metrics.canceled()
+		return true
+	}
+	return false
 }
 
 // sealOnLinger is the MaxLinger deadline callback for one forming batch.

@@ -67,6 +67,26 @@ type Config struct {
 	// analysis report is exposed on /tracez (JSON, or raw Perfetto with
 	// ?format=perfetto). 0 disables tracing (no per-round overhead).
 	TraceCapacity int
+
+	// ShedHighWater, when > 0, turns on load shedding: a submission that
+	// arrives while at least this many of the MaxPending admission slots
+	// are held is rejected immediately with ErrOverloaded (HTTP 503 +
+	// Retry-After) instead of blocking. 0 (the default) disables shedding,
+	// leaving pure blocking backpressure.
+	ShedHighWater int
+	// ShedRetryAfter is the Retry-After hint attached to shed responses.
+	// Default 1s.
+	ShedRetryAfter time.Duration
+	// RetryTransient is how many times a read-only batch that fails with a
+	// transient machine fault (ErrFault: a contained module crash the
+	// supervisor gave up on, or a round timeout) is re-executed before the
+	// error is fanned out to its callers. Write batches are never retried —
+	// a fault may have left a partial mutation, and blind re-execution
+	// could double-apply it. Default 2; -1 disables retries.
+	RetryTransient int
+	// RetryBackoff is the wall-clock delay before the first batch retry; it
+	// doubles per attempt. Never metered. Default 500µs.
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +101,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
+	switch {
+	case c.RetryTransient == 0:
+		c.RetryTransient = 2
+	case c.RetryTransient < 0:
+		c.RetryTransient = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Microsecond
 	}
 	return c
 }

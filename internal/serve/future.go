@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"time"
 
 	"pimkd/internal/core"
@@ -101,6 +102,11 @@ type request struct {
 	box  geom.Box   // range
 	item core.Item  // insert, delete
 	enq  time.Time
+
+	// ctx is the submitter's context. The executor consults it when the
+	// batch comes up for execution and drops requests whose callers have
+	// already gone away instead of paying machine work for them.
+	ctx context.Context
 
 	// done receives exactly one reply; it is buffered so the executor
 	// never blocks on a caller that abandoned its context.

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
@@ -87,7 +89,7 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		items, info, err := s.Lookup(r.Context(), p)
-		if !okReply(w, err) {
+		if !s.okReply(w, err) {
 			return
 		}
 		writeJSON(w, struct {
@@ -110,7 +112,7 @@ func NewHandler(s *Service) http.Handler {
 			}
 		}
 		neighbors, info, err := s.KNN(r.Context(), p, k)
-		if !okReply(w, err) {
+		if !s.okReply(w, err) {
 			return
 		}
 		writeJSON(w, struct {
@@ -139,7 +141,7 @@ func NewHandler(s *Service) http.Handler {
 			}
 		}
 		items, info, err := s.Range(r.Context(), geom.NewBox(lo, hi))
-		if !okReply(w, err) {
+		if !s.okReply(w, err) {
 			return
 		}
 		writeJSON(w, struct {
@@ -171,7 +173,7 @@ func NewHandler(s *Service) http.Handler {
 				}
 			}
 			info, err := op(r, it)
-			if !okReply(w, err) {
+			if !s.okReply(w, err) {
 				return
 			}
 			writeJSON(w, struct {
@@ -211,13 +213,28 @@ func pointParam(w http.ResponseWriter, r *http.Request, name string) (geom.Point
 }
 
 // okReply maps service errors to HTTP statuses; returns false when a status
-// was already written.
-func okReply(w http.ResponseWriter, err error) bool {
+// was already written. Robustness mapping: shed and drained requests get
+// 503 (with Retry-After on sheds — the client should come back), transient
+// faults that out-lived the retry policy get 503 (retryable), a batch-worker
+// panic gets 500 (a bug, not load), and a request whose own deadline or
+// connection expired gets 504.
+func (s *Service) okReply(w http.ResponseWriter, err error) bool {
 	switch {
 	case err == nil:
 		return true
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrOverloaded):
+		secs := int(s.cfg.ShedRetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrFault):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrBatchPanic):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}

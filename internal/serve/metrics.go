@@ -24,6 +24,13 @@ type metrics struct {
 	totalRequests int64
 	totalBatches  int64
 
+	// Robustness counters (see Robustness).
+	sheds         int64
+	canceledReqs  int64
+	batchRetries  int64
+	batchFaults   int64
+	batchPanics   int64
+
 	// sample is a uniform reservoir over all batch records, seeded by
 	// Config.Seed so a replayed trace exposes an identical sample.
 	sample []BatchRecord
@@ -47,6 +54,29 @@ type kindAgg struct {
 func newMetrics(rng *rand.Rand) *metrics {
 	return &metrics{rng: rng, perKind: map[string]*kindAgg{}}
 }
+
+func (m *metrics) bump(f func(*metrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
+// shed counts a submission rejected at the ShedHighWater mark.
+func (m *metrics) shed() { m.bump(func(m *metrics) { m.sheds++ }) }
+
+// canceled counts a request whose caller's context ended before execution
+// (withdrawn from a forming batch, or pruned by the executor).
+func (m *metrics) canceled() { m.bump(func(m *metrics) { m.canceledReqs++ }) }
+
+// batchRetried counts one re-execution of a read batch after a transient
+// fault.
+func (m *metrics) batchRetried() { m.bump(func(m *metrics) { m.batchRetries++ }) }
+
+// batchFaulted counts a batch execution ended by a contained machine fault.
+func (m *metrics) batchFaulted() { m.bump(func(m *metrics) { m.batchFaults++ }) }
+
+// batchPanicked counts a batch execution ended by a non-fault panic.
+func (m *metrics) batchPanicked() { m.bump(func(m *metrics) { m.batchPanics++ }) }
 
 func (m *metrics) record(rec BatchRecord) {
 	m.mu.Lock()
@@ -116,6 +146,22 @@ type KindStats struct {
 	MeanCommBalance float64 `json:"mean_comm_balance"`
 }
 
+// Robustness is the fault-handling slice of the /statsz payload.
+type Robustness struct {
+	// Sheds counts submissions rejected above ShedHighWater (503s).
+	Sheds int64 `json:"sheds"`
+	// CanceledRequests counts requests dropped because their caller's
+	// context ended before execution.
+	CanceledRequests int64 `json:"canceled_requests"`
+	// BatchRetries counts read-batch re-executions after transient faults.
+	BatchRetries int64 `json:"batch_retries"`
+	// BatchFaults counts batch executions ended by a contained machine
+	// fault (module crash or round timeout).
+	BatchFaults int64 `json:"batch_faults"`
+	// BatchPanics counts batch executions ended by a non-fault panic.
+	BatchPanics int64 `json:"batch_panics"`
+}
+
 // MetricsSnapshot is the full /statsz payload.
 type MetricsSnapshot struct {
 	MaxBatch           int           `json:"max_batch"`
@@ -126,6 +172,7 @@ type MetricsSnapshot struct {
 	TotalRequests      int64         `json:"total_requests"`
 	TotalBatches       int64         `json:"total_batches"`
 	MeanBatchSize      float64       `json:"mean_batch_size"`
+	Robustness         Robustness    `json:"robustness"`
 	Kinds              []KindStats   `json:"kinds"`
 	Machine            pim.Stats     `json:"machine_totals"`
 	MachineCommBalance float64       `json:"machine_comm_balance"`
@@ -143,6 +190,13 @@ func (m *metrics) snapshot(mach pim.Snapshot, cfg Config) MetricsSnapshot {
 		Epochs:             m.epochs,
 		TotalRequests:      m.totalRequests,
 		TotalBatches:       m.totalBatches,
+		Robustness: Robustness{
+			Sheds:            m.sheds,
+			CanceledRequests: m.canceledReqs,
+			BatchRetries:     m.batchRetries,
+			BatchFaults:      m.batchFaults,
+			BatchPanics:      m.batchPanics,
+		},
 		Machine:            mach.Stats,
 		MachineCommBalance: pim.MaxLoadRatio(mach.ModuleComm),
 		SampledBatches:     append([]BatchRecord(nil), m.sample...),

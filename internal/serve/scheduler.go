@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
+	"time"
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
@@ -45,6 +48,24 @@ func (s *Service) runExecutor() {
 // snapshots for cost attribution, records metrics, and fans the results
 // back to the per-request futures (releasing their admission tokens).
 func (s *Service) execute(b *batch, epoch int64) {
+	// Honor per-request contexts through to execution: callers that gave up
+	// while the batch sat in the queue are answered (ctx error) and their
+	// admission slots released without charging the machine for them.
+	live := b.reqs[:0]
+	for _, req := range b.reqs {
+		if req.ctx != nil && req.ctx.Err() != nil {
+			s.metrics.canceled()
+			req.done <- reply{err: req.ctx.Err()}
+			<-s.tokens
+			continue
+		}
+		live = append(live, req)
+	}
+	b.reqs = live
+	if len(b.reqs) == 0 {
+		return
+	}
+
 	mach := s.tree.Machine()
 	s.batchSeq++
 	// Scope every round this batch triggers under a batch-identifying
@@ -52,7 +73,20 @@ func (s *Service) execute(b *batch, epoch int64) {
 	// stragglers included — to the exact batch that caused it.
 	pop := mach.PushLabel(fmt.Sprintf("serve/%s/batch=%d", b.key.kind, s.batchSeq))
 	pre := mach.SnapshotStats()
-	results, err := s.runBatch(b)
+	results, err := s.runBatchSafe(b)
+	// Transient machine faults on read-only batches are retried with
+	// doubling backoff: reads have no side effects, so re-execution is
+	// always safe. Writes are never retried — an aborted update may have
+	// partially mutated the tree, and replaying it could double-apply.
+	if err != nil && errors.Is(err, ErrFault) && b.key.kind.IsRead() {
+		backoff := s.cfg.RetryBackoff
+		for attempt := 0; attempt < s.cfg.RetryTransient && err != nil && errors.Is(err, ErrFault); attempt++ {
+			time.Sleep(backoff)
+			backoff *= 2
+			s.metrics.batchRetried()
+			results, err = s.runBatchSafe(b)
+		}
+	}
 	delta := mach.SnapshotStats().Sub(pre)
 	pop()
 
@@ -87,6 +121,32 @@ func (s *Service) execute(b *batch, epoch int64) {
 		req.done <- rep // buffered, never blocks
 		<-s.tokens      // release the admission token
 	}
+}
+
+// runBatchSafe runs a batch with panic containment. A typed machine fault
+// (an escalated *pim.ModuleFault or *pim.RoundTimeout) becomes an ErrFault
+// error — transient, and retryable for reads. Any other panic becomes an
+// ErrBatchPanic error carrying the stack. Either way only this batch's
+// requests fail; the executor, the machine, and the service survive.
+func (s *Service) runBatchSafe(b *batch) (results []reply, err error) {
+	defer func() {
+		switch p := recover().(type) {
+		case nil:
+		case *pim.ModuleFault:
+			s.metrics.batchFaulted()
+			results, err = nil, fmt.Errorf("%w: %v", ErrFault, p)
+		case *pim.RoundTimeout:
+			s.metrics.batchFaulted()
+			results, err = nil, fmt.Errorf("%w: %v", ErrFault, p)
+		default:
+			s.metrics.batchPanicked()
+			results, err = nil, fmt.Errorf("%w: %v\n%s", ErrBatchPanic, p, debug.Stack())
+		}
+	}()
+	if s.testHookPreBatch != nil {
+		s.testHookPreBatch(b)
+	}
+	return s.runBatch(b)
 }
 
 // runBatch dispatches a homogeneous batch to the matching core entry point

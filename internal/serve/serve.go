@@ -16,6 +16,21 @@ import (
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: service closed")
 
+// ErrOverloaded is returned when load shedding is enabled
+// (Config.ShedHighWater > 0) and the service is above its high-water mark.
+// The HTTP layer maps it to 503 with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
+// ErrFault wraps a contained machine fault (an escalated module crash or a
+// round timeout) that survived the batch retry policy. Read-only batches
+// are retried Config.RetryTransient times before callers see this.
+var ErrFault = errors.New("serve: machine fault")
+
+// ErrBatchPanic wraps a non-fault panic recovered in the batch worker. The
+// panic fails only the requests of the affected batch; the service and its
+// executor keep running.
+var ErrBatchPanic = errors.New("serve: batch execution panicked")
+
 // Service admits concurrent singleton requests, coalesces them into
 // homogeneous batches, executes the batches against a PIM-kd-tree on its
 // shared pim.Machine, and fans results back to the callers. All exported
@@ -48,6 +63,11 @@ type Service struct {
 	// batchSeq numbers executed batches for round-label attribution; only
 	// the executor goroutine touches it.
 	batchSeq int64
+
+	// testHookPreBatch, when non-nil, runs on the executor goroutine just
+	// before a batch executes, inside the panic-containment scope. Tests use
+	// it to inject batch-worker panics; production code never sets it.
+	testHookPreBatch func(*batch)
 }
 
 // pendingQueue is a forming batch for one key.

@@ -70,6 +70,37 @@ type Report struct {
 	HotModuleComm int
 }
 
+// SumByPrefix aggregates every round whose label starts with prefix — or
+// contains it as a later path segment, since machine-level label scopes
+// (e.g. the serve layer's "serve/knn/batch=N") are prefixed onto nested
+// rounds' own labels — into a single LabelStat. The recovery protocol
+// labels its rebuild rounds "fault/recover/module=N", so
+// SumByPrefix(recs, "fault/") is the total metered price of fault
+// tolerance in a trace window.
+func SumByPrefix(recs []pim.RoundRecord, prefix string) LabelStat {
+	ls := LabelStat{Label: prefix + "*"}
+	for _, rec := range recs {
+		if !matchesPrefix(rec.Label, prefix) {
+			continue
+		}
+		ls.Records++
+		ls.Rounds += rec.Rounds
+		ls.PIMWork += rec.TotalWork
+		ls.PIMTime += rec.MaxWork
+		ls.Comm += rec.TotalComm
+		ls.CommTime += rec.MaxComm
+		ls.CPUWork += rec.CPUWork
+		ls.Wall += rec.Wall
+	}
+	return ls
+}
+
+// matchesPrefix reports whether label starts with prefix or contains it at
+// a path-segment boundary.
+func matchesPrefix(label, prefix string) bool {
+	return strings.HasPrefix(label, prefix) || strings.Contains(label, "/"+prefix)
+}
+
 // Analyze computes the diagnosis report over recs, keeping the topK
 // straggler rounds (by per-round max module work, i.e. by PIM-time
 // contribution).
@@ -222,5 +253,23 @@ func (rep *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "\nhottest module by work: #%d (work=%d, max/mean %.2f); by comm: #%d (comm=%d, max/mean %.2f)\n",
 			rep.HotModuleWork, rep.ModuleWork[rep.HotModuleWork], pim.MaxLoadRatio(rep.ModuleWork),
 			rep.HotModuleComm, rep.ModuleComm[rep.HotModuleComm], pim.MaxLoadRatio(rep.ModuleComm))
+	}
+
+	// Fault-recovery attribution: the supervisor's rebuild rounds carry
+	// "fault/..." labels, so their aggregate is the measured overhead of
+	// fault tolerance within this window.
+	var fault LabelStat
+	for _, ls := range rep.Labels {
+		if matchesPrefix(ls.Label, "fault/") {
+			fault.Records += ls.Records
+			fault.Rounds += ls.Rounds
+			fault.PIMTime += ls.PIMTime
+			fault.CommTime += ls.CommTime
+			fault.Comm += ls.Comm
+		}
+	}
+	if fault.Records > 0 {
+		fmt.Fprintf(w, "\nfault recovery: %d rounds rebuilt crashed shards, comm=%d words — %.1f%% of the critical path\n",
+			fault.Rounds, fault.Comm, 100*fault.Share(tot))
 	}
 }
