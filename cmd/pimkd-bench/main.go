@@ -8,6 +8,8 @@
 //	pimkd-bench -exp leafsearch,skew
 //	pimkd-bench -quick            # shrunken sizes, seconds instead of minutes
 //	pimkd-bench -exp skew -trace out.json   # capture a per-round trace
+//	pimkd-bench -bench-json BENCH_$(date +%F).json   # wall-clock capture
+//	pimkd-bench -exp hostpar -cpuprofile cpu.out     # pprof the hot paths
 //
 // With -trace, every PIM machine the experiments construct reports one
 // record per BSP round to a shared tracer, and the run ends by writing a
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pimkd/internal/bench"
@@ -30,15 +33,18 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		listFlag = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "shrunken problem sizes")
-		traceOut = flag.String("trace", "", "write a Perfetto trace of every BSP round to this file")
-		traceCap = flag.Int("tracecap", trace.DefaultCapacity, "trace ring capacity in rounds (with -trace)")
+		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		listFlag   = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "shrunken problem sizes")
+		traceOut   = flag.String("trace", "", "write a Perfetto trace of every BSP round to this file")
+		traceCap   = flag.Int("tracecap", trace.DefaultCapacity, "trace ring capacity in rounds (with -trace)")
+		benchJSON  = flag.String("bench-json", "", "write per-experiment wall time, allocs, and metered stats as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pimkd-bench [-list] [-quick] [-exp id,id,...] [-trace out.json [-tracecap N]]\n\nflags:\n")
+			"usage: pimkd-bench [-list] [-quick] [-exp id,id,...] [-bench-json out.json] [-trace out.json [-tracecap N]] [-cpuprofile f] [-memprofile f]\n\nflags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\nexperiments:\n")
 		for _, e := range bench.All() {
@@ -63,10 +69,42 @@ func main() {
 	}
 
 	var tracer *trace.Tracer
+	var baseObs pim.Observer
 	if *traceOut != "" {
 		tracer = trace.New(*traceCap)
+		baseObs = tracer
 		pim.SetDefaultObserver(tracer)
 		defer pim.SetDefaultObserver(nil)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	mode := "full"
@@ -75,7 +113,29 @@ func main() {
 	}
 	fmt.Printf("pimkd-bench %s mode (%s %s/%s, GOMAXPROCS=%d) — PIM-Model metrics from the cost-metered simulator\n",
 		mode, runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
-	if err := bench.RunAll(os.Stdout, ids, *quick); err != nil {
+	if *benchJSON != "" {
+		// Collected mode: every experiment path records wall time, allocs,
+		// and metered round totals into the BENCH_*.json capture.
+		rec, err := bench.RunAllCollect(os.Stdout, ids, *quick, baseObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbench: wrote %d experiment record(s) -> %s\n", len(rec.Experiments), *benchJSON)
+	} else if err := bench.RunAll(os.Stdout, ids, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "pimkd-bench:", err)
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@
 //	curl 'localhost:8080/statsz'
 //	curl 'localhost:8080/tracez?k=5'          # with -trace-cap > 0
 //	curl 'localhost:8080/tracez?format=perfetto' -o trace.json
+//	curl 'localhost:8080/debug/pprof/profile?seconds=10' -o cpu.out   # with -pprof
 //
 // All randomness (dataset, tree placement salt, service-layer sampling) is
 // derived from -seed, so a replayed request trace is deterministic.
@@ -36,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +63,7 @@ func main() {
 		linger   = flag.Duration("linger", 2*time.Millisecond, "max linger before a partial batch is sealed")
 		pending  = flag.Int("max-pending", 0, "admission limit (0 = 4·max-batch)")
 		traceCap = flag.Int("trace-cap", 0, "round-trace ring capacity; > 0 enables /tracez")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every executed batch")
 
 		faultSeed  = flag.Int64("fault-seed", 0, "arm the deterministic chaos plan with this seed (0 = off)")
@@ -133,7 +136,21 @@ func main() {
 	}
 	svc := serve.New(cfg, tree)
 
-	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	var handler http.Handler = serve.NewHandler(svc)
+	if *pprofOn {
+		// Live profiling of the serving hot paths: wall-clock CPU profiles
+		// via /debug/pprof/profile, heap via /debug/pprof/heap.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof mounted at %s/debug/pprof/", *addr)
+	}
+	server := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("serving on %s (S=%d, linger=%v)", *addr, *maxBatch, *linger)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {

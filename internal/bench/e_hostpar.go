@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "hostpar",
+		Artifact: "Host-side parallel speedup (E25, beyond the paper)",
+		Summary: "Wall-clock construction and batch-insert time versus GOMAXPROCS: the binary-forking host " +
+			"paths must speed up with real cores while every metered pim.Stats total stays bit-identical.",
+		Run: runHostPar,
+	})
+}
+
+// hostParProcs picks the GOMAXPROCS ladder: 1, 2, 4, and the machine's
+// full core count when it exceeds 4. On boxes with fewer cores the higher
+// rungs still run (goroutines interleave on the available cores), so the
+// determinism half of the experiment is always exercised; the speedup half
+// is only meaningful when NumCPU provides real parallelism.
+func hostParProcs() []int {
+	ps := []int{1, 2, 4}
+	if nc := runtime.NumCPU(); nc > 4 {
+		ps = append(ps, nc)
+	}
+	return ps
+}
+
+func runHostPar(w io.Writer, quick bool) {
+	n := 1 << 17
+	reps := 3
+	if quick {
+		n = 1 << 14
+		reps = 2
+	}
+	const p, dim = 64, 3
+	const seed = 2025
+	batch := n / 4
+
+	pts := workload.Uniform(n, dim, seed)
+	ins := workload.Uniform(batch, dim, seed+1)
+	insItems := makeItems(ins)
+	for i := range insItems {
+		insItems[i].ID += int32(n) // distinct ids for the insert batch
+	}
+
+	type runStats struct {
+		build, insert time.Duration
+		stats         pim.Stats
+	}
+	results := make(map[int]runStats)
+	procs := hostParProcs()
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, gmp := range procs {
+		runtime.GOMAXPROCS(gmp)
+		best := runStats{build: time.Duration(1<<63 - 1), insert: time.Duration(1<<63 - 1)}
+		for rep := 0; rep < reps; rep++ {
+			mach := pimNewMachine(p)
+			tree := newTreeOn(mach, dim, seed)
+			start := time.Now()
+			tree.Build(makeItems(pts))
+			build := time.Since(start)
+			start = time.Now()
+			tree.BatchInsert(insItems)
+			insert := time.Since(start)
+			st := mach.Stats()
+			if rep == 0 {
+				best.stats = st
+			} else if st != best.stats {
+				// Same GOMAXPROCS, same seed, different metered stats:
+				// something is nondeterministic. Surface it loudly.
+				fmt.Fprintf(w, "WARNING: metered stats varied across repetitions at GOMAXPROCS=%d\n", gmp)
+			}
+			if build < best.build {
+				best.build = build
+			}
+			if insert < best.insert {
+				best.insert = insert
+			}
+		}
+		results[gmp] = best
+	}
+	runtime.GOMAXPROCS(old)
+
+	identical := true
+	base := results[procs[0]].stats
+	for _, gmp := range procs[1:] {
+		if results[gmp].stats != base {
+			identical = false
+		}
+	}
+
+	tb := NewTable(
+		fmt.Sprintf("Host-side wall clock vs GOMAXPROCS (n=%d, batch=%d, P=%d, D=%d, NumCPU=%d; best of %d).",
+			n, batch, p, dim, runtime.NumCPU(), reps),
+		"GOMAXPROCS", "build ms", "build ns/pt", "speedup", "insert ms", "insert ns/pt", "speedup", "stats identical")
+	t1 := results[procs[0]]
+	for _, gmp := range procs {
+		r := results[gmp]
+		buildSpeed := float64(t1.build) / float64(r.build)
+		insSpeed := float64(t1.insert) / float64(r.insert)
+		same := "yes"
+		if r.stats != base {
+			same = "NO"
+		}
+		tb.Row(gmp,
+			float64(r.build.Microseconds())/1000,
+			float64(r.build.Nanoseconds())/float64(n),
+			buildSpeed,
+			float64(r.insert.Microseconds())/1000,
+			float64(r.insert.Nanoseconds())/float64(batch),
+			insSpeed,
+			same)
+		RecordMetric(fmt.Sprintf("build_ns_p%d", gmp), float64(r.build.Nanoseconds()))
+		RecordMetric(fmt.Sprintf("build_ns_per_point_p%d", gmp), float64(r.build.Nanoseconds())/float64(n))
+		RecordMetric(fmt.Sprintf("build_speedup_p%d", gmp), buildSpeed)
+		RecordMetric(fmt.Sprintf("insert_ns_p%d", gmp), float64(r.insert.Nanoseconds()))
+		RecordMetric(fmt.Sprintf("insert_speedup_p%d", gmp), insSpeed)
+	}
+	tb.Fprint(w)
+
+	if identical {
+		fmt.Fprintf(w, "determinism oracle: metered pim.Stats bit-identical across GOMAXPROCS %v ✓\n", procs)
+		RecordMetric("stats_identical", 1)
+	} else {
+		fmt.Fprintf(w, "determinism oracle FAILED: metered pim.Stats differ across GOMAXPROCS %v\n", procs)
+		RecordMetric("stats_identical", 0)
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(w, "note: this machine has %d CPU(s); wall-clock speedup requires real cores "+
+			"(expect ≥1.5x at GOMAXPROCS≥4 on ≥4-core hardware).\n", runtime.NumCPU())
+	}
+}

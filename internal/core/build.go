@@ -2,9 +2,19 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pimkd/internal/geom"
+	"pimkd/internal/parallel"
 )
+
+// buildParGrain is the subtree size below which buildExactB recurses
+// sequentially instead of forking the two children. Forking above this
+// size gives the binary-forking-model span; results are identical either
+// way because the recursion's outputs (partition layout, split choices,
+// ops total) do not depend on evaluation order.
+const buildParGrain = 4096
 
 // bnode is a lightweight build-time tree node. Module programs build
 // bnode trees privately (safe to run concurrently) and the CPU phase grafts
@@ -25,14 +35,15 @@ type bnode struct {
 // buildExactB deterministically builds an α-respecting kd-tree over items
 // using object-median splits on the widest non-degenerate axis. It
 // guarantees progress on any input (identical points collapse into one
-// oversized leaf). ops accumulates point-granularity work. Ownership of
-// items passes to the tree.
+// oversized leaf). ops accumulates point-granularity work (atomically —
+// large subtrees recurse in parallel). Ownership of items passes to the
+// tree.
 func buildExactB(items []Item, leafSize int, ops *int64) *bnode {
 	n := len(items)
 	if n == 0 {
 		return nil
 	}
-	*ops += int64(n)
+	atomic.AddInt64(ops, int64(n))
 	box := itemsBox(items)
 	if n <= leafSize {
 		return leafB(items, box)
@@ -50,8 +61,16 @@ func buildExactB(items []Item, leafSize int, ops *int64) *bnode {
 			j--
 		}
 	}
-	l := buildExactB(items[:i], leafSize, ops)
-	r := buildExactB(items[i:], leafSize, ops)
+	var l, r *bnode
+	if n >= buildParGrain {
+		parallel.Do(
+			func() { l = buildExactB(items[:i], leafSize, ops) },
+			func() { r = buildExactB(items[i:], leafSize, ops) },
+		)
+	} else {
+		l = buildExactB(items[:i], leafSize, ops)
+		r = buildExactB(items[i:], leafSize, ops)
+	}
 	b := &bnode{
 		axis:  int32(axis),
 		split: split,
@@ -95,7 +114,31 @@ func ownItems(items []Item) []Item {
 	return out
 }
 
+// itemsBox computes the tight bounding box. Above the fork threshold the
+// chunk boxes merge under a mutex in arbitrary order, which is safe for
+// determinism: float64 min/max is exact and commutative, so the merged box
+// is bit-identical to the sequential scan's.
 func itemsBox(items []Item) geom.Box {
+	if len(items) >= buildParGrain {
+		var mu sync.Mutex
+		var out geom.Box
+		first := true
+		parallel.ForChunked(len(items), func(lo, hi int) {
+			b := itemsBoxSeq(items[lo:hi])
+			mu.Lock()
+			if first {
+				out, first = b, false
+			} else {
+				out = unionBox(out, b)
+			}
+			mu.Unlock()
+		})
+		return out
+	}
+	return itemsBoxSeq(items)
+}
+
+func itemsBoxSeq(items []Item) geom.Box {
 	lo := items[0].P.Clone()
 	hi := items[0].P.Clone()
 	for _, it := range items[1:] {

@@ -3,6 +3,7 @@ package core
 import (
 	"pimkd/internal/geom"
 	"pimkd/internal/mathx"
+	"pimkd/internal/parallel"
 	"pimkd/internal/pim"
 )
 
@@ -57,11 +58,16 @@ func (t *Tree) Build(items []Item) {
 	}
 	var sketchOps int64
 	sk, buckets := buildSketch(sample, p, &sketchOps)
-	parts := make([][]Item, buckets)
 	depth := mathx.CeilLog2(buckets) + 1
-	for _, it := range own {
-		b := sk.route(it.P)
-		parts[b] = append(parts[b], it)
+	// Stable parallel scatter: bucket b's slice holds its points in input
+	// order, exactly as the sequential append loop produced, so the
+	// per-module builds (and their metered costs) are unchanged.
+	scattered, offs := parallel.CountingSortByKey(own, buckets, func(it Item) int {
+		return sk.route(it.P)
+	})
+	parts := make([][]Item, buckets)
+	for m := 0; m < buckets; m++ {
+		parts[m] = scattered[offs[m]:offs[m+1]:offs[m+1]]
 	}
 	t.mach.CPUPhase(sketchOps+int64(n*depth),
 		int64(mathx.CeilLog2(p)*mathx.CeilLog2(p)+mathx.CeilLog2(n)))

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"pimkd/internal/mathx"
+	"pimkd/internal/parallel"
 	"pimkd/internal/pim"
 )
 
@@ -247,19 +251,37 @@ func (t *Tree) buildCachingDiff(root NodeID, members []NodeID, prevModule []int3
 		ancestors = ancestors[:len(ancestors)-1]
 		stack = stack[:len(stack)-1]
 	}
+	// Materialize each member's copy set in parallel. Copies are sorted
+	// ascending — ranging over the map here used to bake Go's randomized
+	// iteration order into nd.copies, quietly breaking run-to-run
+	// reproducibility of every later loop over the replica list. Space
+	// charges accumulate atomically and post once.
+	var spaceCopies atomic.Int64
+	parallel.ForChunked(len(members), func(lo, hi int) {
+		var charged int64
+		for _, id := range members[lo:hi] {
+			nd := t.nd(id)
+			set := copySets[id]
+			delete(set, nd.module)
+			nd.copies = nd.copies[:0]
+			for m := range set {
+				nd.copies = append(nd.copies, m)
+			}
+			sort.Slice(nd.copies, func(a, b int) bool { return nd.copies[a] < nd.copies[b] })
+			nd.chargedCopies = int32(1 + len(nd.copies))
+			charged += int64(1 + len(nd.copies))
+		}
+		spaceCopies.Add(charged)
+	})
+	t.chargeNodeSpace(spaceCopies.Load())
+	if r == nil {
+		return
+	}
+	// Meter the placement delta sequentially in member order so the
+	// transfer sequence (which the fault injector observes per call) stays
+	// deterministic.
 	for i, id := range members {
 		nd := t.nd(id)
-		set := copySets[id]
-		delete(set, nd.module)
-		nd.copies = nd.copies[:0]
-		for m := range set {
-			nd.copies = append(nd.copies, m)
-		}
-		nd.chargedCopies = int32(1 + len(nd.copies))
-		t.chargeNodeSpace(int64(1 + len(nd.copies)))
-		if r == nil {
-			continue
-		}
 		var pm int32 = -1
 		var pc []int32
 		if prevModule != nil {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// The host hot paths run on internal/parallel primitives whose chunk
+// layout depends on GOMAXPROCS. The regression oracle for that
+// parallelization is bit-identical behavior: a seeded construct → insert →
+// delete → query mix must produce the same tree shape, the same answers,
+// and — critically — the same metered pim.Stats at every parallelism
+// level. These tests fingerprint such a mix and compare the fingerprint
+// across GOMAXPROCS values, both internally (explicit GOMAXPROCS ladder)
+// and across `go test -cpu 1,2,8` re-runs (package-level memo).
+
+// determinismMix runs the seeded workload and returns a complete
+// fingerprint of everything observable: metered stats, tree shape, and
+// query answers (hashed with FNV-1a).
+func determinismMix(t *testing.T) string {
+	t.Helper()
+	const (
+		n    = 6000
+		dim  = 3
+		p    = 16
+		seed = 417
+	)
+	mach := pim.NewMachine(p, 1<<22)
+	tree := New(Config{Dim: dim, Seed: seed, LeafSize: 8}, mach)
+
+	pts := workload.Uniform(n, dim, seed)
+	items := make([]Item, n)
+	for i, pt := range pts {
+		items[i] = Item{P: pt, ID: int32(i), Priority: pt[0]}
+	}
+	tree.Build(items)
+
+	// Three insert/delete epochs plus queries between them.
+	extra := workload.Uniform(3*n/4, dim, seed+1)
+	for ep := 0; ep < 3; ep++ {
+		lo, hi := ep*n/4, (ep+1)*n/4
+		batch := make([]Item, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch = append(batch, Item{P: extra[i], ID: int32(n + i), Priority: extra[i][1]})
+		}
+		tree.BatchInsert(batch)
+		// Delete a slice of the original points.
+		dlo, dhi := ep*n/8, (ep+1)*n/8
+		tree.BatchDelete(items[dlo:dhi])
+	}
+
+	qs := workload.Uniform(256, dim, seed+2)
+	knn := tree.KNN(qs, 8)
+	rr := tree.RangeCount([]geom.Box{{
+		Lo: geom.Point{0.2, 0.2, 0.2},
+		Hi: geom.Point{0.6, 0.6, 0.6},
+	}})
+
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after mix: %v", err)
+	}
+
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h = (h ^ v) * 1099511628211
+	}
+	for _, res := range knn {
+		mix(uint64(len(res)))
+		for _, c := range res {
+			mix(uint64(int64(c.ID)))
+			mix(math.Float64bits(c.Dist2))
+		}
+	}
+	for _, c := range rr {
+		mix(uint64(c))
+	}
+	st := mach.Stats()
+	return fmt.Sprintf("stats=%+v size=%d height=%d qhash=%016x", st, tree.Size(), tree.Height(), h)
+}
+
+// TestDeterminismAcrossGOMAXPROCS runs the mix at several explicit
+// GOMAXPROCS levels inside one process and demands identical fingerprints.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var base string
+	for _, p := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(p)
+		got := determinismMix(t)
+		if base == "" {
+			base = got
+		} else if got != base {
+			t.Fatalf("fingerprint differs at GOMAXPROCS=%d:\n  got  %s\n  want %s", p, got, base)
+		}
+	}
+}
+
+// cpuFlagFingerprint memoizes the mix fingerprint across the sequential
+// re-runs `go test -cpu 1,2,8` performs within one process, so the CI race
+// lane's -cpu matrix asserts cross-GOMAXPROCS determinism for free.
+var cpuFlagFingerprint string
+
+func TestDeterminismUnderCPUFlag(t *testing.T) {
+	got := determinismMix(t)
+	if cpuFlagFingerprint == "" {
+		cpuFlagFingerprint = got
+		return
+	}
+	if got != cpuFlagFingerprint {
+		t.Fatalf("fingerprint differs at GOMAXPROCS=%d (-cpu rerun):\n  got  %s\n  want %s",
+			runtime.GOMAXPROCS(0), got, cpuFlagFingerprint)
+	}
+}

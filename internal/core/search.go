@@ -1,10 +1,9 @@
 package core
 
 import (
-	"sort"
-
 	"pimkd/internal/geom"
 	"pimkd/internal/mathx"
+	"pimkd/internal/parallel"
 	"pimkd/internal/pim"
 )
 
@@ -176,7 +175,7 @@ func (t *Tree) leafSearchBatch(qs []geom.Point, delta int) (leaves []NodeID, fir
 			for id := range frontier {
 				entries = append(entries, id)
 			}
-			sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+			parallel.Sort(entries, func(a, b NodeID) bool { return a < b })
 
 			type pushTask struct {
 				entry   NodeID
@@ -342,7 +341,7 @@ func (t *Tree) leafSearchBatch(qs []geom.Point, delta int) (leaves []NodeID, fir
 	for id := range firedSet {
 		fired = append(fired, id)
 	}
-	sort.Slice(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	parallel.Sort(fired, func(a, b NodeID) bool { return a < b })
 	return leaves, fired
 }
 
@@ -369,11 +368,11 @@ func (t *Tree) applyBumps(bumps []bumpReq, delta int, r *pim.Round, firedSet map
 	if delta == 0 || len(bumps) == 0 {
 		return
 	}
-	sort.Slice(bumps, func(i, j int) bool {
-		if bumps[i].node != bumps[j].node {
-			return bumps[i].node < bumps[j].node
+	parallel.Sort(bumps, func(a, b bumpReq) bool {
+		if a.node != b.node {
+			return a.node < b.node
 		}
-		return bumps[i].q < bumps[j].q
+		return a.q < b.q
 	})
 	nF := float64(t.size)
 	if nF < 2 {

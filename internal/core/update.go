@@ -5,6 +5,7 @@ import (
 
 	"pimkd/internal/geom"
 	"pimkd/internal/mathx"
+	"pimkd/internal/parallel"
 	"pimkd/internal/pim"
 )
 
@@ -33,19 +34,36 @@ func (t *Tree) BatchInsert(items []Item) {
 
 	t.mach.RunRound(func(r *pim.Round) {
 		r.Label("core/insert:commit")
-		// Commit every point into its leaf; oversize leaves are collected
-		// for splitting.
+		// Commit every point into its leaf. The batch is grouped by leaf
+		// (GroupBy preserves batch order within a group, matching the old
+		// per-item append loop) so distinct leaves commit in parallel; the
+		// metering, space charges, and ancestor shadow counters then run in
+		// one sequential pass in ascending leaf order, keeping pim.Stats
+		// and fault-injection attempt sequences deterministic.
+		groups := parallel.GroupBy(len(leaves), func(i int) int { return int(leaves[i]) })
+		parallel.ForChunked(len(groups), func(lo, hi int) {
+			for _, g := range groups[lo:hi] {
+				nd := t.nd(NodeID(g.Key))
+				for _, i := range g.Idxs {
+					nd.pts = append(nd.pts, items[i])
+				}
+			}
+		})
 		overflow := map[NodeID]bool{}
-		for i, leafID := range leaves {
+		for _, g := range groups {
+			leafID := NodeID(g.Key)
 			nd := t.nd(leafID)
-			nd.pts = append(nd.pts, items[i])
-			t.chargePointSpace(1)
-			r.Transfer(int(nd.module), pointWords(t.cfg.Dim))
-			r.ModuleWork(int(nd.module), 1)
+			added := int64(len(g.Idxs))
+			t.chargePointSpace(added)
+			r.Transfer(int(nd.module), added*pointWords(t.cfg.Dim))
+			r.ModuleWork(int(nd.module), added)
 			// Shadow exact sizes (ground truth, unmetered).
 			for id := leafID; id != Nil; id = t.nd(id).parent {
-				t.nd(id).exact++
+				t.nd(id).exact += int32(added)
 			}
+			// Overflow is a monotone condition under appends (len only
+			// grows; an indivisible leaf only becomes divisible), so the
+			// final-state check equals the old per-append check.
 			if len(nd.pts) > t.cfg.LeafSize && !t.indivisibleLeaf(leafID) {
 				overflow[leafID] = true
 			}
@@ -73,27 +91,55 @@ func (t *Tree) BatchDelete(items []Item) {
 
 	t.mach.RunRound(func(r *pim.Round) {
 		r.Label("core/delete:commit")
-		emptied := map[NodeID]bool{}
-		for i, leafID := range leaves {
-			nd := t.nd(leafID)
-			found := -1
-			for j, p := range nd.pts {
-				if p.ID == items[i].ID && p.P.Equal(items[i].P) {
-					found = j
-					break
+		// Group the batch by target leaf and run the find-and-remove scans
+		// in parallel across leaves. Each group's scans execute in batch
+		// order (GroupBy guarantees ascending indices), so the per-item scan
+		// length — which the paper meters as module work — depends only on
+		// that leaf's earlier deletions, exactly as in the sequential loop.
+		// Metering and tree-global bookkeeping then run sequentially in
+		// ascending leaf order.
+		groups := parallel.GroupBy(len(leaves), func(i int) int { return int(leaves[i]) })
+		workSums := make([]int64, len(groups))
+		removedCounts := make([]int64, len(groups))
+		parallel.ForChunked(len(groups), func(glo, ghi int) {
+			for gi := glo; gi < ghi; gi++ {
+				g := groups[gi]
+				nd := t.nd(NodeID(g.Key))
+				var work, removed int64
+				for _, i := range g.Idxs {
+					found := -1
+					for j, p := range nd.pts {
+						if p.ID == items[i].ID && p.P.Equal(items[i].P) {
+							found = j
+							break
+						}
+					}
+					work += int64(len(nd.pts))
+					if found < 0 {
+						continue
+					}
+					nd.pts[found] = nd.pts[len(nd.pts)-1]
+					nd.pts = nd.pts[:len(nd.pts)-1]
+					removed++
 				}
+				workSums[gi] = work
+				removedCounts[gi] = removed
 			}
-			r.ModuleWork(int(nd.module), int64(len(nd.pts)))
-			r.Transfer(int(nd.module), queryWords(t.cfg.Dim))
-			if found < 0 {
+		})
+		emptied := map[NodeID]bool{}
+		for gi, g := range groups {
+			leafID := NodeID(g.Key)
+			nd := t.nd(leafID)
+			r.ModuleWork(int(nd.module), workSums[gi])
+			r.Transfer(int(nd.module), int64(len(g.Idxs))*queryWords(t.cfg.Dim))
+			removed := removedCounts[gi]
+			if removed == 0 {
 				continue
 			}
-			nd.pts[found] = nd.pts[len(nd.pts)-1]
-			nd.pts = nd.pts[:len(nd.pts)-1]
-			t.unchargePointSpace(1)
-			t.size--
+			t.unchargePointSpace(removed)
+			t.size -= int(removed)
 			for id := leafID; id != Nil; id = t.nd(id).parent {
-				t.nd(id).exact--
+				t.nd(id).exact -= int32(removed)
 			}
 			if len(nd.pts) == 0 {
 				emptied[leafID] = true

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"pimkd/internal/mathx"
+	"pimkd/internal/parallel"
 	"pimkd/internal/pim"
 )
 
@@ -40,7 +41,7 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 			mod := mach.Hash(salt)
 			r.Transfer(mod, int64(m))
 			r.ModuleWork(mod, int64(m)*int64(mathx.CeilLog2(m)+1))
-			sort.Float64s(keys)
+			parallel.SortFloat64s(keys)
 			r.Transfer(mod, int64(m))
 		})
 	case m >= p*logP*logP:
@@ -51,31 +52,34 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 		for i := 0; i < m; i += step {
 			sample = append(sample, keys[i])
 		}
-		sort.Float64s(sample)
+		parallel.SortFloat64s(sample)
 		mach.CPUPhase(int64(len(sample)*mathx.CeilLog2(len(sample))+m*mathx.CeilLog2(p)), int64(mathx.CeilLog2(m)))
 		splitters := make([]float64, p-1)
 		for i := range splitters {
 			splitters[i] = sample[(i+1)*len(sample)/p]
 		}
+		// Stable parallel scatter into the P splitter ranges (identical
+		// contents and order to the sequential append loop).
+		scattered, offs := parallel.CountingSortByKey(keys, p, func(k float64) int {
+			return sort.SearchFloat64s(splitters, k)
+		})
 		ranges := make([][]float64, p)
-		for _, k := range keys {
-			b := sort.SearchFloat64s(splitters, k)
-			ranges[b] = append(ranges[b], k)
+		for b := 0; b < p; b++ {
+			ranges[b] = scattered[offs[b]:offs[b+1]:offs[b+1]]
 		}
 		mach.RunRound(func(r *pim.Round) {
 			r.Label("pimsort:splitter-ranges")
 			r.OnModules(func(ctx *pim.ModuleCtx) {
 				b := ctx.ID()
 				ctx.Transfer(int64(len(ranges[b])))
-				sort.Float64s(ranges[b])
+				parallel.SortFloat64s(ranges[b])
 				ctx.Work(int64(len(ranges[b])) * int64(mathx.CeilLog2(len(ranges[b])+1)+1))
 				ctx.Transfer(int64(len(ranges[b])))
 			})
 		})
-		out := keys[:0]
-		for _, rg := range ranges {
-			out = append(out, rg...)
-		}
+		// ranges are adjacent subslices of scattered, so after the per-range
+		// sorts scattered is globally sorted.
+		copy(keys, scattered)
 	default:
 		// Regime (iii): cache-resident — sort small groups on random
 		// modules, merge on the CPU.
@@ -93,9 +97,14 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 				mod := mach.Hash(salt + uint64(i) + 1)
 				r.Transfer(mod, int64(len(piece)))
 				r.ModuleWork(mod, int64(len(piece))*int64(mathx.CeilLog2(len(piece))+1))
-				sort.Float64s(piece)
 				r.Transfer(mod, int64(len(piece)))
 			}
+			// The pieces sort concurrently (they model independent modules);
+			// metering above stays sequential so the transfer sequence is
+			// deterministic.
+			parallel.For(len(pieces), func(i int) {
+				sort.Float64s(pieces[i])
+			})
 		})
 		mach.CPUPhase(int64(m*mathx.CeilLog2(groups+1)), int64(mathx.CeilLog2(m)))
 		merged := mergeAll(pieces)
@@ -105,13 +114,15 @@ func Sort(mach *pim.Machine, keys []float64, ambient int, salt uint64) {
 
 func mergeAll(pieces [][]float64) []float64 {
 	for len(pieces) > 1 {
-		var next [][]float64
-		for i := 0; i < len(pieces); i += 2 {
-			if i+1 == len(pieces) {
-				next = append(next, pieces[i])
-				continue
-			}
-			next = append(next, merge2(pieces[i], pieces[i+1]))
+		pairs := len(pieces) / 2
+		next := make([][]float64, (len(pieces)+1)/2)
+		// Each level's pair merges are independent; the merge tree shape
+		// (and hence the output) is fixed by the piece count alone.
+		parallel.For(pairs, func(i int) {
+			next[i] = merge2(pieces[2*i], pieces[2*i+1])
+		})
+		if len(pieces)%2 == 1 {
+			next[pairs] = pieces[len(pieces)-1]
 		}
 		pieces = next
 	}

@@ -3,6 +3,7 @@ package pkdtree
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pimkd/internal/geom"
@@ -60,12 +61,16 @@ func (t *Tree) buildSeeded(items []Item, seed uint64) *node {
 		return t.buildExact(items, box)
 	}
 
-	// Flush all items through the skeleton into buckets.
+	// Flush all items through the skeleton into buckets with a stable
+	// parallel scatter (bucket contents and order match the sequential
+	// append loop exactly).
 	nb := countBuckets(sk)
+	scattered, offs := parallel.CountingSortByKey(items, nb, func(it Item) int {
+		return sk.route(it.P)
+	})
 	buckets := make([][]Item, nb)
-	for _, it := range items {
-		b := sk.route(it.P)
-		buckets[b] = append(buckets[b], it)
+	for b := 0; b < nb; b++ {
+		buckets[b] = scattered[offs[b]:offs[b+1]:offs[b+1]]
 	}
 	atomic.AddInt64(&t.Meter.PointOps, int64(n*h))
 	for _, b := range buckets {
@@ -94,7 +99,30 @@ func newLeaf(items []Item) *node {
 	return &node{size: len(pts), box: itemsBox(pts), pts: pts}
 }
 
+// itemsBox computes the tight bounding box, scanning chunks in parallel
+// for large inputs; float64 min/max merges are exact and commutative, so
+// the result is bit-identical to the sequential scan.
 func itemsBox(items []Item) geom.Box {
+	if len(items) >= 4096 {
+		var mu sync.Mutex
+		var out geom.Box
+		first := true
+		parallel.ForChunked(len(items), func(lo, hi int) {
+			b := itemsBoxSeq(items[lo:hi])
+			mu.Lock()
+			if first {
+				out, first = b, false
+			} else {
+				out = unionBox(out, b)
+			}
+			mu.Unlock()
+		})
+		return out
+	}
+	return itemsBoxSeq(items)
+}
+
+func itemsBoxSeq(items []Item) geom.Box {
 	lo := items[0].P.Clone()
 	hi := items[0].P.Clone()
 	for _, it := range items[1:] {
@@ -197,7 +225,7 @@ func medianSplit(sample []Item, box geom.Box) (axis int, split float64, ok bool)
 		for i, it := range sample {
 			coords[i] = it.P[a]
 		}
-		sort.Float64s(coords)
+		parallel.SortFloat64s(coords)
 		v := coords[len(coords)/2]
 		if v > coords[0] {
 			return a, v, true
@@ -301,8 +329,16 @@ func (t *Tree) buildExact(items []Item, box geom.Box) *node {
 	}
 	left := items[:i]
 	right := items[i:]
-	l := t.buildExact(left, itemsBox(left))
-	r := t.buildExact(right, itemsBox(right))
+	var l, r *node
+	if n >= 4096 {
+		parallel.Do(
+			func() { l = t.buildExact(left, itemsBox(left)) },
+			func() { r = t.buildExact(right, itemsBox(right)) },
+		)
+	} else {
+		l = t.buildExact(left, itemsBox(left))
+		r = t.buildExact(right, itemsBox(right))
+	}
 	return &node{
 		axis:  int32(axis),
 		split: split,
@@ -335,10 +371,10 @@ func exactSplit(items []Item, box geom.Box) (axis int, split float64, ok bool) {
 			break
 		}
 		a := aw.axis
-		for i, it := range items {
-			coords[i] = it.P[a]
-		}
-		sort.Float64s(coords)
+		parallel.For(n, func(i int) {
+			coords[i] = items[i].P[a]
+		})
+		parallel.SortFloat64s(coords)
 		// Two candidate cuts bracket the ideal n/2: the median value and
 		// the next distinct value above it. With duplicates, the balanced
 		// cut can be either (every value between two consecutive distinct
