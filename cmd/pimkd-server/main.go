@@ -29,6 +29,18 @@
 // shedding; SIGINT/SIGTERM drain gracefully (admitted requests complete).
 //
 //	pimkd-server -fault-seed 7 -fault-crash 0.001 -shed-highwater 768
+//
+// Durability: -data-dir turns on snapshot + write-ahead-log persistence.
+// Every acknowledged update batch is appended to the WAL before it commits
+// (with -fsync, power-fail-safe); a background checkpointer folds the log
+// into a snapshot every -checkpoint-every write batches or
+// -checkpoint-interval of wall time; on startup the latest snapshot is
+// loaded and the WAL tail replayed (visible on /persistz and in the round
+// trace under persist/load and persist/replay); SIGINT/SIGTERM write a final
+// checkpoint after draining.
+//
+//	pimkd-server -data-dir /var/lib/pimkd -fsync -checkpoint-every 128
+//	curl 'localhost:8080/persistz'
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/fault"
+	"pimkd/internal/persist"
 	"pimkd/internal/pim"
 	"pimkd/internal/serve"
 	"pimkd/internal/workload"
@@ -66,6 +79,11 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every executed batch")
 
+		dataDir   = flag.String("data-dir", "", "durability directory (snapshots + write-ahead log); empty = volatile")
+		fsync     = flag.Bool("fsync", false, "fsync every WAL append (power-fail-safe acks; slower)")
+		ckptEvery = flag.Int("checkpoint-every", 256, "checkpoint after this many write batches (-1 = never by count)")
+		ckptIntvl = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint after this much wall time (-1s = never by time)")
+
 		faultSeed  = flag.Int64("fault-seed", 0, "arm the deterministic chaos plan with this seed (0 = off)")
 		faultCrash = flag.Float64("fault-crash", 0.0005, "per-(round,module) crash probability (with -fault-seed)")
 		faultStall = flag.Float64("fault-stall", 0.001, "per-(round,module) stall probability (with -fault-seed)")
@@ -77,18 +95,59 @@ func main() {
 	)
 	flag.Parse()
 
-	log.Printf("building PIM-kd-tree: n=%d dim=%d P=%d seed=%d", *n, *dim, *p, *seed)
 	mach := pim.NewMachine(*p, *cacheM)
-	tree := core.New(core.Config{Dim: *dim, Seed: *seed, LeafSize: *leaf}, mach)
-	pts := workload.Uniform(*n, *dim, *seed)
-	items := make([]core.Item, len(pts))
-	for i, pt := range pts {
-		items[i] = core.Item{P: pt, ID: int32(i)}
+	treeCfg := core.Config{Dim: *dim, Seed: *seed, LeafSize: *leaf}
+
+	// With -data-dir the tree comes from the durability layer: recover the
+	// latest snapshot + WAL tail if present, otherwise build fresh and
+	// checkpoint the bulk load so it is immediately recoverable. Without it,
+	// state is volatile exactly as before.
+	var (
+		store    *persist.Store
+		tree     *core.Tree
+		recovery persist.RecoveryStats
+	)
+	if *dataDir != "" {
+		var err error
+		store, tree, recovery, err = persist.Open(*dataDir, persist.Options{
+			Machine: mach,
+			Tree:    treeCfg,
+			Fsync:   *fsync,
+		})
+		if err != nil {
+			log.Fatalf("persist: %v", err)
+		}
+		if recovery.Recovered {
+			log.Printf("recovered %d items from %s: snapshot lsn=%d (%d items), replayed %d records / %d items (comm %d words, %v), torn tail %d bytes",
+				tree.Size(), *dataDir, recovery.SnapshotLSN, recovery.SnapshotItems,
+				recovery.ReplayRecords, recovery.ReplayItems,
+				recovery.ReplayCost.Communication, recovery.ReplayWall.Round(time.Millisecond),
+				recovery.TornBytes)
+		}
+	} else {
+		tree = core.New(treeCfg, mach)
 	}
-	tree.Build(items)
-	build := mach.Stats()
-	log.Printf("built: %d items, height %d, build comm %d words (%0.1f/point)",
-		tree.Size(), tree.Height(), build.Communication, float64(build.Communication)/float64(*n))
+
+	if tree.Size() == 0 {
+		log.Printf("building PIM-kd-tree: n=%d dim=%d P=%d seed=%d", *n, *dim, *p, *seed)
+		pts := workload.Uniform(*n, *dim, *seed)
+		items := make([]core.Item, len(pts))
+		for i, pt := range pts {
+			items[i] = core.Item{P: pt, ID: int32(i)}
+		}
+		tree.Build(items)
+		build := mach.Stats()
+		log.Printf("built: %d items, height %d, build comm %d words (%0.1f/point)",
+			tree.Size(), tree.Height(), build.Communication, float64(build.Communication)/float64(*n))
+		if store != nil {
+			// The bulk load never touches the WAL; checkpoint it so a crash
+			// right after startup still recovers the full initial state.
+			if err := store.Checkpoint(tree); err != nil {
+				log.Fatalf("initial checkpoint: %v", err)
+			}
+			log.Printf("initial checkpoint written to %s", *dataDir)
+		}
+	}
 
 	// Arm fault injection only after the build: the chaos window opens at
 	// the current round sequence, so construction is never perturbed and a
@@ -117,15 +176,23 @@ func main() {
 		log.Printf("chaos armed: seed=%d crash=%g stall=%g(%v) send=%g from round %d",
 			*faultSeed, *faultCrash, *faultStall, *stallDelay, *faultSend, plan.FirstRound)
 	}
+	// Fold a process-level recovery into the supervisor's fault story, so
+	// one place reports both module rebuilds and startup replay.
+	if sup != nil && recovery.Recovered {
+		sup.RecordProcessRecovery(int64(recovery.ReplayRecords), int64(recovery.ReplayItems), recovery.ReplayCost)
+	}
 
 	cfg := serve.Config{
-		MaxBatch:       *maxBatch,
-		MaxLinger:      *linger,
-		MaxPending:     *pending,
-		Seed:           *seed,
-		TraceCapacity:  *traceCap,
-		ShedHighWater:  *shedHW,
-		RetryTransient: *retryTrans,
+		MaxBatch:           *maxBatch,
+		MaxLinger:          *linger,
+		MaxPending:         *pending,
+		Seed:               *seed,
+		TraceCapacity:      *traceCap,
+		ShedHighWater:      *shedHW,
+		RetryTransient:     *retryTrans,
+		Persist:            store,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointInterval: *ckptIntvl,
 	}
 	if *verbose {
 		cfg.OnBatch = func(r serve.BatchRecord) {
@@ -167,7 +234,21 @@ func main() {
 	if err := server.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+	// Close order matters: svc.Close drains every admitted request, flushes
+	// in-flight checkpoints, and syncs the WAL; only then is the store
+	// quiescent. A final checkpoint folds the whole log into one snapshot so
+	// the next start replays nothing.
 	_ = svc.Close()
+	if store != nil {
+		if err := store.Checkpoint(tree); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("final checkpoint written (lsn=%d)", store.LSN())
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("persist close: %v", err)
+		}
+	}
 
 	snap := svc.Metrics()
 	fmt.Printf("served %d requests in %d batches (mean batch %.1f) across %d epochs\n",

@@ -2,20 +2,37 @@
 // PIM-kd-tree machinery driving a batch-dynamic ordered index (the
 // B+-tree/PIM-tree use case), serving point lookups, range scans, and a
 // hot-key burst that a range-partitioned index would concentrate on one
-// module.
+// module. The run ends with a durability demo: a child process writes
+// acknowledged batches into a WAL-backed store, is SIGKILLed mid-write, and
+// the reopened store must contain every acknowledged batch.
 //
 //	go run ./examples/kvindex
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
 
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/persist"
 	"pimkd/internal/pim"
 	"pimkd/internal/pimindex"
 )
 
 func main() {
+	childDir := flag.String("durable-child", "", "internal: run as the crash-demo writer in this directory")
+	flag.Parse()
+	if *childDir != "" {
+		runDurableChild(*childDir)
+		return
+	}
 	const (
 		nKeys = 300_000
 		P     = 64
@@ -78,4 +95,147 @@ func main() {
 		len(hotKeys), pim.MaxLoadRatio(comm))
 	fmt.Println("(a range-partitioned index would send the whole burst to one module;")
 	fmt.Println(" randomized placement + push-pull spread it across the machine)")
+
+	fmt.Println()
+	runDurabilityDemo()
+}
+
+// --- durability demo: acked writes survive kill -9 -------------------------
+
+const (
+	demoP         = 16
+	demoBaseKeys  = 20_000
+	demoBatchSize = 100
+)
+
+func demoTreeConfig() core.Config { return core.Config{Dim: 1, Seed: 7} }
+
+// demoBatch is the deterministic insert batch logged at a given LSN, so the
+// parent can recompute exactly what the child acknowledged.
+func demoBatch(lsn uint64) []core.Item {
+	items := make([]core.Item, demoBatchSize)
+	for i := range items {
+		items[i] = core.Item{
+			P:  geom.Point{1e6 + float64(lsn)*demoBatchSize + float64(i)},
+			ID: int32(lsn)*demoBatchSize + int32(i),
+		}
+	}
+	return items
+}
+
+// runDurableChild is the crash-demo writer: bulk-load, checkpoint, then log
+// and apply insert batches forever, printing "acked <lsn>" after each batch
+// is durable AND applied. It never exits on its own — the parent kills it.
+func runDurableChild(dir string) {
+	mach := pim.NewMachine(demoP, 1<<22)
+	st, tree, _, err := persist.Open(dir, persist.Options{
+		Machine: mach, Tree: demoTreeConfig(), Fsync: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(1)
+	}
+	if tree.Size() == 0 {
+		// Bulk load bypasses the WAL, so it must be followed by a
+		// checkpoint before the first durable write is acknowledged.
+		rng := rand.New(rand.NewSource(2))
+		base := make([]core.Item, demoBaseKeys)
+		for i := range base {
+			base[i] = core.Item{P: geom.Point{rng.Float64() * 1e5}, ID: int32(i)}
+		}
+		tree.Build(base)
+		if err := st.Checkpoint(tree); err != nil {
+			fmt.Fprintln(os.Stderr, "child checkpoint:", err)
+			os.Exit(1)
+		}
+	}
+	for {
+		lsn := st.LSN() + 1
+		batch := demoBatch(lsn)
+		if _, err := st.LogBatch(persist.OpInsert, batch); err != nil {
+			fmt.Fprintln(os.Stderr, "child append:", err)
+			os.Exit(1)
+		}
+		tree.BatchInsert(batch)
+		fmt.Printf("acked %d\n", lsn)
+	}
+}
+
+// runDurabilityDemo spawns this binary as a durable writer, SIGKILLs it
+// after a few acknowledged batches, reopens the directory, and verifies
+// every acknowledged entry is present.
+func runDurabilityDemo() {
+	fmt.Println("durability demo: acked writes must survive kill -9")
+	dir, err := os.MkdirTemp("", "kvindex-durable")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	cmd := exec.Command(os.Args[0], "-durable-child", dir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipe:", err)
+		return
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "start child:", err)
+		return
+	}
+
+	// Read acknowledgements until enough batches are durable, then kill the
+	// writer without warning — mid-append, as a power cut would.
+	var ackedLSN uint64
+	sc := bufio.NewScanner(out)
+	for sc.Scan() && ackedLSN < 5 {
+		line := strings.TrimSpace(sc.Text())
+		if n, err := strconv.ParseUint(strings.TrimPrefix(line, "acked "), 10, 64); err == nil {
+			ackedLSN = n
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	fmt.Printf("  child acknowledged %d insert batches of %d, then got SIGKILL\n",
+		ackedLSN, demoBatchSize)
+
+	// Reopen: the snapshot plus WAL replay must reproduce every batch the
+	// child acknowledged; a torn tail (batch logged but not acked) is
+	// silently dropped.
+	st, tree, rec, err := persist.Open(dir, persist.Options{Machine: pim.NewMachine(demoP, 1<<22)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reopen:", err)
+		return
+	}
+	defer st.Close()
+	fmt.Printf("  reopened: snapshot lsn=%d + %d replayed records (torn tail: %v, %d bytes dropped)\n",
+		rec.SnapshotLSN, rec.ReplayRecords, rec.TornTail, rec.TornBytes)
+
+	ix := pimindex.Wrap(tree)
+	missing := 0
+	for lsn := uint64(1); lsn <= ackedLSN; lsn++ {
+		batch := demoBatch(lsn)
+		keys := make([]float64, len(batch))
+		for i, it := range batch {
+			keys[i] = it.P[0]
+		}
+		for i, vals := range ix.Lookup(keys) {
+			found := false
+			for _, v := range vals {
+				if v == batch[i].ID {
+					found = true
+				}
+			}
+			if !found {
+				missing++
+			}
+		}
+	}
+	if missing > 0 || st.LSN() < ackedLSN {
+		fmt.Printf("  FAILED: %d acknowledged entries missing after recovery (lsn=%d)\n", missing, st.LSN())
+		os.Exit(1)
+	}
+	fmt.Printf("  verified: all %d acknowledged entries present after recovery; index has %d entries\n",
+		int(ackedLSN)*demoBatchSize, ix.Size())
 }

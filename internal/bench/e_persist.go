@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/persist"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "persist",
+		Artifact: "snapshot + WAL durability layer (E26, beyond the paper's in-memory model)",
+		Summary: "Durability overhead and recovery scaling: snapshot size and load cost are Θ(n) " +
+			"(flat bytes/point and load-comm/point across n), and recovery replay cost grows " +
+			"linearly with WAL length (flat replay-comm/record as the tail lengthens).",
+		Run: runPersist,
+	})
+}
+
+func runPersist(w io.Writer, quick bool) {
+	const dim, p = 2, 64
+	sizes := []int{1 << 14, 1 << 16, 1 << 18}
+	if quick {
+		sizes = []int{1 << 12, 1 << 13, 1 << 14}
+	}
+
+	// Part 1: snapshot cost is Θ(n). For each n, build, checkpoint, and
+	// reopen from the snapshot alone; bytes/point and load-comm/point must
+	// stay flat as n grows (the snapshot is the point set, nothing more).
+	tb := NewTable(
+		fmt.Sprintf("Snapshot scaling (P=%d, dim=%d): checkpoint after Build, then recover from it.", p, dim),
+		"n", "snap bytes", "bytes/pt", "write ms", "load comm", "comm/pt", "load rounds", "load ms")
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "pimkd-e26-snap")
+		if err != nil {
+			fmt.Fprintf(w, "tempdir: %v\n", err)
+			return
+		}
+		cfg := core.Config{Dim: dim, Seed: 411}
+		st, tree, _, err := persist.Open(dir, persist.Options{Machine: pimNewMachine(p), Tree: cfg})
+		if err != nil {
+			fmt.Fprintf(w, "persist.Open: %v\n", err)
+			return
+		}
+		tree.Build(makeItems(workload.Uniform(n, dim, 411)))
+		t0 := time.Now()
+		if err := st.Checkpoint(tree); err != nil {
+			fmt.Fprintf(w, "checkpoint: %v\n", err)
+			return
+		}
+		writeWall := time.Since(t0)
+		bytes := st.Status().SnapshotBytes
+		st.Close()
+
+		st2, _, rec, err := persist.Open(dir, persist.Options{Machine: pimNewMachine(p)})
+		if err != nil {
+			fmt.Fprintf(w, "recovery Open: %v\n", err)
+			return
+		}
+		st2.Close()
+		tb.Row(n, bytes, float64(bytes)/float64(n), ms(writeWall),
+			rec.LoadCost.Communication, perQuery(rec.LoadCost.Communication, n),
+			rec.LoadCost.Rounds, ms(rec.LoadWall))
+		os.RemoveAll(dir)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "shape check: bytes/pt and load comm/pt flat across n => snapshot and load are Θ(n).")
+
+	// Part 2: recovery replay cost is linear in the WAL tail. One fixed
+	// snapshot, then W logged-but-uncheckpointed insert batches; Open must
+	// replay exactly W records through the metered batch path, so replay
+	// comm per record stays flat as the tail grows.
+	baseN := sizes[len(sizes)-1] / 4
+	batch := 64
+	walLens := []int{16, 64, 256}
+	if quick {
+		walLens = []int{8, 16, 32}
+	}
+	tb2 := NewTable(
+		fmt.Sprintf("Recovery vs WAL length (base n=%d, %d items/batch): snapshot + W logged batches.", baseN, batch),
+		"W records", "replay items", "replay comm", "comm/record", "replay rounds", "replay ms", "total ms")
+	for _, wl := range walLens {
+		dir, err := os.MkdirTemp("", "pimkd-e26-wal")
+		if err != nil {
+			fmt.Fprintf(w, "tempdir: %v\n", err)
+			return
+		}
+		cfg := core.Config{Dim: dim, Seed: 413}
+		st, tree, _, err := persist.Open(dir, persist.Options{Machine: pimNewMachine(p), Tree: cfg})
+		if err != nil {
+			fmt.Fprintf(w, "persist.Open: %v\n", err)
+			return
+		}
+		tree.Build(makeItems(workload.Uniform(baseN, dim, 413)))
+		if err := st.Checkpoint(tree); err != nil {
+			fmt.Fprintf(w, "checkpoint: %v\n", err)
+			return
+		}
+		extra := makeItems(workload.Uniform(wl*batch, dim, 417))
+		for i := 0; i < wl; i++ {
+			if _, err := st.LogBatch(persist.OpInsert, extra[i*batch:(i+1)*batch]); err != nil {
+				fmt.Fprintf(w, "LogBatch: %v\n", err)
+				return
+			}
+		}
+		st.Close()
+
+		t0 := time.Now()
+		st2, _, rec, err := persist.Open(dir, persist.Options{Machine: pimNewMachine(p)})
+		if err != nil {
+			fmt.Fprintf(w, "recovery Open: %v\n", err)
+			return
+		}
+		total := time.Since(t0)
+		st2.Close()
+		tb2.Row(rec.ReplayRecords, rec.ReplayItems, rec.ReplayCost.Communication,
+			perQuery(rec.ReplayCost.Communication, rec.ReplayRecords),
+			rec.ReplayCost.Rounds, ms(rec.ReplayWall), ms(total))
+		os.RemoveAll(dir)
+	}
+	tb2.Fprint(w)
+	fmt.Fprintln(w, "shape check: replay comm/record flat as W grows => recovery time is snapshot load + Θ(WAL length).")
+}
+
+// ms renders a duration as fractional milliseconds for table rows.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -177,6 +177,12 @@ func New(cfg Config, mach *pim.Machine) *Tree {
 // Machine returns the underlying PIM machine.
 func (t *Tree) Machine() *pim.Machine { return t.mach }
 
+// ConfigSnapshot returns the tree's effective configuration (defaults
+// applied). Reconstructing a tree with this config, the same machine shape,
+// and the same point set yields an equivalent index; the persistence layer
+// stores it in snapshot headers.
+func (t *Tree) ConfigSnapshot() Config { return t.cfg }
+
 // Size returns the number of stored points.
 func (t *Tree) Size() int { return t.size }
 

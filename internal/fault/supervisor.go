@@ -53,10 +53,10 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 
 // Event records one handled fault.
 type Event struct {
-	Round   int64         `json:"round"`
-	Module  int           `json:"module"`
-	Kind    string        `json:"kind"`
-	Attempt int           `json:"attempt"`
+	Round   int64  `json:"round"`
+	Module  int    `json:"module"`
+	Kind    string `json:"kind"`
+	Attempt int    `json:"attempt"`
 	// Recovered is false when the supervisor gave up (retries exhausted).
 	Recovered bool `json:"recovered"`
 	// RebuiltNodes/RebuiltPoints count what the rebuild re-shipped (zero
@@ -82,6 +82,15 @@ type Stats struct {
 	// RecoveryCost is the summed pim.Stats delta of every rebuild — the
 	// metered price of fault tolerance.
 	RecoveryCost pim.Stats `json:"recovery_cost"`
+
+	// Process-level recovery (the persist layer's story, one level above
+	// module rebuilds): how many times this process was restored from
+	// snapshot + WAL, what replay re-applied, and what it cost. Populated
+	// by RecordProcessRecovery at startup.
+	ProcessRecoveries int64     `json:"process_recoveries"`
+	ReplayedRecords   int64     `json:"replayed_records"`
+	ReplayedItems     int64     `json:"replayed_items"`
+	ReplayCost        pim.Stats `json:"replay_cost"`
 }
 
 // Supervisor implements detect → rebuild → retry on top of the machine's
@@ -154,6 +163,23 @@ func (s *Supervisor) record(f *pim.ModuleFault, ev Event) {
 	if s.cfg.OnEvent != nil {
 		s.cfg.OnEvent(ev)
 	}
+}
+
+// RecordProcessRecovery folds a completed process-level recovery (a
+// persist.Open that restored state from snapshot + write-ahead log) into the
+// supervisor's stats, completing the fault story across both levels: module
+// crashes are rebuilt live in Θ(n/P), process crashes are rebuilt at startup
+// from the durability layer, and both report their exact metered cost here.
+// The arguments mirror persist.RecoveryStats (records/items replayed and the
+// machine-metered replay cost); fault does not import persist so either can
+// be used without the other.
+func (s *Supervisor) RecordProcessRecovery(records, items int64, cost pim.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ProcessRecoveries++
+	s.stats.ReplayedRecords += records
+	s.stats.ReplayedItems += items
+	s.stats.ReplayCost = s.stats.ReplayCost.Add(cost)
 }
 
 // Stats returns the supervisor's aggregate counters.

@@ -1,0 +1,413 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/pkdtree"
+)
+
+// Snapshot file format (version 1), little-endian throughout:
+//
+//	magic   "PKDSNAP1"                        (8 bytes)
+//	version uint32                            (= 1)
+//	sections, each:
+//	    tag     [4]byte                       ("META", "PNTS", "DONE")
+//	    length  uint64                        (payload bytes)
+//	    payload
+//	    crc32   uint32                        (IEEE, of payload)
+//
+// META and PNTS are required, in that order; the zero-length DONE section
+// terminates the file — a snapshot without it is a torn write and is
+// rejected as a whole (snapshots are replaced atomically via temp + rename,
+// so a valid predecessor is still on disk).
+const (
+	snapMagic       = "PKDSNAP1"
+	snapVersion     = 1
+	metaPayloadSize = 90
+	// maxSectionLen bounds a single section so a corrupted length field
+	// cannot drive a huge allocation.
+	maxSectionLen = 1 << 31
+)
+
+// TreeKind identifies which index class a snapshot captures.
+type TreeKind uint8
+
+const (
+	// KindCore is the PIM-kd-tree (core.Tree) — the serving stack's index.
+	KindCore TreeKind = 1
+	// KindPKD is the shared-memory PKD-tree baseline (pkdtree.Tree); its
+	// leaf buckets round-trip through the same snapshot format.
+	KindPKD TreeKind = 2
+)
+
+// SnapshotMeta is the self-describing header of a snapshot: the full
+// structural configuration (so recovery reconstructs a deterministic tree
+// from the same structure seed) plus the WAL position the point set
+// includes.
+type SnapshotMeta struct {
+	Kind     TreeKind
+	Dim      int
+	LeafSize int
+	// Groups/ChunkSize/PushPullFactor/NoDelayedGroup1/Alpha/Beta/Seed
+	// mirror core.Config; Oversample is pkdtree-only (zero for core).
+	Groups          int
+	ChunkSize       int
+	PushPullFactor  int
+	NoDelayedGroup1 bool
+	Oversample      int
+	Alpha           float64
+	Beta            float64
+	Seed            int64
+	// P and CacheM describe the PIM machine the tree was bound to. A
+	// KindPKD snapshot stores the modeled cache in CacheM and P = 0.
+	P      int
+	CacheM int
+	// N is the number of stored items (must match the PNTS section).
+	N int
+	// AppliedLSN is the last WAL record folded into this snapshot; replay
+	// resumes at AppliedLSN+1.
+	AppliedLSN uint64
+	// CreatedUnixNano is the wall-clock write time (informational).
+	CreatedUnixNano int64
+}
+
+// Snapshot is a decoded snapshot: the meta header plus the full point set
+// in tree order.
+type Snapshot struct {
+	Meta  SnapshotMeta
+	Items []core.Item
+}
+
+// itemSize is the encoded size of one item in dimension dim.
+func itemSize(dim int) int { return 4 + 8 + 8*dim }
+
+func appendItem(buf []byte, it core.Item) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(it.ID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Priority))
+	for _, c := range it.P {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+	}
+	return buf
+}
+
+func decodeItem(data []byte, dim int) core.Item {
+	it := core.Item{
+		ID:       int32(binary.LittleEndian.Uint32(data)),
+		Priority: math.Float64frombits(binary.LittleEndian.Uint64(data[4:])),
+		P:        make(geom.Point, dim),
+	}
+	for d := 0; d < dim; d++ {
+		it.P[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[12+8*d:]))
+	}
+	return it
+}
+
+func appendSection(buf []byte, tag string, payload []byte) []byte {
+	buf = append(buf, tag...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+func encodeMeta(m SnapshotMeta) []byte {
+	buf := make([]byte, 0, metaPayloadSize)
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.LeafSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Groups))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ChunkSize))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.PushPullFactor)))
+	if m.NoDelayedGroup1 {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Oversample))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Beta))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Seed))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.P))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.CacheM))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.N))
+	buf = binary.LittleEndian.AppendUint64(buf, m.AppliedLSN)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.CreatedUnixNano))
+	return buf
+}
+
+func decodeMeta(payload []byte) (SnapshotMeta, error) {
+	var m SnapshotMeta
+	if len(payload) != metaPayloadSize {
+		return m, fmt.Errorf("%w: META payload %d bytes, want %d", ErrCorrupt, len(payload), metaPayloadSize)
+	}
+	m.Kind = TreeKind(payload[0])
+	m.Dim = int(int32(binary.LittleEndian.Uint32(payload[1:])))
+	m.LeafSize = int(int32(binary.LittleEndian.Uint32(payload[5:])))
+	m.Groups = int(int32(binary.LittleEndian.Uint32(payload[9:])))
+	m.ChunkSize = int(int32(binary.LittleEndian.Uint32(payload[13:])))
+	m.PushPullFactor = int(int64(binary.LittleEndian.Uint64(payload[17:])))
+	m.NoDelayedGroup1 = payload[25] != 0
+	m.Oversample = int(int32(binary.LittleEndian.Uint32(payload[26:])))
+	m.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(payload[30:]))
+	m.Beta = math.Float64frombits(binary.LittleEndian.Uint64(payload[38:]))
+	m.Seed = int64(binary.LittleEndian.Uint64(payload[46:]))
+	m.P = int(int32(binary.LittleEndian.Uint32(payload[54:])))
+	m.CacheM = int(int64(binary.LittleEndian.Uint64(payload[58:])))
+	m.N = int(int64(binary.LittleEndian.Uint64(payload[66:])))
+	m.AppliedLSN = binary.LittleEndian.Uint64(payload[74:])
+	m.CreatedUnixNano = int64(binary.LittleEndian.Uint64(payload[82:]))
+	if m.Kind != KindCore && m.Kind != KindPKD {
+		return m, fmt.Errorf("%w: unknown tree kind %d", ErrCorrupt, m.Kind)
+	}
+	if m.Dim < 1 || m.Dim > 1<<16 {
+		return m, fmt.Errorf("%w: impossible dimension %d", ErrCorrupt, m.Dim)
+	}
+	if m.N < 0 {
+		return m, fmt.Errorf("%w: negative item count %d", ErrCorrupt, m.N)
+	}
+	return m, nil
+}
+
+// EncodeSnapshot serializes snap to the version-1 binary format.
+func EncodeSnapshot(snap Snapshot) []byte {
+	dim := snap.Meta.Dim
+	snap.Meta.N = len(snap.Items)
+	buf := make([]byte, 0, 8+4+16*3+metaPayloadSize+len(snap.Items)*itemSize(dim)+64)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+	buf = appendSection(buf, "META", encodeMeta(snap.Meta))
+	pts := make([]byte, 0, len(snap.Items)*itemSize(dim))
+	for _, it := range snap.Items {
+		pts = appendItem(pts, it)
+	}
+	buf = appendSection(buf, "PNTS", pts)
+	return appendSection(buf, "DONE", nil)
+}
+
+// DecodeSnapshot parses a version-1 snapshot. Every structural violation —
+// bad magic, unknown version, section CRC mismatch, truncated file, length
+// or count inconsistencies — yields a typed error (ErrCorrupt or
+// ErrVersion); DecodeSnapshot never panics on arbitrary input.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var snap Snapshot
+	if len(data) < len(snapMagic)+4 {
+		return snap, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return snap, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(snapMagic):]); v != snapVersion {
+		return snap, fmt.Errorf("%w: snapshot version %d (this build reads %d)", ErrVersion, v, snapVersion)
+	}
+	off := len(snapMagic) + 4
+
+	sections := map[string][]byte{}
+	var order []string
+	done := false
+	for off < len(data) && !done {
+		if len(data)-off < 16 {
+			return snap, fmt.Errorf("%w: truncated section header at offset %d", ErrCorrupt, off)
+		}
+		tag := string(data[off : off+4])
+		length := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		off += 12
+		if length > maxSectionLen || length > uint64(len(data)-off) {
+			return snap, fmt.Errorf("%w: section %q length %d exceeds file", ErrCorrupt, tag, length)
+		}
+		payload := data[off : off+int(length)]
+		off += int(length)
+		if len(data)-off < 4 {
+			return snap, fmt.Errorf("%w: section %q missing CRC", ErrCorrupt, tag)
+		}
+		want := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return snap, fmt.Errorf("%w: section %q CRC %08x, want %08x", ErrCorrupt, tag, got, want)
+		}
+		if _, dup := sections[tag]; dup {
+			return snap, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, tag)
+		}
+		sections[tag] = payload
+		order = append(order, tag)
+		done = tag == "DONE"
+	}
+	if !done {
+		return snap, fmt.Errorf("%w: snapshot not terminated by DONE (torn write)", ErrCorrupt)
+	}
+	if len(order) != 3 || order[0] != "META" || order[1] != "PNTS" {
+		return snap, fmt.Errorf("%w: section order %v, want [META PNTS DONE]", ErrCorrupt, order)
+	}
+
+	meta, err := decodeMeta(sections["META"])
+	if err != nil {
+		return snap, err
+	}
+	pts := sections["PNTS"]
+	isz := itemSize(meta.Dim)
+	if len(pts) != meta.N*isz {
+		return snap, fmt.Errorf("%w: PNTS %d bytes, want %d items × %d", ErrCorrupt, len(pts), meta.N, isz)
+	}
+	items := make([]core.Item, meta.N)
+	for i := range items {
+		items[i] = decodeItem(pts[i*isz:], meta.Dim)
+	}
+	return Snapshot{Meta: meta, Items: items}, nil
+}
+
+// WriteSnapshotFile atomically writes snap to path: the bytes go to a
+// temporary sibling first, are fsync'd, and are renamed into place, so a
+// crash mid-write can never destroy an existing valid snapshot.
+func WriteSnapshotFile(path string, snap Snapshot) (int64, error) {
+	data := EncodeSnapshot(snap)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	syncDir(filepath.Dir(path))
+	return int64(len(data)), nil
+}
+
+// ReadSnapshotFile reads and decodes one snapshot file.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort (some
+// filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// CoreSnapshot captures the host-authoritative state of a core.Tree: its
+// full configuration (structure seed included), machine shape, and every
+// stored point in tree order. appliedLSN is the last WAL record the state
+// includes; now is the wall-clock stamp.
+func CoreSnapshot(t *core.Tree, appliedLSN uint64, now int64) Snapshot {
+	cfg := t.ConfigSnapshot()
+	return Snapshot{
+		Meta: SnapshotMeta{
+			Kind:            KindCore,
+			Dim:             cfg.Dim,
+			LeafSize:        cfg.LeafSize,
+			Groups:          cfg.Groups,
+			ChunkSize:       cfg.ChunkSize,
+			PushPullFactor:  cfg.PushPullFactor,
+			NoDelayedGroup1: cfg.NoDelayedGroup1,
+			Alpha:           cfg.Alpha,
+			Beta:            cfg.Beta,
+			Seed:            cfg.Seed,
+			P:               t.Machine().P(),
+			CacheM:          t.Machine().CacheM(),
+			N:               t.Size(),
+			AppliedLSN:      appliedLSN,
+			CreatedUnixNano: now,
+		},
+		Items: t.Items(),
+	}
+}
+
+// RestoreCore reconstructs a core.Tree from a KindCore snapshot on mach.
+// The build runs through the normal metered construction path under the
+// trace label "persist/load", so the cost of re-shipping state into the
+// machine is visible in pim.Stats and traces.
+func (s Snapshot) RestoreCore(mach *pim.Machine) (*core.Tree, error) {
+	if s.Meta.Kind != KindCore {
+		return nil, fmt.Errorf("%w: snapshot kind %d is not a core tree", ErrMismatch, s.Meta.Kind)
+	}
+	if mach.P() != s.Meta.P {
+		return nil, fmt.Errorf("%w: machine has P=%d, snapshot was taken at P=%d", ErrMismatch, mach.P(), s.Meta.P)
+	}
+	cfg := core.Config{
+		Dim:             s.Meta.Dim,
+		Alpha:           s.Meta.Alpha,
+		Beta:            s.Meta.Beta,
+		LeafSize:        s.Meta.LeafSize,
+		Groups:          s.Meta.Groups,
+		PushPullFactor:  s.Meta.PushPullFactor,
+		ChunkSize:       s.Meta.ChunkSize,
+		NoDelayedGroup1: s.Meta.NoDelayedGroup1,
+		Seed:            s.Meta.Seed,
+	}
+	tree := core.New(cfg, mach)
+	if len(s.Items) > 0 {
+		pop := mach.PushLabel("persist/load")
+		tree.Build(s.Items)
+		pop()
+	}
+	return tree, nil
+}
+
+// PKDSnapshot captures a pkdtree.Tree (leaf buckets + configuration) in the
+// same snapshot format, kind KindPKD.
+func PKDSnapshot(t *pkdtree.Tree, appliedLSN uint64, now int64) Snapshot {
+	cfg := t.ConfigSnapshot()
+	pts := t.Items()
+	items := make([]core.Item, len(pts))
+	for i, it := range pts {
+		items[i] = core.Item{P: it.P, ID: it.ID}
+	}
+	return Snapshot{
+		Meta: SnapshotMeta{
+			Kind:            KindPKD,
+			Dim:             cfg.Dim,
+			LeafSize:        cfg.LeafSize,
+			Oversample:      cfg.Oversample,
+			Alpha:           cfg.Alpha,
+			Seed:            cfg.Seed,
+			CacheM:          cfg.CacheM,
+			N:               len(items),
+			AppliedLSN:      appliedLSN,
+			CreatedUnixNano: now,
+		},
+		Items: items,
+	}
+}
+
+// RestorePKD reconstructs a pkdtree.Tree from a KindPKD snapshot.
+func (s Snapshot) RestorePKD() (*pkdtree.Tree, error) {
+	if s.Meta.Kind != KindPKD {
+		return nil, fmt.Errorf("%w: snapshot kind %d is not a pkd tree", ErrMismatch, s.Meta.Kind)
+	}
+	cfg := pkdtree.Config{
+		Dim:        s.Meta.Dim,
+		Alpha:      s.Meta.Alpha,
+		LeafSize:   s.Meta.LeafSize,
+		CacheM:     s.Meta.CacheM,
+		Oversample: s.Meta.Oversample,
+		Seed:       s.Meta.Seed,
+	}
+	items := make([]pkdtree.Item, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = pkdtree.Item{P: it.P, ID: it.ID}
+	}
+	return pkdtree.New(cfg, items), nil
+}

@@ -1,0 +1,243 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"pimkd/internal/core"
+)
+
+// WAL segment format, little-endian:
+//
+//	header (24 bytes):
+//	    magic    "PKDWAL01"  (8 bytes)
+//	    dim      uint32
+//	    startLSN uint64      (LSN of the first record in this segment)
+//	    crc32    uint32      (IEEE, of the 12 bytes dim+startLSN)
+//	records, back to back:
+//	    length   uint32      (payload bytes)
+//	    crc32    uint32      (IEEE, of payload)
+//	    payload:
+//	        lsn    uint64
+//	        op     uint8     (OpInsert | OpDelete)
+//	        count  uint32
+//	        count × item     (id int32, priority float64, dim × float64)
+//
+// A record whose frame fails to parse — short header, short payload, CRC
+// mismatch — at the *tail* of the newest segment is a torn append from a
+// crash and is truncated away; anywhere else it is corruption (ErrCorrupt).
+// LSNs are strictly sequential across segments with no gaps.
+const (
+	walMagic      = "PKDWAL01"
+	walHeaderSize = 24
+	// maxWALRecordLen bounds one record's payload so a corrupted length
+	// field cannot drive a huge allocation (2^28 B ≈ 16M 2-d items).
+	maxWALRecordLen = 1 << 28
+)
+
+// WALRecord is one decoded write-ahead-log record: an acknowledged update
+// batch with its log sequence number.
+type WALRecord struct {
+	LSN   uint64
+	Op    Op
+	Items []core.Item
+}
+
+// EncodeWALRecord frames one record (length + CRC + payload) for appending
+// to a segment whose header declares dimension dim.
+func EncodeWALRecord(rec WALRecord, dim int) []byte {
+	payload := make([]byte, 0, 13+len(rec.Items)*itemSize(dim))
+	payload = binary.LittleEndian.AppendUint64(payload, rec.LSN)
+	payload = append(payload, byte(rec.Op))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Items)))
+	for _, it := range rec.Items {
+		payload = appendItem(payload, it)
+	}
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// decodeWALPayload parses a CRC-validated record payload. A payload that
+// passed its frame CRC but fails structural validation is corruption, not a
+// torn tail.
+func decodeWALPayload(payload []byte, dim int) (WALRecord, error) {
+	var rec WALRecord
+	if len(payload) < 13 {
+		return rec, fmt.Errorf("%w: WAL payload %d bytes, want >= 13", ErrCorrupt, len(payload))
+	}
+	rec.LSN = binary.LittleEndian.Uint64(payload)
+	rec.Op = Op(payload[8])
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return rec, fmt.Errorf("%w: WAL record lsn=%d has unknown op %d", ErrCorrupt, rec.LSN, payload[8])
+	}
+	count := int(binary.LittleEndian.Uint32(payload[9:]))
+	isz := itemSize(dim)
+	if len(payload) != 13+count*isz {
+		return rec, fmt.Errorf("%w: WAL record lsn=%d payload %d bytes, want %d items × %d",
+			ErrCorrupt, rec.LSN, len(payload), count, isz)
+	}
+	rec.Items = make([]core.Item, count)
+	for i := range rec.Items {
+		rec.Items[i] = decodeItem(payload[13+i*isz:], dim)
+	}
+	return rec, nil
+}
+
+func encodeWALHeader(dim int, startLSN uint64) []byte {
+	buf := make([]byte, 0, walHeaderSize)
+	buf = append(buf, walMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.LittleEndian.AppendUint64(buf, startLSN)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[8:20]))
+}
+
+func decodeWALHeader(data []byte) (dim int, startLSN uint64, err error) {
+	if len(data) < walHeaderSize {
+		return 0, 0, fmt.Errorf("%w: WAL segment %d bytes is shorter than the %d-byte header",
+			ErrCorrupt, len(data), walHeaderSize)
+	}
+	if string(data[:8]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(data[8:20]), binary.LittleEndian.Uint32(data[20:24]); got != want {
+		return 0, 0, fmt.Errorf("%w: WAL header CRC %08x, want %08x", ErrCorrupt, got, want)
+	}
+	dim = int(int32(binary.LittleEndian.Uint32(data[8:])))
+	if dim < 1 || dim > 1<<16 {
+		return 0, 0, fmt.Errorf("%w: impossible WAL dimension %d", ErrCorrupt, dim)
+	}
+	return dim, binary.LittleEndian.Uint64(data[12:]), nil
+}
+
+// WALScan is the result of scanning one segment's bytes.
+type WALScan struct {
+	Dim      int
+	StartLSN uint64
+	Records  []WALRecord
+	// ValidLen is the byte offset of the first torn frame (== len(data)
+	// when the segment parses cleanly); truncating the file to ValidLen
+	// removes the torn tail.
+	ValidLen int64
+	// Torn reports whether a torn frame terminated the scan.
+	Torn bool
+}
+
+// ScanWALSegment parses a segment image. Frame-level damage (short or
+// CRC-failing frame) terminates the scan as a torn tail — recorded, not an
+// error, because the caller decides whether a tail is legal here. Damage
+// *behind* a valid frame (bad op, count/length mismatch, LSN gap) is
+// ErrCorrupt. ScanWALSegment never panics on arbitrary input.
+func ScanWALSegment(data []byte) (WALScan, error) {
+	var s WALScan
+	dim, start, err := decodeWALHeader(data)
+	if err != nil {
+		return s, err
+	}
+	s.Dim, s.StartLSN = dim, start
+	s.ValidLen = walHeaderSize
+	next := start
+	off := walHeaderSize
+	for off < len(data) {
+		if len(data)-off < 8 {
+			s.Torn = true
+			return s, nil
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxWALRecordLen || length > len(data)-off-8 {
+			s.Torn = true
+			return s, nil
+		}
+		payload := data[off+8 : off+8+length]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			s.Torn = true
+			return s, nil
+		}
+		rec, err := decodeWALPayload(payload, dim)
+		if err != nil {
+			return s, err
+		}
+		if rec.LSN != next {
+			return s, fmt.Errorf("%w: WAL record lsn=%d, want %d (gap or reorder)", ErrCorrupt, rec.LSN, next)
+		}
+		next++
+		off += 8 + length
+		s.Records = append(s.Records, rec)
+		s.ValidLen = int64(off)
+	}
+	return s, nil
+}
+
+// walSegment is an open, append-position WAL segment file.
+type walSegment struct {
+	f        *os.File
+	path     string
+	startLSN uint64
+	size     int64
+}
+
+// createWALSegment creates a fresh segment with its header written (and
+// synced when fsync is set).
+func createWALSegment(path string, dim int, startLSN uint64, fsync bool) (*walSegment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := encodeWALHeader(dim, startLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walSegment{f: f, path: path, startLSN: startLSN, size: int64(len(hdr))}, nil
+}
+
+// openWALSegmentForAppend reopens an existing segment, truncates it to
+// validLen (dropping any torn tail), and positions writes at the end.
+func openWALSegmentForAppend(path string, startLSN uint64, validLen int64) (*walSegment, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walSegment{f: f, path: path, startLSN: startLSN, size: validLen}, nil
+}
+
+func (s *walSegment) append(frame []byte, fsync bool) error {
+	if _, err := s.f.Write(frame); err != nil {
+		return err
+	}
+	if fsync {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.size += int64(len(frame))
+	return nil
+}
+
+func (s *walSegment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

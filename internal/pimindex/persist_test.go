@@ -1,0 +1,99 @@
+package pimindex_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimkd/internal/persist"
+	"pimkd/internal/pim"
+	"pimkd/internal/pimindex"
+)
+
+// TestIndexSnapshotRoundTrip proves the ordered index survives the
+// persistence layer bit-for-bit at the query level: build, snapshot, restore
+// onto a fresh machine, apply identical update batches to both sides, and
+// require identical query answers AND identical metered query costs. n stays
+// under the small-build threshold (max(1024, 4·P·LeafSize)), where
+// construction is sampling-free, so the restored tree's shape — and
+// therefore every query's metered cost — is reproduced exactly from the
+// snapshot's point multiset and structure seed.
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	const (
+		p = 16
+		n = 800
+	)
+	rng := rand.New(rand.NewSource(4))
+	entries := make([]pimindex.Entry, n)
+	for i := range entries {
+		entries[i] = pimindex.Entry{Key: rng.Float64() * 1e6, Value: int32(i)}
+	}
+
+	mach1 := pim.NewMachine(p, 1<<20)
+	ix := pimindex.New(mach1, pimindex.Options{Seed: 21, LeafSize: 8})
+	ix.Build(entries[:700])
+
+	// Snapshot the freshly built index through its underlying tree.
+	snap := persist.CoreSnapshot(ix.Tree(), 0, 0)
+	decoded, err := persist.DecodeSnapshot(persist.EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatalf("snapshot round trip: %v", err)
+	}
+	mach2 := pim.NewMachine(p, 1<<20)
+	tree2, err := decoded.RestoreCore(mach2)
+	if err != nil {
+		t.Fatalf("RestoreCore: %v", err)
+	}
+	ix2 := pimindex.Wrap(tree2)
+	if ix2.Size() != ix.Size() {
+		t.Fatalf("restored size %d, want %d", ix2.Size(), ix.Size())
+	}
+
+	// Post-restore life continues identically on both sides: the restored
+	// tree is structurally equivalent (below the small-build threshold the
+	// shape is a pure function of the point multiset and seed), so the same
+	// update batches evolve both trees in lockstep.
+	ix.Insert(entries[700:])
+	ix.Delete(entries[100:150])
+	ix2.Insert(entries[700:])
+	ix2.Delete(entries[100:150])
+
+	// Query workload: point lookups (hits and misses) and range scans.
+	keys := make([]float64, 0, 120)
+	for i := 200; i < 300; i++ {
+		keys = append(keys, entries[i].Key)
+	}
+	for i := 0; i < 20; i++ {
+		keys = append(keys, rng.Float64()*1e6)
+	}
+
+	run := func(ix *pimindex.Index, mach *pim.Machine) ([][]int32, [][]pimindex.Entry, pim.Stats) {
+		before := mach.Stats()
+		looked := ix.Lookup(keys)
+		scans := [][]pimindex.Entry{
+			ix.RangeScan(1e5, 2e5),
+			ix.RangeScan(8e5, 9e5),
+		}
+		return looked, scans, mach.Stats().Sub(before)
+	}
+
+	look1, scan1, cost1 := run(ix, mach1)
+	look2, scan2, cost2 := run(ix2, mach2)
+	if !reflect.DeepEqual(look1, look2) {
+		t.Fatal("lookup answers differ after snapshot restore")
+	}
+	if !reflect.DeepEqual(scan1, scan2) {
+		t.Fatal("range-scan answers differ after snapshot restore")
+	}
+	if cost1 != cost2 {
+		t.Fatalf("metered query cost differs after restore:\n before %+v\n after  %+v", cost1, cost2)
+	}
+
+	min1, ok1 := ix.Min()
+	min2, ok2 := ix2.Min()
+	max1, _ := ix.Max()
+	max2, _ := ix2.Max()
+	if !ok1 || !ok2 || min1 != min2 || max1 != max2 {
+		t.Fatalf("extremes differ: min %v/%v max %v/%v", min1, min2, max1, max2)
+	}
+}

@@ -55,6 +55,20 @@ func New(mach *pim.Machine, opt Options) *Index {
 	return &Index{tree: core.New(cfg, mach)}
 }
 
+// Tree exposes the underlying 1-D core tree, e.g. for the persistence
+// layer to snapshot it.
+func (ix *Index) Tree() *core.Tree { return ix.tree }
+
+// Wrap adopts an existing 1-D core tree (typically one restored by the
+// persistence layer) as an Index. It panics if the tree is not
+// one-dimensional.
+func Wrap(tree *core.Tree) *Index {
+	if tree.Dim() != 1 {
+		panic("pimindex: Wrap requires a 1-D tree")
+	}
+	return &Index{tree: tree}
+}
+
 // Size returns the number of stored entries.
 func (ix *Index) Size() int { return ix.tree.Size() }
 

@@ -29,6 +29,8 @@ package serve
 import (
 	"math/rand"
 	"time"
+
+	"pimkd/internal/persist"
 )
 
 // Config parameterizes a Service. The zero value is usable; defaults are
@@ -87,6 +89,22 @@ type Config struct {
 	// RetryBackoff is the wall-clock delay before the first batch retry; it
 	// doubles per attempt. Never metered. Default 500µs.
 	RetryBackoff time.Duration
+
+	// Persist, when non-nil, turns on durable-write mode: every sealed
+	// write batch is appended to this store's write-ahead log before it
+	// commits to the machine (acknowledgement ⇒ durability), and a
+	// background checkpointer periodically folds the log into a snapshot.
+	// The Service does not Open or Close the store — the caller owns its
+	// lifecycle and must Close it only after Service.Close returns.
+	Persist *persist.Store
+	// CheckpointEvery starts a checkpoint after this many committed write
+	// batches. Default 256; negative disables the count trigger.
+	CheckpointEvery int
+	// CheckpointInterval starts a checkpoint when this much wall time has
+	// passed since the last one (checked after each committed write batch —
+	// an entirely idle service does not checkpoint). Default 30s; negative
+	// disables the interval trigger.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +131,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 500 * time.Microsecond
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 256
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 	return c
 }

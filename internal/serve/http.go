@@ -42,6 +42,7 @@ func toWire(items []core.Item) []wireItem {
 //	POST /delete?id=7&p=0.5,0.5
 //	GET  /statsz
 //	GET  /tracez[?k=10][&format=perfetto]
+//	GET  /persistz
 //	GET  /healthz
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -52,6 +53,57 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Metrics())
+	})
+
+	mux.HandleFunc("/persistz", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.PersistStatus()
+		if !ok {
+			http.Error(w, "persistence disabled: start the service with Config.Persist", http.StatusNotFound)
+			return
+		}
+		var snapAge float64
+		if st.SnapshotUnixNano > 0 {
+			snapAge = time.Since(time.Unix(0, st.SnapshotUnixNano)).Seconds()
+		}
+		rec := st.LastRecovery
+		writeJSON(w, struct {
+			Dir                string  `json:"dir"`
+			LSN                uint64  `json:"lsn"`
+			Fsync              bool    `json:"fsync"`
+			SnapshotLSN        uint64  `json:"snapshot_lsn"`
+			SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+			SnapshotBytes      int64   `json:"snapshot_bytes"`
+			WALSegments        int     `json:"wal_segments"`
+			WALBytes           int64   `json:"wal_bytes"`
+			Appends            uint64  `json:"appends"`
+			Syncs              uint64  `json:"syncs"`
+			CheckpointsStarted uint64  `json:"checkpoints_started"`
+			CheckpointsWritten uint64  `json:"checkpoints_written"`
+			LastCheckpointErr  string  `json:"last_checkpoint_err,omitempty"`
+			// Last-recovery summary: what Open found at startup and what the
+			// replay cost in metered terms.
+			Recovered         bool    `json:"recovered"`
+			RecoverySnapshot  string  `json:"recovery_snapshot,omitempty"`
+			ReplayRecords     int     `json:"replay_records"`
+			ReplayItems       int     `json:"replay_items"`
+			TornBytesDropped  int64   `json:"torn_bytes_dropped"`
+			ReplayCommWords   int64   `json:"replay_comm_words"`
+			ReplayWallSeconds float64 `json:"replay_wall_seconds"`
+		}{
+			Dir: st.Dir, LSN: st.LSN, Fsync: st.Fsync,
+			SnapshotLSN: st.SnapshotLSN, SnapshotAgeSeconds: snapAge, SnapshotBytes: st.SnapshotBytes,
+			WALSegments: st.WALSegments, WALBytes: st.WALBytes,
+			Appends: st.Appends, Syncs: st.Syncs,
+			CheckpointsStarted: st.CheckpointsStarted, CheckpointsWritten: st.CheckpointsWritten,
+			LastCheckpointErr: st.LastCheckpointErr,
+			Recovered:         rec.Recovered,
+			RecoverySnapshot:  rec.SnapshotPath,
+			ReplayRecords:     rec.ReplayRecords,
+			ReplayItems:       rec.ReplayItems,
+			TornBytesDropped:  rec.TornBytes,
+			ReplayCommWords:   rec.ReplayCost.Communication,
+			ReplayWallSeconds: rec.ReplayWall.Seconds(),
+		})
 	})
 
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
@@ -231,7 +283,7 @@ func (s *Service) okReply(w http.ResponseWriter, err error) bool {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrFault):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, ErrBatchPanic):
+	case errors.Is(err, ErrBatchPanic), errors.Is(err, ErrPersist):
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)

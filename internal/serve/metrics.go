@@ -25,11 +25,12 @@ type metrics struct {
 	totalBatches  int64
 
 	// Robustness counters (see Robustness).
-	sheds         int64
-	canceledReqs  int64
-	batchRetries  int64
-	batchFaults   int64
-	batchPanics   int64
+	sheds           int64
+	canceledReqs    int64
+	batchRetries    int64
+	batchFaults     int64
+	batchPanics     int64
+	persistFailures int64
 
 	// sample is a uniform reservoir over all batch records, seeded by
 	// Config.Seed so a replayed trace exposes an identical sample.
@@ -77,6 +78,9 @@ func (m *metrics) batchFaulted() { m.bump(func(m *metrics) { m.batchFaults++ }) 
 
 // batchPanicked counts a batch execution ended by a non-fault panic.
 func (m *metrics) batchPanicked() { m.bump(func(m *metrics) { m.batchPanics++ }) }
+
+// persistFailed counts a write batch refused because its WAL append failed.
+func (m *metrics) persistFailed() { m.bump(func(m *metrics) { m.persistFailures++ }) }
 
 func (m *metrics) record(rec BatchRecord) {
 	m.mu.Lock()
@@ -160,6 +164,9 @@ type Robustness struct {
 	BatchFaults int64 `json:"batch_faults"`
 	// BatchPanics counts batch executions ended by a non-fault panic.
 	BatchPanics int64 `json:"batch_panics"`
+	// PersistFailures counts write batches refused because their
+	// write-ahead-log append failed (durable-write mode only).
+	PersistFailures int64 `json:"persist_failures"`
 }
 
 // MetricsSnapshot is the full /statsz payload.
@@ -183,19 +190,20 @@ func (m *metrics) snapshot(mach pim.Snapshot, cfg Config) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
-		MaxBatch:           cfg.MaxBatch,
-		MaxLingerUS:        float64(cfg.MaxLinger) / float64(time.Microsecond),
-		MaxPending:         cfg.MaxPending,
-		Seed:               cfg.Seed,
-		Epochs:             m.epochs,
-		TotalRequests:      m.totalRequests,
-		TotalBatches:       m.totalBatches,
+		MaxBatch:      cfg.MaxBatch,
+		MaxLingerUS:   float64(cfg.MaxLinger) / float64(time.Microsecond),
+		MaxPending:    cfg.MaxPending,
+		Seed:          cfg.Seed,
+		Epochs:        m.epochs,
+		TotalRequests: m.totalRequests,
+		TotalBatches:  m.totalBatches,
 		Robustness: Robustness{
 			Sheds:            m.sheds,
 			CanceledRequests: m.canceledReqs,
 			BatchRetries:     m.batchRetries,
 			BatchFaults:      m.batchFaults,
 			BatchPanics:      m.batchPanics,
+			PersistFailures:  m.persistFailures,
 		},
 		Machine:            mach.Stats,
 		MachineCommBalance: pim.MaxLoadRatio(mach.ModuleComm),

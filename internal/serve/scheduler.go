@@ -30,6 +30,11 @@ func (s *Service) runExecutor() {
 			s.tree.Machine().SetObserver(nil)
 		}
 	}()
+	// Durable-write drain (runs first): by the time the batch channel is
+	// closed and drained, every acknowledged write is logged and committed;
+	// finish any in-flight checkpoint and sync the WAL before signalling
+	// done, so Close returning means the durable state is settled on disk.
+	defer s.drainPersist()
 	var (
 		epoch        int64 = 1
 		lastWasWrite bool
@@ -64,6 +69,21 @@ func (s *Service) execute(b *batch, epoch int64) {
 	b.reqs = live
 	if len(b.reqs) == 0 {
 		return
+	}
+
+	write := !b.key.kind.IsRead()
+	// Durable-write mode: the batch becomes durable *before* it commits to
+	// the machine. If the append fails, the batch is refused in its
+	// entirety — no machine work, no partial state — and its callers see
+	// ErrPersist.
+	if write && s.cfg.Persist != nil {
+		if perr := s.logDurable(b); perr != nil {
+			for _, req := range b.reqs {
+				req.done <- reply{err: fmt.Errorf("%w: %v", ErrPersist, perr)}
+				<-s.tokens
+			}
+			return
+		}
 	}
 
 	mach := s.tree.Machine()
@@ -120,6 +140,10 @@ func (s *Service) execute(b *batch, epoch int64) {
 		}
 		req.done <- rep // buffered, never blocks
 		<-s.tokens      // release the admission token
+	}
+
+	if write && err == nil && s.cfg.Persist != nil {
+		s.maybeCheckpoint()
 	}
 }
 

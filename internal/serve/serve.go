@@ -10,6 +10,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/persist"
 	"pimkd/internal/trace"
 )
 
@@ -30,6 +31,13 @@ var ErrFault = errors.New("serve: machine fault")
 // panic fails only the requests of the affected batch; the service and its
 // executor keep running.
 var ErrBatchPanic = errors.New("serve: batch execution panicked")
+
+// ErrPersist wraps a write-ahead-log append failure in durable-write mode.
+// The affected write batch is NOT applied to the tree (log-before-commit:
+// what cannot be made durable is not acknowledged), and the log stays
+// poisoned until the operator intervenes — subsequent writes fail fast while
+// reads keep serving.
+var ErrPersist = errors.New("serve: durable log append failed")
 
 // Service admits concurrent singleton requests, coalesces them into
 // homogeneous batches, executes the batches against a PIM-kd-tree on its
@@ -68,6 +76,15 @@ type Service struct {
 	// before a batch executes, inside the panic-containment scope. Tests use
 	// it to inject batch-worker panics; production code never sets it.
 	testHookPreBatch func(*batch)
+
+	// Durable-write mode state (Config.Persist != nil; see persist.go).
+	// persistCh hands started checkpoints to the checkpointer goroutine;
+	// persistDone is closed when it exits. writesSinceCkpt and lastCkpt are
+	// executor-only.
+	persistCh       chan *persist.Checkpoint
+	persistDone     chan struct{}
+	writesSinceCkpt int
+	lastCkpt        time.Time
 }
 
 // pendingQueue is a forming batch for one key.
@@ -99,6 +116,12 @@ func New(cfg Config, tree *core.Tree) *Service {
 	if cfg.TraceCapacity > 0 {
 		s.tracer = trace.New(cfg.TraceCapacity)
 		tree.Machine().SetObserver(s.tracer)
+	}
+	if cfg.Persist != nil {
+		s.persistCh = make(chan *persist.Checkpoint, 1)
+		s.persistDone = make(chan struct{})
+		s.lastCkpt = time.Now()
+		go s.runCheckpointer()
 	}
 	go s.runExecutor()
 	return s
