@@ -1,0 +1,154 @@
+// Command pimkd-router fronts N pimkd-server shards as one logical
+// PIM-kd-tree. A spatial kd-split partitioner assigns each shard a cell of
+// the space; the router scatters kNN and range queries to only the shards
+// whose cell can affect the answer (bounding-box and best-k distance
+// pruning), merges the per-shard results into the exact global answer,
+// routes inserts and deletes to the owning shard, and tracks shard health
+// with periodic probes — unhealthy shards are excluded from scatter and
+// reinstated when probes succeed again. Inter-node traffic uses the compact
+// binary wire protocol (internal/shard), not JSON.
+//
+// Each shard is a pimkd-server started with -shard-addr (and typically its
+// own -data-dir):
+//
+//	pimkd-server -addr :8081 -shard-addr :9081 -data-dir /var/lib/pimkd/s0 -n 0 &
+//	pimkd-server -addr :8082 -shard-addr :9082 -data-dir /var/lib/pimkd/s1 -n 0 &
+//	pimkd-server -addr :8083 -shard-addr :9083 -data-dir /var/lib/pimkd/s2 -n 0 &
+//	pimkd-router -addr :8080 -shards localhost:9081,localhost:9082,localhost:9083 \
+//	    -dim 2 -bounds 0,0,1,1
+//
+//	curl 'localhost:8080/knn?p=0.5,0.5&k=8'
+//	curl 'localhost:8080/range?lo=0.1,0.1&hi=0.2,0.2'
+//	curl -X POST 'localhost:8080/insert?id=123456&p=0.3,0.7'
+//	curl 'localhost:8080/shardz'      # membership, health, drift ratios
+//	curl 'localhost:8080/statsz'      # scatter/prune/hedge/wire counters
+//
+// Failure semantics: the router never serves a silent partial answer. A
+// query needing an unhealthy shard fails with 503 until the shard returns;
+// an update whose owning shard is down is refused (never acked). Reads are
+// hedged after -hedge; writes are single-attempt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/shard"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "client-facing HTTP listen address")
+		shards    = flag.String("shards", "", "comma-separated shard wire addresses (host:port), one per partition cell")
+		dim       = flag.Int("dim", 2, "point dimension")
+		bounds    = flag.String("bounds", "", "partition bounds as lo...,hi... (2*dim comma-separated floats); default unit cube")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-shard call timeout")
+		hedge     = flag.Duration("hedge", 0, "hedge read calls after this delay (0 = timeout/4, negative = off)")
+		probe     = flag.Duration("probe-interval", 500*time.Millisecond, "health probe cadence")
+		failAfter = flag.Int("fail-threshold", 3, "consecutive transport failures before a shard is excluded")
+		drift     = flag.Float64("drift", 2.0, "flag shards above this multiple of the mean point count as rebalance candidates")
+	)
+	flag.Parse()
+
+	addrs := splitNonEmpty(*shards)
+	if len(addrs) == 0 {
+		log.Fatal("need at least one shard: -shards host:port[,host:port...]")
+	}
+	box, err := parseBounds(*bounds, *dim)
+	if err != nil {
+		log.Fatalf("bad -bounds: %v", err)
+	}
+
+	part, err := shard.NewUniformPartition(*dim, len(addrs), box)
+	if err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:        *timeout,
+		HedgeDelay:     *hedge,
+		ProbeInterval:  *probe,
+		FailThreshold:  *failAfter,
+		DriftThreshold: *drift,
+	})
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	for _, st := range router.Status() {
+		cell := part.Cell(st.ID)
+		log.Printf("shard %d at %s: healthy=%v count=%d cell=[%v, %v]",
+			st.ID, st.Addr, st.Healthy, st.Count, cell.Lo, cell.Hi)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: shard.NewHandler(router)}
+	go func() {
+		log.Printf("routing %d shards on %s (timeout=%v probe=%v)", len(addrs), *addr, *timeout, *probe)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	_ = server.Close()
+	m := router.Metrics()
+	router.Close()
+	fmt.Printf("routed %d knn / %d range / %d updates: %d shard calls, %d pruned visits, %d hedges, %d degraded\n",
+		m.KNNRequests, m.RangeRequests, m.Updates, m.ShardCalls, m.Pruned, m.Hedges, m.Degraded)
+	fmt.Printf("wire bytes: %d out, %d in\n", m.WireBytesOut, m.WireBytesIn)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseBounds parses "lo0,...,lo(d-1),hi0,...,hi(d-1)"; empty means the
+// unit cube. The bounds only steer where split planes fall — ownership
+// still covers all of R^d, so out-of-bounds points route fine.
+func parseBounds(s string, dim int) (geom.Box, error) {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	if s == "" {
+		for d := 0; d < dim; d++ {
+			hi[d] = 1
+		}
+		return geom.NewBox(lo, hi), nil
+	}
+	parts := splitNonEmpty(s)
+	if len(parts) != 2*dim {
+		return geom.Box{}, fmt.Errorf("want %d comma-separated floats, got %d", 2*dim, len(parts))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return geom.Box{}, fmt.Errorf("bounds[%d]: %v", i, err)
+		}
+		if i < dim {
+			lo[i] = v
+		} else {
+			hi[i-dim] = v
+		}
+	}
+	for d := 0; d < dim; d++ {
+		if lo[d] >= hi[d] {
+			return geom.Box{}, fmt.Errorf("axis %d: lo %g >= hi %g", d, lo[d], hi[d])
+		}
+	}
+	return geom.NewBox(lo, hi), nil
+}

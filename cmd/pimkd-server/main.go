@@ -41,6 +41,17 @@
 //
 //	pimkd-server -data-dir /var/lib/pimkd -fsync -checkpoint-every 128
 //	curl 'localhost:8080/persistz'
+//
+// Readiness: /healthz answers the moment the process binds (liveness);
+// /readyz stays 503 until recovery, WAL replay, and the initial build have
+// completed and the service is accepting traffic.
+//
+// Clustering: -shard-addr additionally serves the compact binary shard wire
+// protocol, letting a pimkd-router run this server as one cell of a
+// scatter/gather cluster (see cmd/pimkd-router). The wire listener starts
+// only after readiness.
+//
+//	pimkd-server -addr :8081 -shard-addr :9081 -data-dir /var/lib/pimkd/s0
 package main
 
 import (
@@ -48,10 +59,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -79,6 +92,8 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every executed batch")
 
+		shardAddr = flag.String("shard-addr", "", "binary shard wire protocol listen address for a cluster router (empty = disabled)")
+
 		dataDir   = flag.String("data-dir", "", "durability directory (snapshots + write-ahead log); empty = volatile")
 		fsync     = flag.Bool("fsync", false, "fsync every WAL append (power-fail-safe acks; slower)")
 		ckptEvery = flag.Int("checkpoint-every", 256, "checkpoint after this many write batches (-1 = never by count)")
@@ -94,6 +109,34 @@ func main() {
 		retryTrans = flag.Int("retry-transient", 0, "read-batch retries after a transient fault (0 = default 2, -1 = off)")
 	)
 	flag.Parse()
+
+	// The HTTP listener binds before recovery so orchestrators can poll
+	// readiness during a long WAL replay: /healthz answers "ok" the moment
+	// the process is up (liveness), while /readyz stays 503 until the tree
+	// is recovered, built, and serving. The handler is swapped atomically
+	// once the service is live.
+	ready := &atomic.Bool{}
+	var handler atomic.Value // http.Handler
+	boot := http.NewServeMux()
+	boot.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	boot.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "starting: recovery in progress", http.StatusServiceUnavailable)
+	})
+	boot.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "starting: recovery in progress", http.StatusServiceUnavailable)
+	})
+	handler.Store(http.Handler(boot))
+	server := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	go func() {
+		log.Printf("listening on %s (readiness pending)", *addr)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
 
 	mach := pim.NewMachine(*p, *cacheM)
 	treeCfg := core.Config{Dim: *dim, Seed: *seed, LeafSize: *leaf}
@@ -203,27 +246,38 @@ func main() {
 	}
 	svc := serve.New(cfg, tree)
 
-	var handler http.Handler = serve.NewHandler(svc)
+	full := http.NewServeMux()
+	full.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	full.Handle("/", serve.NewHandler(svc))
 	if *pprofOn {
 		// Live profiling of the serving hot paths: wall-clock CPU profiles
 		// via /debug/pprof/profile, heap via /debug/pprof/heap.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", httppprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-		mux.Handle("/", handler)
-		handler = mux
+		full.HandleFunc("/debug/pprof/", httppprof.Index)
+		full.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		full.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		full.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		full.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		log.Printf("pprof mounted at %s/debug/pprof/", *addr)
 	}
-	server := &http.Server{Addr: *addr, Handler: handler}
-	go func() {
-		log.Printf("serving on %s (S=%d, linger=%v)", *addr, *maxBatch, *linger)
-		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+	ready.Store(true)
+	handler.Store(http.Handler(full))
+	log.Printf("serving on %s (S=%d, linger=%v)", *addr, *maxBatch, *linger)
+
+	// With -shard-addr the server also speaks the binary shard wire protocol
+	// (package shard) so a pimkd-router can run it as one cell of a cluster.
+	// The listener starts only after readiness, so a router probe succeeding
+	// implies recovery is complete.
+	var shardLn *serve.ShardListener
+	if *shardAddr != "" {
+		ln, err := net.Listen("tcp", *shardAddr)
+		if err != nil {
+			log.Fatalf("shard listener: %v", err)
 		}
-	}()
+		shardLn = serve.NewShardListener(svc, ln, ready.Load)
+		log.Printf("shard wire protocol on %s", shardLn.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -233,6 +287,11 @@ func main() {
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	// The wire listener closes before the service so no router request can
+	// arrive after svc.Close started draining.
+	if shardLn != nil {
+		_ = shardLn.Close()
 	}
 	// Close order matters: svc.Close drains every admitted request, flushes
 	// in-flight checkpoints, and syncs the WAL; only then is the store

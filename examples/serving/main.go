@@ -7,11 +7,13 @@
 //
 // By default the example starts an in-process server on a loopback port,
 // drives it with -clients concurrent clients of -requests queries each, and
-// then reads /statsz back. Point -addr at a running pimkd-server to load
-// an external instance instead.
+// then reads /statsz back. Point -target at the base URL of a running
+// pimkd-server — or a pimkd-router fronting a whole cluster — to load an
+// external instance instead (-addr host:port remains as a shorthand).
 //
 //	go run ./examples/serving
 //	go run ./examples/serving -clients 64 -requests 100 -max-batch 128
+//	go run ./examples/serving -target http://localhost:8080 -clients 64
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,12 +32,14 @@ import (
 	"pimkd/internal/mathx"
 	"pimkd/internal/pim"
 	"pimkd/internal/serve"
+	"pimkd/internal/shard"
 	"pimkd/internal/workload"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "", "server address (empty = start one in-process)")
+		target   = flag.String("target", "", "target base URL (e.g. http://host:8080) of a pimkd-server or pimkd-router; overrides -addr")
 		clients  = flag.Int("clients", 32, "concurrent client goroutines")
 		requests = flag.Int("requests", 100, "requests per client")
 		n        = flag.Int("n", 1<<15, "points indexed by the in-process server")
@@ -47,20 +52,28 @@ func main() {
 	)
 	flag.Parse()
 
-	base := *addr
-	if base == "" {
-		var stop func()
-		base, stop = startServer(*n, *dim, *p, *seed, *maxBatch, *linger)
+	var url string
+	switch {
+	case *target != "":
+		url = strings.TrimRight(*target, "/")
+	case *addr != "":
+		url = "http://" + *addr
+	default:
+		base, stop := startServer(*n, *dim, *p, *seed, *maxBatch, *linger)
 		defer stop()
+		url = "http://" + base
 	}
-	url := "http://" + base
 
 	// Each client owns a deterministic query stream derived from the seed,
 	// so the whole load run is replayable.
 	type clientStat struct {
-		requests  int
-		sumBatch  int64
-		commWords int64
+		requests   int
+		sumBatch   int64
+		commWords  int64
+		batched    int64 // responses carrying single-server batch info
+		sumQueried int64 // responses carrying router fanout info
+		sumPruned  int64
+		fanned     int64
 	}
 	stats := make([]clientStat, *clients)
 	var wg sync.WaitGroup
@@ -84,9 +97,13 @@ func main() {
 					log.Printf("client %d: %v", c, err)
 					return
 				}
+				// A pimkd-server reply carries "batch" (coalescing info); a
+				// pimkd-router reply carries "fanout" (scatter info). Accept
+				// either so one load generator drives both.
 				var body struct {
 					Neighbors []serve.Neighbor `json:"neighbors"`
-					Batch     serve.BatchInfo  `json:"batch"`
+					Batch     *serve.BatchInfo `json:"batch"`
+					Fanout    *shard.Fanout    `json:"fanout"`
 				}
 				err = json.NewDecoder(resp.Body).Decode(&body)
 				resp.Body.Close()
@@ -95,38 +112,68 @@ func main() {
 					return
 				}
 				stats[c].requests++
-				stats[c].sumBatch += int64(body.Batch.Size)
-				stats[c].commWords += body.Batch.Cost.Communication / int64(body.Batch.Size)
+				if body.Batch != nil && body.Batch.Size > 0 {
+					stats[c].batched++
+					stats[c].sumBatch += int64(body.Batch.Size)
+					stats[c].commWords += body.Batch.Cost.Communication / int64(body.Batch.Size)
+				}
+				if body.Fanout != nil {
+					stats[c].fanned++
+					stats[c].sumQueried += int64(body.Fanout.Queried)
+					stats[c].sumPruned += int64(body.Fanout.Pruned)
+				}
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var total, sumBatch, comm int64
+	var total, sumBatch, comm, batched, fanned, queried, pruned int64
 	for _, st := range stats {
 		total += int64(st.requests)
 		sumBatch += st.sumBatch
 		comm += st.commWords
+		batched += st.batched
+		fanned += st.fanned
+		queried += st.sumQueried
+		pruned += st.sumPruned
 	}
 	if total == 0 {
 		log.Fatal("no request succeeded")
 	}
 	fmt.Printf("drove %d singleton kNN queries (k=%d) from %d clients in %v → %.0f req/s\n",
 		total, *k, *clients, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Printf("client-observed mean batch size: %.1f (coalescing turns singletons into batches)\n",
-		float64(sumBatch)/float64(total))
-	fmt.Printf("client-observed comm/request:    %.1f words (paper: O(k·log*P) = O(%d·%d) shape per query)\n",
-		float64(comm)/float64(total), *k, mathx.LogStar(float64(*p)))
+	if batched > 0 {
+		fmt.Printf("client-observed mean batch size: %.1f (coalescing turns singletons into batches)\n",
+			float64(sumBatch)/float64(batched))
+		fmt.Printf("client-observed comm/request:    %.1f words (paper: O(k·log*P) = O(%d·%d) shape per query)\n",
+			float64(comm)/float64(batched), *k, mathx.LogStar(float64(*p)))
+	}
+	if fanned > 0 {
+		fmt.Printf("router fanout: mean %.2f shards queried, %.2f pruned per query\n",
+			float64(queried)/float64(fanned), float64(pruned)/float64(fanned))
+	}
 
-	// Server-side view.
+	// Server-side view: decode /statsz as whichever shape the target speaks.
 	resp, err := http.Get(url + "/statsz")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		log.Fatal(err)
+	}
+	var rsnap shard.MetricsSnapshot
+	if err := json.Unmarshal(raw, &rsnap); err == nil && rsnap.TotalShards > 0 {
+		fmt.Printf("\n/statsz (router): %d knn requests, %d shard calls, %d pruned visits, %d hedges, %d degraded\n",
+			rsnap.KNNRequests, rsnap.ShardCalls, rsnap.Pruned, rsnap.Hedges, rsnap.Degraded)
+		fmt.Printf("  %d/%d shards healthy, %d points, wire %d B out / %d B in\n",
+			rsnap.HealthyShards, rsnap.TotalShards, rsnap.TotalPoints, rsnap.WireBytesOut, rsnap.WireBytesIn)
+		return
+	}
 	var snap serve.MetricsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	if err := json.Unmarshal(raw, &snap); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n/statsz: %d requests, %d batches, mean batch %.1f, %d epochs\n",

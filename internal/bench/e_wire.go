@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/serve"
+	"pimkd/internal/shard"
+	"pimkd/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "wire",
+		Artifact: "cluster scatter/gather wire cost (E27, beyond the paper's single-machine model)",
+		Summary: "Meter the binary shard protocol: router-level wire bytes per kNN query " +
+			"across shard counts (scatter fanout + bounding-box pruning included), and the " +
+			"per-call frame size against a JSON encoding of the same logical messages.",
+		Run: runWire,
+	})
+}
+
+// wireCluster is an in-process cluster: one serve.Service per shard behind a
+// loopback ShardListener, fronted by a Router.
+type wireCluster struct {
+	router    *shard.Router
+	listeners []*serve.ShardListener
+	services  []*serve.Service
+}
+
+func (c *wireCluster) close() {
+	c.router.Close()
+	for _, ln := range c.listeners {
+		_ = ln.Close()
+	}
+	for _, svc := range c.services {
+		_ = svc.Close()
+	}
+}
+
+func startWireCluster(dim, shards, pPerShard int, seed int64) (*wireCluster, error) {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		hi[d] = 1
+	}
+	part, err := shard.NewUniformPartition(dim, shards, geom.NewBox(lo, hi))
+	if err != nil {
+		return nil, err
+	}
+	c := &wireCluster{}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		tree := core.New(core.Config{Dim: dim, Seed: seed + int64(i)}, pimNewMachine(pPerShard))
+		svc := serve.New(serve.Config{MaxBatch: 64, MaxLinger: time.Millisecond, Seed: seed + int64(i)}, tree)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.services = append(c.services, svc)
+		c.listeners = append(c.listeners, serve.NewShardListener(svc, ln, nil))
+		addrs[i] = ln.Addr().String()
+	}
+	r, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       10 * time.Second,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.router = r
+	return c, nil
+}
+
+// jsonKNNReq / jsonKNNResp render the same logical messages the wire protocol
+// carries as compact-tagged JSON — the baseline a REST fanout would ship.
+type jsonKNNReq struct {
+	K      int          `json:"k"`
+	Points []geom.Point `json:"points"`
+}
+
+type jsonNeighbor struct {
+	ID    int32   `json:"id"`
+	Dist2 float64 `json:"d2"`
+}
+
+type jsonKNNResp struct {
+	Results [][]jsonNeighbor `json:"results"`
+}
+
+func runWire(w io.Writer, quick bool) {
+	const dim, k, pPerShard = 2, 8, 64
+	n, queries := 20000, 400
+	shardCounts := []int{1, 3, 8}
+	if quick {
+		n, queries = 2000, 80
+		shardCounts = []int{1, 3}
+	}
+	ctx := context.Background()
+	qpts := workload.Uniform(queries, dim, 42)
+
+	fmt.Fprintf(w, "n=%d points, %d singleton kNN queries (k=%d), uniform spatial partition\n\n", n, queries, k)
+
+	scatter := NewTable("scatter/gather wire traffic per query (frames, both directions)",
+		"shards", "queried/q", "pruned/q", "out B/q", "in B/q", "total B/q")
+	var lastTotalPerQ float64
+	var lastFanout float64
+	for _, shards := range shardCounts {
+		c, err := startWireCluster(dim, shards, pPerShard, 1)
+		if err != nil {
+			fmt.Fprintf(w, "cluster(%d shards): %v\n", shards, err)
+			return
+		}
+		if _, err := c.router.BatchUpdate(ctx, false, makeItems(workload.Uniform(n, dim, 1))); err != nil {
+			fmt.Fprintf(w, "seed(%d shards): %v\n", shards, err)
+			c.close()
+			return
+		}
+		// Meter only the query phase: snapshot the counters after seeding.
+		m0 := c.router.Metrics()
+		var queried, pruned int64
+		for _, q := range qpts {
+			_, fo, err := c.router.KNN(ctx, q, k)
+			if err != nil {
+				fmt.Fprintf(w, "knn(%d shards): %v\n", shards, err)
+				c.close()
+				return
+			}
+			queried += int64(fo.Queried)
+			pruned += int64(fo.Pruned)
+		}
+		m1 := c.router.Metrics()
+		outPerQ := perQuery(m1.WireBytesOut-m0.WireBytesOut, queries)
+		inPerQ := perQuery(m1.WireBytesIn-m0.WireBytesIn, queries)
+		lastTotalPerQ = outPerQ + inPerQ
+		lastFanout = perQuery(queried, queries)
+		scatter.Row(shards, lastFanout, perQuery(pruned, queries), outPerQ, inPerQ, lastTotalPerQ)
+		c.close()
+	}
+	scatter.Fprint(w)
+	RecordMetric("wire_bytes_per_query", lastTotalPerQ)
+	RecordMetric("fanout_queried_per_query", lastFanout)
+
+	// Encoding comparison: replay the same queries against one shard with a
+	// raw client, and price the identical request/response pairs in JSON.
+	c, err := startWireCluster(dim, 1, pPerShard, 1)
+	if err != nil {
+		fmt.Fprintf(w, "baseline cluster: %v\n", err)
+		return
+	}
+	defer c.close()
+	if _, err := c.router.BatchUpdate(ctx, false, makeItems(workload.Uniform(n, dim, 1))); err != nil {
+		fmt.Fprintf(w, "baseline seed: %v\n", err)
+		return
+	}
+	client := shard.NewClient(c.listeners[0].Addr().String(), dim)
+	defer client.Close()
+	var jsonBytes int64
+	for _, q := range qpts {
+		res, err := client.KNN(ctx, []geom.Point{q}, k)
+		if err != nil {
+			fmt.Fprintf(w, "baseline knn: %v\n", err)
+			return
+		}
+		req, _ := json.Marshal(jsonKNNReq{K: k, Points: []geom.Point{q}})
+		resp := jsonKNNResp{Results: make([][]jsonNeighbor, len(res))}
+		for i, cands := range res {
+			ns := make([]jsonNeighbor, len(cands))
+			for j, cand := range cands {
+				ns[j] = jsonNeighbor{ID: cand.ID, Dist2: cand.Dist2}
+			}
+			resp.Results[i] = ns
+		}
+		rb, _ := json.Marshal(resp)
+		jsonBytes += int64(len(req) + len(rb))
+	}
+	out, in := client.WireBytes()
+	wirePerCall := perQuery(out+in, queries)
+	jsonPerCall := perQuery(jsonBytes, queries)
+	enc := NewTable("per-call encoding: binary frames vs JSON of the same messages (1 shard)",
+		"calls", "wire B/call", "json B/call", "json/wire")
+	enc.Row(queries, wirePerCall, jsonPerCall, jsonPerCall/wirePerCall)
+	enc.Fprint(w)
+	RecordMetric("wire_bytes_per_call", wirePerCall)
+	RecordMetric("json_bytes_per_call", jsonPerCall)
+	RecordMetric("json_over_wire_ratio", jsonPerCall/wirePerCall)
+
+	fmt.Fprintf(w, "shape check: expect json/wire well above 2×, and total wire B/q to grow\n")
+	fmt.Fprintf(w, "with fanout (queried shards), not with shard count, once pruning engages.\n")
+}

@@ -82,7 +82,9 @@ func (t *Tree) KNNBatch(qs []geom.Point, k int, eps float64) ([][]heapx.Candidat
 				if sib == cur {
 					sib = pn.right
 				}
-				if t.nd(sib).box.Dist2ToPoint(w.q)*w.shrink2 < w.best.Bound() {
+				// <= not <: with the canonical (dist2, id) tie-break a cell
+				// at exactly the bound can still hold a displacing candidate.
+				if t.nd(sib).box.Dist2ToPoint(w.q)*w.shrink2 <= w.best.Bound() {
 					w.descend(sib)
 				}
 				cur = p
@@ -158,10 +160,10 @@ func (w *knnWalker) descend(id NodeID) {
 	if w.q[nd.axis] >= nd.split {
 		near, far = far, near
 	}
-	if w.t.nd(near).box.Dist2ToPoint(w.q)*w.shrink2 < w.best.Bound() {
+	if w.t.nd(near).box.Dist2ToPoint(w.q)*w.shrink2 <= w.best.Bound() {
 		w.descend(near)
 	}
-	if w.t.nd(far).box.Dist2ToPoint(w.q)*w.shrink2 < w.best.Bound() {
+	if w.t.nd(far).box.Dist2ToPoint(w.q)*w.shrink2 <= w.best.Bound() {
 		w.descend(far)
 	}
 }

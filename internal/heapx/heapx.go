@@ -11,9 +11,22 @@ type Candidate struct {
 	ID    int32
 }
 
-// KBest maintains the k smallest-distance candidates seen so far as a
-// max-heap keyed on Dist2, so the current worst candidate is inspectable in
-// O(1). The zero value is unusable; construct with NewKBest.
+// Less is the canonical candidate order: ascending Dist2 with ties broken
+// by ascending ID. Every kNN surface in the repository selects and reports
+// candidates in this total order, which makes answers a pure function of
+// the point multiset — independent of tree shape, traversal order, or how
+// the points are partitioned across shards (the distributed scatter/gather
+// path depends on this to merge per-shard top-k sets exactly).
+func (c Candidate) Less(o Candidate) bool {
+	if c.Dist2 != o.Dist2 {
+		return c.Dist2 < o.Dist2
+	}
+	return c.ID < o.ID
+}
+
+// KBest maintains the k smallest candidates (canonical (Dist2, ID) order)
+// seen so far as a max-heap, so the current worst candidate is inspectable
+// in O(1). The zero value is unusable; construct with NewKBest.
 type KBest struct {
 	k    int
 	heap []Candidate
@@ -38,6 +51,10 @@ func (b *KBest) Full() bool { return len(b.heap) == b.k }
 
 // Bound returns the current pruning radius squared: the distance of the
 // worst held candidate when full, +Inf otherwise (represented as MaxFloat).
+// Because ties are broken by ID, a traversal must explore regions at
+// distance *equal* to Bound too (prune only strictly-greater cells): an
+// unseen point at exactly Bound with a smaller ID still displaces the
+// current worst.
 func (b *KBest) Bound() float64 {
 	if len(b.heap) < b.k {
 		return maxFloat
@@ -48,17 +65,19 @@ func (b *KBest) Bound() float64 {
 const maxFloat = 1.797693134862315708145274237317043567981e+308
 
 // Offer considers a candidate and keeps it if it is among the k best so
-// far. It returns true if the candidate was kept.
+// far in the canonical (Dist2, ID) order. It returns true if the candidate
+// was kept.
 func (b *KBest) Offer(dist2 float64, id int32) bool {
+	c := Candidate{dist2, id}
 	if len(b.heap) < b.k {
-		b.heap = append(b.heap, Candidate{dist2, id})
+		b.heap = append(b.heap, c)
 		b.siftUp(len(b.heap) - 1)
 		return true
 	}
-	if dist2 >= b.heap[0].Dist2 {
+	if !c.Less(b.heap[0]) {
 		return false
 	}
-	b.heap[0] = Candidate{dist2, id}
+	b.heap[0] = c
 	b.siftDown(0)
 	return true
 }
@@ -67,8 +86,8 @@ func (b *KBest) Offer(dist2 float64, id int32) bool {
 // internal storage and is invalidated by further Offer/Reset calls.
 func (b *KBest) Items() []Candidate { return b.heap }
 
-// Sorted returns the held candidates ordered by ascending distance,
-// consuming the heap (the set is empty afterwards).
+// Sorted returns the held candidates in ascending canonical (Dist2, ID)
+// order, consuming the heap (the set is empty afterwards).
 func (b *KBest) Sorted() []Candidate {
 	out := make([]Candidate, len(b.heap))
 	for i := len(b.heap) - 1; i >= 0; i-- {
@@ -86,7 +105,7 @@ func (b *KBest) Sorted() []Candidate {
 func (b *KBest) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if b.heap[parent].Dist2 >= b.heap[i].Dist2 {
+		if !b.heap[parent].Less(b.heap[i]) {
 			return
 		}
 		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
@@ -99,10 +118,10 @@ func (b *KBest) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < n && b.heap[l].Dist2 > b.heap[big].Dist2 {
+		if l < n && b.heap[big].Less(b.heap[l]) {
 			big = l
 		}
-		if r < n && b.heap[r].Dist2 > b.heap[big].Dist2 {
+		if r < n && b.heap[big].Less(b.heap[r]) {
 			big = r
 		}
 		if big == i {

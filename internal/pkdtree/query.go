@@ -76,10 +76,12 @@ func (t *Tree) knnVisit(nd *node, q geom.Point, best *heapx.KBest, shrink2 float
 	if !routeLeft(q[int(nd.axis)], nd.split) {
 		near, far = far, near
 	}
-	if near.box.Dist2ToPoint(q)*shrink2 < best.Bound() {
+	// <= not <: the canonical (dist2, id) tie-break means a cell at exactly
+	// the bound can still hold a displacing equal-distance candidate.
+	if near.box.Dist2ToPoint(q)*shrink2 <= best.Bound() {
 		t.knnVisit(near, q, best, shrink2)
 	}
-	if far.box.Dist2ToPoint(q)*shrink2 < best.Bound() {
+	if far.box.Dist2ToPoint(q)*shrink2 <= best.Bound() {
 		t.knnVisit(far, q, best, shrink2)
 	}
 }

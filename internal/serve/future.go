@@ -6,6 +6,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
 	"pimkd/internal/pim"
 )
 
@@ -117,8 +118,12 @@ type request struct {
 type reply struct {
 	items     []core.Item // lookup, range
 	neighbors []Neighbor  // knn
-	info      BatchInfo
-	err       error
+	// cands is the knn result in raw (dist2, id) form — what the shard wire
+	// path returns so a router can merge shards without re-deriving dist2
+	// from a rounded sqrt.
+	cands []heapx.Candidate
+	info  BatchInfo
+	err   error
 }
 
 // batchKey groups coalescible requests: same kind, and for kNN the same k

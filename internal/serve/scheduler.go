@@ -142,8 +142,13 @@ func (s *Service) execute(b *batch, epoch int64) {
 		<-s.tokens      // release the admission token
 	}
 
-	if write && err == nil && s.cfg.Persist != nil {
-		s.maybeCheckpoint()
+	if write && err == nil {
+		// Refresh the lock-free size mirror while the executor still owns
+		// the tree; TreeSize readers (wire pings) never touch the tree.
+		s.size.Store(int64(s.tree.Size()))
+		if s.cfg.Persist != nil {
+			s.maybeCheckpoint()
+		}
 	}
 }
 
@@ -207,6 +212,9 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 				ns[j] = Neighbor{ID: c.ID, Dist: math.Sqrt(c.Dist2)}
 			}
 			out[i].neighbors = ns
+			// Keep the raw candidates too: the shard wire path ships dist2
+			// so the router's global merge never compares rounded sqrts.
+			out[i].cands = cands
 		}
 		return out, nil
 

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
 	"pimkd/internal/persist"
 	"pimkd/internal/trace"
 )
@@ -64,6 +66,10 @@ type Service struct {
 	pending map[batchKey]*pendingQueue
 	closed  bool
 
+	// size mirrors the tree's live item count so concurrent readers (the
+	// shard wire listener's pings) never touch the executor-owned tree.
+	size atomic.Int64
+
 	metrics *metrics
 	// tracer is the per-round observer attached to the tree's machine when
 	// Config.TraceCapacity > 0; nil when tracing is disabled.
@@ -113,6 +119,7 @@ func New(cfg Config, tree *core.Tree) *Service {
 		pending: map[batchKey]*pendingQueue{},
 		metrics: newMetrics(rng),
 	}
+	s.size.Store(int64(tree.Size()))
 	if cfg.TraceCapacity > 0 {
 		s.tracer = trace.New(cfg.TraceCapacity)
 		tree.Machine().SetObserver(s.tracer)
@@ -154,6 +161,22 @@ func (s *Service) KNN(ctx context.Context, p geom.Point, k int) ([]Neighbor, Bat
 	return rep.neighbors, rep.info, err
 }
 
+// KNNCandidates is KNN in raw wire form: up to k nearest neighbors as
+// (dist2, id) candidates in the canonical order. The shard listener uses it
+// so a router merges exact squared distances, never rounded square roots.
+// Candidate requests coalesce into the same batches as KNN requests of the
+// same k.
+func (s *Service) KNNCandidates(ctx context.Context, p geom.Point, k int) ([]heapx.Candidate, BatchInfo, error) {
+	if err := s.checkPoint(p); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	if k < 1 {
+		return nil, BatchInfo{}, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	rep, err := s.submit(ctx, &request{kind: KindKNN, pt: p, k: k})
+	return rep.cands, rep.info, err
+}
+
 // Range returns the items inside box.
 func (s *Service) Range(ctx context.Context, box geom.Box) ([]core.Item, BatchInfo, error) {
 	if err := s.checkPoint(box.Lo); err != nil {
@@ -184,6 +207,13 @@ func (s *Service) Delete(ctx context.Context, item core.Item) (BatchInfo, error)
 	rep, err := s.submit(ctx, &request{kind: KindDelete, item: item})
 	return rep.info, err
 }
+
+// TreeSize returns the live item count without touching the executor-owned
+// tree: the executor refreshes a lock-free mirror after every write batch.
+func (s *Service) TreeSize() int64 { return s.size.Load() }
+
+// Dim returns the tree's dimension (immutable after construction).
+func (s *Service) Dim() int { return s.tree.Dim() }
 
 // Metrics returns the live aggregated serving metrics.
 func (s *Service) Metrics() MetricsSnapshot {

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"pimkd/internal/core"
+	"pimkd/internal/heapx"
+	"pimkd/internal/shard"
+)
+
+// ShardListener serves the binary shard wire protocol (package shard) over
+// a TCP listener, backed by a Service. Each accepted connection is
+// synchronous — one frame in, one frame out — matching the router client's
+// one-in-flight-per-conn contract. Multi-element requests (several query
+// points or items in one frame) are submitted to the Service concurrently,
+// so they coalesce into batches exactly like concurrent HTTP requests.
+type ShardListener struct {
+	svc *Service
+	ln  net.Listener
+	// ready gates data traffic: while it reports false (WAL replay still
+	// running) pings answer Ready=false and data requests are refused with
+	// CodeNotReady. nil means always ready.
+	ready func() bool
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShardListener starts serving the shard wire protocol on ln. The
+// listener owns ln; Close closes it and every live connection.
+func NewShardListener(svc *Service, ln net.Listener, ready func() bool) *ShardListener {
+	sl := &ShardListener{svc: svc, ln: ln, ready: ready, conns: map[net.Conn]struct{}{}}
+	sl.wg.Add(1)
+	go sl.acceptLoop()
+	return sl
+}
+
+// Addr returns the listener's bound address.
+func (sl *ShardListener) Addr() net.Addr { return sl.ln.Addr() }
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to exit.
+func (sl *ShardListener) Close() error {
+	sl.mu.Lock()
+	if sl.closed {
+		sl.mu.Unlock()
+		sl.wg.Wait()
+		return nil
+	}
+	sl.closed = true
+	err := sl.ln.Close()
+	for c := range sl.conns {
+		c.Close()
+	}
+	sl.mu.Unlock()
+	sl.wg.Wait()
+	return err
+}
+
+func (sl *ShardListener) acceptLoop() {
+	defer sl.wg.Done()
+	for {
+		nc, err := sl.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sl.mu.Lock()
+		if sl.closed {
+			sl.mu.Unlock()
+			nc.Close()
+			return
+		}
+		sl.conns[nc] = struct{}{}
+		sl.wg.Add(1)
+		sl.mu.Unlock()
+		go sl.handleConn(nc)
+	}
+}
+
+func (sl *ShardListener) isReady() bool { return sl.ready == nil || sl.ready() }
+
+func (sl *ShardListener) handleConn(nc net.Conn) {
+	defer sl.wg.Done()
+	defer func() {
+		sl.mu.Lock()
+		delete(sl.conns, nc)
+		sl.mu.Unlock()
+		nc.Close()
+	}()
+	dim := sl.svc.Dim()
+	if err := shard.WriteHandshake(nc, dim); err != nil {
+		return
+	}
+	for {
+		payload, err := shard.ReadFrame(nc)
+		if err != nil {
+			return // EOF, conn error, or unparseable framing: drop the conn
+		}
+		reqID, m, err := shard.DecodePayload(payload, dim)
+		if err != nil {
+			// Structurally corrupt payload: the stream can no longer be
+			// trusted, mirror the client's poison-on-error rule.
+			return
+		}
+		resp := sl.dispatch(m)
+		if _, err := nc.Write(shard.EncodeFrame(reqID, resp, dim)); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one decoded request and returns the response message
+// (possibly a *shard.RemoteError).
+func (sl *ShardListener) dispatch(m any) any {
+	ready := sl.isReady()
+	if _, ok := m.(shard.Ping); !ok && !ready {
+		return &shard.RemoteError{Code: shard.CodeNotReady, Msg: "recovery in progress"}
+	}
+	ctx := context.Background()
+	switch req := m.(type) {
+	case shard.Ping:
+		return shard.Pong{Ready: ready, Size: sl.svc.TreeSize()}
+
+	case shard.KNNReq:
+		results := make([][]heapx.Candidate, len(req.Points))
+		err := sl.scatter(len(req.Points), func(i int) error {
+			cands, _, err := sl.svc.KNNCandidates(ctx, req.Points[i], req.K)
+			results[i] = cands
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.KNNResp{Results: results}
+
+	case shard.RangeReq:
+		results := make([][]core.Item, len(req.Boxes))
+		err := sl.scatter(len(req.Boxes), func(i int) error {
+			items, _, err := sl.svc.Range(ctx, req.Boxes[i])
+			results[i] = items
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.RangeResp{Results: results}
+
+	case shard.UpdateReq:
+		err := sl.scatter(len(req.Items), func(i int) error {
+			if req.Delete {
+				_, err := sl.svc.Delete(ctx, req.Items[i])
+				return err
+			}
+			_, err := sl.svc.Insert(ctx, req.Items[i])
+			return err
+		})
+		if err != nil {
+			// Refused in whole or in part: the error response means "not
+			// acked" to the router, which never retries updates blindly.
+			return remoteError(err)
+		}
+		return shard.UpdateResp{Applied: len(req.Items)}
+	}
+	return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "unexpected request type"}
+}
+
+// scatter runs n sub-operations concurrently (so they coalesce in the
+// Service like independent requests) and returns the first error.
+func (sl *ShardListener) scatter(n int, op func(i int) error) error {
+	if n == 1 {
+		return op(0) // the router's common case: no goroutine overhead
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = op(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// remoteError maps a Service error to the wire error taxonomy: transient
+// load/fault conditions are retryable CodeUnavailable, shard-side bugs are
+// CodeInternal, everything else (dimension mismatch, bad k) is the caller's
+// CodeBadRequest.
+func remoteError(err error) *shard.RemoteError {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed), errors.Is(err, ErrFault),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &shard.RemoteError{Code: shard.CodeUnavailable, Msg: err.Error()}
+	case errors.Is(err, ErrBatchPanic), errors.Is(err, ErrPersist):
+		return &shard.RemoteError{Code: shard.CodeInternal, Msg: err.Error()}
+	default:
+		return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: err.Error()}
+	}
+}

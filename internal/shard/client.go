@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
+)
+
+// Client talks the binary wire protocol to one shard. It keeps a small pool
+// of TCP connections (each synchronous: one in-flight request per conn, so
+// frame correlation is trivial and a timeout poisons only its own conn) and
+// is safe for concurrent use. Transport failures are returned as plain
+// errors; shard-side failures come back as *RemoteError.
+type Client struct {
+	addr string
+	dim  int
+	// dialTimeout bounds connection establishment; per-request deadlines
+	// come from the caller's context.
+	dialTimeout time.Duration
+
+	mu    sync.Mutex
+	idle  []*clientConn
+	conns int
+	// maxIdle bounds the pooled connections; extra conns are closed on
+	// release rather than pooled.
+	maxIdle int
+
+	reqID atomic.Uint64
+	// bytesOut/bytesIn meter the wire traffic (frames, both directions) —
+	// the E27 experiment and /statsz surface them.
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// NewClient returns a client for the shard at addr that expects points of
+// the given dimension. Connections are dialed lazily.
+func NewClient(addr string, dim int) *Client {
+	return &Client{addr: addr, dim: dim, dialTimeout: 2 * time.Second, maxIdle: 4}
+}
+
+// Addr returns the shard's wire address.
+func (c *Client) Addr() string { return c.addr }
+
+// WireBytes returns the cumulative frame bytes sent and received.
+func (c *Client) WireBytes() (out, in int64) { return c.bytesOut.Load(), c.bytesIn.Load() }
+
+type clientConn struct {
+	nc net.Conn
+}
+
+// get returns a pooled conn or dials a fresh one, validating the
+// handshake.
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(dl)
+	}
+	dim, err := ReadHandshake(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shard %s: handshake: %w", c.addr, err)
+	}
+	c.bytesIn.Add(handshakeSize)
+	if dim != c.dim {
+		nc.Close()
+		return nil, fmt.Errorf("shard %s: dimension %d, router dimension %d", c.addr, dim, c.dim)
+	}
+	return &clientConn{nc: nc}, nil
+}
+
+func (c *Client) put(cc *clientConn) {
+	_ = cc.nc.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if len(c.idle) < c.maxIdle {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.nc.Close()
+}
+
+// Close drops every pooled connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.nc.Close()
+	}
+}
+
+// roundTrip sends one request frame and reads the matching response
+// payload. The conn is poisoned (closed, not pooled) on any error so a
+// stale late response can never be mis-correlated with a future request.
+func (c *Client) roundTrip(ctx context.Context, m any) (any, error) {
+	cc, err := c.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = cc.nc.SetDeadline(dl)
+	}
+	id := c.reqID.Add(1)
+	frame := EncodeFrame(id, m, c.dim)
+	if _, err := cc.nc.Write(frame); err != nil {
+		cc.nc.Close()
+		return nil, err
+	}
+	c.bytesOut.Add(int64(len(frame)))
+	payload, err := ReadFrame(cc.nc)
+	if err != nil {
+		cc.nc.Close()
+		return nil, err
+	}
+	c.bytesIn.Add(int64(8 + len(payload)))
+	gotID, resp, err := DecodePayload(payload, c.dim)
+	if err != nil {
+		cc.nc.Close()
+		return nil, err
+	}
+	if gotID != id {
+		cc.nc.Close()
+		return nil, fmt.Errorf("%w: response for request %d, want %d", ErrWire, gotID, id)
+	}
+	c.put(cc)
+	if re, ok := resp.(*RemoteError); ok {
+		return nil, re
+	}
+	return resp, nil
+}
+
+// Ping asks the shard for readiness and live point count.
+func (c *Client) Ping(ctx context.Context) (Pong, error) {
+	resp, err := c.roundTrip(ctx, Ping{})
+	if err != nil {
+		return Pong{}, err
+	}
+	p, ok := resp.(Pong)
+	if !ok {
+		return Pong{}, fmt.Errorf("%w: ping answered with %T", ErrWire, resp)
+	}
+	return p, nil
+}
+
+// KNN returns, per query point, the shard's k nearest candidates in
+// canonical (dist2, id) order.
+func (c *Client) KNN(ctx context.Context, pts []geom.Point, k int) ([][]heapx.Candidate, error) {
+	resp, err := c.roundTrip(ctx, KNNReq{K: k, Points: pts})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(KNNResp)
+	if !ok {
+		return nil, fmt.Errorf("%w: knn answered with %T", ErrWire, resp)
+	}
+	if len(r.Results) != len(pts) {
+		return nil, fmt.Errorf("%w: knn answered %d results for %d queries", ErrWire, len(r.Results), len(pts))
+	}
+	return r.Results, nil
+}
+
+// Range returns, per box, the shard's items inside it.
+func (c *Client) Range(ctx context.Context, boxes []geom.Box) ([][]core.Item, error) {
+	resp, err := c.roundTrip(ctx, RangeReq{Boxes: boxes})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(RangeResp)
+	if !ok {
+		return nil, fmt.Errorf("%w: range answered with %T", ErrWire, resp)
+	}
+	if len(r.Results) != len(boxes) {
+		return nil, fmt.Errorf("%w: range answered %d results for %d boxes", ErrWire, len(r.Results), len(boxes))
+	}
+	return r.Results, nil
+}
+
+// Update applies an insert (or delete) batch on the shard. It returns only
+// after the shard acknowledged the batch — in durable shards, after the
+// write-ahead-log append.
+func (c *Client) Update(ctx context.Context, del bool, items []core.Item) (int, error) {
+	resp, err := c.roundTrip(ctx, UpdateReq{Delete: del, Items: items})
+	if err != nil {
+		return 0, err
+	}
+	r, ok := resp.(UpdateResp)
+	if !ok {
+		return 0, fmt.Errorf("%w: update answered with %T", ErrWire, resp)
+	}
+	return r.Applied, nil
+}

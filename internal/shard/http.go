@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+)
+
+// wireNeighbor and wireItem mirror the pimkd-server JSON shapes so clients
+// (and the serving example's load generator) work unchanged against the
+// router.
+type wireNeighbor struct {
+	ID   int32   `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+type wireItem struct {
+	ID       int32     `json:"id"`
+	P        []float64 `json:"p"`
+	Priority float64   `json:"priority,omitempty"`
+}
+
+// NewHandler exposes a Router over HTTP with the same client-facing
+// endpoints as a single pimkd-server, plus the cluster membership view:
+//
+//	GET  /knn?p=0.1,0.2&k=8
+//	GET  /range?lo=0.1,0.1&hi=0.3,0.4
+//	POST /insert?id=7&p=0.5,0.5[&priority=2.5]
+//	POST /delete?id=7&p=0.5,0.5
+//	GET  /statsz
+//	GET  /shardz
+//	GET  /healthz
+//	GET  /readyz
+//
+// Data responses carry a "fanout" block (scattered vs pruned shards) in
+// place of the single-server "batch" block. Degraded answers are never
+// served partially: ErrDegraded maps to 503.
+func NewHandler(r *Router) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	// The router is ready when at least one shard is serving; full capacity
+	// is visible in /shardz.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		m := r.Metrics()
+		if m.HealthyShards == 0 {
+			http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "ok %d/%d shards\n", m.HealthyShards, m.TotalShards)
+	})
+
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Metrics())
+	})
+
+	mux.HandleFunc("/shardz", func(w http.ResponseWriter, req *http.Request) {
+		st := r.Status()
+		healthy := 0
+		counts := make([]int64, len(st))
+		for i, s := range st {
+			if s.Healthy {
+				healthy++
+			}
+			counts[i] = s.Count
+		}
+		writeJSON(w, struct {
+			Healthy    int           `json:"healthy"`
+			Total      int           `json:"total"`
+			Rebalance  []int         `json:"rebalance_candidates"`
+			Shards     []ShardStatus `json:"shards"`
+			DriftLimit float64       `json:"drift_threshold"`
+		}{healthy, len(st), RebalanceCandidates(counts, r.cfg.DriftThreshold), st, r.cfg.DriftThreshold})
+	})
+
+	mux.HandleFunc("/knn", func(w http.ResponseWriter, req *http.Request) {
+		p, ok := pointParam(w, req, "p")
+		if !ok {
+			return
+		}
+		k := 1
+		if ks := req.FormValue("k"); ks != "" {
+			var err error
+			if k, err = strconv.Atoi(ks); err != nil {
+				http.Error(w, "bad k: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		cands, fan, err := r.KNN(req.Context(), p, k)
+		if !okReply(w, err) {
+			return
+		}
+		neighbors := make([]wireNeighbor, len(cands))
+		for i, c := range cands {
+			neighbors[i] = wireNeighbor{ID: c.ID, Dist: math.Sqrt(c.Dist2)}
+		}
+		writeJSON(w, struct {
+			Neighbors []wireNeighbor `json:"neighbors"`
+			Fanout    Fanout         `json:"fanout"`
+		}{neighbors, fan})
+	})
+
+	mux.HandleFunc("/range", func(w http.ResponseWriter, req *http.Request) {
+		lo, ok := pointParam(w, req, "lo")
+		if !ok {
+			return
+		}
+		hi, ok := pointParam(w, req, "hi")
+		if !ok {
+			return
+		}
+		if len(lo) != len(hi) {
+			http.Error(w, "lo/hi dimension mismatch", http.StatusBadRequest)
+			return
+		}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				http.Error(w, fmt.Sprintf("inverted box on axis %d", d), http.StatusBadRequest)
+				return
+			}
+		}
+		items, fan, err := r.Range(req.Context(), geom.NewBox(lo, hi))
+		if !okReply(w, err) {
+			return
+		}
+		out := make([]wireItem, len(items))
+		for i, it := range items {
+			out[i] = wireItem{ID: it.ID, P: it.P, Priority: it.Priority}
+		}
+		writeJSON(w, struct {
+			Items  []wireItem `json:"items"`
+			Fanout Fanout     `json:"fanout"`
+		}{out, fan})
+	})
+
+	update := func(name string, op func(req *http.Request, it core.Item) (Fanout, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodPost {
+				http.Error(w, name+" requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			p, ok := pointParam(w, req, "p")
+			if !ok {
+				return
+			}
+			id, err := strconv.ParseInt(req.FormValue("id"), 10, 32)
+			if err != nil {
+				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			it := core.Item{P: p, ID: int32(id)}
+			if ps := req.FormValue("priority"); ps != "" {
+				if it.Priority, err = strconv.ParseFloat(ps, 64); err != nil {
+					http.Error(w, "bad priority: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			fan, err := op(req, it)
+			if !okReply(w, err) {
+				return
+			}
+			writeJSON(w, struct {
+				Fanout Fanout `json:"fanout"`
+			}{fan})
+		}
+	}
+	mux.HandleFunc("/insert", update("insert", func(req *http.Request, it core.Item) (Fanout, error) {
+		return r.Insert(req.Context(), it)
+	}))
+	mux.HandleFunc("/delete", update("delete", func(req *http.Request, it core.Item) (Fanout, error) {
+		return r.Delete(req.Context(), it)
+	}))
+
+	return mux
+}
+
+// pointParam parses a comma-separated float point from query/form parameter
+// name, writing a 400 on failure.
+func pointParam(w http.ResponseWriter, r *http.Request, name string) (geom.Point, bool) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		http.Error(w, "missing parameter "+name, http.StatusBadRequest)
+		return nil, false
+	}
+	parts := strings.Split(raw, ",")
+	p := make(geom.Point, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s[%d]: %v", name, i, err), http.StatusBadRequest)
+			return nil, false
+		}
+		p[i] = v
+	}
+	return p, true
+}
+
+// okReply maps router errors onto HTTP statuses; returns false when a
+// status was written. A degraded cluster (or a shard refusing because it is
+// overloaded/not ready) is 503 — retryable, never a silent partial answer.
+// A request whose own deadline expired is 504.
+func okReply(w http.ResponseWriter, err error) bool {
+	var re *RemoteError
+	var ne net.Error
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrDegraded):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &re) && re.Retryable():
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &ne):
+		// Transport failure mid-transition (a shard died but the prober has
+		// not excluded it yet) — retryable, same as a degraded answer.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,205 @@
+// Package shard is the multi-process clustering layer: a spatial
+// partitioner that kd-splits the space into one cell per shard, a compact
+// binary wire protocol for the inter-node path (JSON marshaling dominates
+// at production QPS), and a scatter/gather Router that runs N pimkd-server
+// shards as one logical index.
+//
+// The partitioner is the top levels of the same kd-split the tree itself
+// uses: the space is recursively halved (by sample quantile when a sample
+// is given, by midpoint otherwise) until there is one cell per shard.
+// Ownership is decided by walking the split comparisons, so every point of
+// R^d has exactly one owner even outside the nominal bounds — the outer
+// cells extend to infinity. Cell boxes are kept for distance pruning:
+// a kNN query only visits shards whose cell can still beat the current
+// k-th candidate, and a range query only visits shards whose cell
+// intersects the box.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pimkd/internal/geom"
+)
+
+// splitNode is one internal node of the partition's kd-split. Children are
+// encoded as int: >= 0 is an index into nodes, < 0 encodes leaf cell
+// ^child (bitwise complement, so cell 0 is ^0 = -1).
+type splitNode struct {
+	axis  int
+	value float64
+	left  int
+	right int
+}
+
+// Partition is an immutable spatial kd-split of R^d into one cell per
+// shard. Construct with NewUniformPartition or NewSamplePartition; methods
+// are safe for concurrent use.
+type Partition struct {
+	dim   int
+	nodes []splitNode
+	root  int
+	cells []geom.Box
+}
+
+// Dim returns the partition's dimension.
+func (p *Partition) Dim() int { return p.dim }
+
+// Shards returns the number of cells.
+func (p *Partition) Shards() int { return len(p.cells) }
+
+// Cell returns shard i's cell. Outer faces extend to ±Inf: the cells tile
+// all of R^d, so ownership is total. The returned box aliases internal
+// state and must not be mutated.
+func (p *Partition) Cell(i int) geom.Box { return p.cells[i] }
+
+// Owner returns the shard owning point pt: the unique leaf of the kd-split
+// whose cell contains it (left child takes pt[axis] < value).
+func (p *Partition) Owner(pt geom.Point) int {
+	n := p.root
+	for n >= 0 {
+		nd := &p.nodes[n]
+		if pt[nd.axis] < nd.value {
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+	return ^n
+}
+
+// NewUniformPartition kd-splits bounds into shards cells of equal volume
+// fractions: each recursion splits the cell's shard budget in half and the
+// split plane at the matching linear fraction of the extent, cycling axes
+// by depth. shards may be any count >= 1, not only powers of two.
+func NewUniformPartition(dim, shards int, bounds geom.Box) (*Partition, error) {
+	return newPartition(dim, shards, bounds, nil)
+}
+
+// NewSamplePartition kd-splits like NewUniformPartition but places each
+// split plane at the weighted quantile of sample along the axis, so a
+// skewed data distribution still yields balanced per-shard point counts.
+// The sample only steers split planes; it is not retained.
+func NewSamplePartition(dim, shards int, bounds geom.Box, sample []geom.Point) (*Partition, error) {
+	return newPartition(dim, shards, bounds, sample)
+}
+
+func newPartition(dim, shards int, bounds geom.Box, sample []geom.Point) (*Partition, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("shard: partition dimension %d, want >= 1", dim)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: partition needs >= 1 shard, got %d", shards)
+	}
+	if bounds.Dim() != dim {
+		return nil, fmt.Errorf("shard: bounds dimension %d, partition dimension %d", bounds.Dim(), dim)
+	}
+	for _, s := range sample {
+		if len(s) != dim {
+			return nil, fmt.Errorf("shard: sample point dimension %d, partition dimension %d", len(s), dim)
+		}
+	}
+	p := &Partition{dim: dim}
+	inf := make(geom.Point, dim)
+	ninf := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		inf[d] = math.Inf(1)
+		ninf[d] = math.Inf(-1)
+	}
+	p.root = p.build(shards, geom.Box{Lo: ninf, Hi: inf}, bounds.Clone(), sample, 0)
+	return p, nil
+}
+
+// build recursively splits a cell's shard budget. cell is the unbounded
+// constraint box accumulated from split planes (what pruning uses); inner
+// is the finite working bounds that split values are interpolated within.
+func (p *Partition) build(shards int, cell, inner geom.Box, sample []geom.Point, depth int) int {
+	if shards == 1 {
+		p.cells = append(p.cells, cell)
+		return ^(len(p.cells) - 1)
+	}
+	axis := depth % p.dim
+	leftShards := (shards + 1) / 2
+	frac := float64(leftShards) / float64(shards)
+	value := splitValue(inner.Lo[axis], inner.Hi[axis], frac, axis, sample)
+
+	leftCell, rightCell := cell.Clone(), cell.Clone()
+	leftCell.Hi[axis] = value
+	rightCell.Lo[axis] = value
+	leftInner, rightInner := inner.Clone(), inner.Clone()
+	leftInner.Hi[axis] = value
+	rightInner.Lo[axis] = value
+
+	var leftSample, rightSample []geom.Point
+	for _, s := range sample {
+		if s[axis] < value {
+			leftSample = append(leftSample, s)
+		} else {
+			rightSample = append(rightSample, s)
+		}
+	}
+
+	idx := len(p.nodes)
+	p.nodes = append(p.nodes, splitNode{axis: axis, value: value})
+	l := p.build(leftShards, leftCell, leftInner, leftSample, depth+1)
+	r := p.build(shards-leftShards, rightCell, rightInner, rightSample, depth+1)
+	p.nodes[idx].left = l
+	p.nodes[idx].right = r
+	return idx
+}
+
+// splitValue picks the split plane: the frac-quantile of the sample along
+// axis when one is available (clamped strictly inside (lo, hi) so both
+// sides stay non-degenerate), the linear interpolation otherwise.
+func splitValue(lo, hi, frac float64, axis int, sample []geom.Point) float64 {
+	v := lo + frac*(hi-lo)
+	if len(sample) >= 2 {
+		xs := make([]float64, len(sample))
+		for i, s := range sample {
+			xs[i] = s[axis]
+		}
+		sort.Float64s(xs)
+		q := xs[int(frac*float64(len(xs)-1))]
+		if q > lo && q < hi {
+			v = q
+		}
+	}
+	return v
+}
+
+// DriftRatios returns each shard's point count divided by the mean count —
+// the load-balance signal. A ratio of 1 is perfectly balanced; the mean of
+// an all-zero cluster yields all-zero ratios.
+func DriftRatios(counts []int64) []float64 {
+	out := make([]float64, len(counts))
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	mean := float64(total) / float64(len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / mean
+	}
+	return out
+}
+
+// RebalanceCandidates returns the shards whose point count exceeds
+// threshold × the mean count — the candidates a future rebalancing pass
+// should split or migrate. threshold <= 1 flags nothing.
+func RebalanceCandidates(counts []int64, threshold float64) []int {
+	if threshold <= 1 {
+		return nil
+	}
+	ratios := DriftRatios(counts)
+	var out []int
+	for i, r := range ratios {
+		if r > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimkd/internal/geom"
+)
+
+func unitBox(dim int) geom.Box {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		hi[d] = 1
+	}
+	return geom.NewBox(lo, hi)
+}
+
+// TestPartitionOwnershipTotal: every point of R^d (inside or far outside the
+// nominal bounds) has exactly one owner, and the owner's cell contains it.
+func TestPartitionOwnershipTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{1, 2, 3} {
+		for _, shards := range []int{1, 2, 3, 5, 8, 9} {
+			p, err := NewUniformPartition(dim, shards, unitBox(dim))
+			if err != nil {
+				t.Fatalf("dim=%d shards=%d: %v", dim, shards, err)
+			}
+			if p.Shards() != shards {
+				t.Fatalf("dim=%d shards=%d: got %d cells", dim, shards, p.Shards())
+			}
+			for trial := 0; trial < 500; trial++ {
+				pt := make(geom.Point, dim)
+				for d := range pt {
+					// Mix of in-bounds and far-out-of-bounds coordinates.
+					pt[d] = rng.Float64()*4 - 2
+				}
+				owner := p.Owner(pt)
+				if owner < 0 || owner >= shards {
+					t.Fatalf("owner %d out of range [0,%d)", owner, shards)
+				}
+				if !p.Cell(owner).Contains(pt) {
+					t.Fatalf("dim=%d shards=%d: cell %d does not contain its point %v",
+						dim, shards, owner, pt)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCellsDisjointInterior: a point strictly inside one cell is
+// contained by no other cell (cells only share boundary faces).
+func TestPartitionCellsDisjointInterior(t *testing.T) {
+	p, err := NewUniformPartition(2, 8, unitBox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		pt := geom.Point{rng.Float64(), rng.Float64()}
+		owner := p.Owner(pt)
+		holders := 0
+		boundary := false
+		for i := 0; i < p.Shards(); i++ {
+			c := p.Cell(i)
+			if c.Contains(pt) {
+				holders++
+				for d := range pt {
+					if pt[d] == c.Lo[d] || pt[d] == c.Hi[d] {
+						boundary = true
+					}
+				}
+			}
+		}
+		if holders < 1 {
+			t.Fatalf("point %v held by no cell", pt)
+		}
+		if holders > 1 && !boundary {
+			t.Fatalf("interior point %v held by %d cells (owner %d)", pt, holders, owner)
+		}
+	}
+}
+
+// TestSamplePartitionBalances: with a heavily skewed distribution, the
+// sample-quantile partitioner yields far better balance than volume splits.
+func TestSamplePartitionBalances(t *testing.T) {
+	const shards = 4
+	rng := rand.New(rand.NewSource(3))
+	// 90% of points clustered in the corner [0, 0.1]^2.
+	pts := make([]geom.Point, 4000)
+	for i := range pts {
+		scale := 0.1
+		if i%10 == 0 {
+			scale = 1.0
+		}
+		pts[i] = geom.Point{rng.Float64() * scale, rng.Float64() * scale}
+	}
+	sampled, err := NewSamplePartition(2, shards, unitBox(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, shards)
+	for _, pt := range pts {
+		counts[sampled.Owner(pt)]++
+	}
+	ratios := DriftRatios(counts)
+	for i, r := range ratios {
+		if r > 1.6 || r < 0.4 {
+			t.Fatalf("sample partition drift ratio %d = %.2f, want near 1 (counts %v)", i, r, counts)
+		}
+	}
+
+	uniform, err := NewUniformPartition(2, shards, unitBox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucounts := make([]int64, shards)
+	for _, pt := range pts {
+		ucounts[uniform.Owner(pt)]++
+	}
+	if max64(ucounts) <= 2*min64nonzero(ucounts) {
+		t.Fatalf("test premise broken: uniform partition unexpectedly balanced: %v", ucounts)
+	}
+}
+
+func max64(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min64nonzero(xs []int64) int64 {
+	m := int64(math.MaxInt64)
+	for _, x := range xs {
+		if x > 0 && x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := NewUniformPartition(0, 2, unitBox(1)); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewUniformPartition(2, 0, unitBox(2)); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewUniformPartition(2, 2, unitBox(3)); err == nil {
+		t.Error("bounds dimension mismatch accepted")
+	}
+	if _, err := NewSamplePartition(2, 2, unitBox(2), []geom.Point{{1, 2, 3}}); err == nil {
+		t.Error("sample dimension mismatch accepted")
+	}
+}
+
+func TestDriftAndRebalance(t *testing.T) {
+	counts := []int64{100, 100, 100, 500}
+	ratios := DriftRatios(counts)
+	if got, want := ratios[3], 500.0/200.0; got != want {
+		t.Fatalf("drift ratio = %g, want %g", got, want)
+	}
+	if got := RebalanceCandidates(counts, 2.0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("rebalance candidates = %v, want [3]", got)
+	}
+	if got := RebalanceCandidates(counts, 3.0); got != nil {
+		t.Fatalf("threshold 3.0 flagged %v", got)
+	}
+	if got := RebalanceCandidates(counts, 0); got != nil {
+		t.Fatalf("threshold 0 must flag nothing, got %v", got)
+	}
+	if got := DriftRatios([]int64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("all-zero counts: %v", got)
+	}
+}

@@ -1,0 +1,678 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
+)
+
+// ErrDegraded is returned when an exact answer requires a shard that is
+// currently unhealthy (or failed mid-query). The router never silently
+// returns a partial answer: a query either is provably exact — every
+// skipped shard's cell strictly farther than the k-th candidate, every
+// intersecting shard reached — or it fails with this error. The HTTP layer
+// maps it to 503.
+var ErrDegraded = errors.New("shard: cluster degraded, required shard unavailable")
+
+// Config parameterizes a Router. The zero value is usable; defaults are
+// filled in by NewRouter.
+type Config struct {
+	// Timeout bounds each per-shard call (dial + round trip). Default 2s.
+	Timeout time.Duration
+	// HedgeDelay launches a second identical attempt for read calls that
+	// have not answered within this delay; the first success wins. Updates
+	// are never hedged (a duplicate insert is not idempotent). Default
+	// Timeout/4; negative disables hedging.
+	HedgeDelay time.Duration
+	// FailThreshold is how many consecutive transport failures mark a
+	// shard unhealthy (excluded from scatter until a probe revives it).
+	// Default 3.
+	FailThreshold int
+	// ProbeInterval is the health-probe cadence: every interval the router
+	// pings every shard, reviving recovered ones and refreshing live point
+	// counts. Default 500ms.
+	ProbeInterval time.Duration
+	// DriftThreshold flags a shard as a rebalance candidate when its point
+	// count exceeds this multiple of the mean (Status surfaces the flags).
+	// Default 2.0.
+	DriftThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = c.Timeout / 4
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 2.0
+	}
+	return c
+}
+
+// shardHandle is the router's per-shard state: the wire client plus health
+// and load-tracking.
+type shardHandle struct {
+	id     int
+	client *Client
+	// healthy gates scatter membership. Consecutive transport failures
+	// (FailThreshold) clear it; only a successful probe sets it again.
+	healthy atomic.Bool
+	fails   atomic.Int32
+	// count estimates the shard's live point count: adjusted on acked
+	// updates, refreshed authoritatively from probe pongs.
+	count atomic.Int64
+}
+
+// Router runs N shards behind one logical index: it scatters kNN and range
+// queries with bounding-box and best-k distance pruning, merges per-shard
+// answers into the exact global result, routes updates to owning shards,
+// and maintains shard membership with health probes. All methods are safe
+// for concurrent use.
+type Router struct {
+	part   *Partition
+	cfg    Config
+	shards []*shardHandle
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+	wg      sync.WaitGroup
+
+	m routerMetrics
+}
+
+// routerMetrics aggregates router-side counters for /statsz.
+type routerMetrics struct {
+	knnRequests   atomic.Int64
+	rangeRequests atomic.Int64
+	updates       atomic.Int64
+	degraded      atomic.Int64
+	errors        atomic.Int64
+	shardCalls    atomic.Int64
+	pruned        atomic.Int64
+	hedges        atomic.Int64
+}
+
+// Fanout describes, per request, how the scatter went — the pruning
+// observability surface mirroring serve.BatchInfo.
+type Fanout struct {
+	// Shards is the cluster size.
+	Shards int `json:"shards"`
+	// Queried is how many shards the request actually visited.
+	Queried int `json:"queried"`
+	// Pruned is how many shards the distance/intersection pruning skipped
+	// (provably unable to affect the answer).
+	Pruned int `json:"pruned"`
+	// Hedges counts duplicate attempts launched by the hedging policy.
+	Hedges int `json:"hedges"`
+}
+
+// NewRouter connects to one shard per partition cell (addrs[i] owns cell
+// i), performs an initial synchronous membership probe, and starts the
+// background health loop. Unreachable shards leave the router serving in
+// degraded mode until a probe revives them.
+func NewRouter(part *Partition, addrs []string, cfg Config) (*Router, error) {
+	if len(addrs) != part.Shards() {
+		return nil, fmt.Errorf("shard: %d addresses for %d partition cells", len(addrs), part.Shards())
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{part: part, cfg: cfg, closed: make(chan struct{})}
+	for i, addr := range addrs {
+		r.shards = append(r.shards, &shardHandle{id: i, client: NewClient(addr, part.Dim())})
+	}
+	r.probeAll()
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the probe loop and drops every shard connection.
+func (r *Router) Close() {
+	r.closeMu.Lock()
+	select {
+	case <-r.closed:
+	default:
+		close(r.closed)
+	}
+	r.closeMu.Unlock()
+	r.wg.Wait()
+	for _, sh := range r.shards {
+		sh.client.Close()
+	}
+}
+
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll pings every shard: a ready pong revives the shard and refreshes
+// its authoritative point count; a failure (or a not-yet-ready shard)
+// counts against its health.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			defer cancel()
+			pong, err := sh.client.Ping(ctx)
+			if err != nil || !pong.Ready {
+				r.noteFailure(sh)
+				return
+			}
+			sh.count.Store(pong.Size)
+			sh.fails.Store(0)
+			sh.healthy.Store(true)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (r *Router) noteFailure(sh *shardHandle) {
+	if int(sh.fails.Add(1)) >= r.cfg.FailThreshold {
+		sh.healthy.Store(false)
+	}
+}
+
+// callResult is one shard attempt's outcome.
+type callResult struct {
+	v   any
+	err error
+}
+
+// hedgedRead runs attempt against a shard with the per-call timeout,
+// launching one duplicate attempt after HedgeDelay if the first has not
+// answered; the first success wins. Only read calls go through here.
+// Returns the number of hedges launched.
+func (r *Router) hedgedRead(ctx context.Context, sh *shardHandle, attempt func(context.Context) (any, error)) (any, int, error) {
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	ch := make(chan callResult, 2)
+	launch := func() {
+		r.m.shardCalls.Add(1)
+		go func() {
+			v, err := attempt(cctx)
+			ch <- callResult{v, err}
+		}()
+	}
+	launch()
+	hedges := 0
+	var hedgeTimer <-chan time.Time
+	if r.cfg.HedgeDelay > 0 {
+		hedgeTimer = time.After(r.cfg.HedgeDelay)
+	}
+	outstanding := 1
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			launch()
+			outstanding++
+			hedges++
+			r.m.hedges.Add(1)
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				sh.fails.Store(0)
+				return res.v, hedges, nil
+			}
+			var re *RemoteError
+			if errors.As(res.err, &re) && !re.Retryable() {
+				// The shard is alive and refusing: fail fast, health intact.
+				return nil, hedges, res.err
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		}
+	}
+	var re *RemoteError
+	if !errors.As(firstErr, &re) {
+		r.noteFailure(sh) // transport-level failure, counts against health
+	}
+	return nil, hedges, firstErr
+}
+
+// KNN answers an exact k-nearest-neighbor query across the cluster in
+// canonical (dist2, id) order, identical to a single tree holding the
+// union of the shards' points.
+//
+// Scatter plan: shards are ranked by their cell's squared distance to the
+// query. The nearest (owning) shard is asked first; its k-th candidate
+// gives the global pruning bound, and only shards whose cell distance is
+// <= that bound are scattered to in parallel (<=, not <: with the
+// canonical tie-break an equal-distance cell can still displace by ID).
+// Gather merges per-shard canonical top-k sets through a KBest heap. The
+// answer is exact unless a shard that could still matter was unreachable —
+// then ErrDegraded, never a silent partial answer.
+func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidate, Fanout, error) {
+	fan := Fanout{Shards: len(r.shards)}
+	if len(q) != r.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: query dimension %d, cluster dimension %d", len(q), r.part.Dim())
+	}
+	if k < 1 {
+		return nil, fan, fmt.Errorf("shard: k must be >= 1, got %d", k)
+	}
+	r.m.knnRequests.Add(1)
+
+	type ranked struct {
+		sh *shardHandle
+		d2 float64
+	}
+	order := make([]ranked, len(r.shards))
+	for i, sh := range r.shards {
+		order[i] = ranked{sh, r.part.Cell(i).Dist2ToPoint(q)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].d2 != order[j].d2 {
+			return order[i].d2 < order[j].d2
+		}
+		return order[i].sh.id < order[j].sh.id
+	})
+
+	var all []heapx.Candidate
+	// missing records shards that were not successfully queried, with
+	// their cell distance, for the exactness post-check.
+	type missed struct {
+		id int
+		d2 float64
+	}
+	var missing []missed
+	bound := math.Inf(1)
+
+	// Phase 1: the nearest healthy shard sets the pruning bound.
+	primaryIdx := -1
+	if sh := order[0].sh; sh.healthy.Load() {
+		res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+			v, err := sh.client.KNN(c, []geom.Point{q}, k)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+		})
+		fan.Hedges += hedges
+		if err == nil {
+			cands := res.([][]heapx.Candidate)[0]
+			all = append(all, cands...)
+			if len(cands) == k {
+				bound = cands[k-1].Dist2
+			}
+			fan.Queried++
+			primaryIdx = 0
+		} else {
+			missing = append(missing, missed{sh.id, order[0].d2})
+		}
+	} else {
+		missing = append(missing, missed{order[0].sh.id, order[0].d2})
+	}
+
+	// Phase 2: scatter to every other shard whose cell can still matter.
+	var targets []ranked
+	for i, rk := range order {
+		if i == primaryIdx {
+			continue
+		}
+		if rk.d2 > bound {
+			fan.Pruned++
+			r.m.pruned.Add(1)
+			continue
+		}
+		if !rk.sh.healthy.Load() {
+			missing = append(missing, missed{rk.sh.id, rk.d2})
+			continue
+		}
+		targets = append(targets, rk)
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, rk := range targets {
+		wg.Add(1)
+		go func(rk ranked) {
+			defer wg.Done()
+			res, hedges, err := r.hedgedRead(ctx, rk.sh, func(c context.Context) (any, error) {
+				v, err := rk.sh.client.KNN(c, []geom.Point{q}, k)
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			fan.Hedges += hedges
+			if err != nil {
+				missing = append(missing, missed{rk.sh.id, rk.d2})
+				return
+			}
+			all = append(all, res.([][]heapx.Candidate)[0]...)
+			fan.Queried++
+		}(rk)
+	}
+	wg.Wait()
+
+	// Gather: global top-k. Offering in canonical order makes the KBest
+	// contents exactly the canonical k smallest.
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	best := heapx.NewKBest(k)
+	for _, c := range all {
+		best.Offer(c.Dist2, c.ID)
+	}
+	merged := best.Sorted()
+
+	// Exactness post-check: every missed shard must be provably unable to
+	// change the answer — the merged set is full and the shard's cell is
+	// strictly farther than the k-th candidate (equality could still
+	// displace by ID).
+	finalBound := math.Inf(1)
+	if len(merged) == k {
+		finalBound = merged[k-1].Dist2
+	}
+	for _, ms := range missing {
+		if len(merged) < k || ms.d2 <= finalBound {
+			r.m.degraded.Add(1)
+			return nil, fan, fmt.Errorf("%w: shard %d needed for kNN (cell dist2 %g, bound %g)",
+				ErrDegraded, ms.id, ms.d2, finalBound)
+		}
+	}
+	return merged, fan, nil
+}
+
+// Range reports every item inside box across the cluster, sorted in the
+// canonical item order (ID, then coordinates) so the answer is independent
+// of sharding. Every shard whose cell intersects the box must respond;
+// otherwise ErrDegraded.
+func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, error) {
+	fan := Fanout{Shards: len(r.shards)}
+	if box.Dim() != r.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), r.part.Dim())
+	}
+	r.m.rangeRequests.Add(1)
+
+	var targets []*shardHandle
+	for i, sh := range r.shards {
+		if !r.part.Cell(i).Intersects(box) {
+			fan.Pruned++
+			r.m.pruned.Add(1)
+			continue
+		}
+		if !sh.healthy.Load() {
+			r.m.degraded.Add(1)
+			return nil, fan, fmt.Errorf("%w: shard %d intersects range box", ErrDegraded, sh.id)
+		}
+		targets = append(targets, sh)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		all      []core.Item
+		firstErr error
+	)
+	for _, sh := range targets {
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+				v, err := sh.client.Range(c, []geom.Box{box})
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			fan.Hedges += hedges
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			all = append(all, res.([][]core.Item)[0]...)
+			fan.Queried++
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.m.degraded.Add(1)
+		return nil, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+	}
+	sort.Slice(all, func(i, j int) bool { return itemLess(all[i], all[j]) })
+	return all, fan, nil
+}
+
+// itemLess is the canonical item order used for merged range answers: ID,
+// then coordinates, then priority.
+func itemLess(a, b core.Item) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	for d := range a.P {
+		if a.P[d] != b.P[d] {
+			return a.P[d] < b.P[d]
+		}
+	}
+	return a.Priority < b.Priority
+}
+
+// Insert routes item to its owning shard. The call returns only after the
+// owner acknowledged the write (in durable shards: after the WAL append),
+// so a nil error means the update survives an immediate shard crash. An
+// unhealthy owner fails fast with ErrDegraded — never a lost ack.
+func (r *Router) Insert(ctx context.Context, item core.Item) (Fanout, error) {
+	return r.update(ctx, false, item)
+}
+
+// Delete routes the delete to the owning shard; absent items are silently
+// ignored (BatchDelete semantics).
+func (r *Router) Delete(ctx context.Context, item core.Item) (Fanout, error) {
+	return r.update(ctx, true, item)
+}
+
+func (r *Router) update(ctx context.Context, del bool, item core.Item) (Fanout, error) {
+	fan := Fanout{Shards: len(r.shards), Pruned: len(r.shards) - 1}
+	if len(item.P) != r.part.Dim() {
+		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
+	}
+	r.m.updates.Add(1)
+	sh := r.shards[r.part.Owner(item.P)]
+	if !sh.healthy.Load() {
+		r.m.degraded.Add(1)
+		return fan, fmt.Errorf("%w: shard %d owns the item", ErrDegraded, sh.id)
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	r.m.shardCalls.Add(1)
+	// Updates are single-attempt: a duplicate insert is not idempotent, so
+	// no hedging and no blind retry. A transport error means "not acked".
+	if _, err := sh.client.Update(cctx, del, []core.Item{item}); err != nil {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			r.noteFailure(sh)
+		}
+		r.m.errors.Add(1)
+		return fan, err
+	}
+	sh.fails.Store(0)
+	fan.Queried = 1
+	if del {
+		if sh.count.Add(-1) < 0 {
+			sh.count.Store(0)
+		}
+	} else {
+		sh.count.Add(1)
+	}
+	return fan, nil
+}
+
+// BatchUpdate groups items by owning shard and applies the per-shard
+// batches in parallel. It returns the number of acknowledged items; an
+// error means at least one shard batch was not acked (the returned count
+// still reflects what was).
+func (r *Router) BatchUpdate(ctx context.Context, del bool, items []core.Item) (int, error) {
+	groups := make(map[int][]core.Item)
+	for _, it := range items {
+		if len(it.P) != r.part.Dim() {
+			return 0, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(it.P), r.part.Dim())
+		}
+		owner := r.part.Owner(it.P)
+		groups[owner] = append(groups[owner], it)
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		acked    int
+		firstErr error
+	)
+	for owner, batch := range groups {
+		sh := r.shards[owner]
+		wg.Add(1)
+		go func(sh *shardHandle, batch []core.Item) {
+			defer wg.Done()
+			err := func() error {
+				if !sh.healthy.Load() {
+					return fmt.Errorf("%w: shard %d owns %d items", ErrDegraded, sh.id, len(batch))
+				}
+				cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+				defer cancel()
+				r.m.shardCalls.Add(1)
+				_, err := sh.client.Update(cctx, del, batch)
+				return err
+			}()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			acked += len(batch)
+			delta := int64(len(batch))
+			if del {
+				delta = -delta
+			}
+			if sh.count.Add(delta) < 0 {
+				sh.count.Store(0)
+			}
+		}(sh, batch)
+	}
+	wg.Wait()
+	r.m.updates.Add(int64(len(groups)))
+	if firstErr != nil {
+		r.m.errors.Add(1)
+	}
+	return acked, firstErr
+}
+
+// ShardStatus is one shard's row in the router's membership view.
+type ShardStatus struct {
+	ID      int    `json:"id"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// Count is the router's live point count estimate (probe-refreshed).
+	Count int64 `json:"count"`
+	// Drift is Count over the mean count; > Config.DriftThreshold flags
+	// the shard as a rebalance candidate.
+	Drift     float64 `json:"drift"`
+	Rebalance bool    `json:"rebalance_candidate"`
+	// WireOut/WireIn are cumulative wire bytes to/from this shard.
+	WireOut int64 `json:"wire_bytes_out"`
+	WireIn  int64 `json:"wire_bytes_in"`
+}
+
+// Status returns the live membership view: per-shard health, point counts,
+// drift ratios, and rebalance-candidate flags.
+func (r *Router) Status() []ShardStatus {
+	counts := make([]int64, len(r.shards))
+	for i, sh := range r.shards {
+		counts[i] = sh.count.Load()
+	}
+	drift := DriftRatios(counts)
+	out := make([]ShardStatus, len(r.shards))
+	for i, sh := range r.shards {
+		wo, wi := sh.client.WireBytes()
+		out[i] = ShardStatus{
+			ID:        sh.id,
+			Addr:      sh.client.Addr(),
+			Healthy:   sh.healthy.Load(),
+			Count:     counts[i],
+			Drift:     drift[i],
+			Rebalance: drift[i] > r.cfg.DriftThreshold,
+			WireOut:   wo,
+			WireIn:    wi,
+		}
+	}
+	return out
+}
+
+// MetricsSnapshot is the router's aggregate counter view for /statsz.
+type MetricsSnapshot struct {
+	KNNRequests   int64 `json:"knn_requests"`
+	RangeRequests int64 `json:"range_requests"`
+	Updates       int64 `json:"updates"`
+	Degraded      int64 `json:"degraded"`
+	Errors        int64 `json:"errors"`
+	ShardCalls    int64 `json:"shard_calls"`
+	Pruned        int64 `json:"pruned_shard_visits"`
+	Hedges        int64 `json:"hedges"`
+	WireBytesOut  int64 `json:"wire_bytes_out"`
+	WireBytesIn   int64 `json:"wire_bytes_in"`
+	HealthyShards int   `json:"healthy_shards"`
+	TotalShards   int   `json:"total_shards"`
+	TotalPoints   int64 `json:"total_points"`
+}
+
+// Metrics returns the aggregate router counters.
+func (r *Router) Metrics() MetricsSnapshot {
+	s := MetricsSnapshot{
+		KNNRequests:   r.m.knnRequests.Load(),
+		RangeRequests: r.m.rangeRequests.Load(),
+		Updates:       r.m.updates.Load(),
+		Degraded:      r.m.degraded.Load(),
+		Errors:        r.m.errors.Load(),
+		ShardCalls:    r.m.shardCalls.Load(),
+		Pruned:        r.m.pruned.Load(),
+		Hedges:        r.m.hedges.Load(),
+		TotalShards:   len(r.shards),
+	}
+	for _, sh := range r.shards {
+		if sh.healthy.Load() {
+			s.HealthyShards++
+		}
+		s.TotalPoints += sh.count.Load()
+		wo, wi := sh.client.WireBytes()
+		s.WireBytesOut += wo
+		s.WireBytesIn += wi
+	}
+	return s
+}

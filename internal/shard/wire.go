@@ -1,0 +1,513 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
+)
+
+// Wire protocol, little-endian. The inter-node path replaces JSON-over-HTTP
+// with the same framing discipline as internal/persist's WAL: length-
+// prefixed, CRC-checked, versioned, with a decoder that never panics on
+// arbitrary input (it is a fuzz target).
+//
+//	handshake (server → client on accept, 16 bytes):
+//	    magic    "PKDSHRD1"  (8 bytes)
+//	    version  uint16      (wireVersion)
+//	    dim      uint16
+//	    crc32    uint32      (IEEE, of the 4 bytes version+dim)
+//	frames (both directions, back to back):
+//	    length   uint32      (payload bytes, <= maxFramePayload)
+//	    crc32    uint32      (IEEE, of payload)
+//	    payload:
+//	        type  uint8
+//	        reqID uint64     (echoed verbatim in the response frame)
+//	        body  (per message type below)
+//
+// Message bodies:
+//
+//	ping        —
+//	pong        ready uint8, size uint64
+//	knnReq      k uint32, count uint32, count × point (dim × float64)
+//	knnResp     count uint32, count × { m uint32, m × (id int32, dist2 float64) }
+//	rangeReq    count uint32, count × (dim × float64 lo, dim × float64 hi)
+//	rangeResp   count uint32, count × { m uint32, m × item }
+//	insertReq   count uint32, count × item
+//	deleteReq   count uint32, count × item
+//	updateResp  applied uint32
+//	errResp     code uint16, len uint32, len × msg byte
+//	item        id int32, priority float64, dim × float64
+const (
+	wireMagic   = "PKDSHRD1"
+	wireVersion = 1
+	// handshakeSize is the byte length of the connection header.
+	handshakeSize = 16
+	// maxFramePayload bounds one frame so a corrupted length field cannot
+	// drive a huge allocation.
+	maxFramePayload = 1 << 26
+)
+
+// Message type bytes.
+const (
+	msgPing       byte = 0x01
+	msgPong       byte = 0x02
+	msgKNNReq     byte = 0x10
+	msgKNNResp    byte = 0x11
+	msgRangeReq   byte = 0x12
+	msgRangeResp  byte = 0x13
+	msgInsertReq  byte = 0x14
+	msgDeleteReq  byte = 0x15
+	msgUpdateResp byte = 0x16
+	msgErr        byte = 0x1f
+)
+
+// ErrWire marks a malformed handshake or frame (bad magic, version, CRC, or
+// structure). A conn surfacing it is poisoned and must be closed.
+var ErrWire = errors.New("shard: wire protocol error")
+
+// Remote error codes carried by errResp frames.
+const (
+	// CodeUnavailable is a retryable condition: the shard is overloaded,
+	// draining, or the batch hit a transient fault.
+	CodeUnavailable uint16 = 1
+	// CodeInternal is a shard-side bug (batch panic, persistence failure).
+	CodeInternal uint16 = 2
+	// CodeBadRequest is a structurally valid frame the shard refuses
+	// (dimension mismatch, k < 1).
+	CodeBadRequest uint16 = 3
+	// CodeNotReady is a shard still replaying its WAL.
+	CodeNotReady uint16 = 4
+)
+
+// Ping asks a shard for its status.
+type Ping struct{}
+
+// Pong is the status reply: readiness and the shard's live point count.
+type Pong struct {
+	Ready bool
+	Size  int64
+}
+
+// KNNReq asks for each query point's k nearest neighbors.
+type KNNReq struct {
+	K      int
+	Points []geom.Point
+}
+
+// KNNResp carries per-query candidates in canonical (dist2, id) order.
+type KNNResp struct {
+	Results [][]heapx.Candidate
+}
+
+// RangeReq asks for the items inside each box.
+type RangeReq struct {
+	Boxes []geom.Box
+}
+
+// RangeResp carries per-box item lists.
+type RangeResp struct {
+	Results [][]core.Item
+}
+
+// UpdateReq applies a batch of inserts (or deletes) to the shard.
+type UpdateReq struct {
+	Delete bool
+	Items  []core.Item
+}
+
+// UpdateResp acknowledges an applied update batch.
+type UpdateResp struct {
+	Applied int
+}
+
+// RemoteError is a shard-side failure relayed over the wire.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard: remote error code=%d: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether the condition is transient (safe to hedge or
+// retry for read-only requests).
+func (e *RemoteError) Retryable() bool { return e.Code == CodeUnavailable || e.Code == CodeNotReady }
+
+// WriteHandshake writes the connection header declaring the shard's
+// dimension.
+func WriteHandshake(w io.Writer, dim int) error {
+	if dim < 1 || dim > 1<<16-1 {
+		return fmt.Errorf("shard: handshake dimension %d out of range", dim)
+	}
+	buf := make([]byte, 0, handshakeSize)
+	buf = append(buf, wireMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(dim))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[8:12]))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadHandshake reads and validates the connection header, returning the
+// peer's declared dimension.
+func ReadHandshake(r io.Reader) (dim int, err error) {
+	buf := make([]byte, handshakeSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, err
+	}
+	return DecodeHandshake(buf)
+}
+
+// DecodeHandshake validates a handshake image.
+func DecodeHandshake(buf []byte) (dim int, err error) {
+	if len(buf) < handshakeSize {
+		return 0, fmt.Errorf("%w: handshake %d bytes, want %d", ErrWire, len(buf), handshakeSize)
+	}
+	if string(buf[:8]) != wireMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[8:12]), binary.LittleEndian.Uint32(buf[12:16]); got != want {
+		return 0, fmt.Errorf("%w: handshake CRC %08x, want %08x", ErrWire, got, want)
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:10]); v != wireVersion {
+		return 0, fmt.Errorf("%w: version %d, want %d", ErrWire, v, wireVersion)
+	}
+	dim = int(binary.LittleEndian.Uint16(buf[10:12]))
+	if dim < 1 {
+		return 0, fmt.Errorf("%w: impossible dimension %d", ErrWire, dim)
+	}
+	return dim, nil
+}
+
+// EncodeFrame frames a message for the wire: length + CRC + payload.
+// It panics on unknown message types (a programming error, not input).
+func EncodeFrame(reqID uint64, m any, dim int) []byte {
+	payload := encodePayload(reqID, m, dim)
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+func encodePayload(reqID uint64, m any, dim int) []byte {
+	var buf []byte
+	hdr := func(t byte, sizeHint int) {
+		buf = make([]byte, 0, 9+sizeHint)
+		buf = append(buf, t)
+		buf = binary.LittleEndian.AppendUint64(buf, reqID)
+	}
+	switch v := m.(type) {
+	case Ping:
+		hdr(msgPing, 0)
+	case Pong:
+		hdr(msgPong, 9)
+		var r byte
+		if v.Ready {
+			r = 1
+		}
+		buf = append(buf, r)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Size))
+	case KNNReq:
+		hdr(msgKNNReq, 8+len(v.Points)*8*dim)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.K))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Points)))
+		for _, p := range v.Points {
+			buf = appendPoint(buf, p)
+		}
+	case KNNResp:
+		n := 4
+		for _, cands := range v.Results {
+			n += 4 + 12*len(cands)
+		}
+		hdr(msgKNNResp, n)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Results)))
+		for _, cands := range v.Results {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cands)))
+			for _, c := range cands {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(c.ID))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Dist2))
+			}
+		}
+	case RangeReq:
+		hdr(msgRangeReq, 4+len(v.Boxes)*16*dim)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Boxes)))
+		for _, b := range v.Boxes {
+			buf = appendPoint(buf, b.Lo)
+			buf = appendPoint(buf, b.Hi)
+		}
+	case RangeResp:
+		n := 4
+		for _, items := range v.Results {
+			n += 4 + itemSize(dim)*len(items)
+		}
+		hdr(msgRangeResp, n)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Results)))
+		for _, items := range v.Results {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(items)))
+			for _, it := range items {
+				buf = appendItem(buf, it)
+			}
+		}
+	case UpdateReq:
+		t := msgInsertReq
+		if v.Delete {
+			t = msgDeleteReq
+		}
+		hdr(t, 4+itemSize(dim)*len(v.Items))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for _, it := range v.Items {
+			buf = appendItem(buf, it)
+		}
+	case UpdateResp:
+		hdr(msgUpdateResp, 4)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Applied))
+	case *RemoteError:
+		hdr(msgErr, 6+len(v.Msg))
+		buf = binary.LittleEndian.AppendUint16(buf, v.Code)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Msg)))
+		buf = append(buf, v.Msg...)
+	default:
+		panic(fmt.Sprintf("shard: EncodeFrame of unknown message type %T", m))
+	}
+	return buf
+}
+
+// ReadFrame reads one length-prefixed frame and returns its CRC-validated
+// payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length > maxFramePayload {
+		return nil, fmt.Errorf("%w: frame payload %d bytes exceeds cap %d", ErrWire, length, maxFramePayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, fmt.Errorf("%w: frame CRC %08x, want %08x", ErrWire, got, want)
+	}
+	return payload, nil
+}
+
+// DecodePayload parses a CRC-validated frame payload for a connection of
+// the given dimension. It returns the echoed request ID and one of the
+// typed messages above. DecodePayload never panics on arbitrary input.
+func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
+	if dim < 1 || dim > 1<<16-1 {
+		return 0, nil, fmt.Errorf("%w: impossible dimension %d", ErrWire, dim)
+	}
+	if len(payload) < 9 {
+		return 0, nil, fmt.Errorf("%w: payload %d bytes, want >= 9", ErrWire, len(payload))
+	}
+	t := payload[0]
+	reqID = binary.LittleEndian.Uint64(payload[1:9])
+	d := decoder{buf: payload[9:]}
+	switch t {
+	case msgPing:
+		m = Ping{}
+	case msgPong:
+		ready := d.u8()
+		size := d.u64()
+		if ready > 1 {
+			return reqID, nil, fmt.Errorf("%w: pong ready byte %d", ErrWire, ready)
+		}
+		m = Pong{Ready: ready == 1, Size: int64(size)}
+	case msgKNNReq:
+		k := d.u32()
+		count := d.count(8 * dim)
+		pts := make([]geom.Point, count)
+		for i := range pts {
+			pts[i] = d.point(dim)
+		}
+		if k < 1 || k > 1<<20 {
+			return reqID, nil, fmt.Errorf("%w: knn k=%d out of range", ErrWire, k)
+		}
+		m = KNNReq{K: int(k), Points: pts}
+	case msgKNNResp:
+		count := d.count(4)
+		res := make([][]heapx.Candidate, count)
+		for i := range res {
+			mcount := d.count(12)
+			cands := make([]heapx.Candidate, mcount)
+			for j := range cands {
+				cands[j].ID = int32(d.u32())
+				cands[j].Dist2 = d.f64()
+			}
+			res[i] = cands
+		}
+		m = KNNResp{Results: res}
+	case msgRangeReq:
+		count := d.count(16 * dim)
+		boxes := make([]geom.Box, count)
+		for i := range boxes {
+			lo := d.point(dim)
+			hi := d.point(dim)
+			if d.err == nil {
+				for ax := range lo {
+					if !(lo[ax] <= hi[ax]) {
+						return reqID, nil, fmt.Errorf("%w: inverted or NaN box on axis %d", ErrWire, ax)
+					}
+				}
+			}
+			boxes[i] = geom.Box{Lo: lo, Hi: hi}
+		}
+		m = RangeReq{Boxes: boxes}
+	case msgRangeResp:
+		count := d.count(4)
+		res := make([][]core.Item, count)
+		for i := range res {
+			mcount := d.count(itemSize(dim))
+			items := make([]core.Item, mcount)
+			for j := range items {
+				items[j] = d.item(dim)
+			}
+			res[i] = items
+		}
+		m = RangeResp{Results: res}
+	case msgInsertReq, msgDeleteReq:
+		count := d.count(itemSize(dim))
+		items := make([]core.Item, count)
+		for i := range items {
+			items[i] = d.item(dim)
+		}
+		m = UpdateReq{Delete: t == msgDeleteReq, Items: items}
+	case msgUpdateResp:
+		m = UpdateResp{Applied: int(d.u32())}
+	case msgErr:
+		code := d.u16()
+		n := d.u32()
+		if d.err == nil && int(n) != len(d.buf) {
+			return reqID, nil, fmt.Errorf("%w: error message length %d, have %d bytes", ErrWire, n, len(d.buf))
+		}
+		m = &RemoteError{Code: code, Msg: string(d.buf)}
+		d.buf = nil
+	default:
+		return reqID, nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrWire, t)
+	}
+	if d.err != nil {
+		return reqID, nil, d.err
+	}
+	if t != msgErr && len(d.buf) != 0 {
+		return reqID, nil, fmt.Errorf("%w: %d trailing bytes after message 0x%02x", ErrWire, len(d.buf), t)
+	}
+	return reqID, m, nil
+}
+
+// decoder is a cursor over a payload body that records the first error and
+// then no-ops, so message decoders read straight-line without per-field
+// error plumbing.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("%w: truncated body (want %d more bytes, have %d)", ErrWire, n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u32 element count and validates it against the bytes
+// actually remaining (elemSize > 0), so a corrupted count can neither
+// over-allocate nor mask trailing garbage.
+func (d *decoder) count(elemSize int) int {
+	c := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize > 0 && int64(c)*int64(elemSize) > int64(len(d.buf)) {
+		d.err = fmt.Errorf("%w: count %d × %d bytes exceeds remaining %d", ErrWire, c, elemSize, len(d.buf))
+		return 0
+	}
+	return int(c)
+}
+
+func (d *decoder) point(dim int) geom.Point {
+	b := d.take(8 * dim)
+	if b == nil {
+		return nil
+	}
+	p := make(geom.Point, dim)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return p
+}
+
+// itemSize is the encoded size of one item in dimension dim (matches the
+// persist layout: id, priority, coordinates).
+func itemSize(dim int) int { return 4 + 8 + 8*dim }
+
+func appendPoint(buf []byte, p geom.Point) []byte {
+	for _, v := range p {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func appendItem(buf []byte, it core.Item) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(it.ID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Priority))
+	return appendPoint(buf, it.P)
+}
+
+func (d *decoder) item(dim int) core.Item {
+	var it core.Item
+	it.ID = int32(d.u32())
+	it.Priority = d.f64()
+	it.P = d.point(dim)
+	return it
+}

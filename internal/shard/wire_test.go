@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/heapx"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != handshakeSize {
+		t.Fatalf("handshake %d bytes, want %d", buf.Len(), handshakeSize)
+	}
+	dim, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 3 {
+		t.Fatalf("dim = %d, want 3", dim)
+	}
+
+	if err := WriteHandshake(&bytes.Buffer{}, 0); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+	if err := WriteHandshake(&bytes.Buffer{}, 1<<16); err == nil {
+		t.Error("dimension 65536 accepted")
+	}
+}
+
+func TestHandshakeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, tc := range []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[0] = 'X' }},
+		{"bad version", func(b []byte) { b[8] = 99 }},
+		{"bad dim bytes", func(b []byte) { b[10] ^= 0xff }},
+		{"bad crc", func(b []byte) { b[12] ^= 0xff }},
+	} {
+		mut := append([]byte(nil), valid...)
+		tc.mutate(mut)
+		if _, err := DecodeHandshake(mut); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, err)
+		}
+	}
+	if _, err := DecodeHandshake(valid[:10]); !errors.Is(err, ErrWire) {
+		t.Errorf("short handshake: err = %v, want ErrWire", err)
+	}
+}
+
+// wireMessages is one of each message type, covering empty and non-empty
+// bodies, for roundtrip tests and the fuzz seed corpus.
+func wireMessages(dim int) []any {
+	pt := func(vs ...float64) geom.Point { return vs[:dim] }
+	return []any{
+		Ping{},
+		Pong{Ready: true, Size: 12345},
+		Pong{Ready: false, Size: 0},
+		KNNReq{K: 8, Points: []geom.Point{pt(0.25, 0.5, 0.75), pt(1, 2, 3)}},
+		KNNResp{Results: [][]heapx.Candidate{
+			{{Dist2: 0.125, ID: 7}, {Dist2: 0.125, ID: 9}},
+			{},
+		}},
+		RangeReq{Boxes: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}}},
+		RangeResp{Results: [][]core.Item{
+			{{ID: 3, Priority: 1.5, P: pt(0.5, 0.5, 0.5)}},
+			{},
+		}},
+		UpdateReq{Delete: false, Items: []core.Item{{ID: 1, P: pt(0.1, 0.2, 0.3)}}},
+		UpdateReq{Delete: true, Items: []core.Item{{ID: 2, P: pt(0.9, 0.8, 0.7)}}},
+		UpdateResp{Applied: 42},
+		&RemoteError{Code: CodeUnavailable, Msg: "draining"},
+		&RemoteError{Code: CodeBadRequest, Msg: ""},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		for i, m := range wireMessages(dim) {
+			reqID := uint64(1000 + i)
+			frame := EncodeFrame(reqID, m, dim)
+			payload, err := ReadFrame(bytes.NewReader(frame))
+			if err != nil {
+				t.Fatalf("dim=%d msg %d (%T): ReadFrame: %v", dim, i, m, err)
+			}
+			gotID, got, err := DecodePayload(payload, dim)
+			if err != nil {
+				t.Fatalf("dim=%d msg %d (%T): DecodePayload: %v", dim, i, m, err)
+			}
+			if gotID != reqID {
+				t.Fatalf("dim=%d msg %d: reqID %d, want %d", dim, i, gotID, reqID)
+			}
+			if !wireEqual(got, m) {
+				t.Fatalf("dim=%d msg %d: decoded %#v, want %#v", dim, i, got, m)
+			}
+		}
+	}
+}
+
+// wireEqual compares messages treating nil and empty slices as equal (the
+// decoder materializes empty slices where the encoder may have had nil).
+func wireEqual(a, b any) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(m any) any {
+	switch v := m.(type) {
+	case KNNReq:
+		if len(v.Points) == 0 {
+			v.Points = nil
+		}
+		return v
+	case KNNResp:
+		for i := range v.Results {
+			if len(v.Results[i]) == 0 {
+				v.Results[i] = nil
+			}
+		}
+		return v
+	case RangeResp:
+		for i := range v.Results {
+			if len(v.Results[i]) == 0 {
+				v.Results[i] = nil
+			}
+		}
+		return v
+	case UpdateReq:
+		if len(v.Items) == 0 {
+			v.Items = nil
+		}
+		return v
+	}
+	return m
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := EncodeFrame(7, Pong{Ready: true, Size: 99}, 2)
+
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := ReadFrame(bytes.NewReader(flipped)); !errors.Is(err, ErrWire) {
+		t.Errorf("payload bit flip: err = %v, want ErrWire", err)
+	}
+
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2])); err == nil {
+		t.Error("truncated frame accepted")
+	}
+
+	huge := append([]byte(nil), frame...)
+	huge[3] = 0xff // length field now > maxFramePayload
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrWire) {
+		t.Errorf("oversize length: err = %v, want ErrWire", err)
+	}
+}
+
+func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func() []byte
+	}{
+		{"trailing bytes", func() []byte {
+			p := encodePayload(1, Ping{}, 2)
+			return append(p, 0xaa)
+		}},
+		{"truncated body", func() []byte {
+			p := encodePayload(1, Pong{Ready: true, Size: 5}, 2)
+			return p[:len(p)-3]
+		}},
+		{"count exceeds remaining", func() []byte {
+			p := encodePayload(1, UpdateReq{Items: []core.Item{{ID: 1, P: geom.Point{0, 0}}}}, 2)
+			p[9] = 0xff // inflate the item count without adding bytes
+			return p
+		}},
+		{"inverted box", func() []byte {
+			return encodePayload(1, RangeReq{Boxes: []geom.Box{
+				{Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0}},
+			}}, 2)
+		}},
+		{"nan box", func() []byte {
+			return encodePayload(1, RangeReq{Boxes: []geom.Box{
+				{Lo: geom.Point{math.NaN(), 0}, Hi: geom.Point{1, 1}},
+			}}, 2)
+		}},
+		{"zero k", func() []byte {
+			return encodePayload(1, KNNReq{K: 0, Points: []geom.Point{{0, 0}}}, 2)
+		}},
+		{"pong ready byte", func() []byte {
+			p := encodePayload(1, Pong{Ready: true, Size: 5}, 2)
+			p[9] = 2
+			return p
+		}},
+		{"error msg length mismatch", func() []byte {
+			p := encodePayload(1, &RemoteError{Code: 1, Msg: "xyz"}, 2)
+			return p[:len(p)-1]
+		}},
+		{"unknown type", func() []byte {
+			p := encodePayload(1, Ping{}, 2)
+			p[0] = 0x7e
+			return p
+		}},
+		{"empty payload", func() []byte { return nil }},
+	} {
+		if _, _, err := DecodePayload(tc.mut(), 2); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, err)
+		}
+	}
+}
+
+func TestRemoteErrorRetryable(t *testing.T) {
+	for code, want := range map[uint16]bool{
+		CodeUnavailable: true,
+		CodeNotReady:    true,
+		CodeInternal:    false,
+		CodeBadRequest:  false,
+	} {
+		e := &RemoteError{Code: code}
+		if e.Retryable() != want {
+			t.Errorf("code %d retryable = %v, want %v", code, e.Retryable(), want)
+		}
+	}
+}
+
+// TestWireSmallerThanJSON pins the point of the binary protocol: a kNN
+// response frame must be well under half its JSON equivalent.
+func TestWireSmallerThanJSON(t *testing.T) {
+	cands := make([]heapx.Candidate, 16)
+	for i := range cands {
+		cands[i] = heapx.Candidate{Dist2: float64(i) * 0.1234567890123, ID: int32(i * 1000)}
+	}
+	frame := EncodeFrame(1, KNNResp{Results: [][]heapx.Candidate{cands}}, 2)
+	// A conservative JSON rendering of the same data.
+	jsonLen := len(`{"results":[[`) + 16*len(`{"id":15000,"dist2":1.8518518351845},`)
+	if len(frame)*2 >= jsonLen {
+		t.Fatalf("binary frame %d bytes, JSON ≈ %d: expected > 2× saving", len(frame), jsonLen)
+	}
+}

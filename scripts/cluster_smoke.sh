@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot 3 durable shards behind a router, run a mixed
+# workload, kill -9 one shard mid-run, and assert the failure semantics the
+# router promises:
+#
+#   degrade   — the router sheds the dead shard; answers that would need it
+#               are refused (503), never served partially; inserts whose
+#               owner is down are refused, never acked.
+#   recover   — the restarted shard (same data dir) is reinstated by the
+#               health prober, cluster-wide queries work again, and every
+#               acked update is present: zero lost acked updates.
+#
+# Used by the ci cluster-smoke job; runs standalone with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  # The processes are disowned, so poll them down instead of `wait` before
+  # removing the directory they log into.
+  for _ in $(seq 50); do
+    local live=0
+    for pid in "${PIDS[@]:-}"; do
+      kill -0 "$pid" 2>/dev/null && live=1
+    done
+    [ "$live" = 0 ] && break
+    sleep 0.1
+  done
+  rm -rf "$WORK" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+log() { echo "[cluster-smoke] $*"; }
+fail() {
+  log "FAIL: $*"
+  for f in "$WORK"/*.log; do
+    echo "--- $f"
+    tail -20 "$f"
+  done
+  exit 1
+}
+
+HTTP_BASE=18080 # router on :18080, shard i HTTP on :1808i
+WIRE_BASE=19080 # shard i wire protocol on :1908i
+ROUTER="http://127.0.0.1:$HTTP_BASE"
+
+status_of() { curl -s -o /dev/null -w '%{http_code}' --max-time 10 "$@"; }
+
+wait_http() { # url grep-pattern [timeout-seconds]
+  local url="$1" pattern="$2" deadline=$(($(date +%s) + ${3:-30}))
+  while true; do
+    if curl -fsS --max-time 2 "$url" 2>/dev/null | grep -q "$pattern"; then
+      return 0
+    fi
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      fail "timeout waiting for $url to match '$pattern'"
+    fi
+    sleep 0.2
+  done
+}
+
+log "building pimkd-server and pimkd-router"
+go build -o "$BIN/" ./cmd/pimkd-server ./cmd/pimkd-router
+
+start_shard() { # index (1..3)
+  local i="$1"
+  "$BIN/pimkd-server" \
+    -addr "127.0.0.1:$((HTTP_BASE + i))" \
+    -shard-addr "127.0.0.1:$((WIRE_BASE + i))" \
+    -data-dir "$WORK/shard$i" \
+    -n 0 -p 16 -max-batch 64 -linger 1ms \
+    >>"$WORK/shard$i.log" 2>&1 &
+  PIDS+=($!)
+  eval "SHARD${i}_PID=$!"
+  disown # no job-control noise when the chaos phase kills it
+}
+
+log "booting 3 shards"
+for i in 1 2 3; do start_shard "$i"; done
+for i in 1 2 3; do
+  wait_http "http://127.0.0.1:$((HTTP_BASE + i))/readyz" ok
+done
+
+log "booting router"
+"$BIN/pimkd-router" -addr "127.0.0.1:$HTTP_BASE" \
+  -shards "127.0.0.1:$((WIRE_BASE + 1)),127.0.0.1:$((WIRE_BASE + 2)),127.0.0.1:$((WIRE_BASE + 3))" \
+  -timeout 2s -probe-interval 100ms -fail-threshold 2 \
+  >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+disown
+wait_http "$ROUTER/shardz" '"healthy": *3'
+log "router up, 3/3 shards healthy"
+
+ACKED="$WORK/acked.txt"
+REFUSED="$WORK/refused.txt"
+: >"$ACKED"
+: >"$REFUSED"
+insert_point() { # id x y — records the id as acked (200) or refused
+  local code
+  code="$(status_of -X POST "$ROUTER/insert?id=$1&p=$2,$3")"
+  if [ "$code" = 200 ]; then
+    echo "$1" >>"$ACKED"
+    return 0
+  fi
+  echo "$1" >>"$REFUSED"
+  return 1
+}
+grid_xy() { # id → "x y" on a 10×6 grid spanning every partition cell
+  awk -v i="$1" 'BEGIN{printf "%.4f %.4f", (i%10)/10+0.05, (int(i/10)%6)/6+0.08}'
+}
+
+log "phase 1: 60 inserts through the router (healthy cluster: all must ack)"
+for i in $(seq 0 59); do
+  read -r x y <<<"$(grid_xy "$i")"
+  insert_point "$i" "$x" "$y" || fail "insert $i refused while every shard is healthy"
+done
+
+log "phase 1: read workload through the router (load generator, -target)"
+go run ./examples/serving -target "$ROUTER" -clients 4 -requests 15 -k 4 >"$WORK/load1.log" 2>&1 ||
+  fail "load generator against healthy cluster"
+grep -q "router fanout" "$WORK/load1.log" || fail "load generator saw no router fanout info"
+
+log "killing shard 2 (kill -9) mid-run"
+kill -9 "$SHARD2_PID"
+wait_http "$ROUTER/shardz" '"healthy": *2'
+log "router shed the dead shard (2/3 healthy)"
+
+# A kNN that needs every point cannot be answered exactly without shard 2:
+# it must be refused outright, not silently truncated.
+code="$(status_of "$ROUTER/knn?p=0.5,0.5&k=100000")"
+[ "$code" = 503 ] || fail "cluster-wide kNN while degraded returned $code, want 503"
+code="$(status_of "$ROUTER/range?lo=0,0&hi=1,1")"
+[ "$code" = 503 ] || fail "full-box range while degraded returned $code, want 503"
+log "degraded reads refused with 503 (no partial answers)"
+
+log "phase 2: 30 inserts during the outage (dead-owner inserts must be refused)"
+for i in $(seq 100 129); do
+  read -r x y <<<"$(grid_xy "$i")"
+  insert_point "$i" "$x" "$y" || true
+done
+refused_count="$(wc -l <"$REFUSED")"
+[ "$refused_count" -gt 0 ] || fail "no insert was refused while a shard was down"
+log "phase 2: $refused_count/30 refused (dead owner), $((30 - refused_count)) acked on live shards"
+
+log "restarting shard 2 from its data dir"
+start_shard 2
+wait_http "http://127.0.0.1:$((HTTP_BASE + 2))/readyz" ok
+wait_http "$ROUTER/shardz" '"healthy": *3'
+log "router reinstated the recovered shard (3/3 healthy)"
+
+code="$(status_of "$ROUTER/knn?p=0.5,0.5&k=100000")"
+[ "$code" = 200 ] || fail "cluster-wide kNN after recovery returned $code, want 200"
+
+log "verifying zero lost acked updates"
+curl -fsS "$ROUTER/range?lo=0,0&hi=1,1" >"$WORK/final.json"
+grep -o '"id": *[0-9]*' "$WORK/final.json" | grep -o '[0-9]*$' | sort -u >"$WORK/got.txt"
+sort -u "$ACKED" >"$WORK/want.txt"
+missing="$(comm -23 "$WORK/want.txt" "$WORK/got.txt")"
+[ -z "$missing" ] || fail "acked updates lost across the kill/restart: $missing"
+leaked="$(comm -12 <(sort -u "$REFUSED") "$WORK/got.txt")"
+[ -z "$leaked" ] || fail "refused (never-acked) inserts present after recovery: $leaked"
+
+log "read workload against the recovered cluster"
+go run ./examples/serving -target "$ROUTER" -clients 4 -requests 10 -k 4 >"$WORK/load2.log" 2>&1 ||
+  fail "load generator against recovered cluster"
+
+log "PASS: degrade observed, shard reinstated, zero lost acked updates"
