@@ -11,12 +11,21 @@
 // pimkd-server — or a pimkd-router fronting a whole cluster — to load an
 // external instance instead (-addr host:port remains as a shorthand).
 //
+// With -open-loop the closed-loop clients are replaced by the open-loop
+// generator from internal/load: arrivals come from a Poisson schedule at
+// -rate req/s that never waits for responses, and latency is measured from
+// each request's scheduled arrival — the measurement regime where overload
+// is visible instead of hidden (see internal/load's package comment on
+// coordinated omission).
+//
 //	go run ./examples/serving
 //	go run ./examples/serving -clients 64 -requests 100 -max-batch 128
 //	go run ./examples/serving -target http://localhost:8080 -clients 64
+//	go run ./examples/serving -open-loop -rate 800 -duration 5s
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"pimkd/internal/core"
+	"pimkd/internal/load"
 	"pimkd/internal/mathx"
 	"pimkd/internal/pim"
 	"pimkd/internal/serve"
@@ -49,6 +59,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for dataset, service, and client query streams")
 		maxBatch = flag.Int("max-batch", 256, "coalescing batch cap S of the in-process server")
 		linger   = flag.Duration("linger", 2*time.Millisecond, "linger of the in-process server")
+		openLoop = flag.Bool("open-loop", false, "drive with the open-loop generator (internal/load) instead of closed-loop clients")
+		rate     = flag.Float64("rate", 500, "with -open-loop: Poisson arrival rate, requests/second")
+		duration = flag.Duration("duration", 5*time.Second, "with -open-loop: run length")
+		mix      = flag.String("mix", "knn=1", "with -open-loop: request mix as kind=weight,...")
 	)
 	flag.Parse()
 
@@ -62,6 +76,12 @@ func main() {
 		base, stop := startServer(*n, *dim, *p, *seed, *maxBatch, *linger)
 		defer stop()
 		url = "http://" + base
+	}
+
+	if *openLoop {
+		runOpenLoop(url, *mix, *rate, *duration, *dim, *k, *seed)
+		printStats(url)
+		return
 	}
 
 	// Each client owns a deterministic query stream derived from the seed,
@@ -154,7 +174,32 @@ func main() {
 			float64(queried)/float64(fanned), float64(pruned)/float64(fanned))
 	}
 
-	// Server-side view: decode /statsz as whichever shape the target speaks.
+	printStats(url)
+}
+
+// runOpenLoop drives the target with the open-loop generator and prints
+// its per-kind latency table.
+func runOpenLoop(url, mix string, rate float64, duration time.Duration, dim, k int, seed int64) {
+	target := &load.HTTPTarget{Base: url, Dim: dim, K: k}
+	ops, err := target.Mix(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := load.NewPoisson([]load.Phase{{Rate: rate, Duration: duration}}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open-loop: Poisson arrivals at %g/s for %v (latency from scheduled arrival)\n", rate, duration)
+	res, err := load.Run(context.Background(), load.Config{Ops: ops, Schedule: sched, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+}
+
+// printStats decodes /statsz as whichever shape the target speaks — the
+// single-server snapshot or the router's.
+func printStats(url string) {
 	resp, err := http.Get(url + "/statsz")
 	if err != nil {
 		log.Fatal(err)
@@ -181,6 +226,12 @@ func main() {
 	for _, ks := range snap.Kinds {
 		fmt.Printf("  %-7s mean batch %.1f  comm/req %.1f words  pimTime/req %.1f  comm balance %.2f\n",
 			ks.Kind, ks.MeanBatchSize, ks.CommPerRequest, ks.PIMTimePerRequest, ks.MeanCommBalance)
+	}
+	for _, ks := range snap.Kinds {
+		if ks.LatencyCount > 0 {
+			fmt.Printf("  %-7s server-side latency  p50 %.0fµs  p99 %.0fµs  p999 %.0fµs  max %.0fµs\n",
+				ks.Kind, ks.P50US, ks.P99US, ks.P999US, ks.MaxUS)
+		}
 	}
 }
 

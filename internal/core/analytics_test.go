@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+// naiveProbeJoin is the O(n·m) reference: for each probe, all items within
+// radius, canonically sorted.
+func naiveProbeJoin(items []Item, probes []Item, radius float64) [][]Item {
+	r2 := radius * radius
+	res := make([][]Item, len(probes))
+	for i, p := range probes {
+		var out []Item
+		for _, it := range items {
+			if geom.Dist2(p.P, it.P) <= r2 {
+				out = append(out, it)
+			}
+		}
+		SortItems(out)
+		res[i] = out
+	}
+	return res
+}
+
+func TestProbeJoinMatchesNaive(t *testing.T) {
+	tree, items := testTree(t, 4000, 2, 8, 11)
+	pts := workload.Uniform(300, 2, 77)
+	probes := make([]Item, len(pts))
+	for i, p := range pts {
+		probes[i] = Item{P: p, ID: int32(10000 + i)}
+	}
+	for _, radius := range []float64{0, 0.01, 0.07, 0.5} {
+		got := tree.ProbeJoin(probes, radius)
+		want := naiveProbeJoin(items, probes, radius)
+		for i := range probes {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("radius %g probe %d: %d matches, want %d", radius, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if !ItemEq(got[i][j], want[i][j]) {
+					t.Fatalf("radius %g probe %d match %d: %+v != %+v", radius, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestJoinTreesMatchesNaiveAndProbeJoin(t *testing.T) {
+	tree, items := testTree(t, 3000, 2, 8, 12)
+	mach := pim.NewMachine(8, 1<<20)
+	probeTree := New(Config{Dim: 2, Seed: 5}, mach)
+	pts := workload.GaussianClusters(800, 2, 4, 0.1, 55)
+	probes := make([]Item, len(pts))
+	for i, p := range pts {
+		probes[i] = Item{P: p, ID: int32(50000 + i)}
+	}
+	probeTree.Build(probes)
+
+	radius := 0.05
+	got := tree.JoinTrees(probeTree, radius)
+
+	// Naive reference over all pairs.
+	r2 := radius * radius
+	var want []JoinPair
+	for _, p := range probes {
+		for _, it := range items {
+			if geom.Dist2(p.P, it.P) <= r2 {
+				want = append(want, JoinPair{Probe: p, Match: it})
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no join pairs")
+	}
+	sortPairs := func(ps []JoinPair) {
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && JoinPairLess(ps[j], ps[j-1]); j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+	}
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("JoinTrees: %d pairs, naive %d", len(got), len(want))
+	}
+	for i := range got {
+		if !ItemEq(got[i].Probe, want[i].Probe) || !ItemEq(got[i].Match, want[i].Match) {
+			t.Fatalf("pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Batch-probe agreement: same pair set via ProbeJoin.
+	var viaProbe []JoinPair
+	for i, matches := range tree.ProbeJoin(probes, radius) {
+		for _, m := range matches {
+			viaProbe = append(viaProbe, JoinPair{Probe: probes[i], Match: m})
+		}
+	}
+	sortPairs(viaProbe)
+	if len(viaProbe) != len(got) {
+		t.Fatalf("ProbeJoin pair count %d != JoinTrees %d", len(viaProbe), len(got))
+	}
+	for i := range got {
+		if !ItemEq(got[i].Probe, viaProbe[i].Probe) || !ItemEq(got[i].Match, viaProbe[i].Match) {
+			t.Fatalf("pair %d differs between JoinTrees and ProbeJoin", i)
+		}
+	}
+}
+
+func TestRangeAggregateMatchesNaiveBitIdentical(t *testing.T) {
+	tree, items := testTree(t, 5000, 3, 8, 13)
+	rng := rand.New(rand.NewSource(21))
+	boxes := make([]geom.Box, 40)
+	for i := range boxes {
+		lo := geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		hi := geom.Point{lo[0] + rng.Float64()*0.4, lo[1] + rng.Float64()*0.4, lo[2] + rng.Float64()*0.4}
+		boxes[i] = geom.NewBox(lo, hi)
+	}
+	// Include the whole space and an empty window.
+	boxes = append(boxes,
+		geom.NewBox(geom.Point{-1, -1, -1}, geom.Point{2, 2, 2}),
+		geom.NewBox(geom.Point{5, 5, 5}, geom.Point{6, 6, 6}))
+
+	got := tree.RangeAggregate(boxes)
+	for i, box := range boxes {
+		var want BoxAggregate
+		want.Sums = make([]mathx.ExactSum, 3)
+		for _, it := range items {
+			if box.Contains(it.P) {
+				want.Count++
+				for d := range it.P {
+					want.Sums[d].Add(it.P[d])
+				}
+			}
+		}
+		if got[i].Count != want.Count {
+			t.Fatalf("box %d: count %d want %d", i, got[i].Count, want.Count)
+		}
+		gc, wc := got[i].Centroid(), want.Centroid()
+		for d := range wc {
+			// Bit identity, not approximate equality: exact sums make the
+			// traversal order irrelevant.
+			if gc[d] != wc[d] {
+				t.Fatalf("box %d dim %d: centroid %v != naive %v", i, d, gc[d], wc[d])
+			}
+		}
+	}
+}
+
+func TestBoxAggregateMergeBitIdentical(t *testing.T) {
+	tree, items := testTree(t, 4000, 2, 8, 14)
+	box := geom.NewBox(geom.Point{0.2, 0.2}, geom.Point{0.8, 0.8})
+	whole := tree.RangeAggregate([]geom.Box{box})[0]
+
+	// Split the items across 3 "shards" (disjoint trees), aggregate each,
+	// merge in a scrambled order — must equal the single-tree answer bit
+	// for bit.
+	var parts [3]*Tree
+	var shardItems [3][]Item
+	for i, it := range items {
+		shardItems[i%3] = append(shardItems[i%3], it)
+	}
+	for s := range parts {
+		parts[s] = New(Config{Dim: 2, Seed: int64(s)}, pim.NewMachine(4, 1<<20))
+		parts[s].Build(shardItems[s])
+	}
+	var merged BoxAggregate
+	for _, s := range []int{2, 0, 1} {
+		agg := parts[s].RangeAggregate([]geom.Box{box})[0]
+		merged.Merge(&agg)
+	}
+	if merged.Count != whole.Count {
+		t.Fatalf("merged count %d != %d", merged.Count, whole.Count)
+	}
+	mc, wc := merged.Centroid(), whole.Centroid()
+	for d := range wc {
+		if mc[d] != wc[d] {
+			t.Fatalf("dim %d: merged centroid %v != single-tree %v", d, mc[d], wc[d])
+		}
+	}
+}
+
+func TestJoinTreesEmptyAndEdge(t *testing.T) {
+	tree, _ := testTree(t, 100, 2, 4, 15)
+	empty := New(Config{Dim: 2, Seed: 1}, pim.NewMachine(4, 1<<20))
+	if got := tree.JoinTrees(empty, 1); got != nil {
+		t.Fatalf("join with empty probe tree: %v", got)
+	}
+	if got := empty.JoinTrees(tree, 1); got != nil {
+		t.Fatalf("join on empty build tree: %v", got)
+	}
+	if got := tree.JoinTrees(tree, -1); got != nil {
+		t.Fatalf("negative radius: %v", got)
+	}
+	// Self-join at radius 0 pairs every item with at least itself.
+	self := tree.JoinTrees(tree, 0)
+	if len(self) < tree.Size() {
+		t.Fatalf("self-join at radius 0: %d pairs < %d items", len(self), tree.Size())
+	}
+}

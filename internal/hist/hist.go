@@ -1,0 +1,169 @@
+// Package hist provides an HDR-style log-linear latency histogram with a
+// fixed bucket layout, so histograms recorded independently — by different
+// worker goroutines, or on different shards of a cluster — merge exactly by
+// bucket-wise addition. Quantile estimates carry a bounded relative error
+// (the sub-bucket resolution), which is what makes p999 of a merged
+// distribution meaningful: merging never loses or distorts counts the way
+// merging sampled reservoirs does.
+//
+// Layout: values (int64, e.g. nanoseconds) are bucketed by magnitude. Each
+// power-of-two range is split into 2^subBits linear sub-buckets, giving a
+// worst-case relative error of 2^-subBits (≈3.1% at subBits=5) for any
+// recorded value. The zero value of Histogram is ready to use.
+package hist
+
+import "math/bits"
+
+// subBits is the per-octave resolution: 2^subBits linear sub-buckets per
+// power of two, bounding quantile relative error by 2^-subBits.
+const subBits = 5
+
+const (
+	subCount = 1 << subBits
+	// maxExp covers values up to 2^62-1 (int64 max is 2^63-1; values are
+	// clamped below). 63-subBits octaves above the linear region.
+	numBuckets = (64 - subBits) * subCount
+)
+
+// Histogram counts int64 values ≥ 0 in fixed log-linear buckets. Negative
+// values are clamped to 0. It is not safe for concurrent use; record into
+// per-worker histograms and Merge.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	// Values below 2^subBits land in the linear region, one value per
+	// bucket (exact).
+	if u < subCount {
+		return int(u)
+	}
+	// Octave o ≥ 1 holds values in [2^(o+subBits-1), 2^(o+subBits)); the
+	// subBits bits after the leading 1 select the linear sub-bucket, so the
+	// bucket width is 2^(o-1) and relative error ≤ 2^-subBits.
+	msb := 63 - bits.LeadingZeros64(u) // ≥ subBits
+	o := msb - subBits + 1
+	sub := int(u>>uint(msb-subBits)) - subCount // strips the leading 1
+	return o*subCount + sub
+}
+
+// bucketLow returns the smallest value that maps to bucket i — used to
+// report quantiles as representative values.
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	o := (i-subCount)/subCount + 1
+	sub := (i - subCount) % subCount
+	return int64(subCount+sub) << uint(o-1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n identical observations.
+func (h *Histogram) RecordN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)] += n
+	h.total += n
+	h.sum += v * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveMax raises the recorded maximum without adding an observation.
+// It exists for wire reconstruction: a histogram shipped as sparse
+// (bucket-low, count) pairs plus its true max rebuilds via RecordN +
+// ObserveMax into a quantile-identical copy (the mean degrades to
+// bucket-low resolution; quantiles, counts, and max are exact).
+func (h *Histogram) ObserveMax(v int64) {
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds o's counts into h. Because the bucket layout is fixed, the
+// result is exactly the histogram that would have been produced by
+// recording every observation into h directly.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact mean of recorded values (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns a value v such that at least q×Count() observations are
+// ≤ v, with relative error bounded by 2^-subBits. q is clamped to [0,1].
+// Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, ceil semantics.
+	rank := int64(q*float64(h.total) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			// Representative value: the bucket's lower bound, except the
+			// last bucket which is capped at the recorded max.
+			v := bucketLow(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Buckets calls fn for every nonzero bucket with its lower-bound value and
+// count, in increasing value order — for export or inspection.
+func (h *Histogram) Buckets(fn func(low int64, count int64)) {
+	for i, c := range h.counts {
+		if c != 0 {
+			fn(bucketLow(i), c)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketLayoutInverts(t *testing.T) {
+	// bucketLow(bucketIndex(v)) must be ≤ v with bounded relative error,
+	// and bucket indices must be monotone in v.
+	vals := []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 123456789, math.MaxInt64}
+	prev := -1
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+		low := bucketLow(i)
+		if low > v {
+			t.Fatalf("bucketLow(%d)=%d > value %d", i, low, v)
+		}
+		if v > 0 && float64(v-low)/float64(v) > 1.0/float64(subCount)+1e-12 {
+			t.Fatalf("relative error %g too large for value %d (low %d)", float64(v-low)/float64(v), v, low)
+		}
+	}
+	// Exhaustive monotonicity + inversion over the small range.
+	for v := int64(0); v < 1<<12; v++ {
+		i := bucketIndex(v)
+		if bucketLow(i) > v || (i+1 < numBuckets && bucketLow(i+1) <= v) {
+			t.Fatalf("value %d not inside its bucket [%d,%d)", v, bucketLow(i), bucketLow(i+1))
+		}
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]int64, 5000)
+	for i := range vals {
+		// Log-uniform latencies from 1µs to 10s in ns.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e10/1e3)) * 1e3)
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		rank := int(q*float64(len(vals)) + 0.9999999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(vals) {
+			rank = len(vals)
+		}
+		want := vals[rank-1]
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 1.0/float64(subCount) {
+			t.Fatalf("q=%g: got %d want %d (rel err %g > %g)", q, got, want, rel, 1.0/float64(subCount))
+		}
+	}
+	if h.Count() != 5000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Fatalf("Max = %d want %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+func TestMergeEqualsCombinedRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var combined Histogram
+	parts := make([]Histogram, 4)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		combined.Record(v)
+		parts[rng.Intn(len(parts))].Record(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != combined {
+		t.Fatal("merged histogram differs from directly recorded histogram")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != combined.Quantile(q) {
+			t.Fatalf("q=%g differs after merge", q)
+		}
+	}
+}
+
+func TestEmptyAndEdge(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Quantile(1) != 0 || h.Count() != 1 {
+		t.Fatal("negative value not clamped to 0")
+	}
+	h.RecordN(7, 3)
+	if h.Count() != 4 || h.Mean() != 21.0/4 {
+		t.Fatalf("RecordN wrong: count %d mean %g", h.Count(), h.Mean())
+	}
+	var single Histogram
+	single.Record(1234567)
+	got := single.Quantile(0.5)
+	if rel := math.Abs(float64(got-1234567)) / 1234567; rel > 1.0/float64(subCount) {
+		t.Fatalf("single-value quantile %d too far from 1234567", got)
+	}
+	// Buckets enumerates exactly the recorded mass.
+	var n int64
+	single.Buckets(func(low, count int64) { n += count })
+	if n != 1 {
+		t.Fatalf("Buckets mass = %d", n)
+	}
+}

@@ -1,0 +1,225 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPTarget builds workload ops against the serving HTTP API. The
+// single-server handler (serve.NewHandler) and the shard router
+// (shard.NewHTTPHandler) expose the same query shapes, so one target
+// drives either; only the response body differs, and the generator never
+// parses bodies beyond draining them.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7070".
+	Base string
+	// Client defaults to a keep-alive client with a generous per-host
+	// connection pool (an open-loop generator must not bottleneck on its
+	// own sockets).
+	Client *http.Client
+	// Dim is the point dimensionality (default 2).
+	Dim int
+	// K is the kNN fan (default 8).
+	K int
+	// Radius is the spatial-join radius (default 0.05).
+	Radius float64
+	// Window is the side length of range/aggregation boxes (default 0.1).
+	Window float64
+	// TTLTicks is how far past the ingest clock each streamed item's
+	// deadline lands (default 32); expire ops advance the clock by one
+	// tick, so ingested items survive ~TTLTicks sweeps.
+	TTLTicks int64
+
+	clock      atomic.Int64 // logical time shared by ingest and expire ops
+	clientOnce sync.Once
+}
+
+// Kinds lists the request kinds the target can generate.
+var Kinds = []string{"lookup", "knn", "range", "join", "aggregate", "insert", "ingest", "expire"}
+
+// DefaultMix is a read-heavy blend exercising every analytics kind.
+const DefaultMix = "knn=4,range=2,join=2,aggregate=2,insert=2,ingest=2,expire=1,lookup=1"
+
+// Mix parses a "kind=weight,kind=weight" spec into ops.
+func (t *HTTPTarget) Mix(spec string) ([]Op, error) {
+	var ops []Op
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, ws, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("load: mix entry %q: bad weight", part)
+		}
+		op, err := t.Op(kind, w)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("load: empty mix %q", spec)
+	}
+	return ops, nil
+}
+
+// Op builds a single workload op for the named request kind.
+func (t *HTTPTarget) Op(kind string, weight float64) (Op, error) {
+	var do func(ctx context.Context, rng *rand.Rand) error
+	switch kind {
+	case "lookup":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			return t.do(ctx, http.MethodGet, "/lookup", url.Values{"p": {t.point(rng)}})
+		}
+	case "knn":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			return t.do(ctx, http.MethodGet, "/knn",
+				url.Values{"p": {t.point(rng)}, "k": {strconv.Itoa(t.k())}})
+		}
+	case "range":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			lo, hi := t.box(rng)
+			return t.do(ctx, http.MethodGet, "/range", url.Values{"lo": {lo}, "hi": {hi}})
+		}
+	case "join":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			r := t.Radius
+			if r <= 0 {
+				r = 0.05
+			}
+			return t.do(ctx, http.MethodGet, "/join",
+				url.Values{"p": {t.point(rng)}, "r": {formatFloat(r)}})
+		}
+	case "aggregate":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			lo, hi := t.box(rng)
+			return t.do(ctx, http.MethodGet, "/aggregate", url.Values{"lo": {lo}, "hi": {hi}})
+		}
+	case "insert":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			return t.do(ctx, http.MethodPost, "/insert",
+				url.Values{"id": {t.id(rng)}, "p": {t.point(rng)}})
+		}
+	case "ingest":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			ttl := t.TTLTicks
+			if ttl <= 0 {
+				ttl = 32
+			}
+			deadline := t.clock.Load() + ttl
+			return t.do(ctx, http.MethodPost, "/ingest", url.Values{
+				"id": {t.id(rng)}, "p": {t.point(rng)},
+				"expire_at": {strconv.FormatInt(deadline, 10)},
+			})
+		}
+	case "expire":
+		do = func(ctx context.Context, rng *rand.Rand) error {
+			now := t.clock.Add(1)
+			return t.do(ctx, http.MethodPost, "/expire",
+				url.Values{"now": {strconv.FormatInt(now, 10)}})
+		}
+	default:
+		return Op{}, fmt.Errorf("load: unknown request kind %q (want one of %s)",
+			kind, strings.Join(Kinds, ", "))
+	}
+	return Op{Kind: kind, Weight: weight, Do: do}, nil
+}
+
+// do issues one request and classifies the outcome: 2xx is success, 503 is
+// a shed (the server refusing load is a measured outcome, not a failure),
+// anything else is a hard error.
+func (t *HTTPTarget) do(ctx context.Context, method, path string, q url.Values) error {
+	req, err := http.NewRequestWithContext(ctx, method, t.Base+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for keep-alive reuse
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s %s", ErrShed, method, path)
+	default:
+		return fmt.Errorf("load: %s %s: %s", method, path, resp.Status)
+	}
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	t.clientOnce.Do(func() {
+		if t.Client == nil {
+			tr := http.DefaultTransport.(*http.Transport).Clone()
+			tr.MaxIdleConnsPerHost = 512
+			tr.MaxConnsPerHost = 0
+			t.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+		}
+	})
+	return t.Client
+}
+
+func (t *HTTPTarget) dim() int {
+	if t.Dim <= 0 {
+		return 2
+	}
+	return t.Dim
+}
+
+func (t *HTTPTarget) k() int {
+	if t.K <= 0 {
+		return 8
+	}
+	return t.K
+}
+
+// point draws a uniform point in the unit cube as a comma-joined param.
+func (t *HTTPTarget) point(rng *rand.Rand) string {
+	parts := make([]string, t.dim())
+	for d := range parts {
+		parts[d] = formatFloat(rng.Float64())
+	}
+	return strings.Join(parts, ",")
+}
+
+// box draws a Window-sided axis-aligned box anchored uniformly so it stays
+// inside the unit cube.
+func (t *HTTPTarget) box(rng *rand.Rand) (lo, hi string) {
+	w := t.Window
+	if w <= 0 || w > 1 {
+		w = 0.1
+	}
+	los := make([]string, t.dim())
+	his := make([]string, t.dim())
+	for d := range los {
+		l := rng.Float64() * (1 - w)
+		los[d] = formatFloat(l)
+		his[d] = formatFloat(l + w)
+	}
+	return strings.Join(los, ","), strings.Join(his, ",")
+}
+
+func (t *HTTPTarget) id(rng *rand.Rand) string {
+	// Keep generated IDs above the seeding ranges tests and examples use.
+	return strconv.Itoa(1_000_000 + rng.Intn(1_000_000))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,141 @@
+package load_test
+
+// End-to-end: the HTTP target driving a real serve.Service handler. Lives
+// in an external test package so it may import internal/serve — the load
+// package itself must not (it also targets the shard router).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/load"
+	"pimkd/internal/pim"
+	"pimkd/internal/serve"
+	"pimkd/internal/workload"
+
+	"net/http/httptest"
+)
+
+func startService(t *testing.T, n int, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	const dim = 2
+	mach := pim.NewMachine(8, 1<<20)
+	tree := core.New(core.Config{Dim: dim, Seed: 11}, mach)
+	pts := workload.Uniform(n, dim, 13)
+	items := make([]core.Item, n)
+	for i, pt := range pts {
+		items[i] = core.Item{P: pt, ID: int32(i)}
+	}
+	tree.Build(items)
+	svc := serve.New(cfg, tree)
+	ts := httptest.NewServer(serve.NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func TestHTTPTargetAgainstServeHandler(t *testing.T) {
+	ts := startService(t, 400, serve.Config{MaxBatch: 16, MaxLinger: time.Millisecond})
+	target := &load.HTTPTarget{Base: ts.URL, Dim: 2}
+	ops, err := target.Mix(load.DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := load.NewPoisson([]load.Phase{{Rate: 800, Duration: 300 * time.Millisecond}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		Ops:      ops,
+		Schedule: sched,
+		Seed:     17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered < 100 {
+		t.Fatalf("only %d arrivals offered: %s", res.Offered, res)
+	}
+	// Against a healthy in-process server every kind must complete cleanly
+	// with real latency samples — any error means the target is composing
+	// requests the API rejects.
+	for kind, kr := range res.Kinds {
+		if kr.Errors > 0 {
+			t.Fatalf("kind %s: %d hard errors\n%s", kind, kr.Errors, res)
+		}
+		if kr.Shed > 0 {
+			t.Fatalf("kind %s: %d sheds with shedding disabled", kind, kr.Shed)
+		}
+		if kr.Done == 0 {
+			t.Fatalf("kind %s: offered %d but none completed", kind, kr.Offered)
+		}
+		if kr.Latency.Count() != kr.Done {
+			t.Fatalf("kind %s: %d latency samples for %d completions", kind, kr.Latency.Count(), kr.Done)
+		}
+		if kr.Latency.Quantile(0.999) < kr.Latency.Quantile(0.50) {
+			t.Fatalf("kind %s: inverted quantiles", kind)
+		}
+	}
+	// The default mix names eight kinds; at ~240 arrivals all should show.
+	for _, kind := range load.Kinds {
+		if res.Kinds[kind] == nil {
+			t.Fatalf("kind %s never drawn from the default mix: %s", kind, res)
+		}
+	}
+	m := res.Metrics()
+	if m["knn_p99_us"] <= 0 || m["offered"] != float64(res.Offered) {
+		t.Fatalf("metrics incomplete: %v", m)
+	}
+}
+
+func TestHTTPTargetClassifiesSheds(t *testing.T) {
+	// A tiny shed watermark plus a burst of concurrent arrivals forces
+	// ErrOverloaded 503s, which the target must classify as sheds — not
+	// hard errors.
+	ts := startService(t, 200, serve.Config{
+		MaxBatch:      4,
+		MaxLinger:     10 * time.Millisecond,
+		ShedHighWater: 2,
+	})
+	target := &load.HTTPTarget{Base: ts.URL, Dim: 2}
+	ops, err := target.Mix("knn=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := load.NewConstant([]load.Phase{{Rate: 5000, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		Ops:      ops,
+		Schedule: sched,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kinds["knn"]
+	if kr == nil || kr.Shed == 0 {
+		t.Fatalf("expected sheds from a watermark-2 server under 5000/s: %s", res)
+	}
+	if kr.Errors > 0 {
+		t.Fatalf("sheds misclassified as %d hard errors: %s", kr.Errors, res)
+	}
+}
+
+func TestMixRejectsUnknownKind(t *testing.T) {
+	target := &load.HTTPTarget{Base: "http://127.0.0.1:1"}
+	if _, err := target.Mix("knn=1,teleport=2"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := target.Mix("knn"); err == nil {
+		t.Fatal("weightless entry accepted")
+	}
+	if _, err := target.Mix(""); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

@@ -1,0 +1,342 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimkd/internal/hist"
+)
+
+func collect(t *testing.T, s Schedule, max int) []time.Duration {
+	t.Helper()
+	var out []time.Duration
+	for len(out) < max {
+		off, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, off)
+	}
+	return out
+}
+
+func TestConstantScheduleEvenlySpaced(t *testing.T) {
+	s, err := NewConstant([]Phase{{Rate: 1000, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := collect(t, s, 1000)
+	if len(offs) != 100 {
+		t.Fatalf("1000/s for 100ms: %d arrivals, want 100", len(offs))
+	}
+	for i, off := range offs {
+		if want := time.Duration(i) * time.Millisecond; off != want {
+			t.Fatalf("arrival %d at %v, want %v", i, off, want)
+		}
+	}
+}
+
+func TestPoissonScheduleDeterministicAndCalibrated(t *testing.T) {
+	phases := []Phase{{Rate: 5000, Duration: 2 * time.Second}}
+	a, err := NewPoisson(phases, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPoisson(phases, 42)
+	c, _ := NewPoisson(phases, 43)
+
+	offsA := collect(t, a, 100000)
+	offsB := collect(t, b, 100000)
+	offsC := collect(t, c, 100000)
+	if len(offsA) != len(offsB) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(offsA), len(offsB))
+	}
+	for i := range offsA {
+		if offsA[i] != offsB[i] {
+			t.Fatalf("same seed diverges at arrival %d: %v vs %v", i, offsA[i], offsB[i])
+		}
+	}
+	same := len(offsA) == len(offsC)
+	for i := 0; same && i < len(offsA); i++ {
+		same = offsA[i] == offsC[i]
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// ~10000 expected arrivals; Poisson sd is ~100, so ±5% is ~5 sigma.
+	n := float64(len(offsA))
+	if n < 9500 || n > 10500 {
+		t.Fatalf("5000/s for 2s: %v arrivals, want ~10000", n)
+	}
+	for i := 1; i < len(offsA); i++ {
+		if offsA[i] <= offsA[i-1] {
+			t.Fatalf("offsets not strictly increasing at %d: %v then %v", i, offsA[i-1], offsA[i])
+		}
+	}
+}
+
+func TestPhaseBoundariesHonored(t *testing.T) {
+	// 100/s for 50ms then 1000/s for 50ms: arrivals in each window must
+	// reflect that window's rate, i.e. the step takes effect at 50ms.
+	s, err := NewPoisson(StepOverload(100, 10, 50*time.Millisecond, 50*time.Millisecond), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm, over int
+	for {
+		off, ok := s.Next()
+		if !ok {
+			break
+		}
+		if off >= 100*time.Millisecond {
+			t.Fatalf("arrival at %v past the profile end", off)
+		}
+		if off < 50*time.Millisecond {
+			warm++
+		} else {
+			over++
+		}
+	}
+	// Expectations 5 and 50; generous bounds, but overload must clearly
+	// dominate warmup.
+	if warm > 20 {
+		t.Fatalf("warm phase: %d arrivals, expected ~5", warm)
+	}
+	if over < 25 || over > 100 {
+		t.Fatalf("overload phase: %d arrivals, expected ~50", over)
+	}
+	if over < 3*warm {
+		t.Fatalf("10x step not visible: warm %d, over %d", warm, over)
+	}
+}
+
+func TestRampTotalsAndShape(t *testing.T) {
+	phases := Ramp(100, 1100, time.Second, 10)
+	if len(phases) != 10 {
+		t.Fatalf("%d phases, want 10", len(phases))
+	}
+	var total float64
+	for i, ph := range phases {
+		total += ph.Rate * ph.Duration.Seconds()
+		if i > 0 && ph.Rate <= phases[i-1].Rate {
+			t.Fatalf("ramp not increasing at step %d", i)
+		}
+	}
+	// Continuous ramp offers (100+1100)/2 = 600 arrivals over 1s; midpoint
+	// discretization preserves that exactly.
+	if math.Abs(total-600) > 1e-6 {
+		t.Fatalf("ramp offers %v arrivals, want 600", total)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := [][]Phase{
+		nil,
+		{{Rate: 0, Duration: time.Second}},
+		{{Rate: -5, Duration: time.Second}},
+		{{Rate: math.NaN(), Duration: time.Second}},
+		{{Rate: math.Inf(1), Duration: time.Second}},
+		{{Rate: 100, Duration: 0}},
+		{{Rate: 100, Duration: -time.Second}},
+	}
+	for i, phases := range bad {
+		if _, err := NewPoisson(phases, 1); err == nil {
+			t.Fatalf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+// TestOpenLoopDoesNotWaitForResponses is the defining property: with a
+// target that never responds within the run, the generator still issues
+// arrivals at the scheduled rate instead of stalling behind the first
+// in-flight request.
+func TestOpenLoopDoesNotWaitForResponses(t *testing.T) {
+	var started atomic.Int64
+	release := make(chan struct{})
+	sched, err := NewConstant([]Phase{{Rate: 2000, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Ops: []Op{{Kind: "stall", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		}}},
+		Schedule: sched,
+		Timeout:  2 * time.Second,
+	})
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A closed-loop driver would have issued exactly 1 request (the first,
+	// still stalled). Open loop must have issued essentially all 200.
+	if started.Load() < 150 {
+		t.Fatalf("only %d requests issued against a stalled target; generator is closed-loop", started.Load())
+	}
+	if res.Offered != 200 {
+		t.Fatalf("offered %d, want 200", res.Offered)
+	}
+}
+
+// TestLatencyFromScheduledArrival checks coordinated omission handling: a
+// uniform 5ms server delay must show up as ≥5ms latency for every request,
+// measured from when the request was *supposed* to arrive.
+func TestLatencyFromScheduledArrival(t *testing.T) {
+	sched, err := NewConstant([]Phase{{Rate: 500, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Ops: []Op{{Kind: "slow", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}}},
+		Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kinds["slow"]
+	if kr == nil || kr.Done == 0 {
+		t.Fatalf("no completed requests: %+v", res)
+	}
+	if p50 := kr.Latency.Quantile(0.50); p50 < int64(5*time.Millisecond) {
+		t.Fatalf("p50 %v below the server's own 5ms floor", time.Duration(p50))
+	}
+}
+
+func TestOutstandingCapDropsNotQueues(t *testing.T) {
+	release := make(chan struct{})
+	sched, err := NewConstant([]Phase{{Rate: 2000, Duration: 50 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res *Result
+	go func() {
+		defer close(done)
+		res, err = Run(context.Background(), Config{
+			Ops: []Op{{Kind: "stall", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error {
+				<-release
+				return nil
+			}}},
+			Schedule:       sched,
+			MaxOutstanding: 10,
+			Timeout:        2 * time.Second,
+		})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kinds["stall"]
+	if kr.Done != 10 {
+		t.Fatalf("%d completed, want exactly the outstanding cap 10", kr.Done)
+	}
+	if kr.Dropped != kr.Offered-10 {
+		t.Fatalf("dropped %d of %d offered with 10 in flight", kr.Dropped, kr.Offered)
+	}
+	if res.Dropped != kr.Dropped {
+		t.Fatalf("top-level dropped %d != kind dropped %d", res.Dropped, kr.Dropped)
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	sched, err := NewConstant([]Phase{{Rate: 3000, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Ops: []Op{
+			{Kind: "ok", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error { return nil }},
+			{Kind: "shed", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error {
+				return fmt.Errorf("%w: 503", ErrShed)
+			}},
+			{Kind: "boom", Weight: 1, Do: func(ctx context.Context, _ *rand.Rand) error {
+				return errors.New("hard failure")
+			}},
+		},
+		Schedule: sched,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okr, skr, bkr := res.Kinds["ok"], res.Kinds["shed"], res.Kinds["boom"]
+	if okr == nil || skr == nil || bkr == nil {
+		t.Fatalf("missing kinds: %v", res.Kinds)
+	}
+	if okr.Done != okr.Offered || okr.Shed != 0 || okr.Errors != 0 {
+		t.Fatalf("ok kind misclassified: %+v", okr)
+	}
+	if skr.Shed != skr.Offered || skr.Done != 0 {
+		t.Fatalf("shed kind misclassified: %+v", skr)
+	}
+	if bkr.Errors != bkr.Offered || bkr.Done != 0 {
+		t.Fatalf("error kind misclassified: %+v", bkr)
+	}
+	if okr.Latency.Count() != okr.Done {
+		t.Fatalf("latency samples %d != completions %d", okr.Latency.Count(), okr.Done)
+	}
+	if skr.Latency.Count() != 0 {
+		t.Fatal("shed requests must not pollute the latency distribution")
+	}
+	// All three kinds drawn: the weighted picker is actually mixing.
+	if okr.Offered == 0 || skr.Offered == 0 || bkr.Offered == 0 {
+		t.Fatalf("mix not exercised: ok %d shed %d boom %d", okr.Offered, skr.Offered, bkr.Offered)
+	}
+}
+
+func TestResultMergeAndMetrics(t *testing.T) {
+	mk := func(done, shed int64, lat time.Duration) *Result {
+		r := &Result{Offered: done + shed, Kinds: map[string]*KindResult{}}
+		kr := &KindResult{Offered: done + shed, Done: done, Shed: shed}
+		kr.Latency = newHist(done, lat)
+		r.Kinds["knn"] = kr
+		r.Elapsed = time.Second
+		return r
+	}
+	a, b := mk(10, 2, 3*time.Millisecond), mk(20, 3, 7*time.Millisecond)
+	a.Merge(b)
+	kr := a.Kinds["knn"]
+	if kr.Done != 30 || kr.Shed != 5 || a.Offered != 35 {
+		t.Fatalf("merge counts wrong: %+v", kr)
+	}
+	if kr.Latency.Count() != 30 {
+		t.Fatalf("merged latency count %d, want 30", kr.Latency.Count())
+	}
+	m := a.Metrics()
+	for _, key := range []string{"offered", "knn_done", "knn_shed", "knn_p50_us", "knn_p99_us", "knn_p999_us"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, m)
+		}
+	}
+	if m["knn_done"] != 30 || m["offered"] != 35 {
+		t.Fatalf("metrics values wrong: %v", m)
+	}
+	if m["knn_p999_us"] < m["knn_p50_us"] {
+		t.Fatalf("quantiles inverted: %v", m)
+	}
+}
+
+func newHist(n int64, lat time.Duration) *hist.Histogram {
+	h := &hist.Histogram{}
+	for i := int64(0); i < n; i++ {
+		h.Record(int64(lat))
+	}
+	return h
+}

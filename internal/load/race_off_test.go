@@ -1,0 +1,6 @@
+//go:build !race
+
+package load_test
+
+// raceScale is 1 in normal builds; see race_on_test.go.
+const raceScale = 1

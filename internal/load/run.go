@@ -1,0 +1,269 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimkd/internal/hist"
+)
+
+// ErrShed marks a request the target refused under overload (a 503 with
+// Retry-After, or the serve layer's ErrOverloaded). Sheds are counted
+// separately from hard errors: under a deliberate overload profile they
+// are the *correct* server behavior.
+var ErrShed = errors.New("load: request shed by target")
+
+// Op is one request kind in the workload mix. Do issues a single request
+// and returns nil, ErrShed (wrapped), or a hard error; it must be safe for
+// concurrent use and derive any randomness from rng (its per-request
+// stream).
+type Op struct {
+	Kind   string
+	Weight float64
+	Do     func(ctx context.Context, rng *rand.Rand) error
+}
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Ops is the workload mix; requests pick an op with probability
+	// proportional to Weight.
+	Ops []Op
+	// Schedule supplies the arrival offsets. The runner owns it.
+	Schedule Schedule
+	// Seed derives every per-request random stream, so a run is replayable
+	// end to end (with a constant schedule, byte for byte).
+	Seed int64
+	// MaxOutstanding caps in-flight requests. An arrival finding the cap
+	// reached is *dropped and counted* — never queued and never waited
+	// for, which would close the loop. Default 4096.
+	MaxOutstanding int
+	// Timeout bounds each request (measured from its scheduled arrival, so
+	// queueing ahead of dispatch eats into it). Default 10s.
+	Timeout time.Duration
+}
+
+// KindResult aggregates one request kind's outcomes.
+type KindResult struct {
+	// Offered arrivals = Done + Shed + Errors + Dropped + Late (in-flight
+	// at cancel).
+	Offered int64
+	Done    int64
+	Shed    int64
+	Errors  int64
+	Dropped int64
+	// Latency holds scheduled-arrival → completion times in nanoseconds
+	// for successful requests only (sheds and errors answer fast; mixing
+	// them in would flatter the tail).
+	Latency *hist.Histogram
+}
+
+// Result is one run's (or several merged runs') summary.
+type Result struct {
+	Offered int64
+	Dropped int64
+	Elapsed time.Duration
+	Kinds   map[string]*KindResult
+}
+
+// Run executes the schedule against the ops until the schedule ends or ctx
+// is canceled, then waits for in-flight requests and returns the summary.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Ops) == 0 {
+		return nil, fmt.Errorf("load: no ops")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("load: no schedule")
+	}
+	total := 0.0
+	for i, op := range cfg.Ops {
+		if op.Weight < 0 || op.Kind == "" || op.Do == nil {
+			return nil, fmt.Errorf("load: op %d invalid", i)
+		}
+		total += op.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("load: zero total op weight")
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	res := &Result{Kinds: map[string]*KindResult{}}
+	var mu sync.Mutex
+	kind := func(name string) *KindResult {
+		kr := res.Kinds[name]
+		if kr == nil {
+			kr = &KindResult{Latency: &hist.Histogram{}}
+			res.Kinds[name] = kr
+		}
+		return kr
+	}
+
+	var (
+		outstanding atomic.Int64
+		wg          sync.WaitGroup
+	)
+	start := time.Now()
+	for i := int64(0); ; i++ {
+		off, ok := cfg.Schedule.Next()
+		if !ok || ctx.Err() != nil {
+			break
+		}
+		// Open loop: sleep until the scheduled arrival — and only until
+		// then. Response lag never postpones the next arrival.
+		if d := time.Until(start.Add(off)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + i*0x9e3779b9))
+		op := &cfg.Ops[pickOp(cfg.Ops, total, rng)]
+		kr := kind(op.Kind)
+		mu.Lock()
+		kr.Offered++
+		res.Offered++
+		if outstanding.Load() >= int64(cfg.MaxOutstanding) {
+			// Past the cap the generator keeps its schedule by shedding
+			// load itself; the drop count is part of the result, not
+			// hidden backpressure.
+			kr.Dropped++
+			res.Dropped++
+			mu.Unlock()
+			continue
+		}
+		mu.Unlock()
+		outstanding.Add(1)
+		wg.Add(1)
+		scheduled := start.Add(off)
+		go func() {
+			defer wg.Done()
+			defer outstanding.Add(-1)
+			rctx, cancel := context.WithDeadline(ctx, scheduled.Add(cfg.Timeout))
+			err := op.Do(rctx, rng)
+			cancel()
+			// Coordinated-omission-free: latency runs from the scheduled
+			// arrival, so dispatch queueing is charged to the server.
+			lat := time.Since(scheduled)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				kr.Done++
+				kr.Latency.Record(int64(lat))
+			case errors.Is(err, ErrShed):
+				kr.Shed++
+			default:
+				kr.Errors++
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// pickOp selects an op index with probability proportional to weight.
+func pickOp(ops []Op, total float64, rng *rand.Rand) int {
+	x := rng.Float64() * total
+	for i, op := range ops {
+		x -= op.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(ops) - 1
+}
+
+// Merge folds o into r. Histograms merge bucket-exactly, so merging
+// per-worker results equals one worker having recorded everything.
+func (r *Result) Merge(o *Result) {
+	r.Offered += o.Offered
+	r.Dropped += o.Dropped
+	if o.Elapsed > r.Elapsed {
+		r.Elapsed = o.Elapsed
+	}
+	if r.Kinds == nil {
+		r.Kinds = map[string]*KindResult{}
+	}
+	for name, okr := range o.Kinds {
+		kr := r.Kinds[name]
+		if kr == nil {
+			kr = &KindResult{Latency: &hist.Histogram{}}
+			r.Kinds[name] = kr
+		}
+		kr.Offered += okr.Offered
+		kr.Done += okr.Done
+		kr.Shed += okr.Shed
+		kr.Errors += okr.Errors
+		kr.Dropped += okr.Dropped
+		kr.Latency.Merge(okr.Latency)
+	}
+}
+
+// Metrics flattens the result into the scalar map shape of the
+// pimkd-bench/v1 JSON schema ("<kind>_p99_us" and friends), so a load run
+// lands in the same artifact format as every other experiment.
+func (r *Result) Metrics() map[string]float64 {
+	us := func(v int64) float64 { return float64(v) / 1e3 }
+	out := map[string]float64{
+		"offered":   float64(r.Offered),
+		"dropped":   float64(r.Dropped),
+		"elapsed_s": r.Elapsed.Seconds(),
+	}
+	if r.Elapsed > 0 {
+		out["offered_per_s"] = float64(r.Offered) / r.Elapsed.Seconds()
+	}
+	for name, kr := range r.Kinds {
+		out[name+"_offered"] = float64(kr.Offered)
+		out[name+"_done"] = float64(kr.Done)
+		out[name+"_shed"] = float64(kr.Shed)
+		out[name+"_errors"] = float64(kr.Errors)
+		out[name+"_dropped"] = float64(kr.Dropped)
+		if kr.Latency.Count() > 0 {
+			out[name+"_p50_us"] = us(kr.Latency.Quantile(0.50))
+			out[name+"_p90_us"] = us(kr.Latency.Quantile(0.90))
+			out[name+"_p99_us"] = us(kr.Latency.Quantile(0.99))
+			out[name+"_p999_us"] = us(kr.Latency.Quantile(0.999))
+			out[name+"_max_us"] = us(kr.Latency.Max())
+		}
+	}
+	return out
+}
+
+// String renders a human-readable per-kind table, kinds sorted by name.
+func (r *Result) String() string {
+	names := make([]string, 0, len(r.Kinds))
+	for name := range r.Kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("offered %d in %v (%.0f req/s), dropped %d at generator\n",
+		r.Offered, r.Elapsed.Round(time.Millisecond),
+		float64(r.Offered)/r.Elapsed.Seconds(), r.Dropped)
+	us := func(v int64) float64 { return float64(v) / 1e3 }
+	for _, name := range names {
+		kr := r.Kinds[name]
+		out += fmt.Sprintf("  %-9s done %6d  shed %5d  err %4d  drop %4d",
+			name, kr.Done, kr.Shed, kr.Errors, kr.Dropped)
+		if kr.Latency.Count() > 0 {
+			out += fmt.Sprintf("  p50 %8.0fµs  p99 %8.0fµs  p999 %8.0fµs  max %8.0fµs",
+				us(kr.Latency.Quantile(0.50)), us(kr.Latency.Quantile(0.99)),
+				us(kr.Latency.Quantile(0.999)), us(kr.Latency.Max()))
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package load is an open-loop load generator and latency harness for the
+// serving stack (a single pimkd-server or the shard router).
+//
+// Open loop means arrivals come from a schedule fixed before the run —
+// Poisson or constant-rate, optionally shaped by ramp or step profiles —
+// and are never delayed by slow responses. A closed-loop driver (issue,
+// wait, repeat) lets an overloaded server set the generator's pace, which
+// hides exactly the latencies overload produces (coordinated omission).
+// Here every request's latency is measured from its *scheduled* arrival
+// time, so queueing delay under overload is charged to the server, not
+// silently dropped from the distribution.
+//
+// Latencies land in per-request-kind fixed-layout histograms
+// (internal/hist), which merge exactly across workers and runs; the
+// summary feeds the pimkd-bench/v1 JSON schema via Result.Metrics.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Schedule generates successive arrival offsets, measured from the start
+// of the run, of an open-loop request stream. Offsets are nondecreasing;
+// ok = false ends the stream. Schedules are stateful iterators owned by a
+// single runner — not safe for concurrent use.
+type Schedule interface {
+	Next() (offset time.Duration, ok bool)
+}
+
+// Phase is one segment of a rate profile: arrivals at Rate requests/second
+// for Duration.
+type Phase struct {
+	Rate     float64
+	Duration time.Duration
+}
+
+// phased generates arrivals phase by phase. Within a phase, inter-arrival
+// gaps are either exponential with mean 1/rate (Poisson) or exactly 1/rate
+// (constant). The phase boundary clips the last gap: an arrival scheduled
+// past the boundary moves to the next phase's rate instead.
+type phased struct {
+	phases []Phase
+	rng    *rand.Rand // nil = constant-rate
+
+	phase    int
+	phaseEnd time.Duration // end offset of the current phase
+	at       time.Duration // next arrival offset
+}
+
+// NewPoisson returns a Poisson (memoryless) arrival schedule over the rate
+// profile, seeded for replayability.
+func NewPoisson(phases []Phase, seed int64) (Schedule, error) {
+	return newPhased(phases, rand.New(rand.NewSource(seed)))
+}
+
+// NewConstant returns an evenly spaced arrival schedule over the rate
+// profile.
+func NewConstant(phases []Phase) (Schedule, error) {
+	return newPhased(phases, nil)
+}
+
+func newPhased(phases []Phase, rng *rand.Rand) (Schedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("load: empty rate profile")
+	}
+	for i, ph := range phases {
+		if ph.Rate <= 0 || math.IsNaN(ph.Rate) || math.IsInf(ph.Rate, 0) {
+			return nil, fmt.Errorf("load: phase %d rate %v out of range", i, ph.Rate)
+		}
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("load: phase %d duration %v out of range", i, ph.Duration)
+		}
+	}
+	return &phased{phases: phases, rng: rng, phaseEnd: phases[0].Duration}, nil
+}
+
+func (s *phased) Next() (time.Duration, bool) {
+	// Move to the phase containing the pending arrival offset. Crossing a
+	// boundary re-times the arrival under the new phase's rate, so a step
+	// from 1× to 10× takes effect at the boundary, not one arrival late.
+	for s.at >= s.phaseEnd {
+		s.phase++
+		if s.phase >= len(s.phases) {
+			return 0, false
+		}
+		s.phaseEnd += s.phases[s.phase].Duration
+	}
+	out := s.at
+	s.at += s.gap(s.phases[s.phase].Rate)
+	return out, true
+}
+
+// gap draws the next inter-arrival time at the given rate.
+func (s *phased) gap(rate float64) time.Duration {
+	mean := float64(time.Second) / rate
+	if s.rng == nil {
+		d := time.Duration(mean)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	d := time.Duration(s.rng.ExpFloat64() * mean)
+	if d < 1 {
+		d = 1 // keep offsets strictly increasing even at extreme rates
+	}
+	return d
+}
+
+// Ramp builds a rate profile rising linearly from r0 to r1 req/s over
+// total, discretized into steps equal-duration segments.
+func Ramp(r0, r1 float64, total time.Duration, steps int) []Phase {
+	if steps < 1 {
+		steps = 1
+	}
+	phases := make([]Phase, steps)
+	for i := range phases {
+		// Segment midpoint rate: the discretized profile offers the same
+		// total arrivals as the continuous ramp.
+		frac := (float64(i) + 0.5) / float64(steps)
+		phases[i] = Phase{
+			Rate:     r0 + (r1-r0)*frac,
+			Duration: total / time.Duration(steps),
+		}
+	}
+	return phases
+}
+
+// StepOverload builds the overload profile used by the shedding
+// experiments: base req/s for warm, then base×factor for over (for example
+// 1× → 10×).
+func StepOverload(base, factor float64, warm, over time.Duration) []Phase {
+	return []Phase{
+		{Rate: base, Duration: warm},
+		{Rate: base * factor, Duration: over},
+	}
+}

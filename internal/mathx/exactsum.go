@@ -1,0 +1,320 @@
+package mathx
+
+import (
+	"math"
+	"math/bits"
+)
+
+// ExactSum is an order-independent exact accumulator for float64 values.
+//
+// Floating-point addition is not associative, so the same multiset of
+// values summed in two different orders — or grouped differently across
+// shards of a cluster — generally rounds to two different float64 results.
+// That breaks the bit-identity oracle the distributed aggregation path is
+// held to: a windowed aggregate answered by a 3-shard scatter/gather must
+// equal the single-tree answer to the last bit.
+//
+// ExactSum sidesteps rounding entirely: every addend is decomposed into
+// sign, 53-bit mantissa, and power-of-two exponent, and added into a
+// fixed-point two's-complement-free superaccumulator — a 2176-bit integer
+// in units of 2^-1074 (the smallest positive subnormal) that spans the full
+// double range with 64 bits of carry headroom, split into separate positive
+// and negative magnitude accumulators. Integer addition is exact and
+// associative, so the accumulator state after any sequence of Add and Merge
+// calls depends only on the multiset of values added, never on the order or
+// grouping. Round then converts the exact difference to the nearest float64
+// (ties to even) — the correctly rounded true sum.
+//
+// Non-finite addends are tracked by flags (any NaN, +Inf and -Inf seen)
+// with the IEEE semantics of a sum: NaN dominates, +Inf and -Inf together
+// make NaN, otherwise the infinity wins. The flags are order-independent
+// too.
+//
+// The zero value is an accumulator of the empty sum. ExactSum is not safe
+// for concurrent use.
+type ExactSum struct {
+	// pos/neg are magnitude accumulators in units of 2^-1074, little-endian
+	// uint64 words. Bit b of the combined integer has weight 2^(b-1074).
+	pos, neg [accWords]uint64
+	posInf   bool
+	negInf   bool
+	nan      bool
+}
+
+// accWords covers 2^-1074 .. 2^1023 (2098 bits of double dynamic range)
+// plus 78 bits of headroom, so at least 2^78 maximal addends are needed to
+// overflow — unreachable in practice.
+const accWords = 34
+
+// accBias is the bit position of weight 2^0.
+const accBias = 1074
+
+// Add folds x into the accumulator.
+func (s *ExactSum) Add(x float64) {
+	if x == 0 {
+		return
+	}
+	b := math.Float64bits(x)
+	exp := int((b >> 52) & 0x7ff)
+	mant := b & (1<<52 - 1)
+	switch exp {
+	case 0x7ff: // Inf or NaN
+		if mant != 0 {
+			s.nan = true
+		} else if b>>63 == 1 {
+			s.negInf = true
+		} else {
+			s.posInf = true
+		}
+		return
+	case 0: // subnormal: value = mant × 2^-1074
+	default: // normal: value = (2^52+mant) × 2^(exp-1075)
+		mant |= 1 << 52
+	}
+	// Bit offset of the mantissa's least significant bit within the
+	// accumulator: subnormals sit at 0, normals at exp-1.
+	off := 0
+	if exp > 0 {
+		off = exp - 1
+	}
+	acc := &s.pos
+	if b>>63 == 1 {
+		acc = &s.neg
+	}
+	addShifted(acc, mant, off)
+}
+
+// AddMul folds x added n times (n ≥ 0) into the accumulator — exactly, as
+// if Add(x) were called n times.
+func (s *ExactSum) AddMul(x float64, n int64) {
+	for ; n > 0; n-- {
+		s.Add(x)
+	}
+}
+
+// addShifted adds the 53-bit value v at bit offset off into acc with carry
+// propagation.
+func addShifted(acc *[accWords]uint64, v uint64, off int) {
+	w, sh := off/64, uint(off%64)
+	lo := v << sh
+	var hi uint64
+	if sh != 0 {
+		hi = v >> (64 - sh)
+	}
+	var carry uint64
+	acc[w], carry = bits.Add64(acc[w], lo, 0)
+	acc[w+1], carry = bits.Add64(acc[w+1], hi, carry)
+	for i := w + 2; carry != 0 && i < accWords; i++ {
+		acc[i], carry = bits.Add64(acc[i], 0, carry)
+	}
+}
+
+// Merge folds the other accumulator's state into s, exactly as if every
+// value added to o had been added to s directly.
+func (s *ExactSum) Merge(o *ExactSum) {
+	var carry uint64
+	carry = 0
+	for i := 0; i < accWords; i++ {
+		s.pos[i], carry = bits.Add64(s.pos[i], o.pos[i], carry)
+	}
+	carry = 0
+	for i := 0; i < accWords; i++ {
+		s.neg[i], carry = bits.Add64(s.neg[i], o.neg[i], carry)
+	}
+	s.posInf = s.posInf || o.posInf
+	s.negInf = s.negInf || o.negInf
+	s.nan = s.nan || o.nan
+}
+
+// IsZero reports whether the accumulator is exactly the empty sum.
+func (s *ExactSum) IsZero() bool {
+	if s.nan || s.posInf || s.negInf {
+		return false
+	}
+	for i := 0; i < accWords; i++ {
+		if s.pos[i] != 0 || s.neg[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Round returns the accumulated sum correctly rounded to float64 (round to
+// nearest, ties to even). The result is a function of the multiset of
+// added values only — independent of Add/Merge order and grouping.
+func (s *ExactSum) Round() float64 {
+	switch {
+	case s.nan, s.posInf && s.negInf:
+		return math.NaN()
+	case s.posInf:
+		return math.Inf(1)
+	case s.negInf:
+		return math.Inf(-1)
+	}
+	// diff = pos - neg as sign + magnitude.
+	var mag [accWords]uint64
+	neg := false
+	switch cmpWords(&s.pos, &s.neg) {
+	case 0:
+		return 0
+	case 1:
+		subWords(&mag, &s.pos, &s.neg)
+	case -1:
+		neg = true
+		subWords(&mag, &s.neg, &s.pos)
+	}
+	v := roundMagnitude(&mag)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// cmpWords compares two little-endian magnitudes: -1, 0, or 1.
+func cmpWords(a, b *[accWords]uint64) int {
+	for i := accWords - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// subWords sets out = a - b; requires a >= b.
+func subWords(out, a, b *[accWords]uint64) {
+	var borrow uint64
+	for i := 0; i < accWords; i++ {
+		out[i], borrow = bits.Sub64(a[i], b[i], borrow)
+	}
+}
+
+// roundMagnitude converts a nonzero magnitude in units of 2^-1074 to the
+// nearest float64, ties to even.
+func roundMagnitude(mag *[accWords]uint64) float64 {
+	// top is the bit index of the most significant set bit.
+	top := -1
+	for i := accWords - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			top = i*64 + bits.Len64(mag[i]) - 1
+			break
+		}
+	}
+	if top < 53 {
+		// Fewer than 54 significant bits above the accumulator's LSB: the
+		// value is an exact subnormal (or small normal) multiple of
+		// 2^-1074; no rounding occurs.
+		return math.Ldexp(float64(mag[0]&(1<<uint(top+1)-1)), -accBias)
+	}
+	// Extract the 53 leading bits, the guard bit below them, and a sticky
+	// OR of everything lower.
+	mant := extractBits(mag, top-52, 53)
+	guard := extractBits(mag, top-53, 1)
+	sticky := false
+	for b := 0; b < top-53; b += 64 {
+		w := b / 64
+		lo := mag[w]
+		// Mask off bits at or above top-53 within this word.
+		if hi := top - 53 - b; hi < 64 {
+			lo &= 1<<uint(hi) - 1
+		}
+		if lo != 0 {
+			sticky = true
+			break
+		}
+	}
+	exp := top - 52 - accBias // value ≈ mant × 2^exp
+	if guard == 1 && (sticky || mant&1 == 1) {
+		mant++
+		if mant == 1<<53 {
+			mant >>= 1
+			exp++
+		}
+	}
+	// Ldexp handles normal/overflow; exp here is ≥ -1074 and mant < 2^53,
+	// both exactly representable, so no double rounding.
+	return math.Ldexp(float64(mant), exp)
+}
+
+// extractBits reads n (≤ 64) bits starting at bit index lo (may span two
+// words) from the magnitude.
+func extractBits(mag *[accWords]uint64, lo, n int) uint64 {
+	w, sh := lo/64, uint(lo%64)
+	v := mag[w] >> sh
+	if sh != 0 && w+1 < accWords {
+		v |= mag[w+1] << (64 - sh)
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	return v
+}
+
+// SumTerm is one nonzero accumulator word in ExactSum's wire form.
+type SumTerm struct {
+	Index uint16 // word index ORed with negBit for the negative accumulator
+	Word  uint64
+}
+
+// negBit marks a SumTerm belonging to the negative magnitude accumulator.
+const negBit = 1 << 15
+
+// Flag bits of the wire form.
+const (
+	sumFlagPosInf = 1 << 0
+	sumFlagNegInf = 1 << 1
+	sumFlagNaN    = 1 << 2
+)
+
+// Terms returns the accumulator's sparse wire form: the nonzero words of
+// both magnitude accumulators plus the non-finite flags. SumFromTerms
+// inverts it exactly. Real data leaves most words zero, so the form is
+// compact.
+func (s *ExactSum) Terms() (terms []SumTerm, flags uint8) {
+	for i, w := range s.pos {
+		if w != 0 {
+			terms = append(terms, SumTerm{Index: uint16(i), Word: w})
+		}
+	}
+	for i, w := range s.neg {
+		if w != 0 {
+			terms = append(terms, SumTerm{Index: uint16(i) | negBit, Word: w})
+		}
+	}
+	if s.posInf {
+		flags |= sumFlagPosInf
+	}
+	if s.negInf {
+		flags |= sumFlagNegInf
+	}
+	if s.nan {
+		flags |= sumFlagNaN
+	}
+	return terms, flags
+}
+
+// SumFromTerms reconstructs an ExactSum from its wire form. Terms with an
+// out-of-range word index — or unknown flag bits — are rejected with
+// ok = false (never a panic: the input may come off the network).
+func SumFromTerms(terms []SumTerm, flags uint8) (s ExactSum, ok bool) {
+	if flags&^uint8(sumFlagPosInf|sumFlagNegInf|sumFlagNaN) != 0 {
+		return ExactSum{}, false
+	}
+	for _, t := range terms {
+		idx := int(t.Index &^ negBit)
+		if idx >= accWords {
+			return ExactSum{}, false
+		}
+		if t.Index&negBit != 0 {
+			s.neg[idx] = t.Word
+		} else {
+			s.pos[idx] = t.Word
+		}
+	}
+	s.posInf = flags&sumFlagPosInf != 0
+	s.negInf = flags&sumFlagNegInf != 0
+	s.nan = flags&sumFlagNaN != 0
+	return s, true
+}

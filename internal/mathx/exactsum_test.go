@@ -1,0 +1,183 @@
+package mathx
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigSum computes the exact sum of vs with math/big and rounds it to
+// float64 — the reference for correct rounding.
+func bigSum(vs []float64) float64 {
+	acc := new(big.Float).SetPrec(4096)
+	for _, v := range vs {
+		acc.Add(acc, new(big.Float).SetPrec(4096).SetFloat64(v))
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+func randomValues(rng *rand.Rand, n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		// Wildly varying magnitudes and signs, the regime where naive
+		// summation loses bits.
+		v := (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(120)-60)
+		vs[i] = v
+	}
+	return vs
+}
+
+func TestExactSumCorrectRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		vs := randomValues(rng, 1+rng.Intn(400))
+		var s ExactSum
+		for _, v := range vs {
+			s.Add(v)
+		}
+		if got, want := s.Round(), bigSum(vs); got != want {
+			t.Fatalf("trial %d: Round() = %g, big.Float says %g", trial, got, want)
+		}
+	}
+}
+
+func TestExactSumOrderAndGroupingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		vs := randomValues(rng, 2+rng.Intn(300))
+
+		var forward ExactSum
+		for _, v := range vs {
+			forward.Add(v)
+		}
+
+		// Reverse order.
+		var backward ExactSum
+		for i := len(vs) - 1; i >= 0; i-- {
+			backward.Add(vs[i])
+		}
+
+		// Random 3-way sharding, merged out of order.
+		var parts [3]ExactSum
+		for _, v := range vs {
+			parts[rng.Intn(3)].Add(v)
+		}
+		var merged ExactSum
+		merged.Merge(&parts[2])
+		merged.Merge(&parts[0])
+		merged.Merge(&parts[1])
+
+		want := forward.Round()
+		if got := backward.Round(); got != want {
+			t.Fatalf("trial %d: reverse order %g != forward %g", trial, got, want)
+		}
+		if got := merged.Round(); got != want {
+			t.Fatalf("trial %d: sharded merge %g != forward %g", trial, got, want)
+		}
+		if forward.pos != merged.pos || forward.neg != merged.neg {
+			t.Fatalf("trial %d: accumulator state differs between orders", trial)
+		}
+	}
+}
+
+func TestExactSumCancellation(t *testing.T) {
+	// Classic catastrophic cancellation: naive summation returns 0 or junk.
+	vs := []float64{1e308, 17, -1e308, 4.25, -21.25, 1e-300, -1e-300}
+	var s ExactSum
+	for _, v := range vs {
+		s.Add(v)
+	}
+	if got := s.Round(); got != 0 {
+		t.Fatalf("cancelling sum = %g, want 0", got)
+	}
+
+	// Tiny survivor under huge cancelling pair.
+	var s2 ExactSum
+	s2.Add(1e300)
+	s2.Add(5e-324) // smallest subnormal
+	s2.Add(-1e300)
+	if got := s2.Round(); got != 5e-324 {
+		t.Fatalf("subnormal survivor = %g, want 5e-324", got)
+	}
+}
+
+func TestExactSumSpecials(t *testing.T) {
+	var s ExactSum
+	s.Add(1)
+	s.Add(math.Inf(1))
+	if got := s.Round(); !math.IsInf(got, 1) {
+		t.Fatalf("sum with +Inf = %g", got)
+	}
+	s.Add(math.Inf(-1))
+	if got := s.Round(); !math.IsNaN(got) {
+		t.Fatalf("sum with +Inf and -Inf = %g, want NaN", got)
+	}
+	var n ExactSum
+	n.Add(math.NaN())
+	n.Add(3)
+	if got := n.Round(); !math.IsNaN(got) {
+		t.Fatalf("sum with NaN = %g, want NaN", got)
+	}
+}
+
+func TestExactSumZeroAndEmpty(t *testing.T) {
+	var s ExactSum
+	if !s.IsZero() {
+		t.Fatal("fresh accumulator not zero")
+	}
+	if got := s.Round(); got != 0 {
+		t.Fatalf("empty sum = %g", got)
+	}
+	s.Add(2.5)
+	s.Add(-2.5)
+	if got := s.Round(); got != 0 {
+		t.Fatalf("cancelled sum = %g", got)
+	}
+	if s.IsZero() {
+		t.Fatal("cancelled accumulator reports IsZero (magnitudes are nonzero)")
+	}
+}
+
+func TestExactSumTermsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		vs := randomValues(rng, 1+rng.Intn(100))
+		var s ExactSum
+		for _, v := range vs {
+			s.Add(v)
+		}
+		terms, flags := s.Terms()
+		back, ok := SumFromTerms(terms, flags)
+		if !ok {
+			t.Fatalf("trial %d: round trip rejected", trial)
+		}
+		if back.pos != s.pos || back.neg != s.neg || back.Round() != s.Round() {
+			t.Fatalf("trial %d: round trip altered the accumulator", trial)
+		}
+	}
+	// Inf/NaN flags survive.
+	var s ExactSum
+	s.Add(math.Inf(-1))
+	terms, flags := s.Terms()
+	back, ok := SumFromTerms(terms, flags)
+	if !ok || !math.IsInf(back.Round(), -1) {
+		t.Fatal("negInf flag lost in round trip")
+	}
+	// Corrupt index rejected.
+	if _, ok := SumFromTerms([]SumTerm{{Index: accWords, Word: 1}}, 0); ok {
+		t.Fatal("out-of-range term index accepted")
+	}
+}
+
+func TestExactSumAddMul(t *testing.T) {
+	var a, b ExactSum
+	for i := 0; i < 7; i++ {
+		a.Add(0.1)
+	}
+	b.AddMul(0.1, 7)
+	if a.Round() != b.Round() || a.pos != b.pos {
+		t.Fatal("AddMul differs from repeated Add")
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
+	"pimkd/internal/workload"
+)
+
+func TestJoinMatchesNaive(t *testing.T) {
+	const n = 2000
+	svc, pts := newTestService(t, n, Config{MaxBatch: 64, MaxLinger: time.Millisecond})
+	defer svc.Close()
+
+	probes := workload.Uniform(50, 2, 31)
+	const radius = 0.05
+	r2 := radius * radius
+
+	var wg sync.WaitGroup
+	got := make([][]core.Item, len(probes))
+	for i := range probes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			items, _, err := svc.Join(context.Background(), probes[i], radius)
+			if err != nil {
+				t.Errorf("join %d: %v", i, err)
+				return
+			}
+			got[i] = items
+		}(i)
+	}
+	wg.Wait()
+
+	for i, p := range probes {
+		var want []core.Item
+		for id, pt := range pts {
+			if geom.Dist2(p, pt) <= r2 {
+				want = append(want, core.Item{P: pt, ID: int32(id)})
+			}
+		}
+		core.SortItems(want)
+		if len(got[i]) != len(want) {
+			t.Fatalf("probe %d: %d matches, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if !core.ItemEq(got[i][j], want[j]) {
+				t.Fatalf("probe %d match %d: %+v != %+v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+
+	// Invalid radii are rejected before admission.
+	if _, _, err := svc.Join(context.Background(), probes[0], -1); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestAggregateMatchesNaiveBitIdentical(t *testing.T) {
+	const n = 3000
+	svc, pts := newTestService(t, n, Config{MaxBatch: 32, MaxLinger: time.Millisecond})
+	defer svc.Close()
+
+	boxes := []geom.Box{
+		geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.6, 0.4}),
+		geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1}),
+		geom.NewBox(geom.Point{2, 2}, geom.Point{3, 3}), // empty
+	}
+	for bi, box := range boxes {
+		agg, _, err := svc.Aggregate(context.Background(), box)
+		if err != nil {
+			t.Fatalf("aggregate %d: %v", bi, err)
+		}
+		var want core.BoxAggregate
+		for id, pt := range pts {
+			if box.Contains(pt) {
+				it := core.Item{P: pt, ID: int32(id)}
+				want.Count++
+				_ = it
+			}
+		}
+		if agg.Count != want.Count {
+			t.Fatalf("box %d: count %d want %d", bi, agg.Count, want.Count)
+		}
+		// Centroid bit-identity against the naive sequential sum.
+		cents := agg.Centroid()
+		if want.Count == 0 {
+			if cents != nil {
+				t.Fatalf("box %d: centroid for empty window", bi)
+			}
+			continue
+		}
+		naive := naiveCentroid(pts, box)
+		for d := range naive {
+			if cents[d] != naive[d] {
+				t.Fatalf("box %d dim %d: centroid %v != naive %v", bi, d, cents[d], naive[d])
+			}
+		}
+	}
+}
+
+func naiveCentroid(pts []geom.Point, box geom.Box) []float64 {
+	var count int64
+	dim := len(box.Lo)
+	sums := make([]mathx.ExactSum, dim)
+	for _, pt := range pts {
+		if box.Contains(pt) {
+			count++
+			for d := range pt {
+				sums[d].Add(pt[d])
+			}
+		}
+	}
+	out := make([]float64, dim)
+	for d := range out {
+		out[d] = sums[d].Round() / float64(count)
+	}
+	return out
+}
+
+func TestIngestExpireLifecycle(t *testing.T) {
+	svc, _ := newTestService(t, 500, Config{MaxBatch: 32, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	ctx := context.Background()
+
+	base := svc.TreeSize()
+	// Ingest 60 items with deadlines 1..60.
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			it := core.Item{P: geom.Point{float64(i) / 100, 0.5}, ID: int32(9000 + i)}
+			if _, err := svc.Ingest(ctx, it, int64(i+1)); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := svc.TreeSize(); got != base+60 {
+		t.Fatalf("after ingest: size %d want %d", got, base+60)
+	}
+
+	// Sweep the first 20 deadlines.
+	n, _, err := svc.Expire(ctx, 20)
+	if err != nil {
+		t.Fatalf("expire: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("expire(20) swept %d, want 20", n)
+	}
+	if got := svc.TreeSize(); got != base+40 {
+		t.Fatalf("after expire: size %d want %d", got, base+40)
+	}
+	// Sweeping the same horizon again is a no-op.
+	if n, _, _ := svc.Expire(ctx, 20); n != 0 {
+		t.Fatalf("second expire(20) swept %d, want 0", n)
+	}
+	// Sweep everything else.
+	if n, _, _ := svc.Expire(ctx, 1000); n != 40 {
+		t.Fatalf("expire(1000) swept %d, want 40", n)
+	}
+	if got := svc.TreeSize(); got != base {
+		t.Fatalf("final size %d want %d", got, base)
+	}
+
+	// The expired items are really gone: a join at radius 0 on an ingested
+	// coordinate finds nothing with the ingested ID.
+	items, _, err := svc.Join(ctx, geom.Point{0.05, 0.5}, 0)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	for _, it := range items {
+		if it.ID >= 9000 {
+			t.Fatalf("expired item %d still present", it.ID)
+		}
+	}
+}
+
+func TestLatencyQuantilesExposed(t *testing.T) {
+	svc, pts := newTestService(t, 300, Config{MaxBatch: 16, MaxLinger: time.Millisecond})
+	defer svc.Close()
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, _, err := svc.Lookup(ctx, pts[i]); err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+	}
+	if _, _, err := svc.Join(ctx, pts[0], 0.01); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	snap := svc.Metrics()
+	found := map[string]bool{}
+	for _, ks := range snap.Kinds {
+		found[ks.Kind] = true
+		if ks.LatencyCount == 0 {
+			t.Fatalf("kind %s: no latency observations", ks.Kind)
+		}
+		if ks.P999US < ks.P50US || ks.P50US <= 0 {
+			t.Fatalf("kind %s: implausible quantiles p50=%g p999=%g", ks.Kind, ks.P50US, ks.P999US)
+		}
+	}
+	if !found["lookup"] || !found["join"] {
+		t.Fatalf("missing kinds in snapshot: %v", found)
+	}
+	hs := svc.LatencyHistograms()
+	if hs["lookup"] == nil || hs["lookup"].Count() != 40 {
+		t.Fatalf("LatencyHistograms lookup count wrong: %+v", hs["lookup"])
+	}
+}
+
+func TestExpireCoalescedMixedHorizons(t *testing.T) {
+	// Two expire requests with different nows coalescing into one batch:
+	// each gets the prefix count at its own horizon.
+	mach := pim.NewMachine(4, 1<<20)
+	tree := core.New(core.Config{Dim: 2, Seed: 3}, mach)
+	tree.Build(nil)
+	svc := New(Config{MaxBatch: 8, MaxLinger: 50 * time.Millisecond}, tree)
+	defer svc.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		it := core.Item{P: geom.Point{float64(i), 0}, ID: int32(i)}
+		if _, err := svc.Ingest(ctx, it, int64(i+1)); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, 2)
+	nows := []int64{3, 7}
+	for i := range nows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, _, err := svc.Expire(ctx, nows[i])
+			if err != nil {
+				t.Errorf("expire: %v", err)
+			}
+			counts[i] = n
+		}(i)
+	}
+	wg.Wait()
+	// Whether they coalesced or ran as two batches, the request at now=7
+	// must observe ≥ the request at now=3, the total horizon is 7, and
+	// after both the tree holds exactly the 3 unexpired items.
+	if counts[0] > counts[1]+3 {
+		t.Fatalf("counts %v inconsistent", counts)
+	}
+	if got := svc.TreeSize(); got != 3 {
+		t.Fatalf("size %d want 3", got)
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"container/heap"
+
+	"pimkd/internal/core"
+)
+
+// Streaming ingest tracks every ingested item with a logical expiry
+// deadline (an int64 supplied by the client — not wall-clock time, so
+// sweeps are deterministic and testable). The executor owns a min-heap of
+// tracked entries; an expire request pops every entry with deadline ≤ its
+// logical now and deletes those items from the tree as a normal write
+// batch — in durable mode, WAL-logged before commit like any delete.
+//
+// The heap is volatile: after a crash recovery the tree's items are
+// restored from snapshot+WAL but the expiry tracking is not (the WAL
+// records inserts, not deadlines). Operators restarting a durable ingest
+// workload should treat pre-crash entries as unexpirable or re-ingest.
+
+// expiryEntry is one tracked ingest: the item and its logical deadline.
+type expiryEntry struct {
+	at   int64
+	item core.Item
+}
+
+// expiryHeap is a min-heap on deadline; ties break on the canonical item
+// order so pop order — and therefore per-request expired counts — is a
+// function of the tracked multiset only.
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int { return len(h) }
+func (h expiryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return core.ItemLess(h[i].item, h[j].item)
+}
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)         { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *expiryHeap) push(e expiryEntry) { heap.Push(h, e) }
+
+// popDue removes and returns every entry with deadline ≤ now, in ascending
+// (deadline, item) order.
+func (h *expiryHeap) popDue(now int64) []expiryEntry {
+	var due []expiryEntry
+	for h.Len() > 0 && (*h)[0].at <= now {
+		due = append(due, heap.Pop(h).(expiryEntry))
+	}
+	return due
+}
+
+// pushAll restores entries (used to roll back a sweep whose durable log
+// append failed: nothing was deleted, so nothing may leave the tracker).
+func (h *expiryHeap) pushAll(es []expiryEntry) {
+	for _, e := range es {
+		heap.Push(h, e)
+	}
+}

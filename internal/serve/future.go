@@ -26,6 +26,19 @@ const (
 	KindInsert
 	// KindDelete is a batched delete (§4.2).
 	KindDelete
+	// KindJoin is a batch-probe spatial join: all stored items within the
+	// join radius of the probe point, canonically ordered. Probes sharing a
+	// radius coalesce into one core.ProbeJoin batch.
+	KindJoin
+	// KindAggregate is windowed aggregation: count + exact coordinate sums
+	// (centroid) of the stored items inside a query box.
+	KindAggregate
+	// KindIngest is a streaming-ingest insert: the item enters the tree and
+	// is tracked for TTL expiry at a logical deadline.
+	KindIngest
+	// KindExpire sweeps tracked ingest entries whose deadline is ≤ the
+	// request's logical now, deleting them from the tree.
+	KindExpire
 	numKinds
 )
 
@@ -41,13 +54,27 @@ func (k OpKind) String() string {
 		return "insert"
 	case KindDelete:
 		return "delete"
+	case KindJoin:
+		return "join"
+	case KindAggregate:
+		return "aggregate"
+	case KindIngest:
+		return "ingest"
+	case KindExpire:
+		return "expire"
 	}
 	return "unknown"
 }
 
 // IsRead reports whether the kind leaves the tree unmodified. Read batches
 // may share a scheduling epoch; write batches never do.
-func (k OpKind) IsRead() bool { return k == KindLookup || k == KindKNN || k == KindRange }
+func (k OpKind) IsRead() bool {
+	switch k {
+	case KindLookup, KindKNN, KindRange, KindJoin, KindAggregate:
+		return true
+	}
+	return false
+}
 
 // Neighbor is one kNN result: the stored item's ID and its Euclidean
 // distance from the query point.
@@ -97,12 +124,15 @@ type BatchRecord struct {
 
 // request is one admitted operation waiting for (or being) executed.
 type request struct {
-	kind OpKind
-	pt   geom.Point // lookup, knn
-	k    int        // knn
-	box  geom.Box   // range
-	item core.Item  // insert, delete
-	enq  time.Time
+	kind     OpKind
+	pt       geom.Point // lookup, knn, join
+	k        int        // knn
+	box      geom.Box   // range, aggregate
+	item     core.Item  // insert, delete, ingest
+	radius   float64    // join
+	expireAt int64      // ingest: logical TTL deadline
+	now      int64      // expire: logical sweep horizon
+	enq      time.Time
 
 	// ctx is the submitter's context. The executor consults it when the
 	// batch comes up for execution and drops requests whose callers have
@@ -116,21 +146,32 @@ type request struct {
 
 // reply is the fanned-out result of one request.
 type reply struct {
-	items     []core.Item // lookup, range
+	items     []core.Item // lookup, range, join
 	neighbors []Neighbor  // knn
 	// cands is the knn result in raw (dist2, id) form — what the shard wire
 	// path returns so a router can merge shards without re-deriving dist2
 	// from a rounded sqrt.
 	cands []heapx.Candidate
-	info  BatchInfo
-	err   error
+	// agg carries the exact windowed-aggregation answer; shipping the raw
+	// superaccumulator (not a rounded centroid) is what lets a router merge
+	// shard partials bit-identically.
+	agg *core.BoxAggregate
+	// expired is the number of tracked ingest entries this expire request
+	// swept (entries with deadline ≤ the request's now, popped this batch).
+	expired int
+	info    BatchInfo
+	err     error
 }
 
-// batchKey groups coalescible requests: same kind, and for kNN the same k
-// (core.KNNBatch answers a whole batch at a single k).
+// batchKey groups coalescible requests: same kind, for kNN the same k
+// (core.KNNBatch answers a whole batch at a single k), and for joins the
+// same radius (core.ProbeJoin probes a whole batch at a single radius).
 type batchKey struct {
 	kind OpKind
 	k    int
+	// radiusBits is the join radius's IEEE bits (float64 is not a valid
+	// map-key discriminator when NaN; radii are validated finite ≥ 0).
+	radiusBits uint64
 }
 
 // batch is a sealed set of homogeneous requests ready for execution.

@@ -38,8 +38,12 @@ func toWire(items []core.Item) []wireItem {
 //	GET  /lookup?p=0.1,0.2
 //	GET  /knn?p=0.1,0.2&k=8
 //	GET  /range?lo=0.1,0.1&hi=0.3,0.4
+//	GET  /join?p=0.1,0.2&r=0.05
+//	GET  /aggregate?lo=0.1,0.1&hi=0.3,0.4
 //	POST /insert?id=7&p=0.5,0.5[&priority=2.5]
 //	POST /delete?id=7&p=0.5,0.5
+//	POST /ingest?id=7&p=0.5,0.5&expire_at=1000[&priority=2.5]
+//	POST /expire?now=1000
 //	GET  /statsz
 //	GET  /tracez[?k=10][&format=perfetto]
 //	GET  /persistz
@@ -200,6 +204,111 @@ func NewHandler(s *Service) http.Handler {
 			Items []wireItem `json:"items"`
 			Batch BatchInfo  `json:"batch"`
 		}{toWire(items), info})
+	})
+
+	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pointParam(w, r, "p")
+		if !ok {
+			return
+		}
+		radius, err := strconv.ParseFloat(r.FormValue("r"), 64)
+		if err != nil {
+			http.Error(w, "bad r: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		items, info, err := s.Join(r.Context(), p, radius)
+		if !s.okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Matches []wireItem `json:"matches"`
+			Batch   BatchInfo  `json:"batch"`
+		}{toWire(items), info})
+	})
+
+	mux.HandleFunc("/aggregate", func(w http.ResponseWriter, r *http.Request) {
+		lo, ok := pointParam(w, r, "lo")
+		if !ok {
+			return
+		}
+		hi, ok := pointParam(w, r, "hi")
+		if !ok {
+			return
+		}
+		if len(lo) != len(hi) {
+			http.Error(w, "lo/hi dimension mismatch", http.StatusBadRequest)
+			return
+		}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				http.Error(w, fmt.Sprintf("inverted box on axis %d", d), http.StatusBadRequest)
+				return
+			}
+		}
+		agg, info, err := s.Aggregate(r.Context(), geom.NewBox(lo, hi))
+		if !s.okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Count    int64     `json:"count"`
+			Centroid []float64 `json:"centroid,omitempty"`
+			Batch    BatchInfo `json:"batch"`
+		}{agg.Count, agg.Centroid(), info})
+	})
+
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "ingest requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		p, ok := pointParam(w, r, "p")
+		if !ok {
+			return
+		}
+		id, err := strconv.ParseInt(r.FormValue("id"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		expireAt, err := strconv.ParseInt(r.FormValue("expire_at"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad expire_at: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		it := core.Item{P: p, ID: int32(id)}
+		if ps := r.FormValue("priority"); ps != "" {
+			if it.Priority, err = strconv.ParseFloat(ps, 64); err != nil {
+				http.Error(w, "bad priority: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		info, err := s.Ingest(r.Context(), it, expireAt)
+		if !s.okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Batch BatchInfo `json:"batch"`
+		}{info})
+	})
+
+	mux.HandleFunc("/expire", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "expire requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		now, err := strconv.ParseInt(r.FormValue("now"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad now: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, info, err := s.Expire(r.Context(), now)
+		if !s.okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Expired int       `json:"expired"`
+			Batch   BatchInfo `json:"batch"`
+		}{n, info})
 	})
 
 	update := func(name string, op func(r *http.Request, it core.Item) (BatchInfo, error)) http.HandlerFunc {

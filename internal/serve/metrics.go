@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"pimkd/internal/hist"
 	"pimkd/internal/pim"
 )
 
@@ -19,6 +20,9 @@ type metrics struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	perKind map[string]*kindAgg
+	// lat holds per-kind service latency (admission → reply) in HDR-style
+	// fixed-layout histograms, the source of the /statsz p50/p99/p999.
+	lat map[string]*hist.Histogram
 
 	epochs        int64
 	totalRequests int64
@@ -53,7 +57,33 @@ type kindAgg struct {
 }
 
 func newMetrics(rng *rand.Rand) *metrics {
-	return &metrics{rng: rng, perKind: map[string]*kindAgg{}}
+	return &metrics{rng: rng, perKind: map[string]*kindAgg{}, lat: map[string]*hist.Histogram{}}
+}
+
+// observeLatency records one request's service latency (admission to reply
+// delivery) into its kind's histogram.
+func (m *metrics) observeLatency(kind string, d time.Duration) {
+	m.mu.Lock()
+	h := m.lat[kind]
+	if h == nil {
+		h = &hist.Histogram{}
+		m.lat[kind] = h
+	}
+	h.Record(int64(d))
+	m.mu.Unlock()
+}
+
+// latencySnapshot returns a copy of the per-kind latency histograms (for
+// the shard stats wire path, which re-quantizes on the router side).
+func (m *metrics) latencySnapshot() map[string]*hist.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*hist.Histogram, len(m.lat))
+	for k, h := range m.lat {
+		c := *h
+		out[k] = &c
+	}
+	return out
 }
 
 func (m *metrics) bump(f func(*metrics)) {
@@ -148,6 +178,15 @@ type KindStats struct {
 	// MeanCommBalance averages per-batch max/mean module communication;
 	// O(1) is Definition 1 PIM-balance.
 	MeanCommBalance float64 `json:"mean_comm_balance"`
+	// Latency quantiles in microseconds, measured service-side from
+	// admission to reply delivery over every request of this kind (an
+	// HDR-style histogram, not a sample — relative error ≤ ~3%).
+	LatencyCount int64   `json:"latency_count"`
+	P50US        float64 `json:"p50_us"`
+	P90US        float64 `json:"p90_us"`
+	P99US        float64 `json:"p99_us"`
+	P999US       float64 `json:"p999_us"`
+	MaxUS        float64 `json:"max_us"`
 }
 
 // Robustness is the fault-handling slice of the /statsz payload.
@@ -233,6 +272,14 @@ func (m *metrics) snapshot(mach pim.Snapshot, cfg Config) MetricsSnapshot {
 		if a.requests > 0 {
 			ks.CommPerRequest = float64(a.cost.Communication) / float64(a.requests)
 			ks.PIMTimePerRequest = float64(a.cost.PIMTime) / float64(a.requests)
+		}
+		if h := m.lat[kind]; h != nil && h.Count() > 0 {
+			ks.LatencyCount = h.Count()
+			ks.P50US = float64(h.Quantile(0.50)) / float64(time.Microsecond)
+			ks.P90US = float64(h.Quantile(0.90)) / float64(time.Microsecond)
+			ks.P99US = float64(h.Quantile(0.99)) / float64(time.Microsecond)
+			ks.P999US = float64(h.Quantile(0.999)) / float64(time.Microsecond)
+			ks.MaxUS = float64(h.Max()) / float64(time.Microsecond)
 		}
 		out.Kinds = append(out.Kinds, ks)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
+	"pimkd/internal/persist"
 	"pimkd/internal/pim"
 )
 
@@ -75,8 +76,10 @@ func (s *Service) execute(b *batch, epoch int64) {
 	// Durable-write mode: the batch becomes durable *before* it commits to
 	// the machine. If the append fails, the batch is refused in its
 	// entirety — no machine work, no partial state — and its callers see
-	// ErrPersist.
-	if write && s.cfg.Persist != nil {
+	// ErrPersist. Expire batches are the exception: their delete set is
+	// only known at execution time, so runBatch logs it itself (still
+	// before the commit).
+	if write && s.cfg.Persist != nil && b.key.kind != KindExpire {
 		if perr := s.logDurable(b); perr != nil {
 			for _, req := range b.reqs {
 				req.done <- reply{err: fmt.Errorf("%w: %v", ErrPersist, perr)}
@@ -132,12 +135,16 @@ func (s *Service) execute(b *batch, epoch int64) {
 		Linger: rec.Linger,
 		Cost:   rec.Cost,
 	}
+	now := time.Now()
 	for i, req := range b.reqs {
 		rep := reply{info: info, err: err}
 		if err == nil && results != nil {
 			rep = results[i]
 			rep.info = info
 		}
+		// Service-side latency: admission to reply delivery, the quantity
+		// /statsz quantiles report per kind.
+		s.metrics.observeLatency(rec.Kind, now.Sub(req.enq))
 		req.done <- rep // buffered, never blocks
 		<-s.tokens      // release the admission token
 	}
@@ -245,6 +252,83 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 		}
 		s.tree.BatchDelete(items)
 		return make([]reply, n), nil
+
+	case KindJoin:
+		probes := make([]core.Item, n)
+		for i, req := range b.reqs {
+			probes[i] = core.Item{P: req.pt}
+		}
+		res := s.tree.ProbeJoin(probes, math.Float64frombits(b.key.radiusBits))
+		out := make([]reply, n)
+		for i, items := range res {
+			out[i].items = items
+		}
+		return out, nil
+
+	case KindAggregate:
+		boxes := make([]geom.Box, n)
+		for i, req := range b.reqs {
+			boxes[i] = req.box
+		}
+		res := s.tree.RangeAggregate(boxes)
+		out := make([]reply, n)
+		for i := range res {
+			out[i].agg = &res[i]
+		}
+		return out, nil
+
+	case KindIngest:
+		items := make([]core.Item, n)
+		for i, req := range b.reqs {
+			items[i] = req.item
+		}
+		s.tree.BatchInsert(items)
+		// Track deadlines only after the insert committed: a panicked
+		// batch must not leave phantom expiry entries.
+		for _, req := range b.reqs {
+			s.expiry.push(expiryEntry{at: req.expireAt, item: req.item})
+		}
+		return make([]reply, n), nil
+
+	case KindExpire:
+		// The sweep horizon is the batch's max now; each request is
+		// answered with the count of popped entries at or below its own
+		// now (pop order is ascending, so that is a prefix count).
+		maxNow := b.reqs[0].now
+		for _, req := range b.reqs[1:] {
+			if req.now > maxNow {
+				maxNow = req.now
+			}
+		}
+		due := s.expiry.popDue(maxNow)
+		if len(due) > 0 {
+			items := make([]core.Item, len(due))
+			for i, e := range due {
+				items[i] = e.item
+			}
+			// Log-before-commit for the sweep's delete set. On failure the
+			// entries return to the tracker and the tree is untouched: the
+			// sweep simply has not happened.
+			if s.cfg.Persist != nil {
+				if _, perr := s.cfg.Persist.LogBatch(persist.OpDelete, items); perr != nil {
+					s.expiry.pushAll(due)
+					s.metrics.persistFailed()
+					return nil, fmt.Errorf("%w: %v", ErrPersist, perr)
+				}
+			}
+			s.tree.BatchDelete(items)
+		}
+		out := make([]reply, n)
+		for i, req := range b.reqs {
+			c := 0
+			for _, e := range due {
+				if e.at <= req.now {
+					c++
+				}
+			}
+			out[i].expired = c
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("serve: unknown batch kind %v", b.key.kind)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
 	"pimkd/internal/heapx"
+	"pimkd/internal/hist"
 	"pimkd/internal/persist"
 	"pimkd/internal/trace"
 )
@@ -77,6 +79,10 @@ type Service struct {
 	// batchSeq numbers executed batches for round-label attribution; only
 	// the executor goroutine touches it.
 	batchSeq int64
+
+	// expiry tracks streaming-ingest entries awaiting their TTL sweep;
+	// executor-only (see expiry.go).
+	expiry expiryHeap
 
 	// testHookPreBatch, when non-nil, runs on the executor goroutine just
 	// before a batch executes, inside the panic-containment scope. Tests use
@@ -208,6 +214,62 @@ func (s *Service) Delete(ctx context.Context, item core.Item) (BatchInfo, error)
 	return rep.info, err
 }
 
+// Join answers a batch-probe spatial join for one probe point: every
+// stored item within Euclidean distance radius (inclusive), in the
+// canonical core.ItemLess order. Probes submitted concurrently with the
+// same radius coalesce into a single core.ProbeJoin batch.
+func (s *Service) Join(ctx context.Context, p geom.Point, radius float64) ([]core.Item, BatchInfo, error) {
+	if err := s.checkPoint(p); err != nil {
+		return nil, BatchInfo{}, err
+	}
+	if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, BatchInfo{}, fmt.Errorf("serve: join radius must be finite and >= 0, got %v", radius)
+	}
+	rep, err := s.submit(ctx, &request{kind: KindJoin, pt: p, radius: radius})
+	return rep.items, rep.info, err
+}
+
+// Aggregate answers a windowed aggregation over box: the count and exact
+// per-dimension coordinate sums of the stored items inside it. The raw
+// BoxAggregate is returned (rather than a rounded centroid) so partial
+// answers from different shards merge bit-identically.
+func (s *Service) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate, BatchInfo, error) {
+	if err := s.checkPoint(box.Lo); err != nil {
+		return core.BoxAggregate{}, BatchInfo{}, err
+	}
+	if err := s.checkPoint(box.Hi); err != nil {
+		return core.BoxAggregate{}, BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindAggregate, box: box})
+	if rep.agg == nil {
+		return core.BoxAggregate{}, rep.info, err
+	}
+	return *rep.agg, rep.info, err
+}
+
+// Ingest adds item to the tree and tracks it for TTL expiry at the logical
+// deadline expireAt. Deadlines are client-supplied logical time (compared
+// against Expire's now with ≤), which keeps sweeps deterministic; callers
+// wanting wall-clock TTLs pass UnixNano values.
+func (s *Service) Ingest(ctx context.Context, item core.Item, expireAt int64) (BatchInfo, error) {
+	if err := s.checkPoint(item.P); err != nil {
+		return BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindIngest, item: item, expireAt: expireAt})
+	return rep.info, err
+}
+
+// Expire sweeps every tracked ingest entry with deadline ≤ now, deleting
+// the swept items from the tree as one write batch (WAL-logged before
+// commit in durable mode). It returns the number of entries this request
+// observed expiring: entries with deadline ≤ now that were popped during
+// its batch, including ones attributed to a smaller now coalesced into the
+// same batch.
+func (s *Service) Expire(ctx context.Context, now int64) (int, BatchInfo, error) {
+	rep, err := s.submit(ctx, &request{kind: KindExpire, now: now})
+	return rep.expired, rep.info, err
+}
+
 // TreeSize returns the live item count without touching the executor-owned
 // tree: the executor refreshes a lock-free mirror after every write batch.
 func (s *Service) TreeSize() int64 { return s.size.Load() }
@@ -218,6 +280,13 @@ func (s *Service) Dim() int { return s.tree.Dim() }
 // Metrics returns the live aggregated serving metrics.
 func (s *Service) Metrics() MetricsSnapshot {
 	return s.metrics.snapshot(s.tree.Machine().SnapshotStats(), s.cfg)
+}
+
+// LatencyHistograms returns a copy of the per-kind service-latency
+// histograms (nanosecond values). The shard wire path ships these to the
+// router, whose /shardz mirrors per-shard quantiles; copies merge exactly.
+func (s *Service) LatencyHistograms() map[string]*hist.Histogram {
+	return s.metrics.latencySnapshot()
 }
 
 // Close stops admission, flushes every forming batch, waits for the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sort"
 	"sync"
 
 	"pimkd/internal/core"
@@ -165,6 +166,68 @@ func (sl *ShardListener) dispatch(m any) any {
 			return remoteError(err)
 		}
 		return shard.UpdateResp{Applied: len(req.Items)}
+
+	case shard.JoinReq:
+		results := make([][]core.Item, len(req.Points))
+		err := sl.scatter(len(req.Points), func(i int) error {
+			items, _, err := sl.svc.Join(ctx, req.Points[i], req.Radius)
+			results[i] = items
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.RangeResp{Results: results}
+
+	case shard.AggReq:
+		results := make([]core.BoxAggregate, len(req.Boxes))
+		err := sl.scatter(len(req.Boxes), func(i int) error {
+			agg, _, err := sl.svc.Aggregate(ctx, req.Boxes[i])
+			results[i] = agg
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.AggResp{Results: results}
+
+	case shard.IngestReq:
+		if len(req.ExpireAts) != len(req.Items) {
+			return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "ingest deadline count mismatch"}
+		}
+		err := sl.scatter(len(req.Items), func(i int) error {
+			_, err := sl.svc.Ingest(ctx, req.Items[i], req.ExpireAts[i])
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.UpdateResp{Applied: len(req.Items)}
+
+	case shard.ExpireReq:
+		n, _, err := sl.svc.Expire(ctx, req.Now)
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.ExpireResp{Expired: int64(n)}
+
+	case shard.StatsReq:
+		hs := sl.svc.LatencyHistograms()
+		names := make([]string, 0, len(hs))
+		for k := range hs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		resp := shard.StatsResp{Kinds: make([]shard.KindLatency, 0, len(names))}
+		for _, name := range names {
+			h := hs[name]
+			kl := shard.KindLatency{Kind: name, Max: h.Max()}
+			h.Buckets(func(low, count int64) {
+				kl.Buckets = append(kl.Buckets, shard.HistBucket{Low: low, Count: count})
+			})
+			resp.Kinds = append(resp.Kinds, kl)
+		}
+		return resp
 	}
 	return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "unexpected request type"}
 }

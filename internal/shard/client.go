@@ -211,3 +211,81 @@ func (c *Client) Update(ctx context.Context, del bool, items []core.Item) (int, 
 	}
 	return r.Applied, nil
 }
+
+// Join returns, per probe point, the shard's items within the radius, in
+// canonical item order.
+func (c *Client) Join(ctx context.Context, pts []geom.Point, radius float64) ([][]core.Item, error) {
+	resp, err := c.roundTrip(ctx, JoinReq{Radius: radius, Points: pts})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(RangeResp)
+	if !ok {
+		return nil, fmt.Errorf("%w: join answered with %T", ErrWire, resp)
+	}
+	if len(r.Results) != len(pts) {
+		return nil, fmt.Errorf("%w: join answered %d results for %d probes", ErrWire, len(r.Results), len(pts))
+	}
+	return r.Results, nil
+}
+
+// Aggregate returns, per box, the shard's partial windowed aggregate
+// (count + exact coordinate sums).
+func (c *Client) Aggregate(ctx context.Context, boxes []geom.Box) ([]core.BoxAggregate, error) {
+	resp, err := c.roundTrip(ctx, AggReq{Boxes: boxes})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(AggResp)
+	if !ok {
+		return nil, fmt.Errorf("%w: aggregate answered with %T", ErrWire, resp)
+	}
+	if len(r.Results) != len(boxes) {
+		return nil, fmt.Errorf("%w: aggregate answered %d results for %d boxes", ErrWire, len(r.Results), len(boxes))
+	}
+	return r.Results, nil
+}
+
+// Ingest applies a batch of streaming inserts with per-item logical expiry
+// deadlines (expireAts parallel to items).
+func (c *Client) Ingest(ctx context.Context, items []core.Item, expireAts []int64) (int, error) {
+	if len(items) != len(expireAts) {
+		return 0, fmt.Errorf("shard: ingest of %d items with %d deadlines", len(items), len(expireAts))
+	}
+	resp, err := c.roundTrip(ctx, IngestReq{Items: items, ExpireAts: expireAts})
+	if err != nil {
+		return 0, err
+	}
+	r, ok := resp.(UpdateResp)
+	if !ok {
+		return 0, fmt.Errorf("%w: ingest answered with %T", ErrWire, resp)
+	}
+	return r.Applied, nil
+}
+
+// Expire sweeps every ingested item on the shard whose deadline is at or
+// before now, returning the number deleted.
+func (c *Client) Expire(ctx context.Context, now int64) (int64, error) {
+	resp, err := c.roundTrip(ctx, ExpireReq{Now: now})
+	if err != nil {
+		return 0, err
+	}
+	r, ok := resp.(ExpireResp)
+	if !ok {
+		return 0, fmt.Errorf("%w: expire answered with %T", ErrWire, resp)
+	}
+	return r.Expired, nil
+}
+
+// Stats fetches the shard's per-kind latency histograms in sparse form.
+func (c *Client) Stats(ctx context.Context) (StatsResp, error) {
+	resp, err := c.roundTrip(ctx, StatsReq{})
+	if err != nil {
+		return StatsResp{}, err
+	}
+	r, ok := resp.(StatsResp)
+	if !ok {
+		return StatsResp{}, fmt.Errorf("%w: stats answered with %T", ErrWire, resp)
+	}
+	return r, nil
+}

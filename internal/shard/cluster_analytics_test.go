@@ -1,0 +1,208 @@
+package shard_test
+
+// Cluster-level tests for the spatial-analytics request kinds: join,
+// windowed aggregation, and streaming ingest/expiry through the router must
+// be bit-identical to a single tree holding the union of the shards'
+// points — including the exact-sum centroids, whose shard-merge order must
+// not perturb a single bit.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/mathx"
+	"pimkd/internal/shard"
+)
+
+func TestClusterAnalyticsMatchesOracle(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const dim = 2
+			part, err := shard.NewUniformPartition(dim, shards, unitBox())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster := make([]*testShard, shards)
+			addrs := make([]string, shards)
+			for i := range cluster {
+				cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+				defer cluster[i].stop()
+				addrs[i] = cluster[i].addr
+			}
+			router, err := shard.NewRouter(part, addrs, shard.Config{
+				Timeout:       5 * time.Second,
+				ProbeInterval: 50 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer router.Close()
+
+			ctx := context.Background()
+			items := tieHeavyItems()
+			if acked, err := router.BatchUpdate(ctx, false, items); err != nil || acked != len(items) {
+				t.Fatalf("seeding: acked %d/%d, err %v", acked, len(items), err)
+			}
+
+			rng := rand.New(rand.NewSource(23))
+			var probes []geom.Point
+			for i := 0; i < 20; i += 4 {
+				probes = append(probes, geom.Point{float64(i) / 19, float64(i) / 19})
+			}
+			for i := 0; i < 6; i++ {
+				probes = append(probes, geom.Point{rng.Float64(), rng.Float64()})
+			}
+
+			// Join: per probe and radius, the routed answer equals the naive
+			// scan over the full multiset, item for item. Radii include 0
+			// (exact-coordinate matches, duplicate IDs at one point) and one
+			// wide enough to span every shard.
+			for _, radius := range []float64{0, 0.05, 0.3} {
+				r2 := radius * radius
+				for pi, p := range probes {
+					var want []core.Item
+					for _, it := range items {
+						if geom.Dist2(p, it.P) <= r2 {
+							want = append(want, it)
+						}
+					}
+					core.SortItems(want)
+					got, _, err := router.Join(ctx, p, radius)
+					if err != nil {
+						t.Fatalf("join probe %d r=%g: %v", pi, radius, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("join probe %d r=%g: %d matches, oracle %d", pi, radius, len(got), len(want))
+					}
+					for i := range want {
+						if !core.ItemEq(got[i], want[i]) {
+							t.Fatalf("join probe %d r=%g match %d: %+v, oracle %+v", pi, radius, i, got[i], want[i])
+						}
+					}
+				}
+			}
+
+			// Aggregate: counts equal and centroids bit-identical to the
+			// naive sequential exact sum — regardless of how the partials
+			// were split across shards or merged.
+			for bi, box := range oracleBoxes() {
+				var count int64
+				sums := make([]mathx.ExactSum, dim)
+				for _, it := range items {
+					if box.Contains(it.P) {
+						count++
+						for d := range it.P {
+							sums[d].Add(it.P[d])
+						}
+					}
+				}
+				agg, _, err := router.Aggregate(ctx, box)
+				if err != nil {
+					t.Fatalf("aggregate box %d: %v", bi, err)
+				}
+				if agg.Count != count {
+					t.Fatalf("aggregate box %d: count %d, oracle %d", bi, agg.Count, count)
+				}
+				cent := agg.Centroid()
+				if count == 0 {
+					if cent != nil {
+						t.Fatalf("aggregate box %d: centroid for empty window", bi)
+					}
+					continue
+				}
+				for d := 0; d < dim; d++ {
+					want := sums[d].Round() / float64(count)
+					if cent[d] != want {
+						t.Fatalf("aggregate box %d dim %d: centroid %v, oracle %v (not bit-identical)",
+							bi, d, cent[d], want)
+					}
+				}
+			}
+
+			// Streaming ingest + expiry through the router: deadlines 1..30
+			// on points spread across every cell. Sweeps are horizon-exact
+			// and idempotent; swept items vanish from joins.
+			base := clusterSize(t, ctx, router)
+			for i := 0; i < 30; i++ {
+				it := core.Item{ID: int32(7000 + i), P: geom.Point{rng.Float64(), rng.Float64()}}
+				if _, err := router.Ingest(ctx, it, int64(i+1)); err != nil {
+					t.Fatalf("ingest %d: %v", i, err)
+				}
+			}
+			if got := clusterSize(t, ctx, router); got != base+30 {
+				t.Fatalf("after ingest: %d items, want %d", got, base+30)
+			}
+			n, _, err := router.Expire(ctx, 10)
+			if err != nil {
+				t.Fatalf("expire(10): %v", err)
+			}
+			if n != 10 {
+				t.Fatalf("expire(10) swept %d, want 10", n)
+			}
+			if n, _, _ := router.Expire(ctx, 10); n != 0 {
+				t.Fatalf("second expire(10) swept %d, want 0", n)
+			}
+			if n, _, _ := router.Expire(ctx, 1000); n != 20 {
+				t.Fatalf("expire(1000) swept %d, want 20", n)
+			}
+			if got := clusterSize(t, ctx, router); got != base {
+				t.Fatalf("after full sweep: %d items, want %d", got, base)
+			}
+			all, _, err := router.Join(ctx, geom.Point{0.5, 0.5}, 2)
+			if err != nil {
+				t.Fatalf("post-sweep join: %v", err)
+			}
+			for _, it := range all {
+				if it.ID >= 7000 {
+					t.Fatalf("expired item %d still present", it.ID)
+				}
+			}
+
+			// The latency mirror: per-shard quantiles arrive for every shard
+			// and the cluster merge is the bucket-exact sum (per-kind counts
+			// add up across shards).
+			perShard, clusterLat := router.Latency(ctx)
+			if len(perShard) != shards {
+				t.Fatalf("latency from %d shards, want %d", len(perShard), shards)
+			}
+			sumByKind := map[string]int64{}
+			for _, sl := range perShard {
+				for _, kq := range sl.Kinds {
+					if kq.Count <= 0 || kq.P999US < kq.P50US {
+						t.Fatalf("shard %d kind %s: implausible quantiles %+v", sl.ID, kq.Kind, kq)
+					}
+					sumByKind[kq.Kind] += kq.Count
+				}
+			}
+			seen := map[string]bool{}
+			for _, kq := range clusterLat {
+				seen[kq.Kind] = true
+				if kq.Count != sumByKind[kq.Kind] {
+					t.Fatalf("cluster kind %s: merged count %d, shard sum %d", kq.Kind, kq.Count, sumByKind[kq.Kind])
+				}
+			}
+			for _, kind := range []string{"join", "aggregate", "ingest", "expire"} {
+				if !seen[kind] {
+					t.Fatalf("cluster latency missing kind %q (have %v)", kind, clusterLat)
+				}
+			}
+		})
+	}
+}
+
+// clusterSize counts the cluster's items with a full-space join (radius
+// large enough to cover the unit box from the center).
+func clusterSize(t *testing.T, ctx context.Context, router *shard.Router) int {
+	t.Helper()
+	items, _, err := router.Join(ctx, geom.Point{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatalf("clusterSize join: %v", err)
+	}
+	return len(items)
+}

@@ -32,14 +32,22 @@ type wireItem struct {
 // NewHandler exposes a Router over HTTP with the same client-facing
 // endpoints as a single pimkd-server, plus the cluster membership view:
 //
+//	GET  /lookup?p=0.1,0.2
 //	GET  /knn?p=0.1,0.2&k=8
 //	GET  /range?lo=0.1,0.1&hi=0.3,0.4
+//	GET  /join?p=0.1,0.2&r=0.05
+//	GET  /aggregate?lo=0.1,0.1&hi=0.3,0.4
 //	POST /insert?id=7&p=0.5,0.5[&priority=2.5]
 //	POST /delete?id=7&p=0.5,0.5
+//	POST /ingest?id=7&p=0.5,0.5&expire_at=1000[&priority=2.5]
+//	POST /expire?now=1000
 //	GET  /statsz
 //	GET  /shardz
 //	GET  /healthz
 //	GET  /readyz
+//
+// /shardz mirrors each shard's per-kind latency quantiles (fetched live
+// over the wire) plus the cluster-wide bucket-merged quantiles.
 //
 // Data responses carry a "fanout" block (scattered vs pruned shards) in
 // place of the single-server "batch" block. Degraded answers are never
@@ -76,13 +84,20 @@ func NewHandler(r *Router) http.Handler {
 			}
 			counts[i] = s.Count
 		}
+		perShard, cluster := r.Latency(req.Context())
 		writeJSON(w, struct {
 			Healthy    int           `json:"healthy"`
 			Total      int           `json:"total"`
 			Rebalance  []int         `json:"rebalance_candidates"`
 			Shards     []ShardStatus `json:"shards"`
 			DriftLimit float64       `json:"drift_threshold"`
-		}{healthy, len(st), RebalanceCandidates(counts, r.cfg.DriftThreshold), st, r.cfg.DriftThreshold})
+			// Latency quantiles, per shard and cluster-merged. The merge is
+			// bucket-wise over the shards' wire histograms, so the cluster
+			// quantiles equal one histogram over every observation.
+			Latency        []ShardLatency  `json:"latency"`
+			ClusterLatency []KindQuantiles `json:"cluster_latency"`
+		}{healthy, len(st), RebalanceCandidates(counts, r.cfg.DriftThreshold), st,
+			r.cfg.DriftThreshold, perShard, cluster})
 	})
 
 	mux.HandleFunc("/knn", func(w http.ResponseWriter, req *http.Request) {
@@ -145,6 +160,101 @@ func NewHandler(r *Router) http.Handler {
 		}{out, fan})
 	})
 
+	mux.HandleFunc("/lookup", func(w http.ResponseWriter, req *http.Request) {
+		p, ok := pointParam(w, req, "p")
+		if !ok {
+			return
+		}
+		// An exact-point lookup is a radius-0 spatial join: the owner
+		// shard answers with the items stored at exactly p.
+		items, fan, err := r.Join(req.Context(), p, 0)
+		if !okReply(w, err) {
+			return
+		}
+		out := make([]wireItem, len(items))
+		for i, it := range items {
+			out[i] = wireItem{ID: it.ID, P: it.P, Priority: it.Priority}
+		}
+		writeJSON(w, struct {
+			Items  []wireItem `json:"items"`
+			Fanout Fanout     `json:"fanout"`
+		}{out, fan})
+	})
+
+	mux.HandleFunc("/join", func(w http.ResponseWriter, req *http.Request) {
+		p, ok := pointParam(w, req, "p")
+		if !ok {
+			return
+		}
+		radius, err := strconv.ParseFloat(req.FormValue("r"), 64)
+		if err != nil {
+			http.Error(w, "bad r: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		items, fan, err := r.Join(req.Context(), p, radius)
+		if !okReply(w, err) {
+			return
+		}
+		out := make([]wireItem, len(items))
+		for i, it := range items {
+			out[i] = wireItem{ID: it.ID, P: it.P, Priority: it.Priority}
+		}
+		writeJSON(w, struct {
+			Matches []wireItem `json:"matches"`
+			Fanout  Fanout     `json:"fanout"`
+		}{out, fan})
+	})
+
+	mux.HandleFunc("/aggregate", func(w http.ResponseWriter, req *http.Request) {
+		lo, ok := pointParam(w, req, "lo")
+		if !ok {
+			return
+		}
+		hi, ok := pointParam(w, req, "hi")
+		if !ok {
+			return
+		}
+		if len(lo) != len(hi) {
+			http.Error(w, "lo/hi dimension mismatch", http.StatusBadRequest)
+			return
+		}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				http.Error(w, fmt.Sprintf("inverted box on axis %d", d), http.StatusBadRequest)
+				return
+			}
+		}
+		agg, fan, err := r.Aggregate(req.Context(), geom.NewBox(lo, hi))
+		if !okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Count    int64     `json:"count"`
+			Centroid []float64 `json:"centroid,omitempty"`
+			Fanout   Fanout    `json:"fanout"`
+		}{agg.Count, agg.Centroid(), fan})
+	})
+
+	mux.HandleFunc("/expire", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "expire requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		now, err := strconv.ParseInt(req.FormValue("now"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad now: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, fan, err := r.Expire(req.Context(), now)
+		if !okReply(w, err) {
+			return
+		}
+		writeJSON(w, struct {
+			Expired int64  `json:"expired"`
+			Fanout  Fanout `json:"fanout"`
+		}{n, fan})
+	})
+
 	update := func(name string, op func(req *http.Request, it core.Item) (Fanout, error)) http.HandlerFunc {
 		return func(w http.ResponseWriter, req *http.Request) {
 			if req.Method != http.MethodPost {
@@ -181,6 +291,13 @@ func NewHandler(r *Router) http.Handler {
 	}))
 	mux.HandleFunc("/delete", update("delete", func(req *http.Request, it core.Item) (Fanout, error) {
 		return r.Delete(req.Context(), it)
+	}))
+	mux.HandleFunc("/ingest", update("ingest", func(req *http.Request, it core.Item) (Fanout, error) {
+		expireAt, err := strconv.ParseInt(req.FormValue("expire_at"), 10, 64)
+		if err != nil {
+			return Fanout{}, fmt.Errorf("bad expire_at: %v", err) // okReply maps to 400
+		}
+		return r.Ingest(req.Context(), it, expireAt)
 	}))
 
 	return mux

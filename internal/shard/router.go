@@ -101,6 +101,10 @@ type Router struct {
 type routerMetrics struct {
 	knnRequests   atomic.Int64
 	rangeRequests atomic.Int64
+	joinRequests  atomic.Int64
+	aggRequests   atomic.Int64
+	ingests       atomic.Int64
+	expires       atomic.Int64
 	updates       atomic.Int64
 	degraded      atomic.Int64
 	errors        atomic.Int64
@@ -466,22 +470,8 @@ func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, 
 		r.m.degraded.Add(1)
 		return nil, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
 	}
-	sort.Slice(all, func(i, j int) bool { return itemLess(all[i], all[j]) })
+	core.SortItems(all)
 	return all, fan, nil
-}
-
-// itemLess is the canonical item order used for merged range answers: ID,
-// then coordinates, then priority.
-func itemLess(a, b core.Item) bool {
-	if a.ID != b.ID {
-		return a.ID < b.ID
-	}
-	for d := range a.P {
-		if a.P[d] != b.P[d] {
-			return a.P[d] < b.P[d]
-		}
-	}
-	return a.Priority < b.Priority
 }
 
 // Insert routes item to its owning shard. The call returns only after the
@@ -639,6 +629,10 @@ func (r *Router) Status() []ShardStatus {
 type MetricsSnapshot struct {
 	KNNRequests   int64 `json:"knn_requests"`
 	RangeRequests int64 `json:"range_requests"`
+	JoinRequests  int64 `json:"join_requests"`
+	AggRequests   int64 `json:"agg_requests"`
+	Ingests       int64 `json:"ingests"`
+	Expires       int64 `json:"expires"`
 	Updates       int64 `json:"updates"`
 	Degraded      int64 `json:"degraded"`
 	Errors        int64 `json:"errors"`
@@ -657,6 +651,10 @@ func (r *Router) Metrics() MetricsSnapshot {
 	s := MetricsSnapshot{
 		KNNRequests:   r.m.knnRequests.Load(),
 		RangeRequests: r.m.rangeRequests.Load(),
+		JoinRequests:  r.m.joinRequests.Load(),
+		AggRequests:   r.m.aggRequests.Load(),
+		Ingests:       r.m.ingests.Load(),
+		Expires:       r.m.expires.Load(),
 		Updates:       r.m.updates.Load(),
 		Degraded:      r.m.degraded.Load(),
 		Errors:        r.m.errors.Load(),

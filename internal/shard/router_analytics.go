@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/hist"
+)
+
+// Join reports every stored item within radius of the probe point, sorted
+// in the canonical item order — identical to a single tree holding the
+// union of the shards' points. Only shards whose cell is within radius of
+// the probe are visited; every such shard must answer, otherwise
+// ErrDegraded.
+func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core.Item, Fanout, error) {
+	fan := Fanout{Shards: len(r.shards)}
+	if len(p) != r.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: probe dimension %d, cluster dimension %d", len(p), r.part.Dim())
+	}
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
+		return nil, fan, fmt.Errorf("shard: join radius %v out of range", radius)
+	}
+	r.m.joinRequests.Add(1)
+	r2 := radius * radius
+
+	var targets []*shardHandle
+	for i, sh := range r.shards {
+		// <= not <: a point exactly radius away still matches.
+		if r.part.Cell(i).Dist2ToPoint(p) > r2 {
+			fan.Pruned++
+			r.m.pruned.Add(1)
+			continue
+		}
+		if !sh.healthy.Load() {
+			r.m.degraded.Add(1)
+			return nil, fan, fmt.Errorf("%w: shard %d within join radius", ErrDegraded, sh.id)
+		}
+		targets = append(targets, sh)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		all      []core.Item
+		firstErr error
+	)
+	for _, sh := range targets {
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+				v, err := sh.client.Join(c, []geom.Point{p}, radius)
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			fan.Hedges += hedges
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			all = append(all, res.([][]core.Item)[0]...)
+			fan.Queried++
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.m.degraded.Add(1)
+		return nil, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+	}
+	// Each stored point has exactly one owner shard, so concatenation never
+	// duplicates; sorting restores the canonical order.
+	core.SortItems(all)
+	return all, fan, nil
+}
+
+// Aggregate answers a windowed aggregation (count + exact coordinate sums)
+// over the box across the cluster. Partial aggregates merge through
+// ExactSum, so the centroid is bit-identical to a single-tree aggregation
+// regardless of sharding or merge order. Every box-intersecting shard must
+// answer, otherwise ErrDegraded.
+func (r *Router) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate, Fanout, error) {
+	fan := Fanout{Shards: len(r.shards)}
+	if box.Dim() != r.part.Dim() {
+		return core.BoxAggregate{}, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), r.part.Dim())
+	}
+	r.m.aggRequests.Add(1)
+
+	var targets []*shardHandle
+	for i, sh := range r.shards {
+		if !r.part.Cell(i).Intersects(box) {
+			fan.Pruned++
+			r.m.pruned.Add(1)
+			continue
+		}
+		if !sh.healthy.Load() {
+			r.m.degraded.Add(1)
+			return core.BoxAggregate{}, fan, fmt.Errorf("%w: shard %d intersects aggregate box", ErrDegraded, sh.id)
+		}
+		targets = append(targets, sh)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		merged   core.BoxAggregate
+		firstErr error
+	)
+	for _, sh := range targets {
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+				v, err := sh.client.Aggregate(c, []geom.Box{box})
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			fan.Hedges += hedges
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			part := res.([]core.BoxAggregate)[0]
+			merged.Merge(&part)
+			fan.Queried++
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.m.degraded.Add(1)
+		return core.BoxAggregate{}, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+	}
+	return merged, fan, nil
+}
+
+// Ingest routes a streaming insert (with its logical expiry deadline) to
+// the owning shard. Like Insert, it is single-attempt and returns only
+// after the owner acknowledged the write.
+func (r *Router) Ingest(ctx context.Context, item core.Item, expireAt int64) (Fanout, error) {
+	fan := Fanout{Shards: len(r.shards), Pruned: len(r.shards) - 1}
+	if len(item.P) != r.part.Dim() {
+		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
+	}
+	r.m.ingests.Add(1)
+	sh := r.shards[r.part.Owner(item.P)]
+	if !sh.healthy.Load() {
+		r.m.degraded.Add(1)
+		return fan, fmt.Errorf("%w: shard %d owns the item", ErrDegraded, sh.id)
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	r.m.shardCalls.Add(1)
+	if _, err := sh.client.Ingest(cctx, []core.Item{item}, []int64{expireAt}); err != nil {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			r.noteFailure(sh)
+		}
+		r.m.errors.Add(1)
+		return fan, err
+	}
+	sh.fails.Store(0)
+	sh.count.Add(1)
+	fan.Queried = 1
+	return fan, nil
+}
+
+// Expire sweeps every shard's ingested items whose deadline is at or
+// before now and returns the total deleted. The sweep is a write, so it is
+// single-attempt per shard; any unreachable or failing shard degrades the
+// whole sweep (the caller retries with the same now — sweeps are
+// idempotent at a fixed horizon).
+func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
+	fan := Fanout{Shards: len(r.shards)}
+	r.m.expires.Add(1)
+	for _, sh := range r.shards {
+		if !sh.healthy.Load() {
+			r.m.degraded.Add(1)
+			return 0, fan, fmt.Errorf("%w: shard %d unavailable for expiry sweep", ErrDegraded, sh.id)
+		}
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		total    int64
+		firstErr error
+	)
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+			defer cancel()
+			r.m.shardCalls.Add(1)
+			n, err := sh.client.Expire(cctx, now)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var re *RemoteError
+				if !errors.As(err, &re) {
+					r.noteFailure(sh)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			sh.fails.Store(0)
+			if sh.count.Add(-n) < 0 {
+				sh.count.Store(0)
+			}
+			total += n
+			fan.Queried++
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.m.degraded.Add(1)
+		r.m.errors.Add(1)
+		return total, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+	}
+	return total, fan, nil
+}
+
+// KindQuantiles is one request kind's latency quantiles in microseconds,
+// derived from the shard's (or the cluster-merged) histogram.
+type KindQuantiles struct {
+	Kind   string  `json:"kind"`
+	Count  int64   `json:"latency_count"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// ShardLatency is one shard's per-kind latency view.
+type ShardLatency struct {
+	ID    int             `json:"id"`
+	Kinds []KindQuantiles `json:"kinds"`
+}
+
+// Latency fetches every healthy shard's per-kind latency histograms over
+// the wire and returns per-shard quantiles plus the cluster-wide merge.
+// Histograms travel as sparse bucket counts and merge bucket-wise, so the
+// cluster quantiles equal a single histogram recording every observation.
+// Collection is best-effort observability: unreachable shards are simply
+// absent from the per-shard list (and the merge).
+func (r *Router) Latency(ctx context.Context) ([]ShardLatency, []KindQuantiles) {
+	type shardHists struct {
+		id int
+		hs map[string]*hist.Histogram
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		all []shardHists
+	)
+	for _, sh := range r.shards {
+		if !sh.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardHandle) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+			defer cancel()
+			r.m.shardCalls.Add(1)
+			resp, err := sh.client.Stats(cctx)
+			if err != nil {
+				return
+			}
+			hs := make(map[string]*hist.Histogram, len(resp.Kinds))
+			for _, k := range resp.Kinds {
+				h := &hist.Histogram{}
+				for _, b := range k.Buckets {
+					h.RecordN(b.Low, b.Count)
+				}
+				h.ObserveMax(k.Max)
+				hs[k.Kind] = h
+			}
+			mu.Lock()
+			all = append(all, shardHists{sh.id, hs})
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	merged := map[string]*hist.Histogram{}
+	perShard := make([]ShardLatency, 0, len(all))
+	for _, s := range all {
+		perShard = append(perShard, ShardLatency{ID: s.id, Kinds: kindQuantiles(s.hs)})
+		for kind, h := range s.hs {
+			if merged[kind] == nil {
+				merged[kind] = &hist.Histogram{}
+			}
+			merged[kind].Merge(h)
+		}
+	}
+	return perShard, kindQuantiles(merged)
+}
+
+// kindQuantiles converts per-kind histograms to sorted quantile rows.
+func kindQuantiles(hs map[string]*hist.Histogram) []KindQuantiles {
+	names := make([]string, 0, len(hs))
+	for k := range hs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]KindQuantiles, 0, len(names))
+	for _, name := range names {
+		h := hs[name]
+		if h.Count() == 0 {
+			continue
+		}
+		us := func(v int64) float64 { return float64(v) / float64(time.Microsecond) }
+		out = append(out, KindQuantiles{
+			Kind:   name,
+			Count:  h.Count(),
+			P50US:  us(h.Quantile(0.50)),
+			P90US:  us(h.Quantile(0.90)),
+			P99US:  us(h.Quantile(0.99)),
+			P999US: us(h.Quantile(0.999)),
+			MaxUS:  us(h.Max()),
+		})
+	}
+	return out
+}

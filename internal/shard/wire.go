@@ -11,6 +11,7 @@ import (
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
 	"pimkd/internal/heapx"
+	"pimkd/internal/mathx"
 )
 
 // Wire protocol, little-endian. The inter-node path replaces JSON-over-HTTP
@@ -42,6 +43,16 @@ import (
 //	insertReq   count uint32, count × item
 //	deleteReq   count uint32, count × item
 //	updateResp  applied uint32
+//	joinReq     radius float64, count uint32, count × point (answered by rangeResp)
+//	aggReq      count uint32, count × (dim × float64 lo, dim × float64 hi)
+//	aggResp     count uint32, count × { n uint64, dim × sum }
+//	            sum = flags uint8, nterms uint16, nterms × (idx uint16, word uint64)
+//	ingestReq   count uint32, count × (item, expireAt uint64) (answered by updateResp)
+//	expireReq   now uint64
+//	expireResp  expired uint64
+//	statsReq    —
+//	statsResp   nkinds uint32, nkinds × { nameLen uint8, name, max uint64,
+//	            nbuckets uint32, nbuckets × (low uint64, count uint64) }
 //	errResp     code uint16, len uint32, len × msg byte
 //	item        id int32, priority float64, dim × float64
 const (
@@ -65,6 +76,14 @@ const (
 	msgInsertReq  byte = 0x14
 	msgDeleteReq  byte = 0x15
 	msgUpdateResp byte = 0x16
+	msgJoinReq    byte = 0x17
+	msgAggReq     byte = 0x18
+	msgAggResp    byte = 0x19
+	msgIngestReq  byte = 0x1a
+	msgExpireReq  byte = 0x1b
+	msgExpireResp byte = 0x1c
+	msgStatsReq   byte = 0x1d
+	msgStatsResp  byte = 0x1e
 	msgErr        byte = 0x1f
 )
 
@@ -125,6 +144,68 @@ type UpdateReq struct {
 // UpdateResp acknowledges an applied update batch.
 type UpdateResp struct {
 	Applied int
+}
+
+// JoinReq asks, per probe point, for the shard's items within the radius.
+// The shard answers with a RangeResp (per-probe item lists in canonical
+// order).
+type JoinReq struct {
+	Radius float64
+	Points []geom.Point
+}
+
+// AggReq asks for a windowed aggregate (count + exact coordinate sums) over
+// each box.
+type AggReq struct {
+	Boxes []geom.Box
+}
+
+// AggResp carries per-box partial aggregates. Sums travel in ExactSum's
+// sparse word form, so merging partials on the router is bit-identical to a
+// single-tree aggregation.
+type AggResp struct {
+	Results []core.BoxAggregate
+}
+
+// IngestReq applies a batch of streaming inserts, each with a logical
+// expiry deadline (parallel slices). The shard answers with an UpdateResp.
+type IngestReq struct {
+	Items     []core.Item
+	ExpireAts []int64
+}
+
+// ExpireReq sweeps every ingested item whose deadline is at or before Now.
+type ExpireReq struct {
+	Now int64
+}
+
+// ExpireResp reports how many items the sweep deleted.
+type ExpireResp struct {
+	Expired int64
+}
+
+// StatsReq asks the shard for its per-kind latency histograms.
+type StatsReq struct{}
+
+// HistBucket is one nonzero histogram bucket in sparse wire form.
+type HistBucket struct {
+	Low   int64
+	Count int64
+}
+
+// KindLatency is one request kind's latency histogram. Reconstructing with
+// hist.RecordN(Low, Count) per bucket plus ObserveMax(Max) yields
+// quantile-identical histograms on the router side.
+type KindLatency struct {
+	Kind    string
+	Max     int64
+	Buckets []HistBucket
+}
+
+// StatsResp carries the shard's per-kind latency histograms, sorted by
+// kind name.
+type StatsResp struct {
+	Kinds []KindLatency
 }
 
 // RemoteError is a shard-side failure relayed over the wire.
@@ -269,6 +350,67 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 	case UpdateResp:
 		hdr(msgUpdateResp, 4)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Applied))
+	case JoinReq:
+		hdr(msgJoinReq, 12+len(v.Points)*8*dim)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Radius))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Points)))
+		for _, p := range v.Points {
+			buf = appendPoint(buf, p)
+		}
+	case AggReq:
+		hdr(msgAggReq, 4+len(v.Boxes)*16*dim)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Boxes)))
+		for _, b := range v.Boxes {
+			buf = appendPoint(buf, b.Lo)
+			buf = appendPoint(buf, b.Hi)
+		}
+	case AggResp:
+		hdr(msgAggResp, 4+len(v.Results)*(8+dim*4))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Results)))
+		for _, a := range v.Results {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(a.Count))
+			for d := range a.Sums {
+				terms, flags := a.Sums[d].Terms()
+				buf = append(buf, flags)
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(len(terms)))
+				for _, t := range terms {
+					buf = binary.LittleEndian.AppendUint16(buf, t.Index)
+					buf = binary.LittleEndian.AppendUint64(buf, t.Word)
+				}
+			}
+		}
+	case IngestReq:
+		hdr(msgIngestReq, 4+(itemSize(dim)+8)*len(v.Items))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for i, it := range v.Items {
+			buf = appendItem(buf, it)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.ExpireAts[i]))
+		}
+	case ExpireReq:
+		hdr(msgExpireReq, 8)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Now))
+	case ExpireResp:
+		hdr(msgExpireResp, 8)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Expired))
+	case StatsReq:
+		hdr(msgStatsReq, 0)
+	case StatsResp:
+		n := 4
+		for _, k := range v.Kinds {
+			n += 1 + len(k.Kind) + 12 + 16*len(k.Buckets)
+		}
+		hdr(msgStatsResp, n)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Kinds)))
+		for _, k := range v.Kinds {
+			buf = append(buf, byte(len(k.Kind)))
+			buf = append(buf, k.Kind...)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k.Max))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k.Buckets)))
+			for _, b := range k.Buckets {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(b.Low))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(b.Count))
+			}
+		}
 	case *RemoteError:
 		hdr(msgErr, 6+len(v.Msg))
 		buf = binary.LittleEndian.AppendUint16(buf, v.Code)
@@ -385,6 +527,109 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 		m = UpdateReq{Delete: t == msgDeleteReq, Items: items}
 	case msgUpdateResp:
 		m = UpdateResp{Applied: int(d.u32())}
+	case msgJoinReq:
+		radius := d.f64()
+		if d.err == nil && (math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0) {
+			return reqID, nil, fmt.Errorf("%w: join radius %v out of range", ErrWire, radius)
+		}
+		count := d.count(8 * dim)
+		pts := make([]geom.Point, count)
+		for i := range pts {
+			pts[i] = d.point(dim)
+		}
+		m = JoinReq{Radius: radius, Points: pts}
+	case msgAggReq:
+		count := d.count(16 * dim)
+		boxes := make([]geom.Box, count)
+		for i := range boxes {
+			lo := d.point(dim)
+			hi := d.point(dim)
+			if d.err == nil {
+				for ax := range lo {
+					if !(lo[ax] <= hi[ax]) {
+						return reqID, nil, fmt.Errorf("%w: inverted or NaN box on axis %d", ErrWire, ax)
+					}
+				}
+			}
+			boxes[i] = geom.Box{Lo: lo, Hi: hi}
+		}
+		m = AggReq{Boxes: boxes}
+	case msgAggResp:
+		count := d.count(8 + dim*3)
+		res := make([]core.BoxAggregate, count)
+		for i := range res {
+			n := int64(d.u64())
+			if d.err == nil && n < 0 {
+				return reqID, nil, fmt.Errorf("%w: negative aggregate count", ErrWire)
+			}
+			res[i].Count = n
+			res[i].Sums = make([]mathx.ExactSum, dim)
+			for ax := 0; ax < dim; ax++ {
+				flags := d.u8()
+				nterms := int(d.u16())
+				terms := make([]mathx.SumTerm, 0, nterms)
+				// Canonical form only (so decode→encode is byte-identical):
+				// raw index strictly ascending — positive-accumulator words
+				// sort before negative ones because of the index high bit —
+				// and no zero words.
+				prev := -1
+				for t := 0; t < nterms && d.err == nil; t++ {
+					tm := mathx.SumTerm{Index: d.u16(), Word: d.u64()}
+					if d.err == nil && (int(tm.Index) <= prev || tm.Word == 0) {
+						return reqID, nil, fmt.Errorf("%w: non-canonical aggregate sum terms", ErrWire)
+					}
+					prev = int(tm.Index)
+					terms = append(terms, tm)
+				}
+				s, ok := mathx.SumFromTerms(terms, flags)
+				if d.err == nil && !ok {
+					return reqID, nil, fmt.Errorf("%w: invalid aggregate sum terms", ErrWire)
+				}
+				res[i].Sums[ax] = s
+			}
+		}
+		m = AggResp{Results: res}
+	case msgIngestReq:
+		count := d.count(itemSize(dim) + 8)
+		items := make([]core.Item, count)
+		ats := make([]int64, count)
+		for i := range items {
+			items[i] = d.item(dim)
+			ats[i] = int64(d.u64())
+		}
+		m = IngestReq{Items: items, ExpireAts: ats}
+	case msgExpireReq:
+		m = ExpireReq{Now: int64(d.u64())}
+	case msgExpireResp:
+		n := int64(d.u64())
+		if d.err == nil && n < 0 {
+			return reqID, nil, fmt.Errorf("%w: negative expired count", ErrWire)
+		}
+		m = ExpireResp{Expired: n}
+	case msgStatsReq:
+		m = StatsReq{}
+	case msgStatsResp:
+		nkinds := d.count(13)
+		kinds := make([]KindLatency, 0, nkinds)
+		for i := 0; i < nkinds; i++ {
+			nameLen := int(d.u8())
+			name := string(d.take(nameLen))
+			max := int64(d.u64())
+			nbuckets := d.count(16)
+			bs := make([]HistBucket, 0, nbuckets)
+			for j := 0; j < nbuckets && d.err == nil; j++ {
+				b := HistBucket{Low: int64(d.u64()), Count: int64(d.u64())}
+				if b.Low < 0 || b.Count < 0 {
+					return reqID, nil, fmt.Errorf("%w: negative histogram bucket", ErrWire)
+				}
+				bs = append(bs, b)
+			}
+			if d.err == nil && max < 0 {
+				return reqID, nil, fmt.Errorf("%w: negative histogram max", ErrWire)
+			}
+			kinds = append(kinds, KindLatency{Kind: name, Max: max, Buckets: bs})
+		}
+		m = StatsResp{Kinds: kinds}
 	case msgErr:
 		code := d.u16()
 		n := d.u32()

@@ -10,6 +10,7 @@ import (
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
 	"pimkd/internal/heapx"
+	"pimkd/internal/mathx"
 )
 
 func TestHandshakeRoundTrip(t *testing.T) {
@@ -83,9 +84,39 @@ func wireMessages(dim int) []any {
 		UpdateReq{Delete: false, Items: []core.Item{{ID: 1, P: pt(0.1, 0.2, 0.3)}}},
 		UpdateReq{Delete: true, Items: []core.Item{{ID: 2, P: pt(0.9, 0.8, 0.7)}}},
 		UpdateResp{Applied: 42},
+		JoinReq{Radius: 0.25, Points: []geom.Point{pt(0.5, 0.5, 0.5), pt(0, 1, 0)}},
+		JoinReq{Radius: 0, Points: nil},
+		AggReq{Boxes: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}}},
+		AggResp{Results: []core.BoxAggregate{
+			aggOf(dim, 0.5, -0.25, 1e-3, 3.75),
+			{Count: 0, Sums: make([]mathx.ExactSum, dim)},
+		}},
+		IngestReq{
+			Items:     []core.Item{{ID: 5, Priority: 0.5, P: pt(0.3, 0.3, 0.3)}},
+			ExpireAts: []int64{12345},
+		},
+		ExpireReq{Now: 999},
+		ExpireResp{Expired: 7},
+		StatsReq{},
+		StatsResp{Kinds: []KindLatency{
+			{Kind: "knn", Max: 4096, Buckets: []HistBucket{{Low: 32, Count: 10}, {Low: 4096, Count: 1}}},
+			{Kind: "range", Max: 0, Buckets: nil},
+		}},
 		&RemoteError{Code: CodeUnavailable, Msg: "draining"},
 		&RemoteError{Code: CodeBadRequest, Msg: ""},
 	}
+}
+
+// aggOf builds a dim-dimensional aggregate whose exact sums each hold the
+// given values.
+func aggOf(dim int, vs ...float64) core.BoxAggregate {
+	a := core.BoxAggregate{Count: int64(len(vs)), Sums: make([]mathx.ExactSum, dim)}
+	for d := 0; d < dim; d++ {
+		for _, v := range vs {
+			a.Sums[d].Add(v * float64(d+1))
+		}
+	}
+	return a
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -141,6 +172,29 @@ func normalize(m any) any {
 	case UpdateReq:
 		if len(v.Items) == 0 {
 			v.Items = nil
+		}
+		return v
+	case JoinReq:
+		if len(v.Points) == 0 {
+			v.Points = nil
+		}
+		return v
+	case IngestReq:
+		if len(v.Items) == 0 {
+			v.Items = nil
+		}
+		if len(v.ExpireAts) == 0 {
+			v.ExpireAts = nil
+		}
+		return v
+	case StatsResp:
+		if len(v.Kinds) == 0 {
+			v.Kinds = nil
+		}
+		for i := range v.Kinds {
+			if len(v.Kinds[i].Buckets) == 0 {
+				v.Kinds[i].Buckets = nil
+			}
 		}
 		return v
 	}
@@ -211,6 +265,54 @@ func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
 			p := encodePayload(1, Ping{}, 2)
 			p[0] = 0x7e
 			return p
+		}},
+		{"negative join radius", func() []byte {
+			return encodePayload(1, JoinReq{Radius: -0.5, Points: []geom.Point{{0, 0}}}, 2)
+		}},
+		{"nan join radius", func() []byte {
+			return encodePayload(1, JoinReq{Radius: math.NaN(), Points: []geom.Point{{0, 0}}}, 2)
+		}},
+		{"inf join radius", func() []byte {
+			return encodePayload(1, JoinReq{Radius: math.Inf(1), Points: []geom.Point{{0, 0}}}, 2)
+		}},
+		{"inverted aggregate box", func() []byte {
+			return encodePayload(1, AggReq{Boxes: []geom.Box{
+				{Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0}},
+			}}, 2)
+		}},
+		{"zero aggregate sum word", func() []byte {
+			// One sum with a single explicit zero word: decodes to the same
+			// accumulator as no terms at all, so canonical decode rejects it.
+			a := aggOf(2, 1.5)
+			p := encodePayload(1, AggResp{Results: []core.BoxAggregate{a}}, 2)
+			// Blank the term's 8 word bytes (layout: count u32, n u64,
+			// flags u8, nterms u16, idx u16, word u64).
+			off := len(p) - 8
+			for i := off; i < len(p); i++ {
+				p[i] = 0
+			}
+			return p
+		}},
+		{"ingest deadline truncated", func() []byte {
+			p := encodePayload(1, IngestReq{
+				Items:     []core.Item{{ID: 1, P: geom.Point{0, 0}}},
+				ExpireAts: []int64{5},
+			}, 2)
+			return p[:len(p)-4]
+		}},
+		{"negative expired count", func() []byte {
+			return encodePayload(1, ExpireResp{Expired: -3}, 2)
+		}},
+		{"negative histogram bucket", func() []byte {
+			return encodePayload(1, StatsResp{Kinds: []KindLatency{
+				{Kind: "knn", Max: 8, Buckets: []HistBucket{{Low: 4, Count: -1}}},
+			}}, 2)
+		}},
+		{"stats name truncated", func() []byte {
+			p := encodePayload(1, StatsResp{Kinds: []KindLatency{
+				{Kind: "lookup", Max: 8, Buckets: nil},
+			}}, 2)
+			return p[:len(p)-6]
 		}},
 		{"empty payload", func() []byte { return nil }},
 	} {

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Load smoke test: boot 2 durable shards behind a router, drive the whole
+# front door with the open-loop generator (pimkd-load) at roughly 2x the
+# little cluster's capacity, and assert:
+#
+#   summary  — the pimkd-bench/v1 JSON record parses, carries per-kind
+#              latency histograms with nonzero counts and ordered
+#              p50 <= p99 <= p999, and reports zero hard errors (sheds are
+#              legitimate overload outcomes; errors are not).
+#   durable  — every write the cluster acked after the storm is readable:
+#              zero lost acked updates.
+#
+# Used by the ci load-smoke job; runs standalone with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  for _ in $(seq 50); do
+    local live=0
+    for pid in "${PIDS[@]:-}"; do
+      kill -0 "$pid" 2>/dev/null && live=1
+    done
+    [ "$live" = 0 ] && break
+    sleep 0.1
+  done
+  rm -rf "$WORK" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+log() { echo "[load-smoke] $*"; }
+fail() {
+  log "FAIL: $*"
+  for f in "$WORK"/*.log; do
+    echo "--- $f"
+    tail -20 "$f"
+  done
+  exit 1
+}
+
+HTTP_BASE=18180 # router on :18180, shard i HTTP on :1818i
+WIRE_BASE=19180 # shard i wire protocol on :1918i
+ROUTER="http://127.0.0.1:$HTTP_BASE"
+
+wait_http() { # url grep-pattern [timeout-seconds]
+  local url="$1" pattern="$2" deadline=$(($(date +%s) + ${3:-30}))
+  while true; do
+    if curl -fsS --max-time 2 "$url" 2>/dev/null | grep -q "$pattern"; then
+      return 0
+    fi
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      fail "timeout waiting for $url to match '$pattern'"
+    fi
+    sleep 0.2
+  done
+}
+
+log "building pimkd-server, pimkd-router, pimkd-load"
+go build -o "$BIN/" ./cmd/pimkd-server ./cmd/pimkd-router ./cmd/pimkd-load
+
+log "booting 2 durable shards"
+for i in 1 2; do
+  "$BIN/pimkd-server" \
+    -addr "127.0.0.1:$((HTTP_BASE + i))" \
+    -shard-addr "127.0.0.1:$((WIRE_BASE + i))" \
+    -data-dir "$WORK/shard$i" \
+    -n 0 -p 16 -max-batch 64 -linger 1ms \
+    >"$WORK/shard$i.log" 2>&1 &
+  PIDS+=($!)
+  disown
+done
+for i in 1 2; do
+  wait_http "http://127.0.0.1:$((HTTP_BASE + i))/readyz" ok
+done
+
+log "booting router"
+"$BIN/pimkd-router" -addr "127.0.0.1:$HTTP_BASE" \
+  -shards "127.0.0.1:$((WIRE_BASE + 1)),127.0.0.1:$((WIRE_BASE + 2))" \
+  -timeout 2s -probe-interval 100ms \
+  >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+disown
+wait_http "$ROUTER/shardz" '"healthy": *2'
+log "router up, 2/2 shards healthy"
+
+# Seed some data so reads have something to chew on.
+log "seeding 50 points"
+for i in $(seq 0 49); do
+  read -r x y <<<"$(awk -v i="$i" 'BEGIN{printf "%.4f %.4f", (i%10)/10+0.05, (int(i/10)%5)/5+0.1}')"
+  code="$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 -X POST "$ROUTER/insert?id=$i&p=$x,$y")"
+  [ "$code" = 200 ] || fail "seed insert $i returned $code"
+done
+
+# The storm: open-loop Poisson arrivals across every request kind at a
+# rate around 2x what this two-shard loopback cluster sustains, captured
+# as a pimkd-bench/v1 JSON record.
+SUMMARY="$WORK/load.json"
+log "open-loop storm: 400/s for 6s across all request kinds"
+"$BIN/pimkd-load" -target "$ROUTER" -wait-healthy 10s \
+  -rate 400 -duration 6s -shape flat -seed 42 \
+  -json "$SUMMARY" >"$WORK/load.log" 2>&1 || fail "pimkd-load exited nonzero"
+cat "$WORK/load.log"
+
+log "checking the JSON summary"
+python3 - "$SUMMARY" <<'EOF' || fail "summary check failed"
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec["schema"] == "pimkd-bench/v1", rec["schema"]
+exp = rec["experiments"][0]
+assert exp["id"] == "load", exp["id"]
+m = exp["metrics"]
+assert m["offered"] > 0, "no arrivals offered"
+kinds = sorted({k.split("_")[0] for k in m if k.endswith("_done")})
+assert kinds, "no per-kind results"
+sampled = 0
+for kind in kinds:
+    assert m.get(f"{kind}_errors", 0) == 0, f"{kind}: hard errors in summary"
+    done = m.get(f"{kind}_done", 0)
+    if done > 0 and f"{kind}_p50_us" in m:
+        p50, p99, p999 = m[f"{kind}_p50_us"], m[f"{kind}_p99_us"], m[f"{kind}_p999_us"]
+        assert 0 < p50 <= p99 <= p999, f"{kind}: bad quantiles {p50} {p99} {p999}"
+        sampled += 1
+assert sampled >= 4, f"only {sampled} kinds carry latency histograms"
+print(f"summary ok: {int(m['offered'])} offered over kinds {kinds}, {sampled} nonzero histograms")
+EOF
+
+log "verifying zero lost acked updates after the storm"
+ACKED="$WORK/acked.txt"
+: >"$ACKED"
+for i in $(seq 500 539); do
+  read -r x y <<<"$(awk -v i="$i" 'BEGIN{srand(i); printf "%.4f %.4f", rand(), rand()}')"
+  code="$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 -X POST "$ROUTER/insert?id=$i&p=$x,$y")"
+  if [ "$code" = 200 ]; then echo "$i" >>"$ACKED"; fi
+done
+[ -s "$ACKED" ] || fail "no post-storm insert was acked by a healthy cluster"
+curl -fsS "$ROUTER/range?lo=0,0&hi=1,1" >"$WORK/final.json"
+grep -o '"id": *[0-9]*' "$WORK/final.json" | grep -o '[0-9]*$' | sort -u >"$WORK/got.txt"
+missing="$(comm -23 <(sort -u "$ACKED") "$WORK/got.txt")"
+[ -z "$missing" ] || fail "acked updates missing after the storm: $missing"
+log "$(wc -l <"$ACKED") acked updates all present"
+
+# The router's latency mirror must now expose per-kind quantiles too.
+curl -fsS "$ROUTER/shardz" | grep -q '"cluster_latency"' || fail "/shardz missing cluster_latency"
+log "PASS: open-loop storm measured, summary JSON sound, zero lost acked updates"
