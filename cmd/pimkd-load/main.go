@@ -45,7 +45,7 @@ func main() {
 		window  = flag.Float64("window", 0.1, "range/aggregation box side length")
 		maxOut  = flag.Int("max-outstanding", 4096, "in-flight cap; arrivals past it are dropped at the generator, never queued")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline, measured from scheduled arrival")
-		wait    = flag.Duration("wait-healthy", 0, "poll the target's /healthz for up to this long before starting")
+		wait    = flag.Duration("wait-healthy", 0, "poll the target's /healthz then /readyz for up to this long before starting")
 		jsonOut = flag.String("json", "", "write the summary as a pimkd-bench/v1 JSON record to this file")
 	)
 	flag.Parse()
@@ -143,21 +143,41 @@ func run(target, mix string, rate float64, dur time.Duration, shape string, fact
 	return nil
 }
 
-// waitHealthy polls GET /healthz until it answers 200 or the budget runs
-// out, so scripts can start the server and the generator together.
+// waitHealthy polls the target until it is actually ready to serve, so
+// scripts can start servers and the generator together: first GET /healthz
+// until the process answers (liveness), then GET /readyz until it reports
+// 200 — a pimkd-server holds /readyz at 503 through WAL replay and peer
+// rebuild, and a pimkd-router holds it while any cell lacks an in-sync
+// replica. A target without a /readyz endpoint (404) counts as ready once
+// healthy.
 func waitHealthy(target string, budget time.Duration) error {
 	deadline := time.Now().Add(budget)
+	if err := pollOK(target+"/healthz", deadline, false); err != nil {
+		return fmt.Errorf("target %s not healthy within %v: %v", target, budget, err)
+	}
+	if err := pollOK(target+"/readyz", deadline, true); err != nil {
+		return fmt.Errorf("target %s not ready within %v: %v", target, budget, err)
+	}
+	return nil
+}
+
+// pollOK polls url until it answers 200 or deadline passes. With okOn404,
+// a 404 is success (the endpoint does not exist on this target).
+func pollOK(url string, deadline time.Time, okOn404 bool) error {
+	var last error
 	for {
-		resp, err := http.Get(target + "/healthz")
+		resp, err := http.Get(url)
+		last = err
 		if err == nil {
 			_, _ = io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
+			if resp.StatusCode == http.StatusOK || (okOn404 && resp.StatusCode == http.StatusNotFound) {
 				return nil
 			}
+			last = fmt.Errorf("status %s", resp.Status)
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("target %s not healthy within %v: %v", target, budget, err)
+			return last
 		}
 		time.Sleep(100 * time.Millisecond)
 	}

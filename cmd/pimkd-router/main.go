@@ -23,10 +23,21 @@
 //	curl 'localhost:8080/shardz'      # membership, health, drift ratios
 //	curl 'localhost:8080/statsz'      # scatter/prune/hedge/wire counters
 //
+// Replication: every partition cell is stored on -replication shards
+// (primary + followers on the next shard indexes, mod N). Writes fan to
+// all replicas of the owning cell and ack once any in-sync replica durably
+// applied them, so a dead primary fails over to the surviving replicas
+// instead of refusing the write; replicas that missed an acked write are
+// fenced from reads until they resync (shards run a peer Rebuilder when
+// started with -cluster-self/-cluster-peers). Reads are planned per cell
+// over in-sync replicas and merged exactly. -replication 1 restores
+// single-copy cells: no failover, a dead shard's cells are unavailable.
+//
 // Failure semantics: the router never serves a silent partial answer. A
-// query needing an unhealthy shard fails with 503 until the shard returns;
-// an update whose owning shard is down is refused (never acked). Reads are
-// hedged after -hedge; writes are single-attempt.
+// query needing a cell with no in-sync replica fails with 503 (plus
+// Retry-After) until one returns; an update is acked only when an in-sync
+// replica durably applied it. Reads are hedged after -hedge; writes are
+// single-attempt per replica.
 package main
 
 import (
@@ -56,6 +67,7 @@ func main() {
 		probe     = flag.Duration("probe-interval", 500*time.Millisecond, "health probe cadence")
 		failAfter = flag.Int("fail-threshold", 3, "consecutive transport failures before a shard is excluded")
 		drift     = flag.Float64("drift", 2.0, "flag shards above this multiple of the mean point count as rebalance candidates")
+		repl      = flag.Int("replication", 2, "copies of every cell (clamped to the shard count; 1 = no replication)")
 	)
 	flag.Parse()
 
@@ -73,6 +85,7 @@ func main() {
 		log.Fatalf("partition: %v", err)
 	}
 	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Replication:    *repl,
 		Timeout:        *timeout,
 		HedgeDelay:     *hedge,
 		ProbeInterval:  *probe,
@@ -82,10 +95,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("router: %v", err)
 	}
+	log.Printf("replication factor %d (%d shards)", router.Replication(), len(addrs))
 	for _, st := range router.Status() {
 		cell := part.Cell(st.ID)
-		log.Printf("shard %d at %s: healthy=%v count=%d cell=[%v, %v]",
-			st.ID, st.Addr, st.Healthy, st.Count, cell.Lo, cell.Hi)
+		log.Printf("shard %d at %s: healthy=%v count=%d cells=%v home=[%v, %v]",
+			st.ID, st.Addr, st.Healthy, st.Count, st.Cells, cell.Lo, cell.Hi)
 	}
 
 	server := &http.Server{Addr: *addr, Handler: shard.NewHandler(router)}
@@ -106,6 +120,10 @@ func main() {
 	fmt.Printf("routed %d knn / %d range / %d updates: %d shard calls, %d pruned visits, %d hedges, %d degraded\n",
 		m.KNNRequests, m.RangeRequests, m.Updates, m.ShardCalls, m.Pruned, m.Hedges, m.Degraded)
 	fmt.Printf("wire bytes: %d out, %d in\n", m.WireBytesOut, m.WireBytesIn)
+	if m.Replication > 1 {
+		fmt.Printf("replication: factor %d, %d failovers, %d stale fences, %d resync nudges\n",
+			m.Replication, m.Failovers, m.StaleMarks, m.ResyncNudges)
+	}
 }
 
 func splitNonEmpty(s string) []string {

@@ -52,6 +52,20 @@
 // only after readiness.
 //
 //	pimkd-server -addr :8081 -shard-addr :9081 -data-dir /var/lib/pimkd/s0
+//
+// Replication: in a replicated cluster (pimkd-router -replication R > 1)
+// each shard also runs a peer Rebuilder: give it its own index with
+// -cluster-self, every shard's wire address with -cluster-peers, and the
+// same -replication / -cluster-bounds the router uses. On startup — and
+// whenever the router fences it as stale — the shard streams its hosted
+// cells from a healthy replica over paginated snapshot frames (metered
+// rounds labeled fault/rebuild/cell=N, folded into the supervisor's stats)
+// and reports in-sync only once a full pass changes nothing, so a shard
+// that lost its data dir rebuilds from its peers and /readyz flips only
+// once it is caught up.
+//
+//	pimkd-server -addr :8082 -shard-addr :9082 -data-dir /var/lib/pimkd/s1 -n 0 \
+//	    -cluster-self 1 -cluster-peers localhost:9081,localhost:9082,localhost:9083
 package main
 
 import (
@@ -64,15 +78,19 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pimkd/internal/core"
 	"pimkd/internal/fault"
+	"pimkd/internal/geom"
 	"pimkd/internal/persist"
 	"pimkd/internal/pim"
 	"pimkd/internal/serve"
+	"pimkd/internal/shard"
 	"pimkd/internal/workload"
 )
 
@@ -93,6 +111,12 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every executed batch")
 
 		shardAddr = flag.String("shard-addr", "", "binary shard wire protocol listen address for a cluster router (empty = disabled)")
+
+		clusterSelf   = flag.Int("cluster-self", -1, "this shard's index in -cluster-peers; enables peer rebuild (-1 = standalone)")
+		clusterPeers  = flag.String("cluster-peers", "", "comma-separated shard wire addresses of the whole cluster, indexed by shard id")
+		clusterBounds = flag.String("cluster-bounds", "", "partition bounds as lo...,hi... (2*dim floats), matching the router's -bounds; default unit cube")
+		replication   = flag.Int("replication", 2, "cluster replication factor, matching the router's -replication")
+		rebuildWait   = flag.Duration("rebuild-patience", 5*time.Second, "how long a rebuild pass hunts for an eligible peer before serving local state")
 
 		dataDir   = flag.String("data-dir", "", "durability directory (snapshots + write-ahead log); empty = volatile")
 		fsync     = flag.Bool("fsync", false, "fsync every WAL append (power-fail-safe acks; slower)")
@@ -246,8 +270,69 @@ func main() {
 	}
 	svc := serve.New(cfg, tree)
 
+	// Peer rebuild: with -cluster-self/-cluster-peers this shard derives its
+	// hosted cells from the same placement arithmetic the router uses and
+	// pulls them from replica peers — on startup (a wiped -data-dir streams
+	// back over the wire) and whenever the router nudges it to resync.
+	var rebuilder *serve.Rebuilder
+	if *clusterSelf >= 0 || *clusterPeers != "" {
+		peers := splitNonEmpty(*clusterPeers)
+		if *clusterSelf < 0 || *clusterSelf >= len(peers) {
+			log.Fatalf("-cluster-self %d out of range for %d -cluster-peers", *clusterSelf, len(peers))
+		}
+		if *shardAddr == "" {
+			log.Fatal("-cluster-peers requires -shard-addr (peers pull over the shard wire protocol)")
+		}
+		box, err := parseBounds(*clusterBounds, *dim)
+		if err != nil {
+			log.Fatalf("bad -cluster-bounds: %v", err)
+		}
+		part, err := shard.NewUniformPartition(*dim, len(peers), box)
+		if err != nil {
+			log.Fatalf("cluster partition: %v", err)
+		}
+		pl := shard.NewPlacement(len(peers), *replication)
+		cells := pl.CellsOf(*clusterSelf)
+		boxes := make([]geom.Box, len(cells))
+		for i, c := range cells {
+			boxes[i] = part.Cell(c)
+		}
+		if sup == nil {
+			// Rebuild accounting reports through the supervisor even when
+			// chaos is not armed; without Attach it only aggregates stats.
+			sup = fault.NewSupervisor(fault.SupervisorConfig{}, mach, tree)
+		}
+		acct := sup
+		rebuilder = serve.NewRebuilder(svc, serve.RebuildConfig{
+			Self:      *clusterSelf,
+			Peers:     peers,
+			Cells:     cells,
+			CellBoxes: boxes,
+			Replicas:  pl.Replicas,
+			Dim:       *dim,
+			Patience:  *rebuildWait,
+			OnRebuilt: func(cells, items int64, cost pim.Stats, took time.Duration) {
+				log.Printf("peer rebuild converged: %d cells, %d items over the wire, comm %d words, %v",
+					cells, items, cost.Communication, took.Round(time.Millisecond))
+				acct.RecordPeerRebuild(cells, items, cost, took)
+			},
+			Logf: log.Printf,
+		})
+		log.Printf("peer rebuild armed: shard %d of %d, replication %d, hosted cells %v",
+			*clusterSelf, len(peers), pl.Replication(), cells)
+	}
+
 	full := http.NewServeMux()
 	full.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// A replicated shard is ready only once in sync: it may be serving
+		// rebuild pulls and absorbing writes, but reads would be inexact.
+		if rebuilder != nil {
+			if synced, _ := rebuilder.Synced(); !synced {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "replica rebuilding from peers", http.StatusServiceUnavailable)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	full.Handle("/", serve.NewHandler(svc))
@@ -275,7 +360,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("shard listener: %v", err)
 		}
-		shardLn = serve.NewShardListener(svc, ln, ready.Load)
+		var syncst serve.SyncState
+		if rebuilder != nil {
+			syncst = rebuilder
+		}
+		shardLn = serve.NewShardListener(svc, ln, ready.Load, syncst)
 		log.Printf("shard wire protocol on %s", shardLn.Addr())
 	}
 
@@ -292,6 +381,12 @@ func main() {
 	// arrive after svc.Close started draining.
 	if shardLn != nil {
 		_ = shardLn.Close()
+	}
+	// The rebuilder stops after the wire listener (no more resync nudges can
+	// arrive) and before the service drains, since a rebuild pass in flight
+	// submits restore batches through svc.
+	if rebuilder != nil {
+		rebuilder.Close()
 	}
 	// Close order matters: svc.Close drains every admitted request, flushes
 	// in-flight checkpoints, and syncs the WAL; only then is the store
@@ -325,5 +420,55 @@ func main() {
 		fs := sup.Stats()
 		fmt.Printf("supervisor: crashes=%d stalls=%d recoveries=%d gave up=%d rebuilt %d nodes / %d points, recovery comm=%d words\n",
 			fs.Crashes, fs.Stalls, fs.Recoveries, fs.GaveUp, fs.RebuiltNodes, fs.RebuiltPoints, fs.RecoveryCost.Communication)
+		if fs.PeerRebuilds > 0 {
+			fmt.Printf("peer rebuild: %d runs pulled %d cells / %d items from replicas, comm=%d words, %v converging\n",
+				fs.PeerRebuilds, fs.RebuiltCells, fs.PulledItems, fs.RebuildCost.Communication,
+				fs.RebuildTimeNS.Round(time.Millisecond))
+		}
 	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseBounds parses "lo0,...,lo(d-1),hi0,...,hi(d-1)"; empty means the unit
+// cube. Must match the router's parsing so both sides derive identical cell
+// boxes from identical flags.
+func parseBounds(s string, dim int) (geom.Box, error) {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	if s == "" {
+		for d := 0; d < dim; d++ {
+			hi[d] = 1
+		}
+		return geom.NewBox(lo, hi), nil
+	}
+	parts := splitNonEmpty(s)
+	if len(parts) != 2*dim {
+		return geom.Box{}, fmt.Errorf("want %d comma-separated floats, got %d", 2*dim, len(parts))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return geom.Box{}, fmt.Errorf("bounds[%d]: %v", i, err)
+		}
+		if i < dim {
+			lo[i] = v
+		} else {
+			hi[i-dim] = v
+		}
+	}
+	for d := 0; d < dim; d++ {
+		if lo[d] >= hi[d] {
+			return geom.Box{}, fmt.Errorf("axis %d: lo %g >= hi %g", d, lo[d], hi[d])
+		}
+	}
+	return geom.NewBox(lo, hi), nil
 }

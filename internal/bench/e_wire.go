@@ -65,7 +65,7 @@ func startWireCluster(dim, shards, pPerShard int, seed int64) (*wireCluster, err
 			return nil, err
 		}
 		c.services = append(c.services, svc)
-		c.listeners = append(c.listeners, serve.NewShardListener(svc, ln, nil))
+		c.listeners = append(c.listeners, serve.NewShardListener(svc, ln, nil, nil))
 		addrs[i] = ln.Addr().String()
 	}
 	r, err := shard.NewRouter(part, addrs, shard.Config{

@@ -143,7 +143,7 @@ func (w *knnWalker) scanLeaf(id NodeID) {
 		w.r.ModuleWork(int(w.mod), int64(len(nd.pts)))
 	}
 	for _, it := range nd.pts {
-		w.best.Offer(geom.Dist2(w.q, it.P), it.ID)
+		w.best.OfferCand(heapx.Candidate{Dist2: geom.Dist2(w.q, it.P), ID: it.ID, P: it.P})
 	}
 }
 

@@ -108,7 +108,7 @@ func TestRecoverModuleCoversQueriesAfterFault(t *testing.T) {
 			t.Fatalf("query %d: %d results != %d", i, len(got[i]), len(wantRes[i]))
 		}
 		for j := range got[i] {
-			if got[i][j] != wantRes[i][j] {
+			if got[i][j].ID != wantRes[i][j].ID || got[i][j].Dist2 != wantRes[i][j].Dist2 {
 				t.Fatalf("query %d result %d: %+v != %+v", i, j, got[i][j], wantRes[i][j])
 			}
 		}

@@ -156,7 +156,7 @@ func TestSupervisorRecoversCrashEndToEnd(t *testing.T) {
 			t.Fatalf("query %d: %d vs %d results", i, len(res[i]), len(want[i]))
 		}
 		for j := range res[i] {
-			if res[i][j] != want[i][j] {
+			if res[i][j].ID != want[i][j].ID || res[i][j].Dist2 != want[i][j].Dist2 {
 				t.Fatalf("query %d result %d differs: %+v vs %+v", i, j, res[i][j], want[i][j])
 			}
 		}

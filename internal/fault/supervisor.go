@@ -91,6 +91,17 @@ type Stats struct {
 	ReplayedRecords   int64     `json:"replayed_records"`
 	ReplayedItems     int64     `json:"replayed_items"`
 	ReplayCost        pim.Stats `json:"replay_cost"`
+
+	// Peer rebuild (the replication layer's story, one level above the
+	// durability layer): how many convergence runs pulled this shard's
+	// cells from replica peers, what arrived over the wire, the exact
+	// metered cost of the restore rounds (labeled fault/rebuild/cell=N),
+	// and the wall time spent converging. Populated by RecordPeerRebuild.
+	PeerRebuilds  int64         `json:"peer_rebuilds"`
+	RebuiltCells  int64         `json:"rebuilt_cells"`
+	PulledItems   int64         `json:"pulled_items"`
+	RebuildCost   pim.Stats     `json:"rebuild_cost"`
+	RebuildTimeNS time.Duration `json:"rebuild_time_ns"`
 }
 
 // Supervisor implements detect → rebuild → retry on top of the machine's
@@ -180,6 +191,25 @@ func (s *Supervisor) RecordProcessRecovery(records, items int64, cost pim.Stats)
 	s.stats.ReplayedRecords += records
 	s.stats.ReplayedItems += items
 	s.stats.ReplayCost = s.stats.ReplayCost.Add(cost)
+}
+
+// RecordPeerRebuild folds a completed peer-rebuild convergence run (a
+// replicated shard pulling its cells' contents from healthy replicas) into
+// the supervisor's stats — the third rung of the fault story: module
+// crashes rebuild live from host state, process crashes replay the local
+// durability layer, and a lost data dir streams back from the cell's peer
+// replicas. cells and items are what the run pulled over the wire, cost is
+// the exact metered price of the restore rounds (each labeled
+// fault/rebuild/cell=N), took the run's wall time. fault does not import
+// serve; the server wires serve.RebuildConfig.OnRebuilt here.
+func (s *Supervisor) RecordPeerRebuild(cells, items int64, cost pim.Stats, took time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.PeerRebuilds++
+	s.stats.RebuiltCells += cells
+	s.stats.PulledItems += items
+	s.stats.RebuildCost = s.stats.RebuildCost.Add(cost)
+	s.stats.RebuildTimeNS += took
 }
 
 // Stats returns the supervisor's aggregate counters.

@@ -86,6 +86,22 @@ func (b Box) Contains(p Point) bool {
 	return true
 }
 
+// ContainsHalfOpen reports whether p lies inside b under half-open
+// semantics: inclusive lower faces, exclusive upper faces. Partition cells
+// use this convention (a point exactly on a split plane belongs to the
+// right-hand cell), so half-open membership against a cell's box reproduces
+// the partitioner's Owner decision exactly, and disjoint cells tile space
+// with every finite point in exactly one cell (+Inf upper faces admit all
+// finite coordinates).
+func (b Box) ContainsHalfOpen(p Point) bool {
+	for i := range p {
+		if p[i] < b.Lo[i] || p[i] >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ContainsBox reports whether o lies entirely inside b.
 func (b Box) ContainsBox(o Box) bool {
 	for i := range b.Lo {

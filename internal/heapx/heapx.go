@@ -4,11 +4,17 @@
 // best-first (priority) kd-tree searches.
 package heapx
 
+import "pimkd/internal/geom"
+
 // Candidate is one kNN candidate: a squared distance plus an opaque payload
-// identifier (point index).
+// identifier (point index), optionally carrying the candidate's coordinates.
+// P may be nil on paths that never need it; when set it aliases the stored
+// point (callers must not mutate it). The canonical order ignores P, so a
+// candidate set is the same whether or not coordinates travel with it.
 type Candidate struct {
 	Dist2 float64
 	ID    int32
+	P     geom.Point
 }
 
 // Less is the canonical candidate order: ascending Dist2 with ties broken
@@ -68,7 +74,12 @@ const maxFloat = 1.797693134862315708145274237317043567981e+308
 // far in the canonical (Dist2, ID) order. It returns true if the candidate
 // was kept.
 func (b *KBest) Offer(dist2 float64, id int32) bool {
-	c := Candidate{dist2, id}
+	return b.OfferCand(Candidate{Dist2: dist2, ID: id})
+}
+
+// OfferCand is Offer with the full candidate, preserving any attached
+// coordinates through the heap.
+func (b *KBest) OfferCand(c Candidate) bool {
 	if len(b.heap) < b.k {
 		b.heap = append(b.heap, c)
 		b.siftUp(len(b.heap) - 1)

@@ -40,7 +40,7 @@ func (s *Service) submit(ctx context.Context, req *request) (reply, error) {
 		<-s.tokens
 		return reply{}, ErrClosed
 	}
-	key := batchKey{kind: req.kind, k: req.k, radiusBits: math.Float64bits(req.radius)}
+	key := batchKey{kind: req.kind, k: req.k, radiusBits: math.Float64bits(req.radius), unique: req.unique}
 	q := s.pending[key]
 	if q == nil {
 		q = &pendingQueue{}

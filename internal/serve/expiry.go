@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/heap"
+	"sort"
 
 	"pimkd/internal/core"
 )
@@ -57,4 +58,50 @@ func (h *expiryHeap) pushAll(es []expiryEntry) {
 	for _, e := range es {
 		heap.Push(h, e)
 	}
+}
+
+// entriesIn returns copies of the tracked entries selected by in (the
+// half-open cell-membership test), sorted by the canonical (item, deadline)
+// order peer-rebuild snapshots use. The heap is unchanged.
+func (h expiryHeap) entriesIn(in func(core.Item) bool) []expiryEntry {
+	var out []expiryEntry
+	for _, e := range h {
+		if in(e.item) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !core.ItemEq(out[i].item, out[j].item) {
+			return core.ItemLess(out[i].item, out[j].item)
+		}
+		return out[i].at < out[j].at
+	})
+	return out
+}
+
+// tracks reports whether an entry with exactly this (item, deadline) is
+// tracked. Linear scan: it backs the cluster's set-semantics ingest, whose
+// rate is bounded by the wire path, not the local batch path.
+func (h expiryHeap) tracks(item core.Item, at int64) bool {
+	for _, e := range h {
+		if e.at == at && core.ItemEq(e.item, item) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropUnless removes every tracked entry keep rejects and re-establishes
+// the heap invariant — the first half of a cell restore's expiry rebuild
+// (the second half pushes the snapshot's entries).
+func (h *expiryHeap) dropUnless(keep func(core.Item) bool) {
+	old := *h
+	out := old[:0]
+	for _, e := range old {
+		if keep(e.item) {
+			out = append(out, e)
+		}
+	}
+	*h = out
+	heap.Init(h)
 }

@@ -39,6 +39,15 @@ const (
 	// KindExpire sweeps tracked ingest entries whose deadline is ≤ the
 	// request's logical now, deleting them from the tree.
 	KindExpire
+	// KindSnapshotCell reads one partition cell's contents for peer rebuild:
+	// the canonically sorted multiset of items the half-open cell box owns,
+	// with parallel expiry deadlines.
+	KindSnapshotCell
+	// KindRestoreCell atomically replaces one partition cell's contents
+	// with a peer's snapshot (WAL-logged at execution time, like expire).
+	// Batches of this kind are labeled fault/rebuild/cell=N so the
+	// supervisor's metered accounting attributes rebuild cost exactly.
+	KindRestoreCell
 	numKinds
 )
 
@@ -62,6 +71,10 @@ func (k OpKind) String() string {
 		return "ingest"
 	case KindExpire:
 		return "expire"
+	case KindSnapshotCell:
+		return "snapshot-cell"
+	case KindRestoreCell:
+		return "restore-cell"
 	}
 	return "unknown"
 }
@@ -70,7 +83,7 @@ func (k OpKind) String() string {
 // may share a scheduling epoch; write batches never do.
 func (k OpKind) IsRead() bool {
 	switch k {
-	case KindLookup, KindKNN, KindRange, KindJoin, KindAggregate:
+	case KindLookup, KindKNN, KindRange, KindJoin, KindAggregate, KindSnapshotCell:
 		return true
 	}
 	return false
@@ -132,7 +145,20 @@ type request struct {
 	radius   float64    // join
 	expireAt int64      // ingest: logical TTL deadline
 	now      int64      // expire: logical sweep horizon
-	enq      time.Time
+	// unique selects set semantics for insert/ingest: the op is a no-op if
+	// an identical (ID, coordinates) item is already stored (and, for
+	// ingest, an identical deadline entry already tracked). The replicated
+	// cluster apply path uses this so a fanned write and a peer-rebuild
+	// restore of the same item cannot double-apply.
+	unique bool
+	// cell state for snapshot-cell / restore-cell (cell id travels in
+	// batchKey.k so distinct cells never coalesce). box holds the cell's
+	// half-open box; the rest is the restore payload.
+	items     []core.Item
+	deadlines []int64
+	orphans   []core.Item
+	orphanAts []int64
+	enq       time.Time
 
 	// ctx is the submitter's context. The executor consults it when the
 	// batch comes up for execution and drops requests whose callers have
@@ -159,6 +185,16 @@ type reply struct {
 	// expired is the number of tracked ingest entries this expire request
 	// swept (entries with deadline ≤ the request's now, popped this batch).
 	expired int
+	// deadlines parallels items for snapshot-cell replies (math.MinInt64
+	// sentinel = no TTL entry); orphans/orphanAts carry the cell's expiry
+	// entries whose item is no longer live.
+	deadlines []int64
+	orphans   []core.Item
+	orphanAts []int64
+	// changed reports whether a restore-cell actually modified the cell
+	// (false = the local copy already matched the peer snapshot — the
+	// rebuild convergence signal).
+	changed bool
 	info    BatchInfo
 	err     error
 }
@@ -172,6 +208,9 @@ type batchKey struct {
 	// radiusBits is the join radius's IEEE bits (float64 is not a valid
 	// map-key discriminator when NaN; radii are validated finite ≥ 0).
 	radiusBits uint64
+	// unique separates set-semantics insert/ingest batches from multiset
+	// ones: they execute (and WAL-log) differently, so they never coalesce.
+	unique bool
 }
 
 // batch is a sealed set of homogeneous requests ready for execution.

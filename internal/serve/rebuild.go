@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/shard"
+)
+
+// Rebuilder drives peer rebuild for one replicated shard: starting from
+// whatever local state survived (possibly nothing — a wiped data dir), it
+// pulls every hosted cell from a healthy peer replica over paginated
+// CellSnapshot frames and applies each via one atomic RestoreCell, looping
+// until a full pass changes nothing. Only then does it claim Synced, which
+// is what lets the router route reads here and what gates the HTTP
+// /readyz endpoint.
+//
+// Convergence under live writes: the router fans every write to all
+// replicas of its cell — including this one, whose wire listener is up for
+// the whole rebuild — and the cluster apply path is idempotent
+// (InsertUnique / ignore-absent Delete). So the boot gap this shard missed
+// while down is a frozen set only the snapshots can supply, while the live
+// stream lands here and on the source identically. A pass that applies an
+// empty diff for every cell therefore proves the local state equals the
+// source's acked state at the snapshot cut; writes in flight across the
+// cut apply idempotently on top on both sides.
+//
+// If no peer is both ready and synced for longer than Patience, the shard
+// serves its local state: on a cold cluster boot every replica starts
+// unsynced and would otherwise deadlock waiting on its peers.
+type Rebuilder struct {
+	svc *Service
+	cfg RebuildConfig
+
+	clients map[int]*shard.Client
+	synced  atomic.Bool
+
+	// mu guards gen and inflight as one transition: a run completing
+	// increments gen and clears inflight atomically, so OnResync's target
+	// arithmetic never sees a run both completed (gen counted) and still
+	// in flight (inflight set), or neither.
+	mu       sync.Mutex
+	gen      uint64 // completed convergence runs
+	inflight bool   // a run is currently executing
+
+	nudge chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// RebuildConfig wires a Rebuilder to its cluster slice.
+type RebuildConfig struct {
+	// Self is this shard's index; Peers[Self] is never dialed.
+	Self int
+	// Peers holds every shard's wire address, indexed by shard id. An
+	// empty address is skipped.
+	Peers []string
+	// Cells are the cell ids this shard hosts; CellBoxes are the matching
+	// half-open partition boxes.
+	Cells     []int
+	CellBoxes []geom.Box
+	// Replicas returns a cell's replica shards in placement order (primary
+	// first) — the pull-preference order.
+	Replicas func(cell int) []int
+	// Dim is the cluster dimensionality (for the wire handshake).
+	Dim int
+	// PageSize is the per-CellSnapshot page size in items (default 2048).
+	PageSize int
+	// Timeout bounds each wire call (default 5s).
+	Timeout time.Duration
+	// Patience is how long a convergence run keeps hunting for an eligible
+	// peer before serving local state (default 5s).
+	Patience time.Duration
+	// PassInterval is the pause between convergence passes (default 100ms):
+	// long enough for in-flight writes from the last pass's snapshot window
+	// to settle, short enough to converge quickly.
+	PassInterval time.Duration
+	// OnRebuilt, if set, observes each completed convergence run: how many
+	// cells were pulled, how many items arrived over the wire, the exact
+	// metered cost of the restore rounds (each labeled
+	// fault/rebuild/cell=N), and how long the run took. The server wires
+	// this to fault.Supervisor accounting.
+	OnRebuilt func(cells, items int64, cost pim.Stats, took time.Duration)
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// NewRebuilder starts the rebuild loop. The initial convergence run begins
+// immediately; Synced reports false until it completes.
+func NewRebuilder(svc *Service, cfg RebuildConfig) *Rebuilder {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 2048
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 5 * time.Second
+	}
+	if cfg.PassInterval <= 0 {
+		cfg.PassInterval = 100 * time.Millisecond
+	}
+	r := &Rebuilder{
+		svc:     svc,
+		cfg:     cfg,
+		clients: map[int]*shard.Client{},
+		nudge:   make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// Synced implements SyncState: the shard's sync claim and its generation.
+// The generation changes exactly when a convergence run completes, so a
+// router that fenced this shard as stale can tell a fresh convergence from
+// the shard merely still believing its pre-fence state.
+func (r *Rebuilder) Synced() (bool, uint64) {
+	r.mu.Lock()
+	gen := r.gen
+	r.mu.Unlock()
+	return r.synced.Load(), gen
+}
+
+// OnResync implements SyncState: it schedules another convergence run (the
+// router nudges a shard it has fenced as stale) and returns the generation
+// at which the nudge is proven served. A run already in flight may have
+// snapshotted its peers before whatever write the router saw this shard
+// miss, so the target is current generation + in-flight run (if any) + the
+// nudged run: any run starting after this call begins after the miss, and
+// the generation reaching the target proves such a run completed.
+func (r *Rebuilder) OnResync() (uint64, bool) {
+	r.mu.Lock()
+	target := r.gen + 1
+	if r.inflight {
+		target++
+	}
+	r.mu.Unlock()
+	select {
+	case r.nudge <- struct{}{}:
+	default: // one is already pending; it too starts after this call
+	}
+	return target, true
+}
+
+// Close stops the loop and releases the peer connections.
+func (r *Rebuilder) Close() {
+	close(r.stop)
+	<-r.done
+	for _, c := range r.clients {
+		c.Close()
+	}
+}
+
+func (r *Rebuilder) run() {
+	defer close(r.done)
+	r.convergeRun()
+	r.synced.Store(true)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.nudge:
+			// A nudge-resync keeps the synced claim (the router's stale
+			// fence keeps reads away until the generation changes, which
+			// only happens after this run converges).
+			r.convergeRun()
+		}
+	}
+}
+
+// convergeRun brackets converge with the (gen, inflight) bookkeeping
+// OnResync's target computation depends on: completing a run increments
+// the generation and clears the in-flight flag in one transition.
+func (r *Rebuilder) convergeRun() {
+	r.mu.Lock()
+	r.inflight = true
+	r.mu.Unlock()
+	r.converge()
+	r.mu.Lock()
+	r.gen++
+	r.inflight = false
+	r.mu.Unlock()
+}
+
+// hasPeers reports whether any hosted cell has a dialable peer replica.
+// Without one (standalone shard, or replication factor 1) there is nothing
+// to rebuild from and the shard serves its local state immediately instead
+// of waiting out Patience.
+func (r *Rebuilder) hasPeers() bool {
+	for _, cell := range r.cfg.Cells {
+		for _, p := range r.cfg.Replicas(cell) {
+			if p != r.cfg.Self && p >= 0 && p < len(r.cfg.Peers) && r.cfg.Peers[p] != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// converge loops rebuild passes until one full pass pulls every hosted
+// cell and changes nothing, or until Patience expires without a single
+// fully-pulled pass (no eligible peer: serve local state).
+func (r *Rebuilder) converge() {
+	if !r.hasPeers() {
+		// Standalone shard or replication factor 1: nothing to pull from,
+		// the local state is authoritative by definition.
+		return
+	}
+	start := time.Now()
+	deadline := start.Add(r.cfg.Patience)
+	var cells, items int64
+	var cost pim.Stats
+	for pass := 1; ; pass++ {
+		pulled, changed, pulledItems, passCost := r.pass()
+		cells += pulled
+		items += pulledItems
+		cost = cost.Add(passCost)
+		if pulled == int64(len(r.cfg.Cells)) {
+			if !changed {
+				r.logf("rebuild converged: pass %d clean (%d cells, %d items total, %v)",
+					pass, cells, items, time.Since(start).Round(time.Millisecond))
+				if r.cfg.OnRebuilt != nil {
+					r.cfg.OnRebuilt(cells, items, cost, time.Since(start))
+				}
+				return
+			}
+			deadline = time.Now().Add(r.cfg.Patience) // progress: keep going
+		} else if time.Now().After(deadline) {
+			r.logf("rebuild: no eligible peer for %v, serving local state (%d cells pulled)",
+				r.cfg.Patience, pulled)
+			if r.cfg.OnRebuilt != nil && cells > 0 {
+				r.cfg.OnRebuilt(cells, items, cost, time.Since(start))
+			}
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(r.cfg.PassInterval):
+		}
+	}
+}
+
+// pass pulls and restores every hosted cell once. It reports how many
+// cells were successfully pulled, whether any restore changed local state,
+// how many items arrived over the wire, and the metered cost of the
+// restore rounds.
+func (r *Rebuilder) pass() (pulled int64, changed bool, items int64, cost pim.Stats) {
+	for i, cell := range r.cfg.Cells {
+		select {
+		case <-r.stop:
+			return pulled, changed, items, cost
+		default:
+		}
+		snap, ok := r.pullCell(cell, r.cfg.CellBoxes[i])
+		if !ok {
+			continue
+		}
+		chg, info, err := r.svc.RestoreCell(context.Background(), cell, r.cfg.CellBoxes[i], snap)
+		if err != nil {
+			r.logf("rebuild: restore cell %d: %v", cell, err)
+			continue
+		}
+		pulled++
+		items += int64(len(snap.Items))
+		cost = cost.Add(info.Cost)
+		if chg {
+			changed = true
+		}
+	}
+	return pulled, changed, items, cost
+}
+
+// pullCell streams one cell from the first eligible peer in placement
+// order. A peer is eligible when its pong reports Ready and Synced. A wire
+// error mid-stream abandons that peer entirely — nothing has been applied,
+// so a torn stream can never leave a partially-restored cell.
+func (r *Rebuilder) pullCell(cell int, box geom.Box) (CellSnapshot, bool) {
+	for _, p := range r.cfg.Replicas(cell) {
+		if p == r.cfg.Self || p < 0 || p >= len(r.cfg.Peers) || r.cfg.Peers[p] == "" {
+			continue
+		}
+		c := r.client(p)
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+		pong, err := c.Ping(ctx)
+		cancel()
+		if err != nil || !pong.Ready || !pong.Synced {
+			continue
+		}
+		if snap, ok := r.pullFrom(c, cell, box); ok {
+			return snap, true
+		}
+	}
+	return CellSnapshot{}, false
+}
+
+// pullFrom paginates one cell off one peer. A Total that changes between
+// pages means the cell moved underneath the stream; the pull restarts from
+// offset 0 (bounded retries) rather than stitching inconsistent pages.
+func (r *Rebuilder) pullFrom(c *shard.Client, cell int, box geom.Box) (CellSnapshot, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var snap CellSnapshot
+		var total uint64
+		offset := uint64(0)
+		consistent := true
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			resp, err := c.CellSnapshot(ctx, cell, box, offset, r.cfg.PageSize)
+			cancel()
+			if err != nil {
+				r.logf("rebuild: snapshot cell %d from %s: %v", cell, c.Addr(), err)
+				return CellSnapshot{}, false
+			}
+			if offset == 0 {
+				total = resp.Total
+			} else if resp.Total != total {
+				consistent = false
+				break
+			}
+			snap.Items = append(snap.Items, resp.Items...)
+			snap.Deadlines = append(snap.Deadlines, resp.ExpireAts...)
+			offset += uint64(len(resp.Items))
+			if offset >= total {
+				snap.Orphans = resp.Orphans
+				snap.OrphanAts = resp.OrphanAts
+				return snap, true
+			}
+			if len(resp.Items) == 0 {
+				// The peer owes more items but sent none: treat as torn.
+				return CellSnapshot{}, false
+			}
+		}
+		if !consistent {
+			continue
+		}
+	}
+	r.logf("rebuild: cell %d kept changing under the stream, retrying later", cell)
+	return CellSnapshot{}, false
+}
+
+func (r *Rebuilder) client(p int) *shard.Client {
+	if c, ok := r.clients[p]; ok {
+		return c
+	}
+	c := shard.NewClient(r.cfg.Peers[p], r.cfg.Dim)
+	r.clients[p] = c
+	return c
+}
+
+func (r *Rebuilder) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Ensure Rebuilder satisfies the listener's sync surface.
+var _ SyncState = (*Rebuilder)(nil)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"pimkd/internal/core"
@@ -76,10 +77,10 @@ func (s *Service) execute(b *batch, epoch int64) {
 	// Durable-write mode: the batch becomes durable *before* it commits to
 	// the machine. If the append fails, the batch is refused in its
 	// entirety — no machine work, no partial state — and its callers see
-	// ErrPersist. Expire batches are the exception: their delete set is
-	// only known at execution time, so runBatch logs it itself (still
-	// before the commit).
-	if write && s.cfg.Persist != nil && b.key.kind != KindExpire {
+	// ErrPersist. Expire, restore-cell, and set-semantics (unique) batches
+	// are the exception: their applied sets are only known at execution
+	// time, so runBatch logs them itself (still before the commit).
+	if write && s.cfg.Persist != nil && b.key.kind != KindExpire && b.key.kind != KindRestoreCell && !b.key.unique {
 		if perr := s.logDurable(b); perr != nil {
 			for _, req := range b.reqs {
 				req.done <- reply{err: fmt.Errorf("%w: %v", ErrPersist, perr)}
@@ -93,8 +94,15 @@ func (s *Service) execute(b *batch, epoch int64) {
 	s.batchSeq++
 	// Scope every round this batch triggers under a batch-identifying
 	// label, so the tracer (or any observer) attributes per-round cost —
-	// stragglers included — to the exact batch that caused it.
-	pop := mach.PushLabel(fmt.Sprintf("serve/%s/batch=%d", b.key.kind, s.batchSeq))
+	// stragglers included — to the exact batch that caused it. Cell
+	// restores are labeled like the supervisor's module rebuilds
+	// (fault/recover/module=N) so peer-rebuild cost is attributed to the
+	// fault-tolerance budget, not the serving path.
+	label := fmt.Sprintf("serve/%s/batch=%d", b.key.kind, s.batchSeq)
+	if b.key.kind == KindRestoreCell {
+		label = fmt.Sprintf("fault/rebuild/cell=%d", b.key.k)
+	}
+	pop := mach.PushLabel(label)
 	pre := mach.SnapshotStats()
 	results, err := s.runBatchSafe(b)
 	// Transient machine faults on read-only batches are retried with
@@ -242,6 +250,14 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 		for i, req := range b.reqs {
 			items[i] = req.item
 		}
+		if b.key.unique {
+			applied, err := s.applyUnique(items)
+			if err != nil {
+				return nil, err
+			}
+			s.tree.BatchInsert(applied)
+			return make([]reply, n), nil
+		}
 		s.tree.BatchInsert(items)
 		return make([]reply, n), nil
 
@@ -281,6 +297,22 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 		items := make([]core.Item, n)
 		for i, req := range b.reqs {
 			items[i] = req.item
+		}
+		if b.key.unique {
+			applied, err := s.applyUnique(items)
+			if err != nil {
+				return nil, err
+			}
+			s.tree.BatchInsert(applied)
+			// Track a deadline only if no identical (item, deadline) entry
+			// exists — a restored snapshot may already carry it. Within-batch
+			// duplicates collapse the same way because push is incremental.
+			for _, req := range b.reqs {
+				if !s.expiry.tracks(req.item, req.expireAt) {
+					s.expiry.push(expiryEntry{at: req.expireAt, item: req.item})
+				}
+			}
+			return make([]reply, n), nil
 		}
 		s.tree.BatchInsert(items)
 		// Track deadlines only after the insert committed: a panicked
@@ -329,6 +361,205 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 			out[i].expired = c
 		}
 		return out, nil
+
+	case KindSnapshotCell:
+		out := make([]reply, n)
+		for i, req := range b.reqs {
+			items := s.cellItems(req.box)
+			entries := s.expiry.entriesIn(func(it core.Item) bool { return req.box.ContainsHalfOpen(it.P) })
+			// Attribute entries to live copies in canonical order; the
+			// leftovers are the cell's orphan entries. Both sides are
+			// sorted, so one merge walk assigns deterministically.
+			deadlines := make([]int64, len(items))
+			var orphans []core.Item
+			var orphanAts []int64
+			j := 0
+			for k := range items {
+				for j < len(entries) && core.ItemLess(entries[j].item, items[k]) {
+					orphans = append(orphans, entries[j].item)
+					orphanAts = append(orphanAts, entries[j].at)
+					j++
+				}
+				if j < len(entries) && core.ItemEq(entries[j].item, items[k]) {
+					deadlines[k] = entries[j].at
+					j++
+				} else {
+					deadlines[k] = math.MinInt64
+				}
+			}
+			for ; j < len(entries); j++ {
+				orphans = append(orphans, entries[j].item)
+				orphanAts = append(orphanAts, entries[j].at)
+			}
+			out[i] = reply{items: items, deadlines: deadlines, orphans: orphans, orphanAts: orphanAts}
+		}
+		return out, nil
+
+	case KindRestoreCell:
+		out := make([]reply, n)
+		for i, req := range b.reqs {
+			changed, err := s.restoreCell(req)
+			if err != nil {
+				return nil, err
+			}
+			out[i].changed = changed
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("serve: unknown batch kind %v", b.key.kind)
+}
+
+// applyUnique filters a set-semantics write batch down to the items that
+// are genuinely new — not already stored (exact ID + coordinates match)
+// and not duplicated within the batch — and WAL-logs exactly that subset
+// (set-semantics batches skip admission-time logging: replaying an insert
+// that execution skipped would double-apply it after recovery).
+func (s *Service) applyUnique(items []core.Item) ([]core.Item, error) {
+	present := s.tree.Contains(items)
+	applied := make([]core.Item, 0, len(items))
+	for i, it := range items {
+		if present[i] {
+			continue
+		}
+		dup := false
+		for _, a := range applied {
+			if core.ItemEq(a, it) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			applied = append(applied, it)
+		}
+	}
+	if s.cfg.Persist != nil && len(applied) > 0 {
+		if _, perr := s.cfg.Persist.LogBatch(persist.OpInsert, applied); perr != nil {
+			s.metrics.persistFailed()
+			return nil, fmt.Errorf("%w: %v", ErrPersist, perr)
+		}
+	}
+	return applied, nil
+}
+
+// cellItems returns a fresh, canonically sorted copy of the live items the
+// half-open cell box owns.
+func (s *Service) cellItems(cell geom.Box) []core.Item {
+	res := s.tree.RangeReport([]geom.Box{cell})[0]
+	items := make([]core.Item, 0, len(res))
+	for _, it := range res {
+		if cell.ContainsHalfOpen(it.P) {
+			items = append(items, it)
+		}
+	}
+	core.SortItems(items)
+	return items
+}
+
+// restoreCell replaces one cell's local state with a peer snapshot: the
+// tree multiset diff is WAL-logged (deletes then inserts) and applied, and
+// the cell's expiry entries are rebuilt from the snapshot. It reports
+// whether anything differed. A crash between the two WAL appends can
+// recover to an empty cell; that is safe because RestoreCell only runs on
+// a fenced (not in-sync) replica whose authoritative copy lives on its
+// peers — the next rebuild pass on boot re-pulls the cell.
+func (s *Service) restoreCell(req *request) (changed bool, err error) {
+	cur := s.cellItems(req.box)
+
+	// Canonicalize the desired state, keeping deadlines attached through
+	// the sort (ties order by deadline so the result is a pure function of
+	// the snapshot multiset).
+	type pair struct {
+		item core.Item
+		at   int64
+	}
+	desired := make([]pair, len(req.items))
+	for i := range req.items {
+		desired[i] = pair{req.items[i], req.deadlines[i]}
+	}
+	sort.Slice(desired, func(i, j int) bool {
+		if !core.ItemEq(desired[i].item, desired[j].item) {
+			return core.ItemLess(desired[i].item, desired[j].item)
+		}
+		return desired[i].at < desired[j].at
+	})
+	want := make([]core.Item, len(desired))
+	for i := range desired {
+		want[i] = desired[i].item
+	}
+
+	// Tree multiset diff (both sides sorted): what to delete, what to
+	// insert. Matching copies stay untouched, so a convergence re-pull of
+	// an already-synced cell does zero machine work and zero WAL traffic.
+	var dels, inss []core.Item
+	ci, di := 0, 0
+	for ci < len(cur) && di < len(want) {
+		switch {
+		case core.ItemEq(cur[ci], want[di]):
+			ci++
+			di++
+		case core.ItemLess(cur[ci], want[di]):
+			dels = append(dels, cur[ci])
+			ci++
+		default:
+			inss = append(inss, want[di])
+			di++
+		}
+	}
+	dels = append(dels, cur[ci:]...)
+	inss = append(inss, want[di:]...)
+
+	// Desired expiry entries: tracked live items plus the snapshot's
+	// orphans, in canonical (item, deadline) order.
+	var wantEntries []expiryEntry
+	for _, p := range desired {
+		if p.at != math.MinInt64 {
+			wantEntries = append(wantEntries, expiryEntry{at: p.at, item: p.item})
+		}
+	}
+	for i := range req.orphans {
+		wantEntries = append(wantEntries, expiryEntry{at: req.orphanAts[i], item: req.orphans[i]})
+	}
+	sort.Slice(wantEntries, func(i, j int) bool {
+		if !core.ItemEq(wantEntries[i].item, wantEntries[j].item) {
+			return core.ItemLess(wantEntries[i].item, wantEntries[j].item)
+		}
+		return wantEntries[i].at < wantEntries[j].at
+	})
+	curEntries := s.expiry.entriesIn(func(it core.Item) bool { return req.box.ContainsHalfOpen(it.P) })
+	entriesEqual := len(curEntries) == len(wantEntries)
+	for i := 0; entriesEqual && i < len(curEntries); i++ {
+		entriesEqual = curEntries[i].at == wantEntries[i].at && core.ItemEq(curEntries[i].item, wantEntries[i].item)
+	}
+
+	if len(dels) == 0 && len(inss) == 0 && entriesEqual {
+		return false, nil
+	}
+
+	// Log-before-commit for the diff. On failure nothing was applied; the
+	// cell is exactly its pre-restore self.
+	if s.cfg.Persist != nil {
+		if len(dels) > 0 {
+			if _, perr := s.cfg.Persist.LogBatch(persist.OpDelete, dels); perr != nil {
+				s.metrics.persistFailed()
+				return false, fmt.Errorf("%w: %v", ErrPersist, perr)
+			}
+		}
+		if len(inss) > 0 {
+			if _, perr := s.cfg.Persist.LogBatch(persist.OpInsert, inss); perr != nil {
+				s.metrics.persistFailed()
+				return false, fmt.Errorf("%w: %v", ErrPersist, perr)
+			}
+		}
+	}
+	if len(dels) > 0 {
+		s.tree.BatchDelete(dels)
+	}
+	if len(inss) > 0 {
+		s.tree.BatchInsert(inss)
+	}
+	if !entriesEqual {
+		s.expiry.dropUnless(func(it core.Item) bool { return !req.box.ContainsHalfOpen(it.P) })
+		s.expiry.pushAll(wantEntries)
+	}
+	return true, nil
 }

@@ -204,6 +204,20 @@ func (s *Service) Insert(ctx context.Context, item core.Item) (BatchInfo, error)
 	return rep.info, err
 }
 
+// InsertUnique adds item with set semantics: a no-op if an identical
+// (ID, coordinates) item is already stored. The replicated cluster apply
+// path uses this — together with Delete's ignore-absent semantics it makes
+// every fanned write idempotent, so a write racing a peer-rebuild restore
+// of the same cell can never double-apply. Local (single-shard) callers
+// keep the multiset Insert.
+func (s *Service) InsertUnique(ctx context.Context, item core.Item) (BatchInfo, error) {
+	if err := s.checkPoint(item.P); err != nil {
+		return BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindInsert, item: item, unique: true})
+	return rep.info, err
+}
+
 // Delete removes the item matching item's coordinates and ID; absent items
 // are silently ignored (BatchDelete semantics).
 func (s *Service) Delete(ctx context.Context, item core.Item) (BatchInfo, error) {
@@ -259,6 +273,18 @@ func (s *Service) Ingest(ctx context.Context, item core.Item, expireAt int64) (B
 	return rep.info, err
 }
 
+// IngestUnique is Ingest with set semantics: the insert is skipped if an
+// identical item is already stored, and the deadline is tracked only if no
+// identical (item, deadline) entry exists. The cluster apply path's
+// idempotent form of Ingest (see InsertUnique).
+func (s *Service) IngestUnique(ctx context.Context, item core.Item, expireAt int64) (BatchInfo, error) {
+	if err := s.checkPoint(item.P); err != nil {
+		return BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindIngest, item: item, expireAt: expireAt, unique: true})
+	return rep.info, err
+}
+
 // Expire sweeps every tracked ingest entry with deadline ≤ now, deleting
 // the swept items from the tree as one write batch (WAL-logged before
 // commit in durable mode). It returns the number of entries this request
@@ -268,6 +294,80 @@ func (s *Service) Ingest(ctx context.Context, item core.Item, expireAt int64) (B
 func (s *Service) Expire(ctx context.Context, now int64) (int, BatchInfo, error) {
 	rep, err := s.submit(ctx, &request{kind: KindExpire, now: now})
 	return rep.expired, rep.info, err
+}
+
+// CellSnapshot is one partition cell's full replication state: the
+// canonically sorted live multiset the half-open cell box owns with
+// parallel expiry deadlines (math.MinInt64 = not expiry-tracked), plus the
+// cell's orphan expiry entries — TTL entries whose item was since deleted
+// through the plain delete path but which a future Expire sweep still pops
+// and counts. Restoring both on a peer makes every later answer of the
+// rebuilt replica, sweep counts included, bit-identical to the source.
+type CellSnapshot struct {
+	Items     []core.Item
+	Deadlines []int64
+	Orphans   []core.Item
+	OrphanAts []int64
+}
+
+// SnapshotCell reads the cell's replication state as one consistent cut:
+// executed on the executor, no write batch interleaves it. cellID only
+// namespaces batching so different cells never coalesce; the box is
+// authoritative (inclusive lower faces, exclusive upper faces — the
+// partition's ownership convention).
+func (s *Service) SnapshotCell(ctx context.Context, cellID int, cell geom.Box) (CellSnapshot, BatchInfo, error) {
+	if err := s.checkCell(cellID, cell); err != nil {
+		return CellSnapshot{}, BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindSnapshotCell, k: cellID, box: cell})
+	snap := CellSnapshot{Items: rep.items, Deadlines: rep.deadlines, Orphans: rep.orphans, OrphanAts: rep.orphanAts}
+	return snap, rep.info, err
+}
+
+// RestoreCell atomically replaces the cell's local contents with a peer
+// snapshot: every local item the half-open cell box owns is deleted and
+// the snapshot items inserted as one write batch, WAL-logged at execution
+// time before commit (so a torn rebuild stream that never reaches this
+// call leaves the cell untouched, and a crash mid-restore recovers to one
+// side or the other, never a mix). Expiry tracking for the cell — orphan
+// entries included — is rebuilt from the snapshot. The returned changed
+// flag is false when the local copy already matched, the rebuild
+// convergence signal. The snapshot need not be sorted; the executor
+// canonicalizes.
+func (s *Service) RestoreCell(ctx context.Context, cellID int, cell geom.Box, snap CellSnapshot) (bool, BatchInfo, error) {
+	if err := s.checkCell(cellID, cell); err != nil {
+		return false, BatchInfo{}, err
+	}
+	if len(snap.Items) != len(snap.Deadlines) || len(snap.Orphans) != len(snap.OrphanAts) {
+		return false, BatchInfo{}, fmt.Errorf("serve: restore of %d/%d items with %d/%d deadlines",
+			len(snap.Items), len(snap.Deadlines), len(snap.Orphans), len(snap.OrphanAts))
+	}
+	for _, set := range [][]core.Item{snap.Items, snap.Orphans} {
+		for i := range set {
+			if err := s.checkPoint(set[i].P); err != nil {
+				return false, BatchInfo{}, err
+			}
+			if !cell.ContainsHalfOpen(set[i].P) {
+				return false, BatchInfo{}, fmt.Errorf("serve: restore item %d outside cell %d", set[i].ID, cellID)
+			}
+		}
+	}
+	rep, err := s.submit(ctx, &request{
+		kind: KindRestoreCell, k: cellID, box: cell,
+		items: snap.Items, deadlines: snap.Deadlines,
+		orphans: snap.Orphans, orphanAts: snap.OrphanAts,
+	})
+	return rep.changed, rep.info, err
+}
+
+func (s *Service) checkCell(cellID int, cell geom.Box) error {
+	if cellID < 0 {
+		return fmt.Errorf("serve: negative cell id %d", cellID)
+	}
+	if cell.Dim() != s.tree.Dim() {
+		return fmt.Errorf("serve: cell dimension %d, tree dimension %d", cell.Dim(), s.tree.Dim())
+	}
+	return nil
 }
 
 // TreeSize returns the live item count without touching the executor-owned

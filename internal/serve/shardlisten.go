@@ -9,6 +9,7 @@ import (
 
 	"pimkd/internal/core"
 	"pimkd/internal/heapx"
+	"pimkd/internal/mathx"
 	"pimkd/internal/shard"
 )
 
@@ -25,6 +26,10 @@ type ShardListener struct {
 	// running) pings answer Ready=false and data requests are refused with
 	// CodeNotReady. nil means always ready.
 	ready func() bool
+	// syncst reports the shard's replication sync state and accepts resync
+	// nudges. nil means permanently synced at generation 0 — correct for a
+	// standalone shard with no peers to rebuild from.
+	syncst SyncState
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -32,10 +37,26 @@ type ShardListener struct {
 	wg     sync.WaitGroup
 }
 
+// SyncState is the replication sync surface a shard exposes over the wire:
+// whether it holds every acked write of its hosted cells (pongs carry the
+// claim plus a generation that increments on each completed convergence
+// pass), and a hook for the router to nudge a fenced-as-stale shard into
+// another peer-rebuild pass.
+type SyncState interface {
+	// Synced returns the shard's own sync claim and its generation.
+	Synced() (bool, uint64)
+	// OnResync asks for another convergence pass. It returns the sync
+	// generation that proves a pass begun after this call has completed
+	// (so the caller can wait out a pass that was already in flight), and
+	// whether a pass was scheduled.
+	OnResync() (uint64, bool)
+}
+
 // NewShardListener starts serving the shard wire protocol on ln. The
-// listener owns ln; Close closes it and every live connection.
-func NewShardListener(svc *Service, ln net.Listener, ready func() bool) *ShardListener {
-	sl := &ShardListener{svc: svc, ln: ln, ready: ready, conns: map[net.Conn]struct{}{}}
+// listener owns ln; Close closes it and every live connection. syncst may
+// be nil (standalone shard: always synced, never resyncs).
+func NewShardListener(svc *Service, ln net.Listener, ready func() bool, syncst SyncState) *ShardListener {
+	sl := &ShardListener{svc: svc, ln: ln, ready: ready, syncst: syncst, conns: map[net.Conn]struct{}{}}
 	sl.wg.Add(1)
 	go sl.acceptLoop()
 	return sl
@@ -119,13 +140,35 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 // (possibly a *shard.RemoteError).
 func (sl *ShardListener) dispatch(m any) any {
 	ready := sl.isReady()
-	if _, ok := m.(shard.Ping); !ok && !ready {
-		return &shard.RemoteError{Code: shard.CodeNotReady, Msg: "recovery in progress"}
+	// Ping, cell snapshots, and resync nudges are exempt from the ready
+	// gate: a recovering shard must still report status and serve rebuild
+	// pulls from its durable state, and a fenced shard must accept nudges.
+	switch m.(type) {
+	case shard.Ping, shard.CellSnapshotReq, shard.ResyncReq:
+	default:
+		if !ready {
+			return &shard.RemoteError{Code: shard.CodeNotReady, Msg: "recovery in progress"}
+		}
+	}
+	// While the shard is rebuilding it must keep absorbing writes (the
+	// router fans every write to all replicas so the live stream converges)
+	// and answering pings, nudges, and stats — but it must refuse anything
+	// whose answer depends on holding the complete cell contents: reads,
+	// expiry sweeps, and snapshot serving. The router plans around synced
+	// replicas, so this gate only fires when its view is momentarily stale;
+	// refusing keeps every served answer exact.
+	switch m.(type) {
+	case shard.Ping, shard.ResyncReq, shard.UpdateReq, shard.IngestReq, shard.StatsReq:
+	default:
+		if synced, _ := sl.syncState(); !synced {
+			return &shard.RemoteError{Code: shard.CodeNotReady, Msg: "replica rebuilding, not in sync"}
+		}
 	}
 	ctx := context.Background()
 	switch req := m.(type) {
 	case shard.Ping:
-		return shard.Pong{Ready: ready, Size: sl.svc.TreeSize()}
+		synced, gen := sl.syncState()
+		return shard.Pong{Ready: ready, Size: sl.svc.TreeSize(), Synced: synced, SyncGen: gen}
 
 	case shard.KNNReq:
 		results := make([][]heapx.Candidate, len(req.Points))
@@ -152,12 +195,17 @@ func (sl *ShardListener) dispatch(m any) any {
 		return shard.RangeResp{Results: results}
 
 	case shard.UpdateReq:
+		// Cluster writes are idempotent (set semantics): the router fans
+		// each write to every replica of its cell, and a replica mid-rebuild
+		// may receive an item both from the live stream and from a restored
+		// peer snapshot. InsertUnique/ignore-absent-Delete make the second
+		// application a no-op, so the race cannot double-apply.
 		err := sl.scatter(len(req.Items), func(i int) error {
 			if req.Delete {
 				_, err := sl.svc.Delete(ctx, req.Items[i])
 				return err
 			}
-			_, err := sl.svc.Insert(ctx, req.Items[i])
+			_, err := sl.svc.InsertUnique(ctx, req.Items[i])
 			return err
 		})
 		if err != nil {
@@ -196,7 +244,7 @@ func (sl *ShardListener) dispatch(m any) any {
 			return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "ingest deadline count mismatch"}
 		}
 		err := sl.scatter(len(req.Items), func(i int) error {
-			_, err := sl.svc.Ingest(ctx, req.Items[i], req.ExpireAts[i])
+			_, err := sl.svc.IngestUnique(ctx, req.Items[i], req.ExpireAts[i])
 			return err
 		})
 		if err != nil {
@@ -228,8 +276,75 @@ func (sl *ShardListener) dispatch(m any) any {
 			resp.Kinds = append(resp.Kinds, kl)
 		}
 		return resp
+
+	case shard.CellSnapshotReq:
+		snap, _, err := sl.svc.SnapshotCell(ctx, req.Cell, req.Box)
+		if err != nil {
+			return remoteError(err)
+		}
+		total := uint64(len(snap.Items))
+		lo := req.Offset
+		if lo > total {
+			lo = total
+		}
+		hi := total
+		if req.Limit > 0 && lo+uint64(req.Limit) < hi {
+			hi = lo + uint64(req.Limit)
+		}
+		resp := shard.CellSnapshotResp{
+			Total:     total,
+			Items:     snap.Items[lo:hi],
+			ExpireAts: snap.Deadlines[lo:hi],
+		}
+		if hi == total {
+			// Final page: orphaned expiry entries ride along so the puller
+			// can reproduce the expiry heap exactly.
+			resp.Orphans = snap.Orphans
+			resp.OrphanAts = snap.OrphanAts
+		}
+		return resp
+
+	case shard.ResyncReq:
+		if sl.syncst == nil {
+			// Standalone shard: nothing to resync from; the router must not
+			// wait on a generation that will never advance.
+			return shard.ResyncResp{Started: false}
+		}
+		target, started := sl.syncst.OnResync()
+		return shard.ResyncResp{Started: started, Target: target}
+
+	case shard.AggCellsReq:
+		items, _, err := sl.svc.Range(ctx, req.Box)
+		if err != nil {
+			return remoteError(err)
+		}
+		// Accumulate only the items owned by this shard's assigned cells.
+		// ExactSum is order-independent, so filtering then adding per item
+		// merges bit-identically with the other shards' partials.
+		agg := core.BoxAggregate{Sums: make([]mathx.ExactSum, sl.svc.Dim())}
+		for _, it := range items {
+			for _, cell := range req.Cells {
+				if cell.ContainsHalfOpen(it.P) {
+					agg.Count++
+					for d := range it.P {
+						agg.Sums[d].Add(it.P[d])
+					}
+					break
+				}
+			}
+		}
+		return shard.AggResp{Results: []core.BoxAggregate{agg}}
 	}
 	return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "unexpected request type"}
+}
+
+// syncState answers the pong's sync fields: the hook's claim, or the
+// standalone default (synced at generation 0) when no hook is installed.
+func (sl *ShardListener) syncState() (bool, uint64) {
+	if sl.syncst == nil {
+		return true, 0
+	}
+	return sl.syncst.Synced()
 }
 
 // scatter runs n sub-operations concurrently (so they coalesce in the

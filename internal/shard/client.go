@@ -277,6 +277,61 @@ func (c *Client) Expire(ctx context.Context, now int64) (int64, error) {
 	return r.Expired, nil
 }
 
+// AggregateCells returns the shard's windowed aggregate over box
+// restricted to the union of the given half-open cells — the
+// replication-aware aggregate: the router sends each shard only the cells
+// it assigned to that shard, so summing partials counts every item once.
+func (c *Client) AggregateCells(ctx context.Context, box geom.Box, cells []geom.Box) (core.BoxAggregate, error) {
+	resp, err := c.roundTrip(ctx, AggCellsReq{Box: box, Cells: cells})
+	if err != nil {
+		return core.BoxAggregate{}, err
+	}
+	r, ok := resp.(AggResp)
+	if !ok {
+		return core.BoxAggregate{}, fmt.Errorf("%w: aggregate-cells answered with %T", ErrWire, resp)
+	}
+	if len(r.Results) != 1 {
+		return core.BoxAggregate{}, fmt.Errorf("%w: aggregate-cells answered %d results, want 1", ErrWire, len(r.Results))
+	}
+	return r.Results[0], nil
+}
+
+// CellSnapshot fetches one page of a peer's copy of a cell: the canonical
+// sorted multiset of items the half-open cell box owns, with parallel
+// expiry deadlines, sliced at [offset, offset+limit) (limit 0 = the rest).
+func (c *Client) CellSnapshot(ctx context.Context, cell int, box geom.Box, offset uint64, limit int) (CellSnapshotResp, error) {
+	resp, err := c.roundTrip(ctx, CellSnapshotReq{Cell: cell, Box: box, Offset: offset, Limit: limit})
+	if err != nil {
+		return CellSnapshotResp{}, err
+	}
+	r, ok := resp.(CellSnapshotResp)
+	if !ok {
+		return CellSnapshotResp{}, fmt.Errorf("%w: cell snapshot answered with %T", ErrWire, resp)
+	}
+	if len(r.Items) != len(r.ExpireAts) || len(r.Orphans) != len(r.OrphanAts) {
+		return CellSnapshotResp{}, fmt.Errorf("%w: cell snapshot %d/%d items, %d/%d deadlines",
+			ErrWire, len(r.Items), len(r.ExpireAts), len(r.Orphans), len(r.OrphanAts))
+	}
+	return r, nil
+}
+
+// Resync asks the shard to run another peer-rebuild convergence pass (the
+// router sends this when it fenced the shard as stale but the shard still
+// self-reports synced). It returns whether a pass was scheduled and the
+// sync generation at which the nudge is proven served: the router keeps
+// the shard fenced until its pong generation reaches target.
+func (c *Client) Resync(ctx context.Context) (bool, uint64, error) {
+	resp, err := c.roundTrip(ctx, ResyncReq{})
+	if err != nil {
+		return false, 0, err
+	}
+	r, ok := resp.(ResyncResp)
+	if !ok {
+		return false, 0, fmt.Errorf("%w: resync answered with %T", ErrWire, resp)
+	}
+	return r.Started, r.Target, nil
+}
+
 // Stats fetches the shard's per-kind latency histograms in sparse form.
 func (c *Client) Stats(ctx context.Context) (StatsResp, error) {
 	resp, err := c.roundTrip(ctx, StatsReq{})

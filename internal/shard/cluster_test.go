@@ -69,7 +69,7 @@ func startShard(t *testing.T, dim int, seed int64, dir, addr string) *testShard 
 	return &testShard{
 		addr:  ln.Addr().String(),
 		svc:   svc,
-		ln:    serve.NewShardListener(svc, ln, nil),
+		ln:    serve.NewShardListener(svc, ln, nil, nil),
 		store: store,
 		tree:  tree,
 	}
@@ -252,10 +252,12 @@ func itemBefore(a, b core.Item) bool {
 	return a.Priority < b.Priority
 }
 
-// TestClusterShardKillRestart: the router survives losing a durable shard
-// mid-run — degraded (503-class errors, writes refused, never falsely
-// acked) while the shard is down, exact again after it restarts on the
-// same address, with zero acked updates lost.
+// TestClusterShardKillRestart: at replication factor 1 (single-copy
+// cells, no failover possible) the router survives losing a durable
+// shard mid-run — degraded (503-class errors, writes refused, never
+// falsely acked) while the shard is down, exact again after it restarts
+// on the same address, with zero acked updates lost. The replicated
+// failover path is covered by TestClusterReplicatedFailover.
 func TestClusterShardKillRestart(t *testing.T) {
 	const (
 		dim    = 2
@@ -283,6 +285,7 @@ func TestClusterShardKillRestart(t *testing.T) {
 		Timeout:       500 * time.Millisecond,
 		ProbeInterval: 25 * time.Millisecond,
 		FailThreshold: 2,
+		Replication:   1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -47,7 +47,9 @@ type wireItem struct {
 //	GET  /readyz
 //
 // /shardz mirrors each shard's per-kind latency quantiles (fetched live
-// over the wire) plus the cluster-wide bucket-merged quantiles.
+// over the wire), the cluster-wide bucket-merged quantiles, and the
+// per-cell replica health rows (home primary, acting primary, each
+// replica's health/sync/stale state).
 //
 // Data responses carry a "fanout" block (scattered vs pruned shards) in
 // place of the single-server "batch" block. Degraded answers are never
@@ -64,6 +66,7 @@ func NewHandler(r *Router) http.Handler {
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
 		m := r.Metrics()
 		if m.HealthyShards == 0 {
+			w.Header().Set("Retry-After", "1")
 			http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
 			return
 		}
@@ -86,18 +89,23 @@ func NewHandler(r *Router) http.Handler {
 		}
 		perShard, cluster := r.Latency(req.Context())
 		writeJSON(w, struct {
-			Healthy    int           `json:"healthy"`
-			Total      int           `json:"total"`
-			Rebalance  []int         `json:"rebalance_candidates"`
-			Shards     []ShardStatus `json:"shards"`
-			DriftLimit float64       `json:"drift_threshold"`
+			Healthy     int           `json:"healthy"`
+			Total       int           `json:"total"`
+			Replication int           `json:"replication"`
+			Rebalance   []int         `json:"rebalance_candidates"`
+			Shards      []ShardStatus `json:"shards"`
+			// Cells is the per-cell replica health view: home primary, acting
+			// primary (-1 when the cell has no eligible replica and is
+			// unavailable), and each replica's health/sync/stale state.
+			Cells      []CellStatus `json:"cells"`
+			DriftLimit float64      `json:"drift_threshold"`
 			// Latency quantiles, per shard and cluster-merged. The merge is
 			// bucket-wise over the shards' wire histograms, so the cluster
 			// quantiles equal one histogram over every observation.
 			Latency        []ShardLatency  `json:"latency"`
 			ClusterLatency []KindQuantiles `json:"cluster_latency"`
-		}{healthy, len(st), RebalanceCandidates(counts, r.cfg.DriftThreshold), st,
-			r.cfg.DriftThreshold, perShard, cluster})
+		}{healthy, len(st), r.Replication(), RebalanceCandidates(counts, r.cfg.DriftThreshold), st,
+			r.Cells(), r.cfg.DriftThreshold, perShard, cluster})
 	})
 
 	mux.HandleFunc("/knn", func(w http.ResponseWriter, req *http.Request) {
@@ -327,21 +335,28 @@ func pointParam(w http.ResponseWriter, r *http.Request, name string) (geom.Point
 // okReply maps router errors onto HTTP statuses; returns false when a
 // status was written. A degraded cluster (or a shard refusing because it is
 // overloaded/not ready) is 503 — retryable, never a silent partial answer.
+// Every 503 carries a Retry-After hint, matching the single-server shed
+// path: degradation is transient (a probe revives or a replica resyncs
+// within ~a probe interval), so clients should come back, not give up.
 // A request whose own deadline expired is 504.
 func okReply(w http.ResponseWriter, err error) bool {
 	var re *RemoteError
 	var ne net.Error
+	retryable := func() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
 	switch {
 	case err == nil:
 		return true
 	case errors.Is(err, ErrDegraded):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		retryable()
 	case errors.As(err, &re) && re.Retryable():
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		retryable()
 	case errors.As(err, &ne):
 		// Transport failure mid-transition (a shard died but the prober has
 		// not excluded it yet) — retryable, same as a degraded answer.
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		retryable()
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	default:

@@ -1,5 +1,6 @@
 // Package shard is the multi-process clustering layer: a spatial
-// partitioner that kd-splits the space into one cell per shard, a compact
+// partitioner that kd-splits the space into one cell per shard index, a
+// replica placement that maps every cell onto R distinct shards, a compact
 // binary wire protocol for the inter-node path (JSON marshaling dominates
 // at production QPS), and a scatter/gather Router that runs N pimkd-server
 // shards as one logical index.
@@ -8,11 +9,22 @@
 // uses: the space is recursively halved (by sample quantile when a sample
 // is given, by midpoint otherwise) until there is one cell per shard.
 // Ownership is decided by walking the split comparisons, so every point of
-// R^d has exactly one owner even outside the nominal bounds — the outer
-// cells extend to infinity. Cell boxes are kept for distance pruning:
-// a kNN query only visits shards whose cell can still beat the current
-// k-th candidate, and a range query only visits shards whose cell
-// intersects the box.
+// R^d has exactly one owning cell even outside the nominal bounds — the
+// outer cells extend to infinity. Cell boxes are kept for distance pruning:
+// a kNN query only visits cells that can still beat the current k-th
+// candidate, and a range query only visits cells that intersect the box.
+//
+// Replication (Placement) stores cell i on shards i, i+1, …, i+R−1 (mod
+// S). The first replica is the cell's home primary and the list order is
+// the deterministic failover order: the acting primary at any moment is
+// the first healthy in-sync replica. Each shard therefore hosts R cells in
+// one tree. Reads are planned per cell — every needed cell must be covered
+// by an in-sync replica, failing over down the replica list — and because
+// the replicated state is a set keyed (ID, P), the router merges shard
+// answers by canonical sort + exact-duplicate removal, which keeps every
+// answer a pure function of the point set. Only windowed aggregation
+// (whose sums cannot be deduplicated after the fact) assigns each cell to
+// exactly one replica and filters shard-side by cell ownership.
 package shard
 
 import (
@@ -166,6 +178,68 @@ func splitValue(lo, hi, frac float64, axis int, sample []geom.Point) float64 {
 		}
 	}
 	return v
+}
+
+// Placement maps partition cells onto replica shards. Cell i lives on
+// shards i, i+1, …, i+R−1 (mod S): the first entry is the cell's home
+// primary and the list order is the deterministic failover order. R is
+// clamped to S (a cell cannot have two copies on one shard), and every
+// shard hosts exactly R cells, so load stays uniform under uniform data.
+// Placement is pure arithmetic shared by the router and the shard-side
+// peer-rebuild orchestrator — both derive identical replica sets from
+// (S, R) with no coordination.
+type Placement struct {
+	shards int
+	r      int
+}
+
+// NewPlacement builds the placement for shards shards at replication
+// factor r. r < 1 defaults to 1; r > shards is clamped to shards.
+func NewPlacement(shards, r int) Placement {
+	if r < 1 {
+		r = 1
+	}
+	if r > shards {
+		r = shards
+	}
+	return Placement{shards: shards, r: r}
+}
+
+// Replication returns the effective replication factor.
+func (pl Placement) Replication() int { return pl.r }
+
+// Replicas returns cell's replica shards, primary first, in deterministic
+// failover order.
+func (pl Placement) Replicas(cell int) []int {
+	out := make([]int, pl.r)
+	for j := 0; j < pl.r; j++ {
+		out[j] = (cell + j) % pl.shards
+	}
+	return out
+}
+
+// Primary returns cell's home primary shard.
+func (pl Placement) Primary(cell int) int { return cell % pl.shards }
+
+// CellsOf returns the cells hosted on shard, in ascending cell order.
+// Shard s hosts cell c iff s ∈ Replicas(c), i.e. c ∈ {s−R+1, …, s} mod S.
+func (pl Placement) CellsOf(shard int) []int {
+	out := make([]int, 0, pl.r)
+	for c := 0; c < pl.shards; c++ {
+		if pl.Hosts(c, shard) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Hosts reports whether shard stores a replica of cell.
+func (pl Placement) Hosts(cell, shard int) bool {
+	d := (shard - cell) % pl.shards
+	if d < 0 {
+		d += pl.shards
+	}
+	return d < pl.r
 }
 
 // DriftRatios returns each shard's point count divided by the mean count —

@@ -178,3 +178,58 @@ func TestDriftAndRebalance(t *testing.T) {
 		t.Fatalf("all-zero counts: %v", got)
 	}
 }
+
+// TestPlacement: replica placement is pure arithmetic with three contracts —
+// every cell gets R distinct shards with its primary first, every shard
+// hosts exactly R cells, and Hosts/Replicas/CellsOf are mutually consistent.
+func TestPlacement(t *testing.T) {
+	if got := NewPlacement(3, 0).Replication(); got != 1 {
+		t.Fatalf("r=0 clamps to %d, want 1", got)
+	}
+	if got := NewPlacement(3, -2).Replication(); got != 1 {
+		t.Fatalf("r=-2 clamps to %d, want 1", got)
+	}
+	if got := NewPlacement(3, 7).Replication(); got != 3 {
+		t.Fatalf("r=7 at 3 shards clamps to %d, want 3", got)
+	}
+	for _, tc := range []struct{ s, r int }{{1, 1}, {1, 2}, {2, 2}, {3, 1}, {3, 2}, {5, 3}, {8, 2}} {
+		pl := NewPlacement(tc.s, tc.r)
+		r := pl.Replication()
+		for c := 0; c < tc.s; c++ {
+			reps := pl.Replicas(c)
+			if len(reps) != r {
+				t.Fatalf("S=%d R=%d cell %d: %d replicas, want %d", tc.s, tc.r, c, len(reps), r)
+			}
+			if reps[0] != pl.Primary(c) || pl.Primary(c) != c%tc.s {
+				t.Fatalf("S=%d R=%d cell %d: replicas %v, primary %d", tc.s, tc.r, c, reps, pl.Primary(c))
+			}
+			seen := map[int]bool{}
+			for _, rep := range reps {
+				if rep < 0 || rep >= tc.s || seen[rep] {
+					t.Fatalf("S=%d R=%d cell %d: bad replica list %v", tc.s, tc.r, c, reps)
+				}
+				seen[rep] = true
+			}
+			for sh := 0; sh < tc.s; sh++ {
+				if pl.Hosts(c, sh) != seen[sh] {
+					t.Fatalf("S=%d R=%d: Hosts(%d,%d)=%v disagrees with Replicas %v",
+						tc.s, tc.r, c, sh, pl.Hosts(c, sh), reps)
+				}
+			}
+		}
+		for sh := 0; sh < tc.s; sh++ {
+			cells := pl.CellsOf(sh)
+			if len(cells) != r {
+				t.Fatalf("S=%d R=%d shard %d hosts %v, want exactly %d cells", tc.s, tc.r, sh, cells, r)
+			}
+			for i, c := range cells {
+				if i > 0 && cells[i-1] >= c {
+					t.Fatalf("S=%d R=%d shard %d: CellsOf not ascending: %v", tc.s, tc.r, sh, cells)
+				}
+				if !pl.Hosts(c, sh) {
+					t.Fatalf("S=%d R=%d: CellsOf(%d) lists %d but Hosts disagrees", tc.s, tc.r, sh, c)
+				}
+			}
+		}
+	}
+}

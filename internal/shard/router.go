@@ -15,31 +15,37 @@ import (
 	"pimkd/internal/heapx"
 )
 
-// ErrDegraded is returned when an exact answer requires a shard that is
-// currently unhealthy (or failed mid-query). The router never silently
-// returns a partial answer: a query either is provably exact — every
-// skipped shard's cell strictly farther than the k-th candidate, every
-// intersecting shard reached — or it fails with this error. The HTTP layer
-// maps it to 503.
-var ErrDegraded = errors.New("shard: cluster degraded, required shard unavailable")
+// ErrDegraded is returned when an exact answer (or a durable ack) requires
+// a replica that is currently unavailable. The router never silently
+// returns a partial answer and never pretends an unacked write succeeded:
+// a query either is provably exact — every skipped cell strictly farther
+// than the k-th candidate, every needed cell covered by an in-sync replica
+// — or it fails with this error. The HTTP layer maps it to 503.
+var ErrDegraded = errors.New("shard: cluster degraded, required replica unavailable")
 
 // Config parameterizes a Router. The zero value is usable; defaults are
 // filled in by NewRouter.
 type Config struct {
+	// Replication is the number of copies of every cell (primary + R-1
+	// replicas on the following shards). Default 2; clamped to the shard
+	// count. 1 disables replication (single-copy cells, no failover).
+	Replication int
 	// Timeout bounds each per-shard call (dial + round trip). Default 2s.
 	Timeout time.Duration
 	// HedgeDelay launches a second identical attempt for read calls that
 	// have not answered within this delay; the first success wins. Updates
-	// are never hedged (a duplicate insert is not idempotent). Default
+	// are never hedged (set semantics make a duplicate harmless, but a
+	// hedge could ack a write the failure path then reports lost). Default
 	// Timeout/4; negative disables hedging.
 	HedgeDelay time.Duration
 	// FailThreshold is how many consecutive transport failures mark a
-	// shard unhealthy (excluded from scatter until a probe revives it).
+	// shard unhealthy (excluded from fan-out until a probe revives it).
 	// Default 3.
 	FailThreshold int
 	// ProbeInterval is the health-probe cadence: every interval the router
-	// pings every shard, reviving recovered ones and refreshing live point
-	// counts. Default 500ms.
+	// pings every shard, reviving recovered ones, refreshing live point
+	// counts and sync state, and nudging fenced shards to resync. Default
+	// 500ms.
 	ProbeInterval time.Duration
 	// DriftThreshold flags a shard as a rebalance candidate when its point
 	// count exceeds this multiple of the mean (Status surfaces the flags).
@@ -48,6 +54,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
 	}
@@ -66,27 +75,75 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// shardHandle is the router's per-shard state: the wire client plus health
-// and load-tracking.
+// shardHandle is the router's per-shard state: the wire client plus
+// health, sync, and stale-fence tracking.
 type shardHandle struct {
 	id     int
 	client *Client
-	// healthy gates scatter membership. Consecutive transport failures
+	// healthy gates fan-out membership. Consecutive transport failures
 	// (FailThreshold) clear it; only a successful probe sets it again.
 	healthy atomic.Bool
-	fails   atomic.Int32
-	// count estimates the shard's live point count: adjusted on acked
-	// updates, refreshed authoritatively from probe pongs.
+	// everHealthy distinguishes first contact from a revival: a shard
+	// coming back after being routed around may have missed acked writes
+	// and is fenced stale until it resyncs; a shard seen for the first
+	// time is trusted to the extent of its own sync claim.
+	everHealthy atomic.Bool
+	fails       atomic.Int32
+	// count estimates the shard's live point count (all hosted replicas):
+	// adjusted on acked updates, refreshed authoritatively from pongs.
 	count atomic.Int64
+	// synced/syncGen mirror the last pong's sync claim.
+	synced  atomic.Bool
+	syncGen atomic.Uint64
+
+	// staleMu guards the stale fence state machine. A stale shard missed
+	// (or may have missed) an acked write of one of its cells: it keeps
+	// receiving writes but serves no reads until a resync pass that began
+	// after the miss completes. The probe loop delivers the nudge; the
+	// shard answers with the target generation proving such a pass, and
+	// the fence lifts when its pong generation reaches it.
+	staleMu     sync.Mutex
+	stale       bool
+	staleEpoch  uint64 // bumped per markStale; invalidates in-flight nudges
+	nudgeBusy   bool   // a nudge RPC is in flight
+	nudged      bool   // a nudge was delivered for the current epoch
+	nudgeTarget uint64 // unfence when the pong generation reaches this
 }
 
-// Router runs N shards behind one logical index: it scatters kNN and range
-// queries with bounding-box and best-k distance pruning, merges per-shard
-// answers into the exact global result, routes updates to owning shards,
-// and maintains shard membership with health probes. All methods are safe
-// for concurrent use.
+// markStale fences the shard from reads until a post-miss resync pass
+// completes. It reports whether this call made the shard stale (false if
+// it already was — the epoch still advances so any in-flight nudge from
+// before this new miss cannot unfence it).
+func (sh *shardHandle) markStale() bool {
+	sh.staleMu.Lock()
+	defer sh.staleMu.Unlock()
+	was := sh.stale
+	sh.stale = true
+	sh.nudged = false
+	sh.staleEpoch++
+	return !was
+}
+
+func (sh *shardHandle) isStale() bool {
+	sh.staleMu.Lock()
+	defer sh.staleMu.Unlock()
+	return sh.stale
+}
+
+// Router runs N shards behind one logical index: every partition cell is
+// stored on R shards (Placement), writes fan to all replicas of the owning
+// cell and ack when any in-sync replica durably applied them (surviving
+// replicas keep accepting writes when the primary dies — failover, not
+// refusal), and reads are planned per cell over in-sync replicas with the
+// exactness contract intact. All methods are safe for concurrent use.
+//
+// The read merges rely on the cluster state being a set keyed (ID, P):
+// every router write goes through the shards' idempotent set-semantics
+// apply path, so two replicas of one cell hold equal item sets and
+// cross-replica duplicates can be removed exactly.
 type Router struct {
 	part   *Partition
+	pl     Placement
 	cfg    Config
 	shards []*shardHandle
 
@@ -111,32 +168,41 @@ type routerMetrics struct {
 	shardCalls    atomic.Int64
 	pruned        atomic.Int64
 	hedges        atomic.Int64
+	failovers     atomic.Int64
+	staleMarks    atomic.Int64
+	resyncNudges  atomic.Int64
 }
 
-// Fanout describes, per request, how the scatter went — the pruning
+// Fanout describes, per request, how the fan-out went — the pruning
 // observability surface mirroring serve.BatchInfo.
 type Fanout struct {
 	// Shards is the cluster size.
 	Shards int `json:"shards"`
-	// Queried is how many shards the request actually visited.
+	// Queried is how many shard calls the request completed successfully.
 	Queried int `json:"queried"`
-	// Pruned is how many shards the distance/intersection pruning skipped
+	// Pruned is how many cells the distance/intersection pruning skipped
 	// (provably unable to affect the answer).
 	Pruned int `json:"pruned"`
 	// Hedges counts duplicate attempts launched by the hedging policy.
 	Hedges int `json:"hedges"`
 }
 
-// NewRouter connects to one shard per partition cell (addrs[i] owns cell
-// i), performs an initial synchronous membership probe, and starts the
-// background health loop. Unreachable shards leave the router serving in
-// degraded mode until a probe revives them.
+// NewRouter connects to one shard per partition cell (addrs[i] is shard
+// i), derives the replica placement from cfg.Replication, performs an
+// initial synchronous membership probe, and starts the background health
+// loop. Unreachable shards leave the router serving in degraded mode until
+// a probe revives them.
 func NewRouter(part *Partition, addrs []string, cfg Config) (*Router, error) {
 	if len(addrs) != part.Shards() {
 		return nil, fmt.Errorf("shard: %d addresses for %d partition cells", len(addrs), part.Shards())
 	}
 	cfg = cfg.withDefaults()
-	r := &Router{part: part, cfg: cfg, closed: make(chan struct{})}
+	r := &Router{
+		part:   part,
+		pl:     NewPlacement(part.Shards(), cfg.Replication),
+		cfg:    cfg,
+		closed: make(chan struct{}),
+	}
 	for i, addr := range addrs {
 		r.shards = append(r.shards, &shardHandle{id: i, client: NewClient(addr, part.Dim())})
 	}
@@ -145,6 +211,9 @@ func NewRouter(part *Partition, addrs []string, cfg Config) (*Router, error) {
 	go r.probeLoop()
 	return r, nil
 }
+
+// Replication returns the effective replication factor.
+func (r *Router) Replication() int { return r.pl.Replication() }
 
 // Close stops the probe loop and drops every shard connection.
 func (r *Router) Close() {
@@ -175,9 +244,10 @@ func (r *Router) probeLoop() {
 	}
 }
 
-// probeAll pings every shard: a ready pong revives the shard and refreshes
-// its authoritative point count; a failure (or a not-yet-ready shard)
-// counts against its health.
+// probeAll pings every shard: a ready pong revives the shard, refreshes
+// its authoritative point count and sync claim, and drives the stale-fence
+// state machine (nudging fenced shards to resync, unfencing them when a
+// post-miss pass completed). A failure counts against health.
 func (r *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, sh := range r.shards {
@@ -193,16 +263,82 @@ func (r *Router) probeAll() {
 			}
 			sh.count.Store(pong.Size)
 			sh.fails.Store(0)
-			sh.healthy.Store(true)
+			was := sh.healthy.Swap(true)
+			if !was && sh.everHealthy.Load() && r.pl.Replication() > 1 {
+				// Revival: while this shard was routed around, its cells'
+				// writes were acked by the other replicas. Fence it until a
+				// fresh resync pass proves it caught up. (At R=1 nothing can
+				// have been acked without it, so no fence is needed.)
+				if sh.markStale() {
+					r.m.staleMarks.Add(1)
+				}
+			}
+			sh.everHealthy.Store(true)
+			sh.synced.Store(pong.Synced)
+			sh.syncGen.Store(pong.SyncGen)
+
+			sh.staleMu.Lock()
+			if sh.stale {
+				switch {
+				case sh.nudged:
+					if pong.Synced && pong.SyncGen >= sh.nudgeTarget {
+						sh.stale = false
+						sh.nudged = false
+					}
+				case !sh.nudgeBusy:
+					sh.nudgeBusy = true
+					epoch := sh.staleEpoch
+					go r.nudge(sh, epoch)
+				}
+			}
+			sh.staleMu.Unlock()
 		}(sh)
 	}
 	wg.Wait()
+}
+
+// nudge asks a fenced shard to run another resync pass and records the
+// target generation its answer promises. A nudge raced by a newer miss
+// (epoch advanced) is discarded — the next probe sends a fresh one.
+func (r *Router) nudge(sh *shardHandle, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	defer cancel()
+	started, target, err := sh.client.Resync(ctx)
+	r.m.resyncNudges.Add(1)
+	sh.staleMu.Lock()
+	defer sh.staleMu.Unlock()
+	sh.nudgeBusy = false
+	if err != nil || !started || epoch != sh.staleEpoch || !sh.stale {
+		return
+	}
+	sh.nudged = true
+	sh.nudgeTarget = target
 }
 
 func (r *Router) noteFailure(sh *shardHandle) {
 	if int(sh.fails.Add(1)) >= r.cfg.FailThreshold {
 		sh.healthy.Store(false)
 	}
+}
+
+// eligible reports whether a shard may serve reads and count as a write
+// acker: reachable, self-reportedly in sync, and not fenced stale.
+func (r *Router) eligible(sh *shardHandle) bool {
+	return sh.healthy.Load() && sh.synced.Load() && !sh.isStale()
+}
+
+// preferred returns cell's first eligible replica in placement (failover)
+// order, skipping shards in tried; nil if none remains.
+func (r *Router) preferred(cell int, tried map[int]bool) *shardHandle {
+	for _, rep := range r.pl.Replicas(cell) {
+		if tried[rep] {
+			continue
+		}
+		if sh := r.shards[rep]; r.eligible(sh) {
+			return sh
+		}
+	}
+	return nil
 }
 
 // callResult is one shard attempt's outcome.
@@ -265,18 +401,123 @@ func (r *Router) hedgedRead(ctx context.Context, sh *shardHandle, attempt func(c
 	return nil, hedges, firstErr
 }
 
+// shardResp is one successful shard call in a read plan: the shard, the
+// cells it was assigned, and the decoded response.
+type shardResp struct {
+	sh    *shardHandle
+	cells []int
+	v     any
+}
+
+// coverCells drives a per-cell read plan: every cell in needed must end up
+// covered by a successful response from an eligible replica hosting it.
+// Each round assigns every uncovered cell to its first eligible untried
+// replica in failover order, queries the planned shards in parallel, and
+// retries the cells of failed shards on their remaining replicas — so a
+// replica dying mid-run fails over within the request instead of erroring.
+// When wholeTree is set a shard's success covers every hosted cell (the
+// response is the answer over its whole tree); otherwise only the cells
+// it was explicitly assigned (AggregateCells filters to them). Cells with
+// no eligible replica left are returned as uncovered; the caller decides
+// whether that degrades the answer.
+func (r *Router) coverCells(ctx context.Context, needed []int, covered, tried map[int]bool, wholeTree bool,
+	query func(c context.Context, sh *shardHandle, cells []int) (any, error)) (resps []shardResp, uncovered []int, hedges int) {
+	for {
+		var remaining []int
+		for _, cell := range needed {
+			if !covered[cell] {
+				remaining = append(remaining, cell)
+			}
+		}
+		if len(remaining) == 0 {
+			return resps, nil, hedges
+		}
+		plan := map[int][]int{}
+		for _, cell := range remaining {
+			for _, rep := range r.pl.Replicas(cell) {
+				if !tried[rep] && r.eligible(r.shards[rep]) {
+					plan[rep] = append(plan[rep], cell)
+					break
+				}
+			}
+		}
+		if len(plan) == 0 {
+			return resps, remaining, hedges
+		}
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		for rep, cells := range plan {
+			tried[rep] = true
+			sh := r.shards[rep]
+			wg.Add(1)
+			go func(sh *shardHandle, cells []int) {
+				defer wg.Done()
+				v, h, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+					return query(c, sh, cells)
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				hedges += h
+				if err != nil {
+					return // the next round reassigns these cells
+				}
+				resps = append(resps, shardResp{sh: sh, cells: cells, v: v})
+				if wholeTree {
+					for _, cell := range needed {
+						if r.pl.Hosts(cell, sh.id) {
+							covered[cell] = true
+						}
+					}
+				} else {
+					for _, cell := range cells {
+						covered[cell] = true
+					}
+				}
+			}(sh, cells)
+		}
+		wg.Wait()
+	}
+}
+
+// candLess orders candidates canonically (dist2, id) with an exact
+// coordinate tie-break, so cross-replica duplicates sort adjacent.
+func candLess(a, b heapx.Candidate) bool {
+	if a.Dist2 != b.Dist2 {
+		return a.Dist2 < b.Dist2
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			return a.P[i] < b.P[i]
+		}
+	}
+	return false
+}
+
+func candEq(a, b heapx.Candidate) bool {
+	return !candLess(a, b) && !candLess(b, a)
+}
+
 // KNN answers an exact k-nearest-neighbor query across the cluster in
 // canonical (dist2, id) order, identical to a single tree holding the
 // union of the shards' points.
 //
-// Scatter plan: shards are ranked by their cell's squared distance to the
-// query. The nearest (owning) shard is asked first; its k-th candidate
-// gives the global pruning bound, and only shards whose cell distance is
-// <= that bound are scattered to in parallel (<=, not <: with the
-// canonical tie-break an equal-distance cell can still displace by ID).
-// Gather merges per-shard canonical top-k sets through a KBest heap. The
-// answer is exact unless a shard that could still matter was unreachable —
-// then ErrDegraded, never a silent partial answer.
+// Plan: cells are ranked by squared distance to the query. The nearest
+// cell's preferred replica is asked first; its k-th candidate gives the
+// pruning bound, and every cell within the bound (<=, not <: an
+// equal-distance cell can still displace by ID) must then be covered by an
+// eligible replica. Each queried shard returns the top-k of its whole
+// tree; the gather sorts all candidates canonically, removes exact
+// cross-replica duplicates (sound because the replicated state is a set),
+// and keeps the k best. That merge is exact: a queried shard's unreturned
+// points are canonically beyond its own k-th candidate, which the deduped
+// union's k-th can never exceed. Uncovered cells must be provably unable
+// to matter — merged set full and the cell strictly farther than the k-th
+// candidate — or the query fails with ErrDegraded.
 func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidate, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	if len(q) != r.part.Dim() {
@@ -288,132 +529,120 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	r.m.knnRequests.Add(1)
 
 	type ranked struct {
-		sh *shardHandle
-		d2 float64
+		cell int
+		d2   float64
 	}
-	order := make([]ranked, len(r.shards))
-	for i, sh := range r.shards {
-		order[i] = ranked{sh, r.part.Cell(i).Dist2ToPoint(q)}
+	order := make([]ranked, r.part.Shards())
+	for i := range order {
+		order[i] = ranked{i, r.part.Cell(i).Dist2ToPoint(q)}
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].d2 != order[j].d2 {
 			return order[i].d2 < order[j].d2
 		}
-		return order[i].sh.id < order[j].sh.id
+		return order[i].cell < order[j].cell
 	})
-
-	var all []heapx.Candidate
-	// missing records shards that were not successfully queried, with
-	// their cell distance, for the exactness post-check.
-	type missed struct {
-		id int
-		d2 float64
+	cellD2 := make([]float64, len(order))
+	for _, rk := range order {
+		cellD2[rk.cell] = rk.d2
 	}
-	var missing []missed
+
+	covered := map[int]bool{}
+	tried := map[int]bool{}
+	var resps []shardResp
 	bound := math.Inf(1)
 
-	// Phase 1: the nearest healthy shard sets the pruning bound.
-	primaryIdx := -1
-	if sh := order[0].sh; sh.healthy.Load() {
-		res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
-			v, err := sh.client.KNN(c, []geom.Point{q}, k)
-			if err != nil {
-				return nil, err
-			}
-			return v, nil
+	// Phase 1: the nearest cell's preferred replica sets the pruning bound.
+	if sh := r.preferred(order[0].cell, tried); sh != nil {
+		tried[sh.id] = true
+		v, h, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
+			return sh.client.KNN(c, []geom.Point{q}, k)
 		})
-		fan.Hedges += hedges
+		fan.Hedges += h
 		if err == nil {
-			cands := res.([][]heapx.Candidate)[0]
-			all = append(all, cands...)
+			resps = append(resps, shardResp{sh: sh, v: v})
+			for _, rk := range order {
+				if r.pl.Hosts(rk.cell, sh.id) {
+					covered[rk.cell] = true
+				}
+			}
+			cands := v.([][]heapx.Candidate)[0]
 			if len(cands) == k {
 				bound = cands[k-1].Dist2
 			}
-			fan.Queried++
-			primaryIdx = 0
-		} else {
-			missing = append(missing, missed{sh.id, order[0].d2})
 		}
-	} else {
-		missing = append(missing, missed{order[0].sh.id, order[0].d2})
 	}
 
-	// Phase 2: scatter to every other shard whose cell can still matter.
-	var targets []ranked
-	for i, rk := range order {
-		if i == primaryIdx {
-			continue
-		}
+	// Phase 2: every cell that can still matter must be covered.
+	var needed []int
+	for _, rk := range order {
 		if rk.d2 > bound {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
-		if !rk.sh.healthy.Load() {
-			missing = append(missing, missed{rk.sh.id, rk.d2})
+		needed = append(needed, rk.cell)
+	}
+	more, uncovered, h2 := r.coverCells(ctx, needed, covered, tried, true,
+		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
+			return sh.client.KNN(c, []geom.Point{q}, k)
+		})
+	resps = append(resps, more...)
+	fan.Hedges += h2
+	fan.Queried = len(resps)
+
+	// Gather: dedup cross-replica copies, keep the global top-k.
+	var all []heapx.Candidate
+	for _, rp := range resps {
+		all = append(all, rp.v.([][]heapx.Candidate)[0]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return candLess(all[i], all[j]) })
+	best := heapx.NewKBest(k)
+	for i, c := range all {
+		if i > 0 && candEq(c, all[i-1]) {
 			continue
 		}
-		targets = append(targets, rk)
-	}
-	var (
-		mu sync.Mutex
-		wg sync.WaitGroup
-	)
-	for _, rk := range targets {
-		wg.Add(1)
-		go func(rk ranked) {
-			defer wg.Done()
-			res, hedges, err := r.hedgedRead(ctx, rk.sh, func(c context.Context) (any, error) {
-				v, err := rk.sh.client.KNN(c, []geom.Point{q}, k)
-				if err != nil {
-					return nil, err
-				}
-				return v, nil
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			fan.Hedges += hedges
-			if err != nil {
-				missing = append(missing, missed{rk.sh.id, rk.d2})
-				return
-			}
-			all = append(all, res.([][]heapx.Candidate)[0]...)
-			fan.Queried++
-		}(rk)
-	}
-	wg.Wait()
-
-	// Gather: global top-k. Offering in canonical order makes the KBest
-	// contents exactly the canonical k smallest.
-	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
-	best := heapx.NewKBest(k)
-	for _, c := range all {
-		best.Offer(c.Dist2, c.ID)
+		best.OfferCand(c)
 	}
 	merged := best.Sorted()
 
-	// Exactness post-check: every missed shard must be provably unable to
-	// change the answer — the merged set is full and the shard's cell is
-	// strictly farther than the k-th candidate (equality could still
-	// displace by ID).
+	// Exactness post-check: every uncovered cell must be provably unable to
+	// change the answer — the merged set is full and the cell is strictly
+	// farther than the k-th candidate (equality could still displace by ID).
 	finalBound := math.Inf(1)
 	if len(merged) == k {
 		finalBound = merged[k-1].Dist2
 	}
-	for _, ms := range missing {
-		if len(merged) < k || ms.d2 <= finalBound {
+	for _, cell := range uncovered {
+		if len(merged) < k || cellD2[cell] <= finalBound {
 			r.m.degraded.Add(1)
-			return nil, fan, fmt.Errorf("%w: shard %d needed for kNN (cell dist2 %g, bound %g)",
-				ErrDegraded, ms.id, ms.d2, finalBound)
+			return nil, fan, fmt.Errorf("%w: cell %d has no in-sync replica for kNN (cell dist2 %g, bound %g)",
+				ErrDegraded, cell, cellD2[cell], finalBound)
 		}
 	}
 	return merged, fan, nil
 }
 
+// dedupItems removes adjacent duplicates from a canonically sorted item
+// slice — the cross-replica copies of one stored item.
+func dedupItems(items []core.Item) []core.Item {
+	out := items[:0]
+	for i, it := range items {
+		if i > 0 && core.ItemEq(it, items[i-1]) {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
 // Range reports every item inside box across the cluster, sorted in the
 // canonical item order (ID, then coordinates) so the answer is independent
-// of sharding. Every shard whose cell intersects the box must respond;
-// otherwise ErrDegraded.
+// of sharding and replication. Every cell intersecting the box must be
+// covered by an eligible replica (failing replicas are retried on the
+// cell's remaining replicas within the request); otherwise ErrDegraded.
+// Cross-replica duplicates are removed exactly — the replicated state is a
+// set keyed (ID, P).
 func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	if box.Dim() != r.part.Dim() {
@@ -421,167 +650,263 @@ func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, 
 	}
 	r.m.rangeRequests.Add(1)
 
-	var targets []*shardHandle
-	for i, sh := range r.shards {
+	var needed []int
+	for i := 0; i < r.part.Shards(); i++ {
 		if !r.part.Cell(i).Intersects(box) {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
-		if !sh.healthy.Load() {
-			r.m.degraded.Add(1)
-			return nil, fan, fmt.Errorf("%w: shard %d intersects range box", ErrDegraded, sh.id)
-		}
-		targets = append(targets, sh)
+		needed = append(needed, i)
 	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		all      []core.Item
-		firstErr error
-	)
-	for _, sh := range targets {
-		wg.Add(1)
-		go func(sh *shardHandle) {
-			defer wg.Done()
-			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
-				v, err := sh.client.Range(c, []geom.Box{box})
-				if err != nil {
-					return nil, err
-				}
-				return v, nil
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			fan.Hedges += hedges
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			all = append(all, res.([][]core.Item)[0]...)
-			fan.Queried++
-		}(sh)
-	}
-	wg.Wait()
-	if firstErr != nil {
+	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, true,
+		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
+			return sh.client.Range(c, []geom.Box{box})
+		})
+	fan.Queried = len(resps)
+	fan.Hedges = hedges
+	if len(uncovered) > 0 {
 		r.m.degraded.Add(1)
-		return nil, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+		return nil, fan, fmt.Errorf("%w: cell %d intersects range box and has no in-sync replica", ErrDegraded, uncovered[0])
+	}
+	var all []core.Item
+	for _, rp := range resps {
+		all = append(all, rp.v.([][]core.Item)[0]...)
 	}
 	core.SortItems(all)
-	return all, fan, nil
+	return dedupItems(all), fan, nil
 }
 
-// Insert routes item to its owning shard. The call returns only after the
-// owner acknowledged the write (in durable shards: after the WAL append),
-// so a nil error means the update survives an immediate shard crash. An
-// unhealthy owner fails fast with ErrDegraded — never a lost ack.
+// Insert stores item on every replica of its owning cell. The call returns
+// after all replica attempts settle; a nil error means at least one
+// eligible replica durably applied it (in durable shards: after the WAL
+// append), so the write survives the loss of any single replica. A dead
+// primary does not refuse the write — the surviving replicas ack it
+// (failover); replicas that missed it are fenced stale until they resync.
 func (r *Router) Insert(ctx context.Context, item core.Item) (Fanout, error) {
 	return r.update(ctx, false, item)
 }
 
-// Delete routes the delete to the owning shard; absent items are silently
-// ignored (BatchDelete semantics).
+// Delete removes item from every replica of its owning cell; absent items
+// are silently ignored (BatchDelete semantics), which also makes the
+// replicated delete idempotent.
 func (r *Router) Delete(ctx context.Context, item core.Item) (Fanout, error) {
 	return r.update(ctx, true, item)
 }
 
 func (r *Router) update(ctx context.Context, del bool, item core.Item) (Fanout, error) {
-	fan := Fanout{Shards: len(r.shards), Pruned: len(r.shards) - 1}
+	fan := Fanout{Shards: len(r.shards)}
 	if len(item.P) != r.part.Dim() {
 		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
 	}
 	r.m.updates.Add(1)
-	sh := r.shards[r.part.Owner(item.P)]
-	if !sh.healthy.Load() {
-		r.m.degraded.Add(1)
-		return fan, fmt.Errorf("%w: shard %d owns the item", ErrDegraded, sh.id)
-	}
-	cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
-	defer cancel()
-	r.m.shardCalls.Add(1)
-	// Updates are single-attempt: a duplicate insert is not idempotent, so
-	// no hedging and no blind retry. A transport error means "not acked".
-	if _, err := sh.client.Update(cctx, del, []core.Item{item}); err != nil {
-		var re *RemoteError
-		if !errors.As(err, &re) {
-			r.noteFailure(sh)
-		}
-		r.m.errors.Add(1)
-		return fan, err
-	}
-	sh.fails.Store(0)
-	fan.Queried = 1
+	delta := int64(1)
 	if del {
-		if sh.count.Add(-1) < 0 {
-			sh.count.Store(0)
-		}
-	} else {
-		sh.count.Add(1)
+		delta = -1
 	}
-	return fan, nil
+	items := []core.Item{item}
+	cell := r.part.Owner(item.P)
+	_, queried, err := r.fanWrite(ctx, map[int][]int{cell: {0}}, delta,
+		func(c context.Context, sh *shardHandle, _ []int) error {
+			_, err := sh.client.Update(c, del, items)
+			return err
+		})
+	fan.Queried = queried
+	fan.Pruned = len(r.shards) - queried
+	return fan, err
 }
 
-// BatchUpdate groups items by owning shard and applies the per-shard
-// batches in parallel. It returns the number of acknowledged items; an
-// error means at least one shard batch was not acked (the returned count
-// still reflects what was).
+// BatchUpdate groups items by owning cell and fans the per-shard unions in
+// parallel (each shard gets one call carrying every item of its hosted
+// cells). It returns the number of acknowledged items — a cell's items
+// count once no matter how many replicas applied them; an error means at
+// least one cell's batch was not acked (the count still reflects what was).
 func (r *Router) BatchUpdate(ctx context.Context, del bool, items []core.Item) (int, error) {
-	groups := make(map[int][]core.Item)
-	for _, it := range items {
+	cells := make(map[int][]int)
+	for i, it := range items {
 		if len(it.P) != r.part.Dim() {
 			return 0, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(it.P), r.part.Dim())
 		}
-		owner := r.part.Owner(it.P)
-		groups[owner] = append(groups[owner], it)
+		cell := r.part.Owner(it.P)
+		cells[cell] = append(cells[cell], i)
 	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		acked    int
-		firstErr error
-	)
-	for owner, batch := range groups {
-		sh := r.shards[owner]
+	r.m.updates.Add(int64(len(cells)))
+	delta := int64(1)
+	if del {
+		delta = -1
+	}
+	acked, _, err := r.fanWrite(ctx, cells, delta,
+		func(c context.Context, sh *shardHandle, idxs []int) error {
+			batch := make([]core.Item, len(idxs))
+			for j, i := range idxs {
+				batch[j] = items[i]
+			}
+			_, err := sh.client.Update(c, del, batch)
+			return err
+		})
+	return acked, err
+}
+
+// fanWrite is the replicated write engine: cells maps each owning cell to
+// the indexes of its items, and send performs one shard's call with the
+// union of indexes for its hosted cells. Every healthy replica of every
+// cell is attempted, and the call waits for all attempts to settle before
+// judging — so per-key client-serialized writes retain one cross-replica
+// order. A cell is acked iff some replica that was eligible before the
+// call succeeded; the first such replica in placement order is the acting
+// primary (a non-home acting primary counts as a failover). Once a cell is
+// acked, every replica that did not apply it — failed, or skipped as
+// unhealthy — is fenced stale until it resyncs. A cell with no eligible
+// acker yields an error: the eligible replica's own refusal if one
+// answered, ErrDegraded if none was available.
+//
+// It returns the number of acked items and how many shard calls were made.
+func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
+	send func(c context.Context, sh *shardHandle, idxs []int) error) (int, int, error) {
+	type writeCall struct {
+		sh   *shardHandle
+		idxs []int
+		elig bool
+		err  error
+	}
+	calls := map[int]*writeCall{}
+	for cell, idxs := range cells {
+		for _, rep := range r.pl.Replicas(cell) {
+			sh := r.shards[rep]
+			if !sh.healthy.Load() {
+				continue
+			}
+			wc := calls[rep]
+			if wc == nil {
+				wc = &writeCall{sh: sh, elig: r.eligible(sh)}
+				calls[rep] = wc
+			}
+			// Cells are disjoint per item, so the union never duplicates.
+			wc.idxs = append(wc.idxs, idxs...)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, wc := range calls {
 		wg.Add(1)
-		go func(sh *shardHandle, batch []core.Item) {
+		r.m.shardCalls.Add(1)
+		go func(wc *writeCall) {
 			defer wg.Done()
-			err := func() error {
-				if !sh.healthy.Load() {
-					return fmt.Errorf("%w: shard %d owns %d items", ErrDegraded, sh.id, len(batch))
-				}
-				cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
-				defer cancel()
-				r.m.shardCalls.Add(1)
-				_, err := sh.client.Update(cctx, del, batch)
-				return err
-			}()
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+			defer cancel()
+			sort.Ints(wc.idxs)
+			wc.err = send(cctx, wc.sh, wc.idxs)
+			if wc.err == nil {
+				wc.sh.fails.Store(0)
+				n := int64(len(wc.idxs)) * delta
+				if wc.sh.count.Add(n) < 0 {
+					wc.sh.count.Store(0)
 				}
 				return
 			}
-			acked += len(batch)
-			delta := int64(len(batch))
-			if del {
-				delta = -delta
+			var re *RemoteError
+			if !errors.As(wc.err, &re) {
+				r.noteFailure(wc.sh) // transport failure, counts against health
 			}
-			if sh.count.Add(delta) < 0 {
-				sh.count.Store(0)
-			}
-		}(sh, batch)
+		}(wc)
 	}
 	wg.Wait()
-	r.m.updates.Add(int64(len(groups)))
-	if firstErr != nil {
-		r.m.errors.Add(1)
+
+	acked := 0
+	var firstErr error
+	for cell, idxs := range cells {
+		ackedBy := -1
+		var eligErr error
+		for _, rep := range r.pl.Replicas(cell) {
+			wc := calls[rep]
+			if wc == nil {
+				continue // skipped: unhealthy
+			}
+			if !wc.elig {
+				continue
+			}
+			if wc.err == nil {
+				if ackedBy < 0 {
+					ackedBy = rep
+				}
+			} else if eligErr == nil {
+				eligErr = wc.err
+			}
+		}
+		if ackedBy >= 0 {
+			acked += len(idxs)
+			if ackedBy != r.pl.Primary(cell) {
+				r.m.failovers.Add(1)
+			}
+			for _, rep := range r.pl.Replicas(cell) {
+				if wc := calls[rep]; wc == nil || wc.err != nil {
+					// This replica missed an acked write: fence it from
+					// reads until a post-miss resync pass completes.
+					if r.shards[rep].markStale() {
+						r.m.staleMarks.Add(1)
+					}
+				}
+			}
+			continue
+		}
+		err := eligErr
+		if err == nil {
+			err = fmt.Errorf("%w: cell %d has no in-sync replica to ack the write", ErrDegraded, cell)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	return acked, firstErr
+	if firstErr != nil {
+		if errors.Is(firstErr, ErrDegraded) {
+			r.m.degraded.Add(1)
+		} else {
+			r.m.errors.Add(1)
+		}
+	}
+	return acked, len(calls), firstErr
+}
+
+// ReplicaStatus is one replica's health in a cell's row.
+type ReplicaStatus struct {
+	Shard    int  `json:"shard"`
+	Healthy  bool `json:"healthy"`
+	Synced   bool `json:"synced"`
+	Stale    bool `json:"stale"`
+	Eligible bool `json:"eligible"`
+}
+
+// CellStatus is one partition cell's replica health row: the home primary,
+// the acting primary (first eligible replica in failover order, -1 when
+// the cell has none and is unavailable), and every replica's state.
+type CellStatus struct {
+	Cell          int             `json:"cell"`
+	Primary       int             `json:"primary"`
+	ActingPrimary int             `json:"acting_primary"`
+	Replicas      []ReplicaStatus `json:"replicas"`
+}
+
+// Cells returns the per-cell replica health view for /shardz.
+func (r *Router) Cells() []CellStatus {
+	out := make([]CellStatus, r.part.Shards())
+	for cell := range out {
+		cs := CellStatus{Cell: cell, Primary: r.pl.Primary(cell), ActingPrimary: -1}
+		for _, rep := range r.pl.Replicas(cell) {
+			sh := r.shards[rep]
+			rs := ReplicaStatus{
+				Shard:   rep,
+				Healthy: sh.healthy.Load(),
+				Synced:  sh.synced.Load(),
+				Stale:   sh.isStale(),
+			}
+			rs.Eligible = rs.Healthy && rs.Synced && !rs.Stale
+			if rs.Eligible && cs.ActingPrimary < 0 {
+				cs.ActingPrimary = rep
+			}
+			cs.Replicas = append(cs.Replicas, rs)
+		}
+		out[cell] = cs
+	}
+	return out
 }
 
 // ShardStatus is one shard's row in the router's membership view.
@@ -589,7 +914,17 @@ type ShardStatus struct {
 	ID      int    `json:"id"`
 	Addr    string `json:"addr"`
 	Healthy bool   `json:"healthy"`
-	// Count is the router's live point count estimate (probe-refreshed).
+	// Synced is the shard's own sync claim (it holds every acked write of
+	// its hosted cells); SyncGen counts its completed convergence passes.
+	Synced  bool   `json:"synced"`
+	SyncGen uint64 `json:"sync_gen"`
+	// Stale marks a shard the router fenced from reads because it missed
+	// (or may have missed) an acked write; it unfences after a resync.
+	Stale bool `json:"stale"`
+	// Cells are the partition cells this shard hosts replicas of.
+	Cells []int `json:"cells"`
+	// Count is the router's live point count estimate (probe-refreshed),
+	// counting every hosted replica's copy.
 	Count int64 `json:"count"`
 	// Drift is Count over the mean count; > Config.DriftThreshold flags
 	// the shard as a rebalance candidate.
@@ -600,8 +935,9 @@ type ShardStatus struct {
 	WireIn  int64 `json:"wire_bytes_in"`
 }
 
-// Status returns the live membership view: per-shard health, point counts,
-// drift ratios, and rebalance-candidate flags.
+// Status returns the live membership view: per-shard health, sync and
+// stale state, hosted cells, point counts, drift ratios, and
+// rebalance-candidate flags.
 func (r *Router) Status() []ShardStatus {
 	counts := make([]int64, len(r.shards))
 	for i, sh := range r.shards {
@@ -615,6 +951,10 @@ func (r *Router) Status() []ShardStatus {
 			ID:        sh.id,
 			Addr:      sh.client.Addr(),
 			Healthy:   sh.healthy.Load(),
+			Synced:    sh.synced.Load(),
+			SyncGen:   sh.syncGen.Load(),
+			Stale:     sh.isStale(),
+			Cells:     r.pl.CellsOf(sh.id),
 			Count:     counts[i],
 			Drift:     drift[i],
 			Rebalance: drift[i] > r.cfg.DriftThreshold,
@@ -637,13 +977,28 @@ type MetricsSnapshot struct {
 	Degraded      int64 `json:"degraded"`
 	Errors        int64 `json:"errors"`
 	ShardCalls    int64 `json:"shard_calls"`
-	Pruned        int64 `json:"pruned_shard_visits"`
+	Pruned        int64 `json:"pruned_cell_visits"`
 	Hedges        int64 `json:"hedges"`
-	WireBytesOut  int64 `json:"wire_bytes_out"`
-	WireBytesIn   int64 `json:"wire_bytes_in"`
-	HealthyShards int   `json:"healthy_shards"`
-	TotalShards   int   `json:"total_shards"`
+	// Failovers counts cell writes acked while the home primary did not
+	// apply them (the acting primary was a non-home replica).
+	Failovers int64 `json:"failovers"`
+	// StaleMarks counts shards fenced for missing an acked write (or
+	// reviving after being routed around); ResyncNudges counts the resync
+	// requests sent to fenced shards.
+	StaleMarks   int64 `json:"stale_marks"`
+	ResyncNudges int64 `json:"resync_nudges"`
+	WireBytesOut int64 `json:"wire_bytes_out"`
+	WireBytesIn  int64 `json:"wire_bytes_in"`
+	// Replication is the effective copies-per-cell factor.
+	Replication   int `json:"replication"`
+	HealthyShards int `json:"healthy_shards"`
+	SyncedShards  int `json:"synced_shards"`
+	StaleShards   int `json:"stale_shards"`
+	TotalShards   int `json:"total_shards"`
+	// TotalPoints estimates distinct stored points (replica copies divided
+	// out); ReplicaPoints is the raw per-shard sum.
 	TotalPoints   int64 `json:"total_points"`
+	ReplicaPoints int64 `json:"replica_points"`
 }
 
 // Metrics returns the aggregate router counters.
@@ -661,16 +1016,27 @@ func (r *Router) Metrics() MetricsSnapshot {
 		ShardCalls:    r.m.shardCalls.Load(),
 		Pruned:        r.m.pruned.Load(),
 		Hedges:        r.m.hedges.Load(),
+		Failovers:     r.m.failovers.Load(),
+		StaleMarks:    r.m.staleMarks.Load(),
+		ResyncNudges:  r.m.resyncNudges.Load(),
+		Replication:   r.pl.Replication(),
 		TotalShards:   len(r.shards),
 	}
 	for _, sh := range r.shards {
 		if sh.healthy.Load() {
 			s.HealthyShards++
 		}
-		s.TotalPoints += sh.count.Load()
+		if sh.synced.Load() {
+			s.SyncedShards++
+		}
+		if sh.isStale() {
+			s.StaleShards++
+		}
+		s.ReplicaPoints += sh.count.Load()
 		wo, wi := sh.client.WireBytes()
 		s.WireBytesOut += wo
 		s.WireBytesIn += wi
 	}
+	s.TotalPoints = s.ReplicaPoints / int64(r.pl.Replication())
 	return s
 }

@@ -16,9 +16,11 @@ import (
 
 // Join reports every stored item within radius of the probe point, sorted
 // in the canonical item order — identical to a single tree holding the
-// union of the shards' points. Only shards whose cell is within radius of
-// the probe are visited; every such shard must answer, otherwise
-// ErrDegraded.
+// cluster's points. Only cells within radius of the probe are visited;
+// each must be covered by an eligible replica (failing replicas fail over
+// to the cell's remaining replicas within the request), otherwise
+// ErrDegraded. Cross-replica duplicates are removed exactly — the
+// replicated state is a set keyed (ID, P).
 func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core.Item, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	if len(p) != r.part.Dim() {
@@ -30,67 +32,42 @@ func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core
 	r.m.joinRequests.Add(1)
 	r2 := radius * radius
 
-	var targets []*shardHandle
-	for i, sh := range r.shards {
+	var needed []int
+	for i := 0; i < r.part.Shards(); i++ {
 		// <= not <: a point exactly radius away still matches.
 		if r.part.Cell(i).Dist2ToPoint(p) > r2 {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
-		if !sh.healthy.Load() {
-			r.m.degraded.Add(1)
-			return nil, fan, fmt.Errorf("%w: shard %d within join radius", ErrDegraded, sh.id)
-		}
-		targets = append(targets, sh)
+		needed = append(needed, i)
 	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		all      []core.Item
-		firstErr error
-	)
-	for _, sh := range targets {
-		wg.Add(1)
-		go func(sh *shardHandle) {
-			defer wg.Done()
-			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
-				v, err := sh.client.Join(c, []geom.Point{p}, radius)
-				if err != nil {
-					return nil, err
-				}
-				return v, nil
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			fan.Hedges += hedges
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			all = append(all, res.([][]core.Item)[0]...)
-			fan.Queried++
-		}(sh)
-	}
-	wg.Wait()
-	if firstErr != nil {
+	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, true,
+		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
+			return sh.client.Join(c, []geom.Point{p}, radius)
+		})
+	fan.Queried = len(resps)
+	fan.Hedges = hedges
+	if len(uncovered) > 0 {
 		r.m.degraded.Add(1)
-		return nil, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+		return nil, fan, fmt.Errorf("%w: cell %d within join radius has no in-sync replica", ErrDegraded, uncovered[0])
 	}
-	// Each stored point has exactly one owner shard, so concatenation never
-	// duplicates; sorting restores the canonical order.
+	var all []core.Item
+	for _, rp := range resps {
+		all = append(all, rp.v.([][]core.Item)[0]...)
+	}
 	core.SortItems(all)
-	return all, fan, nil
+	return dedupItems(all), fan, nil
 }
 
 // Aggregate answers a windowed aggregation (count + exact coordinate sums)
-// over the box across the cluster. Partial aggregates merge through
+// over the box across the cluster. Each box-intersecting cell is assigned
+// to exactly one eligible replica, and the shard-side partial aggregates
+// only the items its assigned cells own — so every stored point counts
+// once no matter how many replicas hold it. Partials merge through
 // ExactSum, so the centroid is bit-identical to a single-tree aggregation
-// regardless of sharding or merge order. Every box-intersecting shard must
-// answer, otherwise ErrDegraded.
+// regardless of sharding, replication, or merge order. Every intersecting
+// cell must be covered, otherwise ErrDegraded.
 func (r *Router) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	if box.Dim() != r.part.Dim() {
@@ -98,108 +75,83 @@ func (r *Router) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate
 	}
 	r.m.aggRequests.Add(1)
 
-	var targets []*shardHandle
-	for i, sh := range r.shards {
+	var needed []int
+	for i := 0; i < r.part.Shards(); i++ {
 		if !r.part.Cell(i).Intersects(box) {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
-		if !sh.healthy.Load() {
-			r.m.degraded.Add(1)
-			return core.BoxAggregate{}, fan, fmt.Errorf("%w: shard %d intersects aggregate box", ErrDegraded, sh.id)
-		}
-		targets = append(targets, sh)
+		needed = append(needed, i)
 	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		merged   core.BoxAggregate
-		firstErr error
-	)
-	for _, sh := range targets {
-		wg.Add(1)
-		go func(sh *shardHandle) {
-			defer wg.Done()
-			res, hedges, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
-				v, err := sh.client.Aggregate(c, []geom.Box{box})
-				if err != nil {
-					return nil, err
-				}
-				return v, nil
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			fan.Hedges += hedges
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, false,
+		func(c context.Context, sh *shardHandle, cells []int) (any, error) {
+			boxes := make([]geom.Box, len(cells))
+			for j, cell := range cells {
+				boxes[j] = r.part.Cell(cell)
 			}
-			part := res.([]core.BoxAggregate)[0]
-			merged.Merge(&part)
-			fan.Queried++
-		}(sh)
-	}
-	wg.Wait()
-	if firstErr != nil {
+			return sh.client.AggregateCells(c, box, boxes)
+		})
+	fan.Queried = len(resps)
+	fan.Hedges = hedges
+	if len(uncovered) > 0 {
 		r.m.degraded.Add(1)
-		return core.BoxAggregate{}, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+		return core.BoxAggregate{}, fan, fmt.Errorf("%w: cell %d intersects aggregate box and has no in-sync replica",
+			ErrDegraded, uncovered[0])
+	}
+	var merged core.BoxAggregate
+	for _, rp := range resps {
+		part := rp.v.(core.BoxAggregate)
+		merged.Merge(&part)
 	}
 	return merged, fan, nil
 }
 
-// Ingest routes a streaming insert (with its logical expiry deadline) to
-// the owning shard. Like Insert, it is single-attempt and returns only
-// after the owner acknowledged the write.
+// Ingest stores a streaming insert (with its logical expiry deadline) on
+// every replica of its owning cell. Like Insert, it acks when any eligible
+// replica durably applied it, failing over past a dead primary; replicas
+// that missed it are fenced stale until they resync.
 func (r *Router) Ingest(ctx context.Context, item core.Item, expireAt int64) (Fanout, error) {
-	fan := Fanout{Shards: len(r.shards), Pruned: len(r.shards) - 1}
+	fan := Fanout{Shards: len(r.shards)}
 	if len(item.P) != r.part.Dim() {
 		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
 	}
 	r.m.ingests.Add(1)
-	sh := r.shards[r.part.Owner(item.P)]
-	if !sh.healthy.Load() {
-		r.m.degraded.Add(1)
-		return fan, fmt.Errorf("%w: shard %d owns the item", ErrDegraded, sh.id)
-	}
-	cctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
-	defer cancel()
-	r.m.shardCalls.Add(1)
-	if _, err := sh.client.Ingest(cctx, []core.Item{item}, []int64{expireAt}); err != nil {
-		var re *RemoteError
-		if !errors.As(err, &re) {
-			r.noteFailure(sh)
-		}
-		r.m.errors.Add(1)
-		return fan, err
-	}
-	sh.fails.Store(0)
-	sh.count.Add(1)
-	fan.Queried = 1
-	return fan, nil
+	items := []core.Item{item}
+	ats := []int64{expireAt}
+	cell := r.part.Owner(item.P)
+	_, queried, err := r.fanWrite(ctx, map[int][]int{cell: {0}}, 1,
+		func(c context.Context, sh *shardHandle, _ []int) error {
+			_, err := sh.client.Ingest(c, items, ats)
+			return err
+		})
+	fan.Queried = queried
+	fan.Pruned = len(r.shards) - queried
+	return fan, err
 }
 
 // Expire sweeps every shard's ingested items whose deadline is at or
-// before now and returns the total deleted. The sweep is a write, so it is
-// single-attempt per shard; any unreachable or failing shard degrades the
-// whole sweep (the caller retries with the same now — sweeps are
-// idempotent at a fixed horizon).
+// before now and returns the total distinct items deleted. Every replica
+// of every cell tracks the same expiry entries, so the sweep requires the
+// whole cluster eligible (each cell must be swept on all its replicas or
+// their entry sets diverge) and the per-shard counts must sum to an exact
+// multiple of the replication factor. A partial failure degrades the
+// sweep; the caller retries with the same now — sweeps are idempotent at a
+// fixed horizon, though a retry after a partial sweep may undercount the
+// already-swept replicas' share until the horizon fully drains.
 func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	r.m.expires.Add(1)
 	for _, sh := range r.shards {
-		if !sh.healthy.Load() {
+		if !r.eligible(sh) {
 			r.m.degraded.Add(1)
-			return 0, fan, fmt.Errorf("%w: shard %d unavailable for expiry sweep", ErrDegraded, sh.id)
+			return 0, fan, fmt.Errorf("%w: shard %d not in sync for expiry sweep", ErrDegraded, sh.id)
 		}
 	}
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
-		total    int64
+		sum      int64
 		firstErr error
 	)
 	for _, sh := range r.shards {
@@ -226,7 +178,7 @@ func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 			if sh.count.Add(-n) < 0 {
 				sh.count.Store(0)
 			}
-			total += n
+			sum += n
 			fan.Queried++
 		}(sh)
 	}
@@ -234,9 +186,15 @@ func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 	if firstErr != nil {
 		r.m.degraded.Add(1)
 		r.m.errors.Add(1)
-		return total, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
+		return 0, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
 	}
-	return total, fan, nil
+	rf := int64(r.pl.Replication())
+	if sum%rf != 0 {
+		r.m.degraded.Add(1)
+		return 0, fan, fmt.Errorf("%w: expiry counts disagree across replicas (%d swept, replication %d)",
+			ErrDegraded, sum, rf)
+	}
+	return sum / rf, fan, nil
 }
 
 // KindQuantiles is one request kind's latency quantiles in microseconds,

@@ -35,9 +35,9 @@ import (
 // Message bodies:
 //
 //	ping        —
-//	pong        ready uint8, size uint64
+//	pong        ready uint8, size uint64, synced uint8, syncGen uint64
 //	knnReq      k uint32, count uint32, count × point (dim × float64)
-//	knnResp     count uint32, count × { m uint32, m × (id int32, dist2 float64) }
+//	knnResp     count uint32, count × { m uint32, m × (id int32, dist2 float64, point) }
 //	rangeReq    count uint32, count × (dim × float64 lo, dim × float64 hi)
 //	rangeResp   count uint32, count × { m uint32, m × item }
 //	insertReq   count uint32, count × item
@@ -54,10 +54,28 @@ import (
 //	statsResp   nkinds uint32, nkinds × { nameLen uint8, name, max uint64,
 //	            nbuckets uint32, nbuckets × (low uint64, count uint64) }
 //	errResp     code uint16, len uint32, len × msg byte
+//	cellSnapReq cell uint32, dim × float64 lo, dim × float64 hi,
+//	            offset uint64, limit uint32
+//	cellSnapResp total uint64, count uint32, count × (item, expireAt uint64),
+//	            ocount uint32, ocount × (item, expireAt uint64)
+//	            (expireAt MinInt64 = not expiry-tracked; the pages of one
+//	            cell concatenate to the cell's canonically sorted multiset;
+//	            the trailing orphan list carries expiry entries whose item
+//	            is no longer live, final page only)
+//	resyncReq   —
+//	resyncResp  started uint8
+//	aggCellsReq dim × float64 lo, dim × float64 hi (query box),
+//	            count uint32, count × (lo, hi) cell boxes
+//	            (answered by an aggResp with exactly one result: the
+//	            aggregate over box ∩ the union of the half-open cells)
 //	item        id int32, priority float64, dim × float64
+//
+// Version history: v2 added replication — pong sync state, per-candidate
+// coordinates in knnResp (the router filters merged candidates by cell
+// ownership), and the cellSnap/resync/aggCells messages.
 const (
 	wireMagic   = "PKDSHRD1"
-	wireVersion = 1
+	wireVersion = 2
 	// handshakeSize is the byte length of the connection header.
 	handshakeSize = 16
 	// maxFramePayload bounds one frame so a corrupted length field cannot
@@ -85,6 +103,12 @@ const (
 	msgStatsReq   byte = 0x1d
 	msgStatsResp  byte = 0x1e
 	msgErr        byte = 0x1f
+	// v2 replication messages.
+	msgCellSnapReq  byte = 0x20
+	msgCellSnapResp byte = 0x21
+	msgResyncReq    byte = 0x22
+	msgResyncResp   byte = 0x23
+	msgAggCellsReq  byte = 0x24
 )
 
 // ErrWire marks a malformed handshake or frame (bad magic, version, CRC, or
@@ -108,10 +132,18 @@ const (
 // Ping asks a shard for its status.
 type Ping struct{}
 
-// Pong is the status reply: readiness and the shard's live point count.
+// Pong is the status reply: readiness, the shard's live point count, and
+// its replication sync state. Synced is the shard's own claim to hold every
+// acked write of its hosted cells; SyncGen increments each time a rebuild
+// or resync convergence pass completes, so a router that fenced the shard
+// as stale can tell a *new* sync (gen changed — safe to reinstate) from the
+// shard merely still believing its pre-fence state (gen unchanged — nudge
+// it with a ResyncReq).
 type Pong struct {
-	Ready bool
-	Size  int64
+	Ready   bool
+	Size    int64
+	Synced  bool
+	SyncGen uint64
 }
 
 // KNNReq asks for each query point's k nearest neighbors.
@@ -121,6 +153,8 @@ type KNNReq struct {
 }
 
 // KNNResp carries per-query candidates in canonical (dist2, id) order.
+// Each candidate carries its coordinates so the router can attribute it to
+// a partition cell and keep exactly one reporting replica per cell.
 type KNNResp struct {
 	Results [][]heapx.Candidate
 }
@@ -208,6 +242,70 @@ type StatsResp struct {
 	Kinds []KindLatency
 }
 
+// CellSnapshotReq asks a peer replica for one page of a cell's contents:
+// the canonically sorted multiset of the peer's items owned by the
+// half-open cell box, sliced at [Offset, Offset+Limit). Limit 0 means
+// everything from Offset. Pagination makes a rebuild stream resumable: a
+// destination restarts a cell (cheap) rather than the whole transfer.
+type CellSnapshotReq struct {
+	Cell   int
+	Box    geom.Box
+	Offset uint64
+	Limit  int
+}
+
+// UntrackedDeadline is the CellSnapshotResp sentinel for an item with no
+// TTL entry (inserted via the plain update path, not ingest).
+const UntrackedDeadline = math.MinInt64
+
+// CellSnapshotResp is one page of a cell snapshot. Total is the cell's
+// item count at the moment the page was cut; a Total that changes between
+// pages tells the puller the cell moved underneath it and the cell must be
+// re-pulled. ExpireAts parallels Items (UntrackedDeadline = no TTL), so a
+// rebuilt replica reproduces the source's expiry heap exactly and later
+// Expire sweeps stay bit-identical across replicas.
+//
+// Orphans/OrphanAts (present only on the final page) are expiry entries
+// with no matching live item — a plain delete removes the item but not its
+// TTL entry, and an Expire sweep still pops (and counts) the entry later.
+// Replicas must agree on these too or post-rebuild sweep counts would
+// diverge across replicas.
+type CellSnapshotResp struct {
+	Total     uint64
+	Items     []core.Item
+	ExpireAts []int64
+	Orphans   []core.Item
+	OrphanAts []int64
+}
+
+// ResyncReq nudges a shard that the router believes missed acked writes
+// (it is fenced as stale) to run another peer-rebuild convergence pass.
+// The shard answers whether it started (or already had) a pass; its
+// SyncGen will change when the pass completes.
+type ResyncReq struct{}
+
+// ResyncResp acknowledges a resync nudge. Target is the sync generation
+// that proves a convergence pass begun *after* this nudge has completed:
+// the shard computes it as its current generation, plus one for a pass
+// already in flight (which may predate the write the router saw the shard
+// miss), plus one for the nudged pass itself. The router must keep the
+// shard fenced until its pong generation reaches Target — an earlier
+// generation could come from a pass that started before the miss.
+type ResyncResp struct {
+	Started bool
+	Target  uint64
+}
+
+// AggCellsReq asks for one windowed aggregate over Box restricted to the
+// union of the given half-open cells — the replication-aware form of
+// AggReq: the router assigns each intersecting cell to exactly one
+// replica, so summing the per-shard partials counts every stored item
+// exactly once. Answered by an AggResp with a single result.
+type AggCellsReq struct {
+	Box   geom.Box
+	Cells []geom.Box
+}
+
 // RemoteError is a shard-side failure relayed over the wire.
 type RemoteError struct {
 	Code uint16
@@ -289,13 +387,18 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 	case Ping:
 		hdr(msgPing, 0)
 	case Pong:
-		hdr(msgPong, 9)
-		var r byte
+		hdr(msgPong, 18)
+		var r, s byte
 		if v.Ready {
 			r = 1
 		}
+		if v.Synced {
+			s = 1
+		}
 		buf = append(buf, r)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Size))
+		buf = append(buf, s)
+		buf = binary.LittleEndian.AppendUint64(buf, v.SyncGen)
 	case KNNReq:
 		hdr(msgKNNReq, 8+len(v.Points)*8*dim)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.K))
@@ -306,7 +409,7 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 	case KNNResp:
 		n := 4
 		for _, cands := range v.Results {
-			n += 4 + 12*len(cands)
+			n += 4 + (12+8*dim)*len(cands)
 		}
 		hdr(msgKNNResp, n)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Results)))
@@ -315,6 +418,7 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 			for _, c := range cands {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(c.ID))
 				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Dist2))
+				buf = appendPoint(buf, c.P)
 			}
 		}
 	case RangeReq:
@@ -411,6 +515,45 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 				buf = binary.LittleEndian.AppendUint64(buf, uint64(b.Count))
 			}
 		}
+	case CellSnapshotReq:
+		hdr(msgCellSnapReq, 4+16*dim+12)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Cell))
+		buf = appendPoint(buf, v.Box.Lo)
+		buf = appendPoint(buf, v.Box.Hi)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Offset)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Limit))
+	case CellSnapshotResp:
+		hdr(msgCellSnapResp, 16+(itemSize(dim)+8)*(len(v.Items)+len(v.Orphans)))
+		buf = binary.LittleEndian.AppendUint64(buf, v.Total)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for i, it := range v.Items {
+			buf = appendItem(buf, it)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.ExpireAts[i]))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Orphans)))
+		for i, it := range v.Orphans {
+			buf = appendItem(buf, it)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.OrphanAts[i]))
+		}
+	case ResyncReq:
+		hdr(msgResyncReq, 0)
+	case ResyncResp:
+		hdr(msgResyncResp, 9)
+		var s byte
+		if v.Started {
+			s = 1
+		}
+		buf = append(buf, s)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Target)
+	case AggCellsReq:
+		hdr(msgAggCellsReq, 16*dim+4+len(v.Cells)*16*dim)
+		buf = appendPoint(buf, v.Box.Lo)
+		buf = appendPoint(buf, v.Box.Hi)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Cells)))
+		for _, b := range v.Cells {
+			buf = appendPoint(buf, b.Lo)
+			buf = appendPoint(buf, b.Hi)
+		}
 	case *RemoteError:
 		hdr(msgErr, 6+len(v.Msg))
 		buf = binary.LittleEndian.AppendUint16(buf, v.Code)
@@ -462,10 +605,12 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 	case msgPong:
 		ready := d.u8()
 		size := d.u64()
-		if ready > 1 {
-			return reqID, nil, fmt.Errorf("%w: pong ready byte %d", ErrWire, ready)
+		synced := d.u8()
+		gen := d.u64()
+		if d.err == nil && (ready > 1 || synced > 1) {
+			return reqID, nil, fmt.Errorf("%w: pong flag bytes %d/%d", ErrWire, ready, synced)
 		}
-		m = Pong{Ready: ready == 1, Size: int64(size)}
+		m = Pong{Ready: ready == 1, Size: int64(size), Synced: synced == 1, SyncGen: gen}
 	case msgKNNReq:
 		k := d.u32()
 		count := d.count(8 * dim)
@@ -481,11 +626,12 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 		count := d.count(4)
 		res := make([][]heapx.Candidate, count)
 		for i := range res {
-			mcount := d.count(12)
+			mcount := d.count(12 + 8*dim)
 			cands := make([]heapx.Candidate, mcount)
 			for j := range cands {
 				cands[j].ID = int32(d.u32())
 				cands[j].Dist2 = d.f64()
+				cands[j].P = d.point(dim)
 			}
 			res[i] = cands
 		}
@@ -630,6 +776,77 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 			kinds = append(kinds, KindLatency{Kind: name, Max: max, Buckets: bs})
 		}
 		m = StatsResp{Kinds: kinds}
+	case msgCellSnapReq:
+		cell := d.u32()
+		lo := d.point(dim)
+		hi := d.point(dim)
+		if d.err == nil {
+			for ax := range lo {
+				if !(lo[ax] <= hi[ax]) {
+					return reqID, nil, fmt.Errorf("%w: inverted or NaN cell box on axis %d", ErrWire, ax)
+				}
+			}
+		}
+		offset := d.u64()
+		limit := d.u32()
+		if d.err == nil && cell > 1<<20 {
+			return reqID, nil, fmt.Errorf("%w: cell id %d out of range", ErrWire, cell)
+		}
+		m = CellSnapshotReq{Cell: int(cell), Box: geom.Box{Lo: lo, Hi: hi}, Offset: offset, Limit: int(limit)}
+	case msgCellSnapResp:
+		total := d.u64()
+		count := d.count(itemSize(dim) + 8)
+		items := make([]core.Item, count)
+		ats := make([]int64, count)
+		for i := range items {
+			items[i] = d.item(dim)
+			ats[i] = int64(d.u64())
+		}
+		ocount := d.count(itemSize(dim) + 8)
+		orphans := make([]core.Item, ocount)
+		oats := make([]int64, ocount)
+		for i := range orphans {
+			orphans[i] = d.item(dim)
+			oats[i] = int64(d.u64())
+		}
+		if d.err == nil && uint64(count) > total {
+			return reqID, nil, fmt.Errorf("%w: snapshot page %d items exceeds total %d", ErrWire, count, total)
+		}
+		m = CellSnapshotResp{Total: total, Items: items, ExpireAts: ats, Orphans: orphans, OrphanAts: oats}
+	case msgResyncReq:
+		m = ResyncReq{}
+	case msgResyncResp:
+		started := d.u8()
+		target := d.u64()
+		if d.err == nil && started > 1 {
+			return reqID, nil, fmt.Errorf("%w: resync started byte %d", ErrWire, started)
+		}
+		m = ResyncResp{Started: started == 1, Target: target}
+	case msgAggCellsReq:
+		qlo := d.point(dim)
+		qhi := d.point(dim)
+		if d.err == nil {
+			for ax := range qlo {
+				if !(qlo[ax] <= qhi[ax]) {
+					return reqID, nil, fmt.Errorf("%w: inverted or NaN box on axis %d", ErrWire, ax)
+				}
+			}
+		}
+		count := d.count(16 * dim)
+		cells := make([]geom.Box, count)
+		for i := range cells {
+			lo := d.point(dim)
+			hi := d.point(dim)
+			if d.err == nil {
+				for ax := range lo {
+					if !(lo[ax] <= hi[ax]) {
+						return reqID, nil, fmt.Errorf("%w: inverted or NaN cell box on axis %d", ErrWire, ax)
+					}
+				}
+			}
+			cells[i] = geom.Box{Lo: lo, Hi: hi}
+		}
+		m = AggCellsReq{Box: geom.Box{Lo: qlo, Hi: qhi}, Cells: cells}
 	case msgErr:
 		code := d.u16()
 		n := d.u32()

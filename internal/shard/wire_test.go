@@ -69,11 +69,11 @@ func wireMessages(dim int) []any {
 	pt := func(vs ...float64) geom.Point { return vs[:dim] }
 	return []any{
 		Ping{},
-		Pong{Ready: true, Size: 12345},
+		Pong{Ready: true, Size: 12345, Synced: true, SyncGen: 3},
 		Pong{Ready: false, Size: 0},
 		KNNReq{K: 8, Points: []geom.Point{pt(0.25, 0.5, 0.75), pt(1, 2, 3)}},
 		KNNResp{Results: [][]heapx.Candidate{
-			{{Dist2: 0.125, ID: 7}, {Dist2: 0.125, ID: 9}},
+			{{Dist2: 0.125, ID: 7, P: pt(0.25, 0.5, 0.75)}, {Dist2: 0.125, ID: 9, P: pt(0.5, 0.25, 0.125)}},
 			{},
 		}},
 		RangeReq{Boxes: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}}},
@@ -104,7 +104,35 @@ func wireMessages(dim int) []any {
 		}},
 		&RemoteError{Code: CodeUnavailable, Msg: "draining"},
 		&RemoteError{Code: CodeBadRequest, Msg: ""},
+		CellSnapshotReq{Cell: 2, Box: geom.Box{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}, Offset: 128, Limit: 64},
+		CellSnapshotReq{Cell: 0, Box: infBox(dim), Offset: 0, Limit: 0},
+		CellSnapshotResp{
+			Total:     3,
+			Items:     []core.Item{{ID: 4, Priority: 0.25, P: pt(0.1, 0.1, 0.1)}, {ID: 6, P: pt(0.2, 0.2, 0.2)}},
+			ExpireAts: []int64{9000, math.MinInt64},
+			Orphans:   []core.Item{{ID: 9, P: pt(0.4, 0.4, 0.4)}},
+			OrphanAts: []int64{750},
+		},
+		CellSnapshotResp{Total: 0},
+		ResyncReq{},
+		ResyncResp{Started: true, Target: 7},
+		ResyncResp{Started: false},
+		AggCellsReq{
+			Box:   geom.Box{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)},
+			Cells: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(0.5, 1, 1)}, infBox(dim)},
+		},
 	}
+}
+
+// infBox is a partition outer cell: every face at ±Inf.
+func infBox(dim int) geom.Box {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		lo[d] = math.Inf(-1)
+		hi[d] = math.Inf(1)
+	}
+	return geom.Box{Lo: lo, Hi: hi}
 }
 
 // aggOf builds a dim-dimensional aggregate whose exact sums each hold the
@@ -195,6 +223,25 @@ func normalize(m any) any {
 			if len(v.Kinds[i].Buckets) == 0 {
 				v.Kinds[i].Buckets = nil
 			}
+		}
+		return v
+	case CellSnapshotResp:
+		if len(v.Items) == 0 {
+			v.Items = nil
+		}
+		if len(v.ExpireAts) == 0 {
+			v.ExpireAts = nil
+		}
+		if len(v.Orphans) == 0 {
+			v.Orphans = nil
+		}
+		if len(v.OrphanAts) == 0 {
+			v.OrphanAts = nil
+		}
+		return v
+	case AggCellsReq:
+		if len(v.Cells) == 0 {
+			v.Cells = nil
 		}
 		return v
 	}
@@ -314,6 +361,41 @@ func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
 			}}, 2)
 			return p[:len(p)-6]
 		}},
+		{"oversized snapshot cell id", func() []byte {
+			return encodePayload(1, CellSnapshotReq{Cell: 1 << 21, Box: infBox(2)}, 2)
+		}},
+		{"inverted snapshot cell box", func() []byte {
+			return encodePayload(1, CellSnapshotReq{Cell: 0, Box: geom.Box{
+				Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0},
+			}}, 2)
+		}},
+		{"snapshot page exceeds total", func() []byte {
+			return encodePayload(1, CellSnapshotResp{
+				Total:     0,
+				Items:     []core.Item{{ID: 1, P: geom.Point{0, 0}}},
+				ExpireAts: []int64{5},
+			}, 2)
+		}},
+		{"snapshot orphan truncated", func() []byte {
+			p := encodePayload(1, CellSnapshotResp{
+				Total:     1,
+				Items:     []core.Item{{ID: 1, P: geom.Point{0, 0}}},
+				ExpireAts: []int64{5},
+				Orphans:   []core.Item{{ID: 2, P: geom.Point{1, 1}}},
+				OrphanAts: []int64{9},
+			}, 2)
+			return p[:len(p)-4]
+		}},
+		{"resync started byte", func() []byte {
+			p := encodePayload(1, ResyncResp{Started: true}, 2)
+			p[9] = 2
+			return p
+		}},
+		{"inverted aggcells cell box", func() []byte {
+			return encodePayload(1, AggCellsReq{Box: infBox(2), Cells: []geom.Box{
+				{Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0}},
+			}}, 2)
+		}},
 		{"empty payload", func() []byte { return nil }},
 	} {
 		if _, _, err := DecodePayload(tc.mut(), 2); !errors.Is(err, ErrWire) {
@@ -341,11 +423,17 @@ func TestRemoteErrorRetryable(t *testing.T) {
 func TestWireSmallerThanJSON(t *testing.T) {
 	cands := make([]heapx.Candidate, 16)
 	for i := range cands {
-		cands[i] = heapx.Candidate{Dist2: float64(i) * 0.1234567890123, ID: int32(i * 1000)}
+		cands[i] = heapx.Candidate{
+			Dist2: float64(i) * 0.1234567890123,
+			ID:    int32(i * 1000),
+			P:     geom.Point{float64(i) * 0.7071067811865476, float64(i) * 0.5403023058681398},
+		}
 	}
 	frame := EncodeFrame(1, KNNResp{Results: [][]heapx.Candidate{cands}}, 2)
-	// A conservative JSON rendering of the same data.
-	jsonLen := len(`{"results":[[`) + 16*len(`{"id":15000,"dist2":1.8518518351845},`)
+	// A conservative JSON rendering of the same data (v2 candidates carry
+	// the point's coordinates so routers can re-derive cell ownership).
+	jsonLen := len(`{"results":[[`) +
+		16*len(`{"id":15000,"dist2":1.8518518351845,"p":[10.606601717798213,8.104534588022097]},`)
 	if len(frame)*2 >= jsonLen {
 		t.Fatalf("binary frame %d bytes, JSON ≈ %d: expected > 2× saving", len(frame), jsonLen)
 	}

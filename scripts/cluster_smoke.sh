@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Cluster smoke test: boot 3 durable shards behind a router, run a mixed
-# workload, kill -9 one shard mid-run, and assert the failure semantics the
+# Cluster smoke test for the replicated cluster (replication factor 2):
+# boot 3 durable shards (each running the peer Rebuilder) behind a router,
+# run a mixed workload, and assert the failure semantics the replicated
 # router promises:
 #
-#   degrade   — the router sheds the dead shard; answers that would need it
-#               are refused (503), never served partially; inserts whose
-#               owner is down are refused, never acked.
-#   recover   — the restarted shard (same data dir) is reinstated by the
-#               health prober, cluster-wide queries work again, and every
-#               acked update is present: zero lost acked updates.
+#   failover  — kill -9 a shard mid-run: every cell still has a healthy
+#               replica, so reads stay exact (200, never partial) and
+#               writes KEEP flowing, acked by the surviving replica; the
+#               router records failovers and fences the dead shard stale.
+#   resync    — the restarted shard (same data dir) recovers its WAL, is
+#               nudged by the router to resync the writes it missed, and
+#               is only routed reads again once back in sync. Zero acked
+#               updates lost.
+#   rebuild   — kill a shard and WIPE its data dir: the restart streams
+#               its cells back from peer replicas over the wire (peer
+#               rebuild) and flips /readyz only once caught up. Zero
+#               acked updates lost.
 #
 # Used by the ci cluster-smoke job; runs standalone with no arguments.
 set -euo pipefail
@@ -46,6 +53,7 @@ fail() {
 HTTP_BASE=18080 # router on :18080, shard i HTTP on :1808i
 WIRE_BASE=19080 # shard i wire protocol on :1908i
 ROUTER="http://127.0.0.1:$HTTP_BASE"
+PEERS="127.0.0.1:$((WIRE_BASE + 1)),127.0.0.1:$((WIRE_BASE + 2)),127.0.0.1:$((WIRE_BASE + 3))"
 
 status_of() { curl -s -o /dev/null -w '%{http_code}' --max-time 10 "$@"; }
 
@@ -62,6 +70,12 @@ wait_http() { # url grep-pattern [timeout-seconds]
   done
 }
 
+wait_synced() { # wait until the router reports every shard healthy and in sync
+  wait_http "$ROUTER/statsz" '"healthy_shards": *3'
+  wait_http "$ROUTER/statsz" '"synced_shards": *3'
+  wait_http "$ROUTER/statsz" '"stale_shards": *0'
+}
+
 log "building pimkd-server and pimkd-router"
 go build -o "$BIN/" ./cmd/pimkd-server ./cmd/pimkd-router
 
@@ -70,6 +84,8 @@ start_shard() { # index (1..3)
   "$BIN/pimkd-server" \
     -addr "127.0.0.1:$((HTTP_BASE + i))" \
     -shard-addr "127.0.0.1:$((WIRE_BASE + i))" \
+    -cluster-self "$((i - 1))" -cluster-peers "$PEERS" \
+    -rebuild-patience 2s \
     -data-dir "$WORK/shard$i" \
     -n 0 -p 16 -max-batch 64 -linger 1ms \
     >>"$WORK/shard$i.log" 2>&1 &
@@ -78,34 +94,34 @@ start_shard() { # index (1..3)
   disown # no job-control noise when the chaos phase kills it
 }
 
-log "booting 3 shards"
+log "booting 3 replicated shards (replication factor 2)"
 for i in 1 2 3; do start_shard "$i"; done
 for i in 1 2 3; do
+  # /readyz holds 503 until the peer rebuild settles (a cold cluster boot
+  # converges to empty local state after the rebuild patience window).
   wait_http "http://127.0.0.1:$((HTTP_BASE + i))/readyz" ok
 done
 
 log "booting router"
 "$BIN/pimkd-router" -addr "127.0.0.1:$HTTP_BASE" \
-  -shards "127.0.0.1:$((WIRE_BASE + 1)),127.0.0.1:$((WIRE_BASE + 2)),127.0.0.1:$((WIRE_BASE + 3))" \
+  -shards "$PEERS" \
   -timeout 2s -probe-interval 100ms -fail-threshold 2 \
   >"$WORK/router.log" 2>&1 &
 PIDS+=($!)
 disown
 wait_http "$ROUTER/shardz" '"healthy": *3'
-log "router up, 3/3 shards healthy"
+wait_synced
+log "router up, 3/3 shards healthy and in sync"
 
 ACKED="$WORK/acked.txt"
-REFUSED="$WORK/refused.txt"
 : >"$ACKED"
-: >"$REFUSED"
-insert_point() { # id x y — records the id as acked (200) or refused
+insert_point() { # id x y — records the id as acked (200)
   local code
   code="$(status_of -X POST "$ROUTER/insert?id=$1&p=$2,$3")"
   if [ "$code" = 200 ]; then
     echo "$1" >>"$ACKED"
     return 0
   fi
-  echo "$1" >>"$REFUSED"
   return 1
 }
 grid_xy() { # id → "x y" on a 10×6 grid spanning every partition cell
@@ -123,48 +139,73 @@ go run ./examples/serving -target "$ROUTER" -clients 4 -requests 15 -k 4 >"$WORK
   fail "load generator against healthy cluster"
 grep -q "router fanout" "$WORK/load1.log" || fail "load generator saw no router fanout info"
 
-log "killing shard 2 (kill -9) mid-run"
+log "scenario A: killing shard 2 (kill -9) mid-run — failover, not refusal"
 kill -9 "$SHARD2_PID"
 wait_http "$ROUTER/shardz" '"healthy": *2'
 log "router shed the dead shard (2/3 healthy)"
 
-# A kNN that needs every point cannot be answered exactly without shard 2:
-# it must be refused outright, not silently truncated.
+# Every cell shard 2 hosted has a replica on a surviving shard, so exact
+# cluster-wide reads must still be served (with replication 1 these were
+# refused with 503).
 code="$(status_of "$ROUTER/knn?p=0.5,0.5&k=100000")"
-[ "$code" = 503 ] || fail "cluster-wide kNN while degraded returned $code, want 503"
+[ "$code" = 200 ] || fail "cluster-wide kNN during single-shard outage returned $code, want 200 (failover)"
 code="$(status_of "$ROUTER/range?lo=0,0&hi=1,1")"
-[ "$code" = 503 ] || fail "full-box range while degraded returned $code, want 503"
-log "degraded reads refused with 503 (no partial answers)"
+[ "$code" = 200 ] || fail "full-box range during single-shard outage returned $code, want 200 (failover)"
+log "exact reads served through replica failover"
 
-log "phase 2: 30 inserts during the outage (dead-owner inserts must be refused)"
+log "scenario A: 30 inserts during the outage (all must ack via failover)"
 for i in $(seq 100 129); do
   read -r x y <<<"$(grid_xy "$i")"
-  insert_point "$i" "$x" "$y" || true
+  insert_point "$i" "$x" "$y" || fail "insert $i refused during single-shard outage (failover write)"
 done
-refused_count="$(wc -l <"$REFUSED")"
-[ "$refused_count" -gt 0 ] || fail "no insert was refused while a shard was down"
-log "phase 2: $refused_count/30 refused (dead owner), $((30 - refused_count)) acked on live shards"
+curl -fsS "$ROUTER/statsz" | grep -q '"failovers": *[1-9]' ||
+  fail "router recorded no failovers despite writes landing on dead-primary cells"
+curl -fsS "$ROUTER/statsz" | grep -q '"stale_marks": *[1-9]' ||
+  fail "router never fenced the dead shard stale despite it missing acked writes"
+log "failover writes acked, dead shard fenced stale"
 
-log "restarting shard 2 from its data dir"
+log "scenario A: restarting shard 2 from its data dir (WAL recovery + resync)"
 start_shard 2
 wait_http "http://127.0.0.1:$((HTTP_BASE + 2))/readyz" ok
-wait_http "$ROUTER/shardz" '"healthy": *3'
-log "router reinstated the recovered shard (3/3 healthy)"
+wait_synced
+curl -fsS "$ROUTER/statsz" | grep -q '"resync_nudges": *[1-9]' ||
+  fail "router never nudged the revived shard to resync"
+log "router reinstated and resynced the recovered shard (3/3 healthy, in sync)"
 
-code="$(status_of "$ROUTER/knn?p=0.5,0.5&k=100000")"
-[ "$code" = 200 ] || fail "cluster-wide kNN after recovery returned $code, want 200"
+verify_acked() { # label — every acked id must be present in a full-box range
+  curl -fsS "$ROUTER/range?lo=0,0&hi=1,1" >"$WORK/final.json"
+  grep -o '"id": *[0-9]*' "$WORK/final.json" | grep -o '[0-9]*$' | sort -u >"$WORK/got.txt"
+  sort -u "$ACKED" >"$WORK/want.txt"
+  missing="$(comm -23 "$WORK/want.txt" "$WORK/got.txt")"
+  [ -z "$missing" ] || fail "acked updates lost ($1): $missing"
+}
 
-log "verifying zero lost acked updates"
-curl -fsS "$ROUTER/range?lo=0,0&hi=1,1" >"$WORK/final.json"
-grep -o '"id": *[0-9]*' "$WORK/final.json" | grep -o '[0-9]*$' | sort -u >"$WORK/got.txt"
-sort -u "$ACKED" >"$WORK/want.txt"
-missing="$(comm -23 "$WORK/want.txt" "$WORK/got.txt")"
-[ -z "$missing" ] || fail "acked updates lost across the kill/restart: $missing"
-leaked="$(comm -12 <(sort -u "$REFUSED") "$WORK/got.txt")"
-[ -z "$leaked" ] || fail "refused (never-acked) inserts present after recovery: $leaked"
+log "verifying zero lost acked updates after kill/restart"
+verify_acked "kill -9 + restart"
 
-log "read workload against the recovered cluster"
+log "scenario B: killing shard 3 and WIPING its data dir — peer rebuild"
+kill -9 "$SHARD3_PID"
+wait_http "$ROUTER/shardz" '"healthy": *2'
+log "scenario B: 20 inserts while shard 3 is down (must ack via failover)"
+for i in $(seq 200 219); do
+  read -r x y <<<"$(grid_xy "$i")"
+  insert_point "$i" "$x" "$y" || fail "insert $i refused during shard-3 outage"
+done
+rm -rf "$WORK/shard3"
+log "data dir wiped; restarting shard 3 with nothing but its peers"
+start_shard 3
+# /readyz must flip only once the peer rebuild has streamed the cells back.
+wait_http "http://127.0.0.1:$((HTTP_BASE + 3))/readyz" ok
+grep -q "rebuild converged" "$WORK/shard3.log" ||
+  fail "restarted shard 3 never logged a converged peer rebuild"
+wait_synced
+log "shard 3 rebuilt from peers and rejoined in sync"
+
+log "verifying zero lost acked updates after data-dir wipe + peer rebuild"
+verify_acked "wipe + peer rebuild"
+
+log "read workload against the rebuilt cluster"
 go run ./examples/serving -target "$ROUTER" -clients 4 -requests 10 -k 4 >"$WORK/load2.log" 2>&1 ||
-  fail "load generator against recovered cluster"
+  fail "load generator against rebuilt cluster"
 
-log "PASS: degrade observed, shard reinstated, zero lost acked updates"
+log "PASS: failover served reads and writes, resync and peer rebuild converged, zero lost acked updates"
