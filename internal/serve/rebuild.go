@@ -29,9 +29,10 @@ import (
 // source's acked state at the snapshot cut; writes in flight across the
 // cut apply idempotently on top on both sides.
 //
-// If no peer is both ready and synced for longer than Patience, the shard
-// serves its local state: on a cold cluster boot every replica starts
-// unsynced and would otherwise deadlock waiting on its peers.
+// If no peer is both ready and synced for longer than Patience, the
+// initial run serves the shard's local state: on a cold cluster boot every
+// replica starts unsynced and would otherwise deadlock waiting on its
+// peers. Nudged resyncs are stricter — see OnResync.
 type Rebuilder struct {
 	svc *Service
 	cfg RebuildConfig
@@ -39,13 +40,27 @@ type Rebuilder struct {
 	clients map[int]*shard.Client
 	synced  atomic.Bool
 
-	// mu guards gen and inflight as one transition: a run completing
+	// mu guards the run bookkeeping as one transition: a run completing
 	// increments gen and clears inflight atomically, so OnResync's target
 	// arithmetic never sees a run both completed (gen counted) and still
 	// in flight (inflight set), or neither.
 	mu       sync.Mutex
 	gen      uint64 // completed convergence runs
 	inflight bool   // a run is currently executing
+	// resyncTarget is the highest generation any OnResync promised. While
+	// gen lags it, Synced reports false even though the synced claim is
+	// set: the shard was told it may have missed an acked write, so it
+	// must not advertise itself as an authoritative rebuild source (a peer
+	// pulling a stale cut would RestoreCell-delete the missed write from
+	// its own copy) until a post-nudge run completes.
+	resyncTarget uint64
+	// pendingEvidenced records whether any not-yet-served nudge was
+	// evidenced (the router watched this shard miss an acked write). The
+	// run serving those nudges must then converge against a peer — the
+	// Patience give-up path is forbidden, because completing it would
+	// advance gen to the promised target and unfence the shard with the
+	// missed write still absent.
+	pendingEvidenced bool
 
 	nudge chan struct{}
 	stop  chan struct{}
@@ -73,7 +88,9 @@ type RebuildConfig struct {
 	// Timeout bounds each wire call (default 5s).
 	Timeout time.Duration
 	// Patience is how long a convergence run keeps hunting for an eligible
-	// peer before serving local state (default 5s).
+	// peer before giving up the run (default 5s). The initial boot run and
+	// precautionary resyncs then serve local state; a resync nudged for a
+	// known missed write instead stays fenced and retries.
 	Patience time.Duration
 	// PassInterval is the pause between convergence passes (default 100ms):
 	// long enough for in-flight writes from the last pass's snapshot window
@@ -119,12 +136,17 @@ func NewRebuilder(svc *Service, cfg RebuildConfig) *Rebuilder {
 // Synced implements SyncState: the shard's sync claim and its generation.
 // The generation changes exactly when a convergence run completes, so a
 // router that fenced this shard as stale can tell a fresh convergence from
-// the shard merely still believing its pre-fence state.
+// the shard merely still believing its pre-fence state. The claim is
+// withdrawn the moment a nudge arrives and restored only when the
+// generation reaches the promised target — mirroring the router's fence on
+// the shard itself, so rebuilding peers (which pick sources by this claim)
+// never pull from a replica the router knows to be stale.
 func (r *Rebuilder) Synced() (bool, uint64) {
 	r.mu.Lock()
 	gen := r.gen
+	caughtUp := gen >= r.resyncTarget
 	r.mu.Unlock()
-	return r.synced.Load(), gen
+	return r.synced.Load() && caughtUp, gen
 }
 
 // OnResync implements SyncState: it schedules another convergence run (the
@@ -134,12 +156,22 @@ func (r *Rebuilder) Synced() (bool, uint64) {
 // miss, so the target is current generation + in-flight run (if any) + the
 // nudged run: any run starting after this call begins after the miss, and
 // the generation reaching the target proves such a run completed.
-func (r *Rebuilder) OnResync() (uint64, bool) {
+//
+// evidenced=true marks a known miss: the runs serving this nudge must
+// converge against an eligible peer — they never complete via the Patience
+// give-up path, so the generation cannot reach the target (and neither the
+// router's fence nor the local sync claim can lift) until the shard
+// actually caught up.
+func (r *Rebuilder) OnResync(evidenced bool) (uint64, bool) {
 	r.mu.Lock()
 	target := r.gen + 1
 	if r.inflight {
 		target++
 	}
+	if target > r.resyncTarget {
+		r.resyncTarget = target
+	}
+	r.pendingEvidenced = r.pendingEvidenced || evidenced
 	r.mu.Unlock()
 	select {
 	case r.nudge <- struct{}{}:
@@ -159,17 +191,24 @@ func (r *Rebuilder) Close() {
 
 func (r *Rebuilder) run() {
 	defer close(r.done)
-	r.convergeRun()
+	// The initial run may complete via the Patience path: on a cold boot
+	// nothing has been acked without this shard, so its durable state is
+	// authoritative when no peer turns up.
+	r.convergeRun(false)
 	r.synced.Store(true)
 	for {
 		select {
 		case <-r.stop:
 			return
 		case <-r.nudge:
-			// A nudge-resync keeps the synced claim (the router's stale
-			// fence keeps reads away until the generation changes, which
-			// only happens after this run converges).
-			r.convergeRun()
+			// Serve every nudge delivered so far: an evidenced one forbids
+			// the Patience give-up for this run (grab-and-clear, so a nudge
+			// arriving mid-run keeps its own flag for the next run).
+			r.mu.Lock()
+			evidenced := r.pendingEvidenced
+			r.pendingEvidenced = false
+			r.mu.Unlock()
+			r.convergeRun(evidenced)
 		}
 	}
 }
@@ -177,11 +216,29 @@ func (r *Rebuilder) run() {
 // convergeRun brackets converge with the (gen, inflight) bookkeeping
 // OnResync's target computation depends on: completing a run increments
 // the generation and clears the in-flight flag in one transition.
-func (r *Rebuilder) convergeRun() {
+//
+// With mustConverge set (an evidenced nudge: the router watched this shard
+// miss an acked write) the run completes only on a clean convergence pass
+// — a Patience give-up retries instead of counting, because advancing the
+// generation would let the router unfence a replica that never caught up,
+// serve reads missing the acked write, and (worse) let a rebuilding peer
+// pull the stale cut and RestoreCell-delete the write from the cluster's
+// only remaining copy.
+func (r *Rebuilder) convergeRun(mustConverge bool) {
 	r.mu.Lock()
 	r.inflight = true
 	r.mu.Unlock()
-	r.converge()
+	for !r.converge() && mustConverge {
+		r.logf("rebuild: known missed write, staying fenced until a peer serves a clean pass")
+		select {
+		case <-r.stop:
+			r.mu.Lock()
+			r.inflight = false
+			r.mu.Unlock()
+			return
+		case <-time.After(r.cfg.PassInterval):
+		}
+	}
 	r.mu.Lock()
 	r.gen++
 	r.inflight = false
@@ -204,13 +261,14 @@ func (r *Rebuilder) hasPeers() bool {
 }
 
 // converge loops rebuild passes until one full pass pulls every hosted
-// cell and changes nothing, or until Patience expires without a single
-// fully-pulled pass (no eligible peer: serve local state).
-func (r *Rebuilder) converge() {
+// cell and changes nothing (returns true), or until Patience expires
+// without a single fully-pulled pass (no eligible peer: returns false, the
+// caller decides whether local state may be served).
+func (r *Rebuilder) converge() bool {
 	if !r.hasPeers() {
 		// Standalone shard or replication factor 1: nothing to pull from,
 		// the local state is authoritative by definition.
-		return
+		return true
 	}
 	start := time.Now()
 	deadline := start.Add(r.cfg.Patience)
@@ -228,20 +286,20 @@ func (r *Rebuilder) converge() {
 				if r.cfg.OnRebuilt != nil {
 					r.cfg.OnRebuilt(cells, items, cost, time.Since(start))
 				}
-				return
+				return true
 			}
 			deadline = time.Now().Add(r.cfg.Patience) // progress: keep going
 		} else if time.Now().After(deadline) {
-			r.logf("rebuild: no eligible peer for %v, serving local state (%d cells pulled)",
+			r.logf("rebuild: no eligible peer for %v (%d cells pulled)",
 				r.cfg.Patience, pulled)
 			if r.cfg.OnRebuilt != nil && cells > 0 {
 				r.cfg.OnRebuilt(cells, items, cost, time.Since(start))
 			}
-			return
+			return false
 		}
 		select {
 		case <-r.stop:
-			return
+			return false
 		case <-time.After(r.cfg.PassInterval):
 		}
 	}
@@ -278,9 +336,13 @@ func (r *Rebuilder) pass() (pulled int64, changed bool, items int64, cost pim.St
 }
 
 // pullCell streams one cell from the first eligible peer in placement
-// order. A peer is eligible when its pong reports Ready and Synced. A wire
-// error mid-stream abandons that peer entirely — nothing has been applied,
-// so a torn stream can never leave a partially-restored cell.
+// order. A peer is eligible when its pong reports Ready and Synced — and
+// because a nudged peer withdraws its Synced claim until it provably
+// caught up (see Synced), a replica the router fenced for missing an
+// acked write stops being a pull source as soon as the nudge reaches it,
+// rather than advertising its stale cut as authoritative. A wire error
+// mid-stream abandons that peer entirely — nothing has been applied, so a
+// torn stream can never leave a partially-restored cell.
 func (r *Rebuilder) pullCell(cell int, box geom.Box) (CellSnapshot, bool) {
 	for _, p := range r.cfg.Replicas(cell) {
 		if p == r.cfg.Self || p < 0 || p >= len(r.cfg.Peers) || r.cfg.Peers[p] == "" {

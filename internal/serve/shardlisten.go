@@ -45,11 +45,13 @@ type ShardListener struct {
 type SyncState interface {
 	// Synced returns the shard's own sync claim and its generation.
 	Synced() (bool, uint64)
-	// OnResync asks for another convergence pass. It returns the sync
-	// generation that proves a pass begun after this call has completed
-	// (so the caller can wait out a pass that was already in flight), and
-	// whether a pass was scheduled.
-	OnResync() (uint64, bool)
+	// OnResync asks for another convergence pass. Evidenced tells the
+	// shard the router watched it miss an acked write (the pass must then
+	// converge against a peer; a precautionary pass may fall back to local
+	// state). It returns the sync generation that proves a pass begun
+	// after this call has completed (so the caller can wait out a pass
+	// that was already in flight), and whether a pass was scheduled.
+	OnResync(evidenced bool) (uint64, bool)
 }
 
 // NewShardListener starts serving the shard wire protocol on ln. The
@@ -106,6 +108,20 @@ func (sl *ShardListener) acceptLoop() {
 
 func (sl *ShardListener) isReady() bool { return sl.ready == nil || sl.ready() }
 
+// snapStash is one connection's cached cell-snapshot cut. A puller pages
+// one cell over one synchronous conn, so caching the cut between pages
+// both avoids recomputing (and re-sorting) the whole cell per page —
+// O(n²/pageSize) executor work otherwise — and guarantees every page of
+// one pull comes from a single consistent cut, which balanced
+// insert+delete churn between fresh cuts could defeat (Total stays equal
+// while the contents drift). The stash lives on the conn's handler
+// goroutine only; no locking.
+type snapStash struct {
+	valid bool
+	cell  int
+	snap  CellSnapshot
+}
+
 func (sl *ShardListener) handleConn(nc net.Conn) {
 	defer sl.wg.Done()
 	defer func() {
@@ -118,6 +134,7 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 	if err := shard.WriteHandshake(nc, dim); err != nil {
 		return
 	}
+	var stash snapStash
 	for {
 		payload, err := shard.ReadFrame(nc)
 		if err != nil {
@@ -129,7 +146,7 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 			// trusted, mirror the client's poison-on-error rule.
 			return
 		}
-		resp := sl.dispatch(m)
+		resp := sl.dispatch(m, &stash)
 		if _, err := nc.Write(shard.EncodeFrame(reqID, resp, dim)); err != nil {
 			return
 		}
@@ -137,8 +154,9 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 }
 
 // dispatch executes one decoded request and returns the response message
-// (possibly a *shard.RemoteError).
-func (sl *ShardListener) dispatch(m any) any {
+// (possibly a *shard.RemoteError). stash carries the connection's cached
+// cell-snapshot cut across sequential CellSnapshot pages.
+func (sl *ShardListener) dispatch(m any, stash *snapStash) any {
 	ready := sl.isReady()
 	// Ping, cell snapshots, and resync nudges are exempt from the ready
 	// gate: a recovering shard must still report status and serve rebuild
@@ -278,9 +296,22 @@ func (sl *ShardListener) dispatch(m any) any {
 		return resp
 
 	case shard.CellSnapshotReq:
-		snap, _, err := sl.svc.SnapshotCell(ctx, req.Cell, req.Box)
-		if err != nil {
-			return remoteError(err)
+		// Offset 0 starts a pull: cut the cell fresh and stash the cut.
+		// Later offsets of the same cell serve from the stash, so every
+		// page of one pull slices one consistent cut and the executor
+		// walks the cell once per pull, not once per page. A continuation
+		// with no matching stash (client reconnected mid-pull, or an
+		// out-of-order prober) falls back to a fresh cut; the puller's
+		// Total-equality check handles the ensuing inconsistency.
+		var snap CellSnapshot
+		if req.Offset > 0 && stash.valid && stash.cell == req.Cell {
+			snap = stash.snap
+		} else {
+			var err error
+			snap, _, err = sl.svc.SnapshotCell(ctx, req.Cell, req.Box)
+			if err != nil {
+				return remoteError(err)
+			}
 		}
 		total := uint64(len(snap.Items))
 		lo := req.Offset
@@ -290,6 +321,12 @@ func (sl *ShardListener) dispatch(m any) any {
 		hi := total
 		if req.Limit > 0 && lo+uint64(req.Limit) < hi {
 			hi = lo + uint64(req.Limit)
+		}
+		if hi == total {
+			stash.valid = false
+			stash.snap = CellSnapshot{}
+		} else {
+			*stash = snapStash{valid: true, cell: req.Cell, snap: snap}
 		}
 		resp := shard.CellSnapshotResp{
 			Total:     total,
@@ -310,7 +347,7 @@ func (sl *ShardListener) dispatch(m any) any {
 			// wait on a generation that will never advance.
 			return shard.ResyncResp{Started: false}
 		}
-		target, started := sl.syncst.OnResync()
+		target, started := sl.syncst.OnResync(req.Evidenced)
 		return shard.ResyncResp{Started: started, Target: target}
 
 	case shard.AggCellsReq:

@@ -316,12 +316,16 @@ func (c *Client) CellSnapshot(ctx context.Context, cell int, box geom.Box, offse
 }
 
 // Resync asks the shard to run another peer-rebuild convergence pass (the
-// router sends this when it fenced the shard as stale but the shard still
-// self-reports synced). It returns whether a pass was scheduled and the
-// sync generation at which the nudge is proven served: the router keeps
-// the shard fenced until its pong generation reaches target.
-func (c *Client) Resync(ctx context.Context) (bool, uint64, error) {
-	resp, err := c.roundTrip(ctx, ResyncReq{})
+// router sends this when it fenced the shard as stale). Evidenced tells
+// the shard whether the router watched it miss an acked write (it must
+// then converge against a peer before claiming sync again) or the fence
+// is a revival precaution (its durable state is authoritative if no peer
+// turns up within its patience window). It returns whether a pass was
+// scheduled and the sync generation at which the nudge is proven served:
+// the router keeps the shard fenced until its pong generation reaches
+// target.
+func (c *Client) Resync(ctx context.Context, evidenced bool) (bool, uint64, error) {
+	resp, err := c.roundTrip(ctx, ResyncReq{Evidenced: evidenced})
 	if err != nil {
 		return false, 0, err
 	}

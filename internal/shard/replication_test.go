@@ -9,6 +9,7 @@ package shard_test
 
 import (
 	"context"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -291,6 +292,182 @@ func TestClusterPeerRebuild(t *testing.T) {
 	}
 }
 
+// TestEvidencedFenceOutlivesPatience pins the no-data-loss core of the
+// fence protocol: a replica that missed an acked write (evidenced fence)
+// must never be unfenced — no matter how long it waits — while the only
+// replica holding that write is unreachable. The Patience fallback (serve
+// local state when no peer turns up) is reserved for boot and
+// precautionary revivals; letting an evidenced resync take it would
+// reinstate a replica without the acked write, serve "exact" reads
+// missing it, and let a later peer rebuild delete the write from its only
+// durable copy. Once the holder returns, both shards must converge with
+// zero lost acked updates and no mutual-fence deadlock (the returning
+// holder's fence is precautionary, so it may fall back to its own durable
+// state and then serve the evidenced side).
+func TestEvidencedFenceOutlivesPatience(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 2
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := shard.NewPlacement(shards, 2)
+	rbCfg := func(self int, addrs []string) serve.RebuildConfig {
+		cells := pl.CellsOf(self)
+		boxes := make([]geom.Box, len(cells))
+		for i, c := range cells {
+			boxes[i] = part.Cell(c)
+		}
+		return serve.RebuildConfig{
+			Self:         self,
+			Peers:        append([]string(nil), addrs...),
+			Cells:        cells,
+			CellBoxes:    boxes,
+			Replicas:     pl.Replicas,
+			Dim:          dim,
+			PageSize:     32,
+			Timeout:      500 * time.Millisecond,
+			Patience:     300 * time.Millisecond,
+			PassInterval: 10 * time.Millisecond,
+			Logf:         t.Logf,
+		}
+	}
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	cluster := make([]*testShard, shards)
+	rbs := make([]*serve.Rebuilder, shards)
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	for i := range cluster {
+		cluster[i], rbs[i] = startRebuildingShard(t, dim, int64(i+1), dirs[i], addrs[i], rbCfg(i, addrs))
+		addrs[i] = cluster[i].addr
+	}
+	// Re-point both rebuilders' peer lists at the bound addresses (the
+	// configs were built before listening). Cheapest correct fix: restart
+	// both shards on their now-known addresses with full peer lists.
+	for i := range cluster {
+		rbs[i].Close()
+		cluster[i].stop()
+		cluster[i], rbs[i] = startRebuildingShard(t, dim, int64(i+1), dirs[i], addrs[i], rbCfg(i, addrs))
+	}
+	stopped := make([]bool, shards)
+	down := func(i int) {
+		rbs[i].Close()
+		cluster[i].stop()
+		stopped[i] = true
+	}
+	up := func(i int) {
+		cluster[i], rbs[i] = startRebuildingShard(t, dim, int64(i+1), dirs[i], addrs[i], rbCfg(i, addrs))
+		stopped[i] = false
+	}
+	defer func() {
+		for i := range cluster {
+			if !stopped[i] {
+				rbs[i].Close()
+				cluster[i].stop()
+			}
+		}
+	}()
+
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(67))
+	acked := map[int32]core.Item{}
+	var batch []core.Item
+	for id := int32(0); id < 60; id++ {
+		batch = append(batch, core.Item{ID: id, P: geom.Point{rng.Float64(), rng.Float64()}})
+	}
+	waitFor(t, 20*time.Second, "both shards synced", func() bool {
+		for _, st := range router.Status() {
+			if !st.Healthy || !st.Synced || st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+	if n, err := router.BatchUpdate(ctx, false, batch); err != nil || n != len(batch) {
+		t.Fatalf("seed: acked %d/%d, err %v", n, len(batch), err)
+	}
+	for _, it := range batch {
+		acked[it.ID] = it
+	}
+
+	// Shard 1 goes down; a write lands, acked by shard 0 alone. Shard 1 is
+	// now fenced with evidence: it misses an acked write only shard 0 holds.
+	down(1)
+	waitFor(t, 10*time.Second, "shard 1 unhealthy", func() bool {
+		return !router.Status()[1].Healthy
+	})
+	w := core.Item{ID: 9000, P: geom.Point{0.5, 0.5}}
+	if _, err := router.Insert(ctx, w); err != nil {
+		t.Fatalf("write during outage: %v", err)
+	}
+	acked[w.ID] = w
+	if !router.Status()[1].Stale {
+		t.Fatal("shard 1 missed an acked write but was not fenced stale")
+	}
+
+	// The holder dies; the evidenced shard comes back with its durable,
+	// W-less state. However long it waits, it must not be unfenced.
+	down(0)
+	waitFor(t, 10*time.Second, "shard 0 unhealthy", func() bool {
+		return !router.Status()[0].Healthy
+	})
+	up(1)
+	waitFor(t, 10*time.Second, "shard 1 healthy again", func() bool {
+		return router.Status()[1].Healthy
+	})
+	waitFor(t, 10*time.Second, "shard 1 nudged", func() bool {
+		return router.Metrics().ResyncNudges > 0
+	})
+	// Several Patience windows plus probe intervals: ample time for the
+	// pre-fix bug (give-up path advances the generation, router unfences).
+	time.Sleep(1500 * time.Millisecond)
+	if st := router.Status()[1]; !st.Stale {
+		t.Fatal("evidenced-fenced shard was unfenced while the acked write's only holder is down")
+	}
+	// And the cell degrades rather than serving reads missing W.
+	if _, _, err := router.Range(ctx, unitBox()); !errors.Is(err, shard.ErrDegraded) {
+		t.Fatalf("range with no in-sync replica: err = %v, want ErrDegraded", err)
+	}
+
+	// The holder returns (precautionary fence: nothing was acked while it
+	// was down). It may serve its own durable state after Patience, which
+	// then lets the evidenced shard converge — no mutual-fence deadlock.
+	up(0)
+	waitFor(t, 30*time.Second, "both shards synced and unfenced", func() bool {
+		for _, st := range router.Status() {
+			if !st.Healthy || !st.Synced || st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+	items, _, err := router.Range(ctx, unitBox())
+	if err != nil {
+		t.Fatalf("full range after heal: %v", err)
+	}
+	if len(items) != len(acked) {
+		t.Fatalf("cluster holds %d items after heal, acked %d", len(items), len(acked))
+	}
+	for _, it := range items {
+		want, ok := acked[it.ID]
+		if !ok || !want.P.Equal(it.P) {
+			t.Fatalf("item %d/%v after heal was never acked", it.ID, it.P)
+		}
+	}
+}
+
 // startTruncatingProxy forwards client→server bytes unmodified but cuts
 // both directions after limit server→client bytes, tearing every response
 // stream mid-frame. Each new connection gets a fresh budget.
@@ -321,6 +498,107 @@ func startTruncatingProxy(t *testing.T, target string, limit int64) string {
 		}
 	}()
 	return ln.Addr().String()
+}
+
+// TestCellSnapshotPagesOneConsistentCut: all pages of one cell-snapshot
+// pull on one connection must come from a single cut taken at page 0.
+// Balanced churn between pages (one delete plus one insert keeps Total
+// unchanged) would evade the rebuilder's Total-equality check if every
+// page were a fresh snapshot; the per-connection stash makes the pull a
+// consistent read of the page-0 state instead.
+func TestCellSnapshotPagesOneConsistentCut(t *testing.T) {
+	const (
+		dim      = 2
+		total    = 100
+		pageSize = 10
+	)
+	s := startShard(t, dim, 1, "", "127.0.0.1:0")
+	defer s.stop()
+
+	ctx := context.Background()
+	cl := shard.NewClient(s.addr, dim)
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(71))
+	var items []core.Item
+	for id := int32(0); id < total; id++ {
+		items = append(items, core.Item{ID: id, P: geom.Point{rng.Float64(), rng.Float64()}})
+	}
+	if n, err := cl.Update(ctx, false, items); err != nil || n != total {
+		t.Fatalf("seed: %d/%d, err %v", n, total, err)
+	}
+	want := append([]core.Item(nil), items...)
+	core.SortItems(want)
+
+	first, err := cl.CellSnapshot(ctx, 0, unitBox(), 0, pageSize)
+	if err != nil {
+		t.Fatalf("page 0: %v", err)
+	}
+	if first.Total != total || len(first.Items) != pageSize {
+		t.Fatalf("page 0: total %d, %d items", first.Total, len(first.Items))
+	}
+
+	// Balanced churn between pages: delete an item due in a later page,
+	// insert a fresh one. Total stays 100 either way — only cut
+	// consistency can tell the difference.
+	victim := want[total/2]
+	if n, err := cl.Update(ctx, true, []core.Item{victim}); err != nil || n != 1 {
+		t.Fatalf("churn delete: %d, err %v", n, err)
+	}
+	intruder := core.Item{ID: 9000, P: geom.Point{rng.Float64(), rng.Float64()}}
+	if n, err := cl.Update(ctx, false, []core.Item{intruder}); err != nil || n != 1 {
+		t.Fatalf("churn insert: %d, err %v", n, err)
+	}
+
+	got := append([]core.Item(nil), first.Items...)
+	for off := uint64(pageSize); off < total; off += pageSize {
+		page, err := cl.CellSnapshot(ctx, 0, unitBox(), off, pageSize)
+		if err != nil {
+			t.Fatalf("page at %d: %v", off, err)
+		}
+		if page.Total != total {
+			t.Fatalf("page at %d reports total %d; cut drifted", off, page.Total)
+		}
+		got = append(got, page.Items...)
+	}
+	if len(got) != total {
+		t.Fatalf("concatenated pages hold %d items, want %d", len(got), total)
+	}
+	sawVictim := false
+	for i, it := range got {
+		if it.ID == intruder.ID {
+			t.Fatalf("page item %d is the mid-pull insert; pages are not one cut", i)
+		}
+		if it.ID != want[i].ID || !it.P.Equal(want[i].P) {
+			t.Fatalf("page item %d = %d/%v, want %d/%v", i, it.ID, it.P, want[i].ID, want[i].P)
+		}
+		if it.ID == victim.ID {
+			sawVictim = true
+		}
+	}
+	if !sawVictim {
+		t.Fatal("mid-pull delete leaked into the snapshot; pages are not one cut")
+	}
+
+	// A fresh pull from offset 0 sees the churned state.
+	after, err := cl.CellSnapshot(ctx, 0, unitBox(), 0, total)
+	if err != nil {
+		t.Fatalf("fresh pull: %v", err)
+	}
+	if after.Total != total {
+		t.Fatalf("fresh pull total %d, want %d (delete+insert balance)", after.Total, total)
+	}
+	foundIntruder := false
+	for _, it := range after.Items {
+		if it.ID == victim.ID {
+			t.Fatal("fresh pull still holds the deleted item")
+		}
+		if it.ID == intruder.ID {
+			foundIntruder = true
+		}
+	}
+	if !foundIntruder {
+		t.Fatal("fresh pull missing the inserted item")
+	}
 }
 
 // TestRebuildTornStreamNeverPartial: a rebuild stream that tears mid-cell

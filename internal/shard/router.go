@@ -102,23 +102,35 @@ type shardHandle struct {
 	// after the miss completes. The probe loop delivers the nudge; the
 	// shard answers with the target generation proving such a pass, and
 	// the fence lifts when its pong generation reaches it.
-	staleMu     sync.Mutex
-	stale       bool
-	staleEpoch  uint64 // bumped per markStale; invalidates in-flight nudges
-	nudgeBusy   bool   // a nudge RPC is in flight
-	nudged      bool   // a nudge was delivered for the current epoch
-	nudgeTarget uint64 // unfence when the pong generation reaches this
+	staleMu sync.Mutex
+	stale   bool
+	// staleEvidenced records whether the current fence is backed by a
+	// watched miss (the router saw another replica ack a write this shard
+	// did not apply) rather than being a revival precaution. The nudge
+	// relays it: an evidenced resync must converge against a peer before
+	// the shard's generation can reach the target, while a precautionary
+	// one may fall back to the shard's own durable state when no peer
+	// turns up — safe, because any write acked during the outage would
+	// have fenced the shard evidenced at ack time.
+	staleEvidenced bool
+	staleEpoch     uint64 // bumped per markStale; invalidates in-flight nudges
+	nudgeBusy      bool   // a nudge RPC is in flight
+	nudged         bool   // a nudge was delivered for the current epoch
+	nudgeTarget    uint64 // unfence when the pong generation reaches this
 }
 
 // markStale fences the shard from reads until a post-miss resync pass
-// completes. It reports whether this call made the shard stale (false if
-// it already was — the epoch still advances so any in-flight nudge from
-// before this new miss cannot unfence it).
-func (sh *shardHandle) markStale() bool {
+// completes; evidenced distinguishes a watched miss from a revival
+// precaution (sticky for the fence's lifetime — a precautionary fence
+// upgraded by a miss stays evidenced). It reports whether this call made
+// the shard stale (false if it already was — the epoch still advances so
+// any in-flight nudge from before this new miss cannot unfence it).
+func (sh *shardHandle) markStale(evidenced bool) bool {
 	sh.staleMu.Lock()
 	defer sh.staleMu.Unlock()
 	was := sh.stale
 	sh.stale = true
+	sh.staleEvidenced = sh.staleEvidenced || evidenced
 	sh.nudged = false
 	sh.staleEpoch++
 	return !was
@@ -263,47 +275,59 @@ func (r *Router) probeAll() {
 			}
 			sh.count.Store(pong.Size)
 			sh.fails.Store(0)
-			was := sh.healthy.Swap(true)
-			if !was && sh.everHealthy.Load() && r.pl.Replication() > 1 {
+			sh.synced.Store(pong.Synced)
+			sh.syncGen.Store(pong.SyncGen)
+			if !sh.healthy.Load() && sh.everHealthy.Load() && r.pl.Replication() > 1 {
 				// Revival: while this shard was routed around, its cells'
 				// writes were acked by the other replicas. Fence it until a
-				// fresh resync pass proves it caught up. (At R=1 nothing can
-				// have been acked without it, so no fence is needed.)
-				if sh.markStale() {
+				// fresh resync pass proves it caught up — and fence BEFORE
+				// flipping healthy, so a concurrent read plan can never
+				// catch the shard healthy-but-unfenced (and with the sync
+				// claim refreshed above, never healthy with a pre-outage
+				// claim either). (At R=1 nothing can have been acked
+				// without it, so no fence is needed.)
+				if sh.markStale(false) {
 					r.m.staleMarks.Add(1)
 				}
 			}
+			sh.healthy.Store(true)
 			sh.everHealthy.Store(true)
-			sh.synced.Store(pong.Synced)
-			sh.syncGen.Store(pong.SyncGen)
 
 			sh.staleMu.Lock()
-			if sh.stale {
-				switch {
-				case sh.nudged:
-					if pong.Synced && pong.SyncGen >= sh.nudgeTarget {
-						sh.stale = false
-						sh.nudged = false
-					}
-				case !sh.nudgeBusy:
-					sh.nudgeBusy = true
-					epoch := sh.staleEpoch
-					go r.nudge(sh, epoch)
-				}
+			if sh.stale && sh.nudged && pong.Synced && pong.SyncGen >= sh.nudgeTarget {
+				sh.stale = false
+				sh.nudged = false
+				sh.staleEvidenced = false
 			}
 			sh.staleMu.Unlock()
+			r.nudgeIfNeeded(sh)
 		}(sh)
 	}
 	wg.Wait()
 }
 
+// nudgeIfNeeded dispatches one resync nudge to a stale shard unless one
+// is already in flight or was delivered for the current fence epoch. It
+// runs from the probe loop and — so a shard that just missed an acked
+// write withdraws its sync claim (and stops serving as a rebuild source)
+// without waiting out a probe interval — directly from fanWrite's
+// fencing path.
+func (r *Router) nudgeIfNeeded(sh *shardHandle) {
+	sh.staleMu.Lock()
+	if sh.stale && !sh.nudged && !sh.nudgeBusy {
+		sh.nudgeBusy = true
+		go r.nudge(sh, sh.staleEpoch, sh.staleEvidenced)
+	}
+	sh.staleMu.Unlock()
+}
+
 // nudge asks a fenced shard to run another resync pass and records the
 // target generation its answer promises. A nudge raced by a newer miss
 // (epoch advanced) is discarded — the next probe sends a fresh one.
-func (r *Router) nudge(sh *shardHandle, epoch uint64) {
+func (r *Router) nudge(sh *shardHandle, epoch uint64, evidenced bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
 	defer cancel()
-	started, target, err := sh.client.Resync(ctx)
+	started, target, err := sh.client.Resync(ctx, evidenced)
 	r.m.resyncNudges.Add(1)
 	sh.staleMu.Lock()
 	defer sh.staleMu.Unlock()
@@ -840,10 +864,17 @@ func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
 			for _, rep := range r.pl.Replicas(cell) {
 				if wc := calls[rep]; wc == nil || wc.err != nil {
 					// This replica missed an acked write: fence it from
-					// reads until a post-miss resync pass completes.
-					if r.shards[rep].markStale() {
+					// reads until a post-miss resync pass completes. The
+					// fence is evidenced — the shard must converge against
+					// a peer, never fall back to its own (now provably
+					// incomplete) state — and the nudge goes out now, so
+					// the shard withdraws its sync claim (and stops acting
+					// as a rebuild source for peers) as soon as it can be
+					// reached instead of a probe interval later.
+					if r.shards[rep].markStale(true) {
 						r.m.staleMarks.Add(1)
 					}
+					r.nudgeIfNeeded(r.shards[rep])
 				}
 			}
 			continue

@@ -62,8 +62,8 @@ import (
 //	            cell concatenate to the cell's canonically sorted multiset;
 //	            the trailing orphan list carries expiry entries whose item
 //	            is no longer live, final page only)
-//	resyncReq   —
-//	resyncResp  started uint8
+//	resyncReq   evidenced uint8
+//	resyncResp  started uint8, target uint64
 //	aggCellsReq dim × float64 lo, dim × float64 hi (query box),
 //	            count uint32, count × (lo, hi) cell boxes
 //	            (answered by an aggResp with exactly one result: the
@@ -72,10 +72,12 @@ import (
 //
 // Version history: v2 added replication — pong sync state, per-candidate
 // coordinates in knnResp (the router filters merged candidates by cell
-// ownership), and the cellSnap/resync/aggCells messages.
+// ownership), and the cellSnap/resync/aggCells messages. v3 added the
+// resyncReq evidenced byte (whether the router saw the shard miss an
+// acked write, or is fencing a revival purely as a precaution).
 const (
 	wireMagic   = "PKDSHRD1"
-	wireVersion = 2
+	wireVersion = 3
 	// handshakeSize is the byte length of the connection header.
 	handshakeSize = 16
 	// maxFramePayload bounds one frame so a corrupted length field cannot
@@ -282,7 +284,21 @@ type CellSnapshotResp struct {
 // (it is fenced as stale) to run another peer-rebuild convergence pass.
 // The shard answers whether it started (or already had) a pass; its
 // SyncGen will change when the pass completes.
-type ResyncReq struct{}
+//
+// Evidenced tells the shard *why* it is fenced. True means the router
+// watched this shard miss a write another replica acked — the shard must
+// not claim sync again until a convergence pass actually pulled its cells
+// from an eligible peer, no matter how long that takes. False means the
+// fence is precautionary (the shard revived after being routed around and
+// nothing is known to be missing): if no eligible peer appears within the
+// shard's patience window, its own durable state is authoritative and the
+// pass may complete against it — that keeps a revival after total peer
+// loss from fencing the cluster forever, and it is safe because any write
+// acked while the shard was away would have fenced it evidenced at ack
+// time.
+type ResyncReq struct {
+	Evidenced bool
+}
 
 // ResyncResp acknowledges a resync nudge. Target is the sync generation
 // that proves a convergence pass begun *after* this nudge has completed:
@@ -536,7 +552,12 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.OrphanAts[i]))
 		}
 	case ResyncReq:
-		hdr(msgResyncReq, 0)
+		hdr(msgResyncReq, 1)
+		var e byte
+		if v.Evidenced {
+			e = 1
+		}
+		buf = append(buf, e)
 	case ResyncResp:
 		hdr(msgResyncResp, 9)
 		var s byte
@@ -814,7 +835,11 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 		}
 		m = CellSnapshotResp{Total: total, Items: items, ExpireAts: ats, Orphans: orphans, OrphanAts: oats}
 	case msgResyncReq:
-		m = ResyncReq{}
+		evidenced := d.u8()
+		if d.err == nil && evidenced > 1 {
+			return reqID, nil, fmt.Errorf("%w: resync evidenced byte %d", ErrWire, evidenced)
+		}
+		m = ResyncReq{Evidenced: evidenced == 1}
 	case msgResyncResp:
 		started := d.u8()
 		target := d.u64()

@@ -115,6 +115,7 @@ func wireMessages(dim int) []any {
 		},
 		CellSnapshotResp{Total: 0},
 		ResyncReq{},
+		ResyncReq{Evidenced: true},
 		ResyncResp{Started: true, Target: 7},
 		ResyncResp{Started: false},
 		AggCellsReq{
@@ -390,6 +391,15 @@ func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
 			p := encodePayload(1, ResyncResp{Started: true}, 2)
 			p[9] = 2
 			return p
+		}},
+		{"resync evidenced byte", func() []byte {
+			p := encodePayload(1, ResyncReq{Evidenced: true}, 2)
+			p[9] = 2
+			return p
+		}},
+		{"resync evidenced truncated", func() []byte {
+			p := encodePayload(1, ResyncReq{}, 2)
+			return p[:len(p)-1]
 		}},
 		{"inverted aggcells cell box", func() []byte {
 			return encodePayload(1, AggCellsReq{Box: infBox(2), Cells: []geom.Box{
