@@ -30,8 +30,20 @@
 // instead of refusing the write; replicas that missed an acked write are
 // fenced from reads until they resync (shards run a peer Rebuilder when
 // started with -cluster-self/-cluster-peers). Reads are planned per cell
-// over in-sync replicas and merged exactly. -replication 1 restores
-// single-copy cells: no failover, a dead shard's cells are unavailable.
+// over in-sync replicas, rotating across them so replication buys read
+// throughput, and merged exactly — answers stay bit-identical to a single
+// tree whichever replica serves. -replication 1 restores single-copy
+// cells: no failover, a dead shard's cells are unavailable.
+//
+// Anti-entropy: every -sweep-interval the router collects per-cell
+// checksums (point count + order-independent digest) from every in-sync
+// replica and compares copies. A disagreement is re-sampled after
+// -sweep-settle; replicas whose checksum held steady across both samples
+// and still disagree with the majority are evidenced-fenced and repaired
+// through the same peer-rebuild resync as a missed write. This catches
+// silent divergence — disk corruption, a latent apply bug — that the
+// write-path fence cannot see. Sweep results surface in /shardz and the
+// sweeps/sweep_mismatches counters in /statsz.
 //
 // Failure semantics: the router never serves a silent partial answer. A
 // query needing a cell with no in-sync replica fails with 503 (plus
@@ -68,6 +80,8 @@ func main() {
 		failAfter = flag.Int("fail-threshold", 3, "consecutive transport failures before a shard is excluded")
 		drift     = flag.Float64("drift", 2.0, "flag shards above this multiple of the mean point count as rebalance candidates")
 		repl      = flag.Int("replication", 2, "copies of every cell (clamped to the shard count; 1 = no replication)")
+		sweep     = flag.Duration("sweep-interval", 0, "anti-entropy checksum sweep cadence (0 = 10x probe interval, negative = off)")
+		settle    = flag.Duration("sweep-settle", 0, "settle window before a sweep mismatch is re-sampled and judged (0 = timeout)")
 	)
 	flag.Parse()
 
@@ -91,6 +105,8 @@ func main() {
 		ProbeInterval:  *probe,
 		FailThreshold:  *failAfter,
 		DriftThreshold: *drift,
+		SweepInterval:  *sweep,
+		SweepSettle:    *settle,
 	})
 	if err != nil {
 		log.Fatalf("router: %v", err)
@@ -123,6 +139,8 @@ func main() {
 	if m.Replication > 1 {
 		fmt.Printf("replication: factor %d, %d failovers, %d stale fences, %d resync nudges\n",
 			m.Replication, m.Failovers, m.StaleMarks, m.ResyncNudges)
+		fmt.Printf("anti-entropy: %d sweeps, %d divergent replicas fenced\n",
+			m.Sweeps, m.SweepMismatches)
 	}
 }
 

@@ -30,9 +30,11 @@ func init() {
 // then starts the victim empty and runs a peer Rebuilder against the live
 // wire listeners until it converges. Returned are the victim's cell share
 // (the items it must recover), the items that arrived over the wire
-// (roughly 2× the share: convergence requires one final clean
-// verification pass), the exact metered cost of the restore rounds
-// (labeled fault/rebuild/cell=N), and the convergence wall time.
+// (roughly 1× the share: convergence requires one final clean
+// verification pass, but that pass confirms each already-pulled cell by
+// comparing cell checksums — one small frame — instead of re-streaming
+// it), the exact metered cost of the restore rounds (labeled
+// fault/rebuild/cell=N), and the convergence wall time.
 func rebuildOnce(dim, shards, pPerShard, n int, seed int64) (share, pulled int64, cost pim.Stats, took time.Duration, err error) {
 	lo := make(geom.Point, dim)
 	hi := make(geom.Point, dim)

@@ -12,7 +12,10 @@
 // recorded value. The zero value of Histogram is ready to use.
 package hist
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // subBits is the per-octave resolution: 2^subBits linear sub-buckets per
 // power of two, bounding quantile relative error by 2^-subBits.
@@ -134,14 +137,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	// Rank of the target observation, 1-based, ceil semantics.
-	rank := int64(q*float64(h.total) + 0.9999999999)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > h.total {
-		rank = h.total
-	}
+	rank := ceilRank(q, h.total)
 	var seen int64
 	for i, c := range h.counts {
 		seen += c
@@ -156,6 +152,48 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// ceilRank returns ceil(q·total) clamped to [1, total], computed exactly in
+// integers. The obvious float expression (q*float64(total) rounded up by an
+// epsilon nudge) breaks once total exceeds 2^53: the product rounds to a
+// nearby representable float, so e.g. q=1.0 can land the rank one short of
+// total and a fully-populated top bucket is never reached. Instead, write
+// q = m × 2^(exp-53) with m an exact 53-bit integer (Frexp is lossless), so
+// ceil(q·total) = ceil(total·m / 2^(53-exp)) — a 128-bit product and shift.
+func ceilRank(q float64, total int64) int64 {
+	if q <= 0 || total <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return total
+	}
+	frac, exp := math.Frexp(q)    // q = frac × 2^exp, frac ∈ [0.5, 1)
+	m := uint64(frac * (1 << 53)) // exact: frac has ≤53 significand bits
+	shift := uint(53 - exp)       // q·total = total·m >> shift, exp ≤ 0 here
+	hi, lo := bits.Mul64(uint64(total), m)
+	var rank, rem uint64
+	switch {
+	case shift >= 128:
+		rank, rem = 0, hi|lo
+	case shift >= 64:
+		s := shift - 64
+		rank = hi >> s
+		rem = lo | (hi & (1<<s - 1))
+	default:
+		rank = hi<<(64-shift) | lo>>shift
+		rem = lo & (1<<shift - 1)
+	}
+	if rem != 0 {
+		rank++ // ceil: any discarded fraction rounds up
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > uint64(total) {
+		rank = uint64(total)
+	}
+	return int64(rank)
 }
 
 // Buckets calls fn for every nonzero bucket with its lower-bound value and

@@ -72,6 +72,71 @@ func TestQuantileRelativeError(t *testing.T) {
 	}
 }
 
+func TestQuantileLargeCountsExactRank(t *testing.T) {
+	// Regression: the old rank computation went through float64
+	// (q*float64(total) + epsilon), which loses integer precision once total
+	// exceeds 2^53 — q=1.0 could produce a rank one short of total, so a
+	// single observation in the top bucket was unreachable. With bucket A
+	// holding 2^53 observations and bucket B holding one more, q=1 must
+	// return B's value.
+	var h Histogram
+	h.RecordN(1, 1<<53)
+	h.RecordN(1<<20, 1)
+	if got := h.Quantile(1); got != 1<<20 {
+		t.Fatalf("q=1 with 2^53+1 observations: got %d want %d", got, 1<<20)
+	}
+	// And q just below 1 must still select the huge bucket.
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("q=0.5: got %d want 1", got)
+	}
+
+	// ceilRank matches exact big-rational ceil(q·total) wherever the float
+	// product is still exact, and stays ordered/clamped beyond that.
+	cases := []struct {
+		q     float64
+		total int64
+		want  int64
+	}{
+		{0, 10, 1},
+		{1, 10, 10},
+		{0.5, 10, 5},
+		{0.5, 11, 6},     // ceil(5.5)
+		{0.999, 1000, 0}, // want recomputed below: float64(0.999) is not exactly 999/1000
+		{0.25, 4, 1},
+		{0.75, 4, 3},
+		{1, 1 << 53, 1 << 53},
+		{1, 1<<53 + 1, 1<<53 + 1},
+		{0.5, 1 << 62, 1 << 61},
+	}
+	for _, c := range cases {
+		if c.q == 0.999 {
+			// 0.999 is not exactly representable; compute the true ceil from
+			// the float's exact rational value instead of hand-asserting.
+			frac, exp := math.Frexp(c.q)
+			m := uint64(frac * (1 << 53))
+			// true rank = ceil(total * m / 2^(53-exp)) with small operands.
+			num := uint64(c.total) * m
+			den := uint64(1) << uint(53-exp)
+			c.want = int64((num + den - 1) / den)
+		}
+		if got := ceilRank(c.q, c.total); got != c.want {
+			t.Fatalf("ceilRank(%v, %d) = %d want %d", c.q, c.total, got, c.want)
+		}
+	}
+	// Monotone in q for a fixed large total.
+	prev := int64(0)
+	for _, q := range []float64{0, 1e-18, 0.1, 0.25, 0.5, 0.9, 0.999999, 1} {
+		r := ceilRank(q, 1<<62)
+		if r < prev {
+			t.Fatalf("ceilRank not monotone at q=%v: %d < %d", q, r, prev)
+		}
+		if r < 1 || r > 1<<62 {
+			t.Fatalf("ceilRank(%v) = %d out of range", q, r)
+		}
+		prev = r
+	}
+}
+
 func TestMergeEqualsCombinedRecords(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	var combined Histogram

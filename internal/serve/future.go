@@ -8,6 +8,7 @@ import (
 	"pimkd/internal/geom"
 	"pimkd/internal/heapx"
 	"pimkd/internal/pim"
+	"pimkd/internal/shard"
 )
 
 // OpKind identifies the homogeneous operation class of a request or batch.
@@ -43,6 +44,11 @@ const (
 	// the canonically sorted multiset of items the half-open cell box owns,
 	// with parallel expiry deadlines.
 	KindSnapshotCell
+	// KindChecksumCell summarizes one partition cell's replicated state as a
+	// count + order-independent digest (anti-entropy). It reads exactly the
+	// state KindSnapshotCell would ship, so checksum equality between two
+	// replicas means a RestoreCell between them would change nothing.
+	KindChecksumCell
 	// KindRestoreCell atomically replaces one partition cell's contents
 	// with a peer's snapshot (WAL-logged at execution time, like expire).
 	// Batches of this kind are labeled fault/rebuild/cell=N so the
@@ -73,6 +79,8 @@ func (k OpKind) String() string {
 		return "expire"
 	case KindSnapshotCell:
 		return "snapshot-cell"
+	case KindChecksumCell:
+		return "checksum-cell"
 	case KindRestoreCell:
 		return "restore-cell"
 	}
@@ -83,7 +91,7 @@ func (k OpKind) String() string {
 // may share a scheduling epoch; write batches never do.
 func (k OpKind) IsRead() bool {
 	switch k {
-	case KindLookup, KindKNN, KindRange, KindJoin, KindAggregate, KindSnapshotCell:
+	case KindLookup, KindKNN, KindRange, KindJoin, KindAggregate, KindSnapshotCell, KindChecksumCell:
 		return true
 	}
 	return false
@@ -195,8 +203,10 @@ type reply struct {
 	// (false = the local copy already matched the peer snapshot — the
 	// rebuild convergence signal).
 	changed bool
-	info    BatchInfo
-	err     error
+	// csum is the checksum-cell answer.
+	csum shard.CellChecksum
+	info BatchInfo
+	err  error
 }
 
 // batchKey groups coalescible requests: same kind, for kNN the same k

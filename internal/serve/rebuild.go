@@ -316,8 +316,17 @@ func (r *Rebuilder) pass() (pulled int64, changed bool, items int64, cost pim.St
 			return pulled, changed, items, cost
 		default:
 		}
-		snap, ok := r.pullCell(cell, r.cfg.CellBoxes[i])
+		snap, ok, identical := r.pullCell(cell, r.cfg.CellBoxes[i])
 		if !ok {
+			continue
+		}
+		if identical {
+			// Checksum fast path: the peer's digest matched ours, so a
+			// restore would apply an empty diff. The cell counts as pulled
+			// and unchanged without shipping its contents — a converged
+			// rebuild's final verification pass costs one checksum per cell
+			// instead of re-streaming the full share.
+			pulled++
 			continue
 		}
 		chg, info, err := r.svc.RestoreCell(context.Background(), cell, r.cfg.CellBoxes[i], snap)
@@ -343,7 +352,14 @@ func (r *Rebuilder) pass() (pulled int64, changed bool, items int64, cost pim.St
 // rather than advertising its stale cut as authoritative. A wire error
 // mid-stream abandons that peer entirely — nothing has been applied, so a
 // torn stream can never leave a partially-restored cell.
-func (r *Rebuilder) pullCell(cell int, box geom.Box) (CellSnapshot, bool) {
+//
+// Before streaming, the peer's cell checksum is compared against the local
+// one: a match means a restore would apply an empty diff, and pullCell
+// reports the cell identical (pulled, no snapshot) instead of paying the
+// paginated transfer. Writes landing between the two checksum cuts are
+// fanned to both replicas and apply idempotently, so the skip proves
+// convergence at the cut exactly as an empty restore diff would.
+func (r *Rebuilder) pullCell(cell int, box geom.Box) (snap CellSnapshot, ok, identical bool) {
 	for _, p := range r.cfg.Replicas(cell) {
 		if p == r.cfg.Self || p < 0 || p >= len(r.cfg.Peers) || r.cfg.Peers[p] == "" {
 			continue
@@ -355,11 +371,19 @@ func (r *Rebuilder) pullCell(cell int, box geom.Box) (CellSnapshot, bool) {
 		if err != nil || !pong.Ready || !pong.Synced {
 			continue
 		}
+		if local, _, err := r.svc.ChecksumCell(context.Background(), cell, box); err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			sums, err := c.CellChecksums(ctx, []int{cell}, []geom.Box{box})
+			cancel()
+			if err == nil && sums[0] == local {
+				return CellSnapshot{}, true, true
+			}
+		}
 		if snap, ok := r.pullFrom(c, cell, box); ok {
-			return snap, true
+			return snap, true, false
 		}
 	}
-	return CellSnapshot{}, false
+	return CellSnapshot{}, false, false
 }
 
 // pullFrom paginates one cell off one peer. A Total that changes between

@@ -365,33 +365,15 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 	case KindSnapshotCell:
 		out := make([]reply, n)
 		for i, req := range b.reqs {
-			items := s.cellItems(req.box)
-			entries := s.expiry.entriesIn(func(it core.Item) bool { return req.box.ContainsHalfOpen(it.P) })
-			// Attribute entries to live copies in canonical order; the
-			// leftovers are the cell's orphan entries. Both sides are
-			// sorted, so one merge walk assigns deterministically.
-			deadlines := make([]int64, len(items))
-			var orphans []core.Item
-			var orphanAts []int64
-			j := 0
-			for k := range items {
-				for j < len(entries) && core.ItemLess(entries[j].item, items[k]) {
-					orphans = append(orphans, entries[j].item)
-					orphanAts = append(orphanAts, entries[j].at)
-					j++
-				}
-				if j < len(entries) && core.ItemEq(entries[j].item, items[k]) {
-					deadlines[k] = entries[j].at
-					j++
-				} else {
-					deadlines[k] = math.MinInt64
-				}
-			}
-			for ; j < len(entries); j++ {
-				orphans = append(orphans, entries[j].item)
-				orphanAts = append(orphanAts, entries[j].at)
-			}
+			items, deadlines, orphans, orphanAts := s.cellState(req.box)
 			out[i] = reply{items: items, deadlines: deadlines, orphans: orphans, orphanAts: orphanAts}
+		}
+		return out, nil
+
+	case KindChecksumCell:
+		out := make([]reply, n)
+		for i, req := range b.reqs {
+			out[i].csum = cellChecksum(s.cellState(req.box))
 		}
 		return out, nil
 
@@ -439,6 +421,36 @@ func (s *Service) applyUnique(items []core.Item) ([]core.Item, error) {
 		}
 	}
 	return applied, nil
+}
+
+// cellState reads one cell's full replicated state: the canonically sorted
+// live items, their attributed expiry deadlines (math.MinInt64 = no TTL
+// entry), and the cell's orphaned expiry entries. Entries attribute to live
+// copies in canonical order; the leftovers are orphans. Both sides are
+// sorted, so one merge walk assigns deterministically.
+func (s *Service) cellState(cell geom.Box) (items []core.Item, deadlines []int64, orphans []core.Item, orphanAts []int64) {
+	items = s.cellItems(cell)
+	entries := s.expiry.entriesIn(func(it core.Item) bool { return cell.ContainsHalfOpen(it.P) })
+	deadlines = make([]int64, len(items))
+	j := 0
+	for k := range items {
+		for j < len(entries) && core.ItemLess(entries[j].item, items[k]) {
+			orphans = append(orphans, entries[j].item)
+			orphanAts = append(orphanAts, entries[j].at)
+			j++
+		}
+		if j < len(entries) && core.ItemEq(entries[j].item, items[k]) {
+			deadlines[k] = entries[j].at
+			j++
+		} else {
+			deadlines[k] = math.MinInt64
+		}
+	}
+	for ; j < len(entries); j++ {
+		orphans = append(orphans, entries[j].item)
+		orphanAts = append(orphanAts, entries[j].at)
+	}
+	return items, deadlines, orphans, orphanAts
 }
 
 // cellItems returns a fresh, canonically sorted copy of the live items the

@@ -15,6 +15,7 @@ import (
 	"pimkd/internal/heapx"
 	"pimkd/internal/hist"
 	"pimkd/internal/persist"
+	"pimkd/internal/shard"
 	"pimkd/internal/trace"
 )
 
@@ -322,6 +323,21 @@ func (s *Service) SnapshotCell(ctx context.Context, cellID int, cell geom.Box) (
 	rep, err := s.submit(ctx, &request{kind: KindSnapshotCell, k: cellID, box: cell})
 	snap := CellSnapshot{Items: rep.items, Deadlines: rep.deadlines, Orphans: rep.orphans, OrphanAts: rep.orphanAts}
 	return snap, rep.info, err
+}
+
+// ChecksumCell summarizes the cell's replication state as a live-item
+// count plus an order-independent digest, computed on the executor as one
+// consistent read cut (a metered round, like any read batch). Two replicas
+// answering with equal checksums hold, up to a ~2⁻⁶⁴ digest collision,
+// cell states a RestoreCell between them would not change — the router's
+// anti-entropy sweep and the rebuilder's skip-if-identical fast path both
+// compare these.
+func (s *Service) ChecksumCell(ctx context.Context, cellID int, cell geom.Box) (shard.CellChecksum, BatchInfo, error) {
+	if err := s.checkCell(cellID, cell); err != nil {
+		return shard.CellChecksum{}, BatchInfo{}, err
+	}
+	rep, err := s.submit(ctx, &request{kind: KindChecksumCell, k: cellID, box: cell})
+	return rep.csum, rep.info, err
 }
 
 // RestoreCell atomically replaces the cell's local contents with a peer

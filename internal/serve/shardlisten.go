@@ -341,6 +341,22 @@ func (sl *ShardListener) dispatch(m any, stash *snapStash) any {
 		}
 		return resp
 
+	case shard.CellChecksumReq:
+		// Behind both gates (unlike CellSnapshotReq): a checksum is a claim
+		// about the *complete* cell contents, which a recovering or
+		// rebuilding shard cannot make. The anti-entropy sweep and the
+		// rebuilder both only ask replicas whose pong is Ready and Synced.
+		sums := make([]shard.CellChecksum, len(req.Cells))
+		err := sl.scatter(len(req.Cells), func(i int) error {
+			csum, _, err := sl.svc.ChecksumCell(ctx, req.Cells[i], req.Boxes[i])
+			sums[i] = csum
+			return err
+		})
+		if err != nil {
+			return remoteError(err)
+		}
+		return shard.CellChecksumResp{Sums: sums}
+
 	case shard.ResyncReq:
 		if sl.syncst == nil {
 			// Standalone shard: nothing to resync from; the router must not

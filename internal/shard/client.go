@@ -315,6 +315,28 @@ func (c *Client) CellSnapshot(ctx context.Context, cell int, box geom.Box, offse
 	return r, nil
 }
 
+// CellChecksums fetches one checksum per cell (boxes parallel to cells) —
+// the anti-entropy probe. The shard computes each digest in a metered
+// read round, so two replicas answering with equal checksums hold, up to
+// digest collision, identical replicated state for that cell.
+func (c *Client) CellChecksums(ctx context.Context, cells []int, boxes []geom.Box) ([]CellChecksum, error) {
+	if len(cells) != len(boxes) {
+		return nil, fmt.Errorf("shard: checksum of %d cells with %d boxes", len(cells), len(boxes))
+	}
+	resp, err := c.roundTrip(ctx, CellChecksumReq{Cells: cells, Boxes: boxes})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(CellChecksumResp)
+	if !ok {
+		return nil, fmt.Errorf("%w: cell checksums answered with %T", ErrWire, resp)
+	}
+	if len(r.Sums) != len(cells) {
+		return nil, fmt.Errorf("%w: cell checksums answered %d sums for %d cells", ErrWire, len(r.Sums), len(cells))
+	}
+	return r.Sums, nil
+}
+
 // Resync asks the shard to run another peer-rebuild convergence pass (the
 // router sends this when it fenced the shard as stale). Evidenced tells
 // the shard whether the router watched it miss an acked write (it must

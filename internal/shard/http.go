@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"pimkd/internal/core"
 	"pimkd/internal/geom"
@@ -57,20 +58,32 @@ type wireItem struct {
 func NewHandler(r *Router) http.Handler {
 	mux := http.NewServeMux()
 
+	// Every 503 hint derives from the probe interval: degradation heals when
+	// the next probe revives a shard (or lifts a fence), so that cadence —
+	// not a hardcoded second — is when a retry can first succeed.
+	hint := retryAfterSecs(r.cfg.ProbeInterval)
+
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 
-	// The router is ready when at least one shard is serving; full capacity
-	// is visible in /shardz.
+	// The router is ready only when every partition cell has at least one
+	// in-sync, unfenced replica — i.e. no read or write can 503 for lack of
+	// coverage. "Some shard is healthy" is not readiness: with shards down a
+	// healthy remainder still cannot answer for the missing cells, and a
+	// load balancer routing on that signal would send traffic into
+	// guaranteed ErrDegraded responses. Per-cell detail is in /shardz.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
 		m := r.Metrics()
-		if m.HealthyShards == 0 {
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
-			return
+		for _, cs := range r.Cells() {
+			if cs.ActingPrimary < 0 {
+				w.Header().Set("Retry-After", hint)
+				http.Error(w, fmt.Sprintf("cell %d has no in-sync replica (%d/%d shards healthy)",
+					cs.Cell, m.HealthyShards, m.TotalShards), http.StatusServiceUnavailable)
+				return
+			}
 		}
-		fmt.Fprintf(w, "ok %d/%d shards\n", m.HealthyShards, m.TotalShards)
+		fmt.Fprintf(w, "ok %d/%d shards, all cells covered\n", m.HealthyShards, m.TotalShards)
 	})
 
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
@@ -104,8 +117,11 @@ func NewHandler(r *Router) http.Handler {
 			// quantiles equal one histogram over every observation.
 			Latency        []ShardLatency  `json:"latency"`
 			ClusterLatency []KindQuantiles `json:"cluster_latency"`
+			// Sweep is the last anti-entropy round's per-cell verdicts (absent
+			// until the first sweep completes, or when sweeping is disabled).
+			Sweep []CellSweepStatus `json:"sweep,omitempty"`
 		}{healthy, len(st), r.Replication(), RebalanceCandidates(counts, r.cfg.DriftThreshold), st,
-			r.Cells(), r.cfg.DriftThreshold, perShard, cluster})
+			r.Cells(), r.cfg.DriftThreshold, perShard, cluster, r.SweepStatus()})
 	})
 
 	mux.HandleFunc("/knn", func(w http.ResponseWriter, req *http.Request) {
@@ -122,7 +138,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		cands, fan, err := r.KNN(req.Context(), p, k)
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		neighbors := make([]wireNeighbor, len(cands))
@@ -155,7 +171,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		items, fan, err := r.Range(req.Context(), geom.NewBox(lo, hi))
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -176,7 +192,7 @@ func NewHandler(r *Router) http.Handler {
 		// An exact-point lookup is a radius-0 spatial join: the owner
 		// shard answers with the items stored at exactly p.
 		items, fan, err := r.Join(req.Context(), p, 0)
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -200,7 +216,7 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		items, fan, err := r.Join(req.Context(), p, radius)
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -233,7 +249,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		agg, fan, err := r.Aggregate(req.Context(), geom.NewBox(lo, hi))
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		writeJSON(w, struct {
@@ -254,7 +270,7 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		n, fan, err := r.Expire(req.Context(), now)
-		if !okReply(w, err) {
+		if !okReply(w, err, hint) {
 			return
 		}
 		writeJSON(w, struct {
@@ -286,7 +302,7 @@ func NewHandler(r *Router) http.Handler {
 				}
 			}
 			fan, err := op(req, it)
-			if !okReply(w, err) {
+			if !okReply(w, err, hint) {
 				return
 			}
 			writeJSON(w, struct {
@@ -332,18 +348,31 @@ func pointParam(w http.ResponseWriter, r *http.Request, name string) (geom.Point
 	return p, true
 }
 
+// retryAfterSecs renders a duration as a whole-second Retry-After value,
+// rounding up so the hint never undershoots the cadence it is derived from
+// (a 100ms probe interval still hints 1s — the header has no sub-second
+// form), mirroring the single-server shed path's ShedRetryAfter derivation.
+func retryAfterSecs(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // okReply maps router errors onto HTTP statuses; returns false when a
 // status was written. A degraded cluster (or a shard refusing because it is
 // overloaded/not ready) is 503 — retryable, never a silent partial answer.
-// Every 503 carries a Retry-After hint, matching the single-server shed
-// path: degradation is transient (a probe revives or a replica resyncs
-// within ~a probe interval), so clients should come back, not give up.
-// A request whose own deadline expired is 504.
-func okReply(w http.ResponseWriter, err error) bool {
+// Every 503 carries the caller's Retry-After hint (derived from the probe
+// interval, the cadence at which a probe revives a shard or a resynced
+// replica is readmitted), so clients come back when a retry can actually
+// succeed rather than hammering a fixed second. A request whose own
+// deadline expired is 504.
+func okReply(w http.ResponseWriter, err error, retryAfter string) bool {
 	var re *RemoteError
 	var ne net.Error
 	retryable := func() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	}
 	switch {

@@ -1,0 +1,104 @@
+package shard_test
+
+// Router HTTP contract tests: /readyz means cell coverage (every partition
+// cell has an in-sync, unfenced replica), not "some shard is alive"; and
+// every 503 — readiness or a degraded data answer — carries a Retry-After
+// hint derived from the probe interval.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pimkd/internal/shard"
+)
+
+// TestRouterReadyzCellCoverage: with R=2 over 3 shards, one dead shard
+// leaves every cell covered and the router ready; killing a second,
+// placement-adjacent shard uncovers their shared cell and /readyz must go
+// 503 even though a healthy shard remains — the regression being pinned,
+// since readiness used to be "any shard healthy". The degraded data path
+// must 503 with the same derived Retry-After.
+func TestRouterReadyzCellCoverage(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 3
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, shards)
+	addrs := make([]string, shards)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+		SweepInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	h := shard.NewHandler(router)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	items := tieHeavyItems()
+	if acked, err := router.BatchUpdate(context.Background(), false, items); err != nil || acked != len(items) {
+		t.Fatalf("seeding: acked %d/%d, err %v", acked, len(items), err)
+	}
+
+	if rec := get("/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "3/3") {
+		t.Fatalf("/readyz with full cluster: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// One dead shard: every cell keeps its other replica — still ready.
+	cluster[1].stop()
+	waitFor(t, 10*time.Second, "shard 1 unhealthy", func() bool {
+		return !router.Status()[1].Healthy
+	})
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz with one dead shard but full cell coverage: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Killing the placement-adjacent shard 2 uncovers cell 1 (replicas 1,2).
+	// A healthy shard remains, so the old any-shard-healthy readiness would
+	// still say ok — it must not.
+	cluster[2].stop()
+	waitFor(t, 10*time.Second, "shard 2 unhealthy", func() bool {
+		return !router.Status()[2].Healthy
+	})
+	rec := get("/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with cell 1 uncovered: %d %q (healthy shards remain, but readiness is coverage)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "cell") {
+		t.Fatalf("/readyz 503 body names no cell: %q", rec.Body.String())
+	}
+	// 25ms probe interval rounds up to the minimum whole second.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("/readyz Retry-After = %q, want \"1\"", got)
+	}
+
+	// The degraded data path carries the same derived hint.
+	rec = get("/range?lo=0,0&hi=1,1")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/range over an uncovered cell: %d %q", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("degraded /range Retry-After = %q, want \"1\"", got)
+	}
+}

@@ -1,0 +1,27 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSecs pins the derivation of the router's 503 hint from the
+// probe interval: whole seconds, rounded up, never below 1 (the header has
+// no sub-second form, and a zero would tell clients not to wait at all).
+func TestRetryAfterSecs(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{25 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{10 * time.Second, "10"},
+	} {
+		if got := retryAfterSecs(tc.d); got != tc.want {
+			t.Errorf("retryAfterSecs(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

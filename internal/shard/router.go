@@ -51,6 +51,20 @@ type Config struct {
 	// count exceeds this multiple of the mean (Status surfaces the flags).
 	// Default 2.0.
 	DriftThreshold float64
+	// SweepInterval is the anti-entropy cadence: every interval the router
+	// asks every eligible replica of every cell for a cell checksum and
+	// evidenced-fences replicas that stably diverge from the majority —
+	// catching divergence the write path never observed (disk corruption, a
+	// latent apply bug, a full-cluster restart). Default 10×ProbeInterval;
+	// negative disables the sweep.
+	SweepInterval time.Duration
+	// SweepSettle is how long a sweep waits before re-sampling a
+	// mismatching cell to confirm the divergence is stable. Only replicas
+	// whose checksum is identical across both samples are judged; with a
+	// settle of at least the write timeout, a replica still absorbing an
+	// in-flight write changes its digest between samples and is skipped —
+	// the zero-false-positive guard. Default = Timeout.
+	SweepSettle time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DriftThreshold <= 0 {
 		c.DriftThreshold = 2.0
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 10 * c.ProbeInterval
+	}
+	if c.SweepSettle <= 0 {
+		c.SweepSettle = c.Timeout
 	}
 	return c
 }
@@ -159,6 +179,15 @@ type Router struct {
 	cfg    Config
 	shards []*shardHandle
 
+	// rr rotates read assignments across each cell's eligible replicas
+	// (read scale-out): successive reads of one cell land on different
+	// in-sync, unfenced replicas instead of pinning the placement-first one.
+	rr []atomic.Uint32
+
+	// sweepMu guards the per-cell anti-entropy result rows for /shardz.
+	sweepMu    sync.Mutex
+	sweepCells []CellSweepStatus
+
 	closed  chan struct{}
 	closeMu sync.Mutex
 	wg      sync.WaitGroup
@@ -183,6 +212,8 @@ type routerMetrics struct {
 	failovers     atomic.Int64
 	staleMarks    atomic.Int64
 	resyncNudges  atomic.Int64
+	sweeps        atomic.Int64
+	sweepMismatch atomic.Int64
 }
 
 // Fanout describes, per request, how the fan-out went — the pruning
@@ -218,9 +249,15 @@ func NewRouter(part *Partition, addrs []string, cfg Config) (*Router, error) {
 	for i, addr := range addrs {
 		r.shards = append(r.shards, &shardHandle{id: i, client: NewClient(addr, part.Dim())})
 	}
+	r.rr = make([]atomic.Uint32, part.Shards())
 	r.probeAll()
 	r.wg.Add(1)
 	go r.probeLoop()
+	if cfg.SweepInterval > 0 && r.pl.Replication() > 1 {
+		// Anti-entropy only means anything with ≥2 copies to compare.
+		r.wg.Add(1)
+		go r.sweepLoop()
+	}
 	return r, nil
 }
 
@@ -351,18 +388,27 @@ func (r *Router) eligible(sh *shardHandle) bool {
 	return sh.healthy.Load() && sh.synced.Load() && !sh.isStale()
 }
 
-// preferred returns cell's first eligible replica in placement (failover)
-// order, skipping shards in tried; nil if none remains.
-func (r *Router) preferred(cell int, tried map[int]bool) *shardHandle {
+// pickReplica returns an eligible replica of cell not yet in tried,
+// rotating a per-cell counter across the eligible set — read scale-out:
+// successive reads of a hot cell spread over every in-sync, unfenced
+// replica instead of pinning the placement-first one. Exactness is
+// untouched because any eligible replica holds the cell's full acked set
+// and the gather dedups cross-replica copies canonically. Writes and
+// failover keep the placement order (fanWrite / ActingPrimary).
+func (r *Router) pickReplica(cell int, tried map[int]bool) *shardHandle {
+	elig := make([]*shardHandle, 0, r.pl.Replication())
 	for _, rep := range r.pl.Replicas(cell) {
 		if tried[rep] {
 			continue
 		}
 		if sh := r.shards[rep]; r.eligible(sh) {
-			return sh
+			elig = append(elig, sh)
 		}
 	}
-	return nil
+	if len(elig) == 0 {
+		return nil
+	}
+	return elig[int(r.rr[cell].Add(1))%len(elig)]
 }
 
 // callResult is one shard attempt's outcome.
@@ -458,11 +504,8 @@ func (r *Router) coverCells(ctx context.Context, needed []int, covered, tried ma
 		}
 		plan := map[int][]int{}
 		for _, cell := range remaining {
-			for _, rep := range r.pl.Replicas(cell) {
-				if !tried[rep] && r.eligible(r.shards[rep]) {
-					plan[rep] = append(plan[rep], cell)
-					break
-				}
+			if sh := r.pickReplica(cell, tried); sh != nil {
+				plan[sh.id] = append(plan[sh.id], cell)
 			}
 		}
 		if len(plan) == 0 {
@@ -530,8 +573,8 @@ func candEq(a, b heapx.Candidate) bool {
 // canonical (dist2, id) order, identical to a single tree holding the
 // union of the shards' points.
 //
-// Plan: cells are ranked by squared distance to the query. The nearest
-// cell's preferred replica is asked first; its k-th candidate gives the
+// Plan: cells are ranked by squared distance to the query. An eligible
+// replica of the nearest cell is asked first; its k-th candidate gives the
 // pruning bound, and every cell within the bound (<=, not <: an
 // equal-distance cell can still displace by ID) must then be covered by an
 // eligible replica. Each queried shard returns the top-k of its whole
@@ -576,8 +619,9 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	var resps []shardResp
 	bound := math.Inf(1)
 
-	// Phase 1: the nearest cell's preferred replica sets the pruning bound.
-	if sh := r.preferred(order[0].cell, tried); sh != nil {
+	// Phase 1: an eligible replica of the nearest cell sets the pruning
+	// bound (rotated per cell — read scale-out).
+	if sh := r.pickReplica(order[0].cell, tried); sh != nil {
 		tried[sh.id] = true
 		v, h, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
 			return sh.client.KNN(c, []geom.Point{q}, k)
@@ -1018,8 +1062,12 @@ type MetricsSnapshot struct {
 	// requests sent to fenced shards.
 	StaleMarks   int64 `json:"stale_marks"`
 	ResyncNudges int64 `json:"resync_nudges"`
-	WireBytesOut int64 `json:"wire_bytes_out"`
-	WireBytesIn  int64 `json:"wire_bytes_in"`
+	// Sweeps counts completed anti-entropy rounds; SweepMismatches counts
+	// replicas a confirmation pass evidenced-fenced for stable divergence.
+	Sweeps          int64 `json:"sweeps"`
+	SweepMismatches int64 `json:"sweep_mismatches"`
+	WireBytesOut    int64 `json:"wire_bytes_out"`
+	WireBytesIn     int64 `json:"wire_bytes_in"`
 	// Replication is the effective copies-per-cell factor.
 	Replication   int `json:"replication"`
 	HealthyShards int `json:"healthy_shards"`
@@ -1035,23 +1083,25 @@ type MetricsSnapshot struct {
 // Metrics returns the aggregate router counters.
 func (r *Router) Metrics() MetricsSnapshot {
 	s := MetricsSnapshot{
-		KNNRequests:   r.m.knnRequests.Load(),
-		RangeRequests: r.m.rangeRequests.Load(),
-		JoinRequests:  r.m.joinRequests.Load(),
-		AggRequests:   r.m.aggRequests.Load(),
-		Ingests:       r.m.ingests.Load(),
-		Expires:       r.m.expires.Load(),
-		Updates:       r.m.updates.Load(),
-		Degraded:      r.m.degraded.Load(),
-		Errors:        r.m.errors.Load(),
-		ShardCalls:    r.m.shardCalls.Load(),
-		Pruned:        r.m.pruned.Load(),
-		Hedges:        r.m.hedges.Load(),
-		Failovers:     r.m.failovers.Load(),
-		StaleMarks:    r.m.staleMarks.Load(),
-		ResyncNudges:  r.m.resyncNudges.Load(),
-		Replication:   r.pl.Replication(),
-		TotalShards:   len(r.shards),
+		KNNRequests:     r.m.knnRequests.Load(),
+		RangeRequests:   r.m.rangeRequests.Load(),
+		JoinRequests:    r.m.joinRequests.Load(),
+		AggRequests:     r.m.aggRequests.Load(),
+		Ingests:         r.m.ingests.Load(),
+		Expires:         r.m.expires.Load(),
+		Updates:         r.m.updates.Load(),
+		Degraded:        r.m.degraded.Load(),
+		Errors:          r.m.errors.Load(),
+		ShardCalls:      r.m.shardCalls.Load(),
+		Pruned:          r.m.pruned.Load(),
+		Hedges:          r.m.hedges.Load(),
+		Failovers:       r.m.failovers.Load(),
+		StaleMarks:      r.m.staleMarks.Load(),
+		ResyncNudges:    r.m.resyncNudges.Load(),
+		Sweeps:          r.m.sweeps.Load(),
+		SweepMismatches: r.m.sweepMismatch.Load(),
+		Replication:     r.pl.Replication(),
+		TotalShards:     len(r.shards),
 	}
 	for _, sh := range r.shards {
 		if sh.healthy.Load() {

@@ -1,0 +1,340 @@
+package shard_test
+
+// Anti-entropy and read scale-out tests: silent divergence (a replica whose
+// bytes changed behind the router's back, with no missed ack to evidence it)
+// must be detected by the checksum sweep, evidenced-fenced, and repaired via
+// peer rebuild until the cluster is again bit-identical to the oracle; a
+// clean cluster under write churn must never be false-positive fenced; and
+// reads must actually spread across the in-sync replicas of a cell.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/serve"
+	"pimkd/internal/shard"
+)
+
+// TestSweepDetectsAndRepairsSilentDivergence: byte-corrupt one replica's
+// cell behind the router's back — a direct delete on the shard's service,
+// bypassing the router, so no ack was ever missed and the write-path fence
+// can never fire. The sweep must evidenced-fence the corrupted replica,
+// the nudge must drive a peer rebuild, and the cluster must converge back
+// to bit-identical oracle answers with the corrupted point restored on the
+// victim itself.
+//
+// The victim is deliberately a NON-placement-first replica of the corrupted
+// cell: at R=2 a checksum tie breaks to the placement-first holder, so
+// corrupting the placement-first copy would make the corruption win the
+// vote (the documented residual risk of two-way replication).
+func TestSweepDetectsAndRepairsSilentDivergence(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 3
+		cell   = 0
+		victim = 1 // placement of cell 0 is (0, 1): shard 1 is the secondary
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := shard.NewPlacement(shards, 2)
+	rbCfg := func(self int, addrs []string) serve.RebuildConfig {
+		cells := pl.CellsOf(self)
+		boxes := make([]geom.Box, len(cells))
+		for i, c := range cells {
+			boxes[i] = part.Cell(c)
+		}
+		return serve.RebuildConfig{
+			Self:         self,
+			Peers:        append([]string(nil), addrs...),
+			Cells:        cells,
+			CellBoxes:    boxes,
+			Replicas:     pl.Replicas,
+			Dim:          dim,
+			PageSize:     32,
+			Timeout:      2 * time.Second,
+			Patience:     5 * time.Second,
+			PassInterval: 10 * time.Millisecond,
+			Logf:         t.Logf,
+		}
+	}
+
+	cluster := make([]*testShard, shards)
+	rbs := make([]*serve.Rebuilder, shards)
+	addrs := make([]string, shards)
+	for i := range cluster {
+		cluster[i], rbs[i] = startRebuildingShard(t, dim, int64(i+1), "", "127.0.0.1:0", rbCfg(i, addrs))
+		addrs[i] = cluster[i].addr
+	}
+	// The rebuild configs were built before any address was known; restart
+	// every shard on its now-bound address with the full peer list.
+	for i := range cluster {
+		rbs[i].Close()
+		cluster[i].stop()
+		cluster[i], rbs[i] = startRebuildingShard(t, dim, int64(i+1), "", addrs[i], rbCfg(i, addrs))
+	}
+	defer func() {
+		for i := range cluster {
+			rbs[i].Close()
+			cluster[i].stop()
+		}
+	}()
+
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+		SweepInterval: 100 * time.Millisecond,
+		SweepSettle:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	ctx := context.Background()
+	waitFor(t, 20*time.Second, "all shards synced", func() bool {
+		for _, st := range router.Status() {
+			if !st.Healthy || !st.Synced || st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+	items := tieHeavyItems()
+	if acked, err := router.BatchUpdate(ctx, false, items); err != nil || acked != len(items) {
+		t.Fatalf("seeding: acked %d/%d, err %v", acked, len(items), err)
+	}
+	oracle := core.New(core.Config{Dim: dim, Seed: 99, LeafSize: 8}, pim.NewMachine(4, 1<<18))
+	oracle.Build(append([]core.Item(nil), items...))
+
+	// Let the write churn settle and a clean sweep complete: corruption
+	// must be the only divergence in play.
+	waitFor(t, 20*time.Second, "a clean sweep completed", func() bool {
+		return router.Metrics().Sweeps >= 1
+	})
+	if m := router.Metrics(); m.SweepMismatches != 0 || m.StaleMarks != 0 {
+		t.Fatalf("pre-corruption sweep fenced something: %d mismatches, %d stale marks", m.SweepMismatches, m.StaleMarks)
+	}
+
+	// Corrupt: delete a point of cell 0 directly on shard 1's service. The
+	// router saw nothing — no failed fan-out, no missed ack.
+	var corrupt core.Item
+	found := false
+	for _, it := range items {
+		if part.Owner(it.P) == cell {
+			corrupt = it
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("test premise broken: no seeded item lands in cell 0")
+	}
+	if _, err := cluster[victim].svc.Delete(ctx, corrupt); err != nil {
+		t.Fatalf("behind-the-router corruption: %v", err)
+	}
+
+	// The sweep must notice, evidence-fence the victim, and repair it.
+	waitFor(t, 30*time.Second, "sweep fenced the corrupted replica", func() bool {
+		return router.Metrics().SweepMismatches >= 1
+	})
+	waitFor(t, 30*time.Second, "corrupted replica repaired and unfenced", func() bool {
+		for _, st := range router.Status() {
+			if !st.Healthy || !st.Synced || st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The victim itself holds the corrupted point again (repair restored the
+	// bytes, not just the fence).
+	restored := false
+	local, _, err := cluster[victim].svc.Range(ctx, unitBox())
+	if err != nil {
+		t.Fatalf("victim local range: %v", err)
+	}
+	for _, it := range local {
+		if it.ID == corrupt.ID && it.P.Equal(corrupt.P) {
+			restored = true
+			break
+		}
+	}
+	if !restored {
+		t.Fatal("victim unfenced without the corrupted point restored")
+	}
+
+	// And the cluster as a whole is bit-identical to the oracle again, with
+	// reads rotating over both (now consistent) replicas of every cell.
+	rng := rand.New(rand.NewSource(31))
+	checkAgainstOracle(t, ctx, router, oracle, oracleQueries(rng))
+}
+
+// TestSweepNoFalsePositivesUnderChurn: a healthy replicated cluster under
+// sustained concurrent write and read churn must never be fenced by the
+// sweep — in-flight fanned writes make first-sample checksum mismatches
+// routine, and the confirmation re-sample must classify every one of them
+// as propagation skew, not divergence. Run with -race in CI.
+func TestSweepNoFalsePositivesUnderChurn(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 3
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, shards)
+	addrs := make([]string, shards)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 2,
+		SweepInterval: 40 * time.Millisecond,
+		SweepSettle:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	ctx := context.Background()
+	seed := tieHeavyItems()
+	if acked, err := router.BatchUpdate(ctx, false, seed); err != nil || acked != len(seed) {
+		t.Fatalf("seeding: acked %d/%d, err %v", acked, len(seed), err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			id := int32(50000 + w*10000)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := core.Item{ID: id, P: geom.Point{rng.Float64(), rng.Float64()}}
+				if _, err := router.Insert(ctx, it); err != nil {
+					t.Errorf("churn insert: %v", err)
+					return
+				}
+				if _, err := router.Delete(ctx, it); err != nil {
+					t.Errorf("churn delete: %v", err)
+					return
+				}
+				id++
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := geom.Point{rng.Float64(), rng.Float64()}
+			if _, _, err := router.KNN(ctx, q, 4); err != nil {
+				t.Errorf("churn knn: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Churn through many full sweep rounds.
+	waitFor(t, 30*time.Second, "several sweeps completed under churn", func() bool {
+		return router.Metrics().Sweeps >= 5
+	})
+	close(stop)
+	wg.Wait()
+
+	if m := router.Metrics(); m.SweepMismatches != 0 || m.StaleMarks != 0 {
+		t.Fatalf("clean cluster fenced under churn: %d sweep mismatches, %d stale marks (false positives)", m.SweepMismatches, m.StaleMarks)
+	}
+}
+
+// TestReadScaleOutSpreadsAcrossReplicas: with every replica in sync, reads
+// of a cell must rotate across its replicas rather than pinning the
+// placement-first one — every shard hosting the queried cell ends up
+// serving some kNN traffic.
+func TestReadScaleOutSpreadsAcrossReplicas(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 2
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, shards)
+	addrs := make([]string, shards)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	// Sweeping off: this test wants the read plan alone.
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+		SweepInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if router.Replication() != 2 {
+		t.Fatalf("replication = %d, want 2", router.Replication())
+	}
+
+	ctx := context.Background()
+	items := tieHeavyItems()
+	if acked, err := router.BatchUpdate(ctx, false, items); err != nil || acked != len(items) {
+		t.Fatalf("seeding: acked %d/%d, err %v", acked, len(items), err)
+	}
+	oracle := core.New(core.Config{Dim: dim, Seed: 99, LeafSize: 8}, pim.NewMachine(4, 1<<18))
+	oracle.Build(append([]core.Item(nil), items...))
+
+	// Repeated identical kNN queries: under the old primary-preferred plan
+	// every one lands on the placement-first replica; under rotation both
+	// replicas of the queried cell serve some of them.
+	q := geom.Point{0.25, 0.25}
+	for i := 0; i < 16; i++ {
+		if _, _, err := router.KNN(ctx, q, 4); err != nil {
+			t.Fatalf("knn %d: %v", i, err)
+		}
+	}
+	for i, s := range cluster {
+		h := s.svc.LatencyHistograms()["knn"]
+		if h == nil || h.Count() == 0 {
+			t.Fatalf("shard %d served no knn traffic: reads are pinned, not spread", i)
+		}
+	}
+
+	// Rotation must not cost exactness: answers stay bit-identical to the
+	// single-tree oracle whichever replica serves.
+	rng := rand.New(rand.NewSource(31))
+	checkAgainstOracle(t, ctx, router, oracle, oracleQueries(rng))
+}

@@ -68,16 +68,21 @@ import (
 //	            count uint32, count × (lo, hi) cell boxes
 //	            (answered by an aggResp with exactly one result: the
 //	            aggregate over box ∩ the union of the half-open cells)
+//	cellSumReq  count uint32, count × { cell uint32, dim × float64 lo,
+//	            dim × float64 hi }
+//	cellSumResp count uint32, count × (count uint64, digest uint64)
+//	            (one checksum per requested cell, in request order)
 //	item        id int32, priority float64, dim × float64
 //
 // Version history: v2 added replication — pong sync state, per-candidate
 // coordinates in knnResp (the router filters merged candidates by cell
 // ownership), and the cellSnap/resync/aggCells messages. v3 added the
 // resyncReq evidenced byte (whether the router saw the shard miss an
-// acked write, or is fencing a revival purely as a precaution).
+// acked write, or is fencing a revival purely as a precaution). v4 added
+// the cellSum messages for the router's anti-entropy sweep.
 const (
 	wireMagic   = "PKDSHRD1"
-	wireVersion = 3
+	wireVersion = 4
 	// handshakeSize is the byte length of the connection header.
 	handshakeSize = 16
 	// maxFramePayload bounds one frame so a corrupted length field cannot
@@ -111,6 +116,9 @@ const (
 	msgResyncReq    byte = 0x22
 	msgResyncResp   byte = 0x23
 	msgAggCellsReq  byte = 0x24
+	// v4 anti-entropy messages.
+	msgCellSumReq  byte = 0x25
+	msgCellSumResp byte = 0x26
 )
 
 // ErrWire marks a malformed handshake or frame (bad magic, version, CRC, or
@@ -320,6 +328,31 @@ type ResyncResp struct {
 type AggCellsReq struct {
 	Box   geom.Box
 	Cells []geom.Box
+}
+
+// CellChecksumReq asks a replica for one checksum per listed cell — the
+// router's anti-entropy probe. Cells and Boxes are parallel (Boxes[i] is
+// the half-open box of cell Cells[i]); sending the box keeps the shard
+// free of partition geometry, exactly as CellSnapshotReq does.
+type CellChecksumReq struct {
+	Cells []int
+	Boxes []geom.Box
+}
+
+// CellChecksum summarizes one replica's replication state for one cell:
+// the live item count plus an order-independent 64-bit digest over the
+// cell's full replicated state (items with their coordinate/priority bits
+// and expiry deadlines, and orphaned expiry entries). Two replicas with
+// equal checksums hold, up to a ~2⁻⁶⁴ digest collision, cell states a
+// RestoreCell between them would not change.
+type CellChecksum struct {
+	Count  uint64
+	Digest uint64
+}
+
+// CellChecksumResp carries the per-cell checksums, in request order.
+type CellChecksumResp struct {
+	Sums []CellChecksum
 }
 
 // RemoteError is a shard-side failure relayed over the wire.
@@ -574,6 +607,21 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 		for _, b := range v.Cells {
 			buf = appendPoint(buf, b.Lo)
 			buf = appendPoint(buf, b.Hi)
+		}
+	case CellChecksumReq:
+		hdr(msgCellSumReq, 4+len(v.Cells)*(4+16*dim))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Cells)))
+		for i, c := range v.Cells {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+			buf = appendPoint(buf, v.Boxes[i].Lo)
+			buf = appendPoint(buf, v.Boxes[i].Hi)
+		}
+	case CellChecksumResp:
+		hdr(msgCellSumResp, 4+16*len(v.Sums))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Sums)))
+		for _, s := range v.Sums {
+			buf = binary.LittleEndian.AppendUint64(buf, s.Count)
+			buf = binary.LittleEndian.AppendUint64(buf, s.Digest)
 		}
 	case *RemoteError:
 		hdr(msgErr, 6+len(v.Msg))
@@ -872,6 +920,36 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 			cells[i] = geom.Box{Lo: lo, Hi: hi}
 		}
 		m = AggCellsReq{Box: geom.Box{Lo: qlo, Hi: qhi}, Cells: cells}
+	case msgCellSumReq:
+		count := d.count(4 + 16*dim)
+		cells := make([]int, count)
+		boxes := make([]geom.Box, count)
+		for i := range cells {
+			cell := d.u32()
+			lo := d.point(dim)
+			hi := d.point(dim)
+			if d.err == nil {
+				if cell > 1<<20 {
+					return reqID, nil, fmt.Errorf("%w: cell id %d out of range", ErrWire, cell)
+				}
+				for ax := range lo {
+					if !(lo[ax] <= hi[ax]) {
+						return reqID, nil, fmt.Errorf("%w: inverted or NaN cell box on axis %d", ErrWire, ax)
+					}
+				}
+			}
+			cells[i] = int(cell)
+			boxes[i] = geom.Box{Lo: lo, Hi: hi}
+		}
+		m = CellChecksumReq{Cells: cells, Boxes: boxes}
+	case msgCellSumResp:
+		count := d.count(16)
+		sums := make([]CellChecksum, count)
+		for i := range sums {
+			sums[i].Count = d.u64()
+			sums[i].Digest = d.u64()
+		}
+		m = CellChecksumResp{Sums: sums}
 	case msgErr:
 		code := d.u16()
 		n := d.u32()

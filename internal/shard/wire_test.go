@@ -122,6 +122,16 @@ func wireMessages(dim int) []any {
 			Box:   geom.Box{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)},
 			Cells: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(0.5, 1, 1)}, infBox(dim)},
 		},
+		CellChecksumReq{
+			Cells: []int{0, 3},
+			Boxes: []geom.Box{{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}, infBox(dim)},
+		},
+		CellChecksumReq{},
+		CellChecksumResp{Sums: []CellChecksum{
+			{Count: 12345, Digest: 0xdeadbeefcafef00d},
+			{Count: 0, Digest: 0},
+		}},
+		CellChecksumResp{},
 	}
 }
 
@@ -243,6 +253,19 @@ func normalize(m any) any {
 	case AggCellsReq:
 		if len(v.Cells) == 0 {
 			v.Cells = nil
+		}
+		return v
+	case CellChecksumReq:
+		if len(v.Cells) == 0 {
+			v.Cells = nil
+		}
+		if len(v.Boxes) == 0 {
+			v.Boxes = nil
+		}
+		return v
+	case CellChecksumResp:
+		if len(v.Sums) == 0 {
+			v.Sums = nil
 		}
 		return v
 	}
@@ -405,6 +428,24 @@ func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
 			return encodePayload(1, AggCellsReq{Box: infBox(2), Cells: []geom.Box{
 				{Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0}},
 			}}, 2)
+		}},
+		{"oversized checksum cell id", func() []byte {
+			return encodePayload(1, CellChecksumReq{
+				Cells: []int{1 << 21},
+				Boxes: []geom.Box{infBox(2)},
+			}, 2)
+		}},
+		{"inverted checksum cell box", func() []byte {
+			return encodePayload(1, CellChecksumReq{
+				Cells: []int{0},
+				Boxes: []geom.Box{{Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0}}},
+			}, 2)
+		}},
+		{"checksum sums truncated", func() []byte {
+			p := encodePayload(1, CellChecksumResp{Sums: []CellChecksum{
+				{Count: 7, Digest: 0x1234},
+			}}, 2)
+			return p[:len(p)-4]
 		}},
 		{"empty payload", func() []byte { return nil }},
 	} {

@@ -16,6 +16,12 @@
 #               its cells back from peer replicas over the wire (peer
 #               rebuild) and flips /readyz only once caught up. Zero
 #               acked updates lost.
+#   sweep     — delete one replicated point directly on its secondary
+#               replica, behind the router's back (no missed ack, so the
+#               write-path fence can never fire): the anti-entropy
+#               checksum sweep must detect the divergence, evidenced-fence
+#               the corrupted replica, and repair it back to bit-identical
+#               via peer rebuild. Zero acked updates lost.
 #
 # Used by the ci cluster-smoke job; runs standalone with no arguments.
 set -euo pipefail
@@ -106,6 +112,7 @@ log "booting router"
 "$BIN/pimkd-router" -addr "127.0.0.1:$HTTP_BASE" \
   -shards "$PEERS" \
   -timeout 2s -probe-interval 100ms -fail-threshold 2 \
+  -sweep-interval 500ms -sweep-settle 200ms \
   >"$WORK/router.log" 2>&1 &
 PIDS+=($!)
 disown
@@ -204,8 +211,38 @@ log "shard 3 rebuilt from peers and rejoined in sync"
 log "verifying zero lost acked updates after data-dir wipe + peer rebuild"
 verify_acked "wipe + peer rebuild"
 
+log "scenario C: silent corruption behind the router — anti-entropy sweep"
+# Placement puts cell c on shards (c, c+1 mod 3): shard 1 (self 0) hosts
+# cells 0,2 and shard 2 (self 1) hosts cells 1,0, so a point present on
+# both lives in cell 0, whose placement-first replica is shard 1. Deleting
+# it from shard 2 corrupts the MINORITY copy (an R=2 checksum tie breaks
+# to the placement-first holder, so corrupting shard 1 would win the vote
+# — the documented residual risk of two-way replication).
+shard_ids() { # index → sorted ids the shard holds locally
+  curl -fsS "http://127.0.0.1:$((HTTP_BASE + $1))/range?lo=0,0&hi=1,1" |
+    grep -o '"id": *[0-9]*' | grep -o '[0-9]*$' | sort -u
+}
+shard_ids 1 >"$WORK/s1.ids"
+shard_ids 2 >"$WORK/s2.ids"
+CORRUPT_ID="$(comm -12 "$WORK/s1.ids" "$WORK/s2.ids" | head -1)"
+[ -n "$CORRUPT_ID" ] || fail "no point replicated on shards 1+2 (cell 0) to corrupt"
+read -r cx cy <<<"$(grid_xy "$CORRUPT_ID")"
+code="$(status_of -X POST "http://127.0.0.1:$((HTTP_BASE + 2))/delete?id=$CORRUPT_ID&p=$cx,$cy")"
+[ "$code" = 200 ] || fail "behind-the-router delete on shard 2 returned $code"
+log "point $CORRUPT_ID deleted on shard 2 only; the router saw no missed ack — waiting for the sweep"
+wait_http "$ROUTER/statsz" '"sweep_mismatches": *[1-9]' 60
+log "sweep evidenced-fenced the divergent replica; waiting for peer-rebuild repair"
+wait_synced
+shard_ids 2 >"$WORK/s2.after"
+grep -qx "$CORRUPT_ID" "$WORK/s2.after" ||
+  fail "repaired shard 2 is still missing point $CORRUPT_ID (not repaired to identical)"
+log "divergent replica repaired to identical (point $CORRUPT_ID restored)"
+
+log "verifying zero lost acked updates after sweep detect + repair"
+verify_acked "sweep detect + repair"
+
 log "read workload against the rebuilt cluster"
 go run ./examples/serving -target "$ROUTER" -clients 4 -requests 10 -k 4 >"$WORK/load2.log" 2>&1 ||
   fail "load generator against rebuilt cluster"
 
-log "PASS: failover served reads and writes, resync and peer rebuild converged, zero lost acked updates"
+log "PASS: failover served reads and writes, resync and peer rebuild converged, sweep caught and repaired silent divergence, zero lost acked updates"
