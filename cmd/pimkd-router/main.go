@@ -45,6 +45,17 @@
 // write-path fence cannot see. Sweep results surface in /shardz and the
 // sweeps/sweep_mismatches counters in /statsz.
 //
+// Online rebalancing: with -rebalance-interval set, the router samples
+// per-cell point counts from each cell's acting primary and, when the most
+// loaded shard drifts past -rebalance-threshold times the mean, splits that
+// shard's largest cell at a sampled median and live-migrates the moving
+// half to the least-loaded shards — a new placement epoch installed
+// atomically, with writes racing the transfer captured in a dual-write
+// ledger and replayed at commit, so no acked write is lost and reads stay
+// bit-identical to a single tree throughout. Progress surfaces in /shardz
+// (placement_epoch, cell_counts) and /statsz (rebalances, migrated_points,
+// migrate_aborts).
+//
 // Failure semantics: the router never serves a silent partial answer. A
 // query needing a cell with no in-sync replica fails with 503 (plus
 // Retry-After) until one returns; an update is acked only when an in-sync
@@ -82,6 +93,8 @@ func main() {
 		repl      = flag.Int("replication", 2, "copies of every cell (clamped to the shard count; 1 = no replication)")
 		sweep     = flag.Duration("sweep-interval", 0, "anti-entropy checksum sweep cadence (0 = 10x probe interval, negative = off)")
 		settle    = flag.Duration("sweep-settle", 0, "settle window before a sweep mismatch is re-sampled and judged (0 = timeout)")
+		rebalance = flag.Duration("rebalance-interval", 0, "online rebalancer cadence: sample per-cell loads and live-migrate the hottest cell's split half when drift exceeds -rebalance-threshold (0 = off)")
+		rebThresh = flag.Float64("rebalance-threshold", 0, "max/mean shard drift ratio that triggers a rebalance (0 = same as -drift)")
 	)
 	flag.Parse()
 
@@ -107,6 +120,9 @@ func main() {
 		DriftThreshold: *drift,
 		SweepInterval:  *sweep,
 		SweepSettle:    *settle,
+
+		RebalanceInterval:  *rebalance,
+		RebalanceThreshold: *rebThresh,
 	})
 	if err != nil {
 		log.Fatalf("router: %v", err)
@@ -139,8 +155,12 @@ func main() {
 	if m.Replication > 1 {
 		fmt.Printf("replication: factor %d, %d failovers, %d stale fences, %d resync nudges\n",
 			m.Replication, m.Failovers, m.StaleMarks, m.ResyncNudges)
-		fmt.Printf("anti-entropy: %d sweeps, %d divergent replicas fenced\n",
-			m.Sweeps, m.SweepMismatches)
+		fmt.Printf("anti-entropy: %d sweeps, %d divergent replicas fenced, %d tie-broken verdicts\n",
+			m.Sweeps, m.SweepMismatches, m.SweepTies)
+	}
+	if m.Rebalances > 0 || m.MigrateAborts > 0 {
+		fmt.Printf("rebalancer: %d migrations committed (%d points moved, epoch %d, %d cells), %d aborted\n",
+			m.Rebalances, m.MigratedPoints, m.Epoch, m.Cells, m.MigrateAborts)
 	}
 }
 

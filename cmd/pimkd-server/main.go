@@ -365,6 +365,17 @@ func main() {
 			syncst = rebuilder
 		}
 		shardLn = serve.NewShardListener(svc, ln, ready.Load, syncst)
+		// Migration adopts (the router's online rebalancer moving a cell
+		// region here) report through the supervisor beside the fault rungs.
+		if sup == nil {
+			sup = fault.NewSupervisor(fault.SupervisorConfig{}, mach, tree)
+		}
+		migAcct := sup
+		shardLn.SetMigrationObserver(func(items int64, cost pim.Stats, took time.Duration) {
+			log.Printf("migration adopt applied: %d items, comm %d words, %v",
+				items, cost.Communication, took.Round(time.Millisecond))
+			migAcct.RecordMigration(items, cost, took)
+		})
 		log.Printf("shard wire protocol on %s", shardLn.Addr())
 	}
 
@@ -424,6 +435,11 @@ func main() {
 			fmt.Printf("peer rebuild: %d runs pulled %d cells / %d items from replicas, comm=%d words, %v converging\n",
 				fs.PeerRebuilds, fs.RebuiltCells, fs.PulledItems, fs.RebuildCost.Communication,
 				fs.RebuildTimeNS.Round(time.Millisecond))
+		}
+		if fs.MigrateAdopts > 0 {
+			fmt.Printf("rebalance: %d migration adopts applied %d items, comm=%d words, %v applying\n",
+				fs.MigrateAdopts, fs.MigratedItems, fs.MigrateCost.Communication,
+				fs.MigrateTimeNS.Round(time.Millisecond))
 		}
 	}
 }

@@ -102,6 +102,16 @@ type Stats struct {
 	PulledItems   int64         `json:"pulled_items"`
 	RebuildCost   pim.Stats     `json:"rebuild_cost"`
 	RebuildTimeNS time.Duration `json:"rebuild_time_ns"`
+
+	// Online rebalance (the elasticity layer's story, beside the fault
+	// rungs): how many migration adopts this shard applied for the
+	// router-driven rebalancer, what they carried, their exact metered cost
+	// (rounds labeled shard/migrate/cell=N), and the wall time spent
+	// applying. Populated by RecordMigration.
+	MigrateAdopts int64         `json:"migrate_adopts"`
+	MigratedItems int64         `json:"migrated_items"`
+	MigrateCost   pim.Stats     `json:"migrate_cost"`
+	MigrateTimeNS time.Duration `json:"migrate_time_ns"`
 }
 
 // Supervisor implements detect → rebuild → retry on top of the machine's
@@ -210,6 +220,22 @@ func (s *Supervisor) RecordPeerRebuild(cells, items int64, cost pim.Stats, took 
 	s.stats.PulledItems += items
 	s.stats.RebuildCost = s.stats.RebuildCost.Add(cost)
 	s.stats.RebuildTimeNS += took
+}
+
+// RecordMigration folds one applied migration adopt (the shard accepting a
+// staged cell region from the router's online rebalancer, or purging one
+// it no longer hosts) into the supervisor's stats. items is the staged cut
+// size the adopt carried, cost the exact metered price of the apply round
+// (labeled shard/migrate/cell=N), took its wall time. fault does not
+// import serve; the server wires the shard listener's migration observer
+// here.
+func (s *Supervisor) RecordMigration(items int64, cost pim.Stats, took time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.MigrateAdopts++
+	s.stats.MigratedItems += items
+	s.stats.MigrateCost = s.stats.MigrateCost.Add(cost)
+	s.stats.MigrateTimeNS += took
 }
 
 // Stats returns the supervisor's aggregate counters.

@@ -54,6 +54,12 @@ const (
 	// Batches of this kind are labeled fault/rebuild/cell=N so the
 	// supervisor's metered accounting attributes rebuild cost exactly.
 	KindRestoreCell
+	// KindMigrateCell atomically adopts a migrating cell region during an
+	// online rebalance: the staged snapshot pages plus the replayed write
+	// ledger become the region's exact contents, with RestoreCell's
+	// one-batch multiset-diff apply. Labeled shard/migrate/cell=N so the
+	// migration's metered cost is attributable per cell.
+	KindMigrateCell
 	numKinds
 )
 
@@ -83,6 +89,8 @@ func (k OpKind) String() string {
 		return "checksum-cell"
 	case KindRestoreCell:
 		return "restore-cell"
+	case KindMigrateCell:
+		return "migrate-cell"
 	}
 	return "unknown"
 }
@@ -166,7 +174,11 @@ type request struct {
 	deadlines []int64
 	orphans   []core.Item
 	orphanAts []int64
-	enq       time.Time
+	// ops is the migrate-cell write ledger: the inserts/deletes that raced
+	// the migration cut, replayed in order onto the staged snapshot before
+	// the exact-set apply.
+	ops []shard.MigrateOp
+	enq time.Time
 
 	// ctx is the submitter's context. The executor consults it when the
 	// batch comes up for execution and drops requests whose callers have

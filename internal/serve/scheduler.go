@@ -77,10 +77,12 @@ func (s *Service) execute(b *batch, epoch int64) {
 	// Durable-write mode: the batch becomes durable *before* it commits to
 	// the machine. If the append fails, the batch is refused in its
 	// entirety — no machine work, no partial state — and its callers see
-	// ErrPersist. Expire, restore-cell, and set-semantics (unique) batches
-	// are the exception: their applied sets are only known at execution
-	// time, so runBatch logs them itself (still before the commit).
-	if write && s.cfg.Persist != nil && b.key.kind != KindExpire && b.key.kind != KindRestoreCell && !b.key.unique {
+	// ErrPersist. Expire, restore-cell, migrate-cell, and set-semantics
+	// (unique) batches are the exception: their applied sets are only known
+	// at execution time, so runBatch logs them itself (still before the
+	// commit).
+	if write && s.cfg.Persist != nil &&
+		b.key.kind != KindExpire && b.key.kind != KindRestoreCell && b.key.kind != KindMigrateCell && !b.key.unique {
 		if perr := s.logDurable(b); perr != nil {
 			for _, req := range b.reqs {
 				req.done <- reply{err: fmt.Errorf("%w: %v", ErrPersist, perr)}
@@ -101,6 +103,11 @@ func (s *Service) execute(b *batch, epoch int64) {
 	label := fmt.Sprintf("serve/%s/batch=%d", b.key.kind, s.batchSeq)
 	if b.key.kind == KindRestoreCell {
 		label = fmt.Sprintf("fault/rebuild/cell=%d", b.key.k)
+	}
+	if b.key.kind == KindMigrateCell {
+		// Migration adopts are metered under their own namespace so the
+		// rebalancer's cost is separable from both serving and rebuilds.
+		label = fmt.Sprintf("shard/migrate/cell=%d", b.key.k)
 	}
 	pop := mach.PushLabel(label)
 	pre := mach.SnapshotStats()
@@ -387,6 +394,17 @@ func (s *Service) runBatch(b *batch) ([]reply, error) {
 			out[i].changed = changed
 		}
 		return out, nil
+
+	case KindMigrateCell:
+		out := make([]reply, n)
+		for i, req := range b.reqs {
+			changed, err := s.migrateCell(req)
+			if err != nil {
+				return nil, err
+			}
+			out[i].changed = changed
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("serve: unknown batch kind %v", b.key.kind)
 }
@@ -574,4 +592,104 @@ func (s *Service) restoreCell(req *request) (changed bool, err error) {
 		s.expiry.pushAll(wantEntries)
 	}
 	return true, nil
+}
+
+// migrateCell adopts a migrating cell region: the write ledger (the
+// inserts/deletes that raced the migration cut, in router ack order) is
+// replayed on top of the staged snapshot to reconstruct the source's
+// post-cut state, and the result is exact-set into the region with
+// restoreCell's one-batch multiset-diff apply. Each replayed op mirrors
+// the cluster write path's semantics on the (items, entries) state pair —
+// InsertUnique, IngestUnique, ignore-absent Delete with the TTL entry left
+// behind as an orphan — so the adopted region's replication checksum is
+// bit-identical to the source's.
+func (s *Service) migrateCell(req *request) (changed bool, err error) {
+	type migPair struct {
+		item core.Item
+		at   int64
+		dead bool
+	}
+	staged := make([]migPair, len(req.items))
+	byID := map[int32][]int{}
+	for i := range req.items {
+		staged[i] = migPair{item: req.items[i], at: req.deadlines[i]}
+		byID[req.items[i].ID] = append(byID[req.items[i].ID], i)
+	}
+	findLive := func(it core.Item) int {
+		for _, i := range byID[it.ID] {
+			if !staged[i].dead && core.ItemEq(staged[i].item, it) {
+				return i
+			}
+		}
+		return -1
+	}
+	addStaged := func(it core.Item, at int64) {
+		byID[it.ID] = append(byID[it.ID], len(staged))
+		staged = append(staged, migPair{item: it, at: at})
+	}
+	orphans := append([]core.Item(nil), req.orphans...)
+	orphanAts := append([]int64(nil), req.orphanAts...)
+	hasOrphan := func(it core.Item, at int64) bool {
+		for i := range orphans {
+			if orphanAts[i] == at && core.ItemEq(orphans[i], it) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, op := range req.ops {
+		if !req.box.ContainsHalfOpen(op.Item.P) {
+			continue // ledger op outside the moving region: not ours
+		}
+		idx := findLive(op.Item)
+		switch {
+		case op.Delete:
+			if idx < 0 {
+				continue // ignore-absent delete
+			}
+			// The live item goes; a tracked TTL entry stays behind as an
+			// orphan, exactly as a plain delete leaves the expiry heap.
+			if staged[idx].at != math.MinInt64 {
+				orphans = append(orphans, staged[idx].item)
+				orphanAts = append(orphanAts, staged[idx].at)
+			}
+			staged[idx].dead = true
+		case op.ExpireAt == math.MinInt64:
+			// InsertUnique: no-op when the identical item is already live.
+			if idx < 0 {
+				addStaged(op.Item, math.MinInt64)
+			}
+		default:
+			// IngestUnique: the insert is skipped when the item is live; the
+			// deadline entry is created only when no identical (item,
+			// deadline) entry exists — tracked on the live item or orphaned.
+			if idx < 0 {
+				if hasOrphan(op.Item, op.ExpireAt) {
+					addStaged(op.Item, math.MinInt64)
+				} else {
+					addStaged(op.Item, op.ExpireAt)
+				}
+				continue
+			}
+			if staged[idx].at == op.ExpireAt || hasOrphan(op.Item, op.ExpireAt) {
+				continue
+			}
+			orphans = append(orphans, op.Item)
+			orphanAts = append(orphanAts, op.ExpireAt)
+		}
+	}
+
+	items := make([]core.Item, 0, len(staged))
+	deadlines := make([]int64, 0, len(staged))
+	for i := range staged {
+		if !staged[i].dead {
+			items = append(items, staged[i].item)
+			deadlines = append(deadlines, staged[i].at)
+		}
+	}
+	return s.restoreCell(&request{
+		box: req.box, items: items, deadlines: deadlines,
+		orphans: orphans, orphanAts: orphanAts,
+	})
 }

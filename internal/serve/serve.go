@@ -376,6 +376,49 @@ func (s *Service) RestoreCell(ctx context.Context, cellID int, cell geom.Box, sn
 	return rep.changed, rep.info, err
 }
 
+// MigrateCell atomically adopts a migrating cell region: the executor
+// replays ops (the writes that raced the migration cut, in router ack
+// order) on top of snap, then exact-sets the half-open cell box to the
+// result with RestoreCell's one-batch multiset-diff apply — WAL-logged
+// before commit, so a torn migration stream that never reaches this call
+// leaves the region untouched. The returned changed flag is false when the
+// local copy already matched (the destination was already a replica of the
+// moving region — an overlap adopt is a no-op). snap items and orphans
+// must lie inside cell; replayed ops are filtered to the box by the
+// executor, so a ledger op straddling the cut needs no caller-side
+// geometry.
+func (s *Service) MigrateCell(ctx context.Context, cellID int, cell geom.Box, snap CellSnapshot, ops []shard.MigrateOp) (bool, BatchInfo, error) {
+	if err := s.checkCell(cellID, cell); err != nil {
+		return false, BatchInfo{}, err
+	}
+	if len(snap.Items) != len(snap.Deadlines) || len(snap.Orphans) != len(snap.OrphanAts) {
+		return false, BatchInfo{}, fmt.Errorf("serve: migrate of %d/%d items with %d/%d deadlines",
+			len(snap.Items), len(snap.Deadlines), len(snap.Orphans), len(snap.OrphanAts))
+	}
+	for _, set := range [][]core.Item{snap.Items, snap.Orphans} {
+		for i := range set {
+			if err := s.checkPoint(set[i].P); err != nil {
+				return false, BatchInfo{}, err
+			}
+			if !cell.ContainsHalfOpen(set[i].P) {
+				return false, BatchInfo{}, fmt.Errorf("serve: migrate item %d outside cell %d", set[i].ID, cellID)
+			}
+		}
+	}
+	for i := range ops {
+		if err := s.checkPoint(ops[i].Item.P); err != nil {
+			return false, BatchInfo{}, err
+		}
+	}
+	rep, err := s.submit(ctx, &request{
+		kind: KindMigrateCell, k: cellID, box: cell,
+		items: snap.Items, deadlines: snap.Deadlines,
+		orphans: snap.Orphans, orphanAts: snap.OrphanAts,
+		ops: ops,
+	})
+	return rep.changed, rep.info, err
+}
+
 func (s *Service) checkCell(cellID int, cell geom.Box) error {
 	if cellID < 0 {
 		return fmt.Errorf("serve: negative cell id %d", cellID)

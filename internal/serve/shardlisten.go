@@ -3,13 +3,17 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"pimkd/internal/core"
+	"pimkd/internal/geom"
 	"pimkd/internal/heapx"
 	"pimkd/internal/mathx"
+	"pimkd/internal/pim"
 	"pimkd/internal/shard"
 )
 
@@ -30,6 +34,10 @@ type ShardListener struct {
 	// nudges. nil means permanently synced at generation 0 — correct for a
 	// standalone shard with no peers to rebuild from.
 	syncst SyncState
+	// onMigrate, when set, observes every applied migration commit (staged
+	// item count, the adopt batch's metered cost, wall time) — the server
+	// wires it to fault.Supervisor.RecordMigration. Set before traffic.
+	onMigrate func(items int64, cost pim.Stats, took time.Duration)
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -66,6 +74,12 @@ func NewShardListener(svc *Service, ln net.Listener, ready func() bool, syncst S
 
 // Addr returns the listener's bound address.
 func (sl *ShardListener) Addr() net.Addr { return sl.ln.Addr() }
+
+// SetMigrationObserver installs the migration-commit observer. Call before
+// the shard takes traffic; the listener reads it without locking.
+func (sl *ShardListener) SetMigrationObserver(fn func(items int64, cost pim.Stats, took time.Duration)) {
+	sl.onMigrate = fn
+}
 
 // Close stops accepting, closes every live connection, and waits for the
 // handlers to exit.
@@ -122,6 +136,21 @@ type snapStash struct {
 	snap  CellSnapshot
 }
 
+// migStash is one connection's in-progress migration stage: the pages
+// streamed between MigrateBegin and MigrateCommit. Like snapStash it lives
+// on the conn's handler goroutine only, so a dropped conn discards the
+// stage and a torn migration stream applies nothing — commit is the only
+// frame that touches the service.
+type migStash struct {
+	valid bool
+	epoch uint64
+	cell  int
+	box   geom.Box
+	total uint64
+	items []core.Item
+	ats   []int64
+}
+
 func (sl *ShardListener) handleConn(nc net.Conn) {
 	defer sl.wg.Done()
 	defer func() {
@@ -135,6 +164,7 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 		return
 	}
 	var stash snapStash
+	var mig migStash
 	for {
 		payload, err := shard.ReadFrame(nc)
 		if err != nil {
@@ -146,7 +176,7 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 			// trusted, mirror the client's poison-on-error rule.
 			return
 		}
-		resp := sl.dispatch(m, &stash)
+		resp := sl.dispatch(m, &stash, &mig)
 		if _, err := nc.Write(shard.EncodeFrame(reqID, resp, dim)); err != nil {
 			return
 		}
@@ -155,8 +185,9 @@ func (sl *ShardListener) handleConn(nc net.Conn) {
 
 // dispatch executes one decoded request and returns the response message
 // (possibly a *shard.RemoteError). stash carries the connection's cached
-// cell-snapshot cut across sequential CellSnapshot pages.
-func (sl *ShardListener) dispatch(m any, stash *snapStash) any {
+// cell-snapshot cut across sequential CellSnapshot pages; mig carries its
+// in-progress migration stage.
+func (sl *ShardListener) dispatch(m any, stash *snapStash, mig *migStash) any {
 	ready := sl.isReady()
 	// Ping, cell snapshots, and resync nudges are exempt from the ready
 	// gate: a recovering shard must still report status and serve rebuild
@@ -174,9 +205,13 @@ func (sl *ShardListener) dispatch(m any, stash *snapStash) any {
 	// whose answer depends on holding the complete cell contents: reads,
 	// expiry sweeps, and snapshot serving. The router plans around synced
 	// replicas, so this gate only fires when its view is momentarily stale;
-	// refusing keeps every served answer exact.
+	// refusing keeps every served answer exact. Migration frames are exempt
+	// like updates: an adopt (or a purge — an exact-set to empty) is the
+	// rebalancer repairing state, and exact-set semantics make it safe on a
+	// rebuilding replica, just like the fanned write stream.
 	switch m.(type) {
-	case shard.Ping, shard.ResyncReq, shard.UpdateReq, shard.IngestReq, shard.StatsReq:
+	case shard.Ping, shard.ResyncReq, shard.UpdateReq, shard.IngestReq, shard.StatsReq,
+		shard.MigrateBegin, shard.MigratePage, shard.MigrateCommit:
 	default:
 		if synced, _ := sl.syncState(); !synced {
 			return &shard.RemoteError{Code: shard.CodeNotReady, Msg: "replica rebuilding, not in sync"}
@@ -340,6 +375,53 @@ func (sl *ShardListener) dispatch(m any, stash *snapStash) any {
 			resp.OrphanAts = snap.OrphanAts
 		}
 		return resp
+
+	case shard.MigrateBegin:
+		// A fresh Begin replaces any stage this conn had: the rebalancer
+		// pins one conn per destination per migration, so an abandoned
+		// stage has no owner to resume it.
+		*mig = migStash{valid: true, epoch: req.Epoch, cell: req.Cell, box: req.Box, total: req.Total}
+		return shard.MigrateResp{}
+
+	case shard.MigratePage:
+		if !mig.valid || mig.epoch != req.Epoch || mig.cell != req.Cell {
+			*mig = migStash{}
+			return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "migration page without matching begin"}
+		}
+		if req.Offset != uint64(len(mig.items)) || uint64(len(mig.items))+uint64(len(req.Items)) > mig.total {
+			// Out-of-sequence page: the stream is torn. Drop the stage so a
+			// later commit cannot apply a gap-riddled cut.
+			*mig = migStash{}
+			return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "migration page out of sequence"}
+		}
+		mig.items = append(mig.items, req.Items...)
+		mig.ats = append(mig.ats, req.ExpireAts...)
+		return shard.MigrateResp{}
+
+	case shard.MigrateCommit:
+		if !mig.valid || mig.epoch != req.Epoch || mig.cell != req.Cell {
+			*mig = migStash{}
+			return &shard.RemoteError{Code: shard.CodeBadRequest, Msg: "migration commit without matching begin"}
+		}
+		if uint64(len(mig.items)) != mig.total {
+			staged, total := len(mig.items), mig.total
+			*mig = migStash{}
+			return &shard.RemoteError{Code: shard.CodeBadRequest,
+				Msg: fmt.Sprintf("torn migration stage: %d of %d items staged", staged, total)}
+		}
+		snap := CellSnapshot{Items: mig.items, Deadlines: mig.ats, Orphans: req.Orphans, OrphanAts: req.OrphanAts}
+		box := mig.box
+		staged := len(mig.items)
+		*mig = migStash{} // single-shot: the stage is consumed either way
+		start := time.Now()
+		changed, info, err := sl.svc.MigrateCell(ctx, req.Cell, box, snap, req.Ops)
+		if err != nil {
+			return remoteError(err)
+		}
+		if sl.onMigrate != nil {
+			sl.onMigrate(int64(staged), info.Cost, time.Since(start))
+		}
+		return shard.MigrateResp{Changed: changed}
 
 	case shard.CellChecksumReq:
 		// Behind both gates (unlike CellSnapshotReq): a checksum is a claim

@@ -358,6 +358,167 @@ func (c *Client) Resync(ctx context.Context, evidenced bool) (bool, uint64, erro
 	return r.Started, r.Target, nil
 }
 
+// Session is a pinned-connection view of the client, for the two wire
+// exchanges whose state lives on one connection: the one-consistent-cut
+// cell-snapshot stash (every page of one pull must slice one cut) and the
+// migration stage (Begin/Pages/Commit accumulate on the serving conn, so a
+// dropped conn discards the stage and a torn stream applies nothing).
+// Unlike the pooled client, a Session is for one goroutine; any error
+// poisons it — the conn is closed, the shard discards conn-local state,
+// and every later call fails.
+type Session struct {
+	c   *Client
+	cc  *clientConn
+	err error
+}
+
+// NewSession pins one connection (pooled or freshly dialed) for a
+// paginated exchange. Close returns the conn to the pool when the session
+// is still healthy.
+func (c *Client) NewSession(ctx context.Context) (*Session, error) {
+	cc, err := c.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, cc: cc}, nil
+}
+
+// Close releases the pinned conn: pooled if the session never erred,
+// closed otherwise (which also makes the shard discard any conn-local
+// snapshot stash or migration stage).
+func (s *Session) Close() {
+	if s.cc == nil {
+		return
+	}
+	if s.err != nil {
+		s.cc.nc.Close()
+	} else {
+		s.c.put(s.cc)
+	}
+	s.cc = nil
+}
+
+// Abort closes the pinned conn unconditionally, discarding shard-side
+// conn-local state even when no call has failed — the way the rebalancer
+// drops a staged migration without committing it.
+func (s *Session) Abort() {
+	if s.cc == nil {
+		return
+	}
+	s.cc.nc.Close()
+	s.cc = nil
+	s.err = fmt.Errorf("shard %s: session aborted", s.c.addr)
+}
+
+// roundTrip mirrors Client.roundTrip on the pinned conn.
+func (s *Session) roundTrip(ctx context.Context, m any) (any, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.cc == nil {
+		return nil, fmt.Errorf("shard %s: session closed", s.c.addr)
+	}
+	fail := func(err error) (any, error) {
+		s.err = err
+		s.cc.nc.Close()
+		s.cc = nil
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = s.cc.nc.SetDeadline(dl)
+	}
+	id := s.c.reqID.Add(1)
+	frame := EncodeFrame(id, m, s.c.dim)
+	if _, err := s.cc.nc.Write(frame); err != nil {
+		return fail(err)
+	}
+	s.c.bytesOut.Add(int64(len(frame)))
+	payload, err := ReadFrame(s.cc.nc)
+	if err != nil {
+		return fail(err)
+	}
+	s.c.bytesIn.Add(int64(8 + len(payload)))
+	gotID, resp, err := DecodePayload(payload, s.c.dim)
+	if err != nil {
+		return fail(err)
+	}
+	if gotID != id {
+		return fail(fmt.Errorf("%w: response for request %d, want %d", ErrWire, gotID, id))
+	}
+	if re, ok := resp.(*RemoteError); ok {
+		// A remote refusal leaves the stream healthy but the conn-local
+		// stage in an unknown state: poison the session so the stage is
+		// discarded with the conn rather than half-reused.
+		s.err = re
+		s.cc.nc.Close()
+		s.cc = nil
+		return nil, re
+	}
+	return resp, nil
+}
+
+// CellSnapshot fetches one page of a cell over the pinned conn, so every
+// page of the pull slices the same shard-side cut regardless of what other
+// traffic shares the client's pool.
+func (s *Session) CellSnapshot(ctx context.Context, cell int, box geom.Box, offset uint64, limit int) (CellSnapshotResp, error) {
+	resp, err := s.roundTrip(ctx, CellSnapshotReq{Cell: cell, Box: box, Offset: offset, Limit: limit})
+	if err != nil {
+		return CellSnapshotResp{}, err
+	}
+	r, ok := resp.(CellSnapshotResp)
+	if !ok {
+		s.Abort()
+		return CellSnapshotResp{}, fmt.Errorf("%w: cell snapshot answered with %T", ErrWire, resp)
+	}
+	if len(r.Items) != len(r.ExpireAts) || len(r.Orphans) != len(r.OrphanAts) {
+		s.Abort()
+		return CellSnapshotResp{}, fmt.Errorf("%w: cell snapshot %d/%d items, %d/%d deadlines",
+			ErrWire, len(r.Items), len(r.ExpireAts), len(r.Orphans), len(r.OrphanAts))
+	}
+	return r, nil
+}
+
+// migrateCall sends one migration frame on the pinned conn and validates
+// the MigrateResp.
+func (s *Session) migrateCall(ctx context.Context, m any) (bool, error) {
+	resp, err := s.roundTrip(ctx, m)
+	if err != nil {
+		return false, err
+	}
+	r, ok := resp.(MigrateResp)
+	if !ok {
+		s.Abort()
+		return false, fmt.Errorf("%w: migration frame answered with %T", ErrWire, resp)
+	}
+	return r.Changed, nil
+}
+
+// MigrateBegin opens a migration stage for cell's half-open box on this
+// conn: the destination will hold total staged items before commit.
+func (s *Session) MigrateBegin(ctx context.Context, epoch uint64, cell int, box geom.Box, total uint64) error {
+	_, err := s.migrateCall(ctx, MigrateBegin{Epoch: epoch, Cell: cell, Box: box, Total: total})
+	return err
+}
+
+// MigratePage streams one page of the staged exact set.
+func (s *Session) MigratePage(ctx context.Context, epoch uint64, cell int, offset uint64, items []core.Item, expireAts []int64) error {
+	if len(items) != len(expireAts) {
+		return fmt.Errorf("shard: migrate page of %d items with %d deadlines", len(items), len(expireAts))
+	}
+	_, err := s.migrateCall(ctx, MigratePage{Epoch: epoch, Cell: cell, Offset: offset, Items: items, ExpireAts: expireAts})
+	return err
+}
+
+// MigrateCommit atomically applies the staged pages plus the replayed
+// write ledger as cell's exact contents, reporting whether local state
+// changed.
+func (s *Session) MigrateCommit(ctx context.Context, epoch uint64, cell int, orphans []core.Item, orphanAts []int64, ops []MigrateOp) (bool, error) {
+	if len(orphans) != len(orphanAts) {
+		return false, fmt.Errorf("shard: migrate commit of %d orphans with %d deadlines", len(orphans), len(orphanAts))
+	}
+	return s.migrateCall(ctx, MigrateCommit{Epoch: epoch, Cell: cell, Orphans: orphans, OrphanAts: orphanAts, Ops: ops})
+}
+
 // Stats fetches the shard's per-kind latency histograms in sparse form.
 func (c *Client) Stats(ctx context.Context) (StatsResp, error) {
 	resp, err := c.roundTrip(ctx, StatsReq{})

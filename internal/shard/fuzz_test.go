@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
 )
 
 // fuzzSeedPayloads returns valid payloads of every message type (dim 2)
@@ -18,11 +21,21 @@ func fuzzSeedPayloads() [][]byte {
 		seeds = append(seeds, encodePayload(uint64(i), m, 2))
 	}
 	valid := encodePayload(9, wireMessages(2)[3], 2) // a kNN request
+	page := encodePayload(10, MigratePage{
+		Epoch:     2,
+		Cell:      1,
+		Items:     []core.Item{{ID: 7, P: geom.Point{0.5, 0.5}}},
+		ExpireAts: []int64{UntrackedDeadline},
+	}, 2)
+	badEpoch := encodePayload(11, MigratePage{Epoch: 1, Cell: 1}, 2)
+	badEpoch[9] = 0 // epoch 0 is the malformed sentinel — epochs start at 1
 	seeds = append(seeds,
 		valid[:len(valid)/2],                 // truncated body
 		append(valid, 0xaa),                  // trailing byte
 		valid[:9],                            // header only
 		[]byte{0x7e, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown type
+		page[:len(page)-7],                   // torn migration page stream
+		badEpoch,                             // malformed migration epoch
 		nil,
 	)
 	return seeds

@@ -58,10 +58,15 @@ type wireItem struct {
 func NewHandler(r *Router) http.Handler {
 	mux := http.NewServeMux()
 
-	// Every 503 hint derives from the probe interval: degradation heals when
-	// the next probe revives a shard (or lifts a fence), so that cadence —
-	// not a hardcoded second — is when a retry can first succeed.
+	// Every 503 hint derives from the cadence at which the blocking state
+	// actually changes: degradation heals when the next probe revives a
+	// shard (or lifts a fence), so that interval — not a hardcoded second —
+	// is when a retry can first succeed. A write bounced during a migration
+	// commit window instead hints the migration page interval, the cadence
+	// at which migration state advances (the commit window lasts on the
+	// order of one ledger replay, far less than a probe interval).
 	hint := retryAfterSecs(r.cfg.ProbeInterval)
+	migHint := retryAfterSecs(r.cfg.MigratePageInterval)
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -112,6 +117,17 @@ func NewHandler(r *Router) http.Handler {
 			// unavailable), and each replica's health/sync/stale state.
 			Cells      []CellStatus `json:"cells"`
 			DriftLimit float64      `json:"drift_threshold"`
+			// Epoch is the current placement epoch (1 at boot, +1 per
+			// committed cell migration); CellCounts the per-cell live point
+			// counts sampled from each cell's acting primary — the view the
+			// online rebalancer plans from, at cell (not shard) granularity.
+			Epoch      uint64      `json:"placement_epoch"`
+			CellCounts []CellCount `json:"cell_counts,omitempty"`
+			// SweepTies counts anti-entropy verdicts that had no unique
+			// majority digest and rested on the placement-order tie break —
+			// the R=2 residual risk (DESIGN.md §11), surfaced rather than
+			// silent.
+			SweepTies int64 `json:"sweep_ties"`
 			// Latency quantiles, per shard and cluster-merged. The merge is
 			// bucket-wise over the shards' wire histograms, so the cluster
 			// quantiles equal one histogram over every observation.
@@ -121,7 +137,8 @@ func NewHandler(r *Router) http.Handler {
 			// until the first sweep completes, or when sweeping is disabled).
 			Sweep []CellSweepStatus `json:"sweep,omitempty"`
 		}{healthy, len(st), r.Replication(), RebalanceCandidates(counts, r.cfg.DriftThreshold), st,
-			r.Cells(), r.cfg.DriftThreshold, perShard, cluster, r.SweepStatus()})
+			r.Cells(), r.cfg.DriftThreshold, r.Epoch(), r.CellCounts(req.Context()), r.m.sweepTies.Load(),
+			perShard, cluster, r.SweepStatus()})
 	})
 
 	mux.HandleFunc("/knn", func(w http.ResponseWriter, req *http.Request) {
@@ -138,7 +155,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		cands, fan, err := r.KNN(req.Context(), p, k)
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		neighbors := make([]wireNeighbor, len(cands))
@@ -171,7 +188,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		items, fan, err := r.Range(req.Context(), geom.NewBox(lo, hi))
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -192,7 +209,7 @@ func NewHandler(r *Router) http.Handler {
 		// An exact-point lookup is a radius-0 spatial join: the owner
 		// shard answers with the items stored at exactly p.
 		items, fan, err := r.Join(req.Context(), p, 0)
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -216,7 +233,7 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		items, fan, err := r.Join(req.Context(), p, radius)
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		out := make([]wireItem, len(items))
@@ -249,7 +266,7 @@ func NewHandler(r *Router) http.Handler {
 			}
 		}
 		agg, fan, err := r.Aggregate(req.Context(), geom.NewBox(lo, hi))
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		writeJSON(w, struct {
@@ -270,7 +287,7 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		n, fan, err := r.Expire(req.Context(), now)
-		if !okReply(w, err, hint) {
+		if !okReply(w, err, hint, migHint) {
 			return
 		}
 		writeJSON(w, struct {
@@ -302,7 +319,7 @@ func NewHandler(r *Router) http.Handler {
 				}
 			}
 			fan, err := op(req, it)
-			if !okReply(w, err, hint) {
+			if !okReply(w, err, hint, migHint) {
 				return
 			}
 			writeJSON(w, struct {
@@ -366,9 +383,11 @@ func retryAfterSecs(d time.Duration) string {
 // Every 503 carries the caller's Retry-After hint (derived from the probe
 // interval, the cadence at which a probe revives a shard or a resynced
 // replica is readmitted), so clients come back when a retry can actually
-// succeed rather than hammering a fixed second. A request whose own
-// deadline expired is 504.
-func okReply(w http.ResponseWriter, err error, retryAfter string) bool {
+// succeed rather than hammering a fixed second. A write bounced off a
+// migration commit window (ErrMigrating) hints migrateRetryAfter — the
+// migration page interval — because that window closes on migration
+// cadence, not probe cadence. A request whose own deadline expired is 504.
+func okReply(w http.ResponseWriter, err error, retryAfter, migrateRetryAfter string) bool {
 	var re *RemoteError
 	var ne net.Error
 	retryable := func() {
@@ -378,6 +397,9 @@ func okReply(w http.ResponseWriter, err error, retryAfter string) bool {
 	switch {
 	case err == nil:
 		return true
+	case errors.Is(err, ErrMigrating):
+		w.Header().Set("Retry-After", migrateRetryAfter)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrDegraded):
 		retryable()
 	case errors.As(err, &re) && re.Retryable():

@@ -58,8 +58,13 @@ type Partition struct {
 // Dim returns the partition's dimension.
 func (p *Partition) Dim() int { return p.dim }
 
-// Shards returns the number of cells.
+// Shards returns the number of cells. It equals the shard count only for a
+// boot partition (one cell per shard); after SplitCell the cell count grows
+// past the shard count, so new code should prefer Cells.
 func (p *Partition) Shards() int { return len(p.cells) }
+
+// Cells returns the number of cells.
+func (p *Partition) Cells() int { return len(p.cells) }
 
 // Cell returns shard i's cell. Outer faces extend to ±Inf: the cells tile
 // all of R^d, so ownership is total. The returned box aliases internal
@@ -161,6 +166,103 @@ func (p *Partition) build(shards int, cell, inner geom.Box, sample []geom.Point,
 	return idx
 }
 
+// SplitCell returns a new Partition in which cell is split at value along
+// axis: cell keeps the half-open half below the plane and a fresh cell
+// (index Cells() of the receiver) takes the half at or above it. The
+// receiver is not modified — the rebalancer builds the next layout
+// copy-on-write and installs it atomically. The plane must fall strictly
+// inside the cell's box so both halves stay non-degenerate.
+func (p *Partition) SplitCell(cell, axis int, value float64) (*Partition, error) {
+	if cell < 0 || cell >= len(p.cells) {
+		return nil, fmt.Errorf("shard: split of cell %d, have %d cells", cell, len(p.cells))
+	}
+	if axis < 0 || axis >= p.dim {
+		return nil, fmt.Errorf("shard: split axis %d, dimension %d", axis, p.dim)
+	}
+	box := p.cells[cell]
+	if !(value > box.Lo[axis] && value < box.Hi[axis]) {
+		return nil, fmt.Errorf("shard: split plane %g not strictly inside cell %d axis %d [%g, %g)",
+			value, cell, axis, box.Lo[axis], box.Hi[axis])
+	}
+	np := &Partition{dim: p.dim, root: p.root}
+	np.nodes = append(make([]splitNode, 0, len(p.nodes)+1), p.nodes...)
+	np.cells = make([]geom.Box, len(p.cells), len(p.cells)+1)
+	for i, b := range p.cells {
+		np.cells[i] = b.Clone()
+	}
+	newCell := len(np.cells)
+	right := box.Clone()
+	right.Lo[axis] = value
+	np.cells[cell].Hi[axis] = value
+	np.cells = append(np.cells, right)
+
+	// Splice the new split node where the leaf used to hang. Every leaf is
+	// referenced exactly once (by its parent, or by root when the tree is a
+	// single cell).
+	idx := len(np.nodes)
+	np.nodes = append(np.nodes, splitNode{axis: axis, value: value, left: ^cell, right: ^newCell})
+	if np.root == ^cell {
+		np.root = idx
+		return np, nil
+	}
+	for i := range np.nodes[:idx] {
+		if np.nodes[i].left == ^cell {
+			np.nodes[i].left = idx
+			return np, nil
+		}
+		if np.nodes[i].right == ^cell {
+			np.nodes[i].right = idx
+			return np, nil
+		}
+	}
+	return nil, fmt.Errorf("shard: cell %d has no parent reference (corrupt partition)", cell)
+}
+
+// ChooseSplit picks a split plane for a cell from a sample of its points:
+// the axis of largest finite sample spread, split at the sample median
+// nudged up to the next distinct coordinate when the median sits on the
+// minimum, so both halves are guaranteed non-empty on the sample. ok is
+// false when the sample is too small or degenerate (all points equal on
+// every axis) to support a split.
+func ChooseSplit(sample []geom.Point) (axis int, value float64, ok bool) {
+	if len(sample) < 2 {
+		return 0, 0, false
+	}
+	dim := len(sample[0])
+	bestAxis, bestSpread := -1, 0.0
+	for d := 0; d < dim; d++ {
+		lo, hi := sample[0][d], sample[0][d]
+		for _, s := range sample[1:] {
+			lo = math.Min(lo, s[d])
+			hi = math.Max(hi, s[d])
+		}
+		if spread := hi - lo; !math.IsInf(spread, 0) && !math.IsNaN(spread) && spread > bestSpread {
+			bestAxis, bestSpread = d, spread
+		}
+	}
+	if bestAxis < 0 {
+		return 0, 0, false
+	}
+	xs := make([]float64, len(sample))
+	for i, s := range sample {
+		xs[i] = s[bestAxis]
+	}
+	sort.Float64s(xs)
+	v := xs[len(xs)/2]
+	if !(v > xs[0]) {
+		for _, x := range xs {
+			if x > v {
+				v = x
+				break
+			}
+		}
+	}
+	if !(v > xs[0]) {
+		return 0, 0, false
+	}
+	return bestAxis, v, true
+}
+
 // splitValue picks the split plane: the frac-quantile of the sample along
 // axis when one is available (clamped strictly inside (lo, hi) so both
 // sides stay non-degenerate), the linear interpolation otherwise.
@@ -180,17 +282,23 @@ func splitValue(lo, hi, frac float64, axis int, sample []geom.Point) float64 {
 	return v
 }
 
-// Placement maps partition cells onto replica shards. Cell i lives on
-// shards i, i+1, …, i+R−1 (mod S): the first entry is the cell's home
-// primary and the list order is the deterministic failover order. R is
-// clamped to S (a cell cannot have two copies on one shard), and every
-// shard hosts exactly R cells, so load stays uniform under uniform data.
-// Placement is pure arithmetic shared by the router and the shard-side
-// peer-rebuild orchestrator — both derive identical replica sets from
-// (S, R) with no coordination.
+// Placement maps partition cells onto replica shards. The first S cells
+// (one per shard) live on shards i, i+1, …, i+R−1 (mod S): the first entry
+// is the cell's home primary and the list order is the deterministic
+// failover order. R is clamped to S (a cell cannot have two copies on one
+// shard), so at boot every shard hosts exactly R cells and load stays
+// uniform under uniform data. Cells created later by the online rebalancer
+// (indices >= S) carry explicit replica lists chosen by the planner
+// (WithCell) — arithmetic placement would park a split-off cell right back
+// on the overloaded shards it is escaping. The arithmetic core is shared
+// by the router and the shard-side peer-rebuild orchestrator — both derive
+// identical boot replica sets from (S, R) with no coordination.
 type Placement struct {
 	shards int
 	r      int
+	// extra holds the replica lists of split-created cells: extra[i] is
+	// cell shards+i. Treated as immutable — WithCell copies.
+	extra [][]int
 }
 
 // NewPlacement builds the placement for shards shards at replication
@@ -208,9 +316,40 @@ func NewPlacement(shards, r int) Placement {
 // Replication returns the effective replication factor.
 func (pl Placement) Replication() int { return pl.r }
 
+// NumCells returns the number of placed cells: the boot cells (one per
+// shard) plus any split-created cells added with WithCell.
+func (pl Placement) NumCells() int { return pl.shards + len(pl.extra) }
+
+// WithCell returns a new Placement extended with one split-created cell
+// (index NumCells() of the receiver) on the given replica shards, primary
+// first. The receiver is unchanged. The list must hold exactly R distinct
+// shard indexes.
+func (pl Placement) WithCell(replicas []int) (Placement, error) {
+	if len(replicas) != pl.r {
+		return Placement{}, fmt.Errorf("shard: placement of new cell on %d replicas, replication factor %d", len(replicas), pl.r)
+	}
+	seen := map[int]bool{}
+	for _, s := range replicas {
+		if s < 0 || s >= pl.shards {
+			return Placement{}, fmt.Errorf("shard: placement replica %d out of range [0, %d)", s, pl.shards)
+		}
+		if seen[s] {
+			return Placement{}, fmt.Errorf("shard: placement replica %d listed twice", s)
+		}
+		seen[s] = true
+	}
+	extra := make([][]int, len(pl.extra), len(pl.extra)+1)
+	copy(extra, pl.extra)
+	extra = append(extra, append([]int(nil), replicas...))
+	return Placement{shards: pl.shards, r: pl.r, extra: extra}, nil
+}
+
 // Replicas returns cell's replica shards, primary first, in deterministic
 // failover order.
 func (pl Placement) Replicas(cell int) []int {
+	if cell >= pl.shards {
+		return append([]int(nil), pl.extra[cell-pl.shards]...)
+	}
 	out := make([]int, pl.r)
 	for j := 0; j < pl.r; j++ {
 		out[j] = (cell + j) % pl.shards
@@ -219,13 +358,19 @@ func (pl Placement) Replicas(cell int) []int {
 }
 
 // Primary returns cell's home primary shard.
-func (pl Placement) Primary(cell int) int { return cell % pl.shards }
+func (pl Placement) Primary(cell int) int {
+	if cell >= pl.shards {
+		return pl.extra[cell-pl.shards][0]
+	}
+	return cell % pl.shards
+}
 
 // CellsOf returns the cells hosted on shard, in ascending cell order.
-// Shard s hosts cell c iff s ∈ Replicas(c), i.e. c ∈ {s−R+1, …, s} mod S.
+// Boot shard s hosts cell c iff s ∈ Replicas(c), i.e. c ∈ {s−R+1, …, s}
+// mod S, plus any split-created cells placed on it.
 func (pl Placement) CellsOf(shard int) []int {
 	out := make([]int, 0, pl.r)
-	for c := 0; c < pl.shards; c++ {
+	for c := 0; c < pl.NumCells(); c++ {
 		if pl.Hosts(c, shard) {
 			out = append(out, c)
 		}
@@ -235,6 +380,14 @@ func (pl Placement) CellsOf(shard int) []int {
 
 // Hosts reports whether shard stores a replica of cell.
 func (pl Placement) Hosts(cell, shard int) bool {
+	if cell >= pl.shards {
+		for _, s := range pl.extra[cell-pl.shards] {
+			if s == shard {
+				return true
+			}
+		}
+		return false
+	}
 	d := (shard - cell) % pl.shards
 	if d < 0 {
 		d += pl.shards

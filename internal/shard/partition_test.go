@@ -233,3 +233,241 @@ func TestPlacement(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitCell: splitting a cell is copy-on-write, routes exactly the
+// half-space at-or-above the plane to the new cell, and leaves every other
+// cell's ownership untouched.
+func TestSplitCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		p, err := NewUniformPartition(2, shards, unitBox(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell := 0; cell < p.Cells(); cell++ {
+			box := p.Cell(cell)
+			axis := 0
+			lo, hi := box.Lo[axis], box.Hi[axis]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				hi = 1
+			}
+			value := (lo + hi) / 2
+			p2, err := p.SplitCell(cell, axis, value)
+			if err != nil {
+				t.Fatalf("shards=%d cell=%d: %v", shards, cell, err)
+			}
+			newCell := p.Cells() // fresh cell index == old cell count
+			if p2.Cells() != p.Cells()+1 {
+				t.Fatalf("shards=%d: split went %d -> %d cells", shards, p.Cells(), p2.Cells())
+			}
+			if p.Cells() != shards {
+				t.Fatalf("receiver mutated: %d cells", p.Cells())
+			}
+			if got := p2.Cell(cell).Hi[axis]; got != value {
+				t.Fatalf("kept half Hi[%d] = %g, want %g", axis, got, value)
+			}
+			if got := p2.Cell(newCell).Lo[axis]; got != value {
+				t.Fatalf("new half Lo[%d] = %g, want %g", axis, got, value)
+			}
+			for trial := 0; trial < 400; trial++ {
+				pt := geom.Point{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+				before := p.Owner(pt)
+				after := p2.Owner(pt)
+				switch {
+				case before != cell:
+					if after != before {
+						t.Fatalf("unrelated point %v moved %d -> %d", pt, before, after)
+					}
+				case pt[axis] < value:
+					if after != cell {
+						t.Fatalf("below-plane point %v owner %d, want %d", pt, after, cell)
+					}
+				default:
+					if after != newCell {
+						t.Fatalf("at/above-plane point %v owner %d, want %d", pt, after, newCell)
+					}
+				}
+				if !p2.Cell(after).Contains(pt) {
+					t.Fatalf("cell %d does not contain its point %v", after, pt)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitCellChained: repeated splits of the same region keep ownership
+// total and consistent — the shape the rebalancer produces over time.
+func TestSplitCellChained(t *testing.T) {
+	p, err := NewUniformPartition(2, 2, unitBox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split cell 0 at x=0.25, then split the resulting new cell at y=0.5.
+	p2, err := p.SplitCell(0, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := p2.SplitCell(2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Cells() != 4 {
+		t.Fatalf("cells = %d, want 4", p3.Cells())
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 1000; trial++ {
+		pt := geom.Point{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		owner := p3.Owner(pt)
+		if owner < 0 || owner >= 4 {
+			t.Fatalf("owner %d out of range", owner)
+		}
+		if !p3.Cell(owner).Contains(pt) {
+			t.Fatalf("cell %d does not contain %v", owner, pt)
+		}
+		holders := 0
+		for c := 0; c < 4; c++ {
+			if p3.Cell(c).ContainsHalfOpen(pt) {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("point %v half-open-held by %d cells, want exactly 1", pt, holders)
+		}
+	}
+}
+
+func TestSplitCellValidation(t *testing.T) {
+	p, err := NewUniformPartition(2, 4, unitBox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SplitCell(-1, 0, 0.5); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if _, err := p.SplitCell(4, 0, 0.5); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if _, err := p.SplitCell(0, 2, 0.5); err == nil {
+		t.Error("out-of-range axis accepted")
+	}
+	box := p.Cell(0)
+	if _, err := p.SplitCell(0, 0, box.Hi[0]); err == nil {
+		t.Error("plane on the cell's upper face accepted (degenerate half)")
+	}
+	if _, err := p.SplitCell(0, 0, box.Hi[0]+10); err == nil {
+		t.Error("plane outside the cell accepted")
+	}
+	if _, err := p.SplitCell(0, 0, math.NaN()); err == nil {
+		t.Error("NaN plane accepted")
+	}
+}
+
+func TestChooseSplit(t *testing.T) {
+	// Largest-spread axis wins; the median must land strictly above the min.
+	sample := []geom.Point{{0, 0}, {0.1, 10}, {0.2, 20}, {0.3, 30}}
+	axis, value, ok := ChooseSplit(sample)
+	if !ok || axis != 1 {
+		t.Fatalf("axis=%d ok=%v, want axis 1", axis, ok)
+	}
+	if !(value > 0 && value <= 30) {
+		t.Fatalf("value %g outside sample spread", value)
+	}
+	below, above := 0, 0
+	for _, s := range sample {
+		if s[axis] < value {
+			below++
+		} else {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Fatalf("split %g leaves a side empty (%d/%d)", value, below, above)
+	}
+
+	// Median sitting on the minimum nudges up to the next distinct value.
+	skew := []geom.Point{{0}, {0}, {0}, {5}}
+	_, v, ok := ChooseSplit(skew)
+	if !ok || v != 5 {
+		t.Fatalf("min-heavy sample: value=%g ok=%v, want 5", v, ok)
+	}
+
+	// Degenerate cases refuse.
+	if _, _, ok := ChooseSplit(nil); ok {
+		t.Error("nil sample accepted")
+	}
+	if _, _, ok := ChooseSplit([]geom.Point{{1, 2}}); ok {
+		t.Error("single-point sample accepted")
+	}
+	if _, _, ok := ChooseSplit([]geom.Point{{3, 3}, {3, 3}, {3, 3}}); ok {
+		t.Error("all-identical sample accepted")
+	}
+	if _, _, ok := ChooseSplit([]geom.Point{{math.Inf(-1)}, {math.Inf(1)}}); ok {
+		t.Error("infinite-spread sample accepted")
+	}
+}
+
+// TestPlacementWithCell: split-created cells carry explicit replica lists
+// and stay consistent across Replicas/Primary/Hosts/CellsOf.
+func TestPlacementWithCell(t *testing.T) {
+	pl := NewPlacement(4, 2)
+	pl2, err := pl.WithCell([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumCells() != 4 {
+		t.Fatalf("receiver mutated: %d cells", pl.NumCells())
+	}
+	if pl2.NumCells() != 5 {
+		t.Fatalf("NumCells = %d, want 5", pl2.NumCells())
+	}
+	if got := pl2.Replicas(4); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("Replicas(4) = %v, want [3 1]", got)
+	}
+	if got := pl2.Primary(4); got != 3 {
+		t.Fatalf("Primary(4) = %d, want 3", got)
+	}
+	for sh := 0; sh < 4; sh++ {
+		want := sh == 3 || sh == 1
+		if pl2.Hosts(4, sh) != want {
+			t.Fatalf("Hosts(4,%d) = %v, want %v", sh, pl2.Hosts(4, sh), want)
+		}
+	}
+	// Boot cells are untouched; CellsOf picks up the extra cell on its hosts.
+	for c := 0; c < 4; c++ {
+		if got, want := pl2.Primary(c), pl.Primary(c); got != want {
+			t.Fatalf("boot cell %d primary changed %d -> %d", c, want, got)
+		}
+	}
+	if got := pl2.CellsOf(3); len(got) != 3 || got[len(got)-1] != 4 {
+		t.Fatalf("CellsOf(3) = %v, want boot cells plus 4", got)
+	}
+	if got := pl2.CellsOf(0); len(got) != 2 {
+		t.Fatalf("CellsOf(0) = %v, want boot cells only", got)
+	}
+
+	// Chained extras keep indexing straight.
+	pl3, err := pl2.WithCell([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl3.Replicas(5); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Replicas(5) = %v, want [0 2]", got)
+	}
+	if pl2.NumCells() != 5 {
+		t.Fatalf("WithCell mutated receiver: %d cells", pl2.NumCells())
+	}
+
+	// Validation: wrong count, out-of-range, duplicate.
+	if _, err := pl.WithCell([]int{1}); err == nil {
+		t.Error("short replica list accepted")
+	}
+	if _, err := pl.WithCell([]int{1, 4}); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	if _, err := pl.WithCell([]int{2, 2}); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+}

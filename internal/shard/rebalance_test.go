@@ -1,0 +1,461 @@
+package shard_test
+
+// Rebalancer cluster tests: a live split+migration must keep every read
+// bit-identical to a single-tree oracle over the acked write set — during
+// the cut transfer, during the commit window, and after the epoch flip —
+// while concurrent writers churn the moving cell. And a torn migration
+// stage (dropped conn, short page stream) must apply nothing: commit is
+// the only frame that touches the destination service.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimkd/internal/core"
+	"pimkd/internal/geom"
+	"pimkd/internal/pim"
+	"pimkd/internal/shard"
+)
+
+// retryMigrating runs op, retrying while it returns ErrMigrating (the
+// commit-window bounce a well-behaved client absorbs via Retry-After).
+func retryMigrating(op func() error) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := op()
+		if !errors.Is(err, shard.ErrMigrating) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// shardLoadRatio computes worst-shard-load / mean-load the way the planner
+// does: a shard's load is the sum of its hosted cells' counts.
+func shardLoadRatio(counts []shard.CellCount, cells []shard.CellStatus, shards int) float64 {
+	loads := make([]uint64, shards)
+	var total uint64
+	for _, cc := range counts {
+		total += cc.Count
+		for _, rep := range cells[cc.Cell].Replicas {
+			loads[rep.Shard] += cc.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var worst uint64
+	var copies uint64
+	for _, l := range loads {
+		if l > worst {
+			worst = l
+		}
+		copies += l
+	}
+	mean := float64(copies) / float64(shards)
+	return float64(worst) / mean
+}
+
+// TestClusterMigrationOracle: hot-spot load on one cell triggers a split
+// and live migration; throughout — staging, commit window, epoch flip,
+// post-flip purge — kNN, range, and join stay bit-identical to a
+// single-tree oracle over exactly the acked writes, under concurrent
+// insert/delete churn. Run with -race: the layout swap, ledger, and
+// commit gate are the contended state.
+func TestClusterMigrationOracle(t *testing.T) {
+	const (
+		dim    = 2
+		shards = 4
+	)
+	part, err := shard.NewUniformPartition(dim, shards, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, shards)
+	addrs := make([]string, shards)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       5 * time.Second,
+		ProbeInterval: 50 * time.Millisecond,
+		Replication:   2,
+		// RebalanceInterval stays 0: the test drives RebalanceOnce itself.
+		RebalanceThreshold:  1.5,
+		MigratePageSize:     64,
+		MigratePageInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx := context.Background()
+
+	// Hot spot: 1200 points in [0, 0.2]^2 (one cell), 50 per cell elsewhere.
+	rng := rand.New(rand.NewSource(31))
+	model := map[int32]core.Item{}
+	var seedItems []core.Item
+	nextID := int32(0)
+	for i := 0; i < 1200; i++ {
+		it := core.Item{ID: nextID, P: geom.Point{rng.Float64() * 0.2, rng.Float64() * 0.2}}
+		nextID++
+		seedItems = append(seedItems, it)
+	}
+	for i := 0; i < 150; i++ {
+		it := core.Item{ID: nextID, P: geom.Point{rng.Float64(), rng.Float64()}}
+		nextID++
+		seedItems = append(seedItems, it)
+	}
+	if n, err := router.BatchUpdate(ctx, false, seedItems); err != nil || n != len(seedItems) {
+		t.Fatalf("seed: acked %d/%d, err %v", n, len(seedItems), err)
+	}
+	for _, it := range seedItems {
+		model[it.ID] = it
+	}
+	before := shardLoadRatio(router.CellCounts(ctx), router.Cells(), shards)
+	if before <= 1.5 {
+		t.Fatalf("test premise broken: pre-migration drift ratio %.2f not past threshold", before)
+	}
+
+	// churnMu freezes the acked set for a comparison round: writers hold the
+	// read half across one full write (router ack + model update), the
+	// oracle check holds the write half, so every comparison sees a point
+	// set no write is mid-flight on — while writes still race the
+	// migration's pages, ledger, and commit gate between rounds.
+	var churnMu sync.RWMutex
+	var modelMu sync.Mutex
+	inflight := map[int32]bool{}
+	var idGen atomic.Int32
+	idGen.Store(100000)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				churnMu.RLock()
+				if wrng.Intn(3) != 0 {
+					p := geom.Point{wrng.Float64(), wrng.Float64()}
+					if wrng.Intn(2) == 0 {
+						p = geom.Point{wrng.Float64() * 0.2, wrng.Float64() * 0.2}
+					}
+					it := core.Item{ID: idGen.Add(1), P: p}
+					if err := retryMigrating(func() error {
+						_, err := router.Insert(ctx, it)
+						return err
+					}); err != nil {
+						t.Errorf("churn insert %d: %v", it.ID, err)
+					} else {
+						modelMu.Lock()
+						model[it.ID] = it
+						modelMu.Unlock()
+					}
+				} else {
+					var victim core.Item
+					found := false
+					modelMu.Lock()
+					probes := 0
+					for id, it := range model {
+						if probes++; probes > 10 {
+							break
+						}
+						if !inflight[id] {
+							victim, found = it, true
+							inflight[id] = true
+							break
+						}
+					}
+					modelMu.Unlock()
+					if found {
+						if err := retryMigrating(func() error {
+							_, err := router.Delete(ctx, victim)
+							return err
+						}); err != nil {
+							t.Errorf("churn delete %d: %v", victim.ID, err)
+							modelMu.Lock()
+							delete(inflight, victim.ID)
+							modelMu.Unlock()
+						} else {
+							modelMu.Lock()
+							delete(model, victim.ID)
+							delete(inflight, victim.ID)
+							modelMu.Unlock()
+						}
+					}
+				}
+				churnMu.RUnlock()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(int64(41 + w))
+	}
+
+	// compareRound: freeze the acked set, rebuild the oracle tree from it
+	// (a different structure seed than any shard), and demand bit-identical
+	// kNN, range, and join answers from the cluster.
+	queries := []geom.Point{{0.05, 0.05}, {0.18, 0.11}, {0.5, 0.5}, {0.85, 0.3}}
+	boxes := []geom.Box{
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.22, 0.22}),
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.08, 1}),
+		geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1}),
+	}
+	compareRound := func(round int) {
+		churnMu.Lock()
+		defer churnMu.Unlock()
+		items := make([]core.Item, 0, len(model))
+		for _, it := range model {
+			items = append(items, it)
+		}
+		oracle := core.New(core.Config{Dim: dim, Seed: 99, LeafSize: 8}, pim.NewMachine(4, 1<<18))
+		oracle.Build(append([]core.Item(nil), items...))
+		for qi, q := range queries {
+			for _, k := range []int{1, 7, 64} {
+				want := oracle.KNN([]geom.Point{q}, k)[0]
+				got, _, err := router.KNN(ctx, q, k)
+				if err != nil {
+					t.Fatalf("round %d q%d k=%d: %v", round, qi, k, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("round %d q%d k=%d: %d results, oracle %d", round, qi, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID || got[i].Dist2 != want[i].Dist2 {
+						t.Fatalf("round %d q%d k=%d result %d: (id=%d d2=%v), oracle (id=%d d2=%v)",
+							round, qi, k, i, got[i].ID, got[i].Dist2, want[i].ID, want[i].Dist2)
+					}
+				}
+			}
+		}
+		for bi, box := range boxes {
+			want := canonicalItems(oracle.RangeReport([]geom.Box{box})[0])
+			got, _, err := router.Range(ctx, box)
+			if err != nil {
+				t.Fatalf("round %d box %d: %v", round, bi, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d box %d: %d items, oracle %d", round, bi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || !got[i].P.Equal(want[i].P) {
+					t.Fatalf("round %d box %d item %d: id=%d, oracle id=%d", round, bi, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+		p, radius := geom.Point{0.1, 0.1}, 0.07
+		var want []core.Item
+		for _, it := range items {
+			if geom.Dist2(p, it.P) <= radius*radius {
+				want = append(want, it)
+			}
+		}
+		core.SortItems(want)
+		got, _, err := router.Join(ctx, p, radius)
+		if err != nil {
+			t.Fatalf("round %d join: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d join: %d matches, oracle %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if !core.ItemEq(got[i], want[i]) {
+				t.Fatalf("round %d join match %d: %+v, oracle %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Drive the migration in the background while comparison rounds run in
+	// the foreground — the oracle check provably overlaps staging, the
+	// commit window, and the post-flip purge.
+	var moved int64
+	var committed bool
+	var rebErr error
+	rebDone := make(chan struct{})
+	go func() {
+		defer close(rebDone)
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			moved, committed, rebErr = router.RebalanceOnce(ctx)
+			if committed || rebErr != nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	round := 0
+	for running := true; running; round++ {
+		select {
+		case <-rebDone:
+			running = false
+		default:
+		}
+		compareRound(round)
+	}
+	if rebErr != nil {
+		t.Fatalf("rebalance: %v", rebErr)
+	}
+	if !committed || moved == 0 {
+		t.Fatalf("no migration committed (moved=%d, counts %v)", moved, router.CellCounts(ctx))
+	}
+	if round < 2 {
+		t.Fatalf("only %d comparison rounds overlapped the migration", round)
+	}
+
+	// Let churn run against the new layout, then stop it and verify the end
+	// state: epoch advanced, one more cell, exactly the acked set, drift
+	// back under control.
+	time.Sleep(100 * time.Millisecond)
+	compareRound(round)
+	close(done)
+	wg.Wait()
+
+	if got := router.Epoch(); got != 2 {
+		t.Fatalf("placement epoch %d, want 2", got)
+	}
+	cells := router.Cells()
+	if len(cells) != shards+1 {
+		t.Fatalf("%d cells after split, want %d", len(cells), shards+1)
+	}
+	all, _, err := router.Range(ctx, geom.NewBox(geom.Point{-1, -1}, geom.Point{2, 2}))
+	if err != nil {
+		t.Fatalf("final full range: %v", err)
+	}
+	if len(all) != len(model) {
+		t.Fatalf("cluster holds %d items, acked set is %d — acked writes lost or strays resurrected",
+			len(all), len(model))
+	}
+	for _, it := range all {
+		want, ok := model[it.ID]
+		if !ok || !want.P.Equal(it.P) {
+			t.Fatalf("cluster item %d/%v was never acked (or moved)", it.ID, it.P)
+		}
+	}
+	after := shardLoadRatio(router.CellCounts(ctx), cells, shards)
+	if after >= before || after > 1.4 {
+		t.Fatalf("drift ratio %.2f after migration (was %.2f), want < 1.4 and improved", after, before)
+	}
+	m := router.Metrics()
+	if m.Rebalances != 1 || m.MigratedPoints != moved {
+		t.Fatalf("metrics: rebalances=%d migrated=%d, want 1/%d", m.Rebalances, m.MigratedPoints, moved)
+	}
+}
+
+// TestTornMigrationAppliesNothing: a migration stage that never reaches a
+// well-formed commit — dropped conn, short page stream, out-of-sequence
+// page — leaves the destination byte-for-byte untouched.
+func TestTornMigrationAppliesNothing(t *testing.T) {
+	const dim = 2
+	sh := startShard(t, dim, 1, "", "127.0.0.1:0")
+	defer sh.stop()
+	client := shard.NewClient(sh.addr, dim)
+	defer client.Close()
+	ctx := context.Background()
+
+	resident := []core.Item{
+		{ID: 1, P: geom.Point{0.1, 0.1}},
+		{ID: 2, P: geom.Point{0.6, 0.6}},
+		{ID: 3, P: geom.Point{0.9, 0.2}},
+	}
+	if n, err := client.Update(ctx, false, resident); err != nil || n != len(resident) {
+		t.Fatalf("seed: %d, %v", n, err)
+	}
+	full := geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1})
+	snapshot := func() []core.Item {
+		items, err := client.Range(ctx, []geom.Box{full})
+		if err != nil {
+			t.Fatalf("range: %v", err)
+		}
+		return canonicalItems(items[0])
+	}
+	want := snapshot()
+	if len(want) != len(resident) {
+		t.Fatalf("seeded %d items, shard holds %d", len(resident), len(want))
+	}
+	staged := []core.Item{
+		{ID: 10, P: geom.Point{0.55, 0.55}},
+		{ID: 11, P: geom.Point{0.65, 0.65}},
+	}
+	ats := []int64{shard.UntrackedDeadline, shard.UntrackedDeadline}
+	checkUntouched := func(what string) {
+		t.Helper()
+		got := snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("%s: shard holds %d items, want the untouched %d", what, len(got), len(want))
+		}
+		for i := range got {
+			if !core.ItemEq(got[i], want[i]) {
+				t.Fatalf("%s: item %d is %+v, want %+v", what, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Dropped conn mid-stage: Begin + one page, then the conn dies. The
+	// stage lives on the conn's handler goroutine only, so nothing applies.
+	sess, err := client.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.MigrateBegin(ctx, 5, 0, full, 3); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if err := sess.MigratePage(ctx, 5, 0, 0, staged, ats); err != nil {
+		t.Fatalf("page: %v", err)
+	}
+	sess.Abort()
+	checkUntouched("after dropped conn")
+
+	// Short stream: commit with fewer items staged than Begin promised.
+	sess, err = client.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.MigrateBegin(ctx, 6, 0, full, 3); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if err := sess.MigratePage(ctx, 6, 0, 0, staged, ats); err != nil {
+		t.Fatalf("page: %v", err)
+	}
+	_, err = sess.MigrateCommit(ctx, 6, 0, nil, nil, nil)
+	var re *shard.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "torn migration stage") {
+		t.Fatalf("short-stream commit: err = %v, want torn-stage rejection", err)
+	}
+	sess.Abort()
+	checkUntouched("after torn-stage commit")
+
+	// Out-of-sequence page: the stage is dropped, and a commit after it has
+	// no matching begin.
+	sess, err = client.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.MigrateBegin(ctx, 7, 0, full, 4); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if err := sess.MigratePage(ctx, 7, 0, 2, staged, ats); err == nil {
+		t.Fatal("out-of-sequence page accepted")
+	}
+	sess.Abort()
+	sess, err = client.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.MigrateCommit(ctx, 7, 0, nil, nil, nil); err == nil {
+		t.Fatal("commit without matching begin accepted")
+	}
+	sess.Abort()
+	checkUntouched("after out-of-sequence page")
+}

@@ -23,6 +23,14 @@ import (
 // — or it fails with this error. The HTTP layer maps it to 503.
 var ErrDegraded = errors.New("shard: cluster degraded, required replica unavailable")
 
+// ErrMigrating is returned for writes that arrive inside a migration commit
+// window, and for expiry sweeps while any part of a migration (ledger
+// capture, commit, or stray purge) is pending — short, bounded
+// unavailability the caller retries. The HTTP layer maps it to 503 with a
+// Retry-After hint derived from MigratePageInterval, the cadence at which
+// migration state advances.
+var ErrMigrating = errors.New("shard: cell migration in progress, retry shortly")
+
 // Config parameterizes a Router. The zero value is usable; defaults are
 // filled in by NewRouter.
 type Config struct {
@@ -65,6 +73,22 @@ type Config struct {
 	// in-flight write changes its digest between samples and is skipped —
 	// the zero-false-positive guard. Default = Timeout.
 	SweepSettle time.Duration
+	// RebalanceInterval is the online-rebalancer cadence: every interval
+	// the router samples per-cell point counts from acting primaries and,
+	// when the most loaded shard drifts past RebalanceThreshold, splits its
+	// largest cell and live-migrates the moving half (rebalance.go). 0
+	// disables rebalancing (the default); negative also disables.
+	RebalanceInterval time.Duration
+	// RebalanceThreshold is the max/mean shard drift ratio that triggers a
+	// rebalance pass. Default = DriftThreshold.
+	RebalanceThreshold float64
+	// MigratePageSize is how many items one MigratePage frame carries while
+	// staging a migration. Default 512.
+	MigratePageSize int
+	// MigratePageInterval paces migration staging (one page per interval
+	// per destination) and is the basis of the Retry-After hint on writes
+	// bounced with ErrMigrating during the commit window. Default 25ms.
+	MigratePageInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +115,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepSettle <= 0 {
 		c.SweepSettle = c.Timeout
+	}
+	if c.RebalanceThreshold <= 0 {
+		c.RebalanceThreshold = c.DriftThreshold
+	}
+	if c.MigratePageSize <= 0 {
+		c.MigratePageSize = 512
+	}
+	if c.MigratePageInterval <= 0 {
+		c.MigratePageInterval = 25 * time.Millisecond
 	}
 	return c
 }
@@ -162,6 +195,54 @@ func (sh *shardHandle) isStale() bool {
 	return sh.stale
 }
 
+// layout is one immutable epoch of the cluster geometry: the partition,
+// the cell→replica placement, and the per-cell read-rotation counters. The
+// online rebalancer builds the next epoch copy-on-write and the router
+// swaps the whole struct atomically at a migration commit, so every plan
+// reads one consistent (partition, placement) pair and can never mix the
+// old cell boxes with the new replica lists. readers counts in-flight read
+// plans pinned to this epoch; the committer drains it before reopening
+// writes, because an old-epoch plan may still be reading the moving region
+// from a source replica that stops seeing its writes at the flip.
+type layout struct {
+	part  *Partition
+	pl    Placement
+	epoch uint64
+	// rr rotates read assignments across each cell's eligible replicas
+	// (read scale-out): successive reads of one cell land on different
+	// in-sync, unfenced replicas instead of pinning the placement-first one.
+	rr      []atomic.Uint32
+	readers atomic.Int64
+}
+
+func newLayout(part *Partition, pl Placement, epoch uint64) *layout {
+	return &layout{part: part, pl: pl, epoch: epoch, rr: make([]atomic.Uint32, pl.NumCells())}
+}
+
+// hostedBoxes returns the cell boxes shard hosts under this layout — the
+// read-side ownership filter. An item a shard returns from outside every
+// hosted box is a migration stray: a moved region not yet purged from its
+// old replicas, or a staged region left by an aborted commit. Strays stop
+// receiving writes the moment the layout that owned them goes away, so
+// letting one into a merged answer could resurrect a post-migration
+// delete; filtering by current ownership makes them invisible instead.
+func (l *layout) hostedBoxes(shard int) []geom.Box {
+	var out []geom.Box
+	for _, c := range l.pl.CellsOf(shard) {
+		out = append(out, l.part.Cell(c))
+	}
+	return out
+}
+
+func ownsPoint(boxes []geom.Box, p geom.Point) bool {
+	for _, b := range boxes {
+		if b.ContainsHalfOpen(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Router runs N shards behind one logical index: every partition cell is
 // stored on R shards (Placement), writes fan to all replicas of the owning
 // cell and ack when any in-sync replica durably applied them (surviving
@@ -174,26 +255,60 @@ func (sh *shardHandle) isStale() bool {
 // apply path, so two replicas of one cell hold equal item sets and
 // cross-replica duplicates can be removed exactly.
 type Router struct {
-	part   *Partition
-	pl     Placement
 	cfg    Config
 	shards []*shardHandle
 
-	// rr rotates read assignments across each cell's eligible replicas
-	// (read scale-out): successive reads of one cell land on different
-	// in-sync, unfenced replicas instead of pinning the placement-first one.
-	rr []atomic.Uint32
+	// lay is the current layout epoch, swapped atomically by the online
+	// rebalancer at a migration commit. Read plans pin it with
+	// acquireLayout; everything else takes a point-in-time Load.
+	lay atomic.Pointer[layout]
+
+	// migMu is the write/migration barrier. Every fanned write (and expiry
+	// sweep) holds the read half for its whole duration; the rebalancer
+	// holds the write half to open the ledger and again for the commit
+	// window — so the ledger observes every write that could land after the
+	// cut, and the commit observes no write in flight. commitGate bounces
+	// writes with ErrMigrating (503 + Retry-After upstream) instead of
+	// queueing them on the lock during the commit window.
+	migMu      sync.RWMutex
+	mig        *migLedger // non-nil while a migration is capturing writes
+	commitGate atomic.Bool
+
+	// rb is the online rebalancer's cross-tick state (rebalance.go).
+	rb rebalState
 
 	// sweepMu guards the per-cell anti-entropy result rows for /shardz.
 	sweepMu    sync.Mutex
 	sweepCells []CellSweepStatus
 
-	closed  chan struct{}
-	closeMu sync.Mutex
-	wg      sync.WaitGroup
+	closed    chan struct{}
+	closeMu   sync.Mutex
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
 
 	m routerMetrics
 }
+
+// acquireLayout pins the current layout for a read plan. The rebalancer's
+// commit path drains old-epoch readers before reopening writes, so a plan
+// that started on the old geometry finishes against replicas whose moving
+// region is still write-quiescent — bit-identical — never against a
+// half-updated world.
+func (r *Router) acquireLayout() *layout {
+	for {
+		lay := r.lay.Load()
+		lay.readers.Add(1)
+		if r.lay.Load() == lay {
+			return lay
+		}
+		lay.readers.Add(-1)
+	}
+}
+
+func releaseLayout(lay *layout) { lay.readers.Add(-1) }
+
+func (r *Router) dim() int { return r.lay.Load().part.Dim() }
 
 // routerMetrics aggregates router-side counters for /statsz.
 type routerMetrics struct {
@@ -214,6 +329,10 @@ type routerMetrics struct {
 	resyncNudges  atomic.Int64
 	sweeps        atomic.Int64
 	sweepMismatch atomic.Int64
+	sweepTies     atomic.Int64
+	rebalances    atomic.Int64
+	migratedPts   atomic.Int64
+	migrateAborts atomic.Int64
 }
 
 // Fanout describes, per request, how the fan-out went — the pruning
@@ -241,28 +360,38 @@ func NewRouter(part *Partition, addrs []string, cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
-		part:   part,
-		pl:     NewPlacement(part.Shards(), cfg.Replication),
 		cfg:    cfg,
 		closed: make(chan struct{}),
 	}
+	// Epochs start at 1: epoch 0 is the wire protocol's malformed-epoch
+	// sentinel, so a zero can never be mistaken for a real migration.
+	r.lay.Store(newLayout(part, NewPlacement(part.Shards(), cfg.Replication), 1))
+	r.rb.dirty = map[int][]dirtyRegion{}
+	r.runCtx, r.runCancel = context.WithCancel(context.Background())
 	for i, addr := range addrs {
 		r.shards = append(r.shards, &shardHandle{id: i, client: NewClient(addr, part.Dim())})
 	}
-	r.rr = make([]atomic.Uint32, part.Shards())
 	r.probeAll()
 	r.wg.Add(1)
 	go r.probeLoop()
-	if cfg.SweepInterval > 0 && r.pl.Replication() > 1 {
+	if cfg.SweepInterval > 0 && r.Replication() > 1 {
 		// Anti-entropy only means anything with ≥2 copies to compare.
 		r.wg.Add(1)
 		go r.sweepLoop()
+	}
+	if cfg.RebalanceInterval > 0 {
+		r.wg.Add(1)
+		go r.rebalanceLoop()
 	}
 	return r, nil
 }
 
 // Replication returns the effective replication factor.
-func (r *Router) Replication() int { return r.pl.Replication() }
+func (r *Router) Replication() int { return r.lay.Load().pl.Replication() }
+
+// Epoch returns the current placement epoch: 1 at boot, +1 per committed
+// cell migration.
+func (r *Router) Epoch() uint64 { return r.lay.Load().epoch }
 
 // Close stops the probe loop and drops every shard connection.
 func (r *Router) Close() {
@@ -273,6 +402,7 @@ func (r *Router) Close() {
 		close(r.closed)
 	}
 	r.closeMu.Unlock()
+	r.runCancel()
 	r.wg.Wait()
 	for _, sh := range r.shards {
 		sh.client.Close()
@@ -314,7 +444,7 @@ func (r *Router) probeAll() {
 			sh.fails.Store(0)
 			sh.synced.Store(pong.Synced)
 			sh.syncGen.Store(pong.SyncGen)
-			if !sh.healthy.Load() && sh.everHealthy.Load() && r.pl.Replication() > 1 {
+			if !sh.healthy.Load() && sh.everHealthy.Load() && r.Replication() > 1 {
 				// Revival: while this shard was routed around, its cells'
 				// writes were acked by the other replicas. Fence it until a
 				// fresh resync pass proves it caught up — and fence BEFORE
@@ -395,9 +525,9 @@ func (r *Router) eligible(sh *shardHandle) bool {
 // untouched because any eligible replica holds the cell's full acked set
 // and the gather dedups cross-replica copies canonically. Writes and
 // failover keep the placement order (fanWrite / ActingPrimary).
-func (r *Router) pickReplica(cell int, tried map[int]bool) *shardHandle {
-	elig := make([]*shardHandle, 0, r.pl.Replication())
-	for _, rep := range r.pl.Replicas(cell) {
+func (r *Router) pickReplica(lay *layout, cell int, tried map[int]bool) *shardHandle {
+	elig := make([]*shardHandle, 0, lay.pl.Replication())
+	for _, rep := range lay.pl.Replicas(cell) {
 		if tried[rep] {
 			continue
 		}
@@ -408,7 +538,7 @@ func (r *Router) pickReplica(cell int, tried map[int]bool) *shardHandle {
 	if len(elig) == 0 {
 		return nil
 	}
-	return elig[int(r.rr[cell].Add(1))%len(elig)]
+	return elig[int(lay.rr[cell].Add(1))%len(elig)]
 }
 
 // callResult is one shard attempt's outcome.
@@ -490,7 +620,7 @@ type shardResp struct {
 // it was explicitly assigned (AggregateCells filters to them). Cells with
 // no eligible replica left are returned as uncovered; the caller decides
 // whether that degrades the answer.
-func (r *Router) coverCells(ctx context.Context, needed []int, covered, tried map[int]bool, wholeTree bool,
+func (r *Router) coverCells(ctx context.Context, lay *layout, needed []int, covered, tried map[int]bool, wholeTree bool,
 	query func(c context.Context, sh *shardHandle, cells []int) (any, error)) (resps []shardResp, uncovered []int, hedges int) {
 	for {
 		var remaining []int
@@ -504,7 +634,7 @@ func (r *Router) coverCells(ctx context.Context, needed []int, covered, tried ma
 		}
 		plan := map[int][]int{}
 		for _, cell := range remaining {
-			if sh := r.pickReplica(cell, tried); sh != nil {
+			if sh := r.pickReplica(lay, cell, tried); sh != nil {
 				plan[sh.id] = append(plan[sh.id], cell)
 			}
 		}
@@ -533,7 +663,7 @@ func (r *Router) coverCells(ctx context.Context, needed []int, covered, tried ma
 				resps = append(resps, shardResp{sh: sh, cells: cells, v: v})
 				if wholeTree {
 					for _, cell := range needed {
-						if r.pl.Hosts(cell, sh.id) {
+						if lay.pl.Hosts(cell, sh.id) {
 							covered[cell] = true
 						}
 					}
@@ -569,6 +699,30 @@ func candEq(a, b heapx.Candidate) bool {
 	return !candLess(a, b) && !candLess(b, a)
 }
 
+// filterCands drops candidates outside the answering shard's hosted boxes
+// (migration strays). Filtering is in place; the caller owns the slice.
+func filterCands(boxes []geom.Box, cands []heapx.Candidate) []heapx.Candidate {
+	out := cands[:0]
+	for _, c := range cands {
+		if ownsPoint(boxes, c.P) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// filterItems drops items outside the answering shard's hosted boxes
+// (migration strays). Filtering is in place; the caller owns the slice.
+func filterItems(boxes []geom.Box, items []core.Item) []core.Item {
+	out := items[:0]
+	for _, it := range items {
+		if ownsPoint(boxes, it.P) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
 // KNN answers an exact k-nearest-neighbor query across the cluster in
 // canonical (dist2, id) order, identical to a single tree holding the
 // union of the shards' points.
@@ -587,8 +741,10 @@ func candEq(a, b heapx.Candidate) bool {
 // candidate — or the query fails with ErrDegraded.
 func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidate, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if len(q) != r.part.Dim() {
-		return nil, fan, fmt.Errorf("shard: query dimension %d, cluster dimension %d", len(q), r.part.Dim())
+	lay := r.acquireLayout()
+	defer releaseLayout(lay)
+	if len(q) != lay.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: query dimension %d, cluster dimension %d", len(q), lay.part.Dim())
 	}
 	if k < 1 {
 		return nil, fan, fmt.Errorf("shard: k must be >= 1, got %d", k)
@@ -599,9 +755,9 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 		cell int
 		d2   float64
 	}
-	order := make([]ranked, r.part.Shards())
+	order := make([]ranked, lay.part.Cells())
 	for i := range order {
-		order[i] = ranked{i, r.part.Cell(i).Dist2ToPoint(q)}
+		order[i] = ranked{i, lay.part.Cell(i).Dist2ToPoint(q)}
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].d2 != order[j].d2 {
@@ -620,8 +776,11 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	bound := math.Inf(1)
 
 	// Phase 1: an eligible replica of the nearest cell sets the pruning
-	// bound (rotated per cell — read scale-out).
-	if sh := r.pickReplica(order[0].cell, tried); sh != nil {
+	// bound (rotated per cell — read scale-out). The bound comes from the
+	// shard's OWNED candidates only: a migration stray could sit closer
+	// than the true k-th and over-tighten the bound, pruning a cell that
+	// still matters without the post-check ever seeing it.
+	if sh := r.pickReplica(lay, order[0].cell, tried); sh != nil {
 		tried[sh.id] = true
 		v, h, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
 			return sh.client.KNN(c, []geom.Point{q}, k)
@@ -630,12 +789,12 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 		if err == nil {
 			resps = append(resps, shardResp{sh: sh, v: v})
 			for _, rk := range order {
-				if r.pl.Hosts(rk.cell, sh.id) {
+				if lay.pl.Hosts(rk.cell, sh.id) {
 					covered[rk.cell] = true
 				}
 			}
-			cands := v.([][]heapx.Candidate)[0]
-			if len(cands) == k {
+			cands := filterCands(lay.hostedBoxes(sh.id), v.([][]heapx.Candidate)[0])
+			if len(cands) >= k {
 				bound = cands[k-1].Dist2
 			}
 		}
@@ -651,7 +810,7 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 		}
 		needed = append(needed, rk.cell)
 	}
-	more, uncovered, h2 := r.coverCells(ctx, needed, covered, tried, true,
+	more, uncovered, h2 := r.coverCells(ctx, lay, needed, covered, tried, true,
 		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
 			return sh.client.KNN(c, []geom.Point{q}, k)
 		})
@@ -659,10 +818,12 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	fan.Hedges += h2
 	fan.Queried = len(resps)
 
-	// Gather: dedup cross-replica copies, keep the global top-k.
+	// Gather: drop migration strays (points outside the shard's hosted cell
+	// boxes under the planning layout), dedup cross-replica copies, keep the
+	// global top-k.
 	var all []heapx.Candidate
 	for _, rp := range resps {
-		all = append(all, rp.v.([][]heapx.Candidate)[0]...)
+		all = append(all, filterCands(lay.hostedBoxes(rp.sh.id), rp.v.([][]heapx.Candidate)[0])...)
 	}
 	sort.Slice(all, func(i, j int) bool { return candLess(all[i], all[j]) })
 	best := heapx.NewKBest(k)
@@ -713,21 +874,23 @@ func dedupItems(items []core.Item) []core.Item {
 // set keyed (ID, P).
 func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if box.Dim() != r.part.Dim() {
-		return nil, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), r.part.Dim())
+	lay := r.acquireLayout()
+	defer releaseLayout(lay)
+	if box.Dim() != lay.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), lay.part.Dim())
 	}
 	r.m.rangeRequests.Add(1)
 
 	var needed []int
-	for i := 0; i < r.part.Shards(); i++ {
-		if !r.part.Cell(i).Intersects(box) {
+	for i := 0; i < lay.part.Cells(); i++ {
+		if !lay.part.Cell(i).Intersects(box) {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
 		needed = append(needed, i)
 	}
-	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, true,
+	resps, uncovered, hedges := r.coverCells(ctx, lay, needed, map[int]bool{}, map[int]bool{}, true,
 		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
 			return sh.client.Range(c, []geom.Box{box})
 		})
@@ -739,7 +902,7 @@ func (r *Router) Range(ctx context.Context, box geom.Box) ([]core.Item, Fanout, 
 	}
 	var all []core.Item
 	for _, rp := range resps {
-		all = append(all, rp.v.([][]core.Item)[0]...)
+		all = append(all, filterItems(lay.hostedBoxes(rp.sh.id), rp.v.([][]core.Item)[0])...)
 	}
 	core.SortItems(all)
 	return dedupItems(all), fan, nil
@@ -764,8 +927,8 @@ func (r *Router) Delete(ctx context.Context, item core.Item) (Fanout, error) {
 
 func (r *Router) update(ctx context.Context, del bool, item core.Item) (Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if len(item.P) != r.part.Dim() {
-		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
+	if len(item.P) != r.dim() {
+		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.dim())
 	}
 	r.m.updates.Add(1)
 	delta := int64(1)
@@ -773,8 +936,8 @@ func (r *Router) update(ctx context.Context, del bool, item core.Item) (Fanout, 
 		delta = -1
 	}
 	items := []core.Item{item}
-	cell := r.part.Owner(item.P)
-	_, queried, err := r.fanWrite(ctx, map[int][]int{cell: {0}}, delta,
+	_, queried, err := r.fanWrite(ctx, items, delta,
+		func(int) MigrateOp { return MigrateOp{Delete: del, Item: item, ExpireAt: UntrackedDeadline} },
 		func(c context.Context, sh *shardHandle, _ []int) error {
 			_, err := sh.client.Update(c, del, items)
 			return err
@@ -790,20 +953,26 @@ func (r *Router) update(ctx context.Context, del bool, item core.Item) (Fanout, 
 // count once no matter how many replicas applied them; an error means at
 // least one cell's batch was not acked (the count still reflects what was).
 func (r *Router) BatchUpdate(ctx context.Context, del bool, items []core.Item) (int, error) {
-	cells := make(map[int][]int)
-	for i, it := range items {
-		if len(it.P) != r.part.Dim() {
-			return 0, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(it.P), r.part.Dim())
+	dim := r.dim()
+	for _, it := range items {
+		if len(it.P) != dim {
+			return 0, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(it.P), dim)
 		}
-		cell := r.part.Owner(it.P)
-		cells[cell] = append(cells[cell], i)
 	}
-	r.m.updates.Add(int64(len(cells)))
+	// Count distinct touched cells for observability; the authoritative
+	// owner assignment happens inside fanWrite under the write barrier.
+	touched := map[int]bool{}
+	part := r.lay.Load().part
+	for _, it := range items {
+		touched[part.Owner(it.P)] = true
+	}
+	r.m.updates.Add(int64(len(touched)))
 	delta := int64(1)
 	if del {
 		delta = -1
 	}
-	acked, _, err := r.fanWrite(ctx, cells, delta,
+	acked, _, err := r.fanWrite(ctx, items, delta,
+		func(i int) MigrateOp { return MigrateOp{Delete: del, Item: items[i], ExpireAt: UntrackedDeadline} },
 		func(c context.Context, sh *shardHandle, idxs []int) error {
 			batch := make([]core.Item, len(idxs))
 			for j, i := range idxs {
@@ -815,22 +984,41 @@ func (r *Router) BatchUpdate(ctx context.Context, del bool, items []core.Item) (
 	return acked, err
 }
 
-// fanWrite is the replicated write engine: cells maps each owning cell to
-// the indexes of its items, and send performs one shard's call with the
-// union of indexes for its hosted cells. Every healthy replica of every
-// cell is attempted, and the call waits for all attempts to settle before
-// judging — so per-key client-serialized writes retain one cross-replica
-// order. A cell is acked iff some replica that was eligible before the
-// call succeeded; the first such replica in placement order is the acting
-// primary (a non-home acting primary counts as a failover). Once a cell is
-// acked, every replica that did not apply it — failed, or skipped as
-// unhealthy — is fenced stale until it resyncs. A cell with no eligible
-// acker yields an error: the eligible replica's own refusal if one
-// answered, ErrDegraded if none was available.
+// fanWrite is the replicated write engine: items are grouped by owning cell
+// (computed under the write barrier with the then-current layout, so a
+// concurrent epoch flip cannot strand a write on a stale owner), and send
+// performs one shard's call with the union of indexes for its hosted cells.
+// Every healthy replica of every cell is attempted, and the call waits for
+// all attempts to settle before judging — so per-key client-serialized
+// writes retain one cross-replica order. A cell is acked iff some replica
+// that was eligible before the call succeeded; the first such replica in
+// placement order is the acting primary (a non-home acting primary counts
+// as a failover). Once a cell is acked, every replica that did not apply it
+// — failed, or skipped as unhealthy — is fenced stale until it resyncs. A
+// cell with no eligible acker yields an error: the eligible replica's own
+// refusal if one answered, ErrDegraded if none was available.
+//
+// During a live migration, acked ops landing in the moving region are
+// additionally appended to the migration ledger (via mkOp) so the
+// destination replays them on commit; during the brief commit window
+// itself, writes bounce with ErrMigrating instead of queueing.
 //
 // It returns the number of acked items and how many shard calls were made.
-func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
+func (r *Router) fanWrite(ctx context.Context, items []core.Item, delta int64,
+	mkOp func(i int) MigrateOp,
 	send func(c context.Context, sh *shardHandle, idxs []int) error) (int, int, error) {
+	if r.commitGate.Load() {
+		return 0, 0, ErrMigrating
+	}
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
+	lay := r.lay.Load()
+	cells := map[int][]int{}
+	for i, it := range items {
+		cell := lay.part.Owner(it.P)
+		cells[cell] = append(cells[cell], i)
+	}
+
 	type writeCall struct {
 		sh   *shardHandle
 		idxs []int
@@ -839,7 +1027,7 @@ func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
 	}
 	calls := map[int]*writeCall{}
 	for cell, idxs := range cells {
-		for _, rep := range r.pl.Replicas(cell) {
+		for _, rep := range lay.pl.Replicas(cell) {
 			sh := r.shards[rep]
 			if !sh.healthy.Load() {
 				continue
@@ -884,7 +1072,7 @@ func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
 	for cell, idxs := range cells {
 		ackedBy := -1
 		var eligErr error
-		for _, rep := range r.pl.Replicas(cell) {
+		for _, rep := range lay.pl.Replicas(cell) {
 			wc := calls[rep]
 			if wc == nil {
 				continue // skipped: unhealthy
@@ -902,10 +1090,10 @@ func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
 		}
 		if ackedBy >= 0 {
 			acked += len(idxs)
-			if ackedBy != r.pl.Primary(cell) {
+			if ackedBy != lay.pl.Primary(cell) {
 				r.m.failovers.Add(1)
 			}
-			for _, rep := range r.pl.Replicas(cell) {
+			for _, rep := range lay.pl.Replicas(cell) {
 				if wc := calls[rep]; wc == nil || wc.err != nil {
 					// This replica missed an acked write: fence it from
 					// reads until a post-miss resync pass completes. The
@@ -919,6 +1107,18 @@ func (r *Router) fanWrite(ctx context.Context, cells map[int][]int, delta int64,
 						r.m.staleMarks.Add(1)
 					}
 					r.nudgeIfNeeded(r.shards[rep])
+				}
+			}
+			// Dual-write: an acked op landing inside the moving region is
+			// recorded in the migration ledger so the destination replays it
+			// on commit. The ledger was opened under migMu.Lock before the
+			// cut was pulled and we hold migMu.RLock now, so every acked
+			// write is in cut ∪ ledger — none can slip between them.
+			if mig := r.mig; mig != nil && cell == mig.cell && mkOp != nil {
+				for _, i := range idxs {
+					if op := mkOp(i); mig.box.ContainsHalfOpen(op.Item.P) {
+						mig.append(op)
+					}
 				}
 			}
 			continue
@@ -962,10 +1162,11 @@ type CellStatus struct {
 
 // Cells returns the per-cell replica health view for /shardz.
 func (r *Router) Cells() []CellStatus {
-	out := make([]CellStatus, r.part.Shards())
+	lay := r.lay.Load()
+	out := make([]CellStatus, lay.pl.NumCells())
 	for cell := range out {
-		cs := CellStatus{Cell: cell, Primary: r.pl.Primary(cell), ActingPrimary: -1}
-		for _, rep := range r.pl.Replicas(cell) {
+		cs := CellStatus{Cell: cell, Primary: lay.pl.Primary(cell), ActingPrimary: -1}
+		for _, rep := range lay.pl.Replicas(cell) {
 			sh := r.shards[rep]
 			rs := ReplicaStatus{
 				Shard:   rep,
@@ -1014,6 +1215,7 @@ type ShardStatus struct {
 // stale state, hosted cells, point counts, drift ratios, and
 // rebalance-candidate flags.
 func (r *Router) Status() []ShardStatus {
+	lay := r.lay.Load()
 	counts := make([]int64, len(r.shards))
 	for i, sh := range r.shards {
 		counts[i] = sh.count.Load()
@@ -1029,7 +1231,7 @@ func (r *Router) Status() []ShardStatus {
 			Synced:    sh.synced.Load(),
 			SyncGen:   sh.syncGen.Load(),
 			Stale:     sh.isStale(),
-			Cells:     r.pl.CellsOf(sh.id),
+			Cells:     lay.pl.CellsOf(sh.id),
 			Count:     counts[i],
 			Drift:     drift[i],
 			Rebalance: drift[i] > r.cfg.DriftThreshold,
@@ -1063,11 +1265,25 @@ type MetricsSnapshot struct {
 	StaleMarks   int64 `json:"stale_marks"`
 	ResyncNudges int64 `json:"resync_nudges"`
 	// Sweeps counts completed anti-entropy rounds; SweepMismatches counts
-	// replicas a confirmation pass evidenced-fenced for stable divergence.
+	// replicas a confirmation pass evidenced-fenced for stable divergence;
+	// SweepTies counts cells whose confirmation vote had no unique majority
+	// digest (broken deterministically to the placement-first holder).
 	Sweeps          int64 `json:"sweeps"`
 	SweepMismatches int64 `json:"sweep_mismatches"`
-	WireBytesOut    int64 `json:"wire_bytes_out"`
-	WireBytesIn     int64 `json:"wire_bytes_in"`
+	SweepTies       int64 `json:"sweep_ties"`
+	// Rebalances counts committed cell split+migrations; MigratedPoints the
+	// cut points they moved; MigrateAborts the migrations abandoned without
+	// a flip (ledger overflow, stage or commit failure — source stays
+	// authoritative, nothing is lost).
+	Rebalances     int64 `json:"rebalances"`
+	MigratedPoints int64 `json:"migrated_points"`
+	MigrateAborts  int64 `json:"migrate_aborts"`
+	// Epoch is the current placement epoch (starts at 1, +1 per committed
+	// migration); Cells the current partition cell count.
+	Epoch        uint64 `json:"placement_epoch"`
+	Cells        int    `json:"cells"`
+	WireBytesOut int64  `json:"wire_bytes_out"`
+	WireBytesIn  int64  `json:"wire_bytes_in"`
 	// Replication is the effective copies-per-cell factor.
 	Replication   int `json:"replication"`
 	HealthyShards int `json:"healthy_shards"`
@@ -1082,6 +1298,7 @@ type MetricsSnapshot struct {
 
 // Metrics returns the aggregate router counters.
 func (r *Router) Metrics() MetricsSnapshot {
+	lay := r.lay.Load()
 	s := MetricsSnapshot{
 		KNNRequests:     r.m.knnRequests.Load(),
 		RangeRequests:   r.m.rangeRequests.Load(),
@@ -1100,7 +1317,13 @@ func (r *Router) Metrics() MetricsSnapshot {
 		ResyncNudges:    r.m.resyncNudges.Load(),
 		Sweeps:          r.m.sweeps.Load(),
 		SweepMismatches: r.m.sweepMismatch.Load(),
-		Replication:     r.pl.Replication(),
+		SweepTies:       r.m.sweepTies.Load(),
+		Rebalances:      r.m.rebalances.Load(),
+		MigratedPoints:  r.m.migratedPts.Load(),
+		MigrateAborts:   r.m.migrateAborts.Load(),
+		Epoch:           lay.epoch,
+		Cells:           lay.pl.NumCells(),
+		Replication:     lay.pl.Replication(),
 		TotalShards:     len(r.shards),
 	}
 	for _, sh := range r.shards {
@@ -1118,6 +1341,6 @@ func (r *Router) Metrics() MetricsSnapshot {
 		s.WireBytesOut += wo
 		s.WireBytesIn += wi
 	}
-	s.TotalPoints = s.ReplicaPoints / int64(r.pl.Replication())
+	s.TotalPoints = s.ReplicaPoints / int64(lay.pl.Replication())
 	return s
 }

@@ -23,8 +23,10 @@ import (
 // replicated state is a set keyed (ID, P).
 func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core.Item, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if len(p) != r.part.Dim() {
-		return nil, fan, fmt.Errorf("shard: probe dimension %d, cluster dimension %d", len(p), r.part.Dim())
+	lay := r.acquireLayout()
+	defer releaseLayout(lay)
+	if len(p) != lay.part.Dim() {
+		return nil, fan, fmt.Errorf("shard: probe dimension %d, cluster dimension %d", len(p), lay.part.Dim())
 	}
 	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
 		return nil, fan, fmt.Errorf("shard: join radius %v out of range", radius)
@@ -33,16 +35,16 @@ func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core
 	r2 := radius * radius
 
 	var needed []int
-	for i := 0; i < r.part.Shards(); i++ {
+	for i := 0; i < lay.part.Cells(); i++ {
 		// <= not <: a point exactly radius away still matches.
-		if r.part.Cell(i).Dist2ToPoint(p) > r2 {
+		if lay.part.Cell(i).Dist2ToPoint(p) > r2 {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
 		needed = append(needed, i)
 	}
-	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, true,
+	resps, uncovered, hedges := r.coverCells(ctx, lay, needed, map[int]bool{}, map[int]bool{}, true,
 		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
 			return sh.client.Join(c, []geom.Point{p}, radius)
 		})
@@ -54,7 +56,7 @@ func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core
 	}
 	var all []core.Item
 	for _, rp := range resps {
-		all = append(all, rp.v.([][]core.Item)[0]...)
+		all = append(all, filterItems(lay.hostedBoxes(rp.sh.id), rp.v.([][]core.Item)[0])...)
 	}
 	core.SortItems(all)
 	return dedupItems(all), fan, nil
@@ -70,25 +72,30 @@ func (r *Router) Join(ctx context.Context, p geom.Point, radius float64) ([]core
 // cell must be covered, otherwise ErrDegraded.
 func (r *Router) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if box.Dim() != r.part.Dim() {
-		return core.BoxAggregate{}, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), r.part.Dim())
+	lay := r.acquireLayout()
+	defer releaseLayout(lay)
+	if box.Dim() != lay.part.Dim() {
+		return core.BoxAggregate{}, fan, fmt.Errorf("shard: box dimension %d, cluster dimension %d", box.Dim(), lay.part.Dim())
 	}
 	r.m.aggRequests.Add(1)
 
 	var needed []int
-	for i := 0; i < r.part.Shards(); i++ {
-		if !r.part.Cell(i).Intersects(box) {
+	for i := 0; i < lay.part.Cells(); i++ {
+		if !lay.part.Cell(i).Intersects(box) {
 			fan.Pruned++
 			r.m.pruned.Add(1)
 			continue
 		}
 		needed = append(needed, i)
 	}
-	resps, uncovered, hedges := r.coverCells(ctx, needed, map[int]bool{}, map[int]bool{}, false,
+	resps, uncovered, hedges := r.coverCells(ctx, lay, needed, map[int]bool{}, map[int]bool{}, false,
 		func(c context.Context, sh *shardHandle, cells []int) (any, error) {
+			// Cell-assigned exact counting: the shard aggregates only items
+			// the assigned cell boxes own, so migration strays outside every
+			// hosted box are already excluded.
 			boxes := make([]geom.Box, len(cells))
 			for j, cell := range cells {
-				boxes[j] = r.part.Cell(cell)
+				boxes[j] = lay.part.Cell(cell)
 			}
 			return sh.client.AggregateCells(c, box, boxes)
 		})
@@ -113,14 +120,14 @@ func (r *Router) Aggregate(ctx context.Context, box geom.Box) (core.BoxAggregate
 // that missed it are fenced stale until they resync.
 func (r *Router) Ingest(ctx context.Context, item core.Item, expireAt int64) (Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
-	if len(item.P) != r.part.Dim() {
-		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.part.Dim())
+	if len(item.P) != r.dim() {
+		return fan, fmt.Errorf("shard: item dimension %d, cluster dimension %d", len(item.P), r.dim())
 	}
 	r.m.ingests.Add(1)
 	items := []core.Item{item}
 	ats := []int64{expireAt}
-	cell := r.part.Owner(item.P)
-	_, queried, err := r.fanWrite(ctx, map[int][]int{cell: {0}}, 1,
+	_, queried, err := r.fanWrite(ctx, items, 1,
+		func(int) MigrateOp { return MigrateOp{Item: item, ExpireAt: expireAt} },
 		func(c context.Context, sh *shardHandle, _ []int) error {
 			_, err := sh.client.Ingest(c, items, ats)
 			return err
@@ -142,6 +149,19 @@ func (r *Router) Ingest(ctx context.Context, item core.Item, expireAt int64) (Fa
 func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	r.m.expires.Add(1)
+	if r.commitGate.Load() {
+		return 0, fan, ErrMigrating
+	}
+	// Expiry cannot run while a migration is in flight or its purges are
+	// pending: the shard-side bulk sweep can't be captured in the migration
+	// ledger (the destination would keep entries the source expired), and
+	// stray TTL entries on a not-yet-purged source would break the
+	// exact-multiple-of-R count check below. The caller simply retries.
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
+	if r.mig != nil || r.purgesPending() {
+		return 0, fan, ErrMigrating
+	}
 	for _, sh := range r.shards {
 		if !r.eligible(sh) {
 			r.m.degraded.Add(1)
@@ -188,7 +208,7 @@ func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 		r.m.errors.Add(1)
 		return 0, fan, fmt.Errorf("%w: %v", ErrDegraded, firstErr)
 	}
-	rf := int64(r.pl.Replication())
+	rf := int64(r.Replication())
 	if sum%rf != 0 {
 		r.m.degraded.Add(1)
 		return 0, fan, fmt.Errorf("%w: expiry counts disagree across replicas (%d swept, replication %d)",

@@ -78,12 +78,20 @@ func (r *Router) SweepStatus() []CellSweepStatus {
 // sweepOnce runs one full anti-entropy round: sample every cell, confirm
 // suspected mismatches after the settle window, fence stable minorities.
 func (r *Router) sweepOnce() {
+	// A sweep round must see one stable geometry: while a migration is in
+	// flight (or its purges pending), the moving region's replicas are
+	// legitimately mid-divergence, so the round is skipped rather than
+	// risking a false evidenced fence.
+	if r.migrating() || r.purgesPending() {
+		return
+	}
+	lay := r.lay.Load()
 	r.m.sweeps.Add(1)
-	cells := make([]int, r.part.Shards())
+	cells := make([]int, lay.pl.NumCells())
 	for i := range cells {
 		cells[i] = i
 	}
-	first := r.sampleChecksums(cells)
+	first := r.sampleChecksums(lay, cells)
 
 	rows := make([]CellSweepStatus, len(cells))
 	var suspects []int
@@ -100,9 +108,15 @@ func (r *Router) sweepOnce() {
 			return
 		case <-time.After(r.cfg.SweepSettle):
 		}
-		second := r.sampleChecksums(suspects)
+		if r.lay.Load() != lay {
+			// The geometry flipped during the settle wait: the re-sample
+			// would compare different cell boxes (and a destination's new
+			// content against a source's stray). Abandon the round.
+			return
+		}
+		second := r.sampleChecksums(lay, suspects)
 		for _, cell := range suspects {
-			rows[cell].Fenced = r.judgeCell(cell, first[cell], second[cell])
+			rows[cell].Fenced = r.judgeCell(lay, cell, first[cell], second[cell])
 		}
 	}
 	r.sweepMu.Lock()
@@ -114,10 +128,10 @@ func (r *Router) sweepOnce() {
 // for its checksums — one wire call per shard, covering all its requested
 // cells. Unreachable or refusing shards simply drop out of the sample (a
 // missing answer can never be judged divergent).
-func (r *Router) sampleChecksums(cells []int) map[int]map[int]CellChecksum {
+func (r *Router) sampleChecksums(lay *layout, cells []int) map[int]map[int]CellChecksum {
 	byShard := map[int][]int{}
 	for _, cell := range cells {
-		for _, rep := range r.pl.Replicas(cell) {
+		for _, rep := range lay.pl.Replicas(cell) {
 			if r.eligible(r.shards[rep]) {
 				byShard[rep] = append(byShard[rep], cell)
 			}
@@ -133,7 +147,7 @@ func (r *Router) sampleChecksums(cells []int) map[int]map[int]CellChecksum {
 			sh := r.shards[rep]
 			boxes := make([]geom.Box, len(shardCells))
 			for i, cell := range shardCells {
-				boxes[i] = r.part.Cell(cell)
+				boxes[i] = lay.part.Cell(cell)
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
 			defer cancel()
@@ -179,7 +193,7 @@ func checksumsAgree(sums map[int]CellChecksum) bool {
 
 // judgeCell confirms one suspected cell against its re-sample and fences
 // the stable minority, returning the fenced shard ids (sorted).
-func (r *Router) judgeCell(cell int, first, second map[int]CellChecksum) []int {
+func (r *Router) judgeCell(lay *layout, cell int, first, second map[int]CellChecksum) []int {
 	stable := map[int]CellChecksum{}
 	for rep, s1 := range first {
 		if s2, ok := second[rep]; ok && s1 == s2 {
@@ -192,20 +206,39 @@ func (r *Router) judgeCell(cell int, first, second map[int]CellChecksum) []int {
 		return nil
 	}
 	// Majority checksum among the stable replicas wins; ties break to the
-	// earliest placement-order holder (strict > keeps the first seen).
+	// earliest placement-order holder (strict > keeps the first seen). A
+	// tie (≥2 distinct digests sharing the max vote count — always the case
+	// at R=2) is counted: /shardz surfaces sweep_ties so an operator can
+	// see how often the verdict rested on the placement-order break rather
+	// than a true majority (DESIGN.md §11 limitation 7).
 	votes := map[CellChecksum]int{}
 	for _, s := range stable {
 		votes[s]++
 	}
+	best := 0
+	for _, n := range votes {
+		if n > best {
+			best = n
+		}
+	}
+	atMax := 0
+	for _, n := range votes {
+		if n == best {
+			atMax++
+		}
+	}
+	if atMax > 1 {
+		r.m.sweepTies.Add(1)
+	}
 	var winner CellChecksum
-	best := -1
-	for _, rep := range r.pl.Replicas(cell) {
+	bestSeen := -1
+	for _, rep := range lay.pl.Replicas(cell) {
 		s, ok := stable[rep]
 		if !ok {
 			continue
 		}
-		if votes[s] > best {
-			best = votes[s]
+		if votes[s] > bestSeen {
+			bestSeen = votes[s]
 			winner = s
 		}
 	}

@@ -72,6 +72,24 @@ import (
 //	            dim × float64 hi }
 //	cellSumResp count uint32, count × (count uint64, digest uint64)
 //	            (one checksum per requested cell, in request order)
+//	migBeginReq epoch uint64, cell uint32, dim × float64 lo,
+//	            dim × float64 hi, total uint64
+//	            (opens a migration stage on this conn: the next total
+//	            staged items for cell must arrive as migPage frames on the
+//	            same conn; epoch >= 1 is the placement epoch being built)
+//	migPageReq  epoch uint64, cell uint32, offset uint64, count uint32,
+//	            count × (item, expireAt uint64)
+//	            (one page of the staged exact set, in stream order; the
+//	            stage lives on the conn, so a dropped conn discards it —
+//	            a torn migration stream applies nothing)
+//	migCommitReq epoch uint64, cell uint32,
+//	            ocount uint32, ocount × (item, expireAt uint64),
+//	            opcount uint32, opcount × (del uint8, item, expireAt uint64)
+//	            (atomically replays the trailing write ledger onto the
+//	            staged pages and exact-sets the cell box to the result;
+//	            ocount carries the orphaned expiry entries, opcount the
+//	            ledger of writes that raced the cut)
+//	migResp     changed uint8 (whether the commit changed local state)
 //	item        id int32, priority float64, dim × float64
 //
 // Version history: v2 added replication — pong sync state, per-candidate
@@ -79,10 +97,13 @@ import (
 // ownership), and the cellSnap/resync/aggCells messages. v3 added the
 // resyncReq evidenced byte (whether the router saw the shard miss an
 // acked write, or is fencing a revival purely as a precaution). v4 added
-// the cellSum messages for the router's anti-entropy sweep.
+// the cellSum messages for the router's anti-entropy sweep. v5 added the
+// migBegin/migPage/migCommit stream for the online rebalancer's live cell
+// migration (staged exact-set with ledger replay, conn-scoped like the
+// cellSnap stash).
 const (
 	wireMagic   = "PKDSHRD1"
-	wireVersion = 4
+	wireVersion = 5
 	// handshakeSize is the byte length of the connection header.
 	handshakeSize = 16
 	// maxFramePayload bounds one frame so a corrupted length field cannot
@@ -119,6 +140,11 @@ const (
 	// v4 anti-entropy messages.
 	msgCellSumReq  byte = 0x25
 	msgCellSumResp byte = 0x26
+	// v5 online-rebalance migration messages.
+	msgMigBeginReq  byte = 0x27
+	msgMigPageReq   byte = 0x28
+	msgMigCommitReq byte = 0x29
+	msgMigResp      byte = 0x2a
 )
 
 // ErrWire marks a malformed handshake or frame (bad magic, version, CRC, or
@@ -353,6 +379,65 @@ type CellChecksum struct {
 // CellChecksumResp carries the per-cell checksums, in request order.
 type CellChecksumResp struct {
 	Sums []CellChecksum
+}
+
+// MigrateBegin opens a migration stage on the receiving connection: the
+// destination will accept Total staged items for the half-open Box of
+// Cell, delivered as MigratePage frames on the same conn, and apply them
+// atomically at MigrateCommit. Epoch is the placement epoch the rebalancer
+// is building (epochs start at 1; 0 is malformed). The stage is conn-
+// scoped exactly like the cell-snapshot stash: dropping the conn discards
+// it, so a torn migration stream applies nothing.
+type MigrateBegin struct {
+	Epoch uint64
+	Cell  int
+	Box   geom.Box
+	Total uint64
+}
+
+// MigratePage carries one page of the staged exact set, in stream order.
+// ExpireAts parallels Items (UntrackedDeadline = no TTL entry). Offset is
+// the number of staged items that must precede this page — a sequencing
+// check, not a seek.
+type MigratePage struct {
+	Epoch     uint64
+	Cell      int
+	Offset    uint64
+	Items     []core.Item
+	ExpireAts []int64
+}
+
+// MigrateOp is one write that raced the migration cut: an insert (or
+// TTL-tracked ingest) or a delete of one item in the moving region,
+// recorded by the router in ack order while the cut was being paged over.
+// ExpireAt is the ingest deadline (UntrackedDeadline for plain inserts and
+// for deletes).
+type MigrateOp struct {
+	Delete   bool
+	Item     core.Item
+	ExpireAt int64
+}
+
+// MigrateCommit atomically completes the stage opened by MigrateBegin on
+// this conn: the shard replays Ops (in order) on top of the staged pages,
+// then exact-sets the cell box to the result — the same one-batch
+// multiset-diff apply as a peer-rebuild RestoreCell, so commit is all or
+// nothing and idempotent. Orphans/OrphanAts carry the cut's orphaned
+// expiry entries (as on a final CellSnapshotResp page).
+type MigrateCommit struct {
+	Epoch     uint64
+	Cell      int
+	Orphans   []core.Item
+	OrphanAts []int64
+	Ops       []MigrateOp
+}
+
+// MigrateResp acknowledges a MigrateBegin, MigratePage, or MigrateCommit.
+// Changed is meaningful on commit only: whether applying the staged state
+// changed the shard's local cell contents (a no-op commit proves the
+// destination already held the exact set).
+type MigrateResp struct {
+	Changed bool
 }
 
 // RemoteError is a shard-side failure relayed over the wire.
@@ -623,6 +708,49 @@ func encodePayload(reqID uint64, m any, dim int) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, s.Count)
 			buf = binary.LittleEndian.AppendUint64(buf, s.Digest)
 		}
+	case MigrateBegin:
+		hdr(msgMigBeginReq, 12+16*dim+8)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Cell))
+		buf = appendPoint(buf, v.Box.Lo)
+		buf = appendPoint(buf, v.Box.Hi)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Total)
+	case MigratePage:
+		hdr(msgMigPageReq, 24+(itemSize(dim)+8)*len(v.Items))
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Cell))
+		buf = binary.LittleEndian.AppendUint64(buf, v.Offset)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for i, it := range v.Items {
+			buf = appendItem(buf, it)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.ExpireAts[i]))
+		}
+	case MigrateCommit:
+		hdr(msgMigCommitReq, 20+(itemSize(dim)+8)*len(v.Orphans)+(itemSize(dim)+9)*len(v.Ops))
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Cell))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Orphans)))
+		for i, it := range v.Orphans {
+			buf = appendItem(buf, it)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.OrphanAts[i]))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Ops)))
+		for _, op := range v.Ops {
+			var del byte
+			if op.Delete {
+				del = 1
+			}
+			buf = append(buf, del)
+			buf = appendItem(buf, op.Item)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(op.ExpireAt))
+		}
+	case MigrateResp:
+		hdr(msgMigResp, 1)
+		var c byte
+		if v.Changed {
+			c = 1
+		}
+		buf = append(buf, c)
 	case *RemoteError:
 		hdr(msgErr, 6+len(v.Msg))
 		buf = binary.LittleEndian.AppendUint16(buf, v.Code)
@@ -950,6 +1078,82 @@ func DecodePayload(payload []byte, dim int) (reqID uint64, m any, err error) {
 			sums[i].Digest = d.u64()
 		}
 		m = CellChecksumResp{Sums: sums}
+	case msgMigBeginReq:
+		epoch := d.u64()
+		cell := d.u32()
+		lo := d.point(dim)
+		hi := d.point(dim)
+		total := d.u64()
+		if d.err == nil {
+			if epoch == 0 {
+				return reqID, nil, fmt.Errorf("%w: migration epoch 0 (epochs start at 1)", ErrWire)
+			}
+			if cell > 1<<20 {
+				return reqID, nil, fmt.Errorf("%w: cell id %d out of range", ErrWire, cell)
+			}
+			for ax := range lo {
+				if !(lo[ax] <= hi[ax]) {
+					return reqID, nil, fmt.Errorf("%w: inverted or NaN cell box on axis %d", ErrWire, ax)
+				}
+			}
+		}
+		m = MigrateBegin{Epoch: epoch, Cell: int(cell), Box: geom.Box{Lo: lo, Hi: hi}, Total: total}
+	case msgMigPageReq:
+		epoch := d.u64()
+		cell := d.u32()
+		offset := d.u64()
+		count := d.count(itemSize(dim) + 8)
+		items := make([]core.Item, count)
+		ats := make([]int64, count)
+		for i := range items {
+			items[i] = d.item(dim)
+			ats[i] = int64(d.u64())
+		}
+		if d.err == nil {
+			if epoch == 0 {
+				return reqID, nil, fmt.Errorf("%w: migration epoch 0 (epochs start at 1)", ErrWire)
+			}
+			if cell > 1<<20 {
+				return reqID, nil, fmt.Errorf("%w: cell id %d out of range", ErrWire, cell)
+			}
+		}
+		m = MigratePage{Epoch: epoch, Cell: int(cell), Offset: offset, Items: items, ExpireAts: ats}
+	case msgMigCommitReq:
+		epoch := d.u64()
+		cell := d.u32()
+		ocount := d.count(itemSize(dim) + 8)
+		orphans := make([]core.Item, ocount)
+		oats := make([]int64, ocount)
+		for i := range orphans {
+			orphans[i] = d.item(dim)
+			oats[i] = int64(d.u64())
+		}
+		opcount := d.count(itemSize(dim) + 9)
+		ops := make([]MigrateOp, opcount)
+		for i := range ops {
+			del := d.u8()
+			if d.err == nil && del > 1 {
+				return reqID, nil, fmt.Errorf("%w: migration op delete byte %d", ErrWire, del)
+			}
+			ops[i].Delete = del == 1
+			ops[i].Item = d.item(dim)
+			ops[i].ExpireAt = int64(d.u64())
+		}
+		if d.err == nil {
+			if epoch == 0 {
+				return reqID, nil, fmt.Errorf("%w: migration epoch 0 (epochs start at 1)", ErrWire)
+			}
+			if cell > 1<<20 {
+				return reqID, nil, fmt.Errorf("%w: cell id %d out of range", ErrWire, cell)
+			}
+		}
+		m = MigrateCommit{Epoch: epoch, Cell: int(cell), Orphans: orphans, OrphanAts: oats, Ops: ops}
+	case msgMigResp:
+		changed := d.u8()
+		if d.err == nil && changed > 1 {
+			return reqID, nil, fmt.Errorf("%w: migrate changed byte %d", ErrWire, changed)
+		}
+		m = MigrateResp{Changed: changed == 1}
 	case msgErr:
 		code := d.u16()
 		n := d.u32()

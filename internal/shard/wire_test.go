@@ -132,6 +132,29 @@ func wireMessages(dim int) []any {
 			{Count: 0, Digest: 0},
 		}},
 		CellChecksumResp{},
+		MigrateBegin{Epoch: 2, Cell: 4, Box: geom.Box{Lo: pt(0.5, 0, 0), Hi: pt(1, 1, 1)}, Total: 3},
+		MigrateBegin{Epoch: 1, Cell: 0, Box: infBox(dim), Total: 0},
+		MigratePage{
+			Epoch:     2,
+			Cell:      4,
+			Offset:    128,
+			Items:     []core.Item{{ID: 11, Priority: 0.5, P: pt(0.6, 0.1, 0.1)}, {ID: 12, P: pt(0.7, 0.2, 0.2)}},
+			ExpireAts: []int64{4242, UntrackedDeadline},
+		},
+		MigratePage{Epoch: 3, Cell: 1, Offset: 0},
+		MigrateCommit{
+			Epoch:     2,
+			Cell:      4,
+			Orphans:   []core.Item{{ID: 13, P: pt(0.8, 0.3, 0.3)}},
+			OrphanAts: []int64{987},
+			Ops: []MigrateOp{
+				{Delete: false, Item: core.Item{ID: 14, P: pt(0.9, 0.4, 0.4)}, ExpireAt: 5000},
+				{Delete: true, Item: core.Item{ID: 11, P: pt(0.6, 0.1, 0.1)}, ExpireAt: UntrackedDeadline},
+			},
+		},
+		MigrateCommit{Epoch: 9, Cell: 2},
+		MigrateResp{Changed: true},
+		MigrateResp{},
 	}
 }
 
@@ -266,6 +289,25 @@ func normalize(m any) any {
 	case CellChecksumResp:
 		if len(v.Sums) == 0 {
 			v.Sums = nil
+		}
+		return v
+	case MigratePage:
+		if len(v.Items) == 0 {
+			v.Items = nil
+		}
+		if len(v.ExpireAts) == 0 {
+			v.ExpireAts = nil
+		}
+		return v
+	case MigrateCommit:
+		if len(v.Orphans) == 0 {
+			v.Orphans = nil
+		}
+		if len(v.OrphanAts) == 0 {
+			v.OrphanAts = nil
+		}
+		if len(v.Ops) == 0 {
+			v.Ops = nil
 		}
 		return v
 	}
@@ -446,6 +488,52 @@ func TestDecodePayloadRejectsMalformedBodies(t *testing.T) {
 				{Count: 7, Digest: 0x1234},
 			}}, 2)
 			return p[:len(p)-4]
+		}},
+		{"zero migrate begin epoch", func() []byte {
+			return encodePayload(1, MigrateBegin{Epoch: 0, Cell: 1, Box: infBox(2), Total: 5}, 2)
+		}},
+		{"zero migrate page epoch", func() []byte {
+			return encodePayload(1, MigratePage{Epoch: 0, Cell: 1}, 2)
+		}},
+		{"zero migrate commit epoch", func() []byte {
+			return encodePayload(1, MigrateCommit{Epoch: 0, Cell: 1}, 2)
+		}},
+		{"oversized migrate cell id", func() []byte {
+			return encodePayload(1, MigrateBegin{Epoch: 1, Cell: 1 << 21, Box: infBox(2)}, 2)
+		}},
+		{"inverted migrate box", func() []byte {
+			return encodePayload(1, MigrateBegin{Epoch: 1, Cell: 1, Box: geom.Box{
+				Lo: geom.Point{1, 1}, Hi: geom.Point{0, 0},
+			}}, 2)
+		}},
+		{"migrate page deadline truncated", func() []byte {
+			p := encodePayload(1, MigratePage{
+				Epoch:     1,
+				Cell:      1,
+				Items:     []core.Item{{ID: 1, P: geom.Point{0, 0}}},
+				ExpireAts: []int64{5},
+			}, 2)
+			return p[:len(p)-4]
+		}},
+		{"migrate op delete byte", func() []byte {
+			p := encodePayload(1, MigrateCommit{Epoch: 1, Cell: 1, Ops: []MigrateOp{
+				{Delete: true, Item: core.Item{ID: 1, P: geom.Point{0, 0}}, ExpireAt: UntrackedDeadline},
+			}}, 2)
+			// The op's delete flag is the first byte of the last op record:
+			// flag u8, item (id u32 + priority u64 + point 2*u64), at u64.
+			p[len(p)-37] = 2
+			return p
+		}},
+		{"migrate ops truncated", func() []byte {
+			p := encodePayload(1, MigrateCommit{Epoch: 1, Cell: 1, Ops: []MigrateOp{
+				{Item: core.Item{ID: 1, P: geom.Point{0, 0}}, ExpireAt: 5},
+			}}, 2)
+			return p[:len(p)-4]
+		}},
+		{"migrate resp changed byte", func() []byte {
+			p := encodePayload(1, MigrateResp{Changed: true}, 2)
+			p[9] = 2
+			return p
 		}},
 		{"empty payload", func() []byte { return nil }},
 	} {
