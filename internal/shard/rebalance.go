@@ -99,12 +99,20 @@ type CellCount struct {
 
 // rebalState is the rebalancer's cross-tick state. dirty and lastCounts
 // are guarded by mu; runMu serializes whole rebalance passes (the ticker
-// skips a tick that would overlap a slow migration).
+// skips a tick that would overlap a slow migration) and every
+// markDirty/drainDirty call, so a drain's read-purge-writeback cycle can
+// never lose a region queued concurrently.
 type rebalState struct {
-	mu         sync.Mutex
-	runMu      sync.Mutex
-	dirty      map[int][]dirtyRegion
+	mu    sync.Mutex
+	runMu sync.Mutex
+	dirty map[int][]dirtyRegion
+	// lastCounts/lastEpoch are the most recent successful per-cell sample
+	// and the layout epoch it was taken under. CellCounts falls back to the
+	// cache only while the epoch still matches: a sample from an older
+	// geometry has a different cell set and shard mapping, and showing it
+	// after a flip would misattribute load.
 	lastCounts []CellCount
+	lastEpoch  uint64
 }
 
 // migrating reports whether a migration ledger is open (cut pull through
@@ -117,24 +125,63 @@ func (r *Router) migrating() bool {
 }
 
 // purgesPending reports whether any moved region still awaits its purge.
-// Expiry sweeps and new migrations wait for a clean slate: stray TTL
-// entries on a not-yet-purged source would break Expire's
-// exact-multiple-of-R count check.
 func (r *Router) purgesPending() bool {
 	r.rb.mu.Lock()
 	defer r.rb.mu.Unlock()
 	return len(r.rb.dirty) > 0
 }
 
+// pendingPurgeOn reports whether any of the given shards still holds a
+// queued stray purge. The planner refuses to involve such a shard in a new
+// migration: as cut source its strays could sit inside the new moving box
+// and resurrect deleted points into the cut; as destination the committed
+// new cell's box could overlap the queued region, handing the later purge
+// legitimately owned points to destroy.
+func (r *Router) pendingPurgeOn(shards ...int) bool {
+	r.rb.mu.Lock()
+	defer r.rb.mu.Unlock()
+	for _, s := range shards {
+		if len(r.rb.dirty[s]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// purgeBlocksExpiry reports whether a pending stray purge sits on a shard
+// that would otherwise pass Expire's eligibility gate. Such a shard would
+// sweep its strays' TTL entries and break the exact-multiple-of-R count
+// check, so Expire bounces with ErrMigrating — bounded, because the shard
+// is reachable and the next drain clears the purge. Purges stranded on
+// INELIGIBLE shards deliberately do not count: those shards fail the
+// eligibility gate on their own, and gating here too would convert that
+// honest ErrDegraded into an eternal ErrMigrating (TTL'd data piling up
+// cluster-wide) for as long as one crashed node stays down.
+func (r *Router) purgeBlocksExpiry() bool {
+	r.rb.mu.Lock()
+	defer r.rb.mu.Unlock()
+	for sid := range r.rb.dirty {
+		if r.eligible(r.shards[sid]) {
+			return true
+		}
+	}
+	return false
+}
+
 // CellCounts samples every cell's live point count from its acting primary
 // (best-effort: on a sampling failure the last successful sample is
-// returned). The slice is ordered by cell.
+// returned, but only if it was taken under the current layout epoch — a
+// cached sample from an older geometry would show a mismatched cell set).
+// The slice is ordered by cell; nil means no current sample exists.
 func (r *Router) CellCounts(ctx context.Context) []CellCount {
 	lay := r.lay.Load()
 	counts, err := r.sampleCellCounts(ctx, lay)
 	if err != nil {
 		r.rb.mu.Lock()
 		defer r.rb.mu.Unlock()
+		if r.rb.lastEpoch != lay.epoch {
+			return nil
+		}
 		return append([]CellCount(nil), r.rb.lastCounts...)
 	}
 	return counts
@@ -199,6 +246,7 @@ func (r *Router) sampleCellCounts(ctx context.Context, lay *layout) ([]CellCount
 	}
 	r.rb.mu.Lock()
 	r.rb.lastCounts = append([]CellCount(nil), out...)
+	r.rb.lastEpoch = lay.epoch
 	r.rb.mu.Unlock()
 	return out, nil
 }
@@ -328,14 +376,14 @@ func (r *Router) RebalanceOnce(ctx context.Context) (int64, bool, error) {
 	}
 	defer r.rb.runMu.Unlock()
 
-	// Moved regions must be purged before anything else: a second split of
-	// the same source would pull a cut whose box overlaps un-purged strays,
-	// and Expire stays blocked while they linger.
+	// Pending purges are retried first: a region queued on a reachable
+	// shard clears in one exact-set round. A purge stranded on an
+	// unreachable shard must NOT wedge the rebalancer — the cluster would
+	// stop adapting because one node crashed — so the pass proceeds and the
+	// plan below simply refuses to involve a shard that still holds
+	// un-purged strays.
 	if r.purgesPending() {
 		r.drainDirty(ctx)
-		if r.purgesPending() {
-			return 0, false, nil
-		}
 	}
 
 	lay := r.lay.Load()
@@ -345,6 +393,14 @@ func (r *Router) RebalanceOnce(ctx context.Context) (int64, bool, error) {
 	}
 	plan, ok := r.planSplit(lay, counts)
 	if !ok {
+		return 0, false, nil
+	}
+	// A dirty shard can be neither cut source nor destination
+	// (pendingPurgeOn explains both hazards). Dead shards are never planned
+	// in the first place — the source is an acting primary and destinations
+	// are eligibility-filtered — so a stranded purge skips at most the
+	// shards it lives on, never the whole pass.
+	if r.pendingPurgeOn(append([]int{plan.src}, plan.dests...)...) {
 		return 0, false, nil
 	}
 	moved, err := r.migrate(ctx, lay, plan)
@@ -604,6 +660,14 @@ func (r *Router) migrate(ctx context.Context, lay *layout, plan migPlan) (int64,
 	}
 	reopen()
 
+	// The staging sessions did their job: return the healthy conns to the
+	// pool (the failure paths above Abort them instead). Leaking them would
+	// pin one router-side fd and one shard-side handler per destination per
+	// committed migration.
+	for _, s := range sessions {
+		s.Close()
+	}
+
 	// The moved region on source replicas that do not host the new cell is
 	// now stray state: queue and attempt its purge.
 	for _, rep := range lay.pl.Replicas(plan.cell) {
@@ -615,16 +679,19 @@ func (r *Router) migrate(ctx context.Context, lay *layout, plan migPlan) (int64,
 	return int64(len(cut.Items)), nil
 }
 
-// markDirty queues a stray region for purge. Only the rebalancer mutates
-// the dirty map (passes are serialized by rb.runMu); readers take rb.mu.
+// markDirty queues a stray region for purge. The caller must hold
+// rb.runMu (the rebalancer holds it for the whole pass; Expire's inline
+// drain TryLocks it), which serializes every dirty-map mutation against
+// drainDirty's read-purge-writeback cycle; readers take rb.mu.
 func (r *Router) markDirty(shard int, reg dirtyRegion) {
 	r.rb.mu.Lock()
 	defer r.rb.mu.Unlock()
 	r.rb.dirty[shard] = append(r.rb.dirty[shard], reg)
 }
 
-// drainDirty retries every pending purge once; failures stay queued for
-// the next pass.
+// drainDirty retries every pending purge once; failures (and unreachable
+// shards) stay queued for the next pass. The caller must hold rb.runMu —
+// see markDirty.
 func (r *Router) drainDirty(ctx context.Context) {
 	r.rb.mu.Lock()
 	pending := make(map[int][]dirtyRegion, len(r.rb.dirty))

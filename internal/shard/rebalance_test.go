@@ -459,3 +459,197 @@ func TestTornMigrationAppliesNothing(t *testing.T) {
 	sess.Abort()
 	checkUntouched("after out-of-sequence page")
 }
+
+// TestKNNStrayCrowdingStaysExact: migration strays — points a shard holds
+// in a region it no longer owns, e.g. copies of post-flip deletes awaiting
+// their purge — must not be able to crowd an owned true neighbor out of a
+// shard's truncated top-k. The router must escalate the per-shard ask
+// until the ownership-filtered answer is conclusive, keeping kNN
+// bit-identical to the oracle over the acked set.
+func TestKNNStrayCrowdingStaysExact(t *testing.T) {
+	const dim = 2
+	part, err := shard.NewUniformPartition(dim, 2, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, 2)
+	addrs := make([]string, 2)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       5 * time.Second,
+		ProbeInterval: 50 * time.Millisecond,
+		Replication:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx := context.Background()
+
+	q := geom.Point{0.45, 0.5}
+	strayX := 0.51
+	if part.Owner(q) == part.Owner(geom.Point{strayX, 0.5}) {
+		t.Fatalf("test premise broken: query and stray positions share cell %d", part.Owner(q))
+	}
+	homeShard := router.Cells()[part.Owner(q)].Primary
+
+	// Acked set: six owned neighbors around q in its own cell (distances
+	// 0.10..0.20) plus three far points in the other cell.
+	var acked []core.Item
+	id := int32(0)
+	for _, d := range []float64{0.10, 0.15, 0.20} {
+		acked = append(acked,
+			core.Item{ID: id, P: geom.Point{0.45, 0.5 - d}},
+			core.Item{ID: id + 1, P: geom.Point{0.45, 0.5 + d}})
+		id += 2
+	}
+	for _, y := range []float64{0.2, 0.5, 0.8} {
+		acked = append(acked, core.Item{ID: id, P: geom.Point{0.95, y}})
+		id++
+	}
+	if n, err := router.BatchUpdate(ctx, false, acked); err != nil || n != len(acked) {
+		t.Fatalf("seed: acked %d/%d, err %v", n, len(acked), err)
+	}
+
+	// Strays: injected directly into q's home shard, inside the OTHER
+	// cell's box, closer to q (dist ~0.063) than every owned neighbor —
+	// exactly what an un-purged moved region of deleted points looks like.
+	strays := []core.Item{
+		{ID: 1000, P: geom.Point{strayX, 0.48}},
+		{ID: 1001, P: geom.Point{strayX, 0.50}},
+		{ID: 1002, P: geom.Point{strayX, 0.52}},
+	}
+	direct := shard.NewClient(cluster[homeShard].addr, dim)
+	defer direct.Close()
+	if n, err := direct.Update(ctx, false, strays); err != nil || n != len(strays) {
+		t.Fatalf("stray injection: applied %d/%d, err %v", n, len(strays), err)
+	}
+
+	oracle := core.New(core.Config{Dim: dim, Seed: 99, LeafSize: 8}, pim.NewMachine(4, 1<<18))
+	oracle.Build(append([]core.Item(nil), acked...))
+	for k := 1; k <= len(acked)+3; k++ {
+		want := oracle.KNN([]geom.Point{q}, k)[0]
+		got, _, err := router.KNN(ctx, q, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d results, oracle %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].Dist2 != want[i].Dist2 {
+				t.Fatalf("k=%d result %d: (id=%d d2=%v), oracle (id=%d d2=%v) — stray crowded out an owned neighbor",
+					k, i, got[i].ID, got[i].Dist2, want[i].ID, want[i].Dist2)
+			}
+		}
+	}
+	// And the strays stay invisible to range reads too.
+	all, _, err := router.Range(ctx, unitBox())
+	if err != nil {
+		t.Fatalf("full range: %v", err)
+	}
+	if len(all) != len(acked) {
+		t.Fatalf("cluster reports %d items, acked set is %d — strays leaked", len(all), len(acked))
+	}
+}
+
+// TestExpirePurgeInterlock: a queued stray purge must not wedge Expire.
+// On a reachable shard Expire drains the purge inline and proceeds; a
+// purge stranded on a dead shard degrades Expire honestly (ErrDegraded
+// from the eligibility gate, not an eternal ErrMigrating) and no longer
+// short-circuits rebalance passes.
+func TestExpirePurgeInterlock(t *testing.T) {
+	const dim = 2
+	part, err := shard.NewUniformPartition(dim, 2, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := make([]*testShard, 2)
+	addrs := make([]string, 2)
+	for i := range cluster {
+		cluster[i] = startShard(t, dim, int64(i+1), "", "127.0.0.1:0")
+		defer cluster[i].stop()
+		addrs[i] = cluster[i].addr
+	}
+	router, err := shard.NewRouter(part, addrs, shard.Config{
+		Timeout:       2 * time.Second,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+		Replication:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx := context.Background()
+
+	// Reachable shard: the pending purge is drained inline by Expire itself.
+	router.MarkDirtyForTest(1, 1, geom.NewBox(geom.Point{0.6, 0.6}, geom.Point{0.7, 0.7}))
+	if !router.PurgesPendingForTest() {
+		t.Fatal("test hook failed to queue a purge")
+	}
+	if n, _, err := router.Expire(ctx, 1); err != nil || n != 0 {
+		t.Fatalf("expire with drainable purge: n=%d err=%v, want a clean empty sweep", n, err)
+	}
+	if router.PurgesPendingForTest() {
+		t.Fatal("expire did not drain the pending purge inline")
+	}
+
+	// Dead shard: queue a purge on it, then kill it. Expire must degrade
+	// honestly, not bounce ErrMigrating forever.
+	router.MarkDirtyForTest(1, 1, geom.NewBox(geom.Point{0.6, 0.6}, geom.Point{0.7, 0.7}))
+	cluster[1].stop()
+	waitFor(t, 10*time.Second, "shard 1 marked unhealthy", func() bool {
+		return !router.Status()[1].Healthy
+	})
+	_, _, err = router.Expire(ctx, 2)
+	if errors.Is(err, shard.ErrMigrating) {
+		t.Fatal("expire bounced ErrMigrating for a purge stranded on a dead shard")
+	}
+	if !errors.Is(err, shard.ErrDegraded) {
+		t.Fatalf("expire with dead shard: err = %v, want ErrDegraded", err)
+	}
+	// A rebalance pass is no longer short-circuited by the stranded purge:
+	// it proceeds to sampling (which degrades loudly at R=1 with a dead
+	// shard) instead of silently returning a quiet pass.
+	if _, _, err := router.RebalanceOnce(ctx); !errors.Is(err, shard.ErrDegraded) {
+		t.Fatalf("rebalance with dead dirty shard: err = %v, want the sampling ErrDegraded, not a silent skip", err)
+	}
+}
+
+// TestCellCountsStaleEpochDropped: when live sampling fails, CellCounts may
+// fall back to the cached sample only if it was taken under the current
+// layout epoch — a cache from an older geometry has a different cell set.
+func TestCellCountsStaleEpochDropped(t *testing.T) {
+	const dim = 2
+	part, err := shard.NewUniformPartition(dim, 2, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable shards: every live sample fails, so CellCounts exercises
+	// only the fallback path.
+	router, err := shard.NewRouter(part, []string{"127.0.0.1:1", "127.0.0.1:1"}, shard.Config{
+		Timeout:       200 * time.Millisecond,
+		ProbeInterval: time.Hour,
+		Replication:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx := context.Background()
+
+	cached := []shard.CellCount{{Cell: 0, Shard: 0, Count: 5}, {Cell: 1, Shard: 1, Count: 7}}
+	router.SetLastCountsForTest(cached, router.Epoch())
+	if got := router.CellCounts(ctx); len(got) != len(cached) || got[0].Count != 5 || got[1].Count != 7 {
+		t.Fatalf("same-epoch fallback: got %v, want the cached sample", got)
+	}
+	router.SetLastCountsForTest(cached, router.Epoch()+1)
+	if got := router.CellCounts(ctx); len(got) != 0 {
+		t.Fatalf("stale-epoch fallback: got %v, want the mismatched cache dropped", got)
+	}
+}

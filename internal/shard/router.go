@@ -723,6 +723,44 @@ func filterItems(boxes []geom.Box, items []core.Item) []core.Item {
 	return out
 }
 
+// maxKNNAsk caps knnOwned's escalation; doubling past a shard's tree size
+// always terminates the loop first, so hitting the cap means the shard is
+// answering nonsense.
+const maxKNNAsk = 1 << 30
+
+// knnOwned asks sh for the top-k among the points it OWNS under lay — the
+// stray-safe per-shard kNN. The shard answers whole-tree top-k, and
+// migration strays (a moved region awaiting purge, an abandoned stage) can
+// crowd owned true neighbors out of a truncated answer: filtering after
+// truncation would silently drop them from the merge with no ErrDegraded,
+// breaking bit-identity. So a response is conclusive only when the shard
+// returned its whole tree (fewer candidates than asked — every owned point
+// is present) or at least k candidates survive the ownership filter (the
+// k-th owned candidate then bounds everything unreturned); otherwise an
+// owned neighbor may hide beyond the truncation and the ask doubles.
+// Escalation terminates in O(log n) ordinary wire calls: the ask doubles
+// past the shard's tree size and the whole tree comes back.
+func (r *Router) knnOwned(ctx context.Context, lay *layout, sh *shardHandle, q geom.Point, k int) ([]heapx.Candidate, error) {
+	boxes := lay.hostedBoxes(sh.id)
+	for ask := k; ; {
+		raw, err := sh.client.KNN(ctx, []geom.Point{q}, ask)
+		if err != nil {
+			return nil, err
+		}
+		cands := raw[0]
+		wholeTree := len(cands) < ask
+		owned := filterCands(boxes, cands)
+		if wholeTree || len(owned) >= k {
+			return owned, nil
+		}
+		if ask >= maxKNNAsk {
+			return nil, fmt.Errorf("shard %d: kNN stray escalation exceeded ask %d", sh.id, ask)
+		}
+		ask *= 2
+		r.m.shardCalls.Add(1)
+	}
+}
+
 // KNN answers an exact k-nearest-neighbor query across the cluster in
 // canonical (dist2, id) order, identical to a single tree holding the
 // union of the shards' points.
@@ -731,14 +769,18 @@ func filterItems(boxes []geom.Box, items []core.Item) []core.Item {
 // replica of the nearest cell is asked first; its k-th candidate gives the
 // pruning bound, and every cell within the bound (<=, not <: an
 // equal-distance cell can still displace by ID) must then be covered by an
-// eligible replica. Each queried shard returns the top-k of its whole
-// tree; the gather sorts all candidates canonically, removes exact
-// cross-replica duplicates (sound because the replicated state is a set),
-// and keeps the k best. That merge is exact: a queried shard's unreturned
-// points are canonically beyond its own k-th candidate, which the deduped
-// union's k-th can never exceed. Uncovered cells must be provably unable
-// to matter — merged set full and the cell strictly farther than the k-th
-// candidate — or the query fails with ErrDegraded.
+// eligible replica. Each queried shard answers through knnOwned — its
+// whole-tree top-k filtered to the points it owns under the pinned layout,
+// re-asked with a doubled k while migration strays crowd owned candidates
+// out of the truncation — so every response is the top-k of the shard's
+// OWNED points (or all of them). The gather sorts all candidates
+// canonically, removes exact cross-replica duplicates (sound because the
+// replicated state is a set), and keeps the k best. That merge is exact: a
+// queried shard's unreturned owned points are canonically beyond its own
+// k-th returned candidate, which the deduped union's k-th can never
+// exceed. Uncovered cells must be provably unable to matter — merged set
+// full and the cell strictly farther than the k-th candidate — or the
+// query fails with ErrDegraded.
 func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidate, Fanout, error) {
 	fan := Fanout{Shards: len(r.shards)}
 	lay := r.acquireLayout()
@@ -776,14 +818,14 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	bound := math.Inf(1)
 
 	// Phase 1: an eligible replica of the nearest cell sets the pruning
-	// bound (rotated per cell — read scale-out). The bound comes from the
-	// shard's OWNED candidates only: a migration stray could sit closer
-	// than the true k-th and over-tighten the bound, pruning a cell that
-	// still matters without the post-check ever seeing it.
+	// bound (rotated per cell — read scale-out). knnOwned makes the response
+	// conclusive for the shard's owned points, so a migration stray can
+	// neither over-tighten the bound (pruning a cell that still matters)
+	// nor crowd a true owned neighbor out of the truncated top-k.
 	if sh := r.pickReplica(lay, order[0].cell, tried); sh != nil {
 		tried[sh.id] = true
 		v, h, err := r.hedgedRead(ctx, sh, func(c context.Context) (any, error) {
-			return sh.client.KNN(c, []geom.Point{q}, k)
+			return r.knnOwned(c, lay, sh, q, k)
 		})
 		fan.Hedges += h
 		if err == nil {
@@ -793,7 +835,7 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 					covered[rk.cell] = true
 				}
 			}
-			cands := filterCands(lay.hostedBoxes(sh.id), v.([][]heapx.Candidate)[0])
+			cands := v.([]heapx.Candidate)
 			if len(cands) >= k {
 				bound = cands[k-1].Dist2
 			}
@@ -812,18 +854,17 @@ func (r *Router) KNN(ctx context.Context, q geom.Point, k int) ([]heapx.Candidat
 	}
 	more, uncovered, h2 := r.coverCells(ctx, lay, needed, covered, tried, true,
 		func(c context.Context, sh *shardHandle, _ []int) (any, error) {
-			return sh.client.KNN(c, []geom.Point{q}, k)
+			return r.knnOwned(c, lay, sh, q, k)
 		})
 	resps = append(resps, more...)
 	fan.Hedges += h2
 	fan.Queried = len(resps)
 
-	// Gather: drop migration strays (points outside the shard's hosted cell
-	// boxes under the planning layout), dedup cross-replica copies, keep the
-	// global top-k.
+	// Gather: responses are already stray-filtered and conclusive (knnOwned);
+	// dedup cross-replica copies, keep the global top-k.
 	var all []heapx.Candidate
 	for _, rp := range resps {
-		all = append(all, filterCands(lay.hostedBoxes(rp.sh.id), rp.v.([][]heapx.Candidate)[0])...)
+		all = append(all, rp.v.([]heapx.Candidate)...)
 	}
 	sort.Slice(all, func(i, j int) bool { return candLess(all[i], all[j]) })
 	best := heapx.NewKBest(k)

@@ -152,14 +152,26 @@ func (r *Router) Expire(ctx context.Context, now int64) (int64, Fanout, error) {
 	if r.commitGate.Load() {
 		return 0, fan, ErrMigrating
 	}
-	// Expiry cannot run while a migration is in flight or its purges are
-	// pending: the shard-side bulk sweep can't be captured in the migration
-	// ledger (the destination would keep entries the source expired), and
-	// stray TTL entries on a not-yet-purged source would break the
-	// exact-multiple-of-R count check below. The caller simply retries.
+	// A pending stray purge on a reachable shard would break the
+	// exact-multiple-of-R count check below (the shard would sweep TTL
+	// entries in a region it no longer owns), so clear it inline first —
+	// each purge is one cheap exact-set-to-empty round. TryLock: a busy
+	// rebalancer is mid-pass and either drains the purge itself or has a
+	// migration open, which the gate below answers.
+	if r.purgesPending() && r.rb.runMu.TryLock() {
+		r.drainDirty(ctx)
+		r.rb.runMu.Unlock()
+	}
+	// Expiry cannot run while a migration is in flight (the shard-side bulk
+	// sweep can't be captured in the migration ledger — the destination
+	// would keep entries the source expired) or while a purge is still
+	// queued on a shard that would otherwise count toward the sweep. Purges
+	// stranded on ineligible shards fall through: the eligibility gate
+	// below reports those as ErrDegraded, the honest verdict — never an
+	// eternal ErrMigrating because one crashed node pinned a purge.
 	r.migMu.RLock()
 	defer r.migMu.RUnlock()
-	if r.mig != nil || r.purgesPending() {
+	if r.mig != nil || r.purgeBlocksExpiry() {
 		return 0, fan, ErrMigrating
 	}
 	for _, sh := range r.shards {

@@ -79,10 +79,15 @@ func (r *Router) SweepStatus() []CellSweepStatus {
 // suspected mismatches after the settle window, fence stable minorities.
 func (r *Router) sweepOnce() {
 	// A sweep round must see one stable geometry: while a migration is in
-	// flight (or its purges pending), the moving region's replicas are
-	// legitimately mid-divergence, so the round is skipped rather than
-	// risking a false evidenced fence.
-	if r.migrating() || r.purgesPending() {
+	// flight, the moving region's replicas are legitimately mid-divergence,
+	// so the round is skipped rather than risking a false evidenced fence.
+	// Pending PURGES do not pause the sweep: a queued stray region is by
+	// construction outside every hosted box of its holder (splits only
+	// shrink hosted boxes, and the planner never places a new cell on a
+	// dirty shard), so hosted-cell digests cannot see it — and a purge
+	// stranded on a dead shard must not disable divergence detection
+	// cluster-wide.
+	if r.migrating() {
 		return
 	}
 	lay := r.lay.Load()
